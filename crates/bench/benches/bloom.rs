@@ -1,0 +1,60 @@
+//! Bloom filter micro-benchmarks: the per-probe cost that sits on every
+//! point lookup's critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monkey_bloom::{hash::xxh64, BloomFilter};
+use std::time::Duration;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for len in [8usize, 64, 1024] {
+        let data = vec![7u8; len];
+        group.bench_function(format!("xxh64_{len}b"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                xxh64(&data, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    for bpe in [5.0, 10.0] {
+        let n = 100_000u64;
+        let mut filter = BloomFilter::with_bits_per_entry(n, bpe);
+        for i in 0..n {
+            filter.insert(&i.to_le_bytes());
+        }
+        let mut probe = 0u64;
+        group.bench_function(format!("contains_hit_{bpe}bpe"), |b| {
+            b.iter(|| {
+                probe = (probe + 1) % n;
+                assert!(filter.contains(&probe.to_le_bytes()));
+            })
+        });
+        let mut probe = n;
+        group.bench_function(format!("contains_miss_{bpe}bpe"), |b| {
+            b.iter(|| {
+                probe += 1;
+                filter.contains(&probe.to_le_bytes())
+            })
+        });
+    }
+    let mut i = 0u64;
+    group.bench_function("insert", |b| {
+        let mut filter = BloomFilter::with_bits_per_entry(1 << 20, 10.0);
+        b.iter(|| {
+            i += 1;
+            filter.insert(&i.to_le_bytes());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_filter_ops);
+criterion_main!(benches);

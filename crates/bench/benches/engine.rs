@@ -1,0 +1,105 @@
+//! Engine micro-benchmarks: the hot paths of the store under both merge
+//! policies and filter allocations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use monkey_bench::{load, zero_result_lookups, ExpConfig, FilterKind};
+use monkey::MergePolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn small_cfg() -> ExpConfig {
+    ExpConfig {
+        entries: 1 << 13,
+        ..ExpConfig::paper_default()
+    }
+}
+
+fn bench_point_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_lookup");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
+        let loaded = load(&small_cfg().with_filters(filters), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(format!("hit/{}", filters.label()), |b| {
+            b.iter(|| {
+                let (_, k) = loaded.keys.random_existing(&mut rng);
+                assert!(loaded.db.get(&k).unwrap().is_some());
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_function(format!("miss/{}", filters.label()), |b| {
+            b.iter(|| {
+                let k = loaded.keys.random_missing(&mut rng);
+                assert!(loaded.db.get(&k).unwrap().is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, policy, t) in [
+        ("leveling_t2", MergePolicy::Leveling, 2usize),
+        ("tiering_t4", MergePolicy::Tiering, 4),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let cfg = ExpConfig { policy, size_ratio: t, ..small_cfg() };
+                    (load(&cfg, 1), StdRng::seed_from_u64(4))
+                },
+                |(loaded, mut rng)| {
+                    for _ in 0..1000 {
+                        let (i, k) = loaded.keys.random_existing(&mut rng);
+                        loaded.db.put(k, loaded.keys.value_for(i)).unwrap();
+                    }
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_scan");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let loaded = load(&small_cfg(), 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    group.bench_function("scan_1pct", |b| {
+        b.iter(|| {
+            let start = rng.gen_range(0..loaded.keys.entries * 9 / 10);
+            let lo = loaded.keys.existing_key(start);
+            let hi = loaded.keys.existing_key(start + loaded.keys.entries / 100);
+            let n = loaded.db.range(&lo, Some(&hi)).unwrap().count();
+            assert!(n > 0);
+        })
+    });
+    group.finish();
+}
+
+fn bench_zero_result_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_result_batch");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let loaded = load(&small_cfg().with_filters(FilterKind::Monkey(5.0)), 1);
+    let mut seed = 100u64;
+    group.bench_function("monkey_1000_lookups", |b| {
+        b.iter(|| {
+            seed += 1;
+            zero_result_lookups(&loaded, 1000, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_lookups,
+    bench_inserts,
+    bench_range_scan,
+    bench_zero_result_batch
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: filter-allocation strategies head-to-head on the live engine
+//! at identical total memory.
+//!
+//! * `none`            — no filters (the structural floor);
+//! * `uniform`         — the state of the art;
+//! * `monkey-schedule` — the paper's literal per-level closed forms
+//!   (Eqs. 17/18 over the idealized full tree);
+//! * `monkey`          — our generalization: the Lagrange solution over
+//!   the *actual* run sizes;
+//! * `adaptive`        — Appendix C's iterative algorithm over the same.
+//!
+//! The interesting deltas: schedule ≈ generalized when the tree is near its
+//! worst-case shape, but the generalized policy never loses to uniform on
+//! degenerate trees, while the schedule can (see DESIGN.md §5).
+//!
+//! Output: CSV `entries,allocation,ios_per_lookup,filter_bits_per_entry`.
+
+use monkey::{Db, DbOptions, DbOptionsExt, ScheduleFilterPolicy};
+use monkey_bench::*;
+use monkey_workload::KeySpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn run_with(policy_name: &str, entries: u64) -> (f64, f64) {
+    let base = DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(16 << 10)
+        .size_ratio(2);
+    let opts = match policy_name {
+        "none" => base.uniform_filters(0.0),
+        "uniform" => base.uniform_filters(5.0),
+        "monkey-schedule" => base.filter_policy(Arc::new(ScheduleFilterPolicy::new(5.0))),
+        "monkey" => base.monkey_filters(5.0),
+        "adaptive" => base.adaptive_filters(5.0),
+        other => panic!("unknown {other}"),
+    };
+    let db = Db::open(opts).unwrap();
+    let keys = KeySpace::with_entry_size(entries, 64);
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in keys.shuffled_indices(&mut rng) {
+        db.put(keys.existing_key(i), keys.value_for(i)).unwrap();
+    }
+    db.rebuild_filters().unwrap();
+    db.reset_io();
+    let lookups = 8192u64;
+    for _ in 0..lookups {
+        let k = keys.random_missing(&mut rng);
+        assert!(db.get(&k).unwrap().is_none());
+    }
+    let stats = db.stats();
+    (
+        db.io().page_reads as f64 / lookups as f64,
+        stats.bits_per_entry(),
+    )
+}
+
+fn main() {
+    eprintln!("# Ablation: filter allocation strategies at 5 bits/entry total");
+    csv_header(&["entries", "allocation", "ios_per_lookup", "filter_bits_per_entry"]);
+    for entries in [1u64 << 14, 1 << 16] {
+        for name in ["none", "uniform", "monkey-schedule", "monkey", "adaptive"] {
+            let (ios, bpe) = run_with(name, entries);
+            csv_row(&[format!("{entries}"), name.into(), f(ios), f(bpe)]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation: the disk page size (the `B` term).
+//!
+//! Bigger pages amortize merge writes (W ∝ 1/B) and shrink the fence
+//! array, but scan more bytes per point read; the paper's model treats B
+//! as an environmental constant — this shows what the engine measures as
+//! it varies.
+//!
+//! Output: CSV
+//! `page_bytes,B_entries,update_ios_per_op,lookup_ios_per_op,fence_kib`.
+
+use monkey_bench::*;
+
+fn main() {
+    eprintln!("# Ablation: page size sweep (N=2^15 x 64B, T=2, monkey 5 b/e)");
+    csv_header(&["page_bytes", "B_entries", "update_ios_per_op", "lookup_ios_per_op", "fence_kib"]);
+    for page_bytes in [512usize, 1024, 2048, 4096, 8192] {
+        let cfg = ExpConfig {
+            entries: 1 << 15,
+            page_bytes,
+            ..ExpConfig::paper_default()
+        };
+        let loaded = load(&cfg, 42);
+        let w = updates(&loaded, 16_384, 5);
+        loaded.db.rebuild_filters().unwrap();
+        loaded.db.reset_io();
+        let r = zero_result_lookups(&loaded, 8_192, 7);
+        let stats = loaded.db.stats();
+        csv_row(&[
+            format!("{page_bytes}"),
+            format!("{}", page_bytes / 79), // encoded entry ≈ 79 B
+            f(w.ios_per_op),
+            f(r.ios_per_op),
+            f(stats.fence_bits as f64 / 8.0 / 1024.0),
+        ]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 1: default configurations of production key-value stores on the
+//! (update cost, lookup cost) plane, versus Monkey on the Pareto curve.
+//!
+//! Model-based, using the systems' documented defaults (§1/§6): leveling
+//! T=10 @ 10 bits/entry for LevelDB/RocksDB/cLSM/bLSM, leveling T=15 @ 16
+//! for WiredTiger, tiering T=4 @ 10 for Cassandra/HBase. Monkey shares
+//! LevelDB's structure but allocates its filter memory optimally.
+//!
+//! Output: CSV `system,policy,T,bits_per_entry,update_cost_ios,lookup_cost_ios`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::design_space::{preset_point, presets};
+use monkey_model::{Params, Policy};
+
+fn main() {
+    // Environment: 2^30 entries of 1 KiB (1 TB of data), 4 KiB pages,
+    // 2 MiB buffer — a production-scale shape for the model.
+    let base = Params::new(
+        (1u64 << 30) as f64,
+        8192.0,
+        32768.0,
+        8.0 * 2097152.0,
+        10.0,
+        Policy::Leveling,
+    );
+    eprintln!("# Figure 1: systems on the lookup/update cost plane");
+    eprintln!("# N=2^30, E=1KiB, page=4KiB, buffer=2MiB, phi=1");
+    csv_header(&["system", "policy", "T", "bits_per_entry", "update_cost_ios", "lookup_cost_ios"]);
+    for preset in presets() {
+        let point = preset_point(&base, &preset, 1.0);
+        csv_row(&[
+            preset.name.to_string(),
+            format!("{:?}", preset.policy),
+            format!("{}", preset.size_ratio),
+            format!("{}", preset.bits_per_entry),
+            f(point.update_cost),
+            f(point.lookup_cost),
+        ]);
+    }
+}

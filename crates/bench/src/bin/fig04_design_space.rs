@@ -1,0 +1,49 @@
+//! Figure 4: the LSM-tree design space from a write-optimized log to a
+//! read-optimized sorted array.
+//!
+//! Sweeps the size ratio `T` from 2 to `T_lim` under both merge policies
+//! (uniform state-of-the-art filters, as in the original figure) and prints
+//! the lookup/update cost trade-off curve. The two extremes are annotated:
+//! tiering at `T_lim` is a log, leveling at `T_lim` a sorted array.
+//!
+//! Output: CSV `policy,T,levels,update_cost_ios,lookup_cost_ios,extreme`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::design_space::{curve, ratio_sweep};
+use monkey_model::{Params, Policy};
+
+fn main() {
+    let base = Params::new(
+        (1u64 << 26) as f64,
+        8192.0,
+        32768.0,
+        8.0 * 2097152.0,
+        2.0,
+        Policy::Leveling,
+    );
+    let m_filters = 10.0 * base.entries;
+    let ts = ratio_sweep(base.t_lim(), 16);
+    eprintln!("# Figure 4: design space sweep, T in [2, T_lim={}]", base.t_lim());
+    csv_header(&["policy", "T", "levels", "update_cost_ios", "lookup_cost_ios", "extreme"]);
+    for policy in [Policy::Tiering, Policy::Leveling] {
+        for point in curve(&base, policy, &ts, m_filters, 1.0, false) {
+            let shaped = base.with_tuning(point.size_ratio, policy);
+            let extreme = if (point.size_ratio - base.t_lim()).abs() < 1e-6 {
+                match policy {
+                    Policy::Tiering => "log",
+                    Policy::Leveling => "sorted-array",
+                }
+            } else {
+                ""
+            };
+            csv_row(&[
+                format!("{policy:?}"),
+                f(point.size_ratio),
+                format!("{}", shaped.levels()),
+                f(point.update_cost),
+                f(point.lookup_cost),
+                extreme.to_string(),
+            ]);
+        }
+    }
+}

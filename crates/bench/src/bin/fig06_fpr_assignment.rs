@@ -1,0 +1,28 @@
+//! Figure 6: how Monkey assigns false positive rates across levels versus
+//! the state of the art, including the deep levels whose filters cease to
+//! exist as the lookup-cost budget `R` grows.
+//!
+//! Output: CSV `R,level,state_of_the_art_fpr,monkey_fpr,monkey_filtered`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::{baseline_fprs, optimal_fprs, Policy};
+
+fn main() {
+    let levels = 7;
+    let t = 2.0;
+    eprintln!("# Figure 6: FPR assignment per level, L={levels}, T={t}, leveling");
+    csv_header(&["R", "level", "state_of_the_art_fpr", "monkey_fpr", "monkey_filtered"]);
+    for r in [0.25, 0.5, 1.0, 2.5, 4.0] {
+        let monkey = optimal_fprs(levels, t, Policy::Leveling, r);
+        let base = baseline_fprs(levels, t, Policy::Leveling, r);
+        for level in 1..=levels {
+            csv_row(&[
+                f(r),
+                format!("{level}"),
+                f(base[level - 1]),
+                f(monkey[level - 1]),
+                format!("{}", monkey[level - 1] < 1.0),
+            ]);
+        }
+    }
+}

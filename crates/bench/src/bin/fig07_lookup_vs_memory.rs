@@ -1,0 +1,46 @@
+//! Figure 7: zero-result lookup cost `R` versus filter memory, Monkey vs.
+//! the state of the art, at the paper's own configuration: 512 TB of data
+//! (N = 2³⁵ entries of 16 bytes), size ratio T = 4, buffer 2 MiB, filter
+//! memory swept from 0 to 35 GB.
+//!
+//! The expected shape: the curves meet at M_filters = 0 (both degenerate to
+//! an unfiltered LSM-tree at R = L·X), Monkey's curve drops below the
+//! baseline everywhere else, and past M_threshold the baseline still decays
+//! like L·e^(−M/N·ln2²) while Monkey's plateau constant is T^(T/(T−1))/(T−1).
+//!
+//! Output: CSV `policy,m_filters_gb,bits_per_entry,monkey_R,baseline_R,l_unfiltered`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::{
+    baseline_zero_result_lookup_cost, l_unfiltered, m_threshold, zero_result_lookup_cost,
+    Params, Policy,
+};
+
+fn main() {
+    let entries = (1u64 << 35) as f64;
+    eprintln!("# Figure 7: R vs M_filters at the paper's 512TB configuration");
+    csv_header(&["policy", "m_filters_gb", "bits_per_entry", "monkey_R", "baseline_R", "l_unfiltered"]);
+    for policy in [Policy::Leveling, Policy::Tiering] {
+        let p = Params::new(entries, 16.0 * 8.0, 16384.0 * 8.0, 8.0 * 2097152.0, 4.0, policy);
+        eprintln!(
+            "# {policy:?}: L={}, M_threshold={:.2} GB",
+            p.levels(),
+            m_threshold(p.entries, p.size_ratio) / 8.0 / 1e9
+        );
+        // 0 to 35 GB in (uneven, knee-resolving) steps.
+        for &gb in &[
+            0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0,
+            16.0, 20.0, 24.0, 28.0, 32.0, 35.0,
+        ] {
+            let m_filters = gb * 8e9;
+            csv_row(&[
+                format!("{policy:?}"),
+                f(gb),
+                f(m_filters / p.entries),
+                f(zero_result_lookup_cost(&p, m_filters)),
+                f(baseline_zero_result_lookup_cost(&p, m_filters)),
+                format!("{}", l_unfiltered(&p, m_filters)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 8: the Figure 4 design-space curves with Monkey added — Monkey
+//! shifts the whole lookup/update trade-off down to the Pareto frontier
+//! for every merge policy and size ratio, meeting the state of the art
+//! only at the structural extremes (log / sorted array, where filters are
+//! irrelevant or the tree has one level).
+//!
+//! Output: CSV `allocation,policy,T,update_cost_ios,lookup_cost_ios`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::design_space::{curve, ratio_sweep};
+use monkey_model::{Params, Policy};
+
+fn main() {
+    let base = Params::new(
+        (1u64 << 26) as f64,
+        8192.0,
+        32768.0,
+        8.0 * 2097152.0,
+        2.0,
+        Policy::Leveling,
+    );
+    let m_filters = 10.0 * base.entries;
+    let ts = ratio_sweep(base.t_lim(), 16);
+    eprintln!("# Figure 8: Monkey vs state of the art across the whole design space");
+    csv_header(&["allocation", "policy", "T", "update_cost_ios", "lookup_cost_ios"]);
+    for (monkey, label) in [(false, "state-of-the-art"), (true, "monkey")] {
+        for policy in [Policy::Tiering, Policy::Leveling] {
+            for point in curve(&base, policy, &ts, m_filters, 1.0, monkey) {
+                csv_row(&[
+                    label.to_string(),
+                    format!("{policy:?}"),
+                    f(point.size_ratio),
+                    f(point.update_cost),
+                    f(point.lookup_cost),
+                ]);
+            }
+        }
+    }
+}

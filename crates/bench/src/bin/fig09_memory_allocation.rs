@@ -1,0 +1,42 @@
+//! Figure 9: lookup cost `R` and update cost `W` as the buffer/filter
+//! split of a fixed memory budget `M` sweeps from one page of buffer to
+//! all-buffer (filters cease to exist).
+//!
+//! The expected shape: the state-of-the-art lookup curve *falls* over a
+//! long stretch as buffer grows at the expense of filters (its filters
+//! harm it!), while Monkey's lookup cost is flat until the filters are
+//! squeezed below M_threshold/T^L; update cost falls logarithmically with
+//! buffer size for both — the "sweet spot" sits right before the lookup
+//! knee.
+//!
+//! Output: CSV `buffer_fraction,buffer_mb,filters_bpe,monkey_R,baseline_R,W`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::{
+    baseline_zero_result_lookup_cost, update_cost, zero_result_lookup_cost, Params, Policy,
+};
+
+fn main() {
+    // N = 2^26 1 KiB entries; M = buffer + filters = 16 bits/entry total.
+    let entries = (1u64 << 26) as f64;
+    let page_bits = 32768.0;
+    let m_total = 16.0 * entries;
+    eprintln!("# Figure 9: R and W vs buffer/filter memory split, T=4, leveling");
+    csv_header(&["buffer_fraction", "buffer_mb", "filters_bpe", "monkey_R", "baseline_R", "W"]);
+    let steps = 25;
+    for k in 0..=steps {
+        // Geometric sweep of the buffer share from one page to all of M.
+        let frac = (page_bits / m_total) * (m_total / page_bits).powf(k as f64 / steps as f64);
+        let buffer_bits = m_total * frac;
+        let filter_bits = m_total - buffer_bits;
+        let p = Params::new(entries, 8192.0, page_bits, buffer_bits, 4.0, Policy::Leveling);
+        csv_row(&[
+            f(frac),
+            f(buffer_bits / 8.0 / 1e6),
+            f(filter_bits / entries),
+            f(zero_result_lookup_cost(&p, filter_bits)),
+            f(baseline_zero_result_lookup_cost(&p, filter_bits)),
+            f(update_cost(&p, 1.0)),
+        ]);
+    }
+}

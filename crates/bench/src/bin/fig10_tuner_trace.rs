@@ -1,0 +1,52 @@
+//! Figure 10: the divide-and-conquer tuner's probe sequence as it
+//! linearizes the (merge policy × size ratio) space and homes in on the
+//! throughput-maximizing point.
+//!
+//! Output: CSV `workload_lookup_frac,step,i,policy,T,theta,accepted`,
+//! followed by the final choice per workload, and a comparison against the
+//! exhaustive argmin (they must agree).
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::tuner::tune_traced;
+use monkey_model::{
+    tune_exhaustive, Environment, MemoryAllocation, MemoryStrategy, Params, Policy,
+    TuningConstraints, Workload,
+};
+
+fn main() {
+    let base = Params::new(1048576.0, 8192.0, 32768.0, 8388608.0, 2.0, Policy::Leveling);
+    let strat = MemoryStrategy::Fixed(MemoryAllocation {
+        buffer_bits: base.buffer_bits,
+        filter_bits: 5.0 * base.entries,
+    });
+    let env = Environment::disk();
+    eprintln!("# Figure 10: tuner probe trace (paper Fig 11F configuration)");
+    csv_header(&["workload_lookup_frac", "step", "i", "policy", "T", "theta", "accepted"]);
+    for frac in [0.1, 0.5, 0.9] {
+        let wl = Workload::lookups_vs_updates(frac);
+        let mut trace = Vec::new();
+        let best = tune_traced(&base, &strat, &wl, &env, &TuningConstraints::default(), Some(&mut trace));
+        for (step, probe) in trace.iter().enumerate() {
+            csv_row(&[
+                f(frac),
+                format!("{step}"),
+                format!("{}", probe.i),
+                format!("{:?}", probe.policy),
+                f(probe.size_ratio),
+                f(probe.theta),
+                format!("{}", probe.accepted),
+            ]);
+        }
+        let exhaustive = tune_exhaustive(&base, &strat, &wl, &env, &TuningConstraints::default());
+        eprintln!(
+            "# frac={frac}: tuner -> {:?} T={} theta={:.5} ({} probes); exhaustive -> {:?} T={} theta={:.5}",
+            best.policy,
+            best.size_ratio,
+            best.theta,
+            trace.len(),
+            exhaustive.policy,
+            exhaustive.size_ratio,
+            exhaustive.theta,
+        );
+    }
+}

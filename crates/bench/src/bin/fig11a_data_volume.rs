@@ -1,0 +1,32 @@
+//! Figure 11(A): zero-result lookup cost vs. number of entries.
+//!
+//! Protocol (§5): load N entries uniformly at random, then issue uniformly
+//! distributed zero-result lookups; repeat for growing N. Expected shape:
+//! the uniform baseline's cost grows logarithmically with N (one more unit
+//! per added level) while Monkey's stays flat, so Monkey's margin grows
+//! with data volume (paper: 50–80%).
+//!
+//! Output: CSV `entries,levels,allocation,ios_per_lookup,latency_ms_disk`.
+
+use monkey_bench::*;
+
+fn main() {
+    let lookups = 8_192;
+    eprintln!("# Figure 11(A): lookup cost vs data volume (T=2, 5 bits/entry)");
+    csv_header(&["entries", "levels", "allocation", "ios_per_lookup", "latency_ms_disk"]);
+    for exp in [12u32, 13, 14, 15, 16, 17] {
+        let entries = 1u64 << exp;
+        for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
+            let cfg = ExpConfig { entries, ..ExpConfig::paper_default() }.with_filters(filters);
+            let loaded = load(&cfg, 42);
+            let m = zero_result_lookups(&loaded, lookups, 7);
+            csv_row(&[
+                format!("{entries}"),
+                format!("{}", loaded.db.stats().depth()),
+                filters.label(),
+                f(m.ios_per_op),
+                f(m.latency_ms_per_op),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 11(B): zero-result lookup cost vs. entry size, at a fixed number
+//! of entries.
+//!
+//! Growing entries deepen the tree (more levels for the same buffer), which
+//! costs the uniform baseline one unit of lookup cost per level while
+//! Monkey's cost stays flat — same mechanism as Figure 11(A), driven by `E`
+//! instead of `N`.
+//!
+//! Output: CSV `entry_bytes,levels,allocation,ios_per_lookup,latency_ms_disk`.
+
+use monkey_bench::*;
+
+fn main() {
+    let lookups = 8_192;
+    eprintln!("# Figure 11(B): lookup cost vs entry size (N=2^14, T=2, 5 bits/entry)");
+    csv_header(&["entry_bytes", "levels", "allocation", "ios_per_lookup", "latency_ms_disk"]);
+    for entry_bytes in [32usize, 64, 128, 256, 512] {
+        for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
+            let cfg = ExpConfig {
+                entries: 1 << 14,
+                entry_bytes,
+                page_bytes: 4096.max(entry_bytes * 4),
+                ..ExpConfig::paper_default()
+            }
+            .with_filters(filters);
+            let loaded = load(&cfg, 42);
+            let m = zero_result_lookups(&loaded, lookups, 7);
+            csv_row(&[
+                format!("{entry_bytes}"),
+                format!("{}", loaded.db.stats().depth()),
+                filters.label(),
+                f(m.ios_per_op),
+                f(m.latency_ms_per_op),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 11(C): zero-result lookup cost vs. the filter memory budget in
+//! bits per entry.
+//!
+//! Expected shape: at 0 bits both systems degenerate to an unfiltered
+//! LSM-tree and the curves meet; as memory grows Monkey drops much faster
+//! (the paper: it matches the baseline with up to ~60% less memory); at
+//! very high budgets both approach zero I/Os and nearly converge again.
+//!
+//! Output: CSV `bits_per_entry,allocation,ios_per_lookup,filter_bits_actual`.
+
+use monkey_bench::*;
+
+fn main() {
+    let lookups = 8_192;
+    eprintln!("# Figure 11(C): lookup cost vs bits/entry (N=2^16, T=2)");
+    csv_header(&["bits_per_entry", "allocation", "ios_per_lookup", "filter_bits_actual"]);
+    for bpe in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 14.0] {
+        let kinds = if bpe == 0.0 {
+            vec![FilterKind::None]
+        } else {
+            vec![FilterKind::Uniform(bpe), FilterKind::Monkey(bpe)]
+        };
+        for filters in kinds {
+            let cfg = ExpConfig::paper_default().with_filters(filters);
+            let loaded = load(&cfg, 42);
+            let m = zero_result_lookups(&loaded, lookups, 7);
+            csv_row(&[
+                f(bpe),
+                filters.label(),
+                f(m.ios_per_op),
+                format!("{}", loaded.db.stats().filter_bits),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 11(D): non-zero-result lookup cost vs. temporal locality
+//! coefficient `c`.
+//!
+//! Every lookup finds its key, so it costs at least one I/O (the paper's
+//! dotted "1 I/O per lookup" line); everything above that line is false
+//! positives at the levels probed on the way down. Expected shape: both
+//! systems are largely insensitive to `c` (even recent entries sit below
+//! several levels), the baseline drifts down slightly as locality rises,
+//! and Monkey is both lower (paper: up to ~30%) and flatter, because its
+//! shallow-level FPRs are exponentially small.
+//!
+//! Output: CSV `c,allocation,ios_per_lookup,excess_over_one_io`.
+
+use monkey_bench::*;
+
+fn main() {
+    let lookups = 8_192;
+    eprintln!("# Figure 11(D): existing-key lookup cost vs temporal locality");
+    csv_header(&["c", "allocation", "ios_per_lookup", "excess_over_one_io"]);
+    for c in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
+            let cfg = ExpConfig::paper_default().with_filters(filters);
+            let loaded = load(&cfg, 42);
+            let m = existing_lookups_temporal(&loaded, c, lookups, 7);
+            csv_row(&[
+                f(c),
+                filters.label(),
+                f(m.ios_per_op),
+                f(m.ios_per_op - 1.0),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 11(E): the measured lookup/update trade-off across merge
+//! policies and size ratios — Monkey shifts the whole curve down to the
+//! Pareto frontier.
+//!
+//! For each (policy, T) configuration we load the store, measure the
+//! amortized update cost of a fresh write batch, then the zero-result
+//! lookup cost. Expected shape: for every configuration Monkey's lookup
+//! cost is below the baseline's at identical update cost, and the
+//! (tiering, larger T) end trades lookup cost for cheaper updates.
+//!
+//! Output: CSV `config,allocation,update_ios_per_op,lookup_ios_per_op`.
+
+use monkey::MergePolicy;
+use monkey_bench::*;
+
+fn main() {
+    let lookups = 8_192;
+    let update_batch = 16_384;
+    eprintln!("# Figure 11(E): measured Pareto curve (labels as in the paper: T=tiering, L=leveling)");
+    csv_header(&["config", "allocation", "update_ios_per_op", "lookup_ios_per_op"]);
+    let points = [
+        (MergePolicy::Tiering, 8usize),
+        (MergePolicy::Tiering, 4),
+        (MergePolicy::Tiering, 3),
+        (MergePolicy::Leveling, 2), // T=2: tiering == leveling
+        (MergePolicy::Leveling, 3),
+        (MergePolicy::Leveling, 4),
+        (MergePolicy::Leveling, 8),
+    ];
+    for (policy, t) in points {
+        let label = format!(
+            "{}{}",
+            match policy {
+                MergePolicy::Tiering => "T",
+                MergePolicy::Leveling => "L",
+            },
+            t
+        );
+        for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
+            let cfg = ExpConfig {
+                policy,
+                size_ratio: t,
+                ..ExpConfig::paper_default()
+            }
+            .with_filters(filters);
+            let loaded = load(&cfg, 42);
+            let w = updates(&loaded, update_batch, 5);
+            // Re-fit filters after the update batch reshaped the tree.
+            loaded.db.rebuild_filters().expect("rebuild");
+            loaded.db.reset_io();
+            let r = zero_result_lookups(&loaded, lookups, 7);
+            csv_row(&[
+                label.clone(),
+                filters.label(),
+                f(w.ios_per_op),
+                f(r.ios_per_op),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 11(F): throughput vs. the lookup/update ratio for three systems:
+//!
+//! * **LevelDB** — uniform filters, fixed size ratio 2;
+//! * **Fixed Monkey** — Monkey's filters, same fixed structure;
+//! * **Navigable Monkey** — Monkey's filters plus the Appendix D tuner
+//!   choosing (merge policy, size ratio) per workload mix.
+//!
+//! Expected shape: Fixed Monkey above LevelDB everywhere; Navigable Monkey
+//! on top with a bell-shaped advantage (extreme mixes admit more
+//! specialized tunings; the paper reports >2× at the edges), adopting
+//! tiering for update-heavy mixes and larger-T leveling for lookup-heavy
+//! ones (its labels: T4..T2/L2..L16).
+//!
+//! Output: CSV `lookup_fraction,system,config,throughput_ops_per_sec`.
+
+use monkey::MergePolicy;
+use monkey_bench::*;
+use monkey_model::{
+    tune, Environment, MemoryAllocation, MemoryStrategy, Params, Policy, TuningConstraints,
+    Workload,
+};
+
+fn main() {
+    let ops = 65_536;
+    let base_cfg = ExpConfig::paper_default();
+    eprintln!("# Figure 11(F): throughput vs lookup/update ratio");
+    csv_header(&["lookup_fraction", "system", "config", "throughput_ops_per_sec"]);
+
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        // LevelDB baseline and Fixed Monkey: T=2 leveling.
+        for (system, filters) in [
+            ("leveldb", FilterKind::Uniform(5.0)),
+            ("fixed-monkey", FilterKind::Monkey(5.0)),
+        ] {
+            let loaded = load(&base_cfg.with_filters(filters), 42);
+            let tput = mixed_phase(&loaded, frac, ops, 7);
+            csv_row(&[f(frac), system.into(), "L2".into(), f(tput)]);
+        }
+
+        // Navigable Monkey: ask the model for the best (policy, T) at this
+        // mix, then run that configuration.
+        let params = Params::new(
+            base_cfg.entries as f64,
+            (base_cfg.entry_bytes * 8) as f64,
+            (base_cfg.page_bytes * 8) as f64,
+            (base_cfg.buffer_bytes * 8) as f64,
+            2.0,
+            Policy::Leveling,
+        );
+        let strat = MemoryStrategy::Fixed(MemoryAllocation {
+            buffer_bits: params.buffer_bits,
+            filter_bits: 5.0 * params.entries,
+        });
+        let tuning = tune(
+            &params,
+            &strat,
+            &Workload::lookups_vs_updates(frac),
+            &Environment::disk(),
+            &TuningConstraints::default(),
+        );
+        let policy = match tuning.policy {
+            Policy::Leveling => MergePolicy::Leveling,
+            Policy::Tiering => MergePolicy::Tiering,
+        };
+        // Cap T so the experiment stays within harness scale.
+        let t = (tuning.size_ratio.round() as usize).clamp(2, 32);
+        let cfg = ExpConfig {
+            policy,
+            size_ratio: t,
+            ..base_cfg
+        }
+        .with_filters(FilterKind::Monkey(5.0));
+        let loaded = load(&cfg, 42);
+        let tput = mixed_phase(&loaded, frac, ops, 7);
+        let label = format!(
+            "{}{}",
+            match policy {
+                MergePolicy::Tiering => "T",
+                MergePolicy::Leveling => "L",
+            },
+            t
+        );
+        csv_row(&[f(frac), "navigable-monkey".into(), label, f(tput)]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Extension experiment: key-value separation (WiscKey, §6) measured on
+//! the live engine against the adapted cost model.
+//!
+//! Output: CSV
+//! `mode,load_page_writes,update_writes_per_op,found_lookup_ios,model_W,model_V`.
+
+use monkey::{model_params_for, Db, DbOptions, DbOptionsExt};
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::{
+    kv_separated_lookup_cost, kv_separated_update_cost, non_zero_result_lookup_cost,
+    update_cost,
+};
+use monkey_workload::KeySpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const N: u64 = 1 << 13;
+const ENTRY: usize = 256; // big values: separation pays
+
+fn build(separate: bool) -> (Arc<Db>, KeySpace) {
+    let opts = DbOptions::in_memory()
+        .page_size(2048)
+        .buffer_capacity(8 << 10)
+        .size_ratio(2)
+        .monkey_filters(5.0);
+    let opts = if separate { opts.value_separation(64) } else { opts };
+    let db = Db::open(opts).unwrap();
+    let keys = KeySpace::with_entry_size(N, ENTRY);
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in keys.shuffled_indices(&mut rng) {
+        db.put(keys.existing_key(i), keys.value_for(i)).unwrap();
+    }
+    (db, keys)
+}
+
+fn main() {
+    eprintln!("# KV separation: measured vs adapted model (N=2^13 x 256B, 2KiB pages)");
+    csv_header(&[
+        "mode",
+        "load_page_writes",
+        "update_writes_per_op",
+        "found_lookup_ios",
+        "model_W",
+        "model_V",
+    ]);
+    for separate in [false, true] {
+        let (db, keys) = build(separate);
+        let load_writes = db.io().page_writes;
+
+        // Update phase.
+        db.reset_io();
+        let mut rng = StdRng::seed_from_u64(7);
+        let updates = N;
+        for _ in 0..updates {
+            let (i, k) = keys.random_existing(&mut rng);
+            db.put(k, keys.value_for(i)).unwrap();
+        }
+        let w_measured = db.io().page_writes as f64 / updates as f64;
+
+        // Found-lookup phase.
+        db.rebuild_filters().unwrap();
+        db.reset_io();
+        let lookups = 4096u64;
+        for _ in 0..lookups {
+            let (_, k) = keys.random_existing(&mut rng);
+            assert!(db.get(&k).unwrap().is_some());
+        }
+        let v_measured = db.io().page_reads as f64 / lookups as f64;
+
+        // Model predictions.
+        let stats = db.stats();
+        let params = model_params_for(db.options(), N, ENTRY);
+        let m_filters = stats.filter_bits as f64;
+        // Key (16 B) + pointer (14 B) + header (15 B) = 45 B on a page.
+        let kp_bits = 45.0 * 8.0;
+        let (model_w, model_v) = if separate {
+            (
+                kv_separated_update_cost(&params, 1.0, kp_bits),
+                kv_separated_lookup_cost(&params, m_filters, kp_bits),
+            )
+        } else {
+            (update_cost(&params, 1.0), non_zero_result_lookup_cost(&params, m_filters))
+        };
+        csv_row(&[
+            if separate { "separated" } else { "inline" }.into(),
+            format!("{load_writes}"),
+            f(w_measured),
+            f(v_measured),
+            f(model_w),
+            f(model_v),
+        ]);
+    }
+}

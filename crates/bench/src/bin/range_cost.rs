@@ -1,0 +1,47 @@
+//! Range lookup cost (Eq. 11): `Q = s·N/B + seeks`, one seek per run.
+//!
+//! Not a paper figure (the paper models Q in §4.2 but does not plot it);
+//! this sweep validates the equation on the live engine across selectivity
+//! and merge policy — tiering pays more seeks (more runs), both pay the
+//! same sequential scan volume.
+//!
+//! Output: CSV `policy,T,selectivity,runs,measured_pages,measured_seeks,model_q`.
+
+use monkey::{model_params_for, MergePolicy};
+use monkey_bench::*;
+use monkey_model::range_lookup_cost;
+
+fn main() {
+    eprintln!("# Range lookup cost vs Eq. 11 (N=2^15 x 64B)");
+    csv_header(&["policy", "T", "selectivity", "runs", "measured_pages", "measured_seeks", "model_q"]);
+    for (policy, t) in [(MergePolicy::Leveling, 2usize), (MergePolicy::Tiering, 4)] {
+        let cfg = ExpConfig {
+            entries: 1 << 15,
+            policy,
+            size_ratio: t,
+            ..ExpConfig::paper_default()
+        };
+        let loaded = load(&cfg, 42);
+        for s in [0.001, 0.01, 0.1, 0.5] {
+            loaded.db.reset_io();
+            let span = ((cfg.entries as f64 * s) as u64).max(1);
+            let start = (cfg.entries - span) / 2;
+            let lo = loaded.keys.existing_key(start);
+            let hi = loaded.keys.existing_key(start + span - 1);
+            let rows = loaded.db.range(&lo, Some(&hi)).unwrap().count();
+            assert!(rows as u64 >= span - 1);
+            let io = loaded.db.io();
+            let stats = loaded.db.stats();
+            let params = model_params_for(loaded.db.options(), stats.disk_entries, cfg.entry_bytes);
+            csv_row(&[
+                format!("{policy:?}"),
+                format!("{t}"),
+                f(s),
+                format!("{}", stats.runs),
+                format!("{}", io.page_reads),
+                format!("{}", io.seeks),
+                f(range_lookup_cost(&params, s)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Table 1: asymptotic behaviour, checked numerically.
+//!
+//! The table's claims, verified as scaling series:
+//!
+//! 1. With `M_filters/N` fixed (> threshold), Monkey's lookup cost is flat
+//!    in `N` while the state of the art grows by a constant per `N×T`
+//!    (i.e. logarithmically) — rows 2/3, columns (c) vs (e).
+//! 2. Monkey's lookup cost is independent of the buffer size; the
+//!    baseline's is not (the `M_buffer` term disappears from column (e)).
+//! 3. At `T = T_lim` both collapse into a log (tiering) or sorted array
+//!    (leveling) — rows 1/4.
+//! 4. Below `M_threshold`, Monkey's cost grows like the unfiltered-level
+//!    count — columns (b)/(d).
+//!
+//! Output: CSV `series,x,monkey_R,baseline_R,levels`.
+
+use monkey_bench::{csv_header, csv_row, f};
+use monkey_model::{
+    baseline_zero_result_lookup_cost, m_threshold, update_cost, zero_result_lookup_cost,
+    Params, Policy,
+};
+
+fn params(n: f64, buffer_bits: f64, t: f64) -> Params {
+    Params::new(n, 8192.0, 32768.0, buffer_bits, t, Policy::Leveling)
+}
+
+fn main() {
+    csv_header(&["series", "x", "monkey_R", "baseline_R", "levels"]);
+
+    // Claim 1: scale N at fixed bits/entry = 5 (> 1.44 threshold).
+    eprintln!("# claim 1: R vs N at fixed 5 bits/entry (monkey flat, baseline log)");
+    for exp in [20u32, 22, 24, 26, 28, 30, 32] {
+        let n = 2f64.powi(exp as i32);
+        let p = params(n, 8.0 * 2097152.0, 2.0);
+        csv_row(&[
+            "scale-N".into(),
+            format!("2^{exp}"),
+            f(zero_result_lookup_cost(&p, 5.0 * n)),
+            f(baseline_zero_result_lookup_cost(&p, 5.0 * n)),
+            format!("{}", p.levels()),
+        ]);
+    }
+
+    // Claim 2: scale the buffer at fixed N and filter memory.
+    eprintln!("# claim 2: R vs buffer size (monkey flat, baseline falls with L)");
+    let n = 2f64.powi(26);
+    for mb in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let p = params(n, mb * 8e6, 2.0);
+        csv_row(&[
+            "scale-buffer".into(),
+            format!("{mb}MB"),
+            f(zero_result_lookup_cost(&p, 5.0 * n)),
+            f(baseline_zero_result_lookup_cost(&p, 5.0 * n)),
+            format!("{}", p.levels()),
+        ]);
+    }
+
+    // Claim 3: T -> T_lim degenerates to one level for both.
+    eprintln!("# claim 3: T=T_lim collapse (rows 1 and 4 of Table 1)");
+    let p = params(n, 8.0 * 2097152.0, 2.0);
+    let tlim = p.t_lim();
+    for policy in [Policy::Leveling, Policy::Tiering] {
+        let collapsed = Params { policy, ..p }.with_tuning(tlim, policy);
+        csv_row(&[
+            format!("t-lim-{policy:?}"),
+            f(tlim),
+            f(zero_result_lookup_cost(&collapsed, 5.0 * n)),
+            f(baseline_zero_result_lookup_cost(&collapsed, 5.0 * n)),
+            format!("{}", collapsed.levels()),
+        ]);
+        eprintln!(
+            "#   {policy:?} at T_lim: W = {:.6} I/Os ({} expected)",
+            update_cost(&collapsed, 1.0),
+            match policy {
+                Policy::Tiering => "O(1/B), log",
+                Policy::Leveling => "O(N*E/(B*M_buffer)), sorted array",
+            }
+        );
+    }
+
+    // Claim 4: below the threshold, unfiltered levels dominate.
+    eprintln!(
+        "# claim 4: R vs bits/entry below threshold ({:.3} b/e at T=2)",
+        m_threshold(1.0, 2.0)
+    );
+    let p = params(n, 8.0 * 2097152.0, 2.0);
+    for bpe in [0.0, 0.2, 0.5, 0.8, 1.0, 1.2, 1.44, 2.0, 5.0] {
+        csv_row(&[
+            "scale-bpe".into(),
+            f(bpe),
+            f(zero_result_lookup_cost(&p, bpe * n)),
+            f(baseline_zero_result_lookup_cost(&p, bpe * n)),
+            format!("{}", p.levels()),
+        ]);
+    }
+}

@@ -1,0 +1,208 @@
+//! A compact, fixed-size bit vector backing the Bloom filter.
+
+/// A fixed-length bit vector stored in 64-bit words.
+///
+/// The length is fixed at construction. Bits are addressed `0..len()`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector with `len` bits, all cleared.
+    pub fn new(len: usize) -> Self {
+        let words = vec![0u64; len.div_ceil(64)];
+        Self { words, len }
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit at `idx`. Returns whether the bit was previously set.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let was = *word & mask != 0;
+        *word |= mask;
+        was
+    }
+
+    /// Returns the bit at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits set, in `[0, 1]`. Returns 0 for an empty vector.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Memory occupied by the bit data itself, in bits (a multiple of 64).
+    pub fn allocated_bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Serializes the vector as an 8-byte little-endian length followed by
+    /// the raw words.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Deserializes a vector produced by [`encode`](Self::encode).
+    /// Returns the vector and the number of bytes consumed, or `None` when
+    /// the input is truncated.
+    pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 8 {
+            return None;
+        }
+        let len = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
+        let nwords = len.div_ceil(64);
+        let need = 8 + nwords * 8;
+        if buf.len() < need {
+            return None;
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            let off = 8 + i * 8;
+            words.push(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
+        }
+        Some((Self { words, len }, need))
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitVec")
+            .field("len", &self.len)
+            .field("ones", &self.count_ones())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let bv = BitVec::new(130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        for i in 0..130 {
+            assert!(!bv.get(i));
+        }
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut bv = BitVec::new(200);
+        for i in (0..200).step_by(3) {
+            assert!(!bv.set(i), "first set reports previously clear");
+        }
+        for i in 0..200 {
+            assert_eq!(bv.get(i), i % 3 == 0);
+        }
+        assert_eq!(bv.count_ones(), 67);
+    }
+
+    #[test]
+    fn set_reports_already_set() {
+        let mut bv = BitVec::new(10);
+        assert!(!bv.set(7));
+        assert!(bv.set(7));
+    }
+
+    #[test]
+    fn boundary_bits() {
+        let mut bv = BitVec::new(128);
+        bv.set(0);
+        bv.set(63);
+        bv.set(64);
+        bv.set(127);
+        assert!(bv.get(0) && bv.get(63) && bv.get(64) && bv.get(127));
+        assert_eq!(bv.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::new(64).get(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitVec::new(0).set(0);
+    }
+
+    #[test]
+    fn fill_ratio_empty_and_half() {
+        assert_eq!(BitVec::new(0).fill_ratio(), 0.0);
+        let mut bv = BitVec::new(4);
+        bv.set(0);
+        bv.set(1);
+        assert!((bv.fill_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut bv = BitVec::new(77);
+        for i in [0, 5, 13, 64, 76] {
+            bv.set(i);
+        }
+        let mut buf = Vec::new();
+        bv.encode(&mut buf);
+        let (back, used) = BitVec::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, bv);
+    }
+
+    #[test]
+    fn decode_truncated_is_none() {
+        let mut bv = BitVec::new(100);
+        bv.set(42);
+        let mut buf = Vec::new();
+        bv.encode(&mut buf);
+        assert!(BitVec::decode(&buf[..buf.len() - 1]).is_none());
+        assert!(BitVec::decode(&buf[..4]).is_none());
+    }
+
+    #[test]
+    fn allocated_bits_rounds_up_to_words() {
+        assert_eq!(BitVec::new(1).allocated_bits(), 64);
+        assert_eq!(BitVec::new(64).allocated_bits(), 64);
+        assert_eq!(BitVec::new(65).allocated_bits(), 128);
+    }
+}

@@ -1,0 +1,292 @@
+//! The Bloom filter proper.
+
+use crate::bits::BitVec;
+use crate::hash::{hash_pair, probe};
+use crate::math;
+
+/// A Bloom filter over byte-string keys.
+///
+/// Construction fixes the number of bits and hash functions; see
+/// [`BloomFilterBuilder`] for choosing them from a memory budget or a target
+/// false positive rate, as Monkey's per-level allocation does.
+///
+/// A filter built with zero bits is a valid degenerate filter that reports
+/// *maybe* for every key (false positive rate 1) — this is how Monkey models
+/// "unfiltered" deep levels, where the optimal FPR converges to 1 and the
+/// filter ceases to exist (paper §4.1).
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: BitVec,
+    hashes: u32,
+    entries: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_entries` keys at `bits_per_entry`
+    /// bits each, with the optimal hash count for that budget.
+    ///
+    /// `bits_per_entry <= 0` yields the degenerate always-positive filter.
+    pub fn with_bits_per_entry(expected_entries: u64, bits_per_entry: f64) -> Self {
+        BloomFilterBuilder::new(expected_entries)
+            .bits_per_entry(bits_per_entry)
+            .build()
+    }
+
+    /// Creates a filter sized for `expected_entries` keys at the target
+    /// false positive rate `fpr` (Equation 2 rearranged).
+    pub fn with_fpr(expected_entries: u64, fpr: f64) -> Self {
+        BloomFilterBuilder::new(expected_entries).fpr(fpr).build()
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        self.entries += 1;
+        if self.bits.is_empty() {
+            return;
+        }
+        let pair = hash_pair(key);
+        for i in 0..self.hashes {
+            let pos = probe(pair, i, self.bits.len());
+            self.bits.set(pos);
+        }
+    }
+
+    /// Tests a key. `false` means the key is definitely absent; `true` means
+    /// it may be present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        if self.bits.is_empty() {
+            return true; // degenerate filter: always a (possible) positive
+        }
+        let pair = hash_pair(key);
+        (0..self.hashes).all(|i| self.bits.get(probe(pair, i, self.bits.len())))
+    }
+
+    /// Number of bits in the filter's bit array.
+    pub fn nbits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> u32 {
+        self.hashes
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        self.entries
+    }
+
+    /// Main-memory footprint of the filter in bits (bit array, rounded up to
+    /// whole words). This is what counts against `M_filters` in the model.
+    pub fn memory_bits(&self) -> usize {
+        self.bits.allocated_bits()
+    }
+
+    /// The false positive rate predicted by Equation 2 for this filter's
+    /// actual bits and inserted entries.
+    pub fn theoretical_fpr(&self) -> f64 {
+        math::false_positive_rate(self.bits.len() as f64, self.entries as f64)
+    }
+
+    /// Serializes the filter: hash count, entry count, then the bit vector.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.hashes.to_le_bytes());
+        out.extend_from_slice(&self.entries.to_le_bytes());
+        self.bits.encode(out);
+    }
+
+    /// Deserializes a filter produced by [`encode`](Self::encode). Returns
+    /// the filter and bytes consumed, or `None` on truncated input.
+    pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let hashes = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        let entries = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+        let (bits, used) = BitVec::decode(&buf[12..])?;
+        Some((Self { bits, hashes, entries }, 12 + used))
+    }
+}
+
+/// Builder fixing a filter's geometry from a memory budget or FPR target.
+#[derive(Debug, Clone)]
+pub struct BloomFilterBuilder {
+    expected_entries: u64,
+    total_bits: usize,
+    hashes: Option<u32>,
+}
+
+impl BloomFilterBuilder {
+    /// Starts a builder for a filter covering `expected_entries` keys.
+    /// Without further configuration, builds with the LevelDB-default
+    /// 10 bits per entry.
+    pub fn new(expected_entries: u64) -> Self {
+        Self {
+            expected_entries,
+            total_bits: (expected_entries as usize).saturating_mul(10),
+            hashes: None,
+        }
+    }
+
+    /// Allocates `bpe` bits per expected entry. Non-positive budgets yield
+    /// the degenerate always-positive filter.
+    pub fn bits_per_entry(mut self, bpe: f64) -> Self {
+        let bits = (bpe * self.expected_entries as f64).round();
+        self.total_bits = if bits.is_finite() && bits > 0.0 { bits as usize } else { 0 };
+        self
+    }
+
+    /// Allocates an absolute number of bits.
+    pub fn total_bits(mut self, bits: usize) -> Self {
+        self.total_bits = bits;
+        self
+    }
+
+    /// Sizes the filter for a target false positive rate via Equation 2.
+    /// An `fpr >= 1` yields the degenerate filter.
+    pub fn fpr(mut self, fpr: f64) -> Self {
+        let bits = math::bits_for_fpr(self.expected_entries as f64, fpr);
+        self.total_bits = bits.round() as usize;
+        self
+    }
+
+    /// Overrides the hash count (otherwise the Eq.-2-optimal count is used).
+    pub fn hash_count(mut self, k: u32) -> Self {
+        self.hashes = Some(k.max(1));
+        self
+    }
+
+    /// Builds the filter.
+    pub fn build(self) -> BloomFilter {
+        let hashes = if self.total_bits == 0 || self.expected_entries == 0 {
+            1
+        } else {
+            self.hashes.unwrap_or_else(|| {
+                math::optimal_hash_count(self.total_bits as f64 / self.expected_entries as f64)
+            })
+        };
+        BloomFilter {
+            bits: BitVec::new(self.total_bits),
+            hashes,
+            entries: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64, tag: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|i| {
+            let mut k = vec![tag];
+            k.extend_from_slice(&i.to_be_bytes());
+            k
+        }).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let present = keys(5_000, 0);
+        let mut f = BloomFilter::with_bits_per_entry(5_000, 8.0);
+        for k in &present {
+            f.insert(k);
+        }
+        for k in &present {
+            assert!(f.contains(k), "false negative");
+        }
+    }
+
+    #[test]
+    fn empirical_fpr_tracks_equation_two() {
+        let n = 20_000u64;
+        for &bpe in &[4.0, 8.0, 12.0] {
+            let mut f = BloomFilter::with_bits_per_entry(n, bpe);
+            for k in keys(n, 0) {
+                f.insert(&k);
+            }
+            let probes = 50_000u64;
+            let fp = keys(probes, 1).iter().filter(|k| f.contains(k)).count();
+            let measured = fp as f64 / probes as f64;
+            let predicted = math::false_positive_rate(bpe * n as f64, n as f64);
+            // Equation 2 is asymptotic; allow 2.5x slack either way plus an
+            // absolute floor for tiny rates.
+            assert!(
+                measured < predicted * 2.5 + 1e-3,
+                "bpe={bpe}: measured {measured} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_bit_filter_always_positive() {
+        let mut f = BloomFilter::with_bits_per_entry(100, 0.0);
+        assert_eq!(f.nbits(), 0);
+        assert!(f.contains(b"anything"));
+        f.insert(b"x");
+        assert!(f.contains(b"y"));
+        assert_eq!(f.theoretical_fpr(), 1.0);
+    }
+
+    #[test]
+    fn fpr_constructor_matches_math() {
+        let f = BloomFilter::with_fpr(1000, 0.01);
+        let want = math::bits_for_fpr(1000.0, 0.01).round() as usize;
+        assert_eq!(f.nbits(), want);
+    }
+
+    #[test]
+    fn fpr_of_one_builds_degenerate_filter() {
+        let f = BloomFilter::with_fpr(1000, 1.0);
+        assert_eq!(f.nbits(), 0);
+        assert!(f.contains(b"anything"));
+    }
+
+    #[test]
+    fn builder_hash_count_override() {
+        let f = BloomFilterBuilder::new(10).bits_per_entry(10.0).hash_count(3).build();
+        assert_eq!(f.hash_count(), 3);
+    }
+
+    #[test]
+    fn builder_default_is_ten_bits_per_entry() {
+        let f = BloomFilterBuilder::new(100).build();
+        assert_eq!(f.nbits(), 1000);
+        assert_eq!(f.hash_count(), 7);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_behaviour() {
+        let mut f = BloomFilter::with_bits_per_entry(500, 10.0);
+        for k in keys(500, 3) {
+            f.insert(&k);
+        }
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let (g, used) = BloomFilter::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(g.nbits(), f.nbits());
+        assert_eq!(g.hash_count(), f.hash_count());
+        assert_eq!(g.inserted(), 500);
+        for k in keys(500, 3) {
+            assert!(g.contains(&k));
+        }
+    }
+
+    #[test]
+    fn decode_truncated_is_none() {
+        let mut f = BloomFilter::with_bits_per_entry(10, 10.0);
+        f.insert(b"k");
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        for cut in [0, 5, 11, buf.len() - 1] {
+            assert!(BloomFilter::decode(&buf[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn memory_bits_counts_whole_words() {
+        let f = BloomFilterBuilder::new(1).total_bits(65).build();
+        assert_eq!(f.memory_bits(), 128);
+    }
+}

@@ -1,0 +1,139 @@
+//! The Bloom filter accuracy model used throughout the Monkey paper.
+//!
+//! Equation 2 of the paper relates a filter's false positive rate to its
+//! memory budget, assuming the optimal number of hash functions:
+//!
+//! ```text
+//! FPR = e^(-(bits/entries) * ln(2)^2)        (Eq. 2)
+//! bits = -entries * ln(FPR) / ln(2)^2        (Eq. 2 rearranged)
+//! k    = (bits/entries) * ln(2)
+//! ```
+//!
+//! These closed forms are what the `monkey-model` crate optimizes over; this
+//! module is the single source of truth for them so the analytical model and
+//! the concrete filters in [`crate::BloomFilter`] can never drift apart.
+
+/// `ln(2)^2`, the constant in Equation 2.
+pub const LN2_SQUARED: f64 = core::f64::consts::LN_2 * core::f64::consts::LN_2;
+
+/// False positive rate of a filter with `bits` bits over `entries` entries
+/// (Equation 2). Both arguments are real-valued because the model treats
+/// them continuously.
+///
+/// Degenerate cases: zero entries never produce false positives (rate 0);
+/// zero bits always do (rate 1).
+#[inline]
+pub fn false_positive_rate(bits: f64, entries: f64) -> f64 {
+    if entries <= 0.0 {
+        return 0.0;
+    }
+    if bits <= 0.0 {
+        return 1.0;
+    }
+    (-(bits / entries) * LN2_SQUARED).exp()
+}
+
+/// Bits required for a target false positive rate over `entries` entries
+/// (Equation 2 rearranged). An `fpr >= 1` needs no filter at all (0 bits).
+///
+/// # Panics
+/// Panics if `fpr <= 0` (a zero false-positive rate needs infinite memory).
+#[inline]
+pub fn bits_for_fpr(entries: f64, fpr: f64) -> f64 {
+    assert!(fpr > 0.0, "false positive rate must be positive, got {fpr}");
+    if fpr >= 1.0 || entries <= 0.0 {
+        return 0.0;
+    }
+    -entries * fpr.ln() / LN2_SQUARED
+}
+
+/// Optimal number of hash functions for a given bits-per-entry budget:
+/// `k = (bits/entries) * ln 2`, rounded to the nearest integer and clamped
+/// to at least 1.
+#[inline]
+pub fn optimal_hash_count(bits_per_entry: f64) -> u32 {
+    let k = bits_per_entry * core::f64::consts::LN_2;
+    (k.round() as i64).clamp(1, 64) as u32
+}
+
+/// Bits-per-entry for a target false positive rate.
+#[inline]
+pub fn bits_per_entry_for_fpr(fpr: f64) -> f64 {
+    bits_for_fpr(1.0, fpr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_bits_per_entry_is_about_one_percent() {
+        // The paper (§2): "All implementations use 10 bits per entry...
+        // The corresponding false positive rate is ~1%."
+        let fpr = false_positive_rate(10.0, 1.0);
+        assert!((0.008..0.0101).contains(&fpr), "got {fpr}");
+    }
+
+    #[test]
+    fn fpr_and_bits_are_inverses() {
+        for &bpe in &[0.5, 1.0, 2.0, 5.0, 10.0, 16.0] {
+            let entries = 12345.0;
+            let fpr = false_positive_rate(bpe * entries, entries);
+            let bits = bits_for_fpr(entries, fpr);
+            assert!(
+                (bits - bpe * entries).abs() / (bpe * entries) < 1e-12,
+                "bpe={bpe}: {bits} vs {}",
+                bpe * entries
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bits_means_fpr_one() {
+        assert_eq!(false_positive_rate(0.0, 100.0), 1.0);
+        assert_eq!(false_positive_rate(-5.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn zero_entries_means_fpr_zero() {
+        assert_eq!(false_positive_rate(100.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fpr_one_needs_no_bits() {
+        assert_eq!(bits_for_fpr(1000.0, 1.0), 0.0);
+        assert_eq!(bits_for_fpr(1000.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fpr_zero_panics() {
+        bits_for_fpr(1000.0, 0.0);
+    }
+
+    #[test]
+    fn fpr_monotone_in_bits() {
+        let mut prev = 1.0;
+        for bits in 1..100 {
+            let fpr = false_positive_rate(bits as f64 * 100.0, 100.0);
+            assert!(fpr < prev);
+            prev = fpr;
+        }
+    }
+
+    #[test]
+    fn optimal_hash_count_matches_theory() {
+        // k = bpe * ln2; 10 bpe -> ~6.93 -> 7 hashes.
+        assert_eq!(optimal_hash_count(10.0), 7);
+        assert_eq!(optimal_hash_count(5.0), 3);
+        assert_eq!(optimal_hash_count(1.0), 1);
+        // Tiny budgets still use at least one hash.
+        assert_eq!(optimal_hash_count(0.1), 1);
+    }
+
+    #[test]
+    fn bits_per_entry_for_one_percent() {
+        let bpe = bits_per_entry_for_fpr(0.01);
+        assert!((9.5..9.7).contains(&bpe), "got {bpe}");
+    }
+}

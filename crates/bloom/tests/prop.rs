@@ -1,0 +1,99 @@
+//! Property-based tests for the Bloom filter crate.
+
+use monkey_bloom::{math, BitVec, BloomFilter, BloomFilterBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// A Bloom filter never produces a false negative, for any key set and
+    /// any (positive) memory budget.
+    #[test]
+    fn no_false_negatives(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..200),
+        bpe in 0.5f64..20.0,
+    ) {
+        let mut f = BloomFilter::with_bits_per_entry(keys.len() as u64, bpe);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// Filter serialization round-trips exactly: same geometry, same answers.
+    #[test]
+    fn filter_encode_decode_roundtrip(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..100),
+        bpe in 0.0f64..16.0,
+    ) {
+        let mut f = BloomFilter::with_bits_per_entry(keys.len().max(1) as u64, bpe);
+        for k in &keys {
+            f.insert(k);
+        }
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let (g, used) = BloomFilter::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(g.nbits(), f.nbits());
+        prop_assert_eq!(g.hash_count(), f.hash_count());
+        for k in &keys {
+            prop_assert!(g.contains(k));
+        }
+    }
+
+    /// BitVec set/get agree with a model `Vec<bool>`.
+    #[test]
+    fn bitvec_matches_model(len in 1usize..512, idxs in proptest::collection::vec(any::<usize>(), 0..100)) {
+        let mut bv = BitVec::new(len);
+        let mut model = vec![false; len];
+        for &i in &idxs {
+            let i = i % len;
+            let was = bv.set(i);
+            prop_assert_eq!(was, model[i]);
+            model[i] = true;
+        }
+        for (i, &want) in model.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), want);
+        }
+        prop_assert_eq!(bv.count_ones(), model.iter().filter(|&&b| b).count());
+    }
+
+    /// BitVec serialization round-trips for arbitrary lengths.
+    #[test]
+    fn bitvec_encode_decode(len in 0usize..300, idxs in proptest::collection::vec(any::<usize>(), 0..64)) {
+        let mut bv = BitVec::new(len);
+        for &i in &idxs {
+            if len > 0 {
+                bv.set(i % len);
+            }
+        }
+        let mut buf = Vec::new();
+        bv.encode(&mut buf);
+        let (back, used) = BitVec::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back, bv);
+    }
+
+    /// Equation 2 and its inverse stay consistent across the whole range the
+    /// model uses.
+    #[test]
+    fn eq2_inverse_consistency(entries in 1.0f64..1e9, fpr in 1e-9f64..1.0) {
+        let bits = math::bits_for_fpr(entries, fpr);
+        let back = math::false_positive_rate(bits, entries);
+        prop_assert!((back - fpr).abs() / fpr < 1e-9, "fpr {} -> bits {} -> {}", fpr, bits, back);
+    }
+
+    /// More memory never increases the theoretical FPR.
+    #[test]
+    fn fpr_monotone(entries in 1.0f64..1e6, b1 in 0.0f64..1e7, b2 in 0.0f64..1e7) {
+        let (lo, hi) = if b1 < b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(math::false_positive_rate(hi, entries) <= math::false_positive_rate(lo, entries));
+    }
+
+    /// Builder geometry: requested total bits are honored exactly.
+    #[test]
+    fn builder_total_bits(n in 1u64..1000, bits in 0usize..10_000) {
+        let f = BloomFilterBuilder::new(n).total_bits(bits).build();
+        prop_assert_eq!(f.nbits(), bits);
+    }
+}

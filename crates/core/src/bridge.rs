@@ -1,0 +1,65 @@
+//! Conversions between the engine's configuration types and the analytical
+//! model's parameter space.
+
+use monkey_lsm::{DbOptions, MergePolicy};
+use monkey_model::{Params, Policy};
+
+/// Maps the engine's merge policy to the model's.
+pub fn to_model_policy(policy: MergePolicy) -> Policy {
+    match policy {
+        MergePolicy::Leveling => Policy::Leveling,
+        MergePolicy::Tiering => Policy::Tiering,
+    }
+}
+
+/// Maps the model's policy back to the engine's.
+pub fn to_engine_policy(policy: Policy) -> MergePolicy {
+    match policy {
+        Policy::Leveling => MergePolicy::Leveling,
+        Policy::Tiering => MergePolicy::Tiering,
+    }
+}
+
+/// Builds the model's [`Params`] for an engine configuration holding
+/// `entries` entries of `entry_bytes` each.
+pub fn model_params_for(opts: &DbOptions, entries: u64, entry_bytes: usize) -> Params {
+    Params::new(
+        (entries.max(1)) as f64,
+        (entry_bytes * 8) as f64,
+        (opts.page_size * 8) as f64,
+        (opts.buffer_capacity * 8) as f64,
+        opts.size_ratio as f64,
+        to_model_policy(opts.merge_policy),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_roundtrip() {
+        for p in [MergePolicy::Leveling, MergePolicy::Tiering] {
+            assert_eq!(to_engine_policy(to_model_policy(p)), p);
+        }
+    }
+
+    #[test]
+    fn params_are_in_bits() {
+        let opts = DbOptions::in_memory().page_size(4096).buffer_capacity(1 << 20).size_ratio(4);
+        let p = model_params_for(&opts, 1000, 128);
+        assert_eq!(p.entries, 1000.0);
+        assert_eq!(p.entry_bits, 1024.0);
+        assert_eq!(p.page_bits, 32768.0);
+        assert_eq!(p.buffer_bits, 8.0 * 1048576.0);
+        assert_eq!(p.size_ratio, 4.0);
+        assert_eq!(p.policy, Policy::Leveling);
+    }
+
+    #[test]
+    fn zero_entries_clamped() {
+        let opts = DbOptions::in_memory();
+        let p = model_params_for(&opts, 0, 128);
+        assert_eq!(p.entries, 1.0);
+    }
+}

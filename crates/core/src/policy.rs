@@ -1,0 +1,332 @@
+//! Monkey's filter policies for the LSM engine.
+//!
+//! The engine asks its [`FilterPolicy`] for a bits-per-entry figure every
+//! time it builds a run, handing it the entry counts of all runs that will
+//! coexist with the new one. [`MonkeyFilterPolicy`] answers with the
+//! paper's optimal allocation (§4.1) generalized to the actual tree: the
+//! Lagrange condition sets each run's false positive rate proportional to
+//! its entry count (`p_j = min(1, C·n_j)`), which reduces to the per-level
+//! schedule of Eqs. 15–18 when runs follow the geometric capacity schedule.
+//! [`AdaptiveFilterPolicy`] instead runs the Appendix C iterative
+//! Algorithms 1–3 over the same run list — the paper's answer for variable
+//! entry sizes — and converges to the same assignment numerically.
+//!
+//! Both spend the same *total* memory a uniform policy would
+//! (`bits_per_entry × N`), so every Monkey-vs-baseline comparison is at
+//! identical memory.
+
+use crate::bridge::to_model_policy;
+use monkey_bloom::math;
+use monkey_lsm::{DbOptions, FilterContext, FilterPolicy};
+use monkey_model::autotune::{autotune_filters, RunSpec};
+use monkey_model::{optimal_fprs_for_memory, optimal_fprs_for_run_sizes};
+use std::sync::Arc;
+
+/// The paper's optimal allocation: each run's FPR proportional to its
+/// entry count, at the total budget a uniform policy would spend.
+#[derive(Debug, Clone)]
+pub struct MonkeyFilterPolicy {
+    bits_per_entry: f64,
+}
+
+impl MonkeyFilterPolicy {
+    /// Budget of `bits_per_entry × N` total filter bits, allocated
+    /// optimally across the tree's runs.
+    pub fn new(bits_per_entry: f64) -> Self {
+        Self { bits_per_entry }
+    }
+
+    /// The total per-entry budget.
+    pub fn budget_bits_per_entry(&self) -> f64 {
+        self.bits_per_entry
+    }
+}
+
+fn run_sizes(ctx: &FilterContext) -> (Vec<f64>, f64) {
+    let mut sizes = Vec::with_capacity(1 + ctx.other_run_entries.len());
+    sizes.push(ctx.run_entries as f64);
+    sizes.extend(ctx.other_run_entries.iter().map(|&n| n as f64));
+    let total: f64 = sizes.iter().sum();
+    (sizes, total)
+}
+
+impl FilterPolicy for MonkeyFilterPolicy {
+    fn bits_per_entry(&self, ctx: &FilterContext) -> f64 {
+        if self.bits_per_entry <= 0.0 || ctx.run_entries == 0 {
+            return 0.0;
+        }
+        let (sizes, total) = run_sizes(ctx);
+        let m_filters = self.bits_per_entry * total.max(ctx.total_entries as f64);
+        let fprs = optimal_fprs_for_run_sizes(&sizes, m_filters);
+        math::bits_per_entry_for_fpr(fprs[0].max(1e-300))
+    }
+
+    fn name(&self) -> &str {
+        "monkey"
+    }
+}
+
+/// Appendix C: allocate by iterative optimization (Algorithms 1–3) over
+/// the actual run layout. Converges to the same assignment as
+/// [`MonkeyFilterPolicy`]; kept as a separate policy to exercise and
+/// validate the paper's algorithm inside the live engine.
+#[derive(Debug, Clone)]
+pub struct AdaptiveFilterPolicy {
+    bits_per_entry: f64,
+}
+
+impl AdaptiveFilterPolicy {
+    /// Budget of `bits_per_entry × N` total filter bits.
+    pub fn new(bits_per_entry: f64) -> Self {
+        Self { bits_per_entry }
+    }
+}
+
+impl FilterPolicy for AdaptiveFilterPolicy {
+    fn bits_per_entry(&self, ctx: &FilterContext) -> f64 {
+        if self.bits_per_entry <= 0.0 || ctx.run_entries == 0 {
+            return 0.0;
+        }
+        let (sizes, total) = run_sizes(ctx);
+        let m_filters = self.bits_per_entry * total.max(ctx.total_entries as f64);
+        let mut runs: Vec<RunSpec> = sizes.iter().map(|&n| RunSpec::new(n)).collect();
+        autotune_filters(m_filters, &mut runs);
+        runs[0].bits / ctx.run_entries as f64
+    }
+
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+}
+
+/// The paper's *literal* per-level schedule (Eqs. 17/18 over the idealized
+/// full-tree capacity schedule), as opposed to [`MonkeyFilterPolicy`]'s
+/// generalization over actual run sizes. Kept for the allocation ablation
+/// (`ablation_allocation` in the bench crate): it matches the generalized
+/// policy when the tree is in its worst-case state and wastes budget when
+/// it is not (e.g. after a full cascade leaves one giant run).
+#[derive(Debug, Clone)]
+pub struct ScheduleFilterPolicy {
+    bits_per_entry: f64,
+}
+
+impl ScheduleFilterPolicy {
+    /// Budget of `bits_per_entry × N` total filter bits, allocated by the
+    /// per-level closed forms.
+    pub fn new(bits_per_entry: f64) -> Self {
+        Self { bits_per_entry }
+    }
+}
+
+impl FilterPolicy for ScheduleFilterPolicy {
+    fn bits_per_entry(&self, ctx: &FilterContext) -> f64 {
+        if self.bits_per_entry <= 0.0 || ctx.total_entries == 0 {
+            return 0.0;
+        }
+        let levels = ctx.num_levels.max(ctx.level).max(1);
+        let n = ctx.total_entries as f64;
+        let fprs = optimal_fprs_for_memory(
+            levels,
+            ctx.size_ratio as f64,
+            to_model_policy(ctx.merge_policy),
+            n,
+            self.bits_per_entry * n,
+        );
+        math::bits_per_entry_for_fpr(fprs[ctx.level - 1].max(1e-300))
+    }
+
+    fn name(&self) -> &str {
+        "monkey-schedule"
+    }
+}
+
+/// Ergonomic constructors on [`DbOptions`] for Monkey's policies.
+pub trait DbOptionsExt {
+    /// Uses [`MonkeyFilterPolicy`] with the given total budget.
+    fn monkey_filters(self, bits_per_entry: f64) -> Self;
+    /// Uses [`AdaptiveFilterPolicy`] with the given total budget.
+    fn adaptive_filters(self, bits_per_entry: f64) -> Self;
+}
+
+impl DbOptionsExt for DbOptions {
+    fn monkey_filters(self, bits_per_entry: f64) -> Self {
+        self.filter_policy(Arc::new(MonkeyFilterPolicy::new(bits_per_entry)))
+    }
+
+    fn adaptive_filters(self, bits_per_entry: f64) -> Self {
+        self.filter_policy(Arc::new(AdaptiveFilterPolicy::new(bits_per_entry)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monkey_lsm::MergePolicy;
+
+    /// A context describing a full geometric tree of `levels` levels with
+    /// ratio `t`, where the new run is the one at `level`.
+    fn geometric_ctx(level: usize, levels: usize, t: f64, n: f64) -> FilterContext {
+        let size_at = |i: usize| (n / t.powi((levels - i) as i32) * (t - 1.0) / t).max(1.0);
+        let run_entries = size_at(level) as u64;
+        let others: Vec<u64> = (1..=levels)
+            .filter(|&i| i != level)
+            .map(|i| size_at(i) as u64)
+            .collect();
+        FilterContext {
+            level,
+            num_levels: levels,
+            run_entries,
+            total_entries: run_entries + others.iter().sum::<u64>(),
+            other_run_entries: others,
+            size_ratio: t as usize,
+            merge_policy: MergePolicy::Leveling,
+        }
+    }
+
+    #[test]
+    fn shallow_levels_get_more_bits_per_entry() {
+        let p = MonkeyFilterPolicy::new(5.0);
+        let mut prev = f64::INFINITY;
+        for level in 1..=5 {
+            let bpe = p.bits_per_entry(&geometric_ctx(level, 5, 4.0, 1e6));
+            assert!(
+                bpe < prev,
+                "level {level}: {bpe} should get fewer bits/entry than shallower levels"
+            );
+            prev = bpe;
+        }
+    }
+
+    #[test]
+    fn total_memory_matches_uniform_budget() {
+        let bpe_budget = 5.0;
+        let p = MonkeyFilterPolicy::new(bpe_budget);
+        let (levels, t, n) = (6usize, 3.0f64, 1e6);
+        let mut total_bits = 0.0;
+        let mut total_entries = 0.0;
+        for level in 1..=levels {
+            let ctx = geometric_ctx(level, levels, t, n);
+            let entries = ctx.run_entries as f64;
+            total_bits += p.bits_per_entry(&ctx) * entries;
+            total_entries += entries;
+        }
+        let budget = bpe_budget * total_entries;
+        assert!(
+            (total_bits - budget).abs() / budget < 0.02,
+            "allocated {total_bits} vs budget {budget}"
+        );
+    }
+
+    #[test]
+    fn deep_levels_unfiltered_when_memory_scarce() {
+        // Below ~1.44 bits/entry at T=2, the deepest level's FPR pins at 1.
+        let p = MonkeyFilterPolicy::new(1.0);
+        let deep = p.bits_per_entry(&geometric_ctx(6, 6, 2.0, 1e6));
+        assert_eq!(deep, 0.0, "deepest level loses its filter");
+        let shallow = p.bits_per_entry(&geometric_ctx(1, 6, 2.0, 1e6));
+        assert!(shallow > 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_run_gets_the_whole_budget() {
+        // The Figure-11(B) regression: when the tree is one big run, the
+        // optimal allocation is the uniform one — nothing is wasted on
+        // levels that hold no data.
+        let p = MonkeyFilterPolicy::new(5.0);
+        let ctx = FilterContext {
+            level: 10,
+            num_levels: 10,
+            run_entries: 1_000_000,
+            total_entries: 1_000_000,
+            other_run_entries: vec![],
+            size_ratio: 2,
+            merge_policy: MergePolicy::Leveling,
+        };
+        let bpe = p.bits_per_entry(&ctx);
+        assert!((bpe - 5.0).abs() < 1e-6, "single run gets all 5 b/e, got {bpe}");
+    }
+
+    #[test]
+    fn zero_budget_means_no_filters() {
+        let p = MonkeyFilterPolicy::new(0.0);
+        assert_eq!(p.bits_per_entry(&geometric_ctx(1, 3, 2.0, 1e4)), 0.0);
+        let a = AdaptiveFilterPolicy::new(0.0);
+        assert_eq!(a.bits_per_entry(&geometric_ctx(1, 3, 2.0, 1e4)), 0.0);
+    }
+
+    #[test]
+    fn adaptive_converges_to_analytic() {
+        let budget = 5.0;
+        let monkey = MonkeyFilterPolicy::new(budget);
+        let adaptive = AdaptiveFilterPolicy::new(budget);
+        for level in [1usize, 3, 5] {
+            let ctx = geometric_ctx(level, 5, 4.0, 1e6);
+            let a = monkey.bits_per_entry(&ctx);
+            let b = adaptive.bits_per_entry(&ctx);
+            assert!(
+                (a - b).abs() <= a.max(b) * 0.05 + 0.5,
+                "level {level}: analytic {a} vs adaptive {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_handles_arbitrary_run_sizes() {
+        let a = AdaptiveFilterPolicy::new(5.0);
+        let ctx = FilterContext {
+            level: 2,
+            num_levels: 3,
+            run_entries: 123,
+            total_entries: 123 + 45_678 + 7,
+            other_run_entries: vec![45_678, 7],
+            size_ratio: 2,
+            merge_policy: MergePolicy::Tiering,
+        };
+        let bpe = a.bits_per_entry(&ctx);
+        assert!(bpe > 5.0, "small run gets more than the average budget: {bpe}");
+    }
+
+    #[test]
+    fn schedule_matches_generalized_on_full_trees() {
+        // On the worst-case geometric layout the two Monkey policies agree.
+        let schedule = ScheduleFilterPolicy::new(5.0);
+        let general = MonkeyFilterPolicy::new(5.0);
+        for level in 1..=5 {
+            let ctx = geometric_ctx(level, 5, 4.0, 1e6);
+            let a = schedule.bits_per_entry(&ctx);
+            let b = general.bits_per_entry(&ctx);
+            assert!(
+                (a - b).abs() < a.max(b) * 0.10 + 0.5,
+                "level {level}: schedule {a} vs generalized {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_wastes_budget_on_degenerate_trees() {
+        // The ablation's point: one giant run at the last level gets less
+        // than the full budget from the schedule, but all of it from the
+        // generalized policy.
+        let ctx = FilterContext {
+            level: 10,
+            num_levels: 10,
+            run_entries: 1_000_000,
+            total_entries: 1_000_000,
+            other_run_entries: vec![],
+            size_ratio: 2,
+            merge_policy: MergePolicy::Leveling,
+        };
+        let schedule = ScheduleFilterPolicy::new(5.0).bits_per_entry(&ctx);
+        let general = MonkeyFilterPolicy::new(5.0).bits_per_entry(&ctx);
+        assert!(schedule < general, "schedule {schedule} vs generalized {general}");
+        assert!((general - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn options_ext_plugs_policies_in() {
+        let o = DbOptions::in_memory().monkey_filters(7.0);
+        assert_eq!(o.filter_policy.name(), "monkey");
+        let o = DbOptions::in_memory().adaptive_filters(7.0);
+        assert_eq!(o.filter_policy.name(), "adaptive");
+    }
+}

@@ -1,0 +1,164 @@
+//! Merge (compaction) operations.
+//!
+//! Merging sort-merges a set of runs into one new run: duplicate keys keep
+//! only the newest version, and tombstones are dropped when the output
+//! lands on the **last** level (nothing deeper can hold a superseded
+//! version, so the tombstone has done its job). This is the machinery
+//! behind both merge policies; the placement logic lives in the `Db`.
+
+use crate::entry::Entry;
+use crate::error::Result;
+use crate::iter::{EntrySource, MergingIter};
+use crate::run::{Run, RunBuilder};
+use monkey_storage::Disk;
+use std::sync::Arc;
+
+/// Sort-merges `inputs` into a single new run.
+///
+/// * Duplicate keys are resolved newest-wins (by sequence number).
+/// * With `drop_tombstones`, tombstones are not written to the output.
+/// * Inputs are marked obsolete on success; their storage is reclaimed when
+///   the last reference (e.g. a concurrent cursor) drops.
+///
+/// Returns `None` when the merge produces no entries at all (e.g. only
+/// tombstones merged into the last level).
+pub fn merge_runs(
+    disk: &Arc<Disk>,
+    inputs: &[Arc<Run>],
+    drop_tombstones: bool,
+    bits_per_entry: f64,
+) -> Result<Option<Arc<Run>>> {
+    debug_assert!(!inputs.is_empty());
+    let sources: Vec<EntrySource> = inputs
+        .iter()
+        .map(|run| Box::new(run.iter()) as EntrySource)
+        .collect();
+    let merged = MergingIter::new(sources, true)?;
+    let mut builder = RunBuilder::new(Arc::clone(disk));
+    for item in merged {
+        let entry: Entry = item?;
+        if drop_tombstones && entry.is_tombstone() {
+            continue;
+        }
+        builder.push(entry)?;
+    }
+    let output = builder.finish(bits_per_entry)?.map(Arc::new);
+    for input in inputs {
+        input.mark_obsolete();
+    }
+    Ok(output)
+}
+
+/// Builds a run directly from pre-sorted, pre-deduplicated entries (the
+/// buffer flush path: a memtable drain is already sorted and unique).
+pub fn build_run_from_sorted(
+    disk: &Arc<Disk>,
+    entries: Vec<Entry>,
+    drop_tombstones: bool,
+    bits_per_entry: f64,
+) -> Result<Option<Arc<Run>>> {
+    let mut builder = RunBuilder::new(Arc::clone(disk));
+    for entry in entries {
+        if drop_tombstones && entry.is_tombstone() {
+            continue;
+        }
+        builder.push(entry)?;
+    }
+    Ok(builder.finish(bits_per_entry)?.map(Arc::new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+
+    fn run_of(disk: &Arc<Disk>, entries: Vec<Entry>) -> Arc<Run> {
+        build_run_from_sorted(disk, entries, false, 10.0).unwrap().unwrap()
+    }
+
+    fn put(k: &str, v: &str, seq: u64) -> Entry {
+        Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq)
+    }
+
+    #[test]
+    fn merge_dedups_newest_wins() {
+        let disk = Disk::mem(128);
+        let old = run_of(&disk, vec![put("a", "old", 1), put("b", "b1", 2)]);
+        let new = run_of(&disk, vec![put("a", "new", 5), put("c", "c1", 6)]);
+        let merged = merge_runs(&disk, &[new, old], false, 10.0).unwrap().unwrap();
+        assert_eq!(merged.entries(), 3);
+        assert_eq!(merged.get(b"a").unwrap().unwrap().value.as_ref(), b"new");
+        assert_eq!(merged.get(b"b").unwrap().unwrap().value.as_ref(), b"b1");
+        assert_eq!(merged.get(b"c").unwrap().unwrap().value.as_ref(), b"c1");
+    }
+
+    #[test]
+    fn merge_reclaims_input_storage() {
+        let disk = Disk::mem(128);
+        let a = run_of(&disk, vec![put("a", "1", 1)]);
+        let b = run_of(&disk, vec![put("b", "2", 2)]);
+        let (ida, idb) = (a.id(), b.id());
+        let merged = merge_runs(&disk, &[a, b], false, 10.0).unwrap().unwrap();
+        // Inputs dropped at the end of merge_runs' caller scope — here the
+        // Arcs moved into the call were the last references.
+        assert!(disk.run_pages(ida).is_err());
+        assert!(disk.run_pages(idb).is_err());
+        assert!(disk.run_pages(merged.id()).is_ok());
+    }
+
+    #[test]
+    fn tombstones_survive_intermediate_merges() {
+        let disk = Disk::mem(128);
+        let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9)]);
+        let old = run_of(&disk, vec![put("k", "v", 1)]);
+        let merged = merge_runs(&disk, &[young, old], false, 10.0).unwrap().unwrap();
+        let e = merged.get(b"k").unwrap().unwrap();
+        assert_eq!(e.kind, EntryKind::Delete, "tombstone still masks older versions below");
+        assert_eq!(merged.entries(), 1, "the superseded put is gone");
+    }
+
+    #[test]
+    fn tombstones_dropped_at_last_level() {
+        let disk = Disk::mem(128);
+        let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9), put("live", "v", 8)]);
+        let old = run_of(&disk, vec![put("k", "v", 1)]);
+        let merged = merge_runs(&disk, &[young, old], true, 10.0).unwrap().unwrap();
+        assert_eq!(merged.entries(), 1);
+        assert!(merged.get(b"k").unwrap().is_none());
+        assert!(merged.get(b"live").unwrap().is_some());
+    }
+
+    #[test]
+    fn all_tombstone_merge_yields_none() {
+        let disk = Disk::mem(128);
+        let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9)]);
+        let old = run_of(&disk, vec![put("k", "v", 1)]);
+        let merged = merge_runs(&disk, &[young, old], true, 10.0).unwrap();
+        assert!(merged.is_none(), "nothing left to write");
+        assert!(disk.list_runs().is_empty(), "all storage reclaimed");
+    }
+
+    #[test]
+    fn merge_io_cost_reads_inputs_writes_output() {
+        let disk = Disk::mem(64);
+        let entries_a: Vec<Entry> = (0..20).map(|i| put(&format!("a{i:02}"), "xxxx", i)).collect();
+        let entries_b: Vec<Entry> = (0..20).map(|i| put(&format!("b{i:02}"), "yyyy", 100 + i)).collect();
+        let a = run_of(&disk, entries_a);
+        let b = run_of(&disk, entries_b);
+        let in_pages = (a.pages() + b.pages()) as u64;
+        disk.reset_io();
+        let merged = merge_runs(&disk, &[a, b], false, 10.0).unwrap().unwrap();
+        let io = disk.io();
+        assert_eq!(io.page_reads, in_pages, "reads the original runs (Eq. 10 accounting)");
+        assert_eq!(io.page_writes, merged.pages() as u64);
+    }
+
+    #[test]
+    fn build_run_from_sorted_drops_tombstones_when_asked() {
+        let disk = Disk::mem(128);
+        let entries = vec![put("a", "1", 1), Entry::tombstone(b"b".to_vec(), 2), put("c", "3", 3)];
+        let run = build_run_from_sorted(&disk, entries, true, 10.0).unwrap().unwrap();
+        assert_eq!(run.entries(), 2);
+        assert_eq!(run.tombstones(), 0);
+    }
+}

@@ -1,0 +1,1057 @@
+//! The database: buffer + levels + policies, glued together.
+
+use crate::compaction::{build_run_from_sorted, merge_runs};
+use crate::entry::{Entry, EntryKind, ENTRY_HEADER_LEN};
+use crate::error::{LsmError, Result};
+use crate::iter::{EntrySource, MergingIter, RangeIter};
+use crate::level::{level_capacity_bytes, Level};
+use crate::manifest::{Manifest, ManifestState, RunRecord};
+use crate::memtable::Memtable;
+use crate::options::{DbOptions, StorageConfig};
+use crate::page::max_entry_len;
+use crate::policy::FilterContext;
+use crate::run::{recover_run, Run};
+use crate::stats::{DbStats, LevelStats};
+use crate::vlog::{ValueLog, ValuePointer};
+use crate::wal::Wal;
+use bytes::Bytes;
+use monkey_storage::{Disk, IoSnapshot};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+struct Inner {
+    memtable: Memtable,
+    /// `levels[0]` is disk level 1 (shallowest).
+    levels: Vec<Level>,
+    next_seq: u64,
+}
+
+impl Inner {
+    /// Deepest non-empty level (1-based), 0 when the disk is empty.
+    fn deepest(&self) -> usize {
+        self.levels
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .map_or(0, |i| i + 1)
+    }
+
+    fn disk_entries(&self) -> u64 {
+        self.levels.iter().map(Level::entries).sum()
+    }
+
+    fn ensure_level(&mut self, level: usize) {
+        while self.levels.len() < level {
+            self.levels.push(Level::new());
+        }
+    }
+}
+
+/// An LSM-tree key-value store.
+///
+/// Thread-safe: lookups and scans proceed under a shared lock; updates (and
+/// the flushes/merges they trigger) serialize under an exclusive lock.
+pub struct Db {
+    disk: Arc<Disk>,
+    opts: DbOptions,
+    inner: RwLock<Inner>,
+    wal: Wal,
+    manifest: Option<Manifest>,
+    compactions: CompactionCounters,
+    /// Value log for key-value separation (WiscKey mode), when enabled.
+    vlog: Option<Arc<ValueLog>>,
+}
+
+/// Lifetime counters of the engine's background (inline) maintenance work.
+#[derive(Debug, Default)]
+struct CompactionCounters {
+    flushes: std::sync::atomic::AtomicU64,
+    merges: std::sync::atomic::AtomicU64,
+    entries_rewritten: std::sync::atomic::AtomicU64,
+}
+
+/// A snapshot of the engine's maintenance work since open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Buffer flushes performed.
+    pub flushes: u64,
+    /// Merge operations performed (leveling merges and tiering merges).
+    pub merges: u64,
+    /// Entries read-and-rewritten by merges — divided by the number of
+    /// user updates this is the engine's measured write amplification in
+    /// entries (the quantity Eq. 10 models in I/Os).
+    pub entries_rewritten: u64,
+}
+
+impl Db {
+    /// Opens a database. For directory-backed storage, recovers the tree
+    /// from the manifest and replays the WAL.
+    pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
+        let (disk, wal, manifest, replayed, manifest_state) = match &opts.storage {
+            StorageConfig::Memory => (Disk::mem(opts.page_size), Wal::disabled(), None, Vec::new(), None),
+            StorageConfig::MemoryCached(cache) => (
+                Disk::mem_cached(opts.page_size, *cache),
+                Wal::disabled(),
+                None,
+                Vec::new(),
+                None,
+            ),
+            StorageConfig::Directory(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let disk = Disk::file(dir.join("pages"), opts.page_size)?;
+                let manifest = Manifest::at(dir.join("MANIFEST"));
+                let state = manifest.load()?;
+                let (wal, replayed) =
+                    Wal::open(dir.join("wal.log"), opts.wal_sync_each_append)?;
+                (disk, wal, Some(manifest), replayed, state)
+            }
+        };
+
+        let mut inner = Inner { memtable: Memtable::new(), levels: Vec::new(), next_seq: 0 };
+
+        if let Some(state) = manifest_state {
+            Self::recover_levels(&disk, &state, &mut inner)?;
+            inner.next_seq = state.next_seq;
+        }
+        for entry in replayed {
+            inner.next_seq = inner.next_seq.max(entry.seq + 1);
+            inner.memtable.insert(entry);
+        }
+        // (Separated values from replayed WAL records are re-separated on
+        // the next flush via the normal put path being bypassed here; the
+        // memtable holds them inline, which is always correct — separation
+        // is an optimization, not an invariant.)
+
+        let vlog = opts
+            .value_separation
+            .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
+        let db = Arc::new(Self {
+            disk,
+            opts,
+            inner: RwLock::new(inner),
+            wal,
+            manifest,
+            compactions: CompactionCounters::default(),
+            vlog,
+        });
+        // A WAL bigger than the buffer (crash right before a flush): flush now.
+        {
+            let mut inner = db.inner.write();
+            if inner.memtable.bytes() >= db.opts.buffer_capacity {
+                db.flush_locked(&mut inner)?;
+            }
+        }
+        Ok(db)
+    }
+
+    /// Opens a volatile database over a caller-supplied [`Disk`] — used by
+    /// tests and simulations that need a custom backend (fault injection,
+    /// bespoke caches). No WAL or manifest is attached.
+    pub fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Arc<Self>> {
+        assert_eq!(
+            disk.page_size(),
+            opts.page_size,
+            "disk and options disagree on the page size"
+        );
+        let inner = Inner { memtable: Memtable::new(), levels: Vec::new(), next_seq: 0 };
+        let vlog = opts
+            .value_separation
+            .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
+        Ok(Arc::new(Self {
+            disk,
+            opts,
+            inner: RwLock::new(inner),
+            wal: Wal::disabled(),
+            manifest: None,
+            compactions: CompactionCounters::default(),
+            vlog,
+        }))
+    }
+
+    fn recover_levels(disk: &Arc<Disk>, state: &ManifestState, inner: &mut Inner) -> Result<()> {
+        let mut records: Vec<RunRecord> = state.runs.clone();
+        // Within a level, older runs (higher age) are pushed first so the
+        // youngest ends up in front.
+        records.sort_by_key(|r| (r.level, std::cmp::Reverse(r.age)));
+        for record in records {
+            if record.level == 0 {
+                return Err(LsmError::Corruption("manifest run at level 0".into()));
+            }
+            inner.ensure_level(record.level);
+            let run = recover_run(disk, record.id, record.bits_per_entry)?;
+            inner.levels[record.level - 1].push_youngest(Arc::new(run));
+        }
+        Ok(())
+    }
+
+    /// The configuration this database was opened with.
+    pub fn options(&self) -> &DbOptions {
+        &self.opts
+    }
+
+    /// The underlying counted storage (for I/O measurements).
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// I/O counters since open or the last reset.
+    pub fn io(&self) -> IoSnapshot {
+        self.disk.io()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_io(&self) {
+        self.disk.reset_io();
+    }
+
+    fn check_entry_size(&self, key: &[u8], value_len: usize) -> Result<()> {
+        if key.len() > u16::MAX as usize {
+            return Err(LsmError::KeyTooLarge(key.len()));
+        }
+        let encoded = ENTRY_HEADER_LEN + key.len() + value_len;
+        let max = max_entry_len(self.opts.page_size);
+        if encoded > max {
+            return Err(LsmError::EntryTooLarge { encoded, max });
+        }
+        Ok(())
+    }
+
+    /// Inserts or updates a key.
+    ///
+    /// With key-value separation enabled, values at or above the threshold
+    /// go to the value log and the tree stores a pointer; the WAL always
+    /// records the full value, so durability does not depend on log-page
+    /// flush timing.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        let (key, value) = (key.into(), value.into());
+        let separate = match (&self.vlog, self.opts.value_separation) {
+            (Some(vlog), Some(threshold)) if value.len() >= threshold => {
+                if value.len() > vlog.max_value_len() {
+                    return Err(LsmError::EntryTooLarge {
+                        encoded: value.len(),
+                        max: vlog.max_value_len(),
+                    });
+                }
+                true
+            }
+            _ => {
+                self.check_entry_size(&key, value.len())?;
+                false
+            }
+        };
+        if separate {
+            self.check_entry_size(&key, ValuePointer::ENCODED_LEN)?;
+        }
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        // WAL gets the full value either way.
+        self.wal.append(&Entry { key: key.clone(), value: value.clone(), seq, kind: EntryKind::Put })?;
+        let entry = if separate {
+            let ptr = self.vlog.as_ref().expect("separation checked").append(&value)?;
+            Entry {
+                key,
+                value: Bytes::copy_from_slice(&ptr.encode()),
+                seq,
+                kind: EntryKind::IndirectPut,
+            }
+        } else {
+            Entry { key, value, seq, kind: EntryKind::Put }
+        };
+        inner.memtable.insert(entry);
+        if inner.memtable.bytes() >= self.opts.buffer_capacity {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves an entry's user-visible value (following a value-log
+    /// pointer for separated entries).
+    fn resolve_value(&self, entry: &Entry) -> Result<Option<Bytes>> {
+        match entry.kind {
+            EntryKind::Put => Ok(Some(entry.value.clone())),
+            EntryKind::Delete => Ok(None),
+            EntryKind::IndirectPut => {
+                let ptr = ValuePointer::decode(&entry.value).ok_or_else(|| {
+                    LsmError::Corruption("malformed value-log pointer".into())
+                })?;
+                let vlog = self.vlog.as_ref().ok_or_else(|| {
+                    LsmError::Corruption(
+                        "indirect entry in a store without a value log".into(),
+                    )
+                })?;
+                Ok(Some(vlog.get(ptr)?))
+            }
+        }
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        self.check_entry_size(&key, 0)?;
+        let mut inner = self.inner.write();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let entry = Entry::tombstone(key, seq);
+        self.wal.append(&entry)?;
+        inner.memtable.insert(entry);
+        if inner.memtable.bytes() >= self.opts.buffer_capacity {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup. Probes the buffer, then each level shallow-to-deep
+    /// (runs youngest-to-oldest), stopping at the first version found (§2).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let inner = self.inner.read();
+        if let Some(entry) = inner.memtable.get(key) {
+            return self.resolve_value(&entry);
+        }
+        for level in &inner.levels {
+            for run in level.runs() {
+                if let Some(entry) = run.get(key)? {
+                    return self.resolve_value(&entry);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Range scan over `[lo, hi)` (`hi = None` scans to the end). The
+    /// cursor owns snapshots of the relevant runs, so concurrent writes and
+    /// merges do not disturb it.
+    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
+        if let Some(hi) = hi {
+            if hi <= lo {
+                // Empty (or inverted) interval: nothing to scan.
+                return Ok(RangeIter::new(MergingIter::new(Vec::new(), true)?, None)
+                    .with_value_log(None));
+            }
+        }
+        let inner = self.inner.read();
+        let mut sources: Vec<EntrySource> = Vec::with_capacity(1 + inner.levels.len());
+        sources.push(Box::new(inner.memtable.range(lo, hi).into_iter().map(Ok)));
+        for level in &inner.levels {
+            for run in level.runs() {
+                sources.push(Box::new(run.iter_from(lo)));
+            }
+        }
+        let hi = hi.map(Bytes::copy_from_slice);
+        drop(inner);
+        Ok(RangeIter::new(MergingIter::new(sources, true)?, hi).with_value_log(self.vlog.clone()))
+    }
+
+    /// Forces the buffer to flush into the tree even if not full.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    /// Builds the filter context for a run of `run_entries` entries landing
+    /// at `level`. At every call site, `inner.levels` holds exactly the
+    /// runs that will coexist with the new run (merge inputs have already
+    /// been taken out of their levels).
+    fn filter_bits(&self, inner: &Inner, level: usize, run_entries: u64) -> f64 {
+        let other_run_entries: Vec<u64> = inner
+            .levels
+            .iter()
+            .flat_map(|l| l.runs().iter().map(|r| r.entries()))
+            .collect();
+        let ctx = FilterContext {
+            level,
+            num_levels: inner.deepest().max(level),
+            run_entries,
+            total_entries: run_entries
+                + other_run_entries.iter().sum::<u64>()
+                + inner.memtable.len() as u64,
+            other_run_entries,
+            size_ratio: self.opts.size_ratio,
+            merge_policy: self.opts.merge_policy,
+        };
+        self.opts.filter_policy.bits_per_entry(&ctx)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        if let Some(vlog) = &self.vlog {
+            // Pointers about to be persisted must reference durable pages.
+            vlog.sync()?;
+        }
+        let entries = inner.memtable.drain_sorted();
+        let n = entries.len() as u64;
+        // Tombstones can be dropped immediately only when the disk is empty.
+        let drop_tombstones = inner.deepest() == 0;
+        let bits = self.filter_bits(inner, 1, n);
+        // (memtable already drained: filter_bits saw it as empty, correct —
+        // its entries are exactly the run being built.)
+        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, bits)?;
+        self.compactions.flushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(run) = run {
+            match self.opts.merge_policy {
+                crate::policy::MergePolicy::Leveling => self.install_leveling(inner, run)?,
+                crate::policy::MergePolicy::Tiering => self.install_tiering(inner, run)?,
+            }
+        }
+        self.wal.reset()?;
+        self.persist_manifest(inner)?;
+        Ok(())
+    }
+
+    /// Leveling (§2): the arriving run sort-merges with the resident run of
+    /// level 1; whenever a level exceeds its capacity, its (single) run
+    /// moves down and merges with the next level's resident run.
+    fn install_leveling(&self, inner: &mut Inner, run: Arc<Run>) -> Result<()> {
+        let mut carry = run;
+        let mut lvl = 1usize;
+        loop {
+            inner.ensure_level(lvl);
+            let deepest = inner.deepest().max(lvl);
+            if !inner.levels[lvl - 1].is_empty() {
+                let mut inputs = vec![carry];
+                inputs.extend(inner.levels[lvl - 1].take_all());
+                let drop_tombstones = lvl >= deepest;
+                let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
+                let bits = self.filter_bits(inner, lvl, input_entries);
+                self.compactions.merges.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.compactions
+                    .entries_rewritten
+                    .fetch_add(input_entries, std::sync::atomic::Ordering::Relaxed);
+                match merge_runs(&self.disk, &inputs, drop_tombstones, bits)? {
+                    Some(merged) => carry = merged,
+                    None => return Ok(()), // merge annihilated everything
+                }
+            }
+            inner.levels[lvl - 1].push_youngest(carry);
+            let capacity = level_capacity_bytes(self.opts.buffer_capacity, self.opts.size_ratio, lvl);
+            if inner.levels[lvl - 1].bytes() <= capacity {
+                return Ok(());
+            }
+            // Over capacity: the run moves to the next level.
+            let mut moved = inner.levels[lvl - 1].take_all();
+            debug_assert_eq!(moved.len(), 1);
+            carry = moved.pop().expect("level had a run");
+            lvl += 1;
+        }
+    }
+
+    /// Tiering (§2): runs accumulate at a level; the arrival of the `T`-th
+    /// merges them all into a single run at the next level.
+    fn install_tiering(&self, inner: &mut Inner, run: Arc<Run>) -> Result<()> {
+        inner.ensure_level(1);
+        inner.levels[0].push_youngest(run);
+        let t = self.opts.size_ratio;
+        let mut lvl = 1usize;
+        loop {
+            if inner.levels[lvl - 1].run_count() < t {
+                return Ok(());
+            }
+            let inputs = inner.levels[lvl - 1].take_all();
+            // Tombstones can be dropped when nothing deeper than this level
+            // holds data: the merged run lands at lvl+1 as its deepest data.
+            let drop_tombstones = inner.deepest() <= lvl;
+            let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
+            let bits = self.filter_bits(inner, lvl + 1, input_entries);
+            self.compactions.merges.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.compactions
+                .entries_rewritten
+                .fetch_add(input_entries, std::sync::atomic::Ordering::Relaxed);
+            let merged = merge_runs(&self.disk, &inputs, drop_tombstones, bits)?;
+            inner.ensure_level(lvl + 1);
+            if let Some(merged) = merged {
+                inner.levels[lvl].push_youngest(merged);
+            }
+            lvl += 1;
+        }
+    }
+
+    fn persist_manifest(&self, inner: &Inner) -> Result<()> {
+        let Some(manifest) = &self.manifest else { return Ok(()) };
+        let mut runs = Vec::new();
+        for (idx, level) in inner.levels.iter().enumerate() {
+            for (age, run) in level.runs().iter().enumerate() {
+                runs.push(RunRecord {
+                    id: run.id(),
+                    level: idx + 1,
+                    age,
+                    bits_per_entry: run.filter_bits_per_entry(),
+                });
+            }
+        }
+        manifest.store(&ManifestState {
+            next_seq: inner.next_seq,
+            policy: Some(self.opts.merge_policy),
+            size_ratio: Some(self.opts.size_ratio),
+            runs,
+        })
+    }
+
+    /// Rebuilds every run's Bloom filter according to the *current* filter
+    /// policy and tree shape, by rescanning the runs. Used when a policy's
+    /// ideal allocation drifts from what runs were built with (runs fix
+    /// their filters at build time, but the optimal assignment shifts as
+    /// the tree gains levels and runs). The scan is counted I/O;
+    /// experiments reset counters afterwards.
+    pub fn rebuild_filters(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        let num_levels = inner.deepest();
+        let memtable_len = inner.memtable.len() as u64;
+        // Snapshot of every run's position and size.
+        let all: Vec<(usize, usize, u64)> = inner
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(li, level)| {
+                level
+                    .runs()
+                    .iter()
+                    .enumerate()
+                    .map(move |(ri, run)| (li, ri, run.entries()))
+            })
+            .collect();
+        let total: u64 = all.iter().map(|x| x.2).sum::<u64>() + memtable_len;
+        for &(li, ri, entries) in &all {
+            let others: Vec<u64> = all
+                .iter()
+                .filter(|&&(lj, rj, _)| (lj, rj) != (li, ri))
+                .map(|x| x.2)
+                .collect();
+            let ctx = FilterContext {
+                level: li + 1,
+                num_levels,
+                run_entries: entries,
+                total_entries: total,
+                other_run_entries: others,
+                size_ratio: self.opts.size_ratio,
+                merge_policy: self.opts.merge_policy,
+            };
+            let bits = self.opts.filter_policy.bits_per_entry(&ctx);
+            let current = Arc::clone(&inner.levels[li].runs()[ri]);
+            if (bits - current.filter_bits_per_entry()).abs() > 1e-9 {
+                let rebuilt = Arc::new(recover_run(&self.disk, current.id(), bits)?);
+                inner.levels[li].replace_run(ri, rebuilt);
+            }
+        }
+        self.persist_manifest(&inner)?;
+        Ok(())
+    }
+
+    /// Migrates the store to a new tuning (Appendix A of the paper:
+    /// "a future class of key-value stores may adaptively switch from one
+    /// tuning setting to another"). Opens a fresh database under
+    /// `new_opts`, streams every live entry into it (tombstones and
+    /// superseded versions are left behind), and returns the new store.
+    ///
+    /// The source is read through a snapshot cursor, so it stays readable
+    /// during the migration; writes applied to the source after the
+    /// snapshot is taken are *not* carried over — quiesce writes first or
+    /// diff afterwards. The transformation cost is observable by diffing
+    /// [`io`](Self::io) on both stores around the call.
+    pub fn migrate_to(&self, new_opts: DbOptions) -> Result<Arc<Db>> {
+        let target = Db::open(new_opts)?;
+        for kv in self.range(b"", None)? {
+            let (key, value) = kv?;
+            target.put(key, value)?;
+        }
+        target.flush()?;
+        Ok(target)
+    }
+
+    /// Maintenance-work counters since open.
+    pub fn compaction_stats(&self) -> CompactionStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        CompactionStats {
+            flushes: self.compactions.flushes.load(Relaxed),
+            merges: self.compactions.merges.load(Relaxed),
+            entries_rewritten: self.compactions.entries_rewritten.load(Relaxed),
+        }
+    }
+
+    /// Deep integrity check: reads every page of every run (counted I/O)
+    /// and verifies
+    ///
+    /// * page checksums and decodability,
+    /// * strict key ordering within and across pages,
+    /// * agreement between a run's metadata (entry count, byte size, key
+    ///   bounds) and its pages,
+    /// * that the Bloom filter has no false negatives,
+    /// * that every value-log pointer resolves (checksummed page, valid
+    ///   slot),
+    /// * the youngest-first sequence ordering of runs within a level.
+    ///
+    /// Returns the number of entries verified.
+    pub fn verify(&self) -> Result<u64> {
+        let inner = self.inner.read();
+        let mut verified = 0u64;
+        for (idx, level) in inner.levels.iter().enumerate() {
+            for run in level.runs() {
+                let mut count = 0u64;
+                let mut bytes = 0u64;
+                let mut prev: Option<bytes::Bytes> = None;
+                for item in run.iter() {
+                    let entry = item?; // checksum + decode verified here
+                    if let Some(prev) = &prev {
+                        if entry.key <= *prev {
+                            return Err(LsmError::Corruption(format!(
+                                "run {} at level {}: keys out of order",
+                                run.id(),
+                                idx + 1
+                            )));
+                        }
+                    }
+                    if !run.filter().contains(&entry.key) {
+                        return Err(LsmError::Corruption(format!(
+                            "run {} at level {}: filter false negative",
+                            run.id(),
+                            idx + 1
+                        )));
+                    }
+                    if entry.kind == EntryKind::IndirectPut {
+                        // Dangling or corrupt value-log pointers surface here.
+                        self.resolve_value(&entry)?;
+                    }
+                    count += 1;
+                    bytes += entry.encoded_len() as u64;
+                    prev = Some(entry.key);
+                }
+                if count != run.entries() || bytes != run.bytes() {
+                    return Err(LsmError::Corruption(format!(
+                        "run {} at level {}: metadata mismatch ({} entries / {} bytes vs {} / {})",
+                        run.id(),
+                        idx + 1,
+                        count,
+                        bytes,
+                        run.entries(),
+                        run.bytes()
+                    )));
+                }
+                if let Some(last) = prev {
+                    if last != *run.max_key() {
+                        return Err(LsmError::Corruption(format!(
+                            "run {} at level {}: max key mismatch",
+                            run.id(),
+                            idx + 1
+                        )));
+                    }
+                }
+                verified += count;
+            }
+        }
+        Ok(verified)
+    }
+
+    /// Structural and memory statistics.
+    pub fn stats(&self) -> DbStats {
+        let inner = self.inner.read();
+        let mut levels = Vec::with_capacity(inner.levels.len());
+        let mut filter_bits = 0u64;
+        let mut fence_bits = 0u64;
+        let mut fpr_total = 0.0f64;
+        for (idx, level) in inner.levels.iter().enumerate() {
+            let mut level_filter_bits = 0u64;
+            let mut fpr_sum = 0.0f64;
+            for run in level.runs() {
+                level_filter_bits += run.filter().memory_bits() as u64;
+                fence_bits += run.fence_memory_bits();
+                fpr_sum += run.filter().theoretical_fpr();
+            }
+            filter_bits += level_filter_bits;
+            fpr_total += fpr_sum;
+            levels.push(LevelStats {
+                level: idx + 1,
+                runs: level.run_count(),
+                entries: level.entries(),
+                bytes: level.bytes(),
+                capacity_bytes: level_capacity_bytes(
+                    self.opts.buffer_capacity,
+                    self.opts.size_ratio,
+                    idx + 1,
+                ),
+                filter_bits: level_filter_bits,
+                fpr_sum,
+            });
+        }
+        DbStats {
+            buffer_entries: inner.memtable.len() as u64,
+            buffer_bytes: inner.memtable.bytes() as u64,
+            buffer_capacity: self.opts.buffer_capacity as u64,
+            disk_entries: inner.disk_entries(),
+            runs: inner.levels.iter().map(Level::run_count).sum(),
+            levels,
+            filter_bits,
+            fence_bits,
+            expected_zero_result_lookup_ios: fpr_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MergePolicy;
+
+    fn small_db(policy: MergePolicy, t: usize) -> Arc<Db> {
+        Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .size_ratio(t)
+                .merge_policy(policy)
+                .uniform_filters(10.0),
+        )
+        .unwrap()
+    }
+
+    fn fill(db: &Db, n: usize) {
+        fill_range(db, 0, n);
+    }
+
+    fn fill_range(db: &Db, start: usize, end: usize) {
+        for i in start..end {
+            db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20]).unwrap();
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 500);
+        for i in (0..500).step_by(17) {
+            let got = db.get(format!("key{i:06}").as_bytes()).unwrap();
+            assert_eq!(got.unwrap(), Bytes::from(vec![b'v'; 20]), "key{i}");
+        }
+        assert!(db.get(b"missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrites_visible_after_merges() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 300);
+        db.put(&b"key000007"[..], &b"updated"[..]).unwrap();
+        fill_range(&db, 300, 400); // push the update through flushes
+        assert_eq!(db.get(b"key000007").unwrap().unwrap().as_ref(), b"updated");
+    }
+
+    #[test]
+    fn delete_masks_older_versions_across_levels() {
+        for policy in [MergePolicy::Leveling, MergePolicy::Tiering] {
+            let db = small_db(policy, 3);
+            fill(&db, 300);
+            db.delete(&b"key000005"[..]).unwrap();
+            fill_range(&db, 300, 450); // cycle more merges
+            assert_eq!(db.get(b"key000005").unwrap(), None, "{policy:?}");
+            assert!(db.get(b"key000006").unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn leveling_keeps_one_run_per_level() {
+        let db = small_db(MergePolicy::Leveling, 3);
+        fill(&db, 2000);
+        let stats = db.stats();
+        for level in &stats.levels {
+            assert!(level.runs <= 1, "level {} has {} runs", level.level, level.runs);
+        }
+        assert!(stats.depth() >= 2);
+    }
+
+    #[test]
+    fn tiering_keeps_under_t_runs_per_level() {
+        let t = 4;
+        let db = small_db(MergePolicy::Tiering, t);
+        fill(&db, 2000);
+        let stats = db.stats();
+        for level in &stats.levels {
+            assert!(level.runs < t, "level {} has {} runs", level.level, level.runs);
+        }
+        assert!(stats.depth() >= 2);
+    }
+
+    #[test]
+    fn levels_respect_capacity_after_install() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 3000);
+        let stats = db.stats();
+        // All levels except possibly the deepest respect their caps.
+        for level in &stats.levels[..stats.levels.len() - 1] {
+            assert!(
+                level.bytes <= level.capacity_bytes,
+                "level {} holds {} > cap {}",
+                level.level,
+                level.bytes,
+                level.capacity_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn range_scan_sees_everything_once() {
+        for policy in [MergePolicy::Leveling, MergePolicy::Tiering] {
+            let db = small_db(policy, 3);
+            fill(&db, 400);
+            db.delete(&b"key000100"[..]).unwrap();
+            db.put(&b"key000101"[..], &b"fresh"[..]).unwrap();
+            let got: Vec<(Bytes, Bytes)> =
+                db.range(b"key000099", Some(b"key000103")).unwrap().map(|kv| kv.unwrap()).collect();
+            let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_ref()).collect();
+            assert_eq!(
+                keys,
+                vec![b"key000099".as_ref(), b"key000101", b"key000102"],
+                "{policy:?}"
+            );
+            assert_eq!(got[1].1.as_ref(), b"fresh");
+        }
+    }
+
+    #[test]
+    fn full_scan_matches_inserted_set() {
+        let db = small_db(MergePolicy::Tiering, 2);
+        fill(&db, 700);
+        let count = db.range(b"", None).unwrap().count();
+        assert_eq!(count, 700);
+    }
+
+    #[test]
+    fn scan_survives_concurrent_compaction() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 500);
+        let mut iter = db.range(b"key000000", None).unwrap();
+        let first = iter.next().unwrap().unwrap();
+        assert_eq!(first.0.as_ref(), b"key000000");
+        // Writes trigger flushes/merges that obsolete the runs under the
+        // open cursor; the cursor must finish unharmed.
+        fill(&db, 500);
+        let rest = iter.inspect(|kv| assert!(kv.is_ok())).count();
+        assert_eq!(rest, 499, "snapshot semantics: exactly the old 500 keys");
+    }
+
+    #[test]
+    fn stats_track_memory_terms() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 1000);
+        let stats = db.stats();
+        assert!(stats.filter_bits > 0);
+        assert!(stats.fence_bits > 0);
+        assert!(stats.disk_entries >= 900);
+        assert!(stats.expected_zero_result_lookup_ios > 0.0);
+        assert!((stats.bits_per_entry() - 10.0).abs() < 3.0, "uniform 10 bpe, word-rounded");
+    }
+
+    #[test]
+    fn empty_db_behaves() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        assert!(db.get(b"nothing").unwrap().is_none());
+        assert_eq!(db.range(b"", None).unwrap().count(), 0);
+        db.flush().unwrap(); // flushing an empty buffer is a no-op
+        assert_eq!(db.stats().depth(), 0);
+    }
+
+    #[test]
+    fn oversized_entries_rejected() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        let err = db.put(&b"k"[..], vec![0u8; 4096]).unwrap_err();
+        assert!(matches!(err, LsmError::EntryTooLarge { .. }));
+        let err = db.put(vec![0u8; 70_000], &b"v"[..]).unwrap_err();
+        assert!(matches!(err, LsmError::KeyTooLarge(_)));
+    }
+
+    #[test]
+    fn flush_forces_buffer_to_disk() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        db.put(&b"k"[..], &b"v"[..]).unwrap();
+        assert_eq!(db.stats().disk_entries, 0);
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.disk_entries, 1);
+        assert_eq!(stats.buffer_entries, 0);
+        assert_eq!(db.get(b"k").unwrap().unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn deleting_everything_empties_last_level_merges() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        for i in 0..50 {
+            db.put(format!("k{i:03}").into_bytes(), vec![b'x'; 40]).unwrap();
+        }
+        for i in 0..50 {
+            db.delete(format!("k{i:03}").into_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..50 {
+            assert!(db.get(format!("k{i:03}").as_bytes()).unwrap().is_none());
+        }
+        assert_eq!(db.range(b"", None).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn zero_result_lookups_mostly_filtered() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 1000);
+        db.reset_io();
+        for i in 0..500 {
+            assert!(db.get(format!("absent{i}").as_bytes()).unwrap().is_none());
+        }
+        let ios = db.io().page_reads;
+        // 10 bits/entry -> ~1% FPR per run over a handful of runs.
+        assert!(ios < 100, "500 zero-result lookups cost {ios} I/Os");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let db = small_db(MergePolicy::Tiering, 3);
+        fill(&db, 200);
+        crossbeam::scope(|scope| {
+            scope.spawn(|_| {
+                for i in 200..400 {
+                    db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20]).unwrap();
+                }
+            });
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for i in (0..200).step_by(7) {
+                        let got = db.get(format!("key{i:06}").as_bytes()).unwrap();
+                        assert!(got.is_some());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(db.range(b"", None).unwrap().count(), 400);
+    }
+}
+
+#[cfg(test)]
+mod migrate_tests {
+    use super::*;
+    use crate::policy::MergePolicy;
+
+    #[test]
+    fn migrate_changes_tuning_and_keeps_data() {
+        let src = Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .size_ratio(2)
+                .merge_policy(MergePolicy::Leveling)
+                .uniform_filters(5.0),
+        )
+        .unwrap();
+        for i in 0..800 {
+            src.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes()).unwrap();
+        }
+        src.delete(&b"k0013"[..]).unwrap();
+
+        let dst = src
+            .migrate_to(
+                DbOptions::in_memory()
+                    .page_size(256)
+                    .buffer_capacity(1024)
+                    .size_ratio(4)
+                    .merge_policy(MergePolicy::Tiering)
+                    .uniform_filters(10.0),
+            )
+            .unwrap();
+
+        assert_eq!(dst.options().size_ratio, 4);
+        assert_eq!(dst.options().merge_policy, MergePolicy::Tiering);
+        // Same live contents, tombstone not carried.
+        assert_eq!(dst.range(b"", None).unwrap().count(), 799);
+        assert!(dst.get(b"k0013").unwrap().is_none());
+        assert_eq!(dst.get(b"k0500").unwrap().unwrap().as_ref(), b"v500");
+        // Tiering structure in the new store.
+        for level in dst.stats().levels {
+            assert!(level.runs < 4);
+        }
+        // Source untouched.
+        assert_eq!(src.range(b"", None).unwrap().count(), 799);
+    }
+
+    #[test]
+    fn migrate_empty_store() {
+        let src = Db::open(DbOptions::in_memory().page_size(256).buffer_capacity(512)).unwrap();
+        let dst = src.migrate_to(DbOptions::in_memory().page_size(512).buffer_capacity(1024)).unwrap();
+        assert_eq!(dst.range(b"", None).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn migration_compacts_superseded_versions() {
+        let src = Db::open(
+            DbOptions::in_memory().page_size(256).buffer_capacity(512).uniform_filters(5.0),
+        )
+        .unwrap();
+        // Write each key 5 times: the source tree carries old versions
+        // until merges retire them; the migration target starts clean.
+        for round in 0..5 {
+            for i in 0..200 {
+                src.put(format!("k{i:03}").into_bytes(), format!("r{round}").into_bytes())
+                    .unwrap();
+            }
+        }
+        let dst = src
+            .migrate_to(DbOptions::in_memory().page_size(256).buffer_capacity(512))
+            .unwrap();
+        assert_eq!(dst.stats().disk_entries + dst.stats().buffer_entries, 200);
+        assert_eq!(dst.get(b"k007").unwrap().unwrap().as_ref(), b"r4");
+    }
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use super::*;
+    use crate::policy::MergePolicy;
+
+    fn build() -> Arc<Db> {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .size_ratio(3)
+                .merge_policy(MergePolicy::Tiering)
+                .uniform_filters(8.0),
+        )
+        .unwrap();
+        for i in 0..1500 {
+            db.put(format!("k{i:05}").into_bytes(), vec![b'v'; 24]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn verify_passes_on_healthy_store() {
+        let db = build();
+        let verified = db.verify().unwrap();
+        let stats = db.stats();
+        assert_eq!(verified, stats.disk_entries);
+        assert!(verified > 1000);
+    }
+
+    #[test]
+    fn compaction_stats_accumulate() {
+        let db = build();
+        let c = db.compaction_stats();
+        assert!(c.flushes >= 100, "1500 entries / ~12 per buffer: {c:?}");
+        assert!(c.merges > 0);
+        assert!(c.entries_rewritten > 1500, "merges rewrite entries repeatedly");
+        // Measured per-entry write amplification is in Eq. 10's ballpark:
+        // tiering T=3 amortizes to (T−1)/T ≈ 0.67 rewrites per level.
+        let amp = c.entries_rewritten as f64 / 1500.0;
+        assert!((1.0..12.0).contains(&amp), "write amp {amp}");
+    }
+
+    #[test]
+    fn verify_detects_filter_damage() {
+        // Swap a run's filter for an empty (all-negative would be a false
+        // negative) one via the rebuild path with zero bits — the
+        // degenerate filter answers "maybe" for everything, so verify
+        // still passes; instead corrupt metadata by constructing a run
+        // with a *wrong* filter through recover_run at 0 bits, which is
+        // valid. True filter damage cannot be constructed through the
+        // public API — assert verify at least re-reads everything.
+        let db = build();
+        db.reset_io();
+        let n = db.verify().unwrap();
+        assert!(db.io().page_reads > 0, "verify physically reads the runs");
+        assert!(n > 0);
+    }
+}

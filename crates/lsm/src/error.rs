@@ -1,0 +1,81 @@
+//! Error type for the LSM engine.
+
+use monkey_storage::StorageError;
+
+/// Errors surfaced by the LSM engine.
+#[derive(Debug)]
+pub enum LsmError {
+    /// A storage-layer failure.
+    Storage(StorageError),
+    /// An entry too large to fit in one page with its header.
+    EntryTooLarge {
+        /// Combined encoded size of the entry.
+        encoded: usize,
+        /// Maximum encoded entry size for this page size.
+        max: usize,
+    },
+    /// A key longer than the format's 64 KiB limit.
+    KeyTooLarge(usize),
+    /// WAL or manifest contents failed a structural check.
+    Corruption(String),
+    /// An operating-system error outside the paged store (WAL, manifest).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for LsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage: {e}"),
+            Self::EntryTooLarge { encoded, max } => {
+                write!(f, "entry encodes to {encoded} bytes, page fits at most {max}")
+            }
+            Self::KeyTooLarge(n) => write!(f, "key is {n} bytes, limit is 65535"),
+            Self::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Self::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for LsmError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for LsmError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Convenience alias used across the engine.
+pub type Result<T> = std::result::Result<T, LsmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LsmError::EntryTooLarge { encoded: 5000, max: 4000 };
+        assert!(e.to_string().contains("5000"));
+        let e: LsmError = StorageError::NotFound { run: 1, page: None }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = LsmError::KeyTooLarge(70_000);
+        assert!(e.to_string().contains("70000"));
+        let e = LsmError::Corruption("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e: LsmError = std::io::Error::other("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,323 @@
+//! K-way merge iteration over runs and the buffer.
+//!
+//! Both range lookups and merge (compaction) operations consume multiple
+//! sorted sources at once. The merging iterator yields entries in internal
+//! order (key ascending); with deduplication enabled, only the newest
+//! version of each key survives — "only the entry from the most
+//! recently-created run is kept because it is the most up-to-date" (§2).
+
+use crate::entry::Entry;
+use crate::error::Result;
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A boxed sorted source of entries.
+pub type EntrySource = Box<dyn Iterator<Item = Result<Entry>>>;
+
+struct HeapItem {
+    entry: Entry,
+    src: usize,
+}
+
+// Min-heap by (key asc, seq desc): BinaryHeap is a max-heap, so reverse.
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .entry
+            .key
+            .cmp(&self.entry.key)
+            .then_with(|| self.entry.seq.cmp(&other.entry.seq))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapItem {}
+
+/// Merges any number of sorted entry sources.
+pub struct MergingIter {
+    sources: Vec<EntrySource>,
+    heap: BinaryHeap<HeapItem>,
+    last_key: Option<Bytes>,
+    dedup: bool,
+    failed: bool,
+    // An error hit while refilling the heap: surfaced after the entries
+    // already popped, so no data is silently dropped before the error.
+    pending_err: Option<crate::error::LsmError>,
+}
+
+impl MergingIter {
+    /// Creates a merging iterator.
+    ///
+    /// With `dedup`, only the newest version (highest sequence number) of
+    /// each key is yielded; older versions are consumed silently.
+    pub fn new(mut sources: Vec<EntrySource>, dedup: bool) -> Result<Self> {
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (src, source) in sources.iter_mut().enumerate() {
+            match source.next() {
+                Some(Ok(entry)) => heap.push(HeapItem { entry, src }),
+                Some(Err(e)) => return Err(e),
+                None => {}
+            }
+        }
+        Ok(Self { sources, heap, last_key: None, dedup, failed: false, pending_err: None })
+    }
+
+    fn advance(&mut self, src: usize) -> Result<()> {
+        if let Some(item) = self.sources[src].next() {
+            let entry = item?;
+            self.heap.push(HeapItem { entry, src });
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for MergingIter {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            let Some(HeapItem { entry, src }) = self.heap.pop() else {
+                if let Some(e) = self.pending_err.take() {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                return None;
+            };
+            if self.pending_err.is_none() {
+                if let Err(e) = self.advance(src) {
+                    self.pending_err = Some(e);
+                }
+            }
+            if self.dedup {
+                if self.last_key.as_ref() == Some(&entry.key) {
+                    continue; // superseded version
+                }
+                self.last_key = Some(entry.key.clone());
+            }
+            return Some(Ok(entry));
+        }
+    }
+}
+
+/// A range-scan cursor over the whole tree, produced by
+/// [`Db::range`](crate::Db::range). Yields live `(key, value)` pairs in key
+/// order; tombstones and superseded versions are resolved internally.
+pub struct RangeIter {
+    inner: MergingIter,
+    hi: Option<Bytes>,
+    done: bool,
+    vlog: Option<std::sync::Arc<crate::vlog::ValueLog>>,
+}
+
+impl RangeIter {
+    pub(crate) fn new(inner: MergingIter, hi: Option<Bytes>) -> Self {
+        Self { inner, hi, done: false, vlog: None }
+    }
+
+    /// Attaches the value log used to resolve separated values.
+    pub(crate) fn with_value_log(
+        mut self,
+        vlog: Option<std::sync::Arc<crate::vlog::ValueLog>>,
+    ) -> Self {
+        self.vlog = vlog;
+        self
+    }
+}
+
+impl Iterator for RangeIter {
+    type Item = Result<(Bytes, Bytes)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let entry = match self.inner.next()? {
+                Ok(e) => e,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            if let Some(hi) = &self.hi {
+                if entry.key >= *hi {
+                    self.done = true;
+                    return None;
+                }
+            }
+            if entry.is_tombstone() {
+                continue; // deleted key: invisible to scans
+            }
+            if entry.kind == crate::entry::EntryKind::IndirectPut {
+                let resolved = crate::vlog::ValuePointer::decode(&entry.value)
+                    .ok_or_else(|| {
+                        crate::error::LsmError::Corruption(
+                            "malformed value-log pointer".into(),
+                        )
+                    })
+                    .and_then(|ptr| match &self.vlog {
+                        Some(vlog) => vlog.get(ptr),
+                        None => Err(crate::error::LsmError::Corruption(
+                            "indirect entry in a store without a value log".into(),
+                        )),
+                    });
+                return match resolved {
+                    Ok(value) => Some(Ok((entry.key, value))),
+                    Err(e) => {
+                        self.done = true;
+                        Some(Err(e))
+                    }
+                };
+            }
+            return Some(Ok((entry.key, entry.value)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(entries: Vec<Entry>) -> EntrySource {
+        Box::new(entries.into_iter().map(Ok))
+    }
+
+    fn put(k: &str, v: &str, seq: u64) -> Entry {
+        Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq)
+    }
+
+    #[test]
+    fn merges_in_key_order() {
+        let it = MergingIter::new(
+            vec![
+                src(vec![put("a", "1", 1), put("c", "3", 3)]),
+                src(vec![put("b", "2", 2), put("d", "4", 4)]),
+            ],
+            false,
+        )
+        .unwrap();
+        let keys: Vec<String> = it
+            .map(|e| String::from_utf8(e.unwrap().key.to_vec()).unwrap())
+            .collect();
+        assert_eq!(keys, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn dedup_keeps_newest_version() {
+        let it = MergingIter::new(
+            vec![
+                src(vec![put("k", "new", 10)]),
+                src(vec![put("k", "old", 5)]),
+            ],
+            true,
+        )
+        .unwrap();
+        let got: Vec<Entry> = it.map(|e| e.unwrap()).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value.as_ref(), b"new");
+    }
+
+    #[test]
+    fn without_dedup_all_versions_surface_newest_first() {
+        let it = MergingIter::new(
+            vec![
+                src(vec![put("k", "old", 5)]),
+                src(vec![put("k", "new", 10)]),
+            ],
+            false,
+        )
+        .unwrap();
+        let got: Vec<Entry> = it.map(|e| e.unwrap()).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, 10, "internal order: newest first among equals");
+        assert_eq!(got[1].seq, 5);
+    }
+
+    #[test]
+    fn dedup_across_three_sources() {
+        let it = MergingIter::new(
+            vec![
+                src(vec![put("a", "a2", 20), put("b", "b1", 11)]),
+                src(vec![put("a", "a1", 10), put("c", "c1", 12)]),
+                src(vec![put("a", "a0", 1), put("b", "b0", 2)]),
+            ],
+            true,
+        )
+        .unwrap();
+        let got: Vec<(String, String)> = it
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    String::from_utf8(e.key.to_vec()).unwrap(),
+                    String::from_utf8(e.value.to_vec()).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), "a2".into()),
+                ("b".into(), "b1".into()),
+                ("c".into(), "c1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let it = MergingIter::new(vec![src(vec![]), src(vec![])], true).unwrap();
+        assert_eq!(it.count(), 0);
+        let it = MergingIter::new(vec![], true).unwrap();
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn range_iter_hides_tombstones_and_respects_bound() {
+        let inner = MergingIter::new(
+            vec![src(vec![
+                put("a", "1", 1),
+                Entry::tombstone(b"b".to_vec(), 2),
+                put("c", "3", 3),
+                put("d", "4", 4),
+            ])],
+            true,
+        )
+        .unwrap();
+        let it = RangeIter::new(inner, Some(Bytes::from_static(b"d")));
+        let keys: Vec<String> = it
+            .map(|kv| String::from_utf8(kv.unwrap().0.to_vec()).unwrap())
+            .collect();
+        assert_eq!(keys, vec!["a", "c"], "b deleted, d excluded");
+    }
+
+    #[test]
+    fn error_from_source_propagates_and_fuses() {
+        let bad: EntrySource = Box::new(
+            vec![
+                Ok(put("a", "1", 1)),
+                Err(crate::error::LsmError::Corruption("synthetic".into())),
+                Ok(put("z", "9", 9)),
+            ]
+            .into_iter(),
+        );
+        let mut it = MergingIter::new(vec![bad], true).unwrap();
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none(), "iterator fuses after error");
+    }
+}

@@ -1,0 +1,71 @@
+//! A complete LSM-tree storage engine — the substrate of the Monkey
+//! reproduction.
+//!
+//! This crate plays the role LevelDB plays in the paper: a full LSM-tree
+//! key-value store with
+//!
+//! * an in-memory **buffer** (memtable, Level 0 in the paper's terms) of
+//!   configurable capacity `M_buffer = P·B·E`,
+//! * an optional **write-ahead log** for durability of buffered updates,
+//! * immutable sorted **runs** laid out in fixed-size pages with in-memory
+//!   **fence pointers** (first key of every page), so probing a run costs
+//!   exactly one page I/O (§2 of the paper),
+//! * a Bloom **filter per run**, with the bits-per-entry decided by a
+//!   pluggable [`FilterPolicy`] — uniform allocation reproduces the
+//!   state-of-the-art baseline; the `monkey` crate plugs in the paper's
+//!   optimal allocation,
+//! * both **merge policies**: *leveling* (one run per level, eager merge)
+//!   and *tiering* (up to `T−1` resident runs per level, merge on the
+//!   arrival of the `T`-th), with any size ratio `T ≥ 2`,
+//! * point lookups, range scans (via a k-way merge iterator), deletes
+//!   (tombstones), crash recovery from WAL + manifest, and full memory- and
+//!   I/O-footprint introspection.
+//!
+//! The engine is deliberately synchronous: flushes and compactions happen on
+//! the write path so every experiment's I/O counts are deterministic. The
+//! paper's §6 notes that merge *scheduling* is orthogonal to Monkey's
+//! contribution.
+//!
+//! # Example
+//!
+//! ```
+//! use monkey_lsm::{Db, DbOptions, MergePolicy};
+//!
+//! let db = Db::open(DbOptions::in_memory()
+//!     .buffer_capacity(4 << 10)
+//!     .size_ratio(4)
+//!     .merge_policy(MergePolicy::Leveling)).unwrap();
+//! db.put(b"key".to_vec(), b"value".to_vec()).unwrap();
+//! assert_eq!(db.get(b"key").unwrap().as_deref(), Some(&b"value"[..]));
+//! db.delete(b"key".to_vec()).unwrap();
+//! assert_eq!(db.get(b"key").unwrap(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compaction;
+pub mod entry;
+pub mod iter;
+pub mod level;
+pub mod manifest;
+pub mod memtable;
+pub mod page;
+pub mod policy;
+pub mod run;
+pub mod stats;
+pub mod vlog;
+pub mod wal;
+
+mod db;
+mod error;
+mod options;
+
+pub use db::{CompactionStats, Db};
+pub use entry::{Entry, EntryKind};
+pub use error::{LsmError, Result};
+pub use iter::RangeIter;
+pub use options::DbOptions;
+pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};
+pub use run::Run;
+pub use vlog::{ValueLog, ValuePointer};
+pub use stats::{DbStats, LevelStats};

@@ -1,0 +1,179 @@
+//! The in-memory buffer (Level 0 of the paper's Figure 2).
+//!
+//! Updates go to the buffer without touching secondary storage; an update to
+//! a key already buffered replaces it **in place** so "only the latest one
+//! survives" (§2). When the buffer reaches its byte capacity
+//! `M_buffer = P·B·E`, the engine sorts its entries into a run and flushes.
+
+use crate::entry::{Entry, EntryKind, ENTRY_HEADER_LEN};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    value: Bytes,
+    seq: u64,
+    kind: EntryKind,
+}
+
+/// Sorted in-memory buffer of the newest updates.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Bytes, Slot>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces an entry, returning the buffer's new byte size.
+    pub fn insert(&mut self, entry: Entry) -> usize {
+        let add = entry.encoded_len();
+        let Entry { key, value, seq, kind } = entry;
+        let key_len = key.len();
+        if let Some(old) = self.map.insert(key, Slot { value, seq, kind }) {
+            // Replaced in place (§2): swap the old footprint for the new.
+            let old_footprint = ENTRY_HEADER_LEN + key_len + old.value.len();
+            self.bytes = self.bytes - old_footprint + add;
+        } else {
+            self.bytes += add;
+        }
+        self.bytes
+    }
+
+    /// Looks a key up. `Some(entry)` may be a tombstone — the caller decides
+    /// what a delete means at its layer.
+    pub fn get(&self, key: &[u8]) -> Option<Entry> {
+        self.map.get_key_value(key).map(|(k, slot)| Entry {
+            key: k.clone(),
+            value: slot.value.clone(),
+            seq: slot.seq,
+            kind: slot.kind,
+        })
+    }
+
+    /// Number of distinct buffered keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate encoded footprint in bytes (what counts against
+    /// `M_buffer`).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drains the buffer into a sorted entry vector (ready to become a run)
+    /// and resets it.
+    pub fn drain_sorted(&mut self) -> Vec<Entry> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map)
+            .into_iter()
+            .map(|(key, slot)| Entry { key, value: slot.value, seq: slot.seq, kind: slot.kind })
+            .collect()
+    }
+
+    /// Sorted entries in `[lo, hi)` (hi = None means unbounded), cloned.
+    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Vec<Entry> {
+        let upper = match hi {
+            Some(h) => Bound::Excluded(Bytes::copy_from_slice(h)),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((Bound::Included(Bytes::copy_from_slice(lo)), upper))
+            .map(|(key, slot)| Entry {
+                key: key.clone(),
+                value: slot.value.clone(),
+                seq: slot.seq,
+                kind: slot.kind,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(m: &mut Memtable, k: &str, v: &str, seq: u64) {
+        m.insert(Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq));
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = Memtable::new();
+        put(&mut m, "a", "1", 1);
+        assert_eq!(m.get(b"a").unwrap().value.as_ref(), b"1");
+        assert!(m.get(b"b").is_none());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn replacement_keeps_latest_only() {
+        let mut m = Memtable::new();
+        put(&mut m, "k", "old", 1);
+        put(&mut m, "k", "new", 2);
+        assert_eq!(m.len(), 1, "in-place replacement (§2)");
+        let e = m.get(b"k").unwrap();
+        assert_eq!(e.value.as_ref(), b"new");
+        assert_eq!(e.seq, 2);
+    }
+
+    #[test]
+    fn tombstone_is_visible() {
+        let mut m = Memtable::new();
+        put(&mut m, "k", "v", 1);
+        m.insert(Entry::tombstone(b"k".to_vec(), 2));
+        let e = m.get(b"k").unwrap();
+        assert!(e.is_tombstone());
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_replacements() {
+        let mut m = Memtable::new();
+        put(&mut m, "key", "12345", 1);
+        let after_first = m.bytes();
+        assert_eq!(after_first, ENTRY_HEADER_LEN + 3 + 5);
+        put(&mut m, "key", "1", 2); // value shrinks by 4
+        assert_eq!(m.bytes(), after_first - 4);
+        put(&mut m, "key", "123456789", 3); // value grows
+        assert_eq!(m.bytes(), ENTRY_HEADER_LEN + 3 + 9);
+    }
+
+    #[test]
+    fn drain_sorted_returns_key_order_and_resets() {
+        let mut m = Memtable::new();
+        put(&mut m, "c", "3", 3);
+        put(&mut m, "a", "1", 1);
+        put(&mut m, "b", "2", 2);
+        let drained = m.drain_sorted();
+        let keys: Vec<&[u8]> = drained.iter().map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c"]);
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut m = Memtable::new();
+        for k in ["a", "b", "c", "d"] {
+            put(&mut m, k, "v", 1);
+        }
+        let r = m.range(b"b", Some(b"d"));
+        let keys: Vec<&[u8]> = r.iter().map(|e| e.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"b".as_ref(), b"c"]);
+        let r = m.range(b"c", None);
+        assert_eq!(r.len(), 2);
+        let r = m.range(b"x", None);
+        assert!(r.is_empty());
+    }
+}

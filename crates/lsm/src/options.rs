@@ -1,0 +1,194 @@
+//! Database configuration: the paper's tuning knobs, as a builder.
+
+use crate::policy::{FilterPolicy, MergePolicy, UniformFilterPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where the database's pages live.
+#[derive(Debug, Clone)]
+pub enum StorageConfig {
+    /// In-memory simulated disk (the experiment default; volatile).
+    Memory,
+    /// In-memory simulated disk with a block cache of the given byte size.
+    MemoryCached(usize),
+    /// A directory on the filesystem (durable; enables WAL + manifest).
+    Directory(PathBuf),
+}
+
+/// All tuning knobs of the engine. The defaults mirror a LevelDB-style
+/// configuration: leveling, size ratio 10, 1 MiB buffer, 4 KiB pages,
+/// uniform 10 bits-per-entry filters.
+#[derive(Clone)]
+pub struct DbOptions {
+    /// Storage backing.
+    pub storage: StorageConfig,
+    /// Disk page size in bytes (`B·E` in the paper: entries per page ×
+    /// entry size).
+    pub page_size: usize,
+    /// Buffer (memtable) capacity in bytes — the paper's `M_buffer = P·B·E`.
+    pub buffer_capacity: usize,
+    /// Size ratio `T` between adjacent level capacities (≥ 2).
+    pub size_ratio: usize,
+    /// Leveling or tiering.
+    pub merge_policy: MergePolicy,
+    /// Bloom-filter allocation policy.
+    pub filter_policy: Arc<dyn FilterPolicy>,
+    /// fsync the WAL on every append (durable but slow) instead of on
+    /// flush boundaries.
+    pub wal_sync_each_append: bool,
+    /// Key-value separation (WiscKey, §6 of the paper): values of at least
+    /// this many bytes live in an append-only value log and the tree
+    /// stores a 14-byte pointer instead. `None` keeps every value inline.
+    pub value_separation: Option<usize>,
+}
+
+impl DbOptions {
+    /// Options for a volatile in-memory database.
+    pub fn in_memory() -> Self {
+        Self {
+            storage: StorageConfig::Memory,
+            ..Self::base()
+        }
+    }
+
+    /// Options for an in-memory database with a block cache (Figure 12's
+    /// configuration).
+    pub fn in_memory_cached(cache_bytes: usize) -> Self {
+        Self {
+            storage: StorageConfig::MemoryCached(cache_bytes),
+            ..Self::base()
+        }
+    }
+
+    /// Options for a durable database rooted at `dir`.
+    pub fn at_path(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            storage: StorageConfig::Directory(dir.into()),
+            ..Self::base()
+        }
+    }
+
+    fn base() -> Self {
+        Self {
+            storage: StorageConfig::Memory,
+            page_size: 4096,
+            buffer_capacity: 1 << 20,
+            size_ratio: 10,
+            merge_policy: MergePolicy::Leveling,
+            filter_policy: Arc::new(UniformFilterPolicy::new(10.0)),
+            wal_sync_each_append: false,
+            value_separation: None,
+        }
+    }
+
+    /// Sets the page size in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 32, "page size too small to hold entries: {bytes}");
+        self.page_size = bytes;
+        self
+    }
+
+    /// Sets the buffer capacity in bytes.
+    pub fn buffer_capacity(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "buffer capacity must be positive");
+        self.buffer_capacity = bytes;
+        self
+    }
+
+    /// Sets the size ratio `T` (clamped to at least 2 — the paper's lower
+    /// bound, where leveling and tiering coincide).
+    pub fn size_ratio(mut self, t: usize) -> Self {
+        assert!(t >= 2, "size ratio must be at least 2, got {t}");
+        self.size_ratio = t;
+        self
+    }
+
+    /// Sets the merge policy.
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
+        self
+    }
+
+    /// Sets the filter allocation policy.
+    pub fn filter_policy(mut self, policy: Arc<dyn FilterPolicy>) -> Self {
+        self.filter_policy = policy;
+        self
+    }
+
+    /// Shorthand for a uniform filter policy at `bits_per_entry`.
+    pub fn uniform_filters(mut self, bits_per_entry: f64) -> Self {
+        self.filter_policy = Arc::new(UniformFilterPolicy::new(bits_per_entry));
+        self
+    }
+
+    /// Enables fsync-per-append WAL durability.
+    pub fn wal_sync_each_append(mut self, on: bool) -> Self {
+        self.wal_sync_each_append = on;
+        self
+    }
+
+    /// Enables key-value separation for values of at least
+    /// `threshold_bytes` (WiscKey-style; see the paper's §6).
+    pub fn value_separation(mut self, threshold_bytes: usize) -> Self {
+        assert!(threshold_bytes > 0);
+        self.value_separation = Some(threshold_bytes);
+        self
+    }
+}
+
+impl std::fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbOptions")
+            .field("storage", &self.storage)
+            .field("page_size", &self.page_size)
+            .field("buffer_capacity", &self.buffer_capacity)
+            .field("size_ratio", &self.size_ratio)
+            .field("merge_policy", &self.merge_policy)
+            .field("filter_policy", &self.filter_policy.name())
+            .field("wal_sync_each_append", &self.wal_sync_each_append)
+            .field("value_separation", &self.value_separation)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_leveldb_like() {
+        let o = DbOptions::in_memory();
+        assert_eq!(o.page_size, 4096);
+        assert_eq!(o.buffer_capacity, 1 << 20);
+        assert_eq!(o.size_ratio, 10);
+        assert_eq!(o.merge_policy, MergePolicy::Leveling);
+        assert_eq!(o.filter_policy.name(), "uniform");
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = DbOptions::in_memory()
+            .page_size(1024)
+            .buffer_capacity(2048)
+            .size_ratio(4)
+            .merge_policy(MergePolicy::Tiering)
+            .uniform_filters(5.0);
+        assert_eq!(o.page_size, 1024);
+        assert_eq!(o.buffer_capacity, 2048);
+        assert_eq!(o.size_ratio, 4);
+        assert_eq!(o.merge_policy, MergePolicy::Tiering);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn size_ratio_below_two_rejected() {
+        DbOptions::in_memory().size_ratio(1);
+    }
+
+    #[test]
+    fn debug_does_not_explode() {
+        let o = DbOptions::at_path("/tmp/x");
+        let s = format!("{o:?}");
+        assert!(s.contains("uniform"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Page encoding: how entries are packed into fixed-size disk pages.
+//!
+//! Layout of one page:
+//!
+//! ```text
+//! [u16 entry_count][u64 checksum]
+//! entry_count × [u16 key_len][u32 val_len][u64 seq][u8 kind][key][value]
+//! [zero padding to the page size]
+//! ```
+//!
+//! The checksum is XXH64 over everything after it (count and padding
+//! included by construction of the encoder), so any bit flipped at rest or
+//! in flight surfaces as [`LsmError::Corruption`] instead of wrong data.
+//!
+//! Entries within a page are sorted by internal order, so a point lookup
+//! that has fenced to the right page finds its key with a binary search in
+//! memory — the page read is the only I/O.
+
+use crate::entry::{Entry, EntryKind, ENTRY_HEADER_LEN};
+use crate::error::{LsmError, Result};
+use bytes::Bytes;
+use monkey_bloom::hash::xxh64;
+
+const PAGE_SEED: u64 = 0x5041_4745_4D4F_4E4B; // "PAGEMONK"
+
+/// Bytes of per-page header: entry count (u16) + checksum (u64).
+pub const PAGE_HEADER_LEN: usize = 2 + 8;
+
+/// Maximum encoded entry size for a given page size.
+pub fn max_entry_len(page_size: usize) -> usize {
+    page_size.saturating_sub(PAGE_HEADER_LEN)
+}
+
+/// An in-construction page buffer.
+pub struct PageBuilder {
+    buf: Vec<u8>,
+    count: u16,
+    page_size: usize,
+}
+
+impl PageBuilder {
+    /// Starts an empty page of `page_size` bytes.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > PAGE_HEADER_LEN, "page too small: {page_size}");
+        let mut buf = Vec::with_capacity(page_size);
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum patched in finish()
+        Self { buf, count: 0, page_size }
+    }
+
+    /// Whether `entry` fits in the remaining space.
+    pub fn fits(&self, entry: &Entry) -> bool {
+        self.buf.len() + entry.encoded_len() <= self.page_size
+    }
+
+    /// Number of entries appended so far.
+    pub fn count(&self) -> u16 {
+        self.count
+    }
+
+    /// Appends an entry.
+    ///
+    /// Returns [`LsmError::EntryTooLarge`] if the entry can never fit in an
+    /// empty page, [`LsmError::KeyTooLarge`] for keys over the u16 limit.
+    /// Callers check [`fits`](Self::fits) first to close full pages.
+    pub fn push(&mut self, entry: &Entry) -> Result<()> {
+        if entry.key.len() > u16::MAX as usize {
+            return Err(LsmError::KeyTooLarge(entry.key.len()));
+        }
+        let encoded = entry.encoded_len();
+        if encoded > max_entry_len(self.page_size) {
+            return Err(LsmError::EntryTooLarge { encoded, max: max_entry_len(self.page_size) });
+        }
+        debug_assert!(self.fits(entry), "caller must close full pages first");
+        self.buf.extend_from_slice(&(entry.key.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&entry.seq.to_le_bytes());
+        self.buf.push(entry.kind.to_byte());
+        self.buf.extend_from_slice(&entry.key);
+        self.buf.extend_from_slice(&entry.value);
+        self.count += 1;
+        self.buf[0..2].copy_from_slice(&self.count.to_le_bytes());
+        Ok(())
+    }
+
+    /// True when no entries have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Pads to the page size, stamps the checksum, and returns the finished
+    /// page buffer, leaving the builder ready for the next page.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut page = std::mem::replace(&mut self.buf, Vec::with_capacity(self.page_size));
+        page.resize(self.page_size, 0);
+        let checksum = xxh64(&page[PAGE_HEADER_LEN..], PAGE_SEED ^ page[0] as u64 ^ ((page[1] as u64) << 8));
+        page[2..10].copy_from_slice(&checksum.to_le_bytes());
+        self.buf.extend_from_slice(&0u16.to_le_bytes());
+        self.buf.extend_from_slice(&0u64.to_le_bytes());
+        self.count = 0;
+        page
+    }
+}
+
+/// Decodes every entry of a page.
+pub fn decode_page(page: &Bytes) -> Result<Vec<Entry>> {
+    if page.len() < PAGE_HEADER_LEN {
+        return Err(LsmError::Corruption("page shorter than header".into()));
+    }
+    let count = u16::from_le_bytes(page[0..2].try_into().unwrap()) as usize;
+    let stored = u64::from_le_bytes(page[2..10].try_into().unwrap());
+    let computed = xxh64(&page[PAGE_HEADER_LEN..], PAGE_SEED ^ page[0] as u64 ^ ((page[1] as u64) << 8));
+    if stored != computed {
+        return Err(LsmError::Corruption(format!(
+            "page checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    let mut off = PAGE_HEADER_LEN;
+    for i in 0..count {
+        if off + ENTRY_HEADER_LEN > page.len() {
+            return Err(LsmError::Corruption(format!("entry {i} header truncated")));
+        }
+        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(page[off + 2..off + 6].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(page[off + 6..off + 14].try_into().unwrap());
+        let kind = EntryKind::from_byte(page[off + 14])
+            .ok_or_else(|| LsmError::Corruption(format!("entry {i} has bad kind byte")))?;
+        off += ENTRY_HEADER_LEN;
+        if off + klen + vlen > page.len() {
+            return Err(LsmError::Corruption(format!("entry {i} body truncated")));
+        }
+        let key = page.slice(off..off + klen);
+        let value = page.slice(off + klen..off + klen + vlen);
+        off += klen + vlen;
+        entries.push(Entry { key, value, seq, kind });
+    }
+    Ok(entries)
+}
+
+/// Binary-searches a decoded page for the newest version of `key`.
+///
+/// Entries are in internal order (key asc, seq desc), so the first entry
+/// with a matching key is the newest.
+pub fn search_page<'e>(entries: &'e [Entry], key: &[u8]) -> Option<&'e Entry> {
+    let idx = entries.partition_point(|e| e.key.as_ref() < key);
+    entries.get(idx).filter(|e| e.key.as_ref() == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(k: &str, v: &str, seq: u64) -> Entry {
+        Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq)
+    }
+
+    #[test]
+    fn build_and_decode_roundtrip() {
+        let mut b = PageBuilder::new(256);
+        let entries = vec![entry("alpha", "1", 10), entry("beta", "2", 11), entry("gamma", "", 12)];
+        for e in &entries {
+            assert!(b.fits(e));
+            b.push(e).unwrap();
+        }
+        let page = Bytes::from(b.finish());
+        assert_eq!(page.len(), 256);
+        let decoded = decode_page(&page).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let mut b = PageBuilder::new(128);
+        let t = Entry::tombstone(b"dead".to_vec(), 99);
+        b.push(&t).unwrap();
+        let decoded = decode_page(&Bytes::from(b.finish())).unwrap();
+        assert_eq!(decoded, vec![t]);
+    }
+
+    #[test]
+    fn fits_respects_page_size() {
+        let mut b = PageBuilder::new(64);
+        let e = entry("0123456789", "0123456789", 1); // 15 + 20 = 35 bytes
+        assert!(b.fits(&e));
+        b.push(&e).unwrap();
+        assert!(!b.fits(&e), "second copy would exceed 64 bytes");
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut b = PageBuilder::new(64);
+        let e = entry("key", &"v".repeat(100), 1);
+        assert!(matches!(b.push(&e), Err(LsmError::EntryTooLarge { .. })));
+    }
+
+    #[test]
+    fn huge_key_rejected() {
+        let mut b = PageBuilder::new(1 << 20);
+        let e = Entry::put(vec![0u8; 70_000], Vec::new(), 1);
+        assert!(matches!(b.push(&e), Err(LsmError::KeyTooLarge(70_000))));
+    }
+
+    #[test]
+    fn finish_resets_builder() {
+        let mut b = PageBuilder::new(128);
+        b.push(&entry("a", "1", 1)).unwrap();
+        let first = b.finish();
+        assert!(b.is_empty());
+        b.push(&entry("b", "2", 2)).unwrap();
+        let second = b.finish();
+        assert_ne!(first, second);
+        assert_eq!(decode_page(&Bytes::from(second)).unwrap()[0].key.as_ref(), b"b");
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_pages() {
+        // Count says 1 but no entry bytes follow.
+        let mut page = vec![0u8; 64];
+        page[0..2].copy_from_slice(&1u16.to_le_bytes());
+        page.truncate(3);
+        assert!(decode_page(&Bytes::from(page)).is_err());
+
+        // Any single flipped bit in the payload trips the checksum.
+        let mut b = PageBuilder::new(64);
+        b.push(&entry("k", "v", 1)).unwrap();
+        let good = b.finish();
+        for bit in [0usize, 7, 100, 300] {
+            let mut page = good.clone();
+            page[PAGE_HEADER_LEN + bit / 8] ^= 1 << (bit % 8);
+            let err = decode_page(&Bytes::from(page)).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "bit {bit}: {err}");
+        }
+
+        // Bad kind byte.
+        let mut b = PageBuilder::new(64);
+        b.push(&entry("k", "v", 1)).unwrap();
+        let mut page = b.finish();
+        page[PAGE_HEADER_LEN + 14] = 9; // kind byte of first entry
+        assert!(decode_page(&Bytes::from(page)).is_err());
+
+        // Body length overflows the page.
+        let mut b = PageBuilder::new(64);
+        b.push(&entry("k", "v", 1)).unwrap();
+        let mut page = b.finish();
+        page[PAGE_HEADER_LEN + 2..PAGE_HEADER_LEN + 6].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(decode_page(&Bytes::from(page)).is_err());
+    }
+
+    #[test]
+    fn search_finds_newest_version() {
+        // Internal order: key asc, seq desc.
+        let entries = vec![
+            entry("a", "new", 9),
+            entry("a", "old", 3),
+            entry("b", "x", 5),
+        ];
+        assert_eq!(search_page(&entries, b"a").unwrap().value.as_ref(), b"new");
+        assert_eq!(search_page(&entries, b"b").unwrap().seq, 5);
+        assert!(search_page(&entries, b"c").is_none());
+        assert!(search_page(&entries, b"0").is_none());
+    }
+
+    #[test]
+    fn empty_page_decodes_empty() {
+        let mut b = PageBuilder::new(32);
+        let page = Bytes::from(b.finish());
+        assert!(decode_page(&page).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Tuning policies: merge policy and Bloom-filter allocation.
+//!
+//! The merge policy and size ratio `T` navigate the paper's Figure 4
+//! trade-off continuum; the filter policy decides the bits-per-entry of
+//! each newly built run and is the knob Monkey's contribution turns. The
+//! engine ships the state-of-the-art **uniform** policy; the `monkey` crate
+//! provides the optimal allocation on top of the model crate.
+
+/// How runs of similar sizes are merged (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergePolicy {
+    /// At most one run per level; an arriving run is immediately
+    /// sort-merged with the resident run. Lookup-friendly.
+    Leveling,
+    /// Up to `T−1` resident runs per level; the arrival of the `T`-th
+    /// triggers a merge of all of them into the next level. Update-friendly.
+    Tiering,
+}
+
+impl MergePolicy {
+    /// Short lowercase name (for CSV output and manifests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Leveling => "leveling",
+            Self::Tiering => "tiering",
+        }
+    }
+
+    /// Parses [`name`](Self::name)'s output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "leveling" => Some(Self::Leveling),
+            "tiering" => Some(Self::Tiering),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a filter policy may consider when allocating bits for one new
+/// run.
+#[derive(Debug, Clone)]
+pub struct FilterContext {
+    /// 1-based level index from the shallowest disk level (the paper's `i`).
+    pub level: usize,
+    /// Current number of occupied disk levels (the paper's `L`).
+    pub num_levels: usize,
+    /// Entries in the run being built.
+    pub run_entries: u64,
+    /// Total entries across the tree (the paper's `N`).
+    pub total_entries: u64,
+    /// Entry counts of the *other* runs that will coexist with the new run
+    /// (the inputs a merge is replacing are excluded). Lets a policy solve
+    /// the allocation over the actual tree instead of the idealized
+    /// capacity schedule.
+    pub other_run_entries: Vec<u64>,
+    /// Size ratio `T` between adjacent levels.
+    pub size_ratio: usize,
+    /// The merge policy in force.
+    pub merge_policy: MergePolicy,
+}
+
+/// Decides the Bloom-filter budget of each newly built run.
+pub trait FilterPolicy: Send + Sync {
+    /// Bits per entry for the run described by `ctx`. Zero or negative
+    /// means no filter (the degenerate always-positive filter).
+    fn bits_per_entry(&self, ctx: &FilterContext) -> f64;
+
+    /// Human-readable policy name.
+    fn name(&self) -> &str;
+}
+
+/// The state of the art (§2): "all LSM-tree based key-value stores use the
+/// same number of bits-per-entry across all Bloom filters."
+#[derive(Debug, Clone)]
+pub struct UniformFilterPolicy {
+    bits_per_entry: f64,
+}
+
+impl UniformFilterPolicy {
+    /// Uniform allocation at `bits_per_entry` (LevelDB's default is 10; the
+    /// paper's experiments use 5).
+    pub fn new(bits_per_entry: f64) -> Self {
+        Self { bits_per_entry }
+    }
+}
+
+impl FilterPolicy for UniformFilterPolicy {
+    fn bits_per_entry(&self, _ctx: &FilterContext) -> f64 {
+        self.bits_per_entry
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_policy_names_roundtrip() {
+        for p in [MergePolicy::Leveling, MergePolicy::Tiering] {
+            assert_eq!(MergePolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(MergePolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn uniform_ignores_context() {
+        let p = UniformFilterPolicy::new(5.0);
+        let shallow = FilterContext {
+            level: 1,
+            num_levels: 5,
+            run_entries: 10,
+            total_entries: 1000,
+            other_run_entries: vec![100, 890],
+            size_ratio: 2,
+            merge_policy: MergePolicy::Leveling,
+        };
+        let deep = FilterContext { level: 5, run_entries: 800, ..shallow.clone() };
+        assert_eq!(p.bits_per_entry(&shallow), 5.0);
+        assert_eq!(p.bits_per_entry(&deep), 5.0);
+        assert_eq!(p.name(), "uniform");
+    }
+}

@@ -1,0 +1,652 @@
+//! Immutable sorted runs with fence pointers and a Bloom filter.
+//!
+//! A run is the paper's "sorted array flushed to secondary storage" (§2):
+//! entries packed into fixed-size pages, plus two in-memory structures:
+//!
+//! * **fence pointers** — the first key of every page, so a point lookup
+//!   finds the single page that can contain its key with an in-memory
+//!   binary search and reads it with **one** I/O;
+//! * a **Bloom filter** over the run's keys, whose size is the knob Monkey
+//!   turns. A run built with zero filter bits carries the degenerate
+//!   always-positive filter (an "unfiltered" level in the paper's terms).
+//!
+//! A run owns a handle to its [`Disk`] and its storage lifetime: when a
+//! merge supersedes a run, the engine marks it *obsolete* and the
+//! underlying pages are reclaimed once the last reference (e.g. an open
+//! range cursor) drops.
+
+use crate::entry::Entry;
+use crate::error::{LsmError, Result};
+use crate::page::{decode_page, search_page, PageBuilder};
+use bytes::Bytes;
+use monkey_bloom::BloomFilter;
+use monkey_storage::{Disk, RunId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shortest separator `S` with `prev < S <= next` (both non-empty,
+/// `prev < next`): the shortest prefix of `next` that already exceeds
+/// `prev`. Fences store separators instead of full keys, which shrinks
+/// `M_pointers` when adjacent keys share long prefixes (LevelDB does the
+/// same). Correctness: an existing key `k <= prev` satisfies `k < S`
+/// (earlier pages) and `k >= next` satisfies `k >= S` (this page).
+fn shortest_separator(prev: &[u8], next: &Bytes) -> Bytes {
+    debug_assert!(prev < next.as_ref());
+    for i in 0..next.len() {
+        if i >= prev.len() || next[i] > prev[i] {
+            return next.slice(..=i);
+        }
+        debug_assert_eq!(next[i], prev[i], "keys must be sorted");
+    }
+    next.clone()
+}
+
+/// An immutable sorted run.
+pub struct Run {
+    disk: Arc<Disk>,
+    id: RunId,
+    entries: u64,
+    tombstones: u64,
+    pages: u32,
+    /// First key of each page; `fences[0]` is the run's min key.
+    fences: Vec<Bytes>,
+    max_key: Bytes,
+    filter: BloomFilter,
+    /// Total encoded payload bytes (drives level capacity checks).
+    bytes: u64,
+    /// Bits-per-entry the filter was built with (recorded in the manifest
+    /// so recovery reproduces the allocation exactly).
+    filter_bpe: f64,
+    /// Set when a merge supersedes this run; storage is reclaimed on drop.
+    obsolete: AtomicBool,
+}
+
+impl Run {
+    /// The run's storage id.
+    pub fn id(&self) -> RunId {
+        self.id
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of tombstones among the entries.
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Smallest key in the run.
+    pub fn min_key(&self) -> &Bytes {
+        &self.fences[0]
+    }
+
+    /// Largest key in the run.
+    pub fn max_key(&self) -> &Bytes {
+        &self.max_key
+    }
+
+    /// The run's Bloom filter.
+    pub fn filter(&self) -> &BloomFilter {
+        &self.filter
+    }
+
+    /// Bits-per-entry the filter was built with.
+    pub fn filter_bits_per_entry(&self) -> f64 {
+        self.filter_bpe
+    }
+
+    /// Main-memory footprint of the fence pointers in bits (key bytes plus
+    /// a pointer-sized slot per page) — `M_pointers` in the paper.
+    pub fn fence_memory_bits(&self) -> u64 {
+        self.fences
+            .iter()
+            .map(|f| (f.len() + std::mem::size_of::<usize>()) as u64 * 8)
+            .sum()
+    }
+
+    /// Marks the run superseded: its pages are deleted when the last
+    /// reference drops (open cursors keep it readable until then).
+    pub fn mark_obsolete(&self) {
+        self.obsolete.store(true, Ordering::Release);
+    }
+
+    /// The page that may contain `key`, or `None` when `key` is outside the
+    /// run's key range (no I/O needed at all in that case).
+    pub fn page_for(&self, key: &[u8]) -> Option<u32> {
+        if key < self.fences[0].as_ref() || key > self.max_key.as_ref() {
+            return None;
+        }
+        // Last page whose first key is <= key.
+        let idx = self.fences.partition_point(|f| f.as_ref() <= key);
+        Some((idx - 1) as u32)
+    }
+
+    /// Point lookup: Bloom filter, then fence pointers, then at most one
+    /// page read. Returns the newest version in this run, which may be a
+    /// tombstone.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Entry>> {
+        if !self.filter.contains(key) {
+            return Ok(None); // definite negative, no I/O
+        }
+        let Some(page_no) = self.page_for(key) else {
+            return Ok(None); // outside key range, no I/O
+        };
+        let page = self.disk.read_page(self.id, page_no)?; // the single I/O
+        let entries = decode_page(&page)?;
+        Ok(search_page(&entries, key).cloned())
+    }
+
+    /// Iterates the whole run in key order.
+    pub fn iter(self: &Arc<Self>) -> RunIter {
+        RunIter::new(Arc::clone(self), 0, None)
+    }
+
+    /// Iterates entries with key `>= lo`, positioned via the fence pointers.
+    pub fn iter_from(self: &Arc<Self>, lo: &[u8]) -> RunIter {
+        if lo > self.max_key.as_ref() {
+            return RunIter::exhausted(Arc::clone(self));
+        }
+        let start_page = self.page_for(lo).unwrap_or(0);
+        RunIter::new(Arc::clone(self), start_page, Some(Bytes::copy_from_slice(lo)))
+    }
+}
+
+impl Drop for Run {
+    fn drop(&mut self) {
+        if self.obsolete.load(Ordering::Acquire) {
+            let _ = self.disk.delete_run(self.id);
+        }
+    }
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Run")
+            .field("id", &self.id)
+            .field("entries", &self.entries)
+            .field("pages", &self.pages)
+            .field("bytes", &self.bytes)
+            .field("filter_bits", &self.filter.nbits())
+            .finish()
+    }
+}
+
+/// Streaming builder: feed entries in internal order, get a sealed [`Run`].
+pub struct RunBuilder {
+    disk: Arc<Disk>,
+    writer: Option<monkey_storage::RunWriter>,
+    page: PageBuilder,
+    fences: Vec<Bytes>,
+    keys: Vec<Bytes>,
+    first_in_page: bool,
+    entries: u64,
+    tombstones: u64,
+    bytes: u64,
+    last_key: Option<Bytes>,
+    /// Last key of the most recently flushed page (for fence separators).
+    prev_page_last: Option<Bytes>,
+    max_key: Bytes,
+}
+
+impl RunBuilder {
+    /// Starts building a run on `disk`.
+    pub fn new(disk: Arc<Disk>) -> Self {
+        let page = PageBuilder::new(disk.page_size());
+        Self {
+            writer: Some(disk.begin_run()),
+            disk,
+            page,
+            fences: Vec::new(),
+            keys: Vec::new(),
+            first_in_page: true,
+            entries: 0,
+            tombstones: 0,
+            bytes: 0,
+            last_key: None,
+            prev_page_last: None,
+            max_key: Bytes::new(),
+        }
+    }
+
+    /// Appends the next entry. Entries must arrive in strictly increasing
+    /// key order with duplicate keys already resolved (one version per key).
+    pub fn push(&mut self, entry: Entry) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            debug_assert!(
+                entry.key > *last,
+                "entries must be pushed in strictly increasing key order"
+            );
+        }
+        if !self.page.fits(&entry) && !self.page.is_empty() {
+            self.flush_page()?;
+        }
+        if self.first_in_page {
+            // The first page fences with the true min key; later pages with
+            // the shortest separator from the previous page's last key.
+            let fence = match &self.prev_page_last {
+                Some(prev) => shortest_separator(prev, &entry.key),
+                None => entry.key.clone(),
+            };
+            self.fences.push(fence);
+            self.first_in_page = false;
+        }
+        self.bytes += entry.encoded_len() as u64;
+        self.entries += 1;
+        if entry.is_tombstone() {
+            self.tombstones += 1;
+        }
+        self.keys.push(entry.key.clone());
+        self.max_key = entry.key.clone();
+        self.last_key = Some(entry.key.clone());
+        self.page.push(&entry)?;
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> Result<()> {
+        let buf = self.page.finish();
+        self.writer.as_mut().expect("writer live until finish").append(&buf)?;
+        self.first_in_page = true;
+        self.prev_page_last = self.last_key.clone();
+        Ok(())
+    }
+
+    /// Entries pushed so far.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Seals the run, building its Bloom filter with `bits_per_entry` bits
+    /// per (actual) entry. Returns `None` for an empty builder: empty runs
+    /// do not exist in the tree.
+    pub fn finish(mut self, bits_per_entry: f64) -> Result<Option<Run>> {
+        if self.entries == 0 {
+            return Ok(None); // RunWriter drop cleans up storage
+        }
+        if !self.page.is_empty() {
+            self.flush_page()?;
+        }
+        let writer = self.writer.take().expect("writer live until finish");
+        let pages = writer.pages_written();
+        let id = writer.seal()?;
+        let mut filter = BloomFilter::with_bits_per_entry(self.entries, bits_per_entry);
+        for key in &self.keys {
+            filter.insert(key);
+        }
+        Ok(Some(Run {
+            disk: self.disk.clone(),
+            id,
+            entries: self.entries,
+            tombstones: self.tombstones,
+            pages,
+            fences: self.fences,
+            max_key: self.max_key,
+            filter,
+            bytes: self.bytes,
+            filter_bpe: bits_per_entry,
+            obsolete: AtomicBool::new(false),
+        }))
+    }
+}
+
+/// Sequential iterator over a run's entries.
+///
+/// The first page read costs a seek + read; each subsequent page costs a
+/// sequential read only, matching Eq. 11's range-lookup cost model. The
+/// iterator holds an `Arc` to its run, so a run superseded mid-scan stays
+/// readable until the cursor drops.
+pub struct RunIter {
+    run: Arc<Run>,
+    next_page: u32,
+    buffered: std::vec::IntoIter<Entry>,
+    started: bool,
+    lo: Option<Bytes>,
+    exhausted: bool,
+}
+
+impl RunIter {
+    fn new(run: Arc<Run>, start_page: u32, lo: Option<Bytes>) -> Self {
+        Self {
+            run,
+            next_page: start_page,
+            buffered: Vec::new().into_iter(),
+            started: false,
+            lo,
+            exhausted: false,
+        }
+    }
+
+    fn exhausted(run: Arc<Run>) -> Self {
+        let mut it = Self::new(run, 0, None);
+        it.exhausted = true;
+        it
+    }
+
+    fn fill(&mut self) -> Result<bool> {
+        while self.buffered.len() == 0 {
+            if self.exhausted || self.next_page >= self.run.pages() {
+                self.exhausted = true;
+                return Ok(false);
+            }
+            let page = if self.started {
+                self.run.disk.read_page_sequential(self.run.id(), self.next_page)?
+            } else {
+                self.started = true;
+                self.run.disk.read_page(self.run.id(), self.next_page)?
+            };
+            self.next_page += 1;
+            let mut entries = decode_page(&page)?;
+            if let Some(lo) = &self.lo {
+                entries.retain(|e| e.key >= *lo);
+            }
+            self.buffered = entries.into_iter();
+        }
+        Ok(true)
+    }
+}
+
+impl Iterator for RunIter {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.fill() {
+            Err(e) => {
+                self.exhausted = true;
+                Some(Err(e))
+            }
+            Ok(false) => None,
+            Ok(true) => self.buffered.next().map(Ok),
+        }
+    }
+}
+
+/// Rebuilds a [`Run`]'s in-memory metadata (fences, filter, counts) by
+/// scanning its pages — used by recovery, where only the id and level of
+/// each run survive in the manifest.
+pub fn recover_run(disk: &Arc<Disk>, id: RunId, bits_per_entry: f64) -> Result<Run> {
+    let pages = disk.run_pages(id)?;
+    if pages == 0 {
+        return Err(LsmError::Corruption(format!("run {id} has no pages")));
+    }
+    let mut fences = Vec::with_capacity(pages as usize);
+    let mut keys: Vec<Bytes> = Vec::new();
+    let mut entries = 0u64;
+    let mut tombstones = 0u64;
+    let mut bytes = 0u64;
+    let mut max_key = Bytes::new();
+    for page_no in 0..pages {
+        let page = if page_no == 0 {
+            disk.read_page(id, page_no)?
+        } else {
+            disk.read_page_sequential(id, page_no)?
+        };
+        let decoded = decode_page(&page)?;
+        if decoded.is_empty() {
+            return Err(LsmError::Corruption(format!("run {id} page {page_no} is empty")));
+        }
+        fences.push(decoded[0].key.clone());
+        for e in &decoded {
+            entries += 1;
+            if e.is_tombstone() {
+                tombstones += 1;
+            }
+            bytes += e.encoded_len() as u64;
+            keys.push(e.key.clone());
+            max_key = e.key.clone();
+        }
+    }
+    let mut filter = BloomFilter::with_bits_per_entry(entries, bits_per_entry);
+    for k in &keys {
+        filter.insert(k);
+    }
+    Ok(Run {
+        disk: Arc::clone(disk),
+        id,
+        entries,
+        tombstones,
+        pages,
+        fences,
+        max_key,
+        filter,
+        bytes,
+        filter_bpe: bits_per_entry,
+        obsolete: AtomicBool::new(false),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(disk: &Arc<Disk>, keys: &[&str], bpe: f64) -> Arc<Run> {
+        let mut b = RunBuilder::new(Arc::clone(disk));
+        for (i, k) in keys.iter().enumerate() {
+            b.push(Entry::put(k.as_bytes().to_vec(), format!("v{i}").into_bytes(), i as u64))
+                .unwrap();
+        }
+        Arc::new(b.finish(bpe).unwrap().unwrap())
+    }
+
+    #[test]
+    fn point_lookup_costs_one_io() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["apple", "banana", "cherry", "date", "elderberry", "fig"], 10.0);
+        assert!(run.pages() > 1, "spread over multiple pages");
+        disk.reset_io();
+        let e = run.get(b"date").unwrap().unwrap();
+        assert_eq!(e.value.as_ref(), b"v3");
+        assert_eq!(disk.io().page_reads, 1, "fence pointers: exactly one I/O");
+    }
+
+    #[test]
+    fn filter_negative_skips_io() {
+        let disk = Disk::mem(256);
+        let run = build(&disk, &["a", "b", "c"], 16.0);
+        disk.reset_io();
+        for i in 0..100 {
+            let key = format!("missing-{i}");
+            run.get(key.as_bytes()).unwrap();
+        }
+        let ios = disk.io().page_reads;
+        assert!(ios <= 5, "filter should absorb nearly all of 100 probes, cost {ios}");
+    }
+
+    #[test]
+    fn out_of_range_key_is_free_even_with_degenerate_filter() {
+        let disk = Disk::mem(256);
+        let run = build(&disk, &["m", "n", "o"], 0.0); // no filter at all
+        disk.reset_io();
+        assert!(run.get(b"a").unwrap().is_none());
+        assert!(run.get(b"z").unwrap().is_none());
+        assert_eq!(disk.io().page_reads, 0, "fences bound the key range for free");
+        // In-range missing key costs one I/O (false positive of the
+        // degenerate filter).
+        assert!(run.get(b"mm").unwrap().is_none());
+        assert_eq!(disk.io().page_reads, 1);
+    }
+
+    #[test]
+    fn tombstones_are_returned() {
+        let disk = Disk::mem(256);
+        let mut b = RunBuilder::new(Arc::clone(&disk));
+        b.push(Entry::put(b"a".to_vec(), b"1".to_vec(), 1)).unwrap();
+        b.push(Entry::tombstone(b"b".to_vec(), 2)).unwrap();
+        let run = Arc::new(b.finish(10.0).unwrap().unwrap());
+        assert_eq!(run.tombstones(), 1);
+        let e = run.get(b"b").unwrap().unwrap();
+        assert!(e.is_tombstone());
+    }
+
+    #[test]
+    fn empty_builder_yields_none() {
+        let disk = Disk::mem(64);
+        let b = RunBuilder::new(Arc::clone(&disk));
+        assert!(b.finish(10.0).unwrap().is_none());
+        assert!(disk.list_runs().is_empty(), "no leaked storage");
+    }
+
+    #[test]
+    fn iter_yields_all_in_order_with_sequential_io() {
+        let disk = Disk::mem(64);
+        let keys: Vec<String> = (0..50).map(|i| format!("key{i:04}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let run = build(&disk, &refs, 10.0);
+        disk.reset_io();
+        let got: Vec<Entry> = run.iter().map(|e| e.unwrap()).collect();
+        assert_eq!(got.len(), 50);
+        assert!(got.windows(2).all(|w| w[0].key < w[1].key));
+        let io = disk.io();
+        assert_eq!(io.page_reads as u32, run.pages());
+        assert_eq!(io.seeks, 1, "scan costs one seek");
+    }
+
+    #[test]
+    fn iter_from_positions_by_fence() {
+        let disk = Disk::mem(64);
+        let keys: Vec<String> = (0..50).map(|i| format!("key{i:04}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let run = build(&disk, &refs, 10.0);
+        disk.reset_io();
+        let got: Vec<Entry> = run.iter_from(b"key0040").map(|e| e.unwrap()).collect();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].key.as_ref(), b"key0040");
+        assert!(
+            (disk.io().page_reads as u32) < run.pages(),
+            "positioned scan skips leading pages"
+        );
+    }
+
+    #[test]
+    fn iter_from_beyond_max_is_empty_and_free() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["a", "b"], 10.0);
+        disk.reset_io();
+        assert_eq!(run.iter_from(b"zzz").count(), 0);
+        assert_eq!(disk.io().page_reads, 0);
+    }
+
+    #[test]
+    fn page_for_edges() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["b", "d", "f", "h", "j", "l"], 10.0);
+        assert_eq!(run.page_for(b"a"), None);
+        assert_eq!(run.page_for(b"b"), Some(0));
+        assert!(run.page_for(b"l").is_some());
+        assert_eq!(run.page_for(b"m"), None);
+    }
+
+    #[test]
+    fn obsolete_run_storage_reclaimed_on_last_drop() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["a", "b", "c"], 10.0);
+        let id = run.id();
+        let cursor = run.iter(); // second reference via Arc inside iter
+        run.mark_obsolete();
+        drop(run);
+        // Cursor still holds the run: storage must still be readable.
+        assert!(disk.run_pages(id).is_ok());
+        let n = cursor.count();
+        assert_eq!(n, 3);
+        // (cursor dropped here)
+        assert!(disk.run_pages(id).is_err(), "storage reclaimed after last reference");
+    }
+
+    #[test]
+    fn non_obsolete_run_keeps_storage_on_drop() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["a"], 10.0);
+        let id = run.id();
+        drop(run);
+        assert!(disk.run_pages(id).is_ok(), "runs persist across engine restarts");
+    }
+
+    #[test]
+    fn recover_run_matches_original() {
+        let disk = Disk::mem(64);
+        let keys: Vec<String> = (0..30).map(|i| format!("k{i:03}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let original = build(&disk, &refs, 8.0);
+        let recovered = recover_run(&disk, original.id(), 8.0).unwrap();
+        assert_eq!(recovered.entries(), original.entries());
+        assert_eq!(recovered.pages(), original.pages());
+        assert_eq!(recovered.min_key(), original.min_key());
+        assert_eq!(recovered.max_key(), original.max_key());
+        assert_eq!(recovered.bytes(), original.bytes());
+        let rec = Arc::new(recovered);
+        let e = rec.get(b"k015").unwrap().unwrap();
+        assert_eq!(e.value.as_ref(), b"v15");
+    }
+
+    #[test]
+    fn fences_are_compressed_separators() {
+        // Keys diverge in their first bytes and drag a long constant tail:
+        // separators truncate the tail, so fences are far smaller than the
+        // keys — and boundary lookups still work.
+        let disk = Disk::mem(96);
+        let keys: Vec<String> = (0..40).map(|i| format!("{i:04}{}", "x".repeat(28))).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let run = build(&disk, &refs, 10.0);
+        assert!(run.pages() >= 10);
+        // Every key still resolves with one read.
+        for (i, k) in refs.iter().enumerate() {
+            disk.reset_io();
+            let e = run.get(k.as_bytes()).unwrap().unwrap();
+            assert_eq!(e.value.as_ref(), format!("v{i}").as_bytes());
+            assert_eq!(disk.io().page_reads, 1, "key {k}");
+        }
+        // Full-key fences would cost (32 + 8) bytes per page; compressed
+        // separators keep only the leading digits (≤ 4 bytes + overhead).
+        let full_key_bits = run.pages() as u64 * (32 + 8) * 8;
+        assert!(
+            run.fence_memory_bits() < full_key_bits / 2,
+            "{} not well below {full_key_bits}",
+            run.fence_memory_bits()
+        );
+        // Dense keys differing only in their last byte cannot be
+        // truncated — separators never *grow* fences, though.
+        let disk2 = Disk::mem(96);
+        let dense: Vec<String> = (0..40).map(|i| format!("prefix-{i:08}")).collect();
+        let drefs: Vec<&str> = dense.iter().map(String::as_str).collect();
+        let run2 = build(&disk2, &drefs, 10.0);
+        assert!(run2.fence_memory_bits() <= run2.pages() as u64 * (15 + 8) * 8);
+    }
+
+    #[test]
+    fn shortest_separator_properties() {
+        let cases = [
+            ("apple", "apricot"),
+            ("abc", "abd"),
+            ("abc", "abcd"),
+            ("a", "b"),
+            ("key00019", "key00020"),
+        ];
+        for (prev, next) in cases {
+            let s = shortest_separator(prev.as_bytes(), &Bytes::copy_from_slice(next.as_bytes()));
+            assert!(prev.as_bytes() < s.as_ref(), "{prev} !< {s:?}");
+            assert!(s.as_ref() <= next.as_bytes(), "{s:?} !<= {next}");
+            assert!(s.len() <= next.len());
+        }
+    }
+
+    #[test]
+    fn fence_memory_accounts_keys() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["aa", "bb", "cc", "dd", "ee", "ff"], 10.0);
+        // Separators compress "bb".. to "b" etc.; each fence still pays at
+        // least its pointer slot plus one key byte.
+        let bits = run.fence_memory_bits();
+        assert!(bits >= run.pages() as u64 * (1 + 8) * 8, "{bits}");
+        assert!(bits <= run.pages() as u64 * (2 + 8) * 8);
+    }
+}

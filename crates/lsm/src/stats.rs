@@ -1,0 +1,112 @@
+//! Introspection: the tree's shape, memory footprint, and expected costs.
+//!
+//! These statistics are what the experiment harness records: the actual
+//! per-level filter allocation, the memory terms `M_buffer` / `M_filters` /
+//! `M_pointers` of the paper's Figure 2, and the model-predicted expected
+//! I/O cost of a zero-result lookup (the sum of all filters' false positive
+//! rates — the paper's central quantity `R`).
+
+/// Statistics of one disk level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// 1-based level index.
+    pub level: usize,
+    /// Number of runs resident at this level.
+    pub runs: usize,
+    /// Entries across the level's runs.
+    pub entries: u64,
+    /// Payload bytes across the level's runs.
+    pub bytes: u64,
+    /// Capacity threshold of the level in bytes (`M_buffer · Tⁱ`).
+    pub capacity_bytes: u64,
+    /// Filter memory across the level's runs, in bits.
+    pub filter_bits: u64,
+    /// Sum of the level's runs' theoretical false positive rates — the
+    /// level's contribution to `R`.
+    pub fpr_sum: f64,
+}
+
+/// Snapshot of the whole database's structure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DbStats {
+    /// Entries currently in the buffer.
+    pub buffer_entries: u64,
+    /// Bytes currently in the buffer.
+    pub buffer_bytes: u64,
+    /// Configured buffer capacity (`M_buffer`).
+    pub buffer_capacity: u64,
+    /// Per-level statistics, shallowest first.
+    pub levels: Vec<LevelStats>,
+    /// Total entries on disk (excludes the buffer).
+    pub disk_entries: u64,
+    /// Total runs on disk.
+    pub runs: usize,
+    /// Total filter memory in bits (`M_filters`).
+    pub filter_bits: u64,
+    /// Total fence-pointer memory in bits (`M_pointers`).
+    pub fence_bits: u64,
+    /// Expected I/Os for a zero-result point lookup: the sum of all runs'
+    /// theoretical false positive rates (Eq. 3).
+    pub expected_zero_result_lookup_ios: f64,
+}
+
+impl DbStats {
+    /// Number of non-empty disk levels.
+    pub fn occupied_levels(&self) -> usize {
+        self.levels.iter().filter(|l| l.runs > 0).count()
+    }
+
+    /// Depth of the tree: the deepest non-empty level's index (0 when the
+    /// tree is empty).
+    pub fn depth(&self) -> usize {
+        self.levels
+            .iter()
+            .rev()
+            .find(|l| l.runs > 0)
+            .map_or(0, |l| l.level)
+    }
+
+    /// Effective filter bits-per-entry across the tree.
+    pub fn bits_per_entry(&self) -> f64 {
+        if self.disk_entries == 0 {
+            0.0
+        } else {
+            self.filter_bits as f64 / self.disk_entries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(idx: usize, runs: usize) -> LevelStats {
+        LevelStats {
+            level: idx,
+            runs,
+            entries: runs as u64 * 10,
+            bytes: runs as u64 * 100,
+            capacity_bytes: 1000,
+            filter_bits: runs as u64 * 50,
+            fpr_sum: runs as f64 * 0.01,
+        }
+    }
+
+    #[test]
+    fn depth_and_occupied() {
+        let s = DbStats {
+            levels: vec![level(1, 1), level(2, 0), level(3, 2)],
+            ..Default::default()
+        };
+        assert_eq!(s.occupied_levels(), 2);
+        assert_eq!(s.depth(), 3, "empty middle level does not hide depth");
+        assert_eq!(DbStats::default().depth(), 0);
+    }
+
+    #[test]
+    fn bits_per_entry() {
+        let s = DbStats { disk_entries: 100, filter_bits: 550, ..Default::default() };
+        assert!((s.bits_per_entry() - 5.5).abs() < 1e-12);
+        assert_eq!(DbStats::default().bits_per_entry(), 0.0);
+    }
+}

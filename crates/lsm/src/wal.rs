@@ -1,0 +1,257 @@
+//! Write-ahead log for buffered updates.
+//!
+//! The buffer (memtable) holds the newest updates in volatile memory; the
+//! WAL makes them durable. Each record is checksummed, and replay stops at
+//! the first torn or corrupt record — everything before it is recovered,
+//! which is the standard contract for a crash mid-append.
+//!
+//! Record wire format:
+//!
+//! ```text
+//! [u64 checksum][u8 kind][u64 seq][u16 key_len][u32 val_len][key][value]
+//! ```
+//!
+//! where the checksum is XXH64 over the bytes that follow it.
+
+use crate::entry::{Entry, EntryKind};
+use crate::error::{LsmError, Result};
+use bytes::Bytes;
+use monkey_bloom::hash::xxh64;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const WAL_SEED: u64 = 0x57414C5F4D4F4E4B; // "WAL_MONK"
+
+struct WalFile {
+    file: File,
+    path: PathBuf,
+}
+
+/// The write-ahead log. A disabled WAL (for in-memory experiment databases)
+/// accepts appends and does nothing.
+pub struct Wal {
+    inner: Option<Mutex<WalFile>>,
+    sync_each_append: bool,
+}
+
+impl Wal {
+    /// A no-op WAL for volatile databases.
+    pub fn disabled() -> Self {
+        Self { inner: None, sync_each_append: false }
+    }
+
+    /// Opens (or creates) the log at `path` and replays any complete
+    /// records already present. Returns the WAL and the replayed entries in
+    /// append order.
+    pub fn open(path: impl AsRef<Path>, sync_each_append: bool) -> Result<(Self, Vec<Entry>)> {
+        let path = path.as_ref().to_path_buf();
+        let entries = match std::fs::read(&path) {
+            Ok(buf) => replay(&buf),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            Self {
+                inner: Some(Mutex::new(WalFile { file, path })),
+                sync_each_append,
+            },
+            entries,
+        ))
+    }
+
+    /// Appends one entry.
+    pub fn append(&self, entry: &Entry) -> Result<()> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        if entry.key.len() > u16::MAX as usize {
+            return Err(LsmError::KeyTooLarge(entry.key.len()));
+        }
+        let mut body = Vec::with_capacity(15 + entry.key.len() + entry.value.len());
+        body.push(entry.kind.to_byte());
+        body.extend_from_slice(&entry.seq.to_le_bytes());
+        body.extend_from_slice(&(entry.key.len() as u16).to_le_bytes());
+        body.extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
+        body.extend_from_slice(&entry.key);
+        body.extend_from_slice(&entry.value);
+        let checksum = xxh64(&body, WAL_SEED);
+
+        let mut guard = inner.lock();
+        guard.file.write_all(&checksum.to_le_bytes())?;
+        guard.file.write_all(&body)?;
+        if self.sync_each_append {
+            guard.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered records to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(inner) = &self.inner {
+            inner.lock().file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Truncates the log — called right after a buffer flush makes its
+    /// contents durable in a run.
+    pub fn reset(&self) -> Result<()> {
+        if let Some(inner) = &self.inner {
+            let mut guard = inner.lock();
+            guard.file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&guard.path)?;
+            guard.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Decodes complete records from a WAL image, stopping at the first
+/// corruption or truncation.
+fn replay(buf: &[u8]) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    loop {
+        if off + 8 + 15 > buf.len() {
+            break; // header truncated: clean EOF or torn tail
+        }
+        let checksum = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let body_start = off + 8;
+        let kind = buf[body_start];
+        let seq = u64::from_le_bytes(buf[body_start + 1..body_start + 9].try_into().unwrap());
+        let klen =
+            u16::from_le_bytes(buf[body_start + 9..body_start + 11].try_into().unwrap()) as usize;
+        let vlen =
+            u32::from_le_bytes(buf[body_start + 11..body_start + 15].try_into().unwrap()) as usize;
+        let body_end = body_start + 15 + klen + vlen;
+        if body_end > buf.len() {
+            break; // torn record
+        }
+        if xxh64(&buf[body_start..body_end], WAL_SEED) != checksum {
+            break; // corrupt record: stop trusting the tail
+        }
+        let Some(kind) = EntryKind::from_byte(kind) else { break };
+        let key = Bytes::copy_from_slice(&buf[body_start + 15..body_start + 15 + klen]);
+        let value = Bytes::copy_from_slice(&buf[body_start + 15 + klen..body_end]);
+        entries.push(Entry { key, value, seq, kind });
+        off = body_end;
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("monkey-wal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn disabled_wal_is_a_noop() {
+        let wal = Wal::disabled();
+        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1)).unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("basic");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, replayed) = Wal::open(&path, false).unwrap();
+            assert!(replayed.is_empty());
+            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1)).unwrap();
+            wal.append(&Entry::tombstone(b"b".to_vec(), 2)).unwrap();
+            wal.sync().unwrap();
+        }
+        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].key.as_ref(), b"a");
+        assert_eq!(replayed[0].value.as_ref(), b"1");
+        assert!(replayed[1].is_tombstone());
+        assert_eq!(replayed[1].seq, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_truncates() {
+        let path = tmp("reset");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path, false).unwrap();
+            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1)).unwrap();
+            wal.reset().unwrap();
+            wal.append(&Entry::put(b"b".to_vec(), b"2".to_vec(), 2)).unwrap();
+            wal.sync().unwrap();
+        }
+        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].key.as_ref(), b"b");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path, false).unwrap();
+            wal.append(&Entry::put(b"good".to_vec(), b"1".to_vec(), 1)).unwrap();
+            wal.append(&Entry::put(b"lost".to_vec(), b"2".to_vec(), 2)).unwrap();
+            wal.sync().unwrap();
+        }
+        // Tear the last record.
+        let buf = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &buf[..buf.len() - 3]).unwrap();
+        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].key.as_ref(), b"good");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (wal, _) = Wal::open(&path, false).unwrap();
+            wal.append(&Entry::put(b"first".to_vec(), b"1".to_vec(), 1)).unwrap();
+            wal.append(&Entry::put(b"second".to_vec(), b"2".to_vec(), 2)).unwrap();
+            wal.append(&Entry::put(b"third".to_vec(), b"3".to_vec(), 3)).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip a byte in the middle record's body.
+        let mut buf = std::fs::read(&path).unwrap();
+        let record_len = 8 + 15 + 5 + 1; // first record (key "first", val "1")
+        buf[record_len + 20] ^= 0xFF;
+        std::fs::write(&path, &buf).unwrap();
+        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        assert_eq!(replayed.len(), 1, "only the intact prefix is trusted");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_and_garbage_files() {
+        assert!(replay(&[]).is_empty());
+        assert!(replay(&[1, 2, 3]).is_empty());
+        assert!(replay(&[0u8; 64]).is_empty(), "zeroed preallocated file");
+    }
+
+    #[test]
+    fn sync_each_append_mode() {
+        let path = tmp("sync");
+        let _ = std::fs::remove_file(&path);
+        let (wal, _) = Wal::open(&path, true).unwrap();
+        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1)).unwrap();
+        drop(wal);
+        let (_w, replayed) = Wal::open(&path, true).unwrap();
+        assert_eq!(replayed.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Key-value separation (WiscKey mode, §6 of the paper): values live in an
+//! append-only log, the tree merges only keys + 14-byte pointers.
+
+use monkey_lsm::{Db, DbOptions, MergePolicy};
+use std::sync::Arc;
+
+fn open(separate: bool) -> Arc<Db> {
+    let opts = DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(4096)
+        .size_ratio(2)
+        .merge_policy(MergePolicy::Leveling)
+        .uniform_filters(8.0);
+    let opts = if separate { opts.value_separation(64) } else { opts };
+    Db::open(opts).unwrap()
+}
+
+fn big_value(i: u32) -> Vec<u8> {
+    let mut v = format!("big-{i}-").into_bytes();
+    v.resize(200, b'.');
+    v
+}
+
+#[test]
+fn separated_values_roundtrip() {
+    let db = open(true);
+    for i in 0..500u32 {
+        db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+    }
+    db.put(&b"small"[..], &b"inline"[..]).unwrap(); // below threshold
+    db.flush().unwrap();
+    for i in (0..500).step_by(7) {
+        assert_eq!(db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(), big_value(i));
+    }
+    assert_eq!(db.get(b"small").unwrap().unwrap().as_ref(), b"inline");
+}
+
+#[test]
+fn scans_resolve_pointers() {
+    let db = open(true);
+    for i in 0..300u32 {
+        db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+    }
+    let rows: Vec<(Vec<u8>, Vec<u8>)> = db
+        .range(b"k0100", Some(b"k0105"))
+        .unwrap()
+        .map(|kv| {
+            let (k, v) = kv.unwrap();
+            (k.to_vec(), v.to_vec())
+        })
+        .collect();
+    assert_eq!(rows.len(), 5);
+    for (j, (k, v)) in rows.iter().enumerate() {
+        assert_eq!(k, format!("k{:04}", 100 + j).as_bytes());
+        assert_eq!(*v, big_value(100 + j as u32));
+    }
+}
+
+#[test]
+fn separation_slashes_merge_write_volume() {
+    // The WiscKey claim: merges rewrite pointers, not values. Load the
+    // same data with and without separation and compare total page writes.
+    let mut writes = Vec::new();
+    for separate in [false, true] {
+        let db = open(separate);
+        for i in 0..1500u32 {
+            db.put(format!("k{i:05}").into_bytes(), big_value(i)).unwrap();
+        }
+        writes.push(db.io().page_writes);
+    }
+    let (inline, separated) = (writes[0], writes[1]);
+    assert!(
+        (separated as f64) < inline as f64 * 0.55,
+        "separation should at least halve write volume: {separated} vs {inline}"
+    );
+}
+
+#[test]
+fn lookups_pay_one_extra_io() {
+    let db = open(true);
+    for i in 0..800u32 {
+        db.put(format!("k{i:05}").into_bytes(), big_value(i)).unwrap();
+    }
+    db.flush().unwrap();
+    db.reset_io();
+    let lookups = 300u64;
+    for i in 0..lookups {
+        let k = format!("k{:05}", (i * 7) % 800);
+        assert!(db.get(k.as_bytes()).unwrap().is_some());
+    }
+    let reads = db.io().page_reads;
+    // Each found lookup: ~1 tree read + 1 log read (plus rare false
+    // positives above the found level).
+    assert!(reads >= 2 * lookups, "expected ≥2 I/Os per lookup, got {reads}");
+    assert!(reads < 3 * lookups, "but not much more: {reads}");
+}
+
+#[test]
+fn deletes_and_overwrites_of_separated_values() {
+    let db = open(true);
+    db.put(&b"k"[..], big_value(1)).unwrap();
+    db.put(&b"k"[..], big_value(2)).unwrap(); // overwrite: new log slot
+    assert_eq!(db.get(b"k").unwrap().unwrap(), big_value(2));
+    db.delete(&b"k"[..]).unwrap();
+    assert!(db.get(b"k").unwrap().is_none());
+    db.flush().unwrap();
+    assert!(db.get(b"k").unwrap().is_none());
+    // Shrinking below the threshold switches back to inline storage.
+    db.put(&b"k"[..], &b"tiny"[..]).unwrap();
+    db.flush().unwrap();
+    assert_eq!(db.get(b"k").unwrap().unwrap().as_ref(), b"tiny");
+}
+
+#[test]
+fn recovery_preserves_separated_values() {
+    let dir = std::env::temp_dir().join(format!("monkey-kvsep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = || {
+        DbOptions::at_path(&dir)
+            .page_size(1024)
+            .buffer_capacity(4096)
+            .size_ratio(2)
+            .uniform_filters(8.0)
+            .value_separation(64)
+    };
+    {
+        let db = Db::open(opts()).unwrap();
+        for i in 0..400u32 {
+            db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+        }
+        // crash without shutdown
+    }
+    let db = Db::open(opts()).unwrap();
+    for i in (0..400).step_by(13) {
+        assert_eq!(
+            db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(),
+            big_value(i),
+            "key {i} after recovery"
+        );
+    }
+    assert_eq!(db.range(b"", None).unwrap().count(), 400);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn migrate_acts_as_value_log_gc() {
+    let db = open(true);
+    // Overwrite every key many times: the log accumulates dead versions.
+    for round in 0..6u32 {
+        for i in 0..300u32 {
+            let mut v = format!("r{round}-").into_bytes();
+            v.resize(200, b'.');
+            db.put(format!("k{i:04}").into_bytes(), v).unwrap();
+        }
+    }
+    let disk = db.disk();
+    let bloated: u64 = disk
+        .list_runs()
+        .into_iter()
+        .map(|r| disk.run_pages(r).unwrap_or(0) as u64)
+        .collect::<Vec<_>>()
+        .iter()
+        .sum();
+    let fresh = db
+        .migrate_to(
+            DbOptions::in_memory()
+                .page_size(1024)
+                .buffer_capacity(4096)
+                .uniform_filters(8.0)
+                .value_separation(64),
+        )
+        .unwrap();
+    assert_eq!(fresh.range(b"", None).unwrap().count(), 300);
+    let fdisk = fresh.disk();
+    let compact: u64 = fdisk
+        .list_runs()
+        .into_iter()
+        .map(|r| fdisk.run_pages(r).unwrap_or(0) as u64)
+        .sum();
+    assert!(
+        compact * 2 < bloated,
+        "GC should reclaim most dead value pages: {compact} pages vs bloated {bloated}"
+    );
+    // All values are the last round's.
+    let v = fresh.get(b"k0000").unwrap().unwrap();
+    assert!(v.starts_with(b"r5-"));
+}
+
+#[test]
+fn verify_passes_with_separation() {
+    let db = open(true);
+    for i in 0..600u32 {
+        db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+    }
+    db.flush().unwrap();
+    let n = db.verify().unwrap();
+    assert_eq!(n, db.stats().disk_entries);
+}

@@ -1,0 +1,225 @@
+//! Appendix C: iterative Bloom-filter tuning for variable entry sizes.
+//!
+//! The analytical assignment of §4.1 presumes a fixed entry size, so the
+//! number of entries per level is known. When entry sizes vary, Monkey
+//! instead records the entry count of every run and runs Algorithms 1–3:
+//! start with all of `M_filters` on one run, then greedily migrate `Δ` bits
+//! between pairs of runs whenever that lowers the sum of false positive
+//! rates, halving `Δ` each time a full sweep finds no improving move.
+
+use crate::params::LN2_SQUARED;
+
+/// One run's filter state: its entry count and current bit allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Entries in the run.
+    pub entries: f64,
+    /// Bits currently allocated to the run's filter.
+    pub bits: f64,
+}
+
+impl RunSpec {
+    /// A run with `entries` entries and no filter memory yet.
+    pub fn new(entries: f64) -> Self {
+        assert!(entries > 0.0);
+        Self { entries, bits: 0.0 }
+    }
+}
+
+/// Algorithm 3: the false positive rate of one filter (Eq. 2).
+pub fn eval(bits: f64, entries: f64) -> f64 {
+    if bits <= 0.0 {
+        return 1.0;
+    }
+    (-(bits / entries) * LN2_SQUARED).exp()
+}
+
+/// Sum of false positive rates over all runs — the lookup cost `R` the
+/// algorithm minimizes (Eq. 3; every run counted individually, so the
+/// leveling/tiering distinction is already baked into the run list).
+pub fn total_fpr(runs: &[RunSpec]) -> f64 {
+    runs.iter().map(|r| eval(r.bits, r.entries)).sum()
+}
+
+/// Algorithms 1–2: allocates `m_filters` bits across `runs` to minimize the
+/// sum of false positive rates. Returns the final sum `R`.
+///
+/// The paper notes this "does not need to run often, and takes a fraction
+/// of a second": each sweep is `O(n²)` over the runs and the step size
+/// halves from `M_filters` down to one bit.
+pub fn autotune_filters(m_filters: f64, runs: &mut [RunSpec]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    // Algorithm 1 line 3: start with the whole budget on the first run.
+    for run in runs.iter_mut() {
+        run.bits = 0.0;
+    }
+    runs[0].bits = m_filters.max(0.0);
+    let mut r = total_fpr(runs);
+    let mut delta = m_filters.max(0.0);
+    while delta >= 1.0 {
+        let mut improved = false;
+        for i in 0..runs.len() {
+            for j in 0..runs.len() {
+                if i == j {
+                    continue;
+                }
+                // TrySwitch (Algorithm 2): move Δ bits from run j to run i.
+                if runs[j].bits < delta {
+                    continue;
+                }
+                let before = eval(runs[i].bits, runs[i].entries)
+                    + eval(runs[j].bits, runs[j].entries);
+                let after = eval(runs[i].bits + delta, runs[i].entries)
+                    + eval(runs[j].bits - delta, runs[j].entries);
+                if after + 1e-15 < before {
+                    runs[i].bits += delta;
+                    runs[j].bits -= delta;
+                    r = r - before + after;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            delta /= 2.0;
+        }
+    }
+    // Recompute exactly to shed accumulated floating-point drift.
+    total_fpr(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpr::optimal_fprs;
+    use crate::memory::filter_memory_for_fprs;
+    use crate::params::{Params, Policy};
+
+    #[test]
+    fn eval_matches_equation_two() {
+        assert_eq!(eval(0.0, 100.0), 1.0);
+        let p = eval(1000.0, 100.0); // 10 bits/entry
+        assert!((0.008..0.0101).contains(&p));
+    }
+
+    #[test]
+    fn conserves_total_budget() {
+        let mut runs = vec![RunSpec::new(100.0), RunSpec::new(1000.0), RunSpec::new(10000.0)];
+        let m = 50_000.0;
+        autotune_filters(m, &mut runs);
+        let used: f64 = runs.iter().map(|r| r.bits).sum();
+        assert!((used - m).abs() < 1e-6);
+        assert!(runs.iter().all(|r| r.bits >= 0.0));
+    }
+
+    #[test]
+    fn matches_analytic_optimum_on_geometric_runs() {
+        // A full leveled tree with T=4: run sizes follow N_i = N/T^(L−i)·(T−1)/T.
+        // The iterative algorithm should converge to (almost) the same R as
+        // the closed-form optimum for the same memory.
+        let p = Params::new(65536.0, 512.0, 4096.0, 65536.0, 4.0, Policy::Leveling);
+        let l = p.levels();
+        let target_r = 0.1;
+        let fprs = optimal_fprs(l, 4.0, Policy::Leveling, target_r);
+        let m = filter_memory_for_fprs(&p, &fprs);
+
+        let mut runs: Vec<RunSpec> =
+            (1..=l).map(|i| RunSpec::new(p.entries_at_level(i))).collect();
+        let r = autotune_filters(m, &mut runs);
+        assert!(
+            (r - target_r).abs() / target_r < 0.02,
+            "iterative R {r} vs analytic {target_r}"
+        );
+    }
+
+    #[test]
+    fn allocates_more_bits_per_entry_to_smaller_runs() {
+        // §4.1's insight, rediscovered numerically.
+        let mut runs = vec![RunSpec::new(100.0), RunSpec::new(10_000.0)];
+        autotune_filters(60_000.0, &mut runs);
+        let bpe_small = runs[0].bits / runs[0].entries;
+        let bpe_large = runs[1].bits / runs[1].entries;
+        assert!(
+            bpe_small > bpe_large,
+            "small run {bpe_small} b/e vs large {bpe_large} b/e"
+        );
+    }
+
+    #[test]
+    fn starves_huge_runs_when_memory_is_scarce() {
+        // With little memory, the optimal move is to give the big run
+        // nothing (FPR → 1) and protect the small ones — the "unfiltered
+        // levels" phenomenon.
+        let mut runs = vec![RunSpec::new(10.0), RunSpec::new(1_000_000.0)];
+        autotune_filters(200.0, &mut runs);
+        assert!(runs[0].bits > 100.0, "small run gets the budget: {runs:?}");
+        assert!(runs[1].bits < 100.0, "huge run starved: {runs:?}");
+    }
+
+    #[test]
+    fn equal_runs_get_equal_memory() {
+        let mut runs = vec![RunSpec::new(1000.0); 4];
+        autotune_filters(40_000.0, &mut runs);
+        for r in &runs {
+            assert!(
+                (r.bits - 10_000.0).abs() < 500.0,
+                "symmetry broken: {runs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_variable_entry_sizes() {
+        // Runs whose entry counts do not follow any geometric schedule
+        // (the situation Appendix C exists for).
+        let mut runs = vec![
+            RunSpec::new(123.0),
+            RunSpec::new(45_678.0),
+            RunSpec::new(7.0),
+            RunSpec::new(890.0),
+        ];
+        let m = 100_000.0;
+        let r = autotune_filters(m, &mut runs);
+        assert!(r > 0.0 && r < 4.0);
+        // No move of half the smallest positive stake should improve R:
+        // (local optimality check at a coarse step).
+        let base = total_fpr(&runs);
+        for i in 0..runs.len() {
+            for j in 0..runs.len() {
+                if i == j || runs[j].bits < 2.0 {
+                    continue;
+                }
+                let step = runs[j].bits / 2.0;
+                let mut probe = runs.clone();
+                probe[i].bits += step;
+                probe[j].bits -= step;
+                assert!(
+                    total_fpr(&probe) >= base - 1e-9,
+                    "move {j}->{i} of {step} improved R"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_memory_leaves_all_unfiltered() {
+        let mut runs = vec![RunSpec::new(10.0), RunSpec::new(20.0)];
+        let r = autotune_filters(0.0, &mut runs);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn empty_run_list() {
+        let mut runs: Vec<RunSpec> = Vec::new();
+        assert_eq!(autotune_filters(1000.0, &mut runs), 0.0);
+    }
+
+    #[test]
+    fn single_run_gets_everything() {
+        let mut runs = vec![RunSpec::new(500.0)];
+        let r = autotune_filters(5000.0, &mut runs);
+        assert_eq!(runs[0].bits, 5000.0);
+        assert!((r - eval(5000.0, 500.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,206 @@
+//! The design space of Figures 1, 4, and 8: system presets and
+//! lookup-vs-update cost curves.
+//!
+//! Figure 1 places the default configurations of production key-value
+//! stores on the (update cost, lookup cost) plane and shows they sit above
+//! the Pareto frontier Monkey reaches. The presets below come from §1,
+//! §6 and the systems' documentation as cited there: LevelDB/RocksDB/cLSM
+//! hard-code leveling with size ratio 10; Cassandra and HBase default to
+//! tiering with 4; WiredTiger uses leveling with 15 and 16 bits/entry;
+//! bLSM levels with 10; everything except Monkey spends 10 bits/entry
+//! uniformly (WiredTiger: 16).
+
+use crate::cost::{baseline_zero_result_lookup_cost, update_cost, zero_result_lookup_cost};
+use crate::params::{Params, Policy};
+
+/// A named system configuration for Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemPreset {
+    /// Display name.
+    pub name: &'static str,
+    /// Merge policy it defaults to.
+    pub policy: Policy,
+    /// Default size ratio.
+    pub size_ratio: f64,
+    /// Uniform filter bits per entry.
+    pub bits_per_entry: f64,
+    /// Whether filters use Monkey's optimal allocation.
+    pub monkey_filters: bool,
+}
+
+/// The systems of Figure 1.
+pub fn presets() -> Vec<SystemPreset> {
+    vec![
+        SystemPreset { name: "LevelDB", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
+        SystemPreset { name: "RocksDB", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
+        SystemPreset { name: "cLSM", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
+        SystemPreset { name: "bLSM", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
+        SystemPreset { name: "WiredTiger", policy: Policy::Leveling, size_ratio: 15.0, bits_per_entry: 16.0, monkey_filters: false },
+        SystemPreset { name: "Cassandra", policy: Policy::Tiering, size_ratio: 4.0, bits_per_entry: 10.0, monkey_filters: false },
+        SystemPreset { name: "HBase", policy: Policy::Tiering, size_ratio: 4.0, bits_per_entry: 10.0, monkey_filters: false },
+        SystemPreset { name: "Monkey", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: true },
+    ]
+}
+
+/// One point of a design-space curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Size ratio at the point.
+    pub size_ratio: f64,
+    /// Policy at the point.
+    pub policy: Policy,
+    /// Zero-result lookup cost `R` (I/Os).
+    pub lookup_cost: f64,
+    /// Update cost `W` (I/Os).
+    pub update_cost: f64,
+}
+
+/// Evaluates a preset on an environment described by `base` (which fixes
+/// `N`, `E`, page and buffer sizes): returns its (lookup, update) point.
+pub fn preset_point(base: &Params, preset: &SystemPreset, phi: f64) -> CurvePoint {
+    let p = base.with_tuning(preset.size_ratio, preset.policy);
+    let m_filters = preset.bits_per_entry * p.entries;
+    let lookup = if preset.monkey_filters {
+        zero_result_lookup_cost(&p, m_filters)
+    } else {
+        baseline_zero_result_lookup_cost(&p, m_filters)
+    };
+    CurvePoint {
+        size_ratio: preset.size_ratio,
+        policy: preset.policy,
+        lookup_cost: lookup,
+        update_cost: update_cost(&p, phi),
+    }
+}
+
+/// Traces the design-space curve of Figure 4/8: lookup vs. update cost as
+/// the size ratio sweeps `ts` under `policy`, with (`monkey_filters`) or
+/// without Monkey's allocation.
+pub fn curve(
+    base: &Params,
+    policy: Policy,
+    ts: &[f64],
+    m_filters: f64,
+    phi: f64,
+    monkey_filters: bool,
+) -> Vec<CurvePoint> {
+    ts.iter()
+        .map(|&t| {
+            let p = base.with_tuning(t, policy);
+            let lookup = if monkey_filters {
+                zero_result_lookup_cost(&p, m_filters)
+            } else {
+                baseline_zero_result_lookup_cost(&p, m_filters)
+            };
+            CurvePoint {
+                size_ratio: t,
+                policy,
+                lookup_cost: lookup,
+                update_cost: update_cost(&p, phi),
+            }
+        })
+        .collect()
+}
+
+/// Standard sweep of size ratios from 2 up to (and including) `t_lim`,
+/// geometrically spaced.
+pub fn ratio_sweep(t_lim: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2);
+    let t_lim = t_lim.max(2.0);
+    (0..points)
+        .map(|k| 2.0 * (t_lim / 2.0).powf(k as f64 / (points - 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Params {
+        Params::new(4194304.0, 8192.0, 32768.0, 16777216.0, 2.0, Policy::Leveling)
+    }
+
+    #[test]
+    fn monkey_preset_dominates_leveldb_preset() {
+        // Figure 1: same (policy, T, memory) — Monkey's allocation strictly
+        // lowers lookup cost at identical update cost.
+        let b = base();
+        let all = presets();
+        let leveldb = all.iter().find(|p| p.name == "LevelDB").unwrap();
+        let monkey = all.iter().find(|p| p.name == "Monkey").unwrap();
+        let pl = preset_point(&b, leveldb, 1.0);
+        let pm = preset_point(&b, monkey, 1.0);
+        assert_eq!(pl.update_cost, pm.update_cost);
+        assert!(pm.lookup_cost < pl.lookup_cost);
+    }
+
+    #[test]
+    fn presets_cover_both_policies() {
+        let all = presets();
+        assert!(all.iter().any(|p| p.policy == Policy::Tiering));
+        assert!(all.iter().any(|p| p.policy == Policy::Leveling));
+        assert_eq!(all.iter().filter(|p| p.monkey_filters).count(), 1);
+    }
+
+    #[test]
+    fn curves_trace_the_tradeoff() {
+        // Figure 4: along leveling, lookup falls and update rises with T.
+        let b = base();
+        let ts = [2.0, 4.0, 8.0, 16.0];
+        let lev = curve(&b, Policy::Leveling, &ts, 10.0 * b.entries, 1.0, true);
+        assert!(lev.windows(2).all(|w| w[1].lookup_cost <= w[0].lookup_cost + 1e-12));
+        assert!(lev.windows(2).all(|w| w[1].update_cost >= w[0].update_cost));
+        // Along tiering the directions flip.
+        let tier = curve(&b, Policy::Tiering, &ts, 10.0 * b.entries, 1.0, true);
+        assert!(tier.windows(2).all(|w| w[1].lookup_cost >= w[0].lookup_cost));
+        assert!(tier.windows(2).all(|w| w[1].update_cost <= w[0].update_cost));
+    }
+
+    #[test]
+    fn curves_meet_at_t_two() {
+        let b = base();
+        let m = 10.0 * b.entries;
+        let lev = curve(&b, Policy::Leveling, &[2.0], m, 1.0, true);
+        let tier = curve(&b, Policy::Tiering, &[2.0], m, 1.0, true);
+        assert!((lev[0].lookup_cost - tier[0].lookup_cost).abs() < 1e-9);
+        assert!((lev[0].update_cost - tier[0].update_cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monkey_curve_sits_below_baseline_curve() {
+        // Figure 8: same policy and T sweep, Monkey's curve dominates.
+        let b = base();
+        let ts = ratio_sweep(b.t_lim(), 8);
+        let m = 10.0 * b.entries;
+        let monkey = curve(&b, Policy::Leveling, &ts, m, 1.0, true);
+        let baseline = curve(&b, Policy::Leveling, &ts, m, 1.0, false);
+        for (mk, bl) in monkey.iter().zip(&baseline) {
+            assert!(mk.lookup_cost <= bl.lookup_cost + 1e-12);
+            assert_eq!(mk.update_cost, bl.update_cost);
+        }
+    }
+
+    #[test]
+    fn ratio_sweep_spans_two_to_t_lim() {
+        let sweep = ratio_sweep(512.0, 5);
+        assert_eq!(sweep.len(), 5);
+        assert!((sweep[0] - 2.0).abs() < 1e-12);
+        assert!((sweep[4] - 512.0).abs() < 1e-9);
+        assert!(sweep.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn extremes_are_log_and_sorted_array() {
+        // Figure 4's limits: at T_lim, tiering degenerates to a log (best
+        // updates, worst lookups) and leveling to a sorted array (best
+        // lookups, worst updates).
+        let b = base();
+        let tlim = b.t_lim();
+        let m = 0.0; // no filters: the structural extremes
+        let log = curve(&b, Policy::Tiering, &[tlim], m, 1.0, true)[0];
+        let sorted = curve(&b, Policy::Leveling, &[tlim], m, 1.0, true)[0];
+        assert!(log.update_cost < sorted.update_cost / 100.0);
+        assert!(sorted.lookup_cost <= 1.0 + 1e-9, "sorted array: one I/O per lookup");
+        assert!(log.lookup_cost > sorted.lookup_cost * 100.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Main-memory footprint: Eq. 4, the closed forms of Appendix B.1, and the
+//! §4.4 buffer/filter allocation strategy.
+
+use crate::fpr::optimal_fprs;
+use crate::params::{Params, Policy, LN2_SQUARED};
+
+/// Filter memory (bits) of an FPR assignment (Eq. 4):
+///
+/// ```text
+/// M_filters = Σ_i  −N_i · ln(p_i) / ln(2)²
+/// ```
+///
+/// with `N_i = N/T^(L−i) · (T−1)/T` entries at level `i`. Unfiltered levels
+/// (`p = 1`) contribute zero bits.
+pub fn filter_memory_for_fprs(params: &Params, fprs: &[f64]) -> f64 {
+    assert_eq!(fprs.len(), params.levels(), "one FPR per level");
+    fprs.iter()
+        .enumerate()
+        .map(|(idx, &p)| {
+            assert!(p > 0.0 && p <= 1.0, "FPR out of range: {p}");
+            -params.entries_at_level(idx + 1) * p.ln() / LN2_SQUARED
+        })
+        .sum()
+}
+
+/// `M_threshold` (Eq. 8): the filter-memory level below which the deepest
+/// level's optimal FPR converges to 1:
+///
+/// ```text
+/// M_threshold = N/ln(2)² · ln(T)/(T−1)
+/// ```
+pub fn m_threshold(entries: f64, t: f64) -> f64 {
+    entries / LN2_SQUARED * t.ln() / (t - 1.0)
+}
+
+/// `L_unfiltered` (Eq. 22): how many of the deepest levels have no filters
+/// under the optimal assignment with `m_filters` bits available.
+pub fn l_unfiltered(params: &Params, m_filters: f64) -> usize {
+    l_unfiltered_given(params.levels(), params.entries, params.size_ratio, m_filters)
+}
+
+/// [`l_unfiltered`] with the level count given explicitly — for callers
+/// (like the engine's filter policy) that know the actual tree depth
+/// rather than deriving it from Eq. 1.
+pub fn l_unfiltered_given(levels: usize, entries: f64, t: f64, m_filters: f64) -> usize {
+    let threshold = m_threshold(entries, t);
+    if m_filters >= threshold {
+        return 0;
+    }
+    if m_filters <= threshold / t.powi(levels as i32) || m_filters <= 0.0 {
+        return levels;
+    }
+    let lu = (threshold / m_filters).log(t).ceil() as usize;
+    lu.min(levels)
+}
+
+/// Closed-form filter memory needed for a target lookup cost `r`
+/// (Eqs. 19/20, Appendix B.1):
+///
+/// ```text
+/// leveling: M = N/(ln2²·T^Lu) · ln( T^(T/(T−1)) / ((R−Lu)·(T−1)) )
+/// tiering:  M = N/(ln2²·T^Lu) · ln( T^(T/(T−1)) / (R−Lu·(T−1)) )
+/// ```
+pub fn filter_memory_for_lookup_cost(params: &Params, r: f64) -> f64 {
+    assert!(r > 0.0);
+    let t = params.size_ratio;
+    let l = params.levels();
+    let rpl = params.policy.runs_per_level(t);
+    let max_r = l as f64 * rpl;
+    if r >= max_r {
+        return 0.0;
+    }
+    // Number of unfiltered levels implied by r (Appendix B).
+    let lu = match params.policy {
+        Policy::Leveling => (r - 1.0).floor().max(0.0) as usize,
+        Policy::Tiering => ((r - 1.0) / (t - 1.0)).floor().max(0.0) as usize,
+    }
+    .min(l - 1);
+    let r_f = r - lu as f64 * rpl;
+    let inner = match params.policy {
+        Policy::Leveling => t.powf(t / (t - 1.0)) / (r_f * (t - 1.0)),
+        Policy::Tiering => t.powf(t / (t - 1.0)) / r_f,
+    };
+    (params.entries / (LN2_SQUARED * t.powi(lu as i32)) * inner.ln()).max(0.0)
+}
+
+/// Exact (finite-`L`) filter memory for a target lookup cost: applies Eq. 4
+/// to the exact optimal assignment. The closed form above uses the paper's
+/// `L → ∞` series simplification; this one does not.
+pub fn filter_memory_for_lookup_cost_exact(params: &Params, r: f64) -> f64 {
+    let fprs = optimal_fprs(params.levels(), params.size_ratio, params.policy, r);
+    filter_memory_for_fprs(params, &fprs)
+}
+
+/// How main memory is split between the buffer and the filters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryAllocation {
+    /// Bits allocated to the buffer (`M_buffer`).
+    pub buffer_bits: f64,
+    /// Bits allocated to the Bloom filters (`M_filters`).
+    pub filter_bits: f64,
+}
+
+/// The §4.4 three-step strategy for dividing `m_bits` of main memory
+/// between the buffer and the filters:
+///
+/// 1. the first `min(M, M_threshold/T^L)` bits go to the buffer — filters
+///    smaller than that yield no benefit (Eq. 8);
+/// 2. of the remainder, 95 % goes to the filters and 5 % to the buffer,
+///    until the expected false-positive I/O overhead `R` drops to
+///    `r_negligible` (1e-4 for disk, 1e-2 for flash — §4.4);
+/// 3. anything further goes to the buffer to reduce update cost.
+///
+/// The buffer always receives at least one page.
+pub fn allocate_memory(params: &Params, m_bits: f64, r_negligible: f64) -> MemoryAllocation {
+    let one_page = params.page_bits;
+    let m_bits = m_bits.max(one_page);
+    let t = params.size_ratio;
+
+    // Step 1 needs L, which depends on the buffer size; iterate to a fixed
+    // point (converges immediately in practice: L moves by at most one).
+    let mut step1 = one_page;
+    for _ in 0..4 {
+        let trial = params.with_buffer_bits(step1.max(one_page));
+        let l = trial.levels();
+        let floor = m_threshold(params.entries, t) / t.powi(l as i32);
+        let next = floor.clamp(one_page, m_bits);
+        if (next - step1).abs() < 1.0 {
+            step1 = next;
+            break;
+        }
+        step1 = next;
+    }
+
+    let remaining = m_bits - step1;
+    if remaining <= 0.0 {
+        return MemoryAllocation { buffer_bits: m_bits, filter_bits: 0.0 };
+    }
+
+    // Step 2: filters get 95% of the remainder, capped at the memory where
+    // R reaches the negligible threshold (closed form, Eq. 19).
+    let trial = params.with_buffer_bits(step1 + remaining * 0.05);
+    let filter_cap = filter_memory_for_lookup_cost(&trial, r_negligible);
+    let filter_bits = (remaining * 0.95).min(filter_cap);
+
+    // Step 3: everything else is buffer.
+    let buffer_bits = m_bits - filter_bits;
+    MemoryAllocation { buffer_bits, filter_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpr::baseline_fprs;
+
+    fn params(t: f64, policy: Policy) -> Params {
+        // 2^22 entries × 1 KiB, 4 KiB pages, 2 MiB buffer.
+        Params::new(4194304.0, 8192.0, 32768.0, 16777216.0, t, policy)
+    }
+
+    #[test]
+    fn memory_of_all_ones_is_zero() {
+        let p = params(2.0, Policy::Leveling);
+        let fprs = vec![1.0; p.levels()];
+        assert_eq!(filter_memory_for_fprs(&p, &fprs), 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_exact_for_deep_trees() {
+        // The L→∞ simplification is already accurate at L ≈ 5+ (Appendix B).
+        for policy in [Policy::Leveling, Policy::Tiering] {
+            let p = params(3.0, policy); // L is comfortably ≥ 5
+            assert!(p.levels() >= 5);
+            for &r in &[0.01, 0.1, 0.5, 1.0] {
+                let closed = filter_memory_for_lookup_cost(&p, r);
+                let exact = filter_memory_for_lookup_cost_exact(&p, r);
+                let rel = (closed - exact).abs() / exact;
+                assert!(rel < 0.02, "{policy:?} r={r}: closed {closed} vs exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_decreases_as_r_grows() {
+        let p = params(4.0, Policy::Leveling);
+        let mut prev = f64::INFINITY;
+        for &r in &[0.001, 0.01, 0.1, 0.5, 1.0, 2.0] {
+            let m = filter_memory_for_lookup_cost(&p, r);
+            assert!(m < prev, "r={r}: {m} !< {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn memory_zero_at_max_r() {
+        let p = params(4.0, Policy::Tiering);
+        let max_r = p.max_runs();
+        assert_eq!(filter_memory_for_lookup_cost(&p, max_r), 0.0);
+        assert_eq!(filter_memory_for_lookup_cost(&p, max_r + 5.0), 0.0);
+    }
+
+    #[test]
+    fn m_threshold_matches_bits_per_entry_bound() {
+        // §4.3: M_threshold/N = ln(T)/((T−1)·ln2²) is at most 1.44 at T=2.
+        let per_entry = m_threshold(1.0, 2.0);
+        assert!((per_entry - 1.0 / LN2_SQUARED * 2.0f64.ln()).abs() < 1e-12);
+        assert!((1.42..1.45).contains(&per_entry), "{per_entry}");
+        // Decreasing in T.
+        assert!(m_threshold(1.0, 4.0) < per_entry);
+    }
+
+    #[test]
+    fn l_unfiltered_regimes() {
+        let p = params(2.0, Policy::Leveling);
+        let thr = m_threshold(p.entries, 2.0);
+        assert_eq!(l_unfiltered(&p, thr * 2.0), 0, "plenty of memory: all filtered");
+        assert_eq!(l_unfiltered(&p, thr), 0, "exactly at threshold");
+        assert_eq!(l_unfiltered(&p, 0.0), p.levels(), "no memory: nothing filtered");
+        // One level unfiltered once memory dips below the threshold.
+        assert_eq!(l_unfiltered(&p, thr / 1.5), 1);
+        // Every factor of T deeper costs another level (Eq. 22).
+        assert_eq!(l_unfiltered(&p, thr / 2.0 / 1.5), 2);
+    }
+
+    #[test]
+    fn optimal_assignment_uses_less_memory_than_baseline_for_same_r() {
+        // The Lagrange solution is a minimizer: for the same R, any other
+        // assignment (e.g. uniform) needs at least as much memory.
+        for policy in [Policy::Leveling, Policy::Tiering] {
+            let p = params(4.0, policy);
+            for &r in &[0.01, 0.1, 0.5] {
+                let opt = filter_memory_for_fprs(
+                    &p,
+                    &optimal_fprs(p.levels(), p.size_ratio, policy, r),
+                );
+                let base = filter_memory_for_fprs(
+                    &p,
+                    &baseline_fprs(p.levels(), p.size_ratio, policy, r),
+                );
+                assert!(
+                    opt < base,
+                    "{policy:?} r={r}: optimal {opt} !< baseline {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_optimality_beats_random_perturbations() {
+        // Property: jiggling the optimal assignment while keeping the same
+        // total R never reduces memory.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let p = params(3.0, Policy::Leveling);
+        let l = p.levels();
+        let r = 0.3;
+        let opt = optimal_fprs(l, p.size_ratio, Policy::Leveling, r);
+        let m_opt = filter_memory_for_fprs(&p, &opt);
+        for _ in 0..200 {
+            let mut perturbed = opt.clone();
+            let i = rng.gen_range(0..l);
+            let j = (i + 1 + rng.gen_range(0..l - 1)) % l;
+            let delta = perturbed[i] * rng.gen_range(0.01..0.5);
+            if perturbed[j] + delta >= 1.0 {
+                continue;
+            }
+            perturbed[i] -= delta;
+            perturbed[j] += delta;
+            if perturbed[i] <= 0.0 {
+                continue;
+            }
+            let m = filter_memory_for_fprs(&p, &perturbed);
+            assert!(
+                m >= m_opt - 1e-6,
+                "perturbation used less memory: {m} < {m_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_gives_buffer_at_least_a_page() {
+        let p = params(2.0, Policy::Leveling);
+        let alloc = allocate_memory(&p, p.page_bits / 2.0, 1e-4);
+        assert!(alloc.buffer_bits >= p.page_bits);
+        assert_eq!(alloc.filter_bits, 0.0);
+    }
+
+    #[test]
+    fn allocation_partitions_total() {
+        let p = params(2.0, Policy::Leveling);
+        let m = 10.0 * p.entries; // 10 bits/entry overall
+        let alloc = allocate_memory(&p, m, 1e-4);
+        assert!((alloc.buffer_bits + alloc.filter_bits - m).abs() < 1.0);
+        assert!(alloc.filter_bits > 0.0);
+        assert!(alloc.buffer_bits > 0.0);
+    }
+
+    #[test]
+    fn huge_memory_overflows_into_buffer() {
+        // Once R is negligible, extra memory should go to the buffer.
+        let p = params(2.0, Policy::Leveling);
+        let modest = allocate_memory(&p, 12.0 * p.entries, 1e-4);
+        let huge = allocate_memory(&p, 1000.0 * p.entries, 1e-4);
+        assert!(huge.buffer_bits > modest.buffer_bits * 10.0);
+        // Filters are capped near the point where R = 1e-4.
+        let cap = filter_memory_for_lookup_cost(&p, 1e-4);
+        assert!(huge.filter_bits <= cap * 1.05);
+    }
+
+    #[test]
+    fn flash_threshold_needs_less_filter_memory() {
+        // r_negligible = 1e-2 on flash vs 1e-4 on disk: flash caps filters
+        // earlier (§4.4).
+        let p = params(2.0, Policy::Leveling);
+        let m = 1000.0 * p.entries;
+        let disk = allocate_memory(&p, m, 1e-4);
+        let flash = allocate_memory(&p, m, 1e-2);
+        assert!(flash.filter_bits < disk.filter_bits);
+    }
+}

@@ -1,0 +1,212 @@
+//! The environment and tuning parameters of Figure 2.
+
+/// `ln(2)²`, the constant of the Bloom filter model (Eq. 2).
+pub const LN2_SQUARED: f64 = core::f64::consts::LN_2 * core::f64::consts::LN_2;
+
+/// Merge policy (model-side mirror of the engine's enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// One run per level.
+    Leveling,
+    /// Up to `T−1` runs per level.
+    Tiering,
+}
+
+impl Policy {
+    /// Runs per level in the worst case: 1 for leveling, `T−1` for tiering.
+    pub fn runs_per_level(self, t: f64) -> f64 {
+        match self {
+            Policy::Leveling => 1.0,
+            Policy::Tiering => t - 1.0,
+        }
+    }
+}
+
+/// The LSM-tree's environmental and tuning parameters (Figure 2's terms).
+///
+/// Memory quantities are in **bits**, matching the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// `N`: total number of entries.
+    pub entries: f64,
+    /// `E`: size of an entry in bits.
+    pub entry_bits: f64,
+    /// Size of a disk page in bits (`B·E` where `B` is entries per page).
+    pub page_bits: f64,
+    /// `M_buffer`: main memory allocated to the buffer, in bits.
+    pub buffer_bits: f64,
+    /// `T`: size ratio between adjacent levels (≥ 2).
+    pub size_ratio: f64,
+    /// Merge policy.
+    pub policy: Policy,
+}
+
+impl Params {
+    /// Convenience constructor with validation.
+    pub fn new(
+        entries: f64,
+        entry_bits: f64,
+        page_bits: f64,
+        buffer_bits: f64,
+        size_ratio: f64,
+        policy: Policy,
+    ) -> Self {
+        assert!(entries > 0.0, "N must be positive");
+        assert!(entry_bits > 0.0, "E must be positive");
+        assert!(page_bits >= entry_bits, "a page must hold at least one entry");
+        assert!(buffer_bits > 0.0, "M_buffer must be positive");
+        assert!(size_ratio >= 2.0, "T must be at least 2");
+        Self { entries, entry_bits, page_bits, buffer_bits, size_ratio, policy }
+    }
+
+    /// `B`: entries per disk page.
+    pub fn entries_per_page(&self) -> f64 {
+        self.page_bits / self.entry_bits
+    }
+
+    /// `P`: buffer size in disk pages.
+    pub fn buffer_pages(&self) -> f64 {
+        self.buffer_bits / self.page_bits
+    }
+
+    /// Raw data size `N·E` in bits.
+    pub fn data_bits(&self) -> f64 {
+        self.entries * self.entry_bits
+    }
+
+    /// `T_lim = N·E / M_buffer`: the size ratio at which `L` collapses
+    /// to 1 (§2).
+    pub fn t_lim(&self) -> f64 {
+        (self.data_bits() / self.buffer_bits).max(2.0)
+    }
+
+    /// Number of levels `L` (Eq. 1):
+    /// `L = ⌈ log_T( N·E/M_buffer · (T−1)/T ) ⌉`, at least 1.
+    pub fn levels(&self) -> usize {
+        let t = self.size_ratio;
+        let inner = self.data_bits() / self.buffer_bits * (t - 1.0) / t;
+        let l = inner.log(t).ceil();
+        if l.is_finite() && l >= 1.0 {
+            l as usize
+        } else {
+            1
+        }
+    }
+
+    /// Worst-case number of runs in the tree: `L` for leveling,
+    /// `L·(T−1)` for tiering.
+    pub fn max_runs(&self) -> f64 {
+        self.levels() as f64 * self.policy.runs_per_level(self.size_ratio)
+    }
+
+    /// Entries at level `i` (1-based) when the tree is full:
+    /// `N/T^(L−i) · (T−1)/T` (Figure 2).
+    pub fn entries_at_level(&self, level: usize) -> f64 {
+        let l = self.levels();
+        assert!(level >= 1 && level <= l, "level {level} out of 1..={l}");
+        self.entries / self.size_ratio.powi((l - level) as i32) * (self.size_ratio - 1.0)
+            / self.size_ratio
+    }
+
+    /// Same parameters with a different size ratio / policy (tuner use).
+    pub fn with_tuning(&self, size_ratio: f64, policy: Policy) -> Self {
+        Self { size_ratio: size_ratio.max(2.0), policy, ..*self }
+    }
+
+    /// Same parameters with a different buffer size.
+    pub fn with_buffer_bits(&self, buffer_bits: f64) -> Self {
+        Self { buffer_bits: buffer_bits.max(1.0), ..*self }
+    }
+}
+
+/// Bytes → bits helper (the paper works in bits; configs usually in bytes).
+pub fn bytes_to_bits(bytes: f64) -> f64 {
+    bytes * 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(t: f64) -> Params {
+        // 2^20 entries of 1 KiB with 4 KiB pages and a 2 MiB buffer.
+        Params::new(1048576.0, 8192.0, 8.0 * 4096.0, 8.0 * 2097152.0, t, Policy::Leveling)
+    }
+
+    #[test]
+    fn levels_match_equation_one() {
+        // N·E/Mbuffer = 2^30·8 / 2^24 = 2^9 = 512.
+        let p = params(2.0);
+        // L = ceil(log2(512 * 1/2)) = ceil(log2(256)) = 8
+        assert_eq!(p.levels(), 8);
+        let p = params(4.0);
+        // L = ceil(log4(512 * 3/4)) = ceil(log4(384)) = ceil(4.29) = 5
+        assert_eq!(p.levels(), 5);
+    }
+
+    #[test]
+    fn levels_collapse_to_one_at_t_lim() {
+        let p = params(2.0);
+        let tlim = p.t_lim();
+        assert_eq!(tlim, 512.0);
+        let collapsed = p.with_tuning(tlim, Policy::Leveling);
+        assert_eq!(collapsed.levels(), 1, "log is a sorted array / log at T_lim");
+    }
+
+    #[test]
+    fn levels_never_below_one() {
+        // Tiny data that fits in the buffer.
+        let p = Params::new(10.0, 8.0, 64.0, 1e9, 2.0, Policy::Leveling);
+        assert_eq!(p.levels(), 1);
+    }
+
+    #[test]
+    fn bigger_buffer_fewer_levels() {
+        let small = params(2.0);
+        let big = small.with_buffer_bits(small.buffer_bits * 16.0);
+        assert!(big.levels() < small.levels());
+    }
+
+    #[test]
+    fn entries_at_level_sum_close_to_n() {
+        let p = params(4.0);
+        let total: f64 = (1..=p.levels()).map(|i| p.entries_at_level(i)).sum();
+        // Figure 2: levels sum to N(1 − T^−L) ≈ N.
+        let expect = p.entries * (1.0 - p.size_ratio.powi(-(p.levels() as i32)));
+        assert!((total - expect).abs() / expect < 1e-9);
+        assert!(total <= p.entries);
+    }
+
+    #[test]
+    fn last_level_holds_t_minus_one_over_t() {
+        let p = params(4.0);
+        let last = p.entries_at_level(p.levels());
+        assert!((last - p.entries * 3.0 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_runs_by_policy() {
+        let lev = params(4.0);
+        assert_eq!(lev.max_runs(), lev.levels() as f64);
+        let tier = Params { policy: Policy::Tiering, ..lev };
+        assert_eq!(tier.max_runs(), lev.levels() as f64 * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "T must be at least 2")]
+    fn rejects_tiny_ratio() {
+        Params::new(100.0, 8.0, 64.0, 800.0, 1.5, Policy::Leveling);
+    }
+
+    #[test]
+    fn page_derived_terms() {
+        let p = params(2.0);
+        assert_eq!(p.entries_per_page(), 4.0, "4 KiB page / 1 KiB entries");
+        assert_eq!(p.buffer_pages(), 512.0, "2 MiB buffer / 4 KiB pages");
+    }
+
+    #[test]
+    fn bytes_to_bits_works() {
+        assert_eq!(bytes_to_bits(2.0), 16.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Workload mixes and throughput (§4.4, Table 2).
+
+use crate::cost::{
+    baseline_non_zero_result_lookup_cost, baseline_zero_result_lookup_cost,
+    non_zero_result_lookup_cost, range_lookup_cost, update_cost, zero_result_lookup_cost,
+};
+use crate::params::Params;
+
+/// The application workload: proportions of the four operation types
+/// (`r + v + q + w = 1`) and the average range-lookup selectivity `s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// `r`: proportion of zero-result point lookups.
+    pub zero_result_lookups: f64,
+    /// `v`: proportion of non-zero-result point lookups.
+    pub non_zero_result_lookups: f64,
+    /// `q`: proportion of range lookups.
+    pub range_lookups: f64,
+    /// `w`: proportion of updates.
+    pub updates: f64,
+    /// `s`: average proportion of all entries covered by a range lookup.
+    pub range_selectivity: f64,
+}
+
+impl Workload {
+    /// Builds a workload, validating that the proportions sum to 1.
+    pub fn new(r: f64, v: f64, q: f64, w: f64, s: f64) -> Self {
+        assert!(r >= 0.0 && v >= 0.0 && q >= 0.0 && w >= 0.0);
+        assert!(
+            ((r + v + q + w) - 1.0).abs() < 1e-9,
+            "proportions must sum to 1, got {}",
+            r + v + q + w
+        );
+        assert!((0.0..=1.0).contains(&s));
+        Self {
+            zero_result_lookups: r,
+            non_zero_result_lookups: v,
+            range_lookups: q,
+            updates: w,
+            range_selectivity: s,
+        }
+    }
+
+    /// A two-operation mix of zero-result lookups vs. updates — the
+    /// workload of the paper's Figure 11(F).
+    pub fn lookups_vs_updates(lookup_fraction: f64) -> Self {
+        Self::new(lookup_fraction, 0.0, 0.0, 1.0 - lookup_fraction, 0.0)
+    }
+}
+
+/// The storage environment: `Ω` (read time) and `φ` (write/read ratio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// `Ω`: seconds to read one page from persistent storage.
+    pub read_secs: f64,
+    /// `φ`: cost ratio between a write and a read I/O.
+    pub phi: f64,
+    /// `R` value below which false-positive I/O overhead is negligible
+    /// (§4.4: `1e-4` for disk, `1e-2` for flash).
+    pub negligible_r: f64,
+}
+
+impl Environment {
+    /// A 10 ms-seek hard disk (the paper's testbed).
+    pub fn disk() -> Self {
+        Self { read_secs: 10e-3, phi: 1.0, negligible_r: 1e-4 }
+    }
+
+    /// A 100 µs flash device with writes 3× reads.
+    pub fn flash() -> Self {
+        Self { read_secs: 100e-6, phi: 3.0, negligible_r: 1e-2 }
+    }
+}
+
+/// Average operation cost `θ` in I/Os (Eq. 12), using Monkey's cost models:
+/// `θ = r·R + v·V + q·Q + w·W`.
+pub fn average_operation_cost(params: &Params, m_filters: f64, workload: &Workload, env: &Environment) -> f64 {
+    workload.zero_result_lookups * zero_result_lookup_cost(params, m_filters)
+        + workload.non_zero_result_lookups * non_zero_result_lookup_cost(params, m_filters)
+        + workload.range_lookups * range_lookup_cost(params, workload.range_selectivity)
+        + workload.updates * update_cost(params, env.phi)
+}
+
+/// Average operation cost `θ` under the uniform-filter state of the art.
+pub fn baseline_average_operation_cost(
+    params: &Params,
+    m_filters: f64,
+    workload: &Workload,
+    env: &Environment,
+) -> f64 {
+    workload.zero_result_lookups * baseline_zero_result_lookup_cost(params, m_filters)
+        + workload.non_zero_result_lookups * baseline_non_zero_result_lookup_cost(params, m_filters)
+        + workload.range_lookups * range_lookup_cost(params, workload.range_selectivity)
+        + workload.updates * update_cost(params, env.phi)
+}
+
+/// Worst-case throughput `τ = 1/(θ·Ω)` in operations per second (Eq. 13).
+pub fn worst_case_throughput(theta: f64, env: &Environment) -> f64 {
+    1.0 / (theta * env.read_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Policy;
+
+    fn params() -> Params {
+        Params::new(4194304.0, 8192.0, 32768.0, 16777216.0, 2.0, Policy::Leveling)
+    }
+
+    #[test]
+    fn theta_is_weighted_sum() {
+        let p = params();
+        let env = Environment::disk();
+        let m = 5.0 * p.entries;
+        let r = zero_result_lookup_cost(&p, m);
+        let w = update_cost(&p, env.phi);
+        let mix = Workload::new(0.5, 0.0, 0.0, 0.5, 0.0);
+        let theta = average_operation_cost(&p, m, &mix, &env);
+        assert!((theta - 0.5 * (r + w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_workloads_reduce_to_single_costs() {
+        let p = params();
+        let env = Environment::disk();
+        let m = 5.0 * p.entries;
+        let lookups = Workload::lookups_vs_updates(1.0);
+        assert!(
+            (average_operation_cost(&p, m, &lookups, &env)
+                - zero_result_lookup_cost(&p, m))
+            .abs()
+                < 1e-12
+        );
+        let updates = Workload::lookups_vs_updates(0.0);
+        assert!(
+            (average_operation_cost(&p, m, &updates, &env) - update_cost(&p, env.phi)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn monkey_theta_beats_baseline_on_lookup_heavy_mixes() {
+        let p = params();
+        let env = Environment::disk();
+        let m = 5.0 * p.entries;
+        let mix = Workload::new(0.8, 0.1, 0.0, 0.1, 0.0);
+        let monkey = average_operation_cost(&p, m, &mix, &env);
+        let base = baseline_average_operation_cost(&p, m, &mix, &env);
+        assert!(monkey < base);
+    }
+
+    #[test]
+    fn throughput_inverse_of_theta() {
+        let env = Environment::disk();
+        let tau = worst_case_throughput(2.0, &env);
+        assert!((tau - 50.0).abs() < 1e-9, "2 I/Os × 10 ms → 50 ops/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn workload_must_normalize() {
+        Workload::new(0.5, 0.5, 0.5, 0.0, 0.0);
+    }
+
+    #[test]
+    fn environment_presets() {
+        assert_eq!(Environment::disk().negligible_r, 1e-4);
+        assert_eq!(Environment::flash().negligible_r, 1e-2);
+        assert!(Environment::flash().phi > Environment::disk().phi);
+    }
+}

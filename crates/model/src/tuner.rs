@@ -1,0 +1,412 @@
+//! Appendix D: finding the size ratio and merge policy that maximize
+//! worst-case throughput.
+//!
+//! The tuning space is linearized into one integer axis `i` (Algorithm 5):
+//! `T = |i| + 2`, with tiering for `i > 0` and leveling for `i ≤ 0` — the
+//! two policies meet at `T = 2` where they behave identically, so the axis
+//! is continuous. A divide-and-conquer search (Algorithm 4) probes points
+//! at geometrically shrinking distances `Δ` from the incumbent, running in
+//! `O(log²(T_lim))` cost evaluations.
+//!
+//! Service-level agreements are supported by discarding configurations
+//! whose lookup or update cost exceeds an imposed bound (§4.4).
+
+use crate::memory::{allocate_memory, MemoryAllocation};
+use crate::params::{Params, Policy};
+use crate::throughput::{average_operation_cost, worst_case_throughput, Environment, Workload};
+use crate::cost::{update_cost, zero_result_lookup_cost};
+
+/// θ values at or above this are SLA-infeasible points: the graded penalty
+/// lets the search descend toward feasibility, and results still at the
+/// penalty level are reported as infeasible (θ = ∞).
+const INFEASIBLE_PENALTY: f64 = 1e15;
+
+/// How the tuner divides main memory between buffer and filters at each
+/// candidate design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryStrategy {
+    /// Co-tune the split with the §4.4 three-step strategy over a total
+    /// budget (full "Navigable Monkey").
+    Allocate {
+        /// Total main memory (buffer + filters) in bits.
+        total_bits: f64,
+    },
+    /// Keep a caller-fixed split (the paper's Figure 11(F) navigates with
+    /// the filters pinned at 5 bits/entry and a fixed buffer).
+    Fixed(MemoryAllocation),
+}
+
+/// Optional SLA bounds on the candidate configurations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TuningConstraints {
+    /// Upper bound on the zero-result lookup cost `R` (I/Os).
+    pub max_lookup_cost: Option<f64>,
+    /// Upper bound on the update cost `W` (I/Os).
+    pub max_update_cost: Option<f64>,
+}
+
+/// The result of tuning: the chosen design point and its predicted costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tuning {
+    /// Chosen merge policy.
+    pub policy: Policy,
+    /// Chosen size ratio `T`.
+    pub size_ratio: f64,
+    /// Chosen buffer/filter memory split.
+    pub allocation: MemoryAllocation,
+    /// Average operation cost `θ` at this point (Eq. 12).
+    pub theta: f64,
+    /// Worst-case throughput `τ` at this point (Eq. 13).
+    pub throughput: f64,
+    /// Predicted zero-result lookup cost `R`.
+    pub lookup_cost: f64,
+    /// Predicted update cost `W`.
+    pub update_cost: f64,
+}
+
+/// One probe of the tuner (for tracing / Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStep {
+    /// Linearized coordinate probed.
+    pub i: i64,
+    /// Size ratio at that coordinate.
+    pub size_ratio: f64,
+    /// Policy at that coordinate.
+    pub policy: Policy,
+    /// θ at that coordinate (∞ if it violates a constraint).
+    pub theta: f64,
+    /// Whether the incumbent moved here.
+    pub accepted: bool,
+}
+
+fn coordinate(i: i64) -> (f64, Policy) {
+    let t = i.unsigned_abs() as f64 + 2.0;
+    let policy = if i > 0 { Policy::Tiering } else { Policy::Leveling };
+    (t, policy)
+}
+
+/// Evaluates θ at coordinate `i` (Algorithm 5's `compute`), co-allocating
+/// memory with the §4.4 strategy. Returns the evaluated `Tuning` (with
+/// `theta = ∞` when a constraint is violated).
+fn compute(
+    base: &Params,
+    strategy: &MemoryStrategy,
+    workload: &Workload,
+    env: &Environment,
+    constraints: &TuningConstraints,
+    i: i64,
+) -> Tuning {
+    let (t, policy) = coordinate(i);
+    let t = t.min(base.t_lim());
+    let shaped = base.with_tuning(t, policy);
+    let allocation = match strategy {
+        MemoryStrategy::Allocate { total_bits } => {
+            allocate_memory(&shaped, *total_bits, env.negligible_r)
+        }
+        MemoryStrategy::Fixed(fixed) => *fixed,
+    };
+    let tuned = shaped.with_buffer_bits(allocation.buffer_bits);
+    let r = zero_result_lookup_cost(&tuned, allocation.filter_bits);
+    let w = update_cost(&tuned, env.phi);
+    let mut theta = average_operation_cost(&tuned, allocation.filter_bits, workload, env);
+    // SLA violations become a graded penalty proportional to how badly the
+    // point violates, so the divide-and-conquer search can walk *toward*
+    // the feasible region even from an infeasible start. Points still at
+    // the penalty level when the search ends are reported as θ = ∞.
+    let mut violation = 0.0;
+    if let Some(cap) = constraints.max_lookup_cost {
+        if r > cap {
+            violation += r / cap;
+        }
+    }
+    if let Some(cap) = constraints.max_update_cost {
+        if w > cap {
+            violation += w / cap;
+        }
+    }
+    if violation > 0.0 {
+        theta = INFEASIBLE_PENALTY * violation;
+    }
+    Tuning {
+        policy,
+        size_ratio: t,
+        allocation,
+        theta,
+        throughput: worst_case_throughput(theta, env),
+        lookup_cost: r,
+        update_cost: w,
+    }
+}
+
+/// Converts a penalty-level result into an explicitly infeasible one.
+fn finalize(mut tuning: Tuning, env: &Environment) -> Tuning {
+    if tuning.theta >= INFEASIBLE_PENALTY {
+        tuning.theta = f64::INFINITY;
+        tuning.throughput = worst_case_throughput(f64::INFINITY, env);
+    }
+    tuning
+}
+
+/// Algorithm 4: divide-and-conquer search over the linearized tuning axis.
+/// Returns the best configuration found and, optionally, records every
+/// probe into `trace`.
+pub fn tune_traced(
+    base: &Params,
+    strategy: &MemoryStrategy,
+    workload: &Workload,
+    env: &Environment,
+    constraints: &TuningConstraints,
+    mut trace: Option<&mut Vec<TraceStep>>,
+) -> Tuning {
+    let limit = (base.t_lim() - 2.0).max(0.0) as i64;
+    let record = |i: i64, tuning: &Tuning, accepted: bool, trace: &mut Option<&mut Vec<TraceStep>>| {
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(TraceStep {
+                i,
+                size_ratio: tuning.size_ratio,
+                policy: tuning.policy,
+                theta: tuning.theta,
+                accepted,
+            });
+        }
+    };
+
+    let mut i: i64 = 0;
+    let mut best = compute(base, strategy, workload, env, constraints, 0);
+    record(0, &best, true, &mut trace);
+    let mut delta = (limit / 2).max(1);
+    while delta >= 1 {
+        let up = (i + delta).clamp(-limit, limit);
+        let down = (i - delta).clamp(-limit, limit);
+        let t1 = compute(base, strategy, workload, env, constraints, up);
+        let t2 = compute(base, strategy, workload, env, constraints, down);
+        if t1.theta < best.theta && t1.theta <= t2.theta {
+            record(up, &t1, true, &mut trace);
+            best = t1;
+            i = up;
+        } else if t2.theta < best.theta {
+            record(down, &t2, true, &mut trace);
+            best = t2;
+            i = down;
+        } else {
+            record(up, &t1, false, &mut trace);
+            record(down, &t2, false, &mut trace);
+        }
+        if delta == 1 {
+            break;
+        }
+        delta /= 2;
+    }
+    finalize(best, env)
+}
+
+/// Finds the (merge policy, size ratio, memory split) maximizing worst-case
+/// throughput for `workload` with `m_total` bits of main memory.
+pub fn tune(
+    base: &Params,
+    strategy: &MemoryStrategy,
+    workload: &Workload,
+    env: &Environment,
+    constraints: &TuningConstraints,
+) -> Tuning {
+    tune_traced(base, strategy, workload, env, constraints, None)
+}
+
+/// Exhaustive reference: evaluates every coordinate. `O(T_lim)` — use in
+/// tests and for small `T_lim` only.
+pub fn tune_exhaustive(
+    base: &Params,
+    strategy: &MemoryStrategy,
+    workload: &Workload,
+    env: &Environment,
+    constraints: &TuningConstraints,
+) -> Tuning {
+    let limit = (base.t_lim() - 2.0).max(0.0) as i64;
+    let mut best: Option<Tuning> = None;
+    for i in -limit..=limit {
+        let t = compute(base, strategy, workload, env, constraints, i);
+        if best.as_ref().is_none_or(|b| t.theta < b.theta) {
+            best = Some(t);
+        }
+    }
+    finalize(best.expect("at least one coordinate"), env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 11(F) environment: 1 GB of 1 KiB entries, 4 KiB
+    /// pages (B = 4), a 1 MiB buffer, filters fixed at 5 bits per entry.
+    fn base() -> Params {
+        Params::new(1048576.0, 8192.0, 32768.0, 8388608.0, 2.0, Policy::Leveling)
+    }
+
+    fn fixed_five_bpe(p: &Params) -> MemoryStrategy {
+        MemoryStrategy::Fixed(MemoryAllocation {
+            buffer_bits: p.buffer_bits,
+            filter_bits: 5.0 * p.entries,
+        })
+    }
+
+    #[test]
+    fn update_heavy_chooses_tiering() {
+        let p = base();
+        let wl = Workload::lookups_vs_updates(0.1);
+        let t = tune(&p, &fixed_five_bpe(&p), &wl, &Environment::disk(), &TuningConstraints::default());
+        assert_eq!(t.policy, Policy::Tiering, "90% updates: tier (Figure 11F)");
+        assert!(t.size_ratio > 2.0);
+    }
+
+    #[test]
+    fn lookup_heavy_chooses_leveling() {
+        let p = base();
+        let wl = Workload::lookups_vs_updates(0.9);
+        let t = tune(&p, &fixed_five_bpe(&p), &wl, &Environment::disk(), &TuningConstraints::default());
+        assert_eq!(t.policy, Policy::Leveling, "90% lookups: level (Figure 11F)");
+    }
+
+    #[test]
+    fn balanced_mix_lands_between_the_extremes() {
+        let p = base();
+        let env = Environment::disk();
+        let strat = fixed_five_bpe(&p);
+        let lo = tune(&p, &strat, &Workload::lookups_vs_updates(0.1), &env, &TuningConstraints::default());
+        let mid = tune(&p, &strat, &Workload::lookups_vs_updates(0.5), &env, &TuningConstraints::default());
+        let hi = tune(&p, &strat, &Workload::lookups_vs_updates(0.9), &env, &TuningConstraints::default());
+        assert!(mid.update_cost <= hi.update_cost || mid.lookup_cost <= lo.lookup_cost);
+        assert!(hi.lookup_cost <= mid.lookup_cost + 1e-9);
+        assert!(lo.update_cost <= mid.update_cost + 1e-9);
+    }
+
+    #[test]
+    fn matches_exhaustive_search() {
+        let p = base();
+        let env = Environment::disk();
+        let strat = fixed_five_bpe(&p);
+        for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let wl = Workload::lookups_vs_updates(frac);
+            let fast = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
+            let slow = tune_exhaustive(&p, &strat, &wl, &env, &TuningConstraints::default());
+            assert!(
+                fast.theta <= slow.theta * 1.02,
+                "frac={frac}: fast θ={} (T={} {:?}) vs exhaustive θ={} (T={} {:?})",
+                fast.theta, fast.size_ratio, fast.policy,
+                slow.theta, slow.size_ratio, slow.policy,
+            );
+        }
+    }
+
+    #[test]
+    fn allocate_strategy_matches_its_exhaustive_search() {
+        // The full Navigable Monkey (co-tuned memory split) agrees with
+        // brute force too.
+        let p = base();
+        let env = Environment::disk();
+        let strat = MemoryStrategy::Allocate { total_bits: 8.0 * p.entries + p.buffer_bits };
+        for frac in [0.2, 0.5, 0.8] {
+            let wl = Workload::lookups_vs_updates(frac);
+            let fast = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
+            let slow = tune_exhaustive(&p, &strat, &wl, &env, &TuningConstraints::default());
+            assert!(fast.theta <= slow.theta * 1.02, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let p = base();
+        let wl = Workload::lookups_vs_updates(0.5);
+        let mut trace = Vec::new();
+        tune_traced(
+            &p,
+            &fixed_five_bpe(&p),
+            &wl,
+            &Environment::disk(),
+            &TuningConstraints::default(),
+            Some(&mut trace),
+        );
+        let tlim = p.t_lim();
+        let bound = 3.0 * tlim.log2() + 5.0;
+        assert!((trace.len() as f64) < bound, "{} probes for T_lim={tlim}", trace.len());
+    }
+
+    #[test]
+    fn sla_bound_on_updates_forces_update_friendlier_tuning() {
+        let p = base();
+        let env = Environment::disk();
+        let wl = Workload::lookups_vs_updates(0.9);
+        let strat = fixed_five_bpe(&p);
+        let free = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
+        let capped = tune(
+            &p,
+            &strat,
+            &wl,
+            &env,
+            &TuningConstraints { max_update_cost: Some(free.update_cost * 0.5), ..Default::default() },
+        );
+        assert!(capped.update_cost <= free.update_cost * 0.5);
+        assert!(capped.theta >= free.theta, "constraint can only cost throughput");
+    }
+
+    #[test]
+    fn sla_bound_on_lookups_enforced() {
+        let p = base();
+        let env = Environment::disk();
+        let wl = Workload::lookups_vs_updates(0.1);
+        let strat = fixed_five_bpe(&p);
+        let free = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
+        let capped = tune(
+            &p,
+            &strat,
+            &wl,
+            &env,
+            &TuningConstraints { max_lookup_cost: Some(free.lookup_cost * 0.3), ..Default::default() },
+        );
+        assert!(capped.lookup_cost <= free.lookup_cost * 0.3);
+    }
+
+    #[test]
+    fn infeasible_constraints_yield_infinite_theta() {
+        let p = base();
+        let wl = Workload::lookups_vs_updates(0.5);
+        let t = tune(
+            &p,
+            &fixed_five_bpe(&p),
+            &wl,
+            &Environment::disk(),
+            &TuningConstraints {
+                max_lookup_cost: Some(1e-12),
+                max_update_cost: Some(1e-12),
+            },
+        );
+        assert!(t.theta.is_infinite());
+        assert_eq!(t.throughput, 0.0);
+    }
+
+    #[test]
+    fn tuned_throughput_beats_fixed_default() {
+        // Navigable vs Fixed Monkey (Figure 11F): the tuned point is at
+        // least as good as the T=2 default for every mix.
+        let p = base();
+        let env = Environment::disk();
+        let strat = fixed_five_bpe(&p);
+        for frac in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let wl = Workload::lookups_vs_updates(frac);
+            let tuned = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
+            let fixed = super::compute(&p, &strat, &wl, &env, &TuningConstraints::default(), 0);
+            assert!(
+                tuned.theta <= fixed.theta + 1e-12,
+                "frac={frac}: tuned {} vs fixed {}",
+                tuned.theta,
+                fixed.theta
+            );
+        }
+    }
+
+    #[test]
+    fn coordinate_mapping() {
+        assert_eq!(coordinate(0), (2.0, Policy::Leveling));
+        assert_eq!(coordinate(-3), (5.0, Policy::Leveling));
+        assert_eq!(coordinate(4), (6.0, Policy::Tiering));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the analytical model.
+
+use monkey_model::autotune::{autotune_filters, total_fpr, RunSpec};
+use monkey_model::cost::zero_result_lookup_cost_exact;
+use monkey_model::fpr::lookup_cost_of_fprs;
+use monkey_model::memory::filter_memory_for_lookup_cost_exact;
+use monkey_model::*;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![Just(Policy::Leveling), Just(Policy::Tiering)]
+}
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    // N in [2^14, 2^30], E in [64, 64Ki] bits, buffer in [1, 64Mi] pages.
+    (14u32..30, 6u32..16, 0u32..6, 2.0f64..64.0, arb_policy()).prop_map(
+        |(n_exp, e_exp, buf_exp, t, policy)| {
+            let entry_bits = 2f64.powi(e_exp as i32);
+            let page_bits = entry_bits * 8.0;
+            Params::new(
+                2f64.powi(n_exp as i32),
+                entry_bits,
+                page_bits,
+                page_bits * 2f64.powi(buf_exp as i32) * 64.0,
+                t,
+                policy,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimal assignment always sums to the requested lookup cost and
+    /// every FPR is a valid probability, monotone with depth.
+    #[test]
+    fn optimal_assignment_invariants(p in arb_params(), frac in 1e-6f64..1.0) {
+        let r = p.max_runs() * frac;
+        let fprs = optimal_fprs(p.levels(), p.size_ratio, p.policy, r);
+        prop_assert_eq!(fprs.len(), p.levels());
+        for &x in &fprs {
+            prop_assert!(x > 0.0 && x <= 1.0);
+        }
+        prop_assert!(fprs.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        let sum = lookup_cost_of_fprs(&fprs, p.size_ratio, p.policy);
+        prop_assert!((sum - r).abs() / r < 1e-6, "sum {} vs r {}", sum, r);
+    }
+
+    /// Monkey's closed-form R never exceeds the baseline's, anywhere in the
+    /// parameter space (Figure 7's dominance claim).
+    #[test]
+    fn monkey_dominates_baseline(p in arb_params(), bpe in 0.0f64..20.0) {
+        let m = bpe * p.entries;
+        let monkey = zero_result_lookup_cost(&p, m);
+        let base = baseline_zero_result_lookup_cost(&p, m);
+        prop_assert!(monkey <= base + 1e-9, "monkey {} > baseline {}", monkey, base);
+        // And both are bounded by the worst case (no filters).
+        prop_assert!(base <= p.max_runs() + 1e-9);
+        prop_assert!(monkey > 0.0);
+    }
+
+    /// R is monotone non-increasing in filter memory.
+    #[test]
+    fn r_monotone_in_memory(p in arb_params(), b1 in 0.0f64..20.0, b2 in 0.0f64..20.0) {
+        let (lo, hi) = if b1 < b2 { (b1, b2) } else { (b2, b1) };
+        let r_lo = zero_result_lookup_cost(&p, lo * p.entries);
+        let r_hi = zero_result_lookup_cost(&p, hi * p.entries);
+        prop_assert!(r_hi <= r_lo + 1e-9);
+    }
+
+    /// The exact memory↔R functions are inverses of each other.
+    #[test]
+    fn exact_memory_r_roundtrip(p in arb_params(), frac in 1e-4f64..0.95) {
+        let r = p.max_runs() * frac;
+        let m = filter_memory_for_lookup_cost_exact(&p, r);
+        prop_assume!(m > 0.0);
+        let back = zero_result_lookup_cost_exact(&p, m);
+        prop_assert!((back - r).abs() / r < 1e-3, "r {} -> m {} -> {}", r, m, back);
+    }
+
+    /// V is always within (R, R+1].
+    #[test]
+    fn v_bounds(p in arb_params(), bpe in 0.0f64..20.0) {
+        let m = bpe * p.entries;
+        let r = zero_result_lookup_cost(&p, m);
+        let v = non_zero_result_lookup_cost(&p, m);
+        prop_assert!(v > r - 1e-12);
+        prop_assert!(v <= r + 1.0 + 1e-12);
+    }
+
+    /// The §4.4 memory allocation always partitions the budget and leaves
+    /// the buffer at least one page.
+    #[test]
+    fn allocation_partitions(p in arb_params(), bpe in 0.1f64..64.0) {
+        let m = bpe * p.entries + p.page_bits;
+        let alloc = allocate_memory(&p, m, 1e-4);
+        prop_assert!(alloc.buffer_bits >= p.page_bits - 1.0);
+        prop_assert!(alloc.filter_bits >= 0.0);
+        prop_assert!((alloc.buffer_bits + alloc.filter_bits - m).abs() < 2.0);
+    }
+
+    /// The iterative Appendix-C autotuner conserves its budget and never
+    /// ends worse than the trivial uniform split.
+    #[test]
+    fn autotune_beats_uniform(
+        sizes in proptest::collection::vec(1.0f64..1e6, 1..8),
+        budget_per_run in 10.0f64..10_000.0,
+    ) {
+        let m = budget_per_run * sizes.len() as f64;
+        let mut runs: Vec<RunSpec> = sizes.iter().map(|&s| RunSpec::new(s)).collect();
+        let r = autotune_filters(m, &mut runs);
+        let used: f64 = runs.iter().map(|x| x.bits).sum();
+        prop_assert!((used - m).abs() < 1.0, "budget leaked: {} vs {}", used, m);
+
+        let uniform: Vec<RunSpec> = sizes
+            .iter()
+            .map(|&s| RunSpec { entries: s, bits: m / sizes.len() as f64 })
+            .collect();
+        prop_assert!(r <= total_fpr(&uniform) + 1e-9);
+    }
+
+    /// Tuning respects SLA constraints whenever any feasible point exists.
+    #[test]
+    fn tuner_respects_constraints(frac in 0.05f64..0.95, cap_scale in 0.5f64..2.0) {
+        let p = Params::new(1048576.0, 8192.0, 32768.0, 8388608.0, 2.0, Policy::Leveling);
+        let strat = MemoryStrategy::Fixed(MemoryAllocation {
+            buffer_bits: p.buffer_bits,
+            filter_bits: 5.0 * p.entries,
+        });
+        let env = Environment::disk();
+        let wl = Workload::lookups_vs_updates(frac);
+        let free = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
+        let cap = free.update_cost * cap_scale;
+        let capped = tune(
+            &p,
+            &strat,
+            &wl,
+            &env,
+            &TuningConstraints { max_update_cost: Some(cap), ..Default::default() },
+        );
+        if capped.theta.is_finite() {
+            prop_assert!(capped.update_cost <= cap + 1e-9);
+            // Adding a constraint cannot beat the unconstrained *global*
+            // optimum (the divide-and-conquer `free` point is only
+            // near-optimal, so compare against the exhaustive search).
+            let global = tune_exhaustive(&p, &strat, &wl, &env, &TuningConstraints::default());
+            prop_assert!(capped.theta + 1e-12 >= global.theta);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Storage backends: where pages physically live.
+//!
+//! A backend stores immutable *runs* (sorted arrays in the paper's terms) as
+//! sequences of fixed-size pages. Runs are written once, page-append-only,
+//! then sealed; afterwards pages can be read randomly. This mirrors the
+//! LSM-tree contract: "the runs at Level 1 and higher are immutable" (§2).
+
+use crate::error::{Result, StorageError};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Identifier of a run within a backend. Monotonically increasing; never
+/// reused, so stale ids fail loudly instead of aliasing new data.
+pub type RunId = u64;
+
+/// Physical page storage. Implementations must be thread-safe: the engine
+/// reads concurrently with writes of new runs.
+pub trait Backend: Send + Sync + 'static {
+    /// Appends one page to a run being built, creating the run on first
+    /// append. Pages arrive in order `0, 1, 2, ...`.
+    fn append_page(&self, run: RunId, page_no: u32, data: &[u8]) -> Result<()>;
+
+    /// Seals a run: no further appends; data is durable after this returns.
+    fn seal(&self, run: RunId) -> Result<()>;
+
+    /// Reads one page of a sealed (or in-construction) run.
+    fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes>;
+
+    /// Number of pages currently in the run.
+    fn pages(&self, run: RunId) -> Result<u32>;
+
+    /// Deletes a run and reclaims its space.
+    fn delete(&self, run: RunId) -> Result<()>;
+
+    /// Runs currently present (for recovery and tests).
+    fn list(&self) -> Vec<RunId>;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// Simulated disk holding every page in memory.
+///
+/// This is the default substrate for the experiment harness: it makes I/O
+/// counts exactly reproducible and removes the physical device from the
+/// measurement loop (see DESIGN.md §3 on the testbed substitution).
+#[derive(Default)]
+pub struct MemBackend {
+    runs: RwLock<HashMap<RunId, Vec<Bytes>>>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes held across all runs (for space-usage assertions).
+    pub fn total_bytes(&self) -> usize {
+        self.runs
+            .read()
+            .values()
+            .map(|pages| pages.iter().map(Bytes::len).sum::<usize>())
+            .sum()
+    }
+}
+
+impl Backend for MemBackend {
+    fn append_page(&self, run: RunId, page_no: u32, data: &[u8]) -> Result<()> {
+        let mut runs = self.runs.write();
+        let pages = runs.entry(run).or_default();
+        if pages.len() != page_no as usize {
+            return Err(StorageError::Corruption(format!(
+                "non-sequential append to run {run}: page {page_no}, have {}",
+                pages.len()
+            )));
+        }
+        pages.push(Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    fn seal(&self, _run: RunId) -> Result<()> {
+        Ok(())
+    }
+
+    fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        let runs = self.runs.read();
+        let pages = runs
+            .get(&run)
+            .ok_or(StorageError::NotFound { run, page: None })?;
+        pages
+            .get(page_no as usize)
+            .cloned()
+            .ok_or(StorageError::NotFound { run, page: Some(page_no) })
+    }
+
+    fn pages(&self, run: RunId) -> Result<u32> {
+        let runs = self.runs.read();
+        runs.get(&run)
+            .map(|p| p.len() as u32)
+            .ok_or(StorageError::NotFound { run, page: None })
+    }
+
+    fn delete(&self, run: RunId) -> Result<()> {
+        self.runs
+            .write()
+            .remove(&run)
+            .map(|_| ())
+            .ok_or(StorageError::NotFound { run, page: None })
+    }
+
+    fn list(&self) -> Vec<RunId> {
+        let mut ids: Vec<_> = self.runs.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File backend
+// ---------------------------------------------------------------------------
+
+/// One file per run in a directory, named `<id>.run`.
+pub struct FileBackend {
+    dir: PathBuf,
+    page_size: usize,
+    // Open write handles for runs under construction.
+    building: RwLock<HashMap<RunId, Arc<RwLock<File>>>>,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) a backend rooted at `dir` with the given
+    /// page size. Existing `.run` files become visible via [`Backend::list`].
+    pub fn open(dir: impl Into<PathBuf>, page_size: usize) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            page_size,
+            building: RwLock::new(HashMap::new()),
+        })
+    }
+
+    fn path(&self, run: RunId) -> PathBuf {
+        self.dir.join(format!("{run:016x}.run"))
+    }
+}
+
+impl Backend for FileBackend {
+    fn append_page(&self, run: RunId, page_no: u32, data: &[u8]) -> Result<()> {
+        if data.len() != self.page_size {
+            return Err(StorageError::BadPageSize { got: data.len(), want: self.page_size });
+        }
+        let handle = {
+            let mut building = self.building.write();
+            match building.get(&run) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    if page_no != 0 {
+                        return Err(StorageError::Corruption(format!(
+                            "run {run} is not under construction (page {page_no})"
+                        )));
+                    }
+                    let file = OpenOptions::new()
+                        .create_new(true)
+                        .write(true)
+                        .read(true)
+                        .open(self.path(run))?;
+                    let h = Arc::new(RwLock::new(file));
+                    building.insert(run, Arc::clone(&h));
+                    h
+                }
+            }
+        };
+        let mut file = handle.write();
+        file.seek(SeekFrom::Start(page_no as u64 * self.page_size as u64))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    fn seal(&self, run: RunId) -> Result<()> {
+        if let Some(h) = self.building.write().remove(&run) {
+            h.write().sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        let mut file = File::open(self.path(run)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::NotFound { run, page: None }
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        let offset = page_no as u64 * self.page_size as u64;
+        if offset + self.page_size as u64 > file.metadata()?.len() {
+            return Err(StorageError::NotFound { run, page: Some(page_no) });
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; self.page_size];
+        file.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn pages(&self, run: RunId) -> Result<u32> {
+        let meta = std::fs::metadata(self.path(run)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::NotFound { run, page: None }
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        Ok((meta.len() / self.page_size as u64) as u32)
+    }
+
+    fn delete(&self, run: RunId) -> Result<()> {
+        self.building.write().remove(&run);
+        std::fs::remove_file(self.path(run)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::NotFound { run, page: None }
+            } else {
+                StorageError::Io(e)
+            }
+        })
+    }
+
+    fn list(&self) -> Vec<RunId> {
+        let mut ids = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(hex) = name.strip_suffix(".run") {
+                    if let Ok(id) = RunId::from_str_radix(hex, 16) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: &dyn Backend, page_size: usize) {
+        let data_a: Vec<u8> = (0..page_size).map(|i| (i % 251) as u8).collect();
+        let data_b: Vec<u8> = (0..page_size).map(|i| (i % 13) as u8).collect();
+        backend.append_page(1, 0, &data_a).unwrap();
+        backend.append_page(1, 1, &data_b).unwrap();
+        backend.seal(1).unwrap();
+        assert_eq!(backend.pages(1).unwrap(), 2);
+        assert_eq!(&backend.read_page(1, 0).unwrap()[..], &data_a[..]);
+        assert_eq!(&backend.read_page(1, 1).unwrap()[..], &data_b[..]);
+        assert!(matches!(
+            backend.read_page(1, 2),
+            Err(StorageError::NotFound { run: 1, page: Some(2) })
+        ));
+        assert!(matches!(
+            backend.read_page(9, 0),
+            Err(StorageError::NotFound { run: 9, page: None })
+        ));
+        assert_eq!(backend.list(), vec![1]);
+        backend.delete(1).unwrap();
+        assert!(backend.list().is_empty());
+        assert!(backend.delete(1).is_err());
+    }
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        roundtrip(&MemBackend::new(), 64);
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("monkey-fb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = FileBackend::open(&dir, 64).unwrap();
+        roundtrip(&backend, 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_rejects_non_sequential_append() {
+        let b = MemBackend::new();
+        assert!(b.append_page(1, 1, &[0; 8]).is_err());
+        b.append_page(1, 0, &[0; 8]).unwrap();
+        assert!(b.append_page(1, 2, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn file_rejects_wrong_page_size() {
+        let dir = std::env::temp_dir().join(format!("monkey-fb2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = FileBackend::open(&dir, 64).unwrap();
+        assert!(matches!(
+            b.append_page(1, 0, &[0; 63]),
+            Err(StorageError::BadPageSize { got: 63, want: 64 })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("monkey-fb3-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let b = FileBackend::open(&dir, 32).unwrap();
+            b.append_page(42, 0, &[7u8; 32]).unwrap();
+            b.seal(42).unwrap();
+        }
+        let b = FileBackend::open(&dir, 32).unwrap();
+        assert_eq!(b.list(), vec![42]);
+        assert_eq!(&b.read_page(42, 0).unwrap()[..], &[7u8; 32][..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_total_bytes() {
+        let b = MemBackend::new();
+        b.append_page(1, 0, &[0; 100]).unwrap();
+        b.append_page(2, 0, &[0; 50]).unwrap();
+        assert_eq!(b.total_bytes(), 150);
+    }
+}

@@ -1,0 +1,316 @@
+//! A sharded LRU block cache.
+//!
+//! Functionally equivalent to LevelDB's block cache, which the paper enables
+//! for its Appendix F experiments (Figure 12): recently read pages are kept
+//! in main memory and reads served from the cache are **not** I/Os. Capacity
+//! is expressed in bytes of cached page data. The cache is sharded to keep
+//! lock contention off the read path.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backend::RunId;
+
+/// Cache key: a page of a run.
+type Key = (RunId, u32);
+
+const NO_NODE: usize = usize::MAX;
+
+struct Node {
+    key: Key,
+    data: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: HashMap for lookup plus an intrusive doubly-linked list
+/// over a slab of nodes for O(1) touch/evict.
+struct Shard {
+    map: HashMap<Key, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    bytes: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NO_NODE,
+            tail: NO_NODE,
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NO_NODE {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NO_NODE {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NO_NODE;
+        self.nodes[idx].next = self.head;
+        if self.head != NO_NODE {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NO_NODE {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, key: Key) -> Option<Bytes> {
+        let idx = *self.map.get(&key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.nodes[idx].data.clone())
+    }
+
+    fn insert(&mut self, key: Key, data: Bytes) {
+        if data.len() > self.capacity {
+            return; // a page larger than the whole shard is never cached
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.bytes = self.bytes - self.nodes[idx].data.len() + data.len();
+            self.nodes[idx].data = data;
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            self.bytes += data.len();
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.nodes[i] = Node { key, data, prev: NO_NODE, next: NO_NODE };
+                    i
+                }
+                None => {
+                    self.nodes.push(Node { key, data, prev: NO_NODE, next: NO_NODE });
+                    self.nodes.len() - 1
+                }
+            };
+            self.map.insert(key, idx);
+            self.push_front(idx);
+        }
+        while self.bytes > self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NO_NODE);
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.bytes -= self.nodes[victim].data.len();
+            self.nodes[victim].data = Bytes::new();
+            self.free.push(victim);
+        }
+    }
+
+    fn remove_run(&mut self, run: RunId) {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|((r, _), _)| *r == run)
+            .map(|(_, &idx)| idx)
+            .collect();
+        for idx in victims {
+            self.unlink(idx);
+            self.map.remove(&self.nodes[idx].key);
+            self.bytes -= self.nodes[idx].data.len();
+            self.nodes[idx].data = Bytes::new();
+            self.free.push(idx);
+        }
+    }
+}
+
+/// Hit/miss statistics of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to storage.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded LRU block cache.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BlockCache {
+    /// Number of shards; power of two so shard selection is a mask.
+    const SHARDS: usize = 16;
+
+    /// Creates a cache holding up to `capacity_bytes` of page data.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let per_shard = capacity_bytes / Self::SHARDS;
+        Self {
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: Key) -> &Mutex<Shard> {
+        // Cheap key mix: run ids are sequential, page numbers dense.
+        let h = key.0.wrapping_mul(0x9E3779B97F4A7C15) ^ (key.1 as u64).wrapping_mul(0xC2B2AE3D4F4E5425);
+        &self.shards[(h >> 58) as usize & (Self::SHARDS - 1)]
+    }
+
+    /// Looks up a page; counts a hit or miss.
+    pub fn get(&self, run: RunId, page_no: u32) -> Option<Bytes> {
+        let got = self.shard((run, page_no)).lock().get((run, page_no));
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Inserts a page read from storage.
+    pub fn insert(&self, run: RunId, page_no: u32, data: Bytes) {
+        self.shard((run, page_no)).lock().insert((run, page_no), data);
+    }
+
+    /// Drops every cached page of `run` (called when a run is deleted after
+    /// a merge so stale pages can never be served).
+    pub fn evict_run(&self, run: RunId) {
+        for shard in &self.shards {
+            shard.lock().remove_run(run);
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes currently cached across all shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(fill: u8, len: usize) -> Bytes {
+        Bytes::from(vec![fill; len])
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let c = BlockCache::new(1 << 20);
+        c.insert(1, 0, page(7, 100));
+        assert_eq!(c.get(1, 0).unwrap(), page(7, 100));
+        assert!(c.get(1, 1).is_none());
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        // Single shard worth of capacity split over 16 shards: use keys that
+        // we re-check individually rather than assuming shard placement.
+        let c = BlockCache::new(16 * 300); // 300 bytes per shard
+        // Insert 4 pages of 100 bytes targeting the same run; at most 3 fit
+        // in any one shard.
+        for p in 0..40 {
+            c.insert(5, p, page(p as u8, 100));
+        }
+        let live = (0..40).filter(|&p| c.get(5, p).is_some()).count();
+        assert!(live < 40, "some pages must have been evicted");
+        assert!(live > 0, "recently used pages survive");
+        assert!(c.used_bytes() <= 16 * 300);
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let c = BlockCache::new(16 * 250); // 2 pages of 100B per shard
+        // Behavioural check: a repeatedly touched page survives churn that
+        // evicts everything else.
+        for i in 0..100u32 {
+            c.insert(9, i, page(0, 100));
+            c.insert(9, 0, page(0, 100)); // keep page 0 hot
+            c.get(9, 0);
+        }
+        assert!(c.get(9, 0).is_some(), "hot page survived");
+    }
+
+    #[test]
+    fn update_existing_key_replaces_bytes() {
+        let c = BlockCache::new(1 << 20);
+        c.insert(1, 0, page(1, 100));
+        c.insert(1, 0, page(2, 50));
+        assert_eq!(c.get(1, 0).unwrap(), page(2, 50));
+        assert_eq!(c.used_bytes(), 50);
+    }
+
+    #[test]
+    fn evict_run_drops_all_its_pages() {
+        let c = BlockCache::new(1 << 20);
+        for p in 0..10 {
+            c.insert(1, p, page(1, 10));
+            c.insert(2, p, page(2, 10));
+        }
+        c.evict_run(1);
+        for p in 0..10 {
+            assert!(c.get(1, p).is_none());
+            assert!(c.get(2, p).is_some());
+        }
+        assert_eq!(c.used_bytes(), 100);
+    }
+
+    #[test]
+    fn oversized_page_is_not_cached() {
+        let c = BlockCache::new(16 * 10); // 10 bytes per shard
+        c.insert(1, 0, page(1, 1000));
+        assert!(c.get(1, 0).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_hits() {
+        let c = BlockCache::new(0);
+        c.insert(1, 0, page(1, 10));
+        assert!(c.get(1, 0).is_none());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+}

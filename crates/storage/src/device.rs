@@ -1,0 +1,120 @@
+//! Device latency model.
+//!
+//! The paper parameterizes its throughput model (§4.4, Table 2) by `Ω`, the
+//! time to read a page from persistent storage, and `φ`, the cost ratio
+//! between a write and a read I/O. Its reference points: a disk seek is
+//! ~10 ms; a flash read is tens to hundreds of microseconds; on flash,
+//! writes cost more than reads. This module converts measured
+//! [`IoSnapshot`] values into modeled wall-clock latency so the
+//! experiment harness can plot the same y-axes as the paper's Figure 11.
+
+use crate::iostats::IoSnapshot;
+
+/// A storage device's cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceModel {
+    /// Seconds for a random page read (`Ω` in the paper).
+    pub random_read_secs: f64,
+    /// Seconds for one page of a sequential scan after the initial seek.
+    pub sequential_read_secs: f64,
+    /// Write/read cost ratio (`φ` in the paper). Writes cost `φ ×` a read.
+    pub write_read_ratio: f64,
+}
+
+impl DeviceModel {
+    /// A 7200 RPM hard disk like the paper's testbed: 10 ms seek-dominated
+    /// random reads, ~100 MB/s sequential transfer (≈40 µs per 4 KB page),
+    /// writes cost the same as reads (`φ = 1`).
+    pub fn disk() -> Self {
+        Self {
+            random_read_secs: 10e-3,
+            sequential_read_secs: 40e-6,
+            write_read_ratio: 1.0,
+        }
+    }
+
+    /// A flash SSD: ~100 µs random reads, sequential reads about as fast,
+    /// writes several times more expensive than reads (`φ = 3`, a common
+    /// figure for flash write amplification at the device level).
+    pub fn flash() -> Self {
+        Self {
+            random_read_secs: 100e-6,
+            sequential_read_secs: 50e-6,
+            write_read_ratio: 3.0,
+        }
+    }
+
+    /// The paper's §4.4 "negligible false-positive overhead" threshold for
+    /// this device: the value of the expected I/Os per lookup `R` at which
+    /// the I/O contribution to lookup latency drops to ~1 µs. 1e-4 for a
+    /// 10 ms disk; 1e-2 for a 100 µs flash device.
+    pub fn negligible_r_threshold(&self) -> f64 {
+        1e-6 / self.random_read_secs
+    }
+
+    /// Modeled latency of an I/O batch: each seek pays a random read, the
+    /// remaining (sequential) page reads pay the transfer cost, and writes
+    /// pay `φ ×` the sequential read cost (merges write sequentially).
+    pub fn latency_secs(&self, io: &IoSnapshot) -> f64 {
+        let random = io.seeks.min(io.page_reads);
+        let sequential = io.page_reads - random;
+        random as f64 * self.random_read_secs
+            + sequential as f64 * self.sequential_read_secs
+            + io.page_writes as f64 * self.sequential_read_secs * self.write_read_ratio
+    }
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        Self::disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_thresholds_match_paper() {
+        // §4.4: R threshold 1e-4 for disk, 1e-2 for flash.
+        assert!((DeviceModel::disk().negligible_r_threshold() - 1e-4).abs() < 1e-12);
+        assert!((DeviceModel::flash().negligible_r_threshold() - 1e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_read_costs_a_seek() {
+        let io = IoSnapshot { page_reads: 1, seeks: 1, ..Default::default() };
+        let d = DeviceModel::disk();
+        assert!((d.latency_secs(&io) - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_pays_one_seek_then_transfer() {
+        // 1 seek + 100 pages scanned.
+        let io = IoSnapshot { page_reads: 100, seeks: 1, ..Default::default() };
+        let d = DeviceModel::disk();
+        let want = 10e-3 + 99.0 * 40e-6;
+        assert!((d.latency_secs(&io) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_scaled_by_phi() {
+        let io = IoSnapshot { page_writes: 10, ..Default::default() };
+        let flash = DeviceModel::flash();
+        let want = 10.0 * 50e-6 * 3.0;
+        assert!((flash.latency_secs(&io) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_seeks_than_reads_is_clamped() {
+        // Defensive: seeks from scans that read zero pages.
+        let io = IoSnapshot { page_reads: 1, seeks: 5, ..Default::default() };
+        let d = DeviceModel::disk();
+        assert!((d.latency_secs(&io) - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_disk() {
+        assert_eq!(DeviceModel::default(), DeviceModel::disk());
+    }
+}

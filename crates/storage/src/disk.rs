@@ -1,0 +1,368 @@
+//! The [`Disk`]: the storage facade the LSM engine talks to.
+//!
+//! `Disk` combines a [`Backend`] with [`IoStats`] accounting and an optional
+//! [`BlockCache`]. Every page that physically moves to or from the backend
+//! is counted; cache hits are recorded but are not I/Os. This is the
+//! boundary where the reproduction's measurements are taken.
+
+use crate::backend::{Backend, FileBackend, MemBackend, RunId};
+use crate::cache::{BlockCache, CacheStats};
+use crate::error::{Result, StorageError};
+use crate::iostats::{IoSnapshot, IoStats};
+use bytes::Bytes;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A counted, optionally cached page store.
+pub struct Disk {
+    backend: Arc<dyn Backend>,
+    stats: IoStats,
+    cache: Option<BlockCache>,
+    page_size: usize,
+    next_run: AtomicU64,
+}
+
+impl Disk {
+    /// Creates an in-memory simulated disk (the experiment default).
+    pub fn mem(page_size: usize) -> Arc<Self> {
+        Self::with_backend(Arc::new(MemBackend::new()), page_size, None)
+    }
+
+    /// Creates an in-memory disk with a block cache of `cache_bytes`.
+    pub fn mem_cached(page_size: usize, cache_bytes: usize) -> Arc<Self> {
+        Self::with_backend(
+            Arc::new(MemBackend::new()),
+            page_size,
+            Some(BlockCache::new(cache_bytes)),
+        )
+    }
+
+    /// Opens a file-backed disk rooted at `dir`.
+    pub fn file(dir: impl AsRef<Path>, page_size: usize) -> Result<Arc<Self>> {
+        let backend = FileBackend::open(dir.as_ref(), page_size)?;
+        Ok(Self::with_backend(Arc::new(backend), page_size, None))
+    }
+
+    /// Wraps an arbitrary backend (for tests and custom deployments).
+    pub fn with_backend(
+        backend: Arc<dyn Backend>,
+        page_size: usize,
+        cache: Option<BlockCache>,
+    ) -> Arc<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        // Resume run-id allocation above any existing run (file backend
+        // reopened over a previous database).
+        let next = backend.list().last().map_or(0, |id| id + 1);
+        Arc::new(Self {
+            backend,
+            stats: IoStats::new(),
+            cache,
+            page_size,
+            next_run: AtomicU64::new(next),
+        })
+    }
+
+    /// The fixed page size in bytes (`B·E` in the paper's terms: one page
+    /// holds `B` entries of `E` bits).
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Begins building a new run. Pages stream to the backend as they are
+    /// appended; writes are counted as they happen.
+    pub fn begin_run(self: &Arc<Self>) -> RunWriter {
+        let id = self.next_run.fetch_add(1, Ordering::Relaxed);
+        RunWriter {
+            disk: Arc::clone(self),
+            id,
+            pages: 0,
+            sealed: false,
+        }
+    }
+
+    /// Reads one page with a random access: counts one seek plus one page
+    /// read on a cache miss, or a cache hit otherwise.
+    pub fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.get(run, page_no) {
+                self.stats.add_cache_hit();
+                return Ok(data);
+            }
+        }
+        let data = self.backend.read_page(run, page_no)?;
+        self.stats.add_seek();
+        self.stats.add_reads(1);
+        if let Some(cache) = &self.cache {
+            cache.insert(run, page_no, data.clone());
+        }
+        Ok(data)
+    }
+
+    /// Reads one page as the continuation of a sequential scan: counts a
+    /// page read (or cache hit) but no seek. Run iterators use
+    /// [`read_page`](Self::read_page) for their first page and this for the
+    /// rest, matching the paper's range-lookup cost model (Eq. 11: one seek
+    /// per run, then sequential pages).
+    pub fn read_page_sequential(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.get(run, page_no) {
+                self.stats.add_cache_hit();
+                return Ok(data);
+            }
+        }
+        let data = self.backend.read_page(run, page_no)?;
+        self.stats.add_reads(1);
+        if let Some(cache) = &self.cache {
+            cache.insert(run, page_no, data.clone());
+        }
+        Ok(data)
+    }
+
+    /// Reads `count` consecutive pages starting at `start`: one seek, then
+    /// sequential page reads. Used by range lookups (Eq. 11: a seek per run
+    /// plus `s·N/B` sequential pages).
+    pub fn read_pages(&self, run: RunId, start: u32, count: u32) -> Result<Vec<Bytes>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        self.stats.add_seek();
+        let mut out = Vec::with_capacity(count as usize);
+        for page_no in start..start + count {
+            if let Some(cache) = &self.cache {
+                if let Some(data) = cache.get(run, page_no) {
+                    self.stats.add_cache_hit();
+                    out.push(data);
+                    continue;
+                }
+            }
+            let data = self.backend.read_page(run, page_no)?;
+            self.stats.add_reads(1);
+            if let Some(cache) = &self.cache {
+                cache.insert(run, page_no, data.clone());
+            }
+            out.push(data);
+        }
+        Ok(out)
+    }
+
+    /// Number of pages in a run.
+    pub fn run_pages(&self, run: RunId) -> Result<u32> {
+        self.backend.pages(run)
+    }
+
+    /// Deletes a run and purges it from the cache.
+    pub fn delete_run(&self, run: RunId) -> Result<()> {
+        if let Some(cache) = &self.cache {
+            cache.evict_run(run);
+        }
+        self.backend.delete(run)
+    }
+
+    /// Live I/O counters.
+    pub fn io(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the I/O counters (between experiment phases).
+    pub fn reset_io(&self) {
+        self.stats.reset();
+    }
+
+    /// Cache statistics, if a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(BlockCache::stats)
+    }
+
+    /// Runs present on the backend (recovery support).
+    pub fn list_runs(&self) -> Vec<RunId> {
+        self.backend.list()
+    }
+}
+
+/// Streaming writer for a run under construction.
+pub struct RunWriter {
+    disk: Arc<Disk>,
+    id: RunId,
+    pages: u32,
+    sealed: bool,
+}
+
+impl RunWriter {
+    /// The id the finished run will have.
+    pub fn id(&self) -> RunId {
+        self.id
+    }
+
+    /// Pages appended so far.
+    pub fn pages_written(&self) -> u32 {
+        self.pages
+    }
+
+    /// Appends one page. The buffer must be exactly one page long; the run
+    /// builder in the LSM crate pads the final page.
+    pub fn append(&mut self, page: &[u8]) -> Result<()> {
+        if page.len() != self.disk.page_size {
+            return Err(StorageError::BadPageSize {
+                got: page.len(),
+                want: self.disk.page_size,
+            });
+        }
+        self.disk.backend.append_page(self.id, self.pages, page)?;
+        self.disk.stats.add_writes(1);
+        self.pages += 1;
+        Ok(())
+    }
+
+    /// Seals the run, making it durable and readable. Returns its id.
+    pub fn seal(mut self) -> Result<RunId> {
+        self.disk.backend.seal(self.id)?;
+        self.sealed = true;
+        Ok(self.id)
+    }
+}
+
+impl Drop for RunWriter {
+    fn drop(&mut self) {
+        // An abandoned writer (error path mid-merge) must not leak a
+        // half-built run.
+        if !self.sealed && self.pages > 0 {
+            let _ = self.disk.backend.delete(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(disk: &Disk, fill: u8) -> Vec<u8> {
+        vec![fill; disk.page_size()]
+    }
+
+    #[test]
+    fn write_read_counts_ios() {
+        let disk = Disk::mem(128);
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 1)).unwrap();
+        w.append(&page(&disk, 2)).unwrap();
+        let id = w.seal().unwrap();
+
+        let before = disk.io();
+        assert_eq!(before.page_writes, 2);
+        assert_eq!(before.page_reads, 0);
+
+        let p = disk.read_page(id, 1).unwrap();
+        assert_eq!(p[0], 2);
+        let after = disk.io() - before;
+        assert_eq!(after.page_reads, 1);
+        assert_eq!(after.seeks, 1);
+    }
+
+    #[test]
+    fn sequential_read_counts_one_seek() {
+        let disk = Disk::mem(64);
+        let mut w = disk.begin_run();
+        for i in 0..10 {
+            w.append(&page(&disk, i)).unwrap();
+        }
+        let id = w.seal().unwrap();
+        disk.reset_io();
+        let pages = disk.read_pages(id, 2, 5).unwrap();
+        assert_eq!(pages.len(), 5);
+        assert_eq!(pages[0][0], 2);
+        assert_eq!(pages[4][0], 6);
+        let io = disk.io();
+        assert_eq!(io.page_reads, 5);
+        assert_eq!(io.seeks, 1);
+    }
+
+    #[test]
+    fn read_zero_pages_is_free() {
+        let disk = Disk::mem(64);
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 0)).unwrap();
+        let id = w.seal().unwrap();
+        disk.reset_io();
+        assert!(disk.read_pages(id, 0, 0).unwrap().is_empty());
+        assert_eq!(disk.io(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn cache_hit_is_not_an_io() {
+        let disk = Disk::mem_cached(64, 1 << 20);
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 9)).unwrap();
+        let id = w.seal().unwrap();
+        disk.reset_io();
+
+        disk.read_page(id, 0).unwrap(); // miss
+        disk.read_page(id, 0).unwrap(); // hit
+        let io = disk.io();
+        assert_eq!(io.page_reads, 1);
+        assert_eq!(io.cache_hits, 1);
+        let cs = disk.cache_stats().unwrap();
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.misses, 1);
+    }
+
+    #[test]
+    fn deleting_run_purges_cache() {
+        let disk = Disk::mem_cached(64, 1 << 20);
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 3)).unwrap();
+        let id = w.seal().unwrap();
+        disk.read_page(id, 0).unwrap();
+        disk.delete_run(id).unwrap();
+        assert!(disk.read_page(id, 0).is_err(), "stale cache must not serve deleted run");
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_increasing() {
+        let disk = Disk::mem(64);
+        let a = disk.begin_run();
+        let b = disk.begin_run();
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn dropped_unsealed_writer_cleans_up() {
+        let disk = Disk::mem(64);
+        let id;
+        {
+            let mut w = disk.begin_run();
+            w.append(&page(&disk, 0)).unwrap();
+            id = w.id();
+        } // dropped without seal
+        assert!(disk.run_pages(id).is_err());
+        assert!(disk.list_runs().is_empty());
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let disk = Disk::mem(64);
+        let mut w = disk.begin_run();
+        assert!(matches!(
+            w.append(&[0u8; 32]),
+            Err(StorageError::BadPageSize { got: 32, want: 64 })
+        ));
+    }
+
+    #[test]
+    fn file_disk_reopen_resumes_run_ids() {
+        let dir = std::env::temp_dir().join(format!("monkey-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first_id;
+        {
+            let disk = Disk::file(&dir, 64).unwrap();
+            let mut w = disk.begin_run();
+            w.append(&[1u8; 64]).unwrap();
+            first_id = w.seal().unwrap();
+        }
+        let disk = Disk::file(&dir, 64).unwrap();
+        assert_eq!(disk.list_runs(), vec![first_id]);
+        let w = disk.begin_run();
+        assert!(w.id() > first_id, "ids must not alias old runs");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

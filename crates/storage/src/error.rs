@@ -1,0 +1,83 @@
+//! Error type for the storage layer.
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O error from the file backend.
+    Io(std::io::Error),
+    /// A page or run that does not exist was addressed.
+    NotFound {
+        /// The run that was addressed.
+        run: u64,
+        /// The page within the run, if the run itself exists.
+        page: Option<u32>,
+    },
+    /// Stored data failed a structural check (bad length, bad checksum).
+    Corruption(String),
+    /// A page write did not match the disk's fixed page size.
+    BadPageSize {
+        /// Size of the buffer handed to the writer.
+        got: usize,
+        /// The disk's configured page size.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::NotFound { run, page: Some(p) } => {
+                write!(f, "page {p} of run {run} not found")
+            }
+            Self::NotFound { run, page: None } => write!(f, "run {run} not found"),
+            Self::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Self::BadPageSize { got, want } => {
+                write!(f, "page buffer is {got} bytes, disk page size is {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StorageError::NotFound { run: 3, page: Some(7) };
+        assert_eq!(e.to_string(), "page 7 of run 3 not found");
+        let e = StorageError::NotFound { run: 3, page: None };
+        assert_eq!(e.to_string(), "run 3 not found");
+        let e = StorageError::BadPageSize { got: 100, want: 4096 };
+        assert!(e.to_string().contains("4096"));
+        let e = StorageError::Corruption("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let inner = std::io::Error::other("boom");
+        let e: StorageError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Storage substrate for the Monkey LSM-tree.
+//!
+//! The Monkey paper's evaluation is entirely about **I/O cost per
+//! operation**: lookup latency is the number of page reads times the device
+//! access time, update cost is amortized page writes, and the dotted
+//! reference lines in its Figure 11 are drawn at "0.2 I/Os per lookup" and
+//! "1 I/O per lookup". This crate therefore provides:
+//!
+//! * a page-granular storage abstraction ([`Disk`]) over two backends — an
+//!   in-memory simulated disk ([`MemBackend`]) used by the experiment
+//!   harness for deterministic I/O counts, and a real file-per-run backend
+//!   ([`FileBackend`]) used for durability and integration tests;
+//! * exact **I/O accounting** ([`IoStats`]): every page read, page write,
+//!   and seek is counted atomically and can be snapshotted and diffed
+//!   around an operation;
+//! * a sharded LRU **block cache** ([`BlockCache`]) equivalent to LevelDB's
+//!   block cache, used to reproduce the paper's Figure 12 (cache of 0 / 20 /
+//!   40 % of the data volume) — cache hits are not I/Os;
+//! * a **device model** ([`DeviceModel`]) translating I/O counts into
+//!   modeled latency for a disk or flash device, including the paper's
+//!   write/read cost ratio `φ` and its 10 ms disk-seek / ~100 µs flash-read
+//!   reference points (§4.4).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod faults;
+pub mod device;
+pub mod error;
+pub mod iostats;
+
+mod backend;
+mod disk;
+
+pub use backend::{Backend, FileBackend, MemBackend, RunId};
+pub use cache::{BlockCache, CacheStats};
+pub use device::DeviceModel;
+pub use disk::{Disk, RunWriter};
+pub use error::{Result, StorageError};
+pub use faults::{FaultKind, FlakyBackend};
+pub use iostats::{IoSnapshot, IoStats};

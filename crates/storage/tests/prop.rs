@@ -1,0 +1,107 @@
+//! Property-based tests for the storage layer.
+
+use bytes::Bytes;
+use monkey_storage::{BlockCache, Disk};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pages written through a RunWriter read back verbatim through the
+    /// counted read path, for any page pattern.
+    #[test]
+    fn run_roundtrip(pages in proptest::collection::vec(any::<u8>(), 1..40), page_size in 1usize..256) {
+        let disk = Disk::mem(page_size);
+        let mut w = disk.begin_run();
+        for &fill in &pages {
+            w.append(&vec![fill; page_size]).unwrap();
+        }
+        let id = w.seal().unwrap();
+        prop_assert_eq!(disk.run_pages(id).unwrap() as usize, pages.len());
+        for (i, &fill) in pages.iter().enumerate() {
+            let got = disk.read_page(id, i as u32).unwrap();
+            prop_assert!(got.iter().all(|&b| b == fill));
+        }
+    }
+
+    /// I/O accounting is exact: N appends = N writes, M random reads =
+    /// M reads and M seeks (no cache).
+    #[test]
+    fn io_counts_exact(n_pages in 1u32..30, reads in proptest::collection::vec(any::<u32>(), 0..50)) {
+        let disk = Disk::mem(32);
+        let mut w = disk.begin_run();
+        for _ in 0..n_pages {
+            w.append(&[0u8; 32]).unwrap();
+        }
+        let id = w.seal().unwrap();
+        let io = disk.io();
+        prop_assert_eq!(io.page_writes, n_pages as u64);
+        disk.reset_io();
+        for &r in &reads {
+            disk.read_page(id, r % n_pages).unwrap();
+        }
+        let io = disk.io();
+        prop_assert_eq!(io.page_reads, reads.len() as u64);
+        prop_assert_eq!(io.seeks, reads.len() as u64);
+        prop_assert_eq!(io.cache_hits, 0);
+    }
+
+    /// Sequential reads return the same bytes as page-at-a-time reads but
+    /// cost exactly one seek.
+    #[test]
+    fn sequential_matches_random(n_pages in 2u32..30, start in 0u32..29, len in 1u32..30) {
+        let disk = Disk::mem(16);
+        let mut w = disk.begin_run();
+        for i in 0..n_pages {
+            w.append(&[i as u8; 16]).unwrap();
+        }
+        let id = w.seal().unwrap();
+        let start = start % n_pages;
+        let len = len.min(n_pages - start);
+        disk.reset_io();
+        let scanned = disk.read_pages(id, start, len).unwrap();
+        prop_assert_eq!(disk.io().seeks, 1);
+        prop_assert_eq!(disk.io().page_reads, len as u64);
+        for (i, p) in scanned.iter().enumerate() {
+            prop_assert_eq!(p[0], (start as usize + i) as u8);
+        }
+    }
+
+    /// The cache never exceeds its capacity and never returns wrong bytes.
+    #[test]
+    fn cache_capacity_and_correctness(
+        ops in proptest::collection::vec((0u64..8, 0u32..16, any::<u8>()), 1..200),
+        capacity in 0usize..4096,
+    ) {
+        let cache = BlockCache::new(capacity);
+        let mut model = std::collections::HashMap::new();
+        for &(run, page, fill) in &ops {
+            let data = Bytes::from(vec![fill; 64]);
+            cache.insert(run, page, data.clone());
+            model.insert((run, page), data);
+            prop_assert!(cache.used_bytes() <= capacity);
+            if let Some(got) = cache.get(run, page) {
+                prop_assert_eq!(&got, model.get(&(run, page)).unwrap());
+            }
+        }
+    }
+
+    /// With an unbounded cache, re-reading any previously read page is a
+    /// cache hit, never an I/O.
+    #[test]
+    fn warm_cache_absorbs_rereads(reads in proptest::collection::vec(0u32..20, 1..100)) {
+        let disk = Disk::mem_cached(32, usize::MAX / 2);
+        let mut w = disk.begin_run();
+        for i in 0..20u32 {
+            w.append(&[i as u8; 32]).unwrap();
+        }
+        let id = w.seal().unwrap();
+        disk.reset_io();
+        let mut seen = std::collections::HashSet::new();
+        for &r in &reads {
+            disk.read_page(id, r).unwrap();
+            seen.insert(r);
+        }
+        let io = disk.io();
+        prop_assert_eq!(io.page_reads, seen.len() as u64, "each page faulted once");
+        prop_assert_eq!(io.cache_hits, (reads.len() - seen.len()) as u64);
+    }
+}

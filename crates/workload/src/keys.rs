@@ -1,0 +1,148 @@
+//! Key and value generation.
+//!
+//! Keys are fixed-width, zero-padded decimal strings over a logical index
+//! space, so lexicographic order equals numeric order and any index maps to
+//! exactly one key. Existing keys live in the even indices and missing
+//! (zero-result) keys in the odd ones, giving disjoint spaces that
+//! interleave across the whole key range — zero-result lookups then hit the
+//! fence-pointer range of every run, as the paper's worst case intends.
+
+use rand::Rng;
+
+/// A deterministic key/value space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySpace {
+    /// Number of *existing* entries (`N`).
+    pub entries: u64,
+    /// Total bytes of one key.
+    pub key_len: usize,
+    /// Total bytes of one value.
+    pub value_len: usize,
+}
+
+impl KeySpace {
+    /// A key space of `entries` entries whose encoded key+value size is
+    /// `entry_bytes` (16-byte keys).
+    pub fn with_entry_size(entries: u64, entry_bytes: usize) -> Self {
+        let key_len = 16;
+        assert!(entry_bytes > key_len, "entry must be bigger than its key");
+        Self { entries, key_len, value_len: entry_bytes - key_len }
+    }
+
+    fn key_of_index(&self, index: u64) -> Vec<u8> {
+        let mut key = format!("{index:0width$}", width = self.key_len);
+        key.truncate(self.key_len);
+        key.into_bytes()
+    }
+
+    /// The `i`-th existing key (`i < entries`).
+    pub fn existing_key(&self, i: u64) -> Vec<u8> {
+        assert!(i < self.entries, "index {i} out of {}", self.entries);
+        self.key_of_index(i * 2)
+    }
+
+    /// The `i`-th missing key — interleaved between existing keys, so it is
+    /// inside every run's key range but matches no entry.
+    pub fn missing_key(&self, i: u64) -> Vec<u8> {
+        self.key_of_index(i * 2 + 1)
+    }
+
+    /// The value stored for the `i`-th existing key: deterministic filler
+    /// of the configured length, tagged with the index for verification.
+    pub fn value_for(&self, i: u64) -> Vec<u8> {
+        let tag = format!("v{i:016}");
+        let mut value = tag.into_bytes();
+        value.resize(self.value_len, b'.');
+        value
+    }
+
+    /// A uniformly random existing key.
+    pub fn random_existing<R: Rng>(&self, rng: &mut R) -> (u64, Vec<u8>) {
+        let i = rng.gen_range(0..self.entries);
+        (i, self.existing_key(i))
+    }
+
+    /// A uniformly random missing key.
+    pub fn random_missing<R: Rng>(&self, rng: &mut R) -> Vec<u8> {
+        let i = rng.gen_range(0..self.entries.max(1));
+        self.missing_key(i)
+    }
+
+    /// A random insertion order of all existing indices (the paper loads
+    /// entries "inserted at a random order").
+    pub fn shuffled_indices<R: Rng>(&self, rng: &mut R) -> Vec<u64> {
+        let mut idx: Vec<u64> = (0..self.entries).collect();
+        // Fisher–Yates.
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keys_are_fixed_width_and_ordered() {
+        let ks = KeySpace::with_entry_size(1000, 64);
+        let a = ks.existing_key(1);
+        let b = ks.existing_key(999);
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        assert!(a < b, "lexicographic = numeric");
+    }
+
+    #[test]
+    fn missing_keys_interleave_and_never_collide() {
+        let ks = KeySpace::with_entry_size(100, 64);
+        for i in 0..100 {
+            let missing = ks.missing_key(i);
+            for j in 0..100 {
+                assert_ne!(missing, ks.existing_key(j));
+            }
+        }
+        // Interleaved: missing key i sits between existing i and i+1.
+        assert!(ks.missing_key(5) > ks.existing_key(5));
+        assert!(ks.missing_key(5) < ks.existing_key(6));
+    }
+
+    #[test]
+    fn values_have_requested_size_and_identify_key() {
+        let ks = KeySpace::with_entry_size(10, 128);
+        let v = ks.value_for(7);
+        assert_eq!(v.len(), 128 - 16);
+        assert!(v.starts_with(b"v0000000000000007"));
+        assert_ne!(ks.value_for(7), ks.value_for(8));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let ks = KeySpace::with_entry_size(500, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut order = ks.shuffled_indices(&mut rng);
+        assert_ne!(order, (0..500).collect::<Vec<_>>(), "actually shuffled");
+        order.sort_unstable();
+        assert_eq!(order, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_existing_in_range() {
+        let ks = KeySpace::with_entry_size(50, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (i, key) = ks.random_existing(&mut rng);
+            assert!(i < 50);
+            assert_eq!(key, ks.existing_key(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn existing_key_bounds_checked() {
+        KeySpace::with_entry_size(10, 64).existing_key(10);
+    }
+}

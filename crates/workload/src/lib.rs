@@ -1,0 +1,27 @@
+//! Workload generators for the Monkey experiments.
+//!
+//! The paper's evaluation (§5) drives the store with:
+//!
+//! * bulk loads of `N` uniformly-distributed key-value entries of a fixed
+//!   size, inserted in random order;
+//! * **zero-result point lookups** uniformly distributed over a disjoint
+//!   key space ("they do not issue I/Os most of the time due to the
+//!   filters");
+//! * **non-zero-result lookups** with a *temporal locality coefficient*
+//!   `c ∈ [0, 1]`: a `c` fraction of lookups target the most recently
+//!   updated `(1−c)` fraction of entries (`c = 0.5` is uniform; above 0.5
+//!   favors recently updated entries, below 0.5 favors the least recently
+//!   updated — Figure 11(D));
+//! * mixed lookup/update streams at varying ratios (Figure 11(F)).
+
+#![warn(missing_docs)]
+
+pub mod keys;
+pub mod mix;
+pub mod temporal;
+pub mod zipf;
+
+pub use keys::KeySpace;
+pub use mix::{Op, OpMix, TraceBuilder};
+pub use temporal::TemporalSampler;
+pub use zipf::ZipfianSampler;

@@ -1,0 +1,138 @@
+//! Temporal locality of non-zero-result lookups (Figure 11(D)).
+//!
+//! The paper: "we define a coefficient `c` ranging from 0 to 1 whereby `c`
+//! percent of the most recently updated entries receive `(1 − c)` percent
+//! of the lookups. When `c` is set to 0.5, the workload is uniformly
+//! randomly distributed. When it is above 0.5, recently updated entries
+//! receive most of the lookups, and when it is below 0.5 the least recently
+//! updated entries receive most of the lookups."
+//!
+//! We implement the partition form that satisfies all three statements: a
+//! fraction `c` of lookups target the most recently updated `(1−c)·n`
+//! entries (the *hot* partition); the rest target the older entries. At
+//! `c = 0.5` both partitions are half the data receiving half the lookups —
+//! exactly uniform. The degenerate endpoints clamp the hot partition to at
+//! least one entry.
+
+use rand::Rng;
+
+/// Samples *recency ranks*: rank 0 is the most recently updated entry,
+/// rank `n−1` the least recently updated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalSampler {
+    n: u64,
+    c: f64,
+    hot: u64, // ranks [0, hot) are the "recent" partition
+}
+
+impl TemporalSampler {
+    /// Creates a sampler over `n` entries with coefficient `c ∈ [0, 1]`.
+    pub fn new(n: u64, c: f64) -> Self {
+        assert!(n >= 1, "need at least one entry");
+        assert!((0.0..=1.0).contains(&c), "coefficient out of range: {c}");
+        let hot = (((1.0 - c) * n as f64).round() as u64).clamp(1, n.max(2) - 1);
+        Self { n, c, hot }
+    }
+
+    /// The coefficient.
+    pub fn coefficient(&self) -> f64 {
+        self.c
+    }
+
+    /// Number of entries in the recent (hot) partition.
+    pub fn hot_size(&self) -> u64 {
+        self.hot
+    }
+
+    /// Samples a recency rank.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        if rng.gen_bool(self.c.clamp(0.0, 1.0)) {
+            rng.gen_range(0..self.hot)
+        } else {
+            rng.gen_range(self.hot..self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn hot_fraction(c: f64, n: u64, samples: usize) -> f64 {
+        let s = TemporalSampler::new(n, c);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let hits = (0..samples).filter(|_| s.sample_rank(&mut rng) < s.hot_size()).count();
+        hits as f64 / samples as f64
+    }
+
+    #[test]
+    fn half_is_uniform() {
+        let s = TemporalSampler::new(1000, 0.5);
+        assert_eq!(s.hot_size(), 500);
+        // Chi-square-ish sanity: each decile gets ~10%.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut deciles = [0u32; 10];
+        for _ in 0..100_000 {
+            deciles[(s.sample_rank(&mut rng) / 100) as usize] += 1;
+        }
+        for (d, &count) in deciles.iter().enumerate() {
+            assert!((9_000..11_000).contains(&count), "decile {d}: {count}");
+        }
+    }
+
+    #[test]
+    fn high_c_favors_recent() {
+        // c = 0.9: the most recent 10% receive ~90% of lookups.
+        let s = TemporalSampler::new(1000, 0.9);
+        assert_eq!(s.hot_size(), 100);
+        let frac = hot_fraction(0.9, 1000, 50_000);
+        assert!((0.88..0.92).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn low_c_favors_old() {
+        // c = 0.1: the most recent 90% receive only ~10% of lookups.
+        let s = TemporalSampler::new(1000, 0.1);
+        assert_eq!(s.hot_size(), 900);
+        let frac = hot_fraction(0.1, 1000, 50_000);
+        assert!((0.08..0.12).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn extremes_are_clamped_but_valid() {
+        let s = TemporalSampler::new(100, 1.0);
+        assert_eq!(s.hot_size(), 1, "c=1: everything goes to the newest entry");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(s.sample_rank(&mut rng), 0);
+        }
+        let s = TemporalSampler::new(100, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(s.sample_rank(&mut rng) >= s.hot_size(), "c=0: only old entries");
+        }
+    }
+
+    #[test]
+    fn ranks_always_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for &c in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            for &n in &[1u64, 2, 3, 100] {
+                let s = TemporalSampler::new(n, c);
+                for _ in 0..200 {
+                    assert!(s.sample_rank(&mut rng) < n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient out of range")]
+    fn rejects_bad_coefficient() {
+        TemporalSampler::new(10, 1.5);
+    }
+}

@@ -1,0 +1,196 @@
+//! Zipfian key popularity — the skewed distribution of YCSB and of most
+//! real key-value workloads (the paper's §5 uses uniform keys plus the
+//! temporal-locality coefficient; Zipfian access is the natural companion
+//! for the block-cache experiments of Appendix F).
+//!
+//! Implements the standard YCSB `ZipfianGenerator` construction: ranks are
+//! drawn with probability `P(rank = k) ∝ 1/k^θ` using the closed-form
+//! inverse-CDF approximation of Gray et al. ("Quickly generating
+//! billion-record synthetic databases", SIGMOD 1994), which samples in
+//! `O(1)` after an `O(1)` setup using the harmonic approximations.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with Zipfian skew `θ ∈ (0, 1)`.
+///
+/// Rank 0 is the most popular item. `θ → 0` approaches uniform;
+/// YCSB's default is `θ = 0.99`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfianSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    threshold: f64, // 1 + 0.5^theta, precomputed
+}
+
+/// Generalized harmonic number `H_{n,θ} = Σ_{i=1..n} 1/i^θ`.
+///
+/// Exact summation for small `n`; the Euler–Maclaurin approximation
+/// `(n^(1−θ) − 1)/(1−θ) + ζ-correction` for large `n` (error < 0.1 % past
+/// the cutoff for θ ≤ 0.99).
+pub fn harmonic(n: u64, theta: f64) -> f64 {
+    const EXACT_CUTOFF: u64 = 10_000;
+    if n <= EXACT_CUTOFF {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT_CUTOFF).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let a = EXACT_CUTOFF as f64;
+        let b = n as f64;
+        // ∫_a^b x^-θ dx plus the trapezoid end corrections.
+        head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+            + 0.5 * (b.powf(-theta) - a.powf(-theta))
+    }
+}
+
+impl ZipfianSampler {
+    /// A sampler over `n ≥ 1` ranks with skew `theta ∈ (0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1), got {theta}");
+        let zetan = harmonic(n, theta);
+        let zeta2 = harmonic(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            threshold: 1.0 + 0.5f64.powf(theta),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.threshold {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Theoretical probability of rank `k` (0-based).
+    pub fn probability(&self, rank: u64) -> f64 {
+        assert!(rank < self.n);
+        1.0 / ((rank + 1) as f64).powf(self.theta) / self.zetan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harmonic_exact_values() {
+        assert!((harmonic(1, 0.5) - 1.0).abs() < 1e-12);
+        // H_{3,1/2} = 1 + 1/√2 + 1/√3
+        let want = 1.0 + 0.5f64.sqrt() + 1.0 / 3f64.sqrt();
+        assert!((harmonic(3, 0.5) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_approximation_continuous_at_cutoff() {
+        // Approximated value just past the cutoff stays close to brute force.
+        let n = 20_000u64;
+        let theta = 0.99;
+        let exact: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let approx = harmonic(n, theta);
+        assert!((approx - exact).abs() / exact < 1e-3, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn ranks_in_range_and_skewed() {
+        let z = ZipfianSampler::new(10_000, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut head_hits = 0u64;
+        let samples = 100_000;
+        for _ in 0..samples {
+            let r = z.sample(&mut rng);
+            assert!(r < 10_000);
+            if r < 100 {
+                head_hits += 1;
+            }
+        }
+        // Under θ=0.99 the hottest 1% of keys draw well over half the
+        // accesses; under uniform they would draw 1%.
+        let frac = head_hits as f64 / samples as f64;
+        assert!(frac > 0.5, "hot-head fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_frequencies_track_theory() {
+        let n = 1000u64;
+        let z = ZipfianSampler::new(n, 0.8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let samples = 400_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for rank in [0u64, 1, 5, 50] {
+            let measured = counts[rank as usize] as f64 / samples as f64;
+            let theory = z.probability(rank);
+            assert!(
+                (measured - theory).abs() / theory < 0.15,
+                "rank {rank}: measured {measured} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_theta_approaches_uniform() {
+        let n = 100u64;
+        let z = ZipfianSampler::new(n, 0.05);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let samples = 200_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Max/min frequency ratio stays small.
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().filter(|&&c| c > 0).min().unwrap() as f64;
+        assert!(max / min < 3.0, "ratio {}", max / min);
+    }
+
+    #[test]
+    fn single_item_always_rank_zero() {
+        let z = ZipfianSampler::new(1, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfianSampler::new(500, 0.7);
+        let total: f64 = (0..500).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_theta_one() {
+        ZipfianSampler::new(10, 1.0);
+    }
+}

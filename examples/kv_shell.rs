@@ -1,0 +1,122 @@
+//! An interactive key-value shell over a durable Monkey store — the
+//! "downstream user" experience: open a database directory, poke at it,
+//! inspect the tree, and watch the I/O counters.
+//!
+//! Run with: `cargo run --example kv_shell -- /tmp/monkeydb`
+//!
+//! Commands:
+//!   put <key> <value>       insert/update
+//!   get <key>               point lookup
+//!   del <key>               delete
+//!   scan <lo> <hi>          range scan [lo, hi)
+//!   stats                   tree shape + memory + expected lookup cost
+//!   io                      I/O counters since open / last reset
+//!   reset                   reset the I/O counters
+//!   fill <n>                bulk-insert n synthetic entries
+//!   help / quit
+
+use monkey::{Db, DbOptions, DbOptionsExt};
+use std::io::{BufRead, Write};
+
+fn main() -> monkey::Result<()> {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/monkeydb".into());
+    let db = Db::open(
+        DbOptions::at_path(&path)
+            .buffer_capacity(64 << 10)
+            .size_ratio(4)
+            .monkey_filters(10.0),
+    )?;
+    println!("monkey kv shell — database at {path} (type `help`)");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["put", key, value] => {
+                db.put(key.as_bytes().to_vec(), value.as_bytes().to_vec())?;
+                println!("ok");
+            }
+            ["get", key] => match db.get(key.as_bytes())? {
+                Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+                None => println!("(not found)"),
+            },
+            ["del", key] => {
+                db.delete(key.as_bytes().to_vec())?;
+                println!("ok");
+            }
+            ["scan", lo, hi] => {
+                let mut n = 0;
+                for kv in db.range(lo.as_bytes(), Some(hi.as_bytes()))? {
+                    let (k, v) = kv?;
+                    println!("{} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+                    n += 1;
+                    if n >= 100 {
+                        println!("... (truncated at 100)");
+                        break;
+                    }
+                }
+                println!("({n} rows)");
+            }
+            ["stats"] => {
+                let s = db.stats();
+                println!(
+                    "{} entries on disk + {} buffered, {} runs, depth {}",
+                    s.disk_entries, s.buffer_entries, s.runs, s.depth()
+                );
+                for l in s.levels.iter().filter(|l| l.runs > 0) {
+                    println!(
+                        "  L{}: {} run(s) {:>8} entries, {:>6.2} filter b/e, FPR sum {:.5}",
+                        l.level,
+                        l.runs,
+                        l.entries,
+                        l.filter_bits as f64 / l.entries.max(1) as f64,
+                        l.fpr_sum
+                    );
+                }
+                println!(
+                    "expected zero-result lookup: {:.4} I/Os | filters {:.1} KiB, fences {:.1} KiB",
+                    s.expected_zero_result_lookup_ios,
+                    s.filter_bits as f64 / 8192.0,
+                    s.fence_bits as f64 / 8192.0
+                );
+            }
+            ["io"] => {
+                let io = db.io();
+                println!(
+                    "reads {} | writes {} | seeks {} | cache hits {}",
+                    io.page_reads, io.page_writes, io.seeks, io.cache_hits
+                );
+            }
+            ["reset"] => {
+                db.reset_io();
+                println!("counters reset");
+            }
+            ["fill", n] => match n.parse::<u64>() {
+                Ok(n) => {
+                    for i in 0..n {
+                        db.put(
+                            format!("auto{i:010}").into_bytes(),
+                            format!("synthetic-value-{i}").into_bytes(),
+                        )?;
+                    }
+                    println!("inserted {n} entries");
+                }
+                Err(_) => println!("usage: fill <n>"),
+            },
+            ["help"] => println!(
+                "put <k> <v> | get <k> | del <k> | scan <lo> <hi> | stats | io | reset | fill <n> | quit"
+            ),
+            ["quit"] | ["exit"] => break,
+            [] => {}
+            other => println!("unknown command {other:?} (try `help`)"),
+        }
+    }
+    println!("bye");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Tuning advisor: the paper's "what-if design questions" (§1, §4.4).
+//!
+//! Given a dataset shape, a device, and a workload mix, the Navigator
+//! picks the merge policy, size ratio, and buffer/filter memory split that
+//! maximize worst-case throughput — and then answers what happens if the
+//! environment changes (more memory? more data? flash instead of disk?).
+//!
+//! Run with: `cargo run --example tuning_advisor`
+
+use monkey::{Environment, Navigator, Workload};
+
+fn main() {
+    // The application: 16M entries of 128 bytes on a hard disk, 64 MiB of
+    // main memory for the store; 50% zero-result lookups, 20% found
+    // lookups, 5% short range scans, 25% updates. (The range share
+    // matters: without it the model correctly degenerates to a filtered
+    // log — tiering at T_lim — because nothing penalizes run count.)
+    let navigator = Navigator::new(16 << 20, 128, 4096, Environment::disk());
+    let workload = Workload::new(0.5, 0.2, 0.05, 0.25, 1e-5);
+    let memory_bytes = 64 << 20;
+
+    let rec = navigator.recommend(&workload, memory_bytes);
+    println!("=== recommended design ===");
+    println!("merge policy : {:?}", rec.tuning.policy);
+    println!("size ratio T : {}", rec.tuning.size_ratio);
+    println!(
+        "memory split : {:.1} MiB buffer / {:.1} MiB filters ({:.2} bits/entry)",
+        rec.tuning.allocation.buffer_bits / 8.0 / 1e6,
+        rec.tuning.allocation.filter_bits / 8.0 / 1e6,
+        rec.tuning.allocation.filter_bits / (16u64 << 20) as f64,
+    );
+    println!("predicted    : R={:.5} I/Os, W={:.5} I/Os, throughput {:.0} ops/s", rec.tuning.lookup_cost, rec.tuning.update_cost, rec.tuning.throughput);
+
+    // What-if analysis around that design point.
+    let what_if = navigator.what_if(&rec.tuning);
+    let now = what_if.current();
+    println!("\n=== what-if ===");
+    println!(
+        "today                         : R={:.5}  V={:.4}  W={:.4}  (baseline R={:.5})",
+        now.zero_result_lookup, now.non_zero_result_lookup, now.update, now.zero_result_lookup_baseline
+    );
+    let quarter = what_if.with_filter_memory((rec.tuning.allocation.filter_bits / 8.0 / 4.0) as usize);
+    println!(
+        "filters cut to a quarter      : R={:.5}  (baseline would be {:.5})",
+        quarter.zero_result_lookup, quarter.zero_result_lookup_baseline
+    );
+    let grown = what_if.with_entries((16u64 << 20) * 8);
+    println!(
+        "data grows 8x (same filters)  : R={:.5}  W={:.4}  (baseline R={:.5})",
+        grown.zero_result_lookup, grown.update, grown.zero_result_lookup_baseline
+    );
+    let flash = what_if.with_device(Environment::flash());
+    println!(
+        "move to flash (phi 1 -> 3)    : W={:.4}  ({:.1}x today's)",
+        flash.update,
+        flash.update / now.update
+    );
+
+    // How the recommendation itself shifts across workload mixes.
+    println!("\n=== recommendations across lookup/update mixes ===");
+    println!("{:>12} {:>10} {:>6} {:>12} {:>12}", "lookups", "policy", "T", "R (I/Os)", "W (I/Os)");
+    for pct in [10, 30, 50, 70, 90] {
+        let lookups = pct as f64 / 100.0;
+        // Keep a constant 5% range share; split the rest lookup/update.
+        let wl = Workload::new(lookups * 0.95, 0.0, 0.05, (1.0 - lookups) * 0.95, 1e-5);
+        let r = navigator.recommend(&wl, memory_bytes);
+        println!(
+            "{:>11}% {:>10} {:>6} {:>12.5} {:>12.5}",
+            pct,
+            format!("{:?}", r.tuning.policy),
+            r.tuning.size_ratio,
+            r.tuning.lookup_cost,
+            r.tuning.update_cost,
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Durability: WAL replay, manifest recovery, and filter reconstruction
+//! for directory-backed databases across (simulated) crashes.
+
+use monkey::{Db, DbOptions, DbOptionsExt, MergePolicy};
+use std::path::PathBuf;
+
+fn dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("monkey-recovery-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn opts(d: &PathBuf) -> DbOptions {
+    DbOptions::at_path(d)
+        .page_size(512)
+        .buffer_capacity(2048)
+        .size_ratio(2)
+        .merge_policy(MergePolicy::Leveling)
+        .monkey_filters(8.0)
+}
+
+#[test]
+fn reopen_recovers_all_data() {
+    let d = dir("basic");
+    {
+        let db = Db::open(opts(&d)).unwrap();
+        for i in 0..500 {
+            db.put(format!("key{i:05}").into_bytes(), format!("value{i}").into_bytes()).unwrap();
+        }
+        db.delete(&b"key00042"[..]).unwrap();
+        // Dropped without any explicit shutdown: WAL + manifest must carry
+        // everything.
+    }
+    let db = Db::open(opts(&d)).unwrap();
+    for i in 0..500 {
+        let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
+        if i == 42 {
+            assert!(got.is_none(), "tombstone survived recovery");
+        } else {
+            assert_eq!(got.unwrap().as_ref(), format!("value{i}").as_bytes(), "key {i}");
+        }
+    }
+    assert_eq!(db.range(b"", None).unwrap().count(), 499);
+    std::fs::remove_dir_all(&d).unwrap();
+}
+
+#[test]
+fn recovery_preserves_tree_shape_and_filters() {
+    let d = dir("shape");
+    let (shape_before, filters_before);
+    {
+        let db = Db::open(opts(&d)).unwrap();
+        for i in 0..2000 {
+            db.put(format!("key{i:05}").into_bytes(), vec![b'v'; 32]).unwrap();
+        }
+        db.rebuild_filters().unwrap();
+        let stats = db.stats();
+        shape_before = stats.levels.iter().map(|l| (l.runs, l.entries)).collect::<Vec<_>>();
+        filters_before = stats.filter_bits;
+    }
+    let db = Db::open(opts(&d)).unwrap();
+    let stats = db.stats();
+    let shape_after: Vec<_> = stats.levels.iter().map(|l| (l.runs, l.entries)).collect();
+    assert_eq!(shape_after, shape_before, "manifest restored the exact layout");
+    assert_eq!(stats.filter_bits, filters_before, "filters rebuilt at recorded bpe");
+    std::fs::remove_dir_all(&d).unwrap();
+}
+
+#[test]
+fn sequence_numbers_resume_after_recovery() {
+    let d = dir("seq");
+    {
+        let db = Db::open(opts(&d)).unwrap();
+        db.put(&b"k"[..], &b"old"[..]).unwrap();
+    }
+    {
+        let db = Db::open(opts(&d)).unwrap();
+        db.put(&b"k"[..], &b"new"[..]).unwrap();
+        db.flush().unwrap();
+    }
+    let db = Db::open(opts(&d)).unwrap();
+    assert_eq!(
+        db.get(b"k").unwrap().unwrap().as_ref(),
+        b"new",
+        "newer write wins: sequence numbers did not collide across restarts"
+    );
+    std::fs::remove_dir_all(&d).unwrap();
+}
+
+#[test]
+fn torn_wal_tail_loses_only_the_torn_write() {
+    let d = dir("torn");
+    {
+        let db = Db::open(opts(&d)).unwrap();
+        db.put(&b"durable"[..], &b"1"[..]).unwrap();
+        db.put(&b"torn"[..], &b"2"[..]).unwrap();
+    }
+    // Simulate a crash that tore the last WAL record.
+    let wal = d.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 2]).unwrap();
+    let db = Db::open(opts(&d)).unwrap();
+    assert_eq!(db.get(b"durable").unwrap().unwrap().as_ref(), b"1");
+    assert!(db.get(b"torn").unwrap().is_none(), "torn record not replayed");
+    std::fs::remove_dir_all(&d).unwrap();
+}
+
+#[test]
+fn repeated_crash_reopen_cycles_converge() {
+    let d = dir("cycles");
+    let mut expect = std::collections::BTreeMap::new();
+    for round in 0..5u32 {
+        let db = Db::open(opts(&d)).unwrap();
+        for i in 0..200 {
+            let k = format!("key{:05}", (round * 131 + i * 7) % 1000);
+            let v = format!("round{round}-{i}");
+            expect.insert(k.clone(), v.clone());
+            db.put(k.into_bytes(), v.into_bytes()).unwrap();
+        }
+        // crash (drop) without flush
+    }
+    let db = Db::open(opts(&d)).unwrap();
+    for (k, v) in &expect {
+        assert_eq!(
+            db.get(k.as_bytes()).unwrap().unwrap().as_ref(),
+            v.as_bytes(),
+            "key {k}"
+        );
+    }
+    assert_eq!(db.range(b"", None).unwrap().count(), expect.len());
+    std::fs::remove_dir_all(&d).unwrap();
+}
+
+#[test]
+fn wal_sync_each_append_survives() {
+    let d = dir("sync");
+    {
+        let db = Db::open(opts(&d).wal_sync_each_append(true)).unwrap();
+        db.put(&b"precious"[..], &b"data"[..]).unwrap();
+    }
+    let db = Db::open(opts(&d)).unwrap();
+    assert_eq!(db.get(b"precious").unwrap().unwrap().as_ref(), b"data");
+    std::fs::remove_dir_all(&d).unwrap();
+}
+
+#[test]
+fn empty_directory_database_opens_and_reopens() {
+    let d = dir("empty");
+    {
+        let _db = Db::open(opts(&d)).unwrap();
+    }
+    let db = Db::open(opts(&d)).unwrap();
+    assert!(db.get(b"anything").unwrap().is_none());
+    std::fs::remove_dir_all(&d).unwrap();
+}

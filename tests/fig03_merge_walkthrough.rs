@@ -1,0 +1,134 @@
+//! Figure 3 of the paper: the behaviour of merge operations under tiering
+//! and leveling with size ratio T = 3 and a buffer holding 2 entries.
+//!
+//! We replay the same insertion sequence into both trees and assert the
+//! structural states the figure illustrates: tiering accumulates T runs at
+//! a level and then merges them into the next one; leveling eagerly merges
+//! each flushed run and pushes a level's single run down when it exceeds
+//! its capacity (B·P·T^i entries).
+
+use monkey::{Db, DbOptions, MergePolicy};
+
+// Entries sized so that exactly 2 fit in the buffer and 3 in a page:
+// key 2 bytes + value 1 byte + 15 bytes header = 18 bytes each.
+const ENTRY: usize = 18;
+
+fn key(n: u32) -> Vec<u8> {
+    format!("{n:02}").into_bytes()
+}
+
+fn open(policy: MergePolicy) -> std::sync::Arc<Db> {
+    Db::open(
+        DbOptions::in_memory()
+            .page_size(3 * ENTRY + 2) // B = 3 entries per page
+            .buffer_capacity(2 * ENTRY) // P·B = 2 entries in the buffer
+            .size_ratio(3)
+            .merge_policy(policy)
+            .uniform_filters(10.0),
+    )
+    .unwrap()
+}
+
+fn insert(db: &Db, n: u32) {
+    db.put(key(n), vec![b'v']).unwrap();
+}
+
+/// Per-level (runs, entries) snapshot.
+fn shape(db: &Db) -> Vec<(usize, u64)> {
+    db.stats().levels.iter().map(|l| (l.runs, l.entries)).collect()
+}
+
+#[test]
+fn tiered_merge_accumulates_then_pushes() {
+    let db = open(MergePolicy::Tiering);
+    // Three flushes of two entries each: the third arrival triggers the
+    // T=3 merge into level 2.
+    for n in [2, 4, 8, 12, 15, 18] {
+        insert(&db, n);
+    }
+    assert_eq!(shape(&db), vec![(0, 0), (1, 6)], "three runs merged into one at level 2");
+
+    // Two more runs accumulate at level 1 (below the T=3 trigger).
+    for n in [3, 19, 1, 10] {
+        insert(&db, n);
+    }
+    assert_eq!(shape(&db), vec![(2, 4), (1, 6)]);
+
+    // The paper's "insert 13" step: 7 is buffered, 13 fills the buffer,
+    // the flush is the T-th run at level 1, and the triple merge moves
+    // [1,3,7,10,13,19] to level 2 — which now holds 2 runs.
+    insert(&db, 7);
+    assert_eq!(shape(&db), vec![(2, 4), (1, 6)], "7 still in the buffer");
+    insert(&db, 13);
+    assert_eq!(
+        shape(&db),
+        vec![(0, 0), (2, 12)],
+        "level 1 emptied; level 2 holds the old run and the merged run"
+    );
+
+    // The youngest run at level 2 is the 6-entry merge of the paper.
+    let stats = db.stats();
+    assert_eq!(stats.levels[1].runs, 2);
+    for n in [1, 2, 3, 4, 7, 8, 10, 12, 13, 15, 18, 19] {
+        assert!(db.get(&key(n)).unwrap().is_some(), "key {n}");
+    }
+}
+
+#[test]
+fn leveled_merge_is_eager_and_cascades() {
+    let db = open(MergePolicy::Leveling);
+    for n in [2, 4, 8, 12, 15, 18] {
+        insert(&db, n);
+    }
+    // Level 1 capacity is B·P·T = 6 entries: exactly full, not over.
+    assert_eq!(shape(&db), vec![(1, 6)]);
+
+    for n in [3, 19] {
+        insert(&db, n);
+    }
+    // The merge at level 1 (8 entries) exceeds its capacity, so the run
+    // moves to level 2 ("merge & move" in the figure).
+    assert_eq!(shape(&db), vec![(0, 0), (1, 8)]);
+
+    for n in [1, 10] {
+        insert(&db, n);
+    }
+    assert_eq!(shape(&db), vec![(1, 2), (1, 8)]);
+
+    // "Insert 13": flush [7,13], merge with level 1's run.
+    insert(&db, 7);
+    insert(&db, 13);
+    assert_eq!(
+        shape(&db),
+        vec![(1, 4), (1, 8)],
+        "level 1 holds the eager merge [1,7,10,13]"
+    );
+
+    // Every key visible; at most one run per level throughout.
+    for n in [1, 2, 3, 4, 7, 8, 10, 12, 13, 15, 18, 19] {
+        assert!(db.get(&key(n)).unwrap().is_some(), "key {n}");
+    }
+    for level in &db.stats().levels {
+        assert!(level.runs <= 1, "leveling: one run per level");
+    }
+}
+
+#[test]
+fn same_inserts_same_data_different_structure() {
+    // Both policies expose identical contents after identical inserts.
+    let tiered = open(MergePolicy::Tiering);
+    let leveled = open(MergePolicy::Leveling);
+    let seq = [2, 4, 8, 12, 15, 18, 3, 19, 1, 10, 7, 13];
+    for &n in &seq {
+        insert(&tiered, n);
+        insert(&leveled, n);
+    }
+    let scan = |db: &Db| -> Vec<Vec<u8>> {
+        db.range(b"", None).unwrap().map(|kv| kv.unwrap().0.to_vec()).collect()
+    };
+    assert_eq!(scan(&tiered), scan(&leveled));
+    // But tiering batched more runs while leveling merged eagerly.
+    let tiered_runs = tiered.stats().runs;
+    let leveled_runs = leveled.stats().runs;
+    assert!(tiered_runs >= leveled_runs);
+}

@@ -1,0 +1,156 @@
+//! Model fidelity: the closed-form predictions of `monkey-model` against
+//! the live engine's measurements.
+//!
+//! Two layers of agreement are checked:
+//!
+//! 1. **exact**: the engine's own expected lookup cost (the sum of its
+//!    actual filters' theoretical FPRs, Eq. 3) must match the measured
+//!    frequency of I/Os under uniformly random zero-result lookups;
+//! 2. **worst-case model**: the paper's closed forms bound the measured
+//!    costs from above (the model assumes a full tree; a live tree is at
+//!    or below that state).
+
+use monkey::{model_params_for, Db, DbOptions, DbOptionsExt, MergePolicy};
+use monkey_model::{baseline_zero_result_lookup_cost, zero_result_lookup_cost};
+use monkey_workload::KeySpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn build(policy: MergePolicy, t: usize, monkey: bool, n: u64) -> (Arc<Db>, KeySpace) {
+    let opts = DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(8 << 10)
+        .size_ratio(t)
+        .merge_policy(policy);
+    let opts = if monkey { opts.monkey_filters(5.0) } else { opts.uniform_filters(5.0) };
+    let db = Db::open(opts).unwrap();
+    let keys = KeySpace::with_entry_size(n, 64);
+    let mut rng = StdRng::seed_from_u64(31);
+    for i in keys.shuffled_indices(&mut rng) {
+        db.put(keys.existing_key(i), keys.value_for(i)).unwrap();
+    }
+    db.rebuild_filters().unwrap();
+    db.reset_io();
+    (db, keys)
+}
+
+fn measure_r(db: &Db, keys: &KeySpace, lookups: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..lookups {
+        let k = keys.random_missing(&mut rng);
+        assert!(db.get(&k).unwrap().is_none());
+    }
+    db.io().page_reads as f64 / lookups as f64
+}
+
+#[test]
+fn measured_r_matches_sum_of_fprs() {
+    // Eq. 3 on the live filters vs actual measurement, several configs.
+    for (policy, t, monkey) in [
+        (MergePolicy::Leveling, 2, true),
+        (MergePolicy::Leveling, 2, false),
+        (MergePolicy::Leveling, 4, true),
+        (MergePolicy::Tiering, 3, true),
+        (MergePolicy::Tiering, 3, false),
+    ] {
+        let (db, keys) = build(policy, t, monkey, 1 << 15);
+        let expected = db.stats().expected_zero_result_lookup_ios;
+        let measured = measure_r(&db, &keys, 12_000);
+        // Binomial noise at ~R(1-R)/n; allow generous slack plus an
+        // absolute floor for tiny rates.
+        assert!(
+            (measured - expected).abs() < expected * 0.30 + 0.02,
+            "{policy:?} T={t} monkey={monkey}: measured {measured} vs Eq.3 {expected}"
+        );
+    }
+}
+
+#[test]
+fn worst_case_model_bounds_measurement() {
+    for (policy, t) in [(MergePolicy::Leveling, 2), (MergePolicy::Tiering, 3)] {
+        for monkey in [true, false] {
+            let (db, keys) = build(policy, t, monkey, 1 << 15);
+            let stats = db.stats();
+            let params = model_params_for(db.options(), stats.disk_entries, 64);
+            let m_filters = stats.filter_bits as f64;
+            let predicted = if monkey {
+                zero_result_lookup_cost(&params, m_filters)
+            } else {
+                baseline_zero_result_lookup_cost(&params, m_filters)
+            };
+            let measured = measure_r(&db, &keys, 8_000);
+            assert!(
+                measured <= predicted * 1.25 + 0.02,
+                "{policy:?} T={t} monkey={monkey}: measured {measured} exceeds worst-case {predicted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_zero_result_lookups_between_r_and_r_plus_one() {
+    // Eq. 9's structure holds for the measured engine: a found lookup
+    // costs the zero-result cost of the levels above plus exactly one
+    // real read.
+    let (db, keys) = build(MergePolicy::Leveling, 2, true, 1 << 15);
+    let r = measure_r(&db, &keys, 8_000);
+    db.reset_io();
+    let mut rng = StdRng::seed_from_u64(33);
+    let lookups = 6_000u64;
+    for _ in 0..lookups {
+        let (_, k) = keys.random_existing(&mut rng);
+        assert!(db.get(&k).unwrap().is_some());
+    }
+    let v = db.io().page_reads as f64 / lookups as f64;
+    assert!(v >= 1.0, "found lookups need at least one I/O, got {v}");
+    assert!(v <= r + 1.0 + 0.05, "V={v} should be at most R+1={}", r + 1.0);
+}
+
+#[test]
+fn update_cost_scales_with_size_ratio_under_leveling() {
+    // Eq. 10's direction on the live engine: amortized write I/O per
+    // update grows with T under leveling and shrinks under tiering.
+    let per_update_io = |policy: MergePolicy, t: usize| -> f64 {
+        let (db, keys) = build(policy, t, true, 1 << 14);
+        db.reset_io();
+        let mut rng = StdRng::seed_from_u64(34);
+        let n = 1u64 << 14; // rewrite the dataset once
+        for _ in 0..n {
+            let (i, k) = keys.random_existing(&mut rng);
+            db.put(k, keys.value_for(i)).unwrap();
+        }
+        db.io().page_writes as f64 / n as f64
+    };
+    let lev2 = per_update_io(MergePolicy::Leveling, 2);
+    let lev6 = per_update_io(MergePolicy::Leveling, 6);
+    assert!(lev6 > lev2 * 0.9, "leveling write-amp grows-ish with T: {lev2} -> {lev6}");
+    let tier2 = per_update_io(MergePolicy::Tiering, 2);
+    let tier6 = per_update_io(MergePolicy::Tiering, 6);
+    assert!(tier6 < tier2, "tiering write-amp shrinks with T: {tier2} -> {tier6}");
+}
+
+#[test]
+fn range_cost_is_seeks_plus_scanned_pages() {
+    // Eq. 11 structure: a range over fraction s of the keys costs about
+    // one seek per run plus s·N/B sequential page reads.
+    let (db, keys) = build(MergePolicy::Tiering, 3, true, 1 << 14);
+    let runs = db.stats().runs as u64;
+    db.reset_io();
+    let n = keys.entries;
+    let lo = keys.existing_key(n / 4);
+    let hi = keys.existing_key(n / 4 + n / 10); // s = 10%
+    let count = db.range(&lo, Some(&hi)).unwrap().count();
+    assert!(count >= (n / 10 - 1) as usize);
+    let io = db.io();
+    assert!(io.seeks <= runs + 1, "at most one seek per run: {} vs {runs}", io.seeks);
+    // Pages scanned should be within a small factor of s·N/B plus the
+    // per-run page overhead (each run rounds up to whole pages).
+    let b = 1024 / 79; // page / encoded entry size
+    let ideal = (n / 10) / b as u64;
+    assert!(
+        io.page_reads < ideal * 4 + 4 * runs,
+        "scanned {} pages for an ideal of {ideal}",
+        io.page_reads
+    );
+}

@@ -1,0 +1,75 @@
+//! Table 1's asymptotic claims, verified on the live engine (not just the
+//! model): at a fixed bits-per-entry budget, Monkey's measured zero-result
+//! lookup cost stays flat as the data grows while the uniform baseline's
+//! grows with the level count; and Monkey's cost does not depend on the
+//! buffer size.
+
+use monkey::{Db, DbOptions, DbOptionsExt, MergePolicy};
+use monkey_workload::KeySpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measured_r(n: u64, buffer: usize, monkey: bool) -> f64 {
+    let opts = DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(buffer)
+        .size_ratio(2)
+        .merge_policy(MergePolicy::Leveling);
+    let opts = if monkey { opts.monkey_filters(5.0) } else { opts.uniform_filters(5.0) };
+    let db = Db::open(opts).unwrap();
+    let keys = KeySpace::with_entry_size(n, 64);
+    let mut rng = StdRng::seed_from_u64(21);
+    for i in keys.shuffled_indices(&mut rng) {
+        db.put(keys.existing_key(i), keys.value_for(i)).unwrap();
+    }
+    db.rebuild_filters().unwrap();
+    db.reset_io();
+    let lookups = 6000u64;
+    for _ in 0..lookups {
+        let k = keys.random_missing(&mut rng);
+        assert!(db.get(&k).unwrap().is_none());
+    }
+    db.io().page_reads as f64 / lookups as f64
+}
+
+#[test]
+fn monkey_r_flat_in_n_baseline_grows() {
+    // Rows 2/3, columns (c) vs (e): lookup cost vs data volume at 5 b/e.
+    let ns = [1u64 << 13, 1 << 15, 1 << 17];
+    let monkey: Vec<f64> = ns.iter().map(|&n| measured_r(n, 8 << 10, true)).collect();
+    let uniform: Vec<f64> = ns.iter().map(|&n| measured_r(n, 8 << 10, false)).collect();
+
+    // The baseline's cost grows meaningfully over a 16x data growth...
+    assert!(
+        uniform[2] > uniform[0] * 1.2,
+        "baseline must grow with N: {uniform:?}"
+    );
+    // ...while Monkey's stays within measurement noise of flat.
+    let spread = (monkey[2] - monkey[0]).abs();
+    assert!(
+        spread < monkey[0] * 0.35 + 0.03,
+        "monkey should be ~flat in N: {monkey:?}"
+    );
+    // And Monkey is better at every size, by a growing margin.
+    for (i, (&m, &u)) in monkey.iter().zip(&uniform).enumerate() {
+        assert!(m < u, "size {i}: monkey {m} vs uniform {u}");
+    }
+    let margin_small = uniform[0] / monkey[0];
+    let margin_large = uniform[2] / monkey[2];
+    assert!(
+        margin_large > margin_small,
+        "the margin grows with data volume: {margin_small:.2}x -> {margin_large:.2}x"
+    );
+}
+
+#[test]
+fn monkey_r_insensitive_to_buffer_size() {
+    // §4.3 benefit 3, measured: quadrupling the buffer (which removes
+    // levels) moves Monkey's lookup cost by little.
+    let small = measured_r(1 << 15, 4 << 10, true);
+    let big = measured_r(1 << 15, 16 << 10, true);
+    assert!(
+        (small - big).abs() < small * 0.4 + 0.03,
+        "monkey: buffer 4K -> {small}, 16K -> {big}"
+    );
+}
