@@ -2,8 +2,8 @@
 //! policies and filter allocations.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use monkey_bench::{load, zero_result_lookups, ExpConfig, FilterKind};
 use monkey::MergePolicy;
+use monkey_bench::{load, zero_result_lookups, ExpConfig, FilterKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -17,7 +17,9 @@ fn small_cfg() -> ExpConfig {
 
 fn bench_point_lookups(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_lookup");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
         let loaded = load(&small_cfg().with_filters(filters), 1);
         let mut rng = StdRng::seed_from_u64(2);
@@ -40,7 +42,9 @@ fn bench_point_lookups(c: &mut Criterion) {
 
 fn bench_inserts(c: &mut Criterion) {
     let mut group = c.benchmark_group("insert");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, policy, t) in [
         ("leveling_t2", MergePolicy::Leveling, 2usize),
         ("tiering_t4", MergePolicy::Tiering, 4),
@@ -48,7 +52,11 @@ fn bench_inserts(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let cfg = ExpConfig { policy, size_ratio: t, ..small_cfg() };
+                    let cfg = ExpConfig {
+                        policy,
+                        size_ratio: t,
+                        ..small_cfg()
+                    };
                     (load(&cfg, 1), StdRng::seed_from_u64(4))
                 },
                 |(loaded, mut rng)| {
@@ -66,7 +74,9 @@ fn bench_inserts(c: &mut Criterion) {
 
 fn bench_range_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("range_scan");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let loaded = load(&small_cfg(), 1);
     let mut rng = StdRng::seed_from_u64(5);
     group.bench_function("scan_1pct", |b| {
@@ -83,7 +93,9 @@ fn bench_range_scan(c: &mut Criterion) {
 
 fn bench_zero_result_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("zero_result_batch");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let loaded = load(&small_cfg().with_filters(FilterKind::Monkey(5.0)), 1);
     let mut seed = 100u64;
     group.bench_function("monkey_1000_lookups", |b| {

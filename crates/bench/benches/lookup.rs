@@ -1,0 +1,86 @@
+//! End-to-end point-lookup benchmarks over the engine's fast path.
+//!
+//! Crosses the two filter allocations the paper compares (uniform vs
+//! Monkey) with the two filter layouts (standard flat vs cache-line
+//! blocked), for both zero-result and existing-key gets. The lookup path
+//! hashes the key once and reuses the pair across every run's filter, so
+//! these numbers measure the whole fast path: fence pre-check, shared
+//! hash, filter probes, and any page reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monkey::FilterVariant;
+use monkey_bench::{load, ExpConfig, FilterKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        entries: 1 << 14,
+        ..ExpConfig::paper_default()
+    }
+}
+
+fn variants() -> [(FilterKind, FilterVariant, &'static str); 4] {
+    [
+        (
+            FilterKind::Uniform(5.0),
+            FilterVariant::Standard,
+            "uniform_standard",
+        ),
+        (
+            FilterKind::Uniform(5.0),
+            FilterVariant::Blocked,
+            "uniform_blocked",
+        ),
+        (
+            FilterKind::Monkey(5.0),
+            FilterVariant::Standard,
+            "monkey_standard",
+        ),
+        (
+            FilterKind::Monkey(5.0),
+            FilterVariant::Blocked,
+            "monkey_blocked",
+        ),
+    ]
+}
+
+fn bench_zero_result(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_zero_result");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for (filters, variant, label) in variants() {
+        let loaded = load(&cfg().with_filters(filters).with_variant(variant), 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let key = loaded.keys.random_missing(&mut rng);
+                assert!(loaded.db.get(&key).expect("get").is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_existing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_existing");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for (filters, variant, label) in variants() {
+        let loaded = load(&cfg().with_filters(filters).with_variant(variant), 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (_, key) = loaded.keys.random_existing(&mut rng);
+                assert!(loaded.db.get(&key).expect("get").is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zero_result, bench_existing);
+criterion_main!(benches);

@@ -5,14 +5,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use monkey_model::autotune::{autotune_filters, RunSpec};
 use monkey_model::{
-    optimal_fprs, optimal_fprs_for_run_sizes, tune, Environment, MemoryAllocation,
-    MemoryStrategy, Params, Policy, TuningConstraints, Workload,
+    optimal_fprs, optimal_fprs_for_run_sizes, tune, Environment, MemoryAllocation, MemoryStrategy,
+    Params, Policy, TuningConstraints, Workload,
 };
 use std::time::Duration;
 
 fn bench_assignments(c: &mut Criterion) {
     let mut group = c.benchmark_group("fpr_assignment");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("optimal_fprs_L10", |b| {
         b.iter(|| optimal_fprs(10, 4.0, Policy::Leveling, 0.1))
     });
@@ -25,7 +27,9 @@ fn bench_assignments(c: &mut Criterion) {
 
 fn bench_tuner(c: &mut Criterion) {
     let mut group = c.benchmark_group("tuner");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let p = Params::new(1048576.0, 8192.0, 32768.0, 8388608.0, 2.0, Policy::Leveling);
     let strat = MemoryStrategy::Fixed(MemoryAllocation {
         buffer_bits: p.buffer_bits,
@@ -41,10 +45,13 @@ fn bench_tuner(c: &mut Criterion) {
 
 fn bench_autotune(c: &mut Criterion) {
     let mut group = c.benchmark_group("appendix_c");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("autotune_8_runs", |b| {
         b.iter(|| {
-            let mut runs: Vec<RunSpec> = (0..8).map(|i| RunSpec::new(100.0 * 3f64.powi(i))).collect();
+            let mut runs: Vec<RunSpec> =
+                (0..8).map(|i| RunSpec::new(100.0 * 3f64.powi(i))).collect();
             autotune_filters(5.0 * runs.iter().map(|r| r.entries).sum::<f64>(), &mut runs)
         })
     });

@@ -57,7 +57,12 @@ fn run_with(policy_name: &str, entries: u64) -> (f64, f64) {
 
 fn main() {
     eprintln!("# Ablation: filter allocation strategies at 5 bits/entry total");
-    csv_header(&["entries", "allocation", "ios_per_lookup", "filter_bits_per_entry"]);
+    csv_header(&[
+        "entries",
+        "allocation",
+        "ios_per_lookup",
+        "filter_bits_per_entry",
+    ]);
     for entries in [1u64 << 14, 1 << 16] {
         for name in ["none", "uniform", "monkey-schedule", "monkey", "adaptive"] {
             let (ios, bpe) = run_with(name, entries);

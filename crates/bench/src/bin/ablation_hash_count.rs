@@ -14,12 +14,21 @@ fn main() {
     let n = 50_000u64;
     let probes = 200_000u64;
     eprintln!("# Ablation: hash count k vs Eq. 2 optimum (N={n}, {probes} probes)");
-    csv_header(&["bits_per_entry", "k", "optimal_k", "measured_fpr", "eq2_fpr"]);
+    csv_header(&[
+        "bits_per_entry",
+        "k",
+        "optimal_k",
+        "measured_fpr",
+        "eq2_fpr",
+    ]);
     for bpe in [5.0, 10.0] {
         let k_opt = math::optimal_hash_count(bpe);
         let eq2 = math::false_positive_rate(bpe, 1.0);
         for k in 1..=(k_opt + 4) {
-            let mut filter = BloomFilterBuilder::new(n).bits_per_entry(bpe).hash_count(k).build();
+            let mut filter = BloomFilterBuilder::new(n)
+                .bits_per_entry(bpe)
+                .hash_count(k)
+                .build();
             for i in 0..n {
                 filter.insert(format!("present-{i}").as_bytes());
             }

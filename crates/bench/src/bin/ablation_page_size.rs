@@ -12,7 +12,13 @@ use monkey_bench::*;
 
 fn main() {
     eprintln!("# Ablation: page size sweep (N=2^15 x 64B, T=2, monkey 5 b/e)");
-    csv_header(&["page_bytes", "B_entries", "update_ios_per_op", "lookup_ios_per_op", "fence_kib"]);
+    csv_header(&[
+        "page_bytes",
+        "B_entries",
+        "update_ios_per_op",
+        "lookup_ios_per_op",
+        "fence_kib",
+    ]);
     for page_bytes in [512usize, 1024, 2048, 4096, 8192] {
         let cfg = ExpConfig {
             entries: 1 << 15,

@@ -16,12 +16,20 @@ fn main() {
 
     // Geometric layout: the analytic optimum applies; the iterative
     // algorithm must match it.
-    let p = Params::new(1048576.0, 8192.0, 32768.0, 8.0 * 131072.0, 4.0, Policy::Leveling);
+    let p = Params::new(
+        1048576.0,
+        8192.0,
+        32768.0,
+        8.0 * 131072.0,
+        4.0,
+        Policy::Leveling,
+    );
     let l = p.levels();
     for bpe in [1.0, 2.0, 5.0, 10.0] {
         let m = bpe * p.entries;
-        let mut runs: Vec<RunSpec> =
-            (1..=l).map(|i| RunSpec::new(p.entries_at_level(i))).collect();
+        let mut runs: Vec<RunSpec> = (1..=l)
+            .map(|i| RunSpec::new(p.entries_at_level(i)))
+            .collect();
         let iterative = autotune_filters(m, &mut runs);
         let analytic = zero_result_lookup_cost(&p, m);
         csv_row(&["geometric".into(), f(bpe), f(iterative), f(analytic)]);

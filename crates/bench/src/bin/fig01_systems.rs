@@ -25,7 +25,14 @@ fn main() {
     );
     eprintln!("# Figure 1: systems on the lookup/update cost plane");
     eprintln!("# N=2^30, E=1KiB, page=4KiB, buffer=2MiB, phi=1");
-    csv_header(&["system", "policy", "T", "bits_per_entry", "update_cost_ios", "lookup_cost_ios"]);
+    csv_header(&[
+        "system",
+        "policy",
+        "T",
+        "bits_per_entry",
+        "update_cost_ios",
+        "lookup_cost_ios",
+    ]);
     for preset in presets() {
         let point = preset_point(&base, &preset, 1.0);
         csv_row(&[

@@ -23,8 +23,18 @@ fn main() {
     );
     let m_filters = 10.0 * base.entries;
     let ts = ratio_sweep(base.t_lim(), 16);
-    eprintln!("# Figure 4: design space sweep, T in [2, T_lim={}]", base.t_lim());
-    csv_header(&["policy", "T", "levels", "update_cost_ios", "lookup_cost_ios", "extreme"]);
+    eprintln!(
+        "# Figure 4: design space sweep, T in [2, T_lim={}]",
+        base.t_lim()
+    );
+    csv_header(&[
+        "policy",
+        "T",
+        "levels",
+        "update_cost_ios",
+        "lookup_cost_ios",
+        "extreme",
+    ]);
     for policy in [Policy::Tiering, Policy::Leveling] {
         for point in curve(&base, policy, &ts, m_filters, 1.0, false) {
             let shaped = base.with_tuning(point.size_ratio, policy);

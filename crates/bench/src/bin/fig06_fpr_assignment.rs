@@ -11,7 +11,13 @@ fn main() {
     let levels = 7;
     let t = 2.0;
     eprintln!("# Figure 6: FPR assignment per level, L={levels}, T={t}, leveling");
-    csv_header(&["R", "level", "state_of_the_art_fpr", "monkey_fpr", "monkey_filtered"]);
+    csv_header(&[
+        "R",
+        "level",
+        "state_of_the_art_fpr",
+        "monkey_fpr",
+        "monkey_filtered",
+    ]);
     for r in [0.25, 0.5, 1.0, 2.5, 4.0] {
         let monkey = optimal_fprs(levels, t, Policy::Leveling, r);
         let base = baseline_fprs(levels, t, Policy::Leveling, r);

@@ -12,16 +12,30 @@
 
 use monkey_bench::{csv_header, csv_row, f};
 use monkey_model::{
-    baseline_zero_result_lookup_cost, l_unfiltered, m_threshold, zero_result_lookup_cost,
-    Params, Policy,
+    baseline_zero_result_lookup_cost, l_unfiltered, m_threshold, zero_result_lookup_cost, Params,
+    Policy,
 };
 
 fn main() {
     let entries = (1u64 << 35) as f64;
     eprintln!("# Figure 7: R vs M_filters at the paper's 512TB configuration");
-    csv_header(&["policy", "m_filters_gb", "bits_per_entry", "monkey_R", "baseline_R", "l_unfiltered"]);
+    csv_header(&[
+        "policy",
+        "m_filters_gb",
+        "bits_per_entry",
+        "monkey_R",
+        "baseline_R",
+        "l_unfiltered",
+    ]);
     for policy in [Policy::Leveling, Policy::Tiering] {
-        let p = Params::new(entries, 16.0 * 8.0, 16384.0 * 8.0, 8.0 * 2097152.0, 4.0, policy);
+        let p = Params::new(
+            entries,
+            16.0 * 8.0,
+            16384.0 * 8.0,
+            8.0 * 2097152.0,
+            4.0,
+            policy,
+        );
         eprintln!(
             "# {policy:?}: L={}, M_threshold={:.2} GB",
             p.levels(),
@@ -29,8 +43,8 @@ fn main() {
         );
         // 0 to 35 GB in (uneven, knee-resolving) steps.
         for &gb in &[
-            0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0,
-            16.0, 20.0, 24.0, 28.0, 32.0, 35.0,
+            0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0, 16.0,
+            20.0, 24.0, 28.0, 32.0, 35.0,
         ] {
             let m_filters = gb * 8e9;
             csv_row(&[

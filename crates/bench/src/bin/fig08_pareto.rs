@@ -22,7 +22,13 @@ fn main() {
     let m_filters = 10.0 * base.entries;
     let ts = ratio_sweep(base.t_lim(), 16);
     eprintln!("# Figure 8: Monkey vs state of the art across the whole design space");
-    csv_header(&["allocation", "policy", "T", "update_cost_ios", "lookup_cost_ios"]);
+    csv_header(&[
+        "allocation",
+        "policy",
+        "T",
+        "update_cost_ios",
+        "lookup_cost_ios",
+    ]);
     for (monkey, label) in [(false, "state-of-the-art"), (true, "monkey")] {
         for policy in [Policy::Tiering, Policy::Leveling] {
             for point in curve(&base, policy, &ts, m_filters, 1.0, monkey) {

@@ -22,14 +22,28 @@ fn main() {
     let page_bits = 32768.0;
     let m_total = 16.0 * entries;
     eprintln!("# Figure 9: R and W vs buffer/filter memory split, T=4, leveling");
-    csv_header(&["buffer_fraction", "buffer_mb", "filters_bpe", "monkey_R", "baseline_R", "W"]);
+    csv_header(&[
+        "buffer_fraction",
+        "buffer_mb",
+        "filters_bpe",
+        "monkey_R",
+        "baseline_R",
+        "W",
+    ]);
     let steps = 25;
     for k in 0..=steps {
         // Geometric sweep of the buffer share from one page to all of M.
         let frac = (page_bits / m_total) * (m_total / page_bits).powf(k as f64 / steps as f64);
         let buffer_bits = m_total * frac;
         let filter_bits = m_total - buffer_bits;
-        let p = Params::new(entries, 8192.0, page_bits, buffer_bits, 4.0, Policy::Leveling);
+        let p = Params::new(
+            entries,
+            8192.0,
+            page_bits,
+            buffer_bits,
+            4.0,
+            Policy::Leveling,
+        );
         csv_row(&[
             f(frac),
             f(buffer_bits / 8.0 / 1e6),

@@ -21,11 +21,26 @@ fn main() {
     });
     let env = Environment::disk();
     eprintln!("# Figure 10: tuner probe trace (paper Fig 11F configuration)");
-    csv_header(&["workload_lookup_frac", "step", "i", "policy", "T", "theta", "accepted"]);
+    csv_header(&[
+        "workload_lookup_frac",
+        "step",
+        "i",
+        "policy",
+        "T",
+        "theta",
+        "accepted",
+    ]);
     for frac in [0.1, 0.5, 0.9] {
         let wl = Workload::lookups_vs_updates(frac);
         let mut trace = Vec::new();
-        let best = tune_traced(&base, &strat, &wl, &env, &TuningConstraints::default(), Some(&mut trace));
+        let best = tune_traced(
+            &base,
+            &strat,
+            &wl,
+            &env,
+            &TuningConstraints::default(),
+            Some(&mut trace),
+        );
         for (step, probe) in trace.iter().enumerate() {
             csv_row(&[
                 f(frac),

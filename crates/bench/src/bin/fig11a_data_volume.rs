@@ -13,11 +13,21 @@ use monkey_bench::*;
 fn main() {
     let lookups = 8_192;
     eprintln!("# Figure 11(A): lookup cost vs data volume (T=2, 5 bits/entry)");
-    csv_header(&["entries", "levels", "allocation", "ios_per_lookup", "latency_ms_disk"]);
+    csv_header(&[
+        "entries",
+        "levels",
+        "allocation",
+        "ios_per_lookup",
+        "latency_ms_disk",
+    ]);
     for exp in [12u32, 13, 14, 15, 16, 17] {
         let entries = 1u64 << exp;
         for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
-            let cfg = ExpConfig { entries, ..ExpConfig::paper_default() }.with_filters(filters);
+            let cfg = ExpConfig {
+                entries,
+                ..ExpConfig::paper_default()
+            }
+            .with_filters(filters);
             let loaded = load(&cfg, 42);
             let m = zero_result_lookups(&loaded, lookups, 7);
             csv_row(&[

@@ -13,7 +13,13 @@ use monkey_bench::*;
 fn main() {
     let lookups = 8_192;
     eprintln!("# Figure 11(B): lookup cost vs entry size (N=2^14, T=2, 5 bits/entry)");
-    csv_header(&["entry_bytes", "levels", "allocation", "ios_per_lookup", "latency_ms_disk"]);
+    csv_header(&[
+        "entry_bytes",
+        "levels",
+        "allocation",
+        "ios_per_lookup",
+        "latency_ms_disk",
+    ]);
     for entry_bytes in [32usize, 64, 128, 256, 512] {
         for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
             let cfg = ExpConfig {

@@ -13,7 +13,12 @@ use monkey_bench::*;
 fn main() {
     let lookups = 8_192;
     eprintln!("# Figure 11(C): lookup cost vs bits/entry (N=2^16, T=2)");
-    csv_header(&["bits_per_entry", "allocation", "ios_per_lookup", "filter_bits_actual"]);
+    csv_header(&[
+        "bits_per_entry",
+        "allocation",
+        "ios_per_lookup",
+        "filter_bits_actual",
+    ]);
     for bpe in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 14.0] {
         let kinds = if bpe == 0.0 {
             vec![FilterKind::None]

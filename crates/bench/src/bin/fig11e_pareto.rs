@@ -16,8 +16,15 @@ use monkey_bench::*;
 fn main() {
     let lookups = 8_192;
     let update_batch = 16_384;
-    eprintln!("# Figure 11(E): measured Pareto curve (labels as in the paper: T=tiering, L=leveling)");
-    csv_header(&["config", "allocation", "update_ios_per_op", "lookup_ios_per_op"]);
+    eprintln!(
+        "# Figure 11(E): measured Pareto curve (labels as in the paper: T=tiering, L=leveling)"
+    );
+    csv_header(&[
+        "config",
+        "allocation",
+        "update_ios_per_op",
+        "lookup_ios_per_op",
+    ]);
     let points = [
         (MergePolicy::Tiering, 8usize),
         (MergePolicy::Tiering, 4),

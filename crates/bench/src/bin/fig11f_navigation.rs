@@ -24,7 +24,12 @@ fn main() {
     let ops = 65_536;
     let base_cfg = ExpConfig::paper_default();
     eprintln!("# Figure 11(F): throughput vs lookup/update ratio");
-    csv_header(&["lookup_fraction", "system", "config", "throughput_ops_per_sec"]);
+    csv_header(&[
+        "lookup_fraction",
+        "system",
+        "config",
+        "throughput_ops_per_sec",
+    ]);
 
     for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
         // LevelDB baseline and Fixed Monkey: T=2 leveling.

@@ -14,7 +14,13 @@ use monkey_bench::*;
 fn main() {
     let lookups = 8_192;
     eprintln!("# Figure 12: block cache x temporal locality");
-    csv_header(&["cache_pct", "c", "allocation", "ios_per_lookup", "cache_hit_ratio"]);
+    csv_header(&[
+        "cache_pct",
+        "c",
+        "allocation",
+        "ios_per_lookup",
+        "cache_hit_ratio",
+    ]);
     for cache_pct in [0usize, 20, 40] {
         for c in [0.1, 0.3, 0.5, 0.7, 0.9] {
             for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {

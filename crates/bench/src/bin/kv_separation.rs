@@ -7,8 +7,7 @@
 use monkey::{model_params_for, Db, DbOptions, DbOptionsExt};
 use monkey_bench::{csv_header, csv_row, f};
 use monkey_model::{
-    kv_separated_lookup_cost, kv_separated_update_cost, non_zero_result_lookup_cost,
-    update_cost,
+    kv_separated_lookup_cost, kv_separated_update_cost, non_zero_result_lookup_cost, update_cost,
 };
 use monkey_workload::KeySpace;
 use rand::rngs::StdRng;
@@ -24,7 +23,11 @@ fn build(separate: bool) -> (Arc<Db>, KeySpace) {
         .buffer_capacity(8 << 10)
         .size_ratio(2)
         .monkey_filters(5.0);
-    let opts = if separate { opts.value_separation(64) } else { opts };
+    let opts = if separate {
+        opts.value_separation(64)
+    } else {
+        opts
+    };
     let db = Db::open(opts).unwrap();
     let keys = KeySpace::with_entry_size(N, ENTRY);
     let mut rng = StdRng::seed_from_u64(42);
@@ -80,7 +83,10 @@ fn main() {
                 kv_separated_lookup_cost(&params, m_filters, kp_bits),
             )
         } else {
-            (update_cost(&params, 1.0), non_zero_result_lookup_cost(&params, m_filters))
+            (
+                update_cost(&params, 1.0),
+                non_zero_result_lookup_cost(&params, m_filters),
+            )
         };
         csv_row(&[
             if separate { "separated" } else { "inline" }.into(),

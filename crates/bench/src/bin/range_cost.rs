@@ -13,7 +13,15 @@ use monkey_model::range_lookup_cost;
 
 fn main() {
     eprintln!("# Range lookup cost vs Eq. 11 (N=2^15 x 64B)");
-    csv_header(&["policy", "T", "selectivity", "runs", "measured_pages", "measured_seeks", "model_q"]);
+    csv_header(&[
+        "policy",
+        "T",
+        "selectivity",
+        "runs",
+        "measured_pages",
+        "measured_seeks",
+        "model_q",
+    ]);
     for (policy, t) in [(MergePolicy::Leveling, 2usize), (MergePolicy::Tiering, 4)] {
         let cfg = ExpConfig {
             entries: 1 << 15,

@@ -16,8 +16,8 @@
 
 use monkey_bench::{csv_header, csv_row, f};
 use monkey_model::{
-    baseline_zero_result_lookup_cost, m_threshold, update_cost, zero_result_lookup_cost,
-    Params, Policy,
+    baseline_zero_result_lookup_cost, m_threshold, update_cost, zero_result_lookup_cost, Params,
+    Policy,
 };
 
 fn params(n: f64, buffer_bits: f64, t: f64) -> Params {

@@ -17,14 +17,23 @@ use rand::SeedableRng;
 fn main() {
     let lookups = 8_192u64;
     eprintln!("# Zipfian lookups x block cache (N=2^16 x 64B, 5 b/e)");
-    csv_header(&["cache_pct", "theta", "allocation", "ios_per_lookup", "cache_hit_ratio"]);
+    csv_header(&[
+        "cache_pct",
+        "theta",
+        "allocation",
+        "ios_per_lookup",
+        "cache_hit_ratio",
+    ]);
     for cache_pct in [0usize, 20, 40] {
         for theta in [0.5, 0.8, 0.99] {
             for filters in [FilterKind::Uniform(5.0), FilterKind::Monkey(5.0)] {
                 let base = ExpConfig::paper_default();
                 let data_bytes = base.entries as usize * base.entry_bytes;
-                let cfg = ExpConfig { cache_bytes: data_bytes * cache_pct / 100, ..base }
-                    .with_filters(filters);
+                let cfg = ExpConfig {
+                    cache_bytes: data_bytes * cache_pct / 100,
+                    ..base
+                }
+                .with_filters(filters);
                 let loaded = load(&cfg, 42);
                 let zipf = ZipfianSampler::new(cfg.entries, theta);
                 let mut rng = StdRng::seed_from_u64(7);
@@ -45,10 +54,14 @@ fn main() {
                     ops: lookups,
                     io,
                     ios_per_op: io.page_reads as f64 / lookups as f64,
-                    latency_ms_per_op: DeviceModel::disk().latency_secs(&io) * 1e3
-                        / lookups as f64,
+                    latency_ms_per_op: DeviceModel::disk().latency_secs(&io) * 1e3 / lookups as f64,
                 };
-                let hit = loaded.db.disk().cache_stats().map(|s| s.hit_ratio()).unwrap_or(0.0);
+                let hit = loaded
+                    .db
+                    .disk()
+                    .cache_stats()
+                    .map(|s| s.hit_ratio())
+                    .unwrap_or(0.0);
                 csv_row(&[
                     format!("{cache_pct}"),
                     f(theta),

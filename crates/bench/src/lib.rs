@@ -9,7 +9,7 @@
 //! I/Os per lookup, which is the primary metric here — see DESIGN.md §3 on
 //! the testbed substitution).
 
-use monkey::{Db, DbOptions, DbOptionsExt, MergePolicy};
+use monkey::{Db, DbOptions, DbOptionsExt, FilterVariant, MergePolicy};
 use monkey_storage::{DeviceModel, IoSnapshot};
 use monkey_workload::{KeySpace, TemporalSampler};
 use rand::rngs::StdRng;
@@ -59,6 +59,8 @@ pub struct ExpConfig {
     pub policy: MergePolicy,
     /// Filter allocation.
     pub filters: FilterKind,
+    /// Filter layout (standard flat or cache-line blocked).
+    pub variant: FilterVariant,
     /// Block cache size in bytes (0 = disabled).
     pub cache_bytes: usize,
 }
@@ -78,6 +80,7 @@ impl ExpConfig {
             size_ratio: 2,
             policy: MergePolicy::Leveling,
             filters: FilterKind::Monkey(5.0),
+            variant: FilterVariant::Standard,
             cache_bytes: 0,
         }
     }
@@ -85,6 +88,12 @@ impl ExpConfig {
     /// Same configuration with a different filter allocation.
     pub fn with_filters(mut self, filters: FilterKind) -> Self {
         self.filters = filters;
+        self
+    }
+
+    /// Same configuration with a different filter layout.
+    pub fn with_variant(mut self, variant: FilterVariant) -> Self {
+        self.variant = variant;
         self
     }
 
@@ -99,7 +108,8 @@ impl ExpConfig {
             .page_size(self.page_bytes)
             .buffer_capacity(self.buffer_bytes)
             .size_ratio(self.size_ratio)
-            .merge_policy(self.policy);
+            .merge_policy(self.policy)
+            .filter_variant(self.variant);
         match self.filters {
             FilterKind::None => base.uniform_filters(0.0),
             FilterKind::Uniform(bpe) => base.uniform_filters(bpe),
@@ -134,11 +144,16 @@ pub fn load(cfg: &ExpConfig, seed: u64) -> LoadedDb {
     let mut rng = StdRng::seed_from_u64(seed);
     let order = keys.shuffled_indices(&mut rng);
     for &i in &order {
-        db.put(keys.existing_key(i), keys.value_for(i)).expect("put");
+        db.put(keys.existing_key(i), keys.value_for(i))
+            .expect("put");
     }
     db.rebuild_filters().expect("rebuild filters");
     db.reset_io();
-    LoadedDb { db, keys, insertion_order: order }
+    LoadedDb {
+        db,
+        keys,
+        insertion_order: order,
+    }
 }
 
 /// An I/O measurement over a batch of operations.
@@ -174,7 +189,10 @@ pub fn zero_result_lookups(loaded: &LoadedDb, n: u64, seed: u64) -> Measurement 
     measure(&loaded.db, &DeviceModel::disk(), n, || {
         for _ in 0..n {
             let key = loaded.keys.random_missing(&mut rng);
-            assert!(loaded.db.get(&key).expect("get").is_none(), "must be zero-result");
+            assert!(
+                loaded.db.get(&key).expect("get").is_none(),
+                "must be zero-result"
+            );
         }
     })
 }
@@ -264,6 +282,7 @@ mod tests {
             size_ratio: 2,
             policy: MergePolicy::Leveling,
             filters: FilterKind::Monkey(5.0),
+            variant: FilterVariant::Standard,
             cache_bytes: 0,
         }
     }
@@ -274,7 +293,11 @@ mod tests {
         assert_eq!(loaded.insertion_order.len(), 2000);
         let m = zero_result_lookups(&loaded, 500, 2);
         assert_eq!(m.ops, 500);
-        assert!(m.ios_per_op < 1.0, "filters absorb most probes: {}", m.ios_per_op);
+        assert!(
+            m.ios_per_op < 1.0,
+            "filters absorb most probes: {}",
+            m.ios_per_op
+        );
         let m = existing_lookups_temporal(&loaded, 0.5, 200, 3);
         assert!(m.ios_per_op >= 1.0, "found keys cost at least one read");
     }
@@ -299,6 +322,19 @@ mod tests {
         let m = updates(&loaded, 2000, 4);
         assert!(m.io.page_writes > 0);
         assert!(m.ios_per_op > 0.0);
+    }
+
+    #[test]
+    fn blocked_variant_loads_and_queries() {
+        let loaded = load(&tiny().with_variant(FilterVariant::Blocked), 1);
+        let m = zero_result_lookups(&loaded, 500, 2);
+        assert!(
+            m.ios_per_op < 1.0,
+            "blocked filters still absorb most probes: {}",
+            m.ios_per_op
+        );
+        let m = existing_lookups_temporal(&loaded, 0.5, 200, 3);
+        assert!(m.ios_per_op >= 1.0);
     }
 
     #[test]

@@ -1,8 +1,42 @@
-//! The Bloom filter proper.
+//! The Bloom filter proper, plus the variant-dispatching [`Filter`] wrapper
+//! and the versioned on-disk filter format.
+//!
+//! # On-disk format
+//!
+//! The legacy encoding (format v0) was `hashes: u32 | entries: u64 | bits`,
+//! with probe positions reduced by `%`. The current encoding prefixes a
+//! magic `u32 >= 0xFFFF_FF00` whose low byte carries the filter *flavor*:
+//!
+//! ```text
+//! 0xFFFF_FF00  standard flat filter, fast-range probe reduction
+//! 0xFFFF_FF01  cache-line-blocked filter
+//! ```
+//!
+//! A legacy stream is recognized by its first `u32` being a plausible hash
+//! count (far below the magic range) and decodes to a filter that keeps the
+//! legacy `%` reduction, so its persisted bits remain findable. Legacy
+//! filters also re-encode in the legacy layout — the format of a filter is
+//! sticky until the filter is rebuilt from its keys.
 
 use crate::bits::BitVec;
-use crate::hash::{hash_pair, probe};
+use crate::blocked::BlockedBloomFilter;
+use crate::hash::{hash_pair, probe, probe_legacy, HashPair};
 use crate::math;
+
+/// Format magic of the standard flat filter with fast-range probes.
+pub(crate) const MAGIC_STANDARD: u32 = 0xFFFF_FF00;
+/// Format magic of the cache-line-blocked filter.
+pub(crate) const MAGIC_BLOCKED: u32 = 0xFFFF_FF01;
+
+/// How a flat filter reduces a 64-bit probe hash to a bit position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeScheme {
+    /// Lemire multiply-shift fast range — the current format.
+    FastRange,
+    /// 64-bit `%` — filters decoded from the pre-magic format keep this so
+    /// their bits stay findable; a rebuild upgrades them.
+    Legacy,
+}
 
 /// A Bloom filter over byte-string keys.
 ///
@@ -19,6 +53,7 @@ pub struct BloomFilter {
     bits: BitVec,
     hashes: u32,
     entries: u64,
+    scheme: ProbeScheme,
 }
 
 impl BloomFilter {
@@ -38,27 +73,49 @@ impl BloomFilter {
         BloomFilterBuilder::new(expected_entries).fpr(fpr).build()
     }
 
-    /// Inserts a key.
-    pub fn insert(&mut self, key: &[u8]) {
+    /// Bit position of probe `i` under this filter's probe scheme.
+    #[inline]
+    fn position(&self, pair: HashPair, i: u32, nbits: usize) -> usize {
+        match self.scheme {
+            ProbeScheme::FastRange => probe(pair, i, nbits),
+            ProbeScheme::Legacy => probe_legacy(pair, i, nbits),
+        }
+    }
+
+    /// Inserts a pre-hashed key.
+    pub fn insert_hashed(&mut self, pair: HashPair) {
         self.entries += 1;
         if self.bits.is_empty() {
             return;
         }
-        let pair = hash_pair(key);
         for i in 0..self.hashes {
-            let pos = probe(pair, i, self.bits.len());
+            let pos = self.position(pair, i, self.bits.len());
             self.bits.set(pos);
         }
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        self.insert_hashed(hash_pair(key));
+    }
+
+    /// Tests a pre-hashed key. `false` means definitely absent.
+    pub fn contains_hashed(&self, pair: HashPair) -> bool {
+        if self.bits.is_empty() {
+            return true; // degenerate filter: always a (possible) positive
+        }
+        (0..self.hashes).all(|i| self.bits.get(self.position(pair, i, self.bits.len())))
     }
 
     /// Tests a key. `false` means the key is definitely absent; `true` means
     /// it may be present.
     pub fn contains(&self, key: &[u8]) -> bool {
-        if self.bits.is_empty() {
-            return true; // degenerate filter: always a (possible) positive
-        }
-        let pair = hash_pair(key);
-        (0..self.hashes).all(|i| self.bits.get(probe(pair, i, self.bits.len())))
+        self.contains_hashed(hash_pair(key))
+    }
+
+    /// The probe reduction this filter was built (or decoded) with.
+    pub fn probe_scheme(&self) -> ProbeScheme {
+        self.scheme
     }
 
     /// Number of bits in the filter's bit array.
@@ -88,23 +145,50 @@ impl BloomFilter {
         math::false_positive_rate(self.bits.len() as f64, self.entries as f64)
     }
 
-    /// Serializes the filter: hash count, entry count, then the bit vector.
+    /// Serializes the filter. Fast-range filters write the current magic-
+    /// prefixed format; legacy-scheme filters re-encode in the legacy layout
+    /// (no magic) so a decode→encode round trip is byte-faithful.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        if self.scheme == ProbeScheme::FastRange {
+            out.extend_from_slice(&MAGIC_STANDARD.to_le_bytes());
+        }
         out.extend_from_slice(&self.hashes.to_le_bytes());
         out.extend_from_slice(&self.entries.to_le_bytes());
         self.bits.encode(out);
     }
 
-    /// Deserializes a filter produced by [`encode`](Self::encode). Returns
-    /// the filter and bytes consumed, or `None` on truncated input.
+    /// Deserializes a filter produced by [`encode`](Self::encode) — either
+    /// format generation. Returns the filter and bytes consumed, or `None`
+    /// on truncated input or a non-flat flavor magic.
     pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
-        if buf.len() < 12 {
+        if buf.len() < 4 {
             return None;
         }
-        let hashes = u32::from_le_bytes(buf[..4].try_into().unwrap());
-        let entries = u64::from_le_bytes(buf[4..12].try_into().unwrap());
-        let (bits, used) = BitVec::decode(&buf[12..])?;
-        Some((Self { bits, hashes, entries }, 12 + used))
+        let head = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        let (scheme, body, skip) = if head >= MAGIC_STANDARD {
+            if head != MAGIC_STANDARD {
+                return None; // some other flavor (e.g. blocked)
+            }
+            (ProbeScheme::FastRange, &buf[4..], 4)
+        } else {
+            // Legacy format v0: the first u32 is the hash count itself.
+            (ProbeScheme::Legacy, buf, 0)
+        };
+        if body.len() < 12 {
+            return None;
+        }
+        let hashes = u32::from_le_bytes(body[..4].try_into().unwrap());
+        let entries = u64::from_le_bytes(body[4..12].try_into().unwrap());
+        let (bits, used) = BitVec::decode(&body[12..])?;
+        Some((
+            Self {
+                bits,
+                hashes,
+                entries,
+                scheme,
+            },
+            skip + 12 + used,
+        ))
     }
 }
 
@@ -132,7 +216,11 @@ impl BloomFilterBuilder {
     /// the degenerate always-positive filter.
     pub fn bits_per_entry(mut self, bpe: f64) -> Self {
         let bits = (bpe * self.expected_entries as f64).round();
-        self.total_bits = if bits.is_finite() && bits > 0.0 { bits as usize } else { 0 };
+        self.total_bits = if bits.is_finite() && bits > 0.0 {
+            bits as usize
+        } else {
+            0
+        };
         self
     }
 
@@ -169,6 +257,169 @@ impl BloomFilterBuilder {
             bits: BitVec::new(self.total_bits),
             hashes,
             entries: 0,
+            scheme: ProbeScheme::FastRange,
+        }
+    }
+}
+
+/// Which filter layout a run uses; the per-`Db` knob behind
+/// `DbOptions::filter_variant` in the engine crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FilterVariant {
+    /// Flat bit array probed by double hashing — best accuracy per bit.
+    #[default]
+    Standard,
+    /// Cache-line-blocked: all `k` probes inside one 512-bit block — at most
+    /// one cache miss per negative probe, slightly worse FPR per bit.
+    Blocked,
+}
+
+impl FilterVariant {
+    /// Short lowercase name (for manifests and CSV output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Standard => "standard",
+            Self::Blocked => "blocked",
+        }
+    }
+
+    /// Parses [`name`](Self::name)'s output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "standard" => Some(Self::Standard),
+            "blocked" => Some(Self::Blocked),
+            _ => None,
+        }
+    }
+}
+
+/// A run's filter: either layout behind one interface, so the engine can
+/// switch variants per database without touching the lookup path.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// Flat filter (standard layout, or a decoded legacy-format filter).
+    Standard(BloomFilter),
+    /// Cache-line-blocked filter.
+    Blocked(BlockedBloomFilter),
+}
+
+impl Filter {
+    /// Creates a filter of the given `variant` sized for `expected_entries`
+    /// keys at `bits_per_entry` bits each.
+    pub fn with_bits_per_entry(
+        variant: FilterVariant,
+        expected_entries: u64,
+        bits_per_entry: f64,
+    ) -> Self {
+        match variant {
+            FilterVariant::Standard => Self::Standard(BloomFilter::with_bits_per_entry(
+                expected_entries,
+                bits_per_entry,
+            )),
+            FilterVariant::Blocked => Self::Blocked(BlockedBloomFilter::with_bits_per_entry(
+                expected_entries,
+                bits_per_entry,
+            )),
+        }
+    }
+
+    /// The layout of this filter.
+    pub fn variant(&self) -> FilterVariant {
+        match self {
+            Self::Standard(_) => FilterVariant::Standard,
+            Self::Blocked(_) => FilterVariant::Blocked,
+        }
+    }
+
+    /// Inserts a pre-hashed key.
+    pub fn insert_hashed(&mut self, pair: HashPair) {
+        match self {
+            Self::Standard(f) => f.insert_hashed(pair),
+            Self::Blocked(f) => f.insert_hashed(pair),
+        }
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        self.insert_hashed(hash_pair(key));
+    }
+
+    /// Tests a pre-hashed key. `false` means definitely absent.
+    pub fn contains_hashed(&self, pair: HashPair) -> bool {
+        match self {
+            Self::Standard(f) => f.contains_hashed(pair),
+            Self::Blocked(f) => f.contains_hashed(pair),
+        }
+    }
+
+    /// Tests a key. `false` means the key is definitely absent.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.contains_hashed(hash_pair(key))
+    }
+
+    /// Number of bits in the filter.
+    pub fn nbits(&self) -> usize {
+        match self {
+            Self::Standard(f) => f.nbits(),
+            Self::Blocked(f) => f.nbits(),
+        }
+    }
+
+    /// Number of hash probes per key.
+    pub fn hash_count(&self) -> u32 {
+        match self {
+            Self::Standard(f) => f.hash_count(),
+            Self::Blocked(f) => f.hash_count(),
+        }
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> u64 {
+        match self {
+            Self::Standard(f) => f.inserted(),
+            Self::Blocked(f) => f.inserted(),
+        }
+    }
+
+    /// Main-memory footprint in bits (counts against `M_filters`).
+    pub fn memory_bits(&self) -> usize {
+        match self {
+            Self::Standard(f) => f.memory_bits(),
+            Self::Blocked(f) => f.memory_bits(),
+        }
+    }
+
+    /// The false positive rate predicted by the *matching* model for each
+    /// layout: Equation 2 for flat filters, the Poisson block mixture for
+    /// blocked ones — so expected-I/O accounting stays honest either way.
+    pub fn theoretical_fpr(&self) -> f64 {
+        match self {
+            Self::Standard(f) => f.theoretical_fpr(),
+            Self::Blocked(f) => f.theoretical_fpr(),
+        }
+    }
+
+    /// Serializes the filter in its layout's format.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Standard(f) => f.encode(out),
+            Self::Blocked(f) => f.encode(out),
+        }
+    }
+
+    /// Deserializes any filter format generation: blocked magic, standard
+    /// magic, or the legacy magic-less layout.
+    pub fn decode(buf: &[u8]) -> Option<(Self, usize)> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let head = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        if head == MAGIC_BLOCKED {
+            let (f, used) = BlockedBloomFilter::decode(buf)?;
+            Some((Self::Blocked(f), used))
+        } else {
+            let (f, used) = BloomFilter::decode(buf)?;
+            Some((Self::Standard(f), used))
         }
     }
 }
@@ -178,11 +429,13 @@ mod tests {
     use super::*;
 
     fn keys(n: u64, tag: u8) -> Vec<Vec<u8>> {
-        (0..n).map(|i| {
-            let mut k = vec![tag];
-            k.extend_from_slice(&i.to_be_bytes());
-            k
-        }).collect()
+        (0..n)
+            .map(|i| {
+                let mut k = vec![tag];
+                k.extend_from_slice(&i.to_be_bytes());
+                k
+            })
+            .collect()
     }
 
     #[test]
@@ -244,7 +497,10 @@ mod tests {
 
     #[test]
     fn builder_hash_count_override() {
-        let f = BloomFilterBuilder::new(10).bits_per_entry(10.0).hash_count(3).build();
+        let f = BloomFilterBuilder::new(10)
+            .bits_per_entry(10.0)
+            .hash_count(3)
+            .build();
         assert_eq!(f.hash_count(), 3);
     }
 
@@ -288,5 +544,122 @@ mod tests {
     fn memory_bits_counts_whole_words() {
         let f = BloomFilterBuilder::new(1).total_bits(65).build();
         assert_eq!(f.memory_bits(), 128);
+    }
+
+    #[test]
+    fn new_filters_use_fast_range_and_magic_format() {
+        let f = BloomFilter::with_bits_per_entry(10, 10.0);
+        assert_eq!(f.probe_scheme(), ProbeScheme::FastRange);
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        assert_eq!(
+            u32::from_le_bytes(buf[..4].try_into().unwrap()),
+            MAGIC_STANDARD
+        );
+    }
+
+    /// Builds the byte stream a pre-bump store would have persisted: no
+    /// magic, bits set with the `%` probe reduction.
+    fn legacy_stream(keys: &[Vec<u8>], nbits: usize, hashes: u32) -> Vec<u8> {
+        use crate::hash::{hash_pair, probe_legacy};
+        let mut bits = crate::bits::BitVec::new(nbits);
+        for k in keys {
+            let pair = hash_pair(k);
+            for i in 0..hashes {
+                bits.set(probe_legacy(pair, i, nbits));
+            }
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&hashes.to_le_bytes());
+        buf.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        bits.encode(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn legacy_format_decodes_with_legacy_probe_scheme() {
+        let present = keys(500, 7);
+        let buf = legacy_stream(&present, 5000, 7);
+        let (f, used) = BloomFilter::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(f.probe_scheme(), ProbeScheme::Legacy);
+        assert_eq!(f.inserted(), 500);
+        for k in &present {
+            assert!(f.contains(k), "legacy bits must stay findable");
+        }
+    }
+
+    #[test]
+    fn legacy_filter_reencodes_byte_faithfully() {
+        let buf = legacy_stream(&keys(100, 2), 1000, 5);
+        let (f, _) = BloomFilter::decode(&buf).unwrap();
+        let mut out = Vec::new();
+        f.encode(&mut out);
+        assert_eq!(out, buf, "decode→encode of a legacy filter is identity");
+    }
+
+    #[test]
+    fn filter_enum_decodes_every_generation() {
+        // Legacy flat.
+        let legacy = legacy_stream(&keys(50, 1), 500, 5);
+        let (f, used) = Filter::decode(&legacy).unwrap();
+        assert_eq!(used, legacy.len());
+        assert_eq!(f.variant(), FilterVariant::Standard);
+        // Current flat.
+        let mut flat = Vec::new();
+        BloomFilter::with_bits_per_entry(50, 10.0).encode(&mut flat);
+        assert!(matches!(
+            Filter::decode(&flat).unwrap().0,
+            Filter::Standard(_)
+        ));
+        // Blocked.
+        let mut blocked = Vec::new();
+        BlockedBloomFilter::with_bits_per_entry(50, 10.0).encode(&mut blocked);
+        let (f, used) = Filter::decode(&blocked).unwrap();
+        assert_eq!(used, blocked.len());
+        assert_eq!(f.variant(), FilterVariant::Blocked);
+    }
+
+    #[test]
+    fn filter_enum_roundtrip_both_variants() {
+        for variant in [FilterVariant::Standard, FilterVariant::Blocked] {
+            let mut f = Filter::with_bits_per_entry(variant, 300, 10.0);
+            for k in keys(300, 9) {
+                f.insert(&k);
+            }
+            let mut buf = Vec::new();
+            f.encode(&mut buf);
+            let (g, used) = Filter::decode(&buf).unwrap();
+            assert_eq!(used, buf.len());
+            assert_eq!(g.variant(), variant);
+            assert_eq!(g.inserted(), 300);
+            for k in keys(300, 9) {
+                assert!(g.contains(&k), "{variant:?} false negative after roundtrip");
+            }
+            assert!(g.theoretical_fpr() > 0.0 && g.theoretical_fpr() < 0.1);
+        }
+    }
+
+    #[test]
+    fn filter_variant_names_roundtrip() {
+        for v in [FilterVariant::Standard, FilterVariant::Blocked] {
+            assert_eq!(FilterVariant::parse(v.name()), Some(v));
+        }
+        assert_eq!(FilterVariant::parse("bogus"), None);
+        assert_eq!(FilterVariant::default(), FilterVariant::Standard);
+    }
+
+    #[test]
+    fn hashed_and_keyed_paths_are_bit_identical() {
+        use crate::hash::hash_pair;
+        let mut a = BloomFilter::with_bits_per_entry(1000, 10.0);
+        let mut b = BloomFilter::with_bits_per_entry(1000, 10.0);
+        for k in keys(1000, 4) {
+            a.insert(&k);
+            b.insert_hashed(hash_pair(&k));
+        }
+        for k in keys(2000, 5) {
+            assert_eq!(a.contains(&k), b.contains_hashed(hash_pair(&k)));
+        }
     }
 }

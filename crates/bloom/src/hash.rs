@@ -75,12 +75,18 @@ pub fn xxh64(data: &[u8], seed: u64) -> u64 {
 
     while off + 8 <= len {
         h ^= round(0, read_u64(data, off));
-        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
         off += 8;
     }
     if off + 4 <= len {
         h ^= (read_u32(data, off) as u64).wrapping_mul(PRIME64_1);
-        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
         off += 4;
     }
     while off < len {
@@ -120,9 +126,34 @@ pub fn hash_pair(key: &[u8]) -> HashPair {
     }
 }
 
+/// Maps a 64-bit hash onto `[0, n)` with Lemire's multiply-shift fast-range
+/// reduction: `(h * n) >> 64`. One widening multiply instead of a 64-bit
+/// division; the result is selected by the *high* bits of `h` rather than
+/// `h mod n`, which is equally uniform for a well-mixed hash.
+#[inline]
+pub fn fast_range(h: u64, n: u64) -> u64 {
+    (((h as u128) * (n as u128)) >> 64) as u64
+}
+
 /// Returns the bit position of probe `i` within a filter of `nbits` bits.
+///
+/// Uses the fast-range reduction; this is the scheme of the current filter
+/// format. Filters decoded from the pre-bump format keep [`probe_legacy`] so
+/// their persisted bits remain findable.
 #[inline]
 pub fn probe(pair: HashPair, i: u32, nbits: usize) -> usize {
+    debug_assert!(nbits > 0);
+    fast_range(
+        pair.h1.wrapping_add((i as u64).wrapping_mul(pair.h2)),
+        nbits as u64,
+    ) as usize
+}
+
+/// The original probe reduction (64-bit `%`). Part of the legacy on-disk
+/// filter format: a filter encoded without a format magic was built with
+/// this scheme and must keep probing with it.
+#[inline]
+pub fn probe_legacy(pair: HashPair, i: u32, nbits: usize) -> usize {
     debug_assert!(nbits > 0);
     (pair.h1.wrapping_add((i as u64).wrapping_mul(pair.h2)) % nbits as u64) as usize
 }
@@ -189,8 +220,13 @@ mod tests {
         // 1-byte tails in every combination.
         let data: Vec<u8> = (0u8..=255).collect();
         let mut seen = std::collections::HashSet::new();
-        for len in [0, 1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 31, 32, 33, 40, 44, 45, 63, 64, 100, 256] {
-            assert!(seen.insert(xxh64(&data[..len], 7)), "collision at len {len}");
+        for len in [
+            0, 1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 31, 32, 33, 40, 44, 45, 63, 64, 100, 256,
+        ] {
+            assert!(
+                seen.insert(xxh64(&data[..len], 7)),
+                "collision at len {len}"
+            );
         }
     }
 
@@ -222,5 +258,63 @@ mod tests {
         for i in 0..8 {
             assert_eq!(probe(a, i, 4096), probe(b, i, 4096));
         }
+    }
+
+    #[test]
+    fn fast_range_stays_in_bounds_and_covers() {
+        // Bounds for adversarial inputs, coverage for a sweep of hashes.
+        assert_eq!(fast_range(0, 17), 0);
+        assert_eq!(fast_range(u64::MAX, 17), 16);
+        let n = 37u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let r = fast_range(xxh64(&i.to_le_bytes(), 0), n);
+            assert!(r < n);
+            seen.insert(r);
+        }
+        assert_eq!(seen.len() as u64, n, "every bucket reachable");
+    }
+
+    #[test]
+    fn fast_range_is_proportional() {
+        // The reduction maps the hash space linearly: a hash near the top of
+        // the u64 range lands near n, one near the bottom lands near 0.
+        let n = 1_000u64;
+        assert!(fast_range(u64::MAX / 2, n).abs_diff(n / 2) <= 1);
+        assert!(fast_range(u64::MAX / 4, n).abs_diff(n / 4) <= 1);
+    }
+
+    #[test]
+    fn probe_legacy_is_the_modulus_reduction() {
+        let pair = hash_pair(b"pinned");
+        for i in 0..8 {
+            let expect = (pair.h1.wrapping_add((i as u64).wrapping_mul(pair.h2)) % 1000) as usize;
+            assert_eq!(probe_legacy(pair, i, 1000), expect);
+        }
+    }
+
+    #[test]
+    fn probe_and_legacy_probe_disagree_in_general() {
+        // The two reductions are different maps; if they ever coincided for
+        // all inputs the legacy decode path would be untested dead code.
+        let nbits = 1013; // not a power of two
+        let differs = (0..100u32).any(|i| {
+            let pair = hash_pair(&i.to_le_bytes());
+            probe(pair, 0, nbits) != probe_legacy(pair, 0, nbits)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn probe_legacy_within_bounds_and_spread() {
+        let pair = hash_pair(b"some key");
+        let nbits = 1000;
+        let mut positions = std::collections::HashSet::new();
+        for i in 0..20 {
+            let p = probe_legacy(pair, i, nbits);
+            assert!(p < nbits);
+            positions.insert(p);
+        }
+        assert!(positions.len() >= 15);
     }
 }

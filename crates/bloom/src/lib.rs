@@ -36,10 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod blocked;
 pub mod hash;
 pub mod math;
 
 mod filter;
 
 pub use bits::BitVec;
-pub use filter::{BloomFilter, BloomFilterBuilder};
+pub use blocked::BlockedBloomFilter;
+pub use filter::{BloomFilter, BloomFilterBuilder, Filter, FilterVariant, ProbeScheme};
+pub use hash::{hash_pair, HashPair};

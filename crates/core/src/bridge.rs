@@ -46,7 +46,10 @@ mod tests {
 
     #[test]
     fn params_are_in_bits() {
-        let opts = DbOptions::in_memory().page_size(4096).buffer_capacity(1 << 20).size_ratio(4);
+        let opts = DbOptions::in_memory()
+            .page_size(4096)
+            .buffer_capacity(1 << 20)
+            .size_ratio(4);
         let p = model_params_for(&opts, 1000, 128);
         assert_eq!(p.entries, 1000.0);
         assert_eq!(p.entry_bits, 1024.0);

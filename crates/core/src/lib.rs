@@ -55,8 +55,8 @@ mod bridge;
 
 pub use bridge::{model_params_for, to_model_policy};
 pub use monkey_lsm::{
-    Db, DbOptions, DbStats, Entry, EntryKind, FilterContext, FilterPolicy, LevelStats, LsmError,
-    MergePolicy, RangeIter, Result, UniformFilterPolicy,
+    Db, DbOptions, DbStats, Entry, EntryKind, FilterContext, FilterPolicy, FilterVariant,
+    LevelStats, LookupStats, LsmError, MergePolicy, RangeIter, Result, UniformFilterPolicy,
 };
 pub use monkey_model::{Environment, Workload};
 pub use navigator::{Navigator, Recommendation, WhatIf};

@@ -35,7 +35,12 @@ impl Navigator {
     /// described by `env`, with `page_bytes` disk pages.
     pub fn new(entries: u64, entry_bytes: usize, page_bytes: usize, env: Environment) -> Self {
         assert!(entries > 0 && entry_bytes > 0 && page_bytes >= entry_bytes);
-        Self { entries, entry_bytes, page_bytes, env }
+        Self {
+            entries,
+            entry_bytes,
+            page_bytes,
+            env,
+        }
     }
 
     /// Base model parameters at a provisional tuning (`T = 2`, leveling;
@@ -65,7 +70,9 @@ impl Navigator {
         constraints: &TuningConstraints,
     ) -> Recommendation {
         let base = self.base_params();
-        let strategy = MemoryStrategy::Allocate { total_bits: (memory_bytes * 8) as f64 };
+        let strategy = MemoryStrategy::Allocate {
+            total_bits: (memory_bytes * 8) as f64,
+        };
         let tuning = tune(&base, &strategy, workload, &self.env, constraints);
         let bits_per_entry = tuning.allocation.filter_bits / self.entries as f64;
         let options = DbOptions::in_memory()
@@ -145,7 +152,12 @@ impl WhatIf {
 
     /// Costs at the current configuration.
     pub fn current(&self) -> CostPrediction {
-        self.predict(self.navigator.entries, self.navigator.entry_bytes, self.filter_bits, &self.navigator.env)
+        self.predict(
+            self.navigator.entries,
+            self.navigator.entry_bytes,
+            self.filter_bits,
+            &self.navigator.env,
+        )
     }
 
     /// Costs if the filter memory changes to `filter_bytes`.
@@ -160,20 +172,41 @@ impl WhatIf {
 
     /// Costs if the dataset grows/shrinks to `entries` entries.
     pub fn with_entries(&self, entries: u64) -> CostPrediction {
-        self.predict(entries, self.navigator.entry_bytes, self.filter_bits, &self.navigator.env)
+        self.predict(
+            entries,
+            self.navigator.entry_bytes,
+            self.filter_bits,
+            &self.navigator.env,
+        )
     }
 
     /// Costs if the entry size changes.
     pub fn with_entry_bytes(&self, entry_bytes: usize) -> CostPrediction {
-        self.predict(self.navigator.entries, entry_bytes, self.filter_bits, &self.navigator.env)
+        self.predict(
+            self.navigator.entries,
+            entry_bytes,
+            self.filter_bits,
+            &self.navigator.env,
+        )
     }
 
     /// Costs if the store moves to a different device (e.g. disk → flash).
     pub fn with_device(&self, env: Environment) -> CostPrediction {
-        self.predict(self.navigator.entries, self.navigator.entry_bytes, self.filter_bits, &env)
+        self.predict(
+            self.navigator.entries,
+            self.navigator.entry_bytes,
+            self.filter_bits,
+            &env,
+        )
     }
 
-    fn predict(&self, entries: u64, entry_bytes: usize, filter_bits: f64, env: &Environment) -> CostPrediction {
+    fn predict(
+        &self,
+        entries: u64,
+        entry_bytes: usize,
+        filter_bits: f64,
+        env: &Environment,
+    ) -> CostPrediction {
         let p = self.params(entries, entry_bytes);
         CostPrediction {
             zero_result_lookup: zero_result_lookup_cost(&p, filter_bits),
@@ -244,7 +277,10 @@ mod tests {
         let impossible = nav().recommend_bounded(
             &wl,
             32 << 20,
-            &TuningConstraints { max_update_cost: Some(1e-9), ..Default::default() },
+            &TuningConstraints {
+                max_update_cost: Some(1e-9),
+                ..Default::default()
+            },
         );
         assert!(impossible.tuning.theta.is_infinite());
     }
@@ -253,11 +289,15 @@ mod tests {
     fn retune_migrates_to_the_recommended_design() {
         use monkey_lsm::{Db, DbOptions};
         let db = Db::open(
-            DbOptions::in_memory().page_size(4096).buffer_capacity(1 << 16).uniform_filters(5.0),
+            DbOptions::in_memory()
+                .page_size(4096)
+                .buffer_capacity(1 << 16)
+                .uniform_filters(5.0),
         )
         .unwrap();
         for i in 0..2000u32 {
-            db.put(format!("k{i:06}").into_bytes(), vec![b'v'; 64]).unwrap();
+            db.put(format!("k{i:06}").into_bytes(), vec![b'v'; 64])
+                .unwrap();
         }
         let n = nav();
         let (tuned, rec) = n
@@ -311,7 +351,10 @@ mod tests {
         let wi = n.what_if(&rec.tuning);
         let small = wi.with_entry_bytes(128);
         let big = wi.with_entry_bytes(2048);
-        assert!(big.update > small.update, "fewer entries per page: costlier merges");
+        assert!(
+            big.update > small.update,
+            "fewer entries per page: costlier merges"
+        );
         assert!(big.range >= small.range);
     }
 }

@@ -243,7 +243,10 @@ mod tests {
             merge_policy: MergePolicy::Leveling,
         };
         let bpe = p.bits_per_entry(&ctx);
-        assert!((bpe - 5.0).abs() < 1e-6, "single run gets all 5 b/e, got {bpe}");
+        assert!(
+            (bpe - 5.0).abs() < 1e-6,
+            "single run gets all 5 b/e, got {bpe}"
+        );
     }
 
     #[test]
@@ -283,7 +286,10 @@ mod tests {
             merge_policy: MergePolicy::Tiering,
         };
         let bpe = a.bits_per_entry(&ctx);
-        assert!(bpe > 5.0, "small run gets more than the average budget: {bpe}");
+        assert!(
+            bpe > 5.0,
+            "small run gets more than the average budget: {bpe}"
+        );
     }
 
     #[test]
@@ -318,7 +324,10 @@ mod tests {
         };
         let schedule = ScheduleFilterPolicy::new(5.0).bits_per_entry(&ctx);
         let general = MonkeyFilterPolicy::new(5.0).bits_per_entry(&ctx);
-        assert!(schedule < general, "schedule {schedule} vs generalized {general}");
+        assert!(
+            schedule < general,
+            "schedule {schedule} vs generalized {general}"
+        );
         assert!((general - 5.0).abs() < 1e-6);
     }
 

@@ -9,7 +9,7 @@
 use crate::entry::Entry;
 use crate::error::Result;
 use crate::iter::{EntrySource, MergingIter};
-use crate::run::{Run, RunBuilder};
+use crate::run::{FilterParams, Run, RunBuilder};
 use monkey_storage::Disk;
 use std::sync::Arc;
 
@@ -26,7 +26,7 @@ pub fn merge_runs(
     disk: &Arc<Disk>,
     inputs: &[Arc<Run>],
     drop_tombstones: bool,
-    bits_per_entry: f64,
+    filter: impl Into<FilterParams>,
 ) -> Result<Option<Arc<Run>>> {
     debug_assert!(!inputs.is_empty());
     let sources: Vec<EntrySource> = inputs
@@ -42,7 +42,7 @@ pub fn merge_runs(
         }
         builder.push(entry)?;
     }
-    let output = builder.finish(bits_per_entry)?.map(Arc::new);
+    let output = builder.finish(filter)?.map(Arc::new);
     for input in inputs {
         input.mark_obsolete();
     }
@@ -55,7 +55,7 @@ pub fn build_run_from_sorted(
     disk: &Arc<Disk>,
     entries: Vec<Entry>,
     drop_tombstones: bool,
-    bits_per_entry: f64,
+    filter: impl Into<FilterParams>,
 ) -> Result<Option<Arc<Run>>> {
     let mut builder = RunBuilder::new(Arc::clone(disk));
     for entry in entries {
@@ -64,7 +64,7 @@ pub fn build_run_from_sorted(
         }
         builder.push(entry)?;
     }
-    Ok(builder.finish(bits_per_entry)?.map(Arc::new))
+    Ok(builder.finish(filter)?.map(Arc::new))
 }
 
 #[cfg(test)]
@@ -73,7 +73,9 @@ mod tests {
     use crate::entry::EntryKind;
 
     fn run_of(disk: &Arc<Disk>, entries: Vec<Entry>) -> Arc<Run> {
-        build_run_from_sorted(disk, entries, false, 10.0).unwrap().unwrap()
+        build_run_from_sorted(disk, entries, false, 10.0)
+            .unwrap()
+            .unwrap()
     }
 
     fn put(k: &str, v: &str, seq: u64) -> Entry {
@@ -85,7 +87,9 @@ mod tests {
         let disk = Disk::mem(128);
         let old = run_of(&disk, vec![put("a", "old", 1), put("b", "b1", 2)]);
         let new = run_of(&disk, vec![put("a", "new", 5), put("c", "c1", 6)]);
-        let merged = merge_runs(&disk, &[new, old], false, 10.0).unwrap().unwrap();
+        let merged = merge_runs(&disk, &[new, old], false, 10.0)
+            .unwrap()
+            .unwrap();
         assert_eq!(merged.entries(), 3);
         assert_eq!(merged.get(b"a").unwrap().unwrap().value.as_ref(), b"new");
         assert_eq!(merged.get(b"b").unwrap().unwrap().value.as_ref(), b"b1");
@@ -111,18 +115,29 @@ mod tests {
         let disk = Disk::mem(128);
         let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9)]);
         let old = run_of(&disk, vec![put("k", "v", 1)]);
-        let merged = merge_runs(&disk, &[young, old], false, 10.0).unwrap().unwrap();
+        let merged = merge_runs(&disk, &[young, old], false, 10.0)
+            .unwrap()
+            .unwrap();
         let e = merged.get(b"k").unwrap().unwrap();
-        assert_eq!(e.kind, EntryKind::Delete, "tombstone still masks older versions below");
+        assert_eq!(
+            e.kind,
+            EntryKind::Delete,
+            "tombstone still masks older versions below"
+        );
         assert_eq!(merged.entries(), 1, "the superseded put is gone");
     }
 
     #[test]
     fn tombstones_dropped_at_last_level() {
         let disk = Disk::mem(128);
-        let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9), put("live", "v", 8)]);
+        let young = run_of(
+            &disk,
+            vec![Entry::tombstone(b"k".to_vec(), 9), put("live", "v", 8)],
+        );
         let old = run_of(&disk, vec![put("k", "v", 1)]);
-        let merged = merge_runs(&disk, &[young, old], true, 10.0).unwrap().unwrap();
+        let merged = merge_runs(&disk, &[young, old], true, 10.0)
+            .unwrap()
+            .unwrap();
         assert_eq!(merged.entries(), 1);
         assert!(merged.get(b"k").unwrap().is_none());
         assert!(merged.get(b"live").unwrap().is_some());
@@ -141,23 +156,36 @@ mod tests {
     #[test]
     fn merge_io_cost_reads_inputs_writes_output() {
         let disk = Disk::mem(64);
-        let entries_a: Vec<Entry> = (0..20).map(|i| put(&format!("a{i:02}"), "xxxx", i)).collect();
-        let entries_b: Vec<Entry> = (0..20).map(|i| put(&format!("b{i:02}"), "yyyy", 100 + i)).collect();
+        let entries_a: Vec<Entry> = (0..20)
+            .map(|i| put(&format!("a{i:02}"), "xxxx", i))
+            .collect();
+        let entries_b: Vec<Entry> = (0..20)
+            .map(|i| put(&format!("b{i:02}"), "yyyy", 100 + i))
+            .collect();
         let a = run_of(&disk, entries_a);
         let b = run_of(&disk, entries_b);
         let in_pages = (a.pages() + b.pages()) as u64;
         disk.reset_io();
         let merged = merge_runs(&disk, &[a, b], false, 10.0).unwrap().unwrap();
         let io = disk.io();
-        assert_eq!(io.page_reads, in_pages, "reads the original runs (Eq. 10 accounting)");
+        assert_eq!(
+            io.page_reads, in_pages,
+            "reads the original runs (Eq. 10 accounting)"
+        );
         assert_eq!(io.page_writes, merged.pages() as u64);
     }
 
     #[test]
     fn build_run_from_sorted_drops_tombstones_when_asked() {
         let disk = Disk::mem(128);
-        let entries = vec![put("a", "1", 1), Entry::tombstone(b"b".to_vec(), 2), put("c", "3", 3)];
-        let run = build_run_from_sorted(&disk, entries, true, 10.0).unwrap().unwrap();
+        let entries = vec![
+            put("a", "1", 1),
+            Entry::tombstone(b"b".to_vec(), 2),
+            put("c", "3", 3),
+        ];
+        let run = build_run_from_sorted(&disk, entries, true, 10.0)
+            .unwrap()
+            .unwrap();
         assert_eq!(run.entries(), 2);
         assert_eq!(run.tombstones(), 0);
     }

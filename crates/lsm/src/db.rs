@@ -10,11 +10,12 @@ use crate::memtable::Memtable;
 use crate::options::{DbOptions, StorageConfig};
 use crate::page::max_entry_len;
 use crate::policy::FilterContext;
-use crate::run::{recover_run, Run};
-use crate::stats::{DbStats, LevelStats};
+use crate::run::{recover_run, FilterParams, Run};
+use crate::stats::{DbStats, LevelStats, LookupStats};
 use crate::vlog::{ValueLog, ValuePointer};
 use crate::wal::Wal;
 use bytes::Bytes;
+use monkey_bloom::hash_pair;
 use monkey_storage::{Disk, IoSnapshot};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -57,6 +58,7 @@ pub struct Db {
     wal: Wal,
     manifest: Option<Manifest>,
     compactions: CompactionCounters,
+    lookups: LookupCounters,
     /// Value log for key-value separation (WiscKey mode), when enabled.
     vlog: Option<Arc<ValueLog>>,
 }
@@ -67,6 +69,15 @@ struct CompactionCounters {
     flushes: std::sync::atomic::AtomicU64,
     merges: std::sync::atomic::AtomicU64,
     entries_rewritten: std::sync::atomic::AtomicU64,
+}
+
+/// Lifetime counters of the point-lookup fast path (see [`LookupStats`]).
+#[derive(Debug, Default)]
+struct LookupCounters {
+    key_hashes: std::sync::atomic::AtomicU64,
+    filter_probes: std::sync::atomic::AtomicU64,
+    filter_negatives: std::sync::atomic::AtomicU64,
+    filter_false_positives: std::sync::atomic::AtomicU64,
 }
 
 /// A snapshot of the engine's maintenance work since open.
@@ -87,7 +98,13 @@ impl Db {
     /// from the manifest and replays the WAL.
     pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
         let (disk, wal, manifest, replayed, manifest_state) = match &opts.storage {
-            StorageConfig::Memory => (Disk::mem(opts.page_size), Wal::disabled(), None, Vec::new(), None),
+            StorageConfig::Memory => (
+                Disk::mem(opts.page_size),
+                Wal::disabled(),
+                None,
+                Vec::new(),
+                None,
+            ),
             StorageConfig::MemoryCached(cache) => (
                 Disk::mem_cached(opts.page_size, *cache),
                 Wal::disabled(),
@@ -100,13 +117,16 @@ impl Db {
                 let disk = Disk::file(dir.join("pages"), opts.page_size)?;
                 let manifest = Manifest::at(dir.join("MANIFEST"));
                 let state = manifest.load()?;
-                let (wal, replayed) =
-                    Wal::open(dir.join("wal.log"), opts.wal_sync_each_append)?;
+                let (wal, replayed) = Wal::open(dir.join("wal.log"), opts.wal_sync_each_append)?;
                 (disk, wal, Some(manifest), replayed, state)
             }
         };
 
-        let mut inner = Inner { memtable: Memtable::new(), levels: Vec::new(), next_seq: 0 };
+        let mut inner = Inner {
+            memtable: Memtable::new(),
+            levels: Vec::new(),
+            next_seq: 0,
+        };
 
         if let Some(state) = manifest_state {
             Self::recover_levels(&disk, &state, &mut inner)?;
@@ -131,6 +151,7 @@ impl Db {
             wal,
             manifest,
             compactions: CompactionCounters::default(),
+            lookups: LookupCounters::default(),
             vlog,
         });
         // A WAL bigger than the buffer (crash right before a flush): flush now.
@@ -152,7 +173,11 @@ impl Db {
             opts.page_size,
             "disk and options disagree on the page size"
         );
-        let inner = Inner { memtable: Memtable::new(), levels: Vec::new(), next_seq: 0 };
+        let inner = Inner {
+            memtable: Memtable::new(),
+            levels: Vec::new(),
+            next_seq: 0,
+        };
         let vlog = opts
             .value_separation
             .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
@@ -163,6 +188,7 @@ impl Db {
             wal: Wal::disabled(),
             manifest: None,
             compactions: CompactionCounters::default(),
+            lookups: LookupCounters::default(),
             vlog,
         }))
     }
@@ -177,7 +203,11 @@ impl Db {
                 return Err(LsmError::Corruption("manifest run at level 0".into()));
             }
             inner.ensure_level(record.level);
-            let run = recover_run(disk, record.id, record.bits_per_entry)?;
+            let run = recover_run(
+                disk,
+                record.id,
+                FilterParams::new(record.bits_per_entry, record.flavor),
+            )?;
             inner.levels[record.level - 1].push_youngest(Arc::new(run));
         }
         Ok(())
@@ -245,9 +275,18 @@ impl Db {
         let seq = inner.next_seq;
         inner.next_seq += 1;
         // WAL gets the full value either way.
-        self.wal.append(&Entry { key: key.clone(), value: value.clone(), seq, kind: EntryKind::Put })?;
+        self.wal.append(&Entry {
+            key: key.clone(),
+            value: value.clone(),
+            seq,
+            kind: EntryKind::Put,
+        })?;
         let entry = if separate {
-            let ptr = self.vlog.as_ref().expect("separation checked").append(&value)?;
+            let ptr = self
+                .vlog
+                .as_ref()
+                .expect("separation checked")
+                .append(&value)?;
             Entry {
                 key,
                 value: Bytes::copy_from_slice(&ptr.encode()),
@@ -255,7 +294,12 @@ impl Db {
                 kind: EntryKind::IndirectPut,
             }
         } else {
-            Entry { key, value, seq, kind: EntryKind::Put }
+            Entry {
+                key,
+                value,
+                seq,
+                kind: EntryKind::Put,
+            }
         };
         inner.memtable.insert(entry);
         if inner.memtable.bytes() >= self.opts.buffer_capacity {
@@ -271,13 +315,10 @@ impl Db {
             EntryKind::Put => Ok(Some(entry.value.clone())),
             EntryKind::Delete => Ok(None),
             EntryKind::IndirectPut => {
-                let ptr = ValuePointer::decode(&entry.value).ok_or_else(|| {
-                    LsmError::Corruption("malformed value-log pointer".into())
-                })?;
+                let ptr = ValuePointer::decode(&entry.value)
+                    .ok_or_else(|| LsmError::Corruption("malformed value-log pointer".into()))?;
                 let vlog = self.vlog.as_ref().ok_or_else(|| {
-                    LsmError::Corruption(
-                        "indirect entry in a store without a value log".into(),
-                    )
+                    LsmError::Corruption("indirect entry in a store without a value log".into())
                 })?;
                 Ok(Some(vlog.get(ptr)?))
             }
@@ -302,19 +343,48 @@ impl Db {
 
     /// Point lookup. Probes the buffer, then each level shallow-to-deep
     /// (runs youngest-to-oldest), stopping at the first version found (§2).
+    ///
+    /// The key is hashed **once**, when the lookup first reaches the disk
+    /// levels; the same hash pair serves every run's filter probe no matter
+    /// how many runs the tree holds.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        use std::sync::atomic::Ordering::Relaxed;
         let inner = self.inner.read();
         if let Some(entry) = inner.memtable.get(key) {
             return self.resolve_value(&entry);
         }
+        let pair = hash_pair(key); // the lookup's only hash computation
+        self.lookups.key_hashes.fetch_add(1, Relaxed);
         for level in &inner.levels {
             for run in level.runs() {
-                if let Some(entry) = run.get(key)? {
+                let look = run.get_hashed(key, pair)?;
+                if look.probed_filter {
+                    self.lookups.filter_probes.fetch_add(1, Relaxed);
+                    if look.filter_negative {
+                        self.lookups.filter_negatives.fetch_add(1, Relaxed);
+                    } else if look.page_read && look.entry.is_none() {
+                        // The filter said "maybe", the page said no: a true
+                        // false positive, one wasted I/O.
+                        self.lookups.filter_false_positives.fetch_add(1, Relaxed);
+                    }
+                }
+                if let Some(entry) = look.entry {
                     return self.resolve_value(&entry);
                 }
             }
         }
         Ok(None)
+    }
+
+    /// Counters of the point-lookup fast path since open.
+    pub fn lookup_stats(&self) -> LookupStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        LookupStats {
+            key_hashes: self.lookups.key_hashes.load(Relaxed),
+            filter_probes: self.lookups.filter_probes.load(Relaxed),
+            filter_negatives: self.lookups.filter_negatives.load(Relaxed),
+            filter_false_positives: self.lookups.filter_false_positives.load(Relaxed),
+        }
     }
 
     /// Range scan over `[lo, hi)` (`hi = None` scans to the end). The
@@ -324,8 +394,9 @@ impl Db {
         if let Some(hi) = hi {
             if hi <= lo {
                 // Empty (or inverted) interval: nothing to scan.
-                return Ok(RangeIter::new(MergingIter::new(Vec::new(), true)?, None)
-                    .with_value_log(None));
+                return Ok(
+                    RangeIter::new(MergingIter::new(Vec::new(), true)?, None).with_value_log(None)
+                );
             }
         }
         let inner = self.inner.read();
@@ -347,11 +418,12 @@ impl Db {
         self.flush_locked(&mut inner)
     }
 
-    /// Builds the filter context for a run of `run_entries` entries landing
-    /// at `level`. At every call site, `inner.levels` holds exactly the
-    /// runs that will coexist with the new run (merge inputs have already
-    /// been taken out of their levels).
-    fn filter_bits(&self, inner: &Inner, level: usize, run_entries: u64) -> f64 {
+    /// Builds the filter parameters for a run of `run_entries` entries
+    /// landing at `level`: bits-per-entry from the filter policy, layout
+    /// variant from the options. At every call site, `inner.levels` holds
+    /// exactly the runs that will coexist with the new run (merge inputs
+    /// have already been taken out of their levels).
+    fn filter_params(&self, inner: &Inner, level: usize, run_entries: u64) -> FilterParams {
         let other_run_entries: Vec<u64> = inner
             .levels
             .iter()
@@ -368,7 +440,10 @@ impl Db {
             size_ratio: self.opts.size_ratio,
             merge_policy: self.opts.merge_policy,
         };
-        self.opts.filter_policy.bits_per_entry(&ctx)
+        FilterParams::new(
+            self.opts.filter_policy.bits_per_entry(&ctx),
+            self.opts.filter_variant,
+        )
     }
 
     fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
@@ -383,11 +458,13 @@ impl Db {
         let n = entries.len() as u64;
         // Tombstones can be dropped immediately only when the disk is empty.
         let drop_tombstones = inner.deepest() == 0;
-        let bits = self.filter_bits(inner, 1, n);
-        // (memtable already drained: filter_bits saw it as empty, correct —
-        // its entries are exactly the run being built.)
-        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, bits)?;
-        self.compactions.flushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let params = self.filter_params(inner, 1, n);
+        // (memtable already drained: filter_params saw it as empty, correct
+        // — its entries are exactly the run being built.)
+        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, params)?;
+        self.compactions
+            .flushes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(run) = run {
             match self.opts.merge_policy {
                 crate::policy::MergePolicy::Leveling => self.install_leveling(inner, run)?,
@@ -413,18 +490,21 @@ impl Db {
                 inputs.extend(inner.levels[lvl - 1].take_all());
                 let drop_tombstones = lvl >= deepest;
                 let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
-                let bits = self.filter_bits(inner, lvl, input_entries);
-                self.compactions.merges.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let params = self.filter_params(inner, lvl, input_entries);
+                self.compactions
+                    .merges
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 self.compactions
                     .entries_rewritten
                     .fetch_add(input_entries, std::sync::atomic::Ordering::Relaxed);
-                match merge_runs(&self.disk, &inputs, drop_tombstones, bits)? {
+                match merge_runs(&self.disk, &inputs, drop_tombstones, params)? {
                     Some(merged) => carry = merged,
                     None => return Ok(()), // merge annihilated everything
                 }
             }
             inner.levels[lvl - 1].push_youngest(carry);
-            let capacity = level_capacity_bytes(self.opts.buffer_capacity, self.opts.size_ratio, lvl);
+            let capacity =
+                level_capacity_bytes(self.opts.buffer_capacity, self.opts.size_ratio, lvl);
             if inner.levels[lvl - 1].bytes() <= capacity {
                 return Ok(());
             }
@@ -452,12 +532,14 @@ impl Db {
             // holds data: the merged run lands at lvl+1 as its deepest data.
             let drop_tombstones = inner.deepest() <= lvl;
             let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
-            let bits = self.filter_bits(inner, lvl + 1, input_entries);
-            self.compactions.merges.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let params = self.filter_params(inner, lvl + 1, input_entries);
+            self.compactions
+                .merges
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.compactions
                 .entries_rewritten
                 .fetch_add(input_entries, std::sync::atomic::Ordering::Relaxed);
-            let merged = merge_runs(&self.disk, &inputs, drop_tombstones, bits)?;
+            let merged = merge_runs(&self.disk, &inputs, drop_tombstones, params)?;
             inner.ensure_level(lvl + 1);
             if let Some(merged) = merged {
                 inner.levels[lvl].push_youngest(merged);
@@ -467,7 +549,9 @@ impl Db {
     }
 
     fn persist_manifest(&self, inner: &Inner) -> Result<()> {
-        let Some(manifest) = &self.manifest else { return Ok(()) };
+        let Some(manifest) = &self.manifest else {
+            return Ok(());
+        };
         let mut runs = Vec::new();
         for (idx, level) in inner.levels.iter().enumerate() {
             for (age, run) in level.runs().iter().enumerate() {
@@ -476,6 +560,7 @@ impl Db {
                     level: idx + 1,
                     age,
                     bits_per_entry: run.filter_bits_per_entry(),
+                    flavor: run.filter_variant(),
                 });
             }
         }
@@ -528,8 +613,11 @@ impl Db {
             };
             let bits = self.opts.filter_policy.bits_per_entry(&ctx);
             let current = Arc::clone(&inner.levels[li].runs()[ri]);
-            if (bits - current.filter_bits_per_entry()).abs() > 1e-9 {
-                let rebuilt = Arc::new(recover_run(&self.disk, current.id(), bits)?);
+            let allocation_drifted = (bits - current.filter_bits_per_entry()).abs() > 1e-9;
+            let variant_changed = current.filter_variant() != self.opts.filter_variant;
+            if allocation_drifted || variant_changed {
+                let params = FilterParams::new(bits, self.opts.filter_variant);
+                let rebuilt = Arc::new(recover_run(&self.disk, current.id(), params)?);
                 inner.levels[li].replace_run(ri, rebuilt);
             }
         }
@@ -682,6 +770,7 @@ impl Db {
             filter_bits,
             fence_bits,
             expected_zero_result_lookup_ios: fpr_total,
+            lookups: self.lookup_stats(),
         }
     }
 }
@@ -709,7 +798,8 @@ mod tests {
 
     fn fill_range(db: &Db, start: usize, end: usize) {
         for i in start..end {
-            db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20]).unwrap();
+            db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20])
+                .unwrap();
         }
     }
 
@@ -751,7 +841,12 @@ mod tests {
         fill(&db, 2000);
         let stats = db.stats();
         for level in &stats.levels {
-            assert!(level.runs <= 1, "level {} has {} runs", level.level, level.runs);
+            assert!(
+                level.runs <= 1,
+                "level {} has {} runs",
+                level.level,
+                level.runs
+            );
         }
         assert!(stats.depth() >= 2);
     }
@@ -763,7 +858,12 @@ mod tests {
         fill(&db, 2000);
         let stats = db.stats();
         for level in &stats.levels {
-            assert!(level.runs < t, "level {} has {} runs", level.level, level.runs);
+            assert!(
+                level.runs < t,
+                "level {} has {} runs",
+                level.level,
+                level.runs
+            );
         }
         assert!(stats.depth() >= 2);
     }
@@ -792,8 +892,11 @@ mod tests {
             fill(&db, 400);
             db.delete(&b"key000100"[..]).unwrap();
             db.put(&b"key000101"[..], &b"fresh"[..]).unwrap();
-            let got: Vec<(Bytes, Bytes)> =
-                db.range(b"key000099", Some(b"key000103")).unwrap().map(|kv| kv.unwrap()).collect();
+            let got: Vec<(Bytes, Bytes)> = db
+                .range(b"key000099", Some(b"key000103"))
+                .unwrap()
+                .map(|kv| kv.unwrap())
+                .collect();
             let keys: Vec<&[u8]> = got.iter().map(|(k, _)| k.as_ref()).collect();
             assert_eq!(
                 keys,
@@ -835,7 +938,103 @@ mod tests {
         assert!(stats.fence_bits > 0);
         assert!(stats.disk_entries >= 900);
         assert!(stats.expected_zero_result_lookup_ios > 0.0);
-        assert!((stats.bits_per_entry() - 10.0).abs() < 3.0, "uniform 10 bpe, word-rounded");
+        assert!(
+            (stats.bits_per_entry() - 10.0).abs() < 3.0,
+            "uniform 10 bpe, word-rounded"
+        );
+    }
+
+    #[test]
+    fn lookup_hashes_key_exactly_once() {
+        // Tiering at T=4 piles up several runs per level, so a zero-result
+        // lookup visits many filters — yet the key is hashed exactly once.
+        let db = small_db(MergePolicy::Tiering, 4);
+        fill(&db, 800);
+        let runs = db.stats().runs;
+        assert!(
+            runs > 2,
+            "need a multi-run tree to make the point, got {runs}"
+        );
+        let before = db.lookup_stats();
+        let misses = 200u64;
+        for i in 0..misses {
+            // In-range misses ("key000007x" sorts between existing keys), so
+            // the fence-pointer pre-check cannot short-circuit the filter.
+            assert!(db.get(format!("key{i:06}x").as_bytes()).unwrap().is_none());
+        }
+        let after = db.lookup_stats();
+        assert_eq!(
+            after.key_hashes - before.key_hashes,
+            misses,
+            "one hash per lookup, independent of the {runs} runs probed"
+        );
+        assert!(
+            after.filter_probes - before.filter_probes >= misses,
+            "a miss probes at least one filter in a non-empty tree"
+        );
+        // Accounting identity: every probe is either a negative or a pass.
+        let probes = after.filter_probes - before.filter_probes;
+        let negatives = after.filter_negatives - before.filter_negatives;
+        let false_positives = after.filter_false_positives - before.filter_false_positives;
+        assert!(negatives + false_positives <= probes);
+        assert!(
+            negatives > 0,
+            "10-bpe filters reject the vast majority of absent keys"
+        );
+    }
+
+    #[test]
+    fn blocked_variant_db_end_to_end() {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .size_ratio(3)
+                .blocked_filters()
+                .uniform_filters(10.0),
+        )
+        .unwrap();
+        fill(&db, 600);
+        for i in (0..600).step_by(13) {
+            let key = format!("key{i:06}");
+            assert!(
+                db.get(key.as_bytes()).unwrap().is_some(),
+                "blocked filters must have no false negatives ({key})"
+            );
+        }
+        let stats = db.stats();
+        assert!(stats.expected_zero_result_lookup_ios > 0.0);
+        for level in &stats.levels {
+            if level.runs > 0 {
+                assert!(level.fpr_sum > 0.0, "blocked FPR model applied per run");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_filters_switches_variant() {
+        let dir =
+            std::env::temp_dir().join(format!("monkey-db-variant-switch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DbOptions::at_path(&dir)
+            .page_size(256)
+            .buffer_capacity(512)
+            .size_ratio(2)
+            .uniform_filters(10.0);
+        {
+            let db = Db::open(opts.clone()).unwrap();
+            fill(&db, 300);
+            db.flush().unwrap();
+        }
+        // Reopen asking for blocked filters: recovery decodes the persisted
+        // standard filters, then rebuild upgrades them in place.
+        let db = Db::open(opts.blocked_filters()).unwrap();
+        db.rebuild_filters().unwrap();
+        for i in 0..300 {
+            assert!(db.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+        }
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -872,7 +1071,8 @@ mod tests {
     fn deleting_everything_empties_last_level_merges() {
         let db = small_db(MergePolicy::Leveling, 2);
         for i in 0..50 {
-            db.put(format!("k{i:03}").into_bytes(), vec![b'x'; 40]).unwrap();
+            db.put(format!("k{i:03}").into_bytes(), vec![b'x'; 40])
+                .unwrap();
         }
         for i in 0..50 {
             db.delete(format!("k{i:03}").into_bytes()).unwrap();
@@ -904,7 +1104,8 @@ mod tests {
         crossbeam::scope(|scope| {
             scope.spawn(|_| {
                 for i in 200..400 {
-                    db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20]).unwrap();
+                    db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20])
+                        .unwrap();
                 }
             });
             for _ in 0..4 {
@@ -938,7 +1139,11 @@ mod migrate_tests {
         )
         .unwrap();
         for i in 0..800 {
-            src.put(format!("k{i:04}").into_bytes(), format!("v{i}").into_bytes()).unwrap();
+            src.put(
+                format!("k{i:04}").into_bytes(),
+                format!("v{i}").into_bytes(),
+            )
+            .unwrap();
         }
         src.delete(&b"k0013"[..]).unwrap();
 
@@ -970,22 +1175,30 @@ mod migrate_tests {
     #[test]
     fn migrate_empty_store() {
         let src = Db::open(DbOptions::in_memory().page_size(256).buffer_capacity(512)).unwrap();
-        let dst = src.migrate_to(DbOptions::in_memory().page_size(512).buffer_capacity(1024)).unwrap();
+        let dst = src
+            .migrate_to(DbOptions::in_memory().page_size(512).buffer_capacity(1024))
+            .unwrap();
         assert_eq!(dst.range(b"", None).unwrap().count(), 0);
     }
 
     #[test]
     fn migration_compacts_superseded_versions() {
         let src = Db::open(
-            DbOptions::in_memory().page_size(256).buffer_capacity(512).uniform_filters(5.0),
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .uniform_filters(5.0),
         )
         .unwrap();
         // Write each key 5 times: the source tree carries old versions
         // until merges retire them; the migration target starts clean.
         for round in 0..5 {
             for i in 0..200 {
-                src.put(format!("k{i:03}").into_bytes(), format!("r{round}").into_bytes())
-                    .unwrap();
+                src.put(
+                    format!("k{i:03}").into_bytes(),
+                    format!("r{round}").into_bytes(),
+                )
+                .unwrap();
             }
         }
         let dst = src
@@ -1012,7 +1225,8 @@ mod verify_tests {
         )
         .unwrap();
         for i in 0..1500 {
-            db.put(format!("k{i:05}").into_bytes(), vec![b'v'; 24]).unwrap();
+            db.put(format!("k{i:05}").into_bytes(), vec![b'v'; 24])
+                .unwrap();
         }
         db
     }
@@ -1032,7 +1246,10 @@ mod verify_tests {
         let c = db.compaction_stats();
         assert!(c.flushes >= 100, "1500 entries / ~12 per buffer: {c:?}");
         assert!(c.merges > 0);
-        assert!(c.entries_rewritten > 1500, "merges rewrite entries repeatedly");
+        assert!(
+            c.entries_rewritten > 1500,
+            "merges rewrite entries repeatedly"
+        );
         // Measured per-entry write amplification is in Eq. 10's ballpark:
         // tiering T=3 amortizes to (T−1)/T ≈ 0.67 rewrites per level.
         let amp = c.entries_rewritten as f64 / 1500.0;

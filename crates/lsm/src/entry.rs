@@ -63,12 +63,22 @@ pub struct Entry {
 impl Entry {
     /// Creates a live entry.
     pub fn put(key: impl Into<Bytes>, value: impl Into<Bytes>, seq: u64) -> Self {
-        Self { key: key.into(), value: value.into(), seq, kind: EntryKind::Put }
+        Self {
+            key: key.into(),
+            value: value.into(),
+            seq,
+            kind: EntryKind::Put,
+        }
     }
 
     /// Creates a tombstone.
     pub fn tombstone(key: impl Into<Bytes>, seq: u64) -> Self {
-        Self { key: key.into(), value: Bytes::new(), seq, kind: EntryKind::Delete }
+        Self {
+            key: key.into(),
+            value: Bytes::new(),
+            seq,
+            kind: EntryKind::Delete,
+        }
     }
 
     /// True for tombstones.

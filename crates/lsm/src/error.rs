@@ -27,7 +27,10 @@ impl std::fmt::Display for LsmError {
         match self {
             Self::Storage(e) => write!(f, "storage: {e}"),
             Self::EntryTooLarge { encoded, max } => {
-                write!(f, "entry encodes to {encoded} bytes, page fits at most {max}")
+                write!(
+                    f,
+                    "entry encodes to {encoded} bytes, page fits at most {max}"
+                )
             }
             Self::KeyTooLarge(n) => write!(f, "key is {n} bytes, limit is 65535"),
             Self::Corruption(msg) => write!(f, "corruption: {msg}"),
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = LsmError::EntryTooLarge { encoded: 5000, max: 4000 };
+        let e = LsmError::EntryTooLarge {
+            encoded: 5000,
+            max: 4000,
+        };
         assert!(e.to_string().contains("5000"));
         let e: LsmError = StorageError::NotFound { run: 1, page: None }.into();
         assert!(std::error::Error::source(&e).is_some());

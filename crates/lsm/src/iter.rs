@@ -71,7 +71,14 @@ impl MergingIter {
                 None => {}
             }
         }
-        Ok(Self { sources, heap, last_key: None, dedup, failed: false, pending_err: None })
+        Ok(Self {
+            sources,
+            heap,
+            last_key: None,
+            dedup,
+            failed: false,
+            pending_err: None,
+        })
     }
 
     fn advance(&mut self, src: usize) -> Result<()> {
@@ -126,7 +133,12 @@ pub struct RangeIter {
 
 impl RangeIter {
     pub(crate) fn new(inner: MergingIter, hi: Option<Bytes>) -> Self {
-        Self { inner, hi, done: false, vlog: None }
+        Self {
+            inner,
+            hi,
+            done: false,
+            vlog: None,
+        }
     }
 
     /// Attaches the value log used to resolve separated values.
@@ -166,9 +178,7 @@ impl Iterator for RangeIter {
             if entry.kind == crate::entry::EntryKind::IndirectPut {
                 let resolved = crate::vlog::ValuePointer::decode(&entry.value)
                     .ok_or_else(|| {
-                        crate::error::LsmError::Corruption(
-                            "malformed value-log pointer".into(),
-                        )
+                        crate::error::LsmError::Corruption("malformed value-log pointer".into())
                     })
                     .and_then(|ptr| match &self.vlog {
                         Some(vlog) => vlog.get(ptr),

@@ -64,8 +64,9 @@ pub use db::{CompactionStats, Db};
 pub use entry::{Entry, EntryKind};
 pub use error::{LsmError, Result};
 pub use iter::RangeIter;
+pub use monkey_bloom::FilterVariant;
 pub use options::DbOptions;
 pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};
-pub use run::Run;
+pub use run::{FilterParams, Run, RunLookup};
+pub use stats::{DbStats, LevelStats, LookupStats};
 pub use vlog::{ValueLog, ValuePointer};
-pub use stats::{DbStats, LevelStats};

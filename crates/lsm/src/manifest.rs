@@ -14,11 +14,16 @@
 //! seq <next-seq>
 //! policy <leveling|tiering>
 //! ratio <T>
-//! run <id> <level> <age> <filter-bits-per-entry>
+//! run <id> <level> <age> <filter-bits-per-entry> [<filter-flavor>]
 //! ```
+//!
+//! The trailing filter-flavor field (`standard` or `blocked`) was added
+//! with the blocked-filter variant; manifests written before it omit the
+//! field and parse as `standard`, so old stores recover unchanged.
 
 use crate::error::{LsmError, Result};
 use crate::policy::MergePolicy;
+use monkey_bloom::FilterVariant;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -34,6 +39,9 @@ pub struct RunRecord {
     /// Bits-per-entry the run's Bloom filter was built with, so recovery
     /// reproduces the exact allocation (Monkey's varies per level).
     pub bits_per_entry: f64,
+    /// Filter layout the run was built with, so recovery rebuilds the same
+    /// variant (absent in pre-flavor manifests ⇒ standard).
+    pub flavor: FilterVariant,
 }
 
 /// A decoded manifest snapshot.
@@ -82,8 +90,12 @@ impl Manifest {
         }
         for run in &state.runs {
             text.push_str(&format!(
-                "run {} {} {} {}\n",
-                run.id, run.level, run.age, run.bits_per_entry
+                "run {} {} {} {} {}\n",
+                run.id,
+                run.level,
+                run.age,
+                run.bits_per_entry,
+                run.flavor.name()
             ));
         }
         let tmp = self.path.with_extension("tmp");
@@ -120,24 +132,27 @@ fn parse(text: &str) -> Result<ManifestState> {
                 state.next_seq = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
             }
             Some("policy") => {
-                state.policy = Some(
-                    parts
-                        .next()
-                        .and_then(MergePolicy::parse)
-                        .ok_or_else(bad)?,
-                );
+                state.policy = Some(parts.next().and_then(MergePolicy::parse).ok_or_else(bad)?);
             }
             Some("ratio") => {
-                state.size_ratio =
-                    Some(parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?);
+                state.size_ratio = Some(parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?);
             }
             Some("run") => {
                 let id = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
                 let level = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
                 let age = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-                let bits_per_entry =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-                state.runs.push(RunRecord { id, level, age, bits_per_entry });
+                let bits_per_entry = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let flavor = match parts.next() {
+                    None => FilterVariant::Standard, // pre-flavor manifest
+                    Some(s) => FilterVariant::parse(s).ok_or_else(bad)?,
+                };
+                state.runs.push(RunRecord {
+                    id,
+                    level,
+                    age,
+                    bits_per_entry,
+                    flavor,
+                });
             }
             _ => return Err(bad()),
         }
@@ -159,9 +174,27 @@ mod tests {
             policy: Some(MergePolicy::Tiering),
             size_ratio: Some(4),
             runs: vec![
-                RunRecord { id: 7, level: 1, age: 0, bits_per_entry: 12.5 },
-                RunRecord { id: 3, level: 1, age: 1, bits_per_entry: 0.1875 },
-                RunRecord { id: 1, level: 2, age: 0, bits_per_entry: 0.0 },
+                RunRecord {
+                    id: 7,
+                    level: 1,
+                    age: 0,
+                    bits_per_entry: 12.5,
+                    flavor: FilterVariant::Standard,
+                },
+                RunRecord {
+                    id: 3,
+                    level: 1,
+                    age: 1,
+                    bits_per_entry: 0.1875,
+                    flavor: FilterVariant::Blocked,
+                },
+                RunRecord {
+                    id: 1,
+                    level: 2,
+                    age: 0,
+                    bits_per_entry: 0.0,
+                    flavor: FilterVariant::Standard,
+                },
             ],
         }
     }
@@ -202,9 +235,25 @@ mod tests {
     fn rejects_bad_lines() {
         assert!(parse("monkey-manifest v1\nseq notanumber\n").is_err());
         assert!(parse("monkey-manifest v1\nrun 1\n").is_err());
-        assert!(parse("monkey-manifest v1\nrun 1 2 0\n").is_err(), "missing bpe field");
+        assert!(
+            parse("monkey-manifest v1\nrun 1 2 0\n").is_err(),
+            "missing bpe field"
+        );
+        assert!(
+            parse("monkey-manifest v1\nrun 1 2 0 5.0 sideways\n").is_err(),
+            "bad flavor"
+        );
         assert!(parse("monkey-manifest v1\nwhatever 1 2\n").is_err());
         assert!(parse("monkey-manifest v1\npolicy sideways\n").is_err());
+    }
+
+    #[test]
+    fn pre_flavor_manifest_parses_as_standard() {
+        // A manifest written before the filter-flavor field existed.
+        let state = parse("monkey-manifest v1\nseq 9\nrun 4 1 0 7.5\n").unwrap();
+        assert_eq!(state.runs.len(), 1);
+        assert_eq!(state.runs[0].bits_per_entry, 7.5);
+        assert_eq!(state.runs[0].flavor, FilterVariant::Standard);
     }
 
     #[test]

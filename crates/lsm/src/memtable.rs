@@ -33,7 +33,12 @@ impl Memtable {
     /// Inserts or replaces an entry, returning the buffer's new byte size.
     pub fn insert(&mut self, entry: Entry) -> usize {
         let add = entry.encoded_len();
-        let Entry { key, value, seq, kind } = entry;
+        let Entry {
+            key,
+            value,
+            seq,
+            kind,
+        } = entry;
         let key_len = key.len();
         if let Some(old) = self.map.insert(key, Slot { value, seq, kind }) {
             // Replaced in place (§2): swap the old footprint for the new.
@@ -78,7 +83,12 @@ impl Memtable {
         self.bytes = 0;
         std::mem::take(&mut self.map)
             .into_iter()
-            .map(|(key, slot)| Entry { key, value: slot.value, seq: slot.seq, kind: slot.kind })
+            .map(|(key, slot)| Entry {
+                key,
+                value: slot.value,
+                seq: slot.seq,
+                kind: slot.kind,
+            })
             .collect()
     }
 
@@ -105,7 +115,11 @@ mod tests {
     use super::*;
 
     fn put(m: &mut Memtable, k: &str, v: &str, seq: u64) {
-        m.insert(Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq));
+        m.insert(Entry::put(
+            k.as_bytes().to_vec(),
+            v.as_bytes().to_vec(),
+            seq,
+        ));
     }
 
     #[test]

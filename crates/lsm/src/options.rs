@@ -1,6 +1,7 @@
 //! Database configuration: the paper's tuning knobs, as a builder.
 
 use crate::policy::{FilterPolicy, MergePolicy, UniformFilterPolicy};
+use monkey_bloom::FilterVariant;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -33,6 +34,10 @@ pub struct DbOptions {
     pub merge_policy: MergePolicy,
     /// Bloom-filter allocation policy.
     pub filter_policy: Arc<dyn FilterPolicy>,
+    /// Bloom-filter layout: standard flat filters (best accuracy per bit)
+    /// or cache-line-blocked ones (at most one cache miss per probe, with
+    /// the honest — worse — FPR model charged to expected lookup I/O).
+    pub filter_variant: FilterVariant,
     /// fsync the WAL on every append (durable but slow) instead of on
     /// flush boundaries.
     pub wal_sync_each_append: bool,
@@ -76,6 +81,7 @@ impl DbOptions {
             size_ratio: 10,
             merge_policy: MergePolicy::Leveling,
             filter_policy: Arc::new(UniformFilterPolicy::new(10.0)),
+            filter_variant: FilterVariant::Standard,
             wal_sync_each_append: false,
             value_separation: None,
         }
@@ -121,6 +127,17 @@ impl DbOptions {
         self
     }
 
+    /// Sets the Bloom-filter layout variant.
+    pub fn filter_variant(mut self, variant: FilterVariant) -> Self {
+        self.filter_variant = variant;
+        self
+    }
+
+    /// Shorthand for the cache-line-blocked filter layout.
+    pub fn blocked_filters(self) -> Self {
+        self.filter_variant(FilterVariant::Blocked)
+    }
+
     /// Enables fsync-per-append WAL durability.
     pub fn wal_sync_each_append(mut self, on: bool) -> Self {
         self.wal_sync_each_append = on;
@@ -145,6 +162,7 @@ impl std::fmt::Debug for DbOptions {
             .field("size_ratio", &self.size_ratio)
             .field("merge_policy", &self.merge_policy)
             .field("filter_policy", &self.filter_policy.name())
+            .field("filter_variant", &self.filter_variant)
             .field("wal_sync_each_append", &self.wal_sync_each_append)
             .field("value_separation", &self.value_separation)
             .finish()
@@ -163,6 +181,15 @@ mod tests {
         assert_eq!(o.size_ratio, 10);
         assert_eq!(o.merge_policy, MergePolicy::Leveling);
         assert_eq!(o.filter_policy.name(), "uniform");
+        assert_eq!(o.filter_variant, FilterVariant::Standard);
+    }
+
+    #[test]
+    fn blocked_filters_shorthand() {
+        let o = DbOptions::in_memory().blocked_filters();
+        assert_eq!(o.filter_variant, FilterVariant::Blocked);
+        let o = DbOptions::in_memory().filter_variant(FilterVariant::Standard);
+        assert_eq!(o.filter_variant, FilterVariant::Standard);
     }
 
     #[test]

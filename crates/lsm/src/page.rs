@@ -45,7 +45,11 @@ impl PageBuilder {
         let mut buf = Vec::with_capacity(page_size);
         buf.extend_from_slice(&0u16.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes()); // checksum patched in finish()
-        Self { buf, count: 0, page_size }
+        Self {
+            buf,
+            count: 0,
+            page_size,
+        }
     }
 
     /// Whether `entry` fits in the remaining space.
@@ -69,11 +73,16 @@ impl PageBuilder {
         }
         let encoded = entry.encoded_len();
         if encoded > max_entry_len(self.page_size) {
-            return Err(LsmError::EntryTooLarge { encoded, max: max_entry_len(self.page_size) });
+            return Err(LsmError::EntryTooLarge {
+                encoded,
+                max: max_entry_len(self.page_size),
+            });
         }
         debug_assert!(self.fits(entry), "caller must close full pages first");
-        self.buf.extend_from_slice(&(entry.key.len() as u16).to_le_bytes());
-        self.buf.extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(entry.key.len() as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&entry.seq.to_le_bytes());
         self.buf.push(entry.kind.to_byte());
         self.buf.extend_from_slice(&entry.key);
@@ -93,7 +102,10 @@ impl PageBuilder {
     pub fn finish(&mut self) -> Vec<u8> {
         let mut page = std::mem::replace(&mut self.buf, Vec::with_capacity(self.page_size));
         page.resize(self.page_size, 0);
-        let checksum = xxh64(&page[PAGE_HEADER_LEN..], PAGE_SEED ^ page[0] as u64 ^ ((page[1] as u64) << 8));
+        let checksum = xxh64(
+            &page[PAGE_HEADER_LEN..],
+            PAGE_SEED ^ page[0] as u64 ^ ((page[1] as u64) << 8),
+        );
         page[2..10].copy_from_slice(&checksum.to_le_bytes());
         self.buf.extend_from_slice(&0u16.to_le_bytes());
         self.buf.extend_from_slice(&0u64.to_le_bytes());
@@ -109,7 +121,10 @@ pub fn decode_page(page: &Bytes) -> Result<Vec<Entry>> {
     }
     let count = u16::from_le_bytes(page[0..2].try_into().unwrap()) as usize;
     let stored = u64::from_le_bytes(page[2..10].try_into().unwrap());
-    let computed = xxh64(&page[PAGE_HEADER_LEN..], PAGE_SEED ^ page[0] as u64 ^ ((page[1] as u64) << 8));
+    let computed = xxh64(
+        &page[PAGE_HEADER_LEN..],
+        PAGE_SEED ^ page[0] as u64 ^ ((page[1] as u64) << 8),
+    );
     if stored != computed {
         return Err(LsmError::Corruption(format!(
             "page checksum mismatch: stored {stored:#x}, computed {computed:#x}"
@@ -133,7 +148,12 @@ pub fn decode_page(page: &Bytes) -> Result<Vec<Entry>> {
         let key = page.slice(off..off + klen);
         let value = page.slice(off + klen..off + klen + vlen);
         off += klen + vlen;
-        entries.push(Entry { key, value, seq, kind });
+        entries.push(Entry {
+            key,
+            value,
+            seq,
+            kind,
+        });
     }
     Ok(entries)
 }
@@ -158,7 +178,11 @@ mod tests {
     #[test]
     fn build_and_decode_roundtrip() {
         let mut b = PageBuilder::new(256);
-        let entries = vec![entry("alpha", "1", 10), entry("beta", "2", 11), entry("gamma", "", 12)];
+        let entries = vec![
+            entry("alpha", "1", 10),
+            entry("beta", "2", 11),
+            entry("gamma", "", 12),
+        ];
         for e in &entries {
             assert!(b.fits(e));
             b.push(e).unwrap();
@@ -210,7 +234,10 @@ mod tests {
         b.push(&entry("b", "2", 2)).unwrap();
         let second = b.finish();
         assert_ne!(first, second);
-        assert_eq!(decode_page(&Bytes::from(second)).unwrap()[0].key.as_ref(), b"b");
+        assert_eq!(
+            decode_page(&Bytes::from(second)).unwrap()[0].key.as_ref(),
+            b"b"
+        );
     }
 
     #[test]

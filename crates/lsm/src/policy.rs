@@ -118,7 +118,11 @@ mod tests {
             size_ratio: 2,
             merge_policy: MergePolicy::Leveling,
         };
-        let deep = FilterContext { level: 5, run_entries: 800, ..shallow.clone() };
+        let deep = FilterContext {
+            level: 5,
+            run_entries: 800,
+            ..shallow.clone()
+        };
         assert_eq!(p.bits_per_entry(&shallow), 5.0);
         assert_eq!(p.bits_per_entry(&deep), 5.0);
         assert_eq!(p.name(), "uniform");

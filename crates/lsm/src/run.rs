@@ -19,10 +19,67 @@ use crate::entry::Entry;
 use crate::error::{LsmError, Result};
 use crate::page::{decode_page, search_page, PageBuilder};
 use bytes::Bytes;
-use monkey_bloom::BloomFilter;
+use monkey_bloom::{hash_pair, Filter, FilterVariant, HashPair};
 use monkey_storage::{Disk, RunId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// How to build a run's filter: the bits-per-entry budget (the knob Monkey
+/// turns) plus the layout variant. `From<f64>` keeps the common
+/// standard-layout call sites at `finish(10.0)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterParams {
+    /// Bits per entry; `<= 0` builds the degenerate always-positive filter.
+    pub bits_per_entry: f64,
+    /// Filter layout.
+    pub variant: FilterVariant,
+}
+
+impl FilterParams {
+    /// Parameters for `bits_per_entry` bits in the given layout.
+    pub fn new(bits_per_entry: f64, variant: FilterVariant) -> Self {
+        Self {
+            bits_per_entry,
+            variant,
+        }
+    }
+}
+
+impl From<f64> for FilterParams {
+    fn from(bits_per_entry: f64) -> Self {
+        Self {
+            bits_per_entry,
+            variant: FilterVariant::Standard,
+        }
+    }
+}
+
+/// What happened while probing one run during a point lookup. The engine
+/// aggregates these into its per-database lookup counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunLookup {
+    /// The newest version found in this run (may be a tombstone).
+    pub entry: Option<Entry>,
+    /// A non-degenerate filter was actually probed.
+    pub probed_filter: bool,
+    /// The filter reported a definite negative (so no I/O happened).
+    pub filter_negative: bool,
+    /// A page was read.
+    pub page_read: bool,
+}
+
+impl RunLookup {
+    /// A rejection before any filter probe or I/O (key outside the run's
+    /// fence range).
+    fn out_of_range() -> Self {
+        Self {
+            entry: None,
+            probed_filter: false,
+            filter_negative: false,
+            page_read: false,
+        }
+    }
+}
 
 /// Shortest separator `S` with `prev < S <= next` (both non-empty,
 /// `prev < next`): the shortest prefix of `next` that already exceeds
@@ -51,7 +108,7 @@ pub struct Run {
     /// First key of each page; `fences[0]` is the run's min key.
     fences: Vec<Bytes>,
     max_key: Bytes,
-    filter: BloomFilter,
+    filter: Filter,
     /// Total encoded payload bytes (drives level capacity checks).
     bytes: u64,
     /// Bits-per-entry the filter was built with (recorded in the manifest
@@ -98,13 +155,18 @@ impl Run {
     }
 
     /// The run's Bloom filter.
-    pub fn filter(&self) -> &BloomFilter {
+    pub fn filter(&self) -> &Filter {
         &self.filter
     }
 
     /// Bits-per-entry the filter was built with.
     pub fn filter_bits_per_entry(&self) -> f64 {
         self.filter_bpe
+    }
+
+    /// The layout variant of the run's filter.
+    pub fn filter_variant(&self) -> FilterVariant {
+        self.filter.variant()
     }
 
     /// Main-memory footprint of the fence pointers in bits (key bytes plus
@@ -133,19 +195,44 @@ impl Run {
         Some((idx - 1) as u32)
     }
 
-    /// Point lookup: Bloom filter, then fence pointers, then at most one
+    /// Point lookup: fence pointers, then Bloom filter, then at most one
     /// page read. Returns the newest version in this run, which may be a
     /// tombstone.
+    ///
+    /// Hashes the key itself; the engine's lookup path uses
+    /// [`get_hashed`](Self::get_hashed) so one hash serves every run.
     pub fn get(&self, key: &[u8]) -> Result<Option<Entry>> {
-        if !self.filter.contains(key) {
-            return Ok(None); // definite negative, no I/O
-        }
+        Ok(self.get_hashed(key, hash_pair(key))?.entry)
+    }
+
+    /// Point lookup with a pre-computed hash pair, reporting what happened
+    /// for the engine's lookup accounting.
+    ///
+    /// The fence range check runs *before* the filter probe: it is two
+    /// in-memory key comparisons, while a filter probe costs `k` hash-bit
+    /// lookups (each a potential cache miss on large filters), so an
+    /// out-of-range key should never pay for the filter.
+    pub fn get_hashed(&self, key: &[u8], pair: HashPair) -> Result<RunLookup> {
         let Some(page_no) = self.page_for(key) else {
-            return Ok(None); // outside key range, no I/O
+            return Ok(RunLookup::out_of_range()); // outside key range, no I/O
         };
+        let probed_filter = self.filter.nbits() > 0;
+        if probed_filter && !self.filter.contains_hashed(pair) {
+            return Ok(RunLookup {
+                entry: None,
+                probed_filter,
+                filter_negative: true,
+                page_read: false,
+            }); // definite negative, no I/O
+        }
         let page = self.disk.read_page(self.id, page_no)?; // the single I/O
         let entries = decode_page(&page)?;
-        Ok(search_page(&entries, key).cloned())
+        Ok(RunLookup {
+            entry: search_page(&entries, key).cloned(),
+            probed_filter,
+            filter_negative: false,
+            page_read: true,
+        })
     }
 
     /// Iterates the whole run in key order.
@@ -159,7 +246,11 @@ impl Run {
             return RunIter::exhausted(Arc::clone(self));
         }
         let start_page = self.page_for(lo).unwrap_or(0);
-        RunIter::new(Arc::clone(self), start_page, Some(Bytes::copy_from_slice(lo)))
+        RunIter::new(
+            Arc::clone(self),
+            start_page,
+            Some(Bytes::copy_from_slice(lo)),
+        )
     }
 }
 
@@ -189,7 +280,10 @@ pub struct RunBuilder {
     writer: Option<monkey_storage::RunWriter>,
     page: PageBuilder,
     fences: Vec<Bytes>,
-    keys: Vec<Bytes>,
+    /// Hash pair of every key, computed once at push time; sealing inserts
+    /// these into the filter without re-hashing (and without keeping the
+    /// key bytes alive).
+    key_hashes: Vec<HashPair>,
     first_in_page: bool,
     entries: u64,
     tombstones: u64,
@@ -209,7 +303,7 @@ impl RunBuilder {
             disk,
             page,
             fences: Vec::new(),
-            keys: Vec::new(),
+            key_hashes: Vec::new(),
             first_in_page: true,
             entries: 0,
             tombstones: 0,
@@ -247,7 +341,7 @@ impl RunBuilder {
         if entry.is_tombstone() {
             self.tombstones += 1;
         }
-        self.keys.push(entry.key.clone());
+        self.key_hashes.push(hash_pair(&entry.key));
         self.max_key = entry.key.clone();
         self.last_key = Some(entry.key.clone());
         self.page.push(&entry)?;
@@ -256,7 +350,10 @@ impl RunBuilder {
 
     fn flush_page(&mut self) -> Result<()> {
         let buf = self.page.finish();
-        self.writer.as_mut().expect("writer live until finish").append(&buf)?;
+        self.writer
+            .as_mut()
+            .expect("writer live until finish")
+            .append(&buf)?;
         self.first_in_page = true;
         self.prev_page_last = self.last_key.clone();
         Ok(())
@@ -267,10 +364,11 @@ impl RunBuilder {
         self.entries
     }
 
-    /// Seals the run, building its Bloom filter with `bits_per_entry` bits
-    /// per (actual) entry. Returns `None` for an empty builder: empty runs
-    /// do not exist in the tree.
-    pub fn finish(mut self, bits_per_entry: f64) -> Result<Option<Run>> {
+    /// Seals the run, building its filter per `params` — a bare `f64` means
+    /// that many bits per entry in the standard layout. Returns `None` for
+    /// an empty builder: empty runs do not exist in the tree.
+    pub fn finish(mut self, params: impl Into<FilterParams>) -> Result<Option<Run>> {
+        let params = params.into();
         if self.entries == 0 {
             return Ok(None); // RunWriter drop cleans up storage
         }
@@ -280,9 +378,10 @@ impl RunBuilder {
         let writer = self.writer.take().expect("writer live until finish");
         let pages = writer.pages_written();
         let id = writer.seal()?;
-        let mut filter = BloomFilter::with_bits_per_entry(self.entries, bits_per_entry);
-        for key in &self.keys {
-            filter.insert(key);
+        let mut filter =
+            Filter::with_bits_per_entry(params.variant, self.entries, params.bits_per_entry);
+        for pair in &self.key_hashes {
+            filter.insert_hashed(*pair);
         }
         Ok(Some(Run {
             disk: self.disk.clone(),
@@ -294,7 +393,7 @@ impl RunBuilder {
             max_key: self.max_key,
             filter,
             bytes: self.bytes,
-            filter_bpe: bits_per_entry,
+            filter_bpe: params.bits_per_entry,
             obsolete: AtomicBool::new(false),
         }))
     }
@@ -340,7 +439,9 @@ impl RunIter {
                 return Ok(false);
             }
             let page = if self.started {
-                self.run.disk.read_page_sequential(self.run.id(), self.next_page)?
+                self.run
+                    .disk
+                    .read_page_sequential(self.run.id(), self.next_page)?
             } else {
                 self.started = true;
                 self.run.disk.read_page(self.run.id(), self.next_page)?
@@ -374,13 +475,14 @@ impl Iterator for RunIter {
 /// Rebuilds a [`Run`]'s in-memory metadata (fences, filter, counts) by
 /// scanning its pages — used by recovery, where only the id and level of
 /// each run survive in the manifest.
-pub fn recover_run(disk: &Arc<Disk>, id: RunId, bits_per_entry: f64) -> Result<Run> {
+pub fn recover_run(disk: &Arc<Disk>, id: RunId, params: impl Into<FilterParams>) -> Result<Run> {
+    let params = params.into();
     let pages = disk.run_pages(id)?;
     if pages == 0 {
         return Err(LsmError::Corruption(format!("run {id} has no pages")));
     }
     let mut fences = Vec::with_capacity(pages as usize);
-    let mut keys: Vec<Bytes> = Vec::new();
+    let mut key_hashes: Vec<HashPair> = Vec::new();
     let mut entries = 0u64;
     let mut tombstones = 0u64;
     let mut bytes = 0u64;
@@ -393,7 +495,9 @@ pub fn recover_run(disk: &Arc<Disk>, id: RunId, bits_per_entry: f64) -> Result<R
         };
         let decoded = decode_page(&page)?;
         if decoded.is_empty() {
-            return Err(LsmError::Corruption(format!("run {id} page {page_no} is empty")));
+            return Err(LsmError::Corruption(format!(
+                "run {id} page {page_no} is empty"
+            )));
         }
         fences.push(decoded[0].key.clone());
         for e in &decoded {
@@ -402,13 +506,13 @@ pub fn recover_run(disk: &Arc<Disk>, id: RunId, bits_per_entry: f64) -> Result<R
                 tombstones += 1;
             }
             bytes += e.encoded_len() as u64;
-            keys.push(e.key.clone());
+            key_hashes.push(hash_pair(&e.key));
             max_key = e.key.clone();
         }
     }
-    let mut filter = BloomFilter::with_bits_per_entry(entries, bits_per_entry);
-    for k in &keys {
-        filter.insert(k);
+    let mut filter = Filter::with_bits_per_entry(params.variant, entries, params.bits_per_entry);
+    for pair in &key_hashes {
+        filter.insert_hashed(*pair);
     }
     Ok(Run {
         disk: Arc::clone(disk),
@@ -420,7 +524,7 @@ pub fn recover_run(disk: &Arc<Disk>, id: RunId, bits_per_entry: f64) -> Result<R
         max_key,
         filter,
         bytes,
-        filter_bpe: bits_per_entry,
+        filter_bpe: params.bits_per_entry,
         obsolete: AtomicBool::new(false),
     })
 }
@@ -432,8 +536,12 @@ mod tests {
     fn build(disk: &Arc<Disk>, keys: &[&str], bpe: f64) -> Arc<Run> {
         let mut b = RunBuilder::new(Arc::clone(disk));
         for (i, k) in keys.iter().enumerate() {
-            b.push(Entry::put(k.as_bytes().to_vec(), format!("v{i}").into_bytes(), i as u64))
-                .unwrap();
+            b.push(Entry::put(
+                k.as_bytes().to_vec(),
+                format!("v{i}").into_bytes(),
+                i as u64,
+            ))
+            .unwrap();
         }
         Arc::new(b.finish(bpe).unwrap().unwrap())
     }
@@ -441,7 +549,11 @@ mod tests {
     #[test]
     fn point_lookup_costs_one_io() {
         let disk = Disk::mem(64);
-        let run = build(&disk, &["apple", "banana", "cherry", "date", "elderberry", "fig"], 10.0);
+        let run = build(
+            &disk,
+            &["apple", "banana", "cherry", "date", "elderberry", "fig"],
+            10.0,
+        );
         assert!(run.pages() > 1, "spread over multiple pages");
         disk.reset_io();
         let e = run.get(b"date").unwrap().unwrap();
@@ -459,7 +571,10 @@ mod tests {
             run.get(key.as_bytes()).unwrap();
         }
         let ios = disk.io().page_reads;
-        assert!(ios <= 5, "filter should absorb nearly all of 100 probes, cost {ios}");
+        assert!(
+            ios <= 5,
+            "filter should absorb nearly all of 100 probes, cost {ios}"
+        );
     }
 
     #[test]
@@ -469,7 +584,11 @@ mod tests {
         disk.reset_io();
         assert!(run.get(b"a").unwrap().is_none());
         assert!(run.get(b"z").unwrap().is_none());
-        assert_eq!(disk.io().page_reads, 0, "fences bound the key range for free");
+        assert_eq!(
+            disk.io().page_reads,
+            0,
+            "fences bound the key range for free"
+        );
         // In-range missing key costs one I/O (false positive of the
         // degenerate filter).
         assert!(run.get(b"mm").unwrap().is_none());
@@ -559,7 +678,10 @@ mod tests {
         let n = cursor.count();
         assert_eq!(n, 3);
         // (cursor dropped here)
-        assert!(disk.run_pages(id).is_err(), "storage reclaimed after last reference");
+        assert!(
+            disk.run_pages(id).is_err(),
+            "storage reclaimed after last reference"
+        );
     }
 
     #[test]
@@ -568,7 +690,10 @@ mod tests {
         let run = build(&disk, &["a"], 10.0);
         let id = run.id();
         drop(run);
-        assert!(disk.run_pages(id).is_ok(), "runs persist across engine restarts");
+        assert!(
+            disk.run_pages(id).is_ok(),
+            "runs persist across engine restarts"
+        );
     }
 
     #[test]
@@ -594,7 +719,9 @@ mod tests {
         // separators truncate the tail, so fences are far smaller than the
         // keys — and boundary lookups still work.
         let disk = Disk::mem(96);
-        let keys: Vec<String> = (0..40).map(|i| format!("{i:04}{}", "x".repeat(28))).collect();
+        let keys: Vec<String> = (0..40)
+            .map(|i| format!("{i:04}{}", "x".repeat(28)))
+            .collect();
         let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
         let run = build(&disk, &refs, 10.0);
         assert!(run.pages() >= 10);
@@ -637,6 +764,121 @@ mod tests {
             assert!(s.as_ref() <= next.as_bytes(), "{s:?} !<= {next}");
             assert!(s.len() <= next.len());
         }
+    }
+
+    #[test]
+    fn out_of_range_key_never_probes_the_filter() {
+        // Fence check runs before the filter: an out-of-range key must be
+        // rejected by two key comparisons, not k hash-bit lookups.
+        let disk = Disk::mem(256);
+        let run = build(&disk, &["m", "n", "o"], 16.0);
+        for key in [b"a".as_slice(), b"zzz"] {
+            let look = run.get_hashed(key, hash_pair(key)).unwrap();
+            assert_eq!(look, RunLookup::out_of_range());
+        }
+        // An in-range miss does probe (and the filter absorbs it).
+        let look = run.get_hashed(b"mm", hash_pair(b"mm")).unwrap();
+        assert!(look.probed_filter);
+    }
+
+    #[test]
+    fn get_and_get_hashed_agree() {
+        let disk = Disk::mem(64);
+        let keys: Vec<String> = (0..40).map(|i| format!("key{i:03}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let run = build(&disk, &refs, 8.0);
+        for probe in ["key000", "key020", "key039", "missing", "aaa", "zzz"] {
+            let plain = run.get(probe.as_bytes()).unwrap();
+            let hashed = run
+                .get_hashed(probe.as_bytes(), hash_pair(probe.as_bytes()))
+                .unwrap();
+            assert_eq!(plain, hashed.entry, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn get_hashed_accounting_is_consistent() {
+        let disk = Disk::mem(64);
+        let run = build(&disk, &["b", "d", "f"], 16.0);
+        // A present key: probed, not negative, page read, entry found.
+        let look = run.get_hashed(b"d", hash_pair(b"d")).unwrap();
+        assert!(look.probed_filter && !look.filter_negative && look.page_read);
+        assert!(look.entry.is_some());
+        // A filter negative: probed, negative, no page read.
+        let mut saw_negative = false;
+        for i in 0..50 {
+            let key = format!("c-missing-{i}");
+            let look = run
+                .get_hashed(key.as_bytes(), hash_pair(key.as_bytes()))
+                .unwrap();
+            assert!(look.probed_filter);
+            assert!(look.entry.is_none());
+            if look.filter_negative {
+                assert!(!look.page_read);
+                saw_negative = true;
+            } else {
+                assert!(look.page_read, "a filter positive must read the page");
+            }
+        }
+        assert!(saw_negative, "16 bpe absorbs most of 50 misses");
+    }
+
+    #[test]
+    fn blocked_variant_run_lookups_work() {
+        let disk = Disk::mem(64);
+        let mut b = RunBuilder::new(Arc::clone(&disk));
+        let keys: Vec<String> = (0..40).map(|i| format!("key{i:03}")).collect();
+        for (i, k) in keys.iter().enumerate() {
+            b.push(Entry::put(
+                k.as_bytes().to_vec(),
+                format!("v{i}").into_bytes(),
+                i as u64,
+            ))
+            .unwrap();
+        }
+        let run = Arc::new(
+            b.finish(FilterParams::new(10.0, FilterVariant::Blocked))
+                .unwrap()
+                .unwrap(),
+        );
+        assert_eq!(run.filter_variant(), FilterVariant::Blocked);
+        disk.reset_io();
+        for (i, k) in keys.iter().enumerate() {
+            let e = run.get(k.as_bytes()).unwrap().unwrap();
+            assert_eq!(e.value.as_ref(), format!("v{i}").as_bytes());
+        }
+        assert_eq!(disk.io().page_reads, 40, "no false negatives, one I/O each");
+        disk.reset_io();
+        for i in 0..100 {
+            let key = format!("miss-{i}");
+            assert!(run.get(key.as_bytes()).unwrap().is_none());
+        }
+        assert!(
+            disk.io().page_reads <= 10,
+            "blocked filter absorbs most misses"
+        );
+    }
+
+    #[test]
+    fn recover_run_preserves_filter_variant() {
+        let disk = Disk::mem(64);
+        let mut b = RunBuilder::new(Arc::clone(&disk));
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            b.push(Entry::put(k.as_bytes().to_vec(), b"v".to_vec(), i as u64))
+                .unwrap();
+        }
+        let original = b
+            .finish(FilterParams::new(8.0, FilterVariant::Blocked))
+            .unwrap()
+            .unwrap();
+        let recovered = recover_run(
+            &disk,
+            original.id(),
+            FilterParams::new(8.0, FilterVariant::Blocked),
+        )
+        .unwrap();
+        assert_eq!(recovered.filter_variant(), FilterVariant::Blocked);
+        assert!(recovered.get(b"b").unwrap().is_some());
     }
 
     #[test]

@@ -48,6 +48,28 @@ pub struct DbStats {
     /// Expected I/Os for a zero-result point lookup: the sum of all runs'
     /// theoretical false positive rates (Eq. 3).
     pub expected_zero_result_lookup_ios: f64,
+    /// Observed point-lookup path counters since the database was opened.
+    pub lookups: LookupStats,
+}
+
+/// Observed counters of the point-lookup fast path. Where
+/// [`DbStats::expected_zero_result_lookup_ios`] is the *model's* prediction
+/// of `R`, these are the *measured* quantities: `filter_false_positives /
+/// key_hashes` is the empirical zero-result I/O rate when the workload is
+/// all zero-result lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupStats {
+    /// Lookups that reached the disk levels; each hashes its key exactly
+    /// once, however many runs it then visits.
+    pub key_hashes: u64,
+    /// Bloom-filter probes across all runs visited (degenerate zero-bit
+    /// filters are not probed).
+    pub filter_probes: u64,
+    /// Probes the filter answered "definitely absent" — I/O saved.
+    pub filter_negatives: u64,
+    /// Probes where the filter said "maybe" but the page read found
+    /// nothing — one wasted I/O each; the measured counterpart of `R`.
+    pub filter_false_positives: u64,
 }
 
 impl DbStats {
@@ -105,7 +127,11 @@ mod tests {
 
     #[test]
     fn bits_per_entry() {
-        let s = DbStats { disk_entries: 100, filter_bits: 550, ..Default::default() };
+        let s = DbStats {
+            disk_entries: 100,
+            filter_bits: 550,
+            ..Default::default()
+        };
         assert!((s.bits_per_entry() - 5.5).abs() < 1e-12);
         assert_eq!(DbStats::default().bits_per_entry(), 0.0);
     }

@@ -100,7 +100,10 @@ impl ValueLog {
             disk,
             state: Mutex::new(VlogState {
                 writer: None,
-                open: OpenPage { buf: empty_page_buf(), slots: 0 },
+                open: OpenPage {
+                    buf: empty_page_buf(),
+                    slots: 0,
+                },
                 pages_flushed: 0,
             }),
             run_pages_limit,
@@ -132,7 +135,10 @@ impl ValueLog {
             self.flush_open_page(&mut state)?;
         }
         let slot = state.open.slots;
-        state.open.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        state
+            .open
+            .buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         state.open.buf.extend_from_slice(value);
         state.open.slots += 1;
         let count = state.open.slots;
@@ -147,7 +153,11 @@ impl ValueLog {
                 id
             }
         };
-        Ok(ValuePointer { run: writer, page: state.pages_flushed, slot })
+        Ok(ValuePointer {
+            run: writer,
+            page: state.pages_flushed,
+            slot,
+        })
     }
 
     fn flush_open_page(&self, state: &mut VlogState) -> Result<()> {
@@ -234,13 +244,17 @@ fn read_slot(buf: &[u8], count: u16, slot: u16) -> Result<Bytes> {
 
 fn decode_slot(page: &Bytes, slot: u16) -> Result<Bytes> {
     if page.len() < PAGE_HEADER {
-        return Err(LsmError::Corruption("value-log page shorter than header".into()));
+        return Err(LsmError::Corruption(
+            "value-log page shorter than header".into(),
+        ));
     }
     let count = u16::from_le_bytes(page[0..2].try_into().unwrap());
     let stored = u64::from_le_bytes(page[2..10].try_into().unwrap());
     let computed = xxh64(&page[PAGE_HEADER..], VLOG_SEED ^ page[0] as u64);
     if stored != computed {
-        return Err(LsmError::Corruption("value-log page checksum mismatch".into()));
+        return Err(LsmError::Corruption(
+            "value-log page checksum mismatch".into(),
+        ));
     }
     if slot >= count {
         return Err(LsmError::Corruption(format!(
@@ -250,13 +264,17 @@ fn decode_slot(page: &Bytes, slot: u16) -> Result<Bytes> {
     let mut off = PAGE_HEADER;
     for _ in 0..slot {
         if off + 4 > page.len() {
-            return Err(LsmError::Corruption("value-log slot walk overran page".into()));
+            return Err(LsmError::Corruption(
+                "value-log slot walk overran page".into(),
+            ));
         }
         let len = u32::from_le_bytes(page[off..off + 4].try_into().unwrap()) as usize;
         off += 4 + len;
     }
     if off + 4 > page.len() {
-        return Err(LsmError::Corruption("value-log slot header overran page".into()));
+        return Err(LsmError::Corruption(
+            "value-log slot header overran page".into(),
+        ));
     }
     let len = u32::from_le_bytes(page[off..off + 4].try_into().unwrap()) as usize;
     if off + 4 + len > page.len() {
@@ -275,7 +293,11 @@ mod tests {
 
     #[test]
     fn pointer_roundtrip() {
-        let p = ValuePointer { run: 77, page: 3, slot: 9 };
+        let p = ValuePointer {
+            run: 77,
+            page: 3,
+            slot: 9,
+        };
         assert_eq!(ValuePointer::decode(&p.encode()), Some(p));
         assert_eq!(ValuePointer::decode(&[0u8; 3]), None);
     }
@@ -284,8 +306,7 @@ mod tests {
     fn append_get_roundtrip_across_pages() {
         let log = vlog();
         let values: Vec<Vec<u8>> = (0..40).map(|i| vec![i as u8; 50]).collect();
-        let ptrs: Vec<ValuePointer> =
-            values.iter().map(|v| log.append(v).unwrap()).collect();
+        let ptrs: Vec<ValuePointer> = values.iter().map(|v| log.append(v).unwrap()).collect();
         // Values span multiple pages and runs (256B pages, 4-page runs).
         assert!(ptrs.iter().any(|p| p.page > 0));
         assert!(ptrs.iter().any(|p| p.run != ptrs[0].run), "run rotation");
@@ -357,6 +378,10 @@ mod tests {
         log.sync().unwrap();
         disk.reset_io();
         log.get(ptr).unwrap();
-        assert_eq!(disk.io().page_reads, 1, "exactly the one extra I/O the model charges");
+        assert_eq!(
+            disk.io().page_reads,
+            1,
+            "exactly the one extra I/O the model charges"
+        );
     }
 }

@@ -39,7 +39,10 @@ pub struct Wal {
 impl Wal {
     /// A no-op WAL for volatile databases.
     pub fn disabled() -> Self {
-        Self { inner: None, sync_each_append: false }
+        Self {
+            inner: None,
+            sync_each_append: false,
+        }
     }
 
     /// Opens (or creates) the log at `path` and replays any complete
@@ -64,7 +67,9 @@ impl Wal {
 
     /// Appends one entry.
     pub fn append(&self, entry: &Entry) -> Result<()> {
-        let Some(inner) = &self.inner else { return Ok(()) };
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
         if entry.key.len() > u16::MAX as usize {
             return Err(LsmError::KeyTooLarge(entry.key.len()));
         }
@@ -134,10 +139,17 @@ fn replay(buf: &[u8]) -> Vec<Entry> {
         if xxh64(&buf[body_start..body_end], WAL_SEED) != checksum {
             break; // corrupt record: stop trusting the tail
         }
-        let Some(kind) = EntryKind::from_byte(kind) else { break };
+        let Some(kind) = EntryKind::from_byte(kind) else {
+            break;
+        };
         let key = Bytes::copy_from_slice(&buf[body_start + 15..body_start + 15 + klen]);
         let value = Bytes::copy_from_slice(&buf[body_start + 15 + klen..body_end]);
-        entries.push(Entry { key, value, seq, kind });
+        entries.push(Entry {
+            key,
+            value,
+            seq,
+            kind,
+        });
         off = body_end;
     }
     entries
@@ -154,7 +166,8 @@ mod tests {
     #[test]
     fn disabled_wal_is_a_noop() {
         let wal = Wal::disabled();
-        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1)).unwrap();
+        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1))
+            .unwrap();
         wal.sync().unwrap();
         wal.reset().unwrap();
     }
@@ -166,7 +179,8 @@ mod tests {
         {
             let (wal, replayed) = Wal::open(&path, false).unwrap();
             assert!(replayed.is_empty());
-            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1)).unwrap();
+            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1))
+                .unwrap();
             wal.append(&Entry::tombstone(b"b".to_vec(), 2)).unwrap();
             wal.sync().unwrap();
         }
@@ -185,9 +199,11 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let (wal, _) = Wal::open(&path, false).unwrap();
-            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1)).unwrap();
+            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1))
+                .unwrap();
             wal.reset().unwrap();
-            wal.append(&Entry::put(b"b".to_vec(), b"2".to_vec(), 2)).unwrap();
+            wal.append(&Entry::put(b"b".to_vec(), b"2".to_vec(), 2))
+                .unwrap();
             wal.sync().unwrap();
         }
         let (_wal, replayed) = Wal::open(&path, false).unwrap();
@@ -202,8 +218,10 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let (wal, _) = Wal::open(&path, false).unwrap();
-            wal.append(&Entry::put(b"good".to_vec(), b"1".to_vec(), 1)).unwrap();
-            wal.append(&Entry::put(b"lost".to_vec(), b"2".to_vec(), 2)).unwrap();
+            wal.append(&Entry::put(b"good".to_vec(), b"1".to_vec(), 1))
+                .unwrap();
+            wal.append(&Entry::put(b"lost".to_vec(), b"2".to_vec(), 2))
+                .unwrap();
             wal.sync().unwrap();
         }
         // Tear the last record.
@@ -221,9 +239,12 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let (wal, _) = Wal::open(&path, false).unwrap();
-            wal.append(&Entry::put(b"first".to_vec(), b"1".to_vec(), 1)).unwrap();
-            wal.append(&Entry::put(b"second".to_vec(), b"2".to_vec(), 2)).unwrap();
-            wal.append(&Entry::put(b"third".to_vec(), b"3".to_vec(), 3)).unwrap();
+            wal.append(&Entry::put(b"first".to_vec(), b"1".to_vec(), 1))
+                .unwrap();
+            wal.append(&Entry::put(b"second".to_vec(), b"2".to_vec(), 2))
+                .unwrap();
+            wal.append(&Entry::put(b"third".to_vec(), b"3".to_vec(), 3))
+                .unwrap();
             wal.sync().unwrap();
         }
         // Flip a byte in the middle record's body.
@@ -248,7 +269,8 @@ mod tests {
         let path = tmp("sync");
         let _ = std::fs::remove_file(&path);
         let (wal, _) = Wal::open(&path, true).unwrap();
-        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1)).unwrap();
+        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1))
+            .unwrap();
         drop(wal);
         let (_w, replayed) = Wal::open(&path, true).unwrap();
         assert_eq!(replayed.len(), 1);

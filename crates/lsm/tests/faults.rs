@@ -26,7 +26,8 @@ fn write_fault_surfaces_and_recovers() {
     let (db, backend) = flaky_db(FaultKind::Writes);
     // Fill the tree a little.
     for i in 0..200 {
-        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32]).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32])
+            .unwrap();
     }
     // Arm: the very next page write fails — the flush that a future put
     // triggers must return an error.
@@ -52,7 +53,8 @@ fn write_fault_surfaces_and_recovers() {
     }
     // And the engine keeps working once the fault clears.
     for i in 400..500 {
-        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32]).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32])
+            .unwrap();
     }
     assert!(db.get(b"k0450").unwrap().is_some());
 }
@@ -61,7 +63,8 @@ fn write_fault_surfaces_and_recovers() {
 fn read_fault_surfaces_on_lookup_and_scan() {
     let (db, backend) = flaky_db(FaultKind::Reads);
     for i in 0..300 {
-        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32]).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32])
+            .unwrap();
     }
     db.flush().unwrap();
     backend.arm(0);
@@ -95,7 +98,8 @@ fn read_fault_surfaces_on_lookup_and_scan() {
 fn failed_merge_does_not_leak_runs() {
     let (db, backend) = flaky_db(FaultKind::Writes);
     for i in 0..300 {
-        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32]).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32])
+            .unwrap();
     }
     let runs_before = db.stats().runs;
     let live_before = db.disk().list_runs().len();
@@ -103,7 +107,10 @@ fn failed_merge_does_not_leak_runs() {
     backend.arm(0);
     let mut failures = 0;
     for i in 300..600 {
-        if db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32]).is_err() {
+        if db
+            .put(format!("k{i:04}").into_bytes(), vec![b'v'; 32])
+            .is_err()
+        {
             failures += 1;
         }
     }
@@ -138,12 +145,16 @@ fn cache_masks_read_faults_for_hot_pages() {
         .uniform_filters(8.0);
     let db = Db::open_with_disk(opts, disk).unwrap();
     for i in 0..100 {
-        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32]).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 32])
+            .unwrap();
     }
     db.flush().unwrap();
     // Warm the cache.
     assert!(db.get(b"k0050").unwrap().is_some());
     backend.arm(0);
     // The same lookup is now served from the cache despite the dead disk.
-    assert!(db.get(b"k0050").unwrap().is_some(), "cache hit needs no I/O");
+    assert!(
+        db.get(b"k0050").unwrap().is_some(),
+        "cache hit needs no I/O"
+    );
 }

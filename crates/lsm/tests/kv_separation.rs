@@ -11,7 +11,11 @@ fn open(separate: bool) -> Arc<Db> {
         .size_ratio(2)
         .merge_policy(MergePolicy::Leveling)
         .uniform_filters(8.0);
-    let opts = if separate { opts.value_separation(64) } else { opts };
+    let opts = if separate {
+        opts.value_separation(64)
+    } else {
+        opts
+    };
     Db::open(opts).unwrap()
 }
 
@@ -25,12 +29,16 @@ fn big_value(i: u32) -> Vec<u8> {
 fn separated_values_roundtrip() {
     let db = open(true);
     for i in 0..500u32 {
-        db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), big_value(i))
+            .unwrap();
     }
     db.put(&b"small"[..], &b"inline"[..]).unwrap(); // below threshold
     db.flush().unwrap();
     for i in (0..500).step_by(7) {
-        assert_eq!(db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(), big_value(i));
+        assert_eq!(
+            db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(),
+            big_value(i)
+        );
     }
     assert_eq!(db.get(b"small").unwrap().unwrap().as_ref(), b"inline");
 }
@@ -39,7 +47,8 @@ fn separated_values_roundtrip() {
 fn scans_resolve_pointers() {
     let db = open(true);
     for i in 0..300u32 {
-        db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), big_value(i))
+            .unwrap();
     }
     let rows: Vec<(Vec<u8>, Vec<u8>)> = db
         .range(b"k0100", Some(b"k0105"))
@@ -64,7 +73,8 @@ fn separation_slashes_merge_write_volume() {
     for separate in [false, true] {
         let db = open(separate);
         for i in 0..1500u32 {
-            db.put(format!("k{i:05}").into_bytes(), big_value(i)).unwrap();
+            db.put(format!("k{i:05}").into_bytes(), big_value(i))
+                .unwrap();
         }
         writes.push(db.io().page_writes);
     }
@@ -79,7 +89,8 @@ fn separation_slashes_merge_write_volume() {
 fn lookups_pay_one_extra_io() {
     let db = open(true);
     for i in 0..800u32 {
-        db.put(format!("k{i:05}").into_bytes(), big_value(i)).unwrap();
+        db.put(format!("k{i:05}").into_bytes(), big_value(i))
+            .unwrap();
     }
     db.flush().unwrap();
     db.reset_io();
@@ -91,7 +102,10 @@ fn lookups_pay_one_extra_io() {
     let reads = db.io().page_reads;
     // Each found lookup: ~1 tree read + 1 log read (plus rare false
     // positives above the found level).
-    assert!(reads >= 2 * lookups, "expected ≥2 I/Os per lookup, got {reads}");
+    assert!(
+        reads >= 2 * lookups,
+        "expected ≥2 I/Os per lookup, got {reads}"
+    );
     assert!(reads < 3 * lookups, "but not much more: {reads}");
 }
 
@@ -126,7 +140,8 @@ fn recovery_preserves_separated_values() {
     {
         let db = Db::open(opts()).unwrap();
         for i in 0..400u32 {
-            db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+            db.put(format!("k{i:04}").into_bytes(), big_value(i))
+                .unwrap();
         }
         // crash without shutdown
     }
@@ -190,7 +205,8 @@ fn migrate_acts_as_value_log_gc() {
 fn verify_passes_with_separation() {
     let db = open(true);
     for i in 0..600u32 {
-        db.put(format!("k{i:04}").into_bytes(), big_value(i)).unwrap();
+        db.put(format!("k{i:04}").into_bytes(), big_value(i))
+            .unwrap();
     }
     db.flush().unwrap();
     let n = db.verify().unwrap();

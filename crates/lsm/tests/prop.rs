@@ -38,7 +38,12 @@ fn value(k: u16, v: u8) -> Vec<u8> {
     val
 }
 
-fn check_model(policy: MergePolicy, t: usize, bpe: f64, actions: &[Action]) -> Result<(), TestCaseError> {
+fn check_model(
+    policy: MergePolicy,
+    t: usize,
+    bpe: f64,
+    actions: &[Action],
+) -> Result<(), TestCaseError> {
     check_model_opts(policy, t, bpe, false, actions)
 }
 
@@ -55,7 +60,11 @@ fn check_model_opts(
         .size_ratio(t)
         .merge_policy(policy)
         .uniform_filters(bpe);
-    let opts = if separate_values { opts.value_separation(24) } else { opts };
+    let opts = if separate_values {
+        opts.value_separation(24)
+    } else {
+        opts
+    };
     let db = Db::open(opts).unwrap();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
@@ -75,8 +84,11 @@ fn check_model_opts(
             }
             Action::Scan(a, b) => {
                 let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
-                let got: Vec<(Bytes, Bytes)> =
-                    db.range(&key(lo), Some(&key(hi))).unwrap().map(|kv| kv.unwrap()).collect();
+                let got: Vec<(Bytes, Bytes)> = db
+                    .range(&key(lo), Some(&key(hi)))
+                    .unwrap()
+                    .map(|kv| kv.unwrap())
+                    .collect();
                 let want: Vec<(Vec<u8>, Vec<u8>)> = model
                     .range(key(lo)..key(hi))
                     .map(|(k, v)| (k.clone(), v.clone()))
@@ -92,7 +104,11 @@ fn check_model_opts(
     }
 
     // Terminal full scan matches the model exactly.
-    let got: Vec<Vec<u8>> = db.range(b"", None).unwrap().map(|kv| kv.unwrap().0.to_vec()).collect();
+    let got: Vec<Vec<u8>> = db
+        .range(b"", None)
+        .unwrap()
+        .map(|kv| kv.unwrap().0.to_vec())
+        .collect();
     let want: Vec<Vec<u8>> = model.keys().cloned().collect();
     prop_assert_eq!(got, want, "terminal full scan");
     Ok(())

@@ -69,8 +69,8 @@ pub fn autotune_filters(m_filters: f64, runs: &mut [RunSpec]) -> f64 {
                 if runs[j].bits < delta {
                     continue;
                 }
-                let before = eval(runs[i].bits, runs[i].entries)
-                    + eval(runs[j].bits, runs[j].entries);
+                let before =
+                    eval(runs[i].bits, runs[i].entries) + eval(runs[j].bits, runs[j].entries);
                 let after = eval(runs[i].bits + delta, runs[i].entries)
                     + eval(runs[j].bits - delta, runs[j].entries);
                 if after + 1e-15 < before {
@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn conserves_total_budget() {
-        let mut runs = vec![RunSpec::new(100.0), RunSpec::new(1000.0), RunSpec::new(10000.0)];
+        let mut runs = vec![
+            RunSpec::new(100.0),
+            RunSpec::new(1000.0),
+            RunSpec::new(10000.0),
+        ];
         let m = 50_000.0;
         autotune_filters(m, &mut runs);
         let used: f64 = runs.iter().map(|r| r.bits).sum();
@@ -124,8 +128,9 @@ mod tests {
         let fprs = optimal_fprs(l, 4.0, Policy::Leveling, target_r);
         let m = filter_memory_for_fprs(&p, &fprs);
 
-        let mut runs: Vec<RunSpec> =
-            (1..=l).map(|i| RunSpec::new(p.entries_at_level(i))).collect();
+        let mut runs: Vec<RunSpec> = (1..=l)
+            .map(|i| RunSpec::new(p.entries_at_level(i)))
+            .collect();
         let r = autotune_filters(m, &mut runs);
         assert!(
             (r - target_r).abs() / target_r < 0.02,

@@ -129,7 +129,10 @@ pub fn update_cost(params: &Params, phi: f64) -> f64 {
 /// (`(E − ptr)/page` sequential writes, `φ`-weighted).
 pub fn kv_separated_update_cost(params: &Params, phi: f64, key_pointer_bits: f64) -> f64 {
     assert!(key_pointer_bits > 0.0 && key_pointer_bits < params.entry_bits);
-    let key_tree = Params { entry_bits: key_pointer_bits, ..*params };
+    let key_tree = Params {
+        entry_bits: key_pointer_bits,
+        ..*params
+    };
     let merge = update_cost(&key_tree, phi);
     let value_bits = params.entry_bits - key_pointer_bits;
     let log_append = value_bits / params.page_bits * phi;
@@ -140,7 +143,10 @@ pub fn kv_separated_update_cost(params: &Params, phi: f64, key_pointer_bits: f64
 /// during lookups", §6): the key-tree's non-zero-result cost plus one
 /// value-log page read.
 pub fn kv_separated_lookup_cost(params: &Params, m_filters: f64, key_pointer_bits: f64) -> f64 {
-    let key_tree = Params { entry_bits: key_pointer_bits, ..*params };
+    let key_tree = Params {
+        entry_bits: key_pointer_bits,
+        ..*params
+    };
     non_zero_result_lookup_cost(&key_tree, m_filters) + 1.0
 }
 
@@ -179,7 +185,10 @@ mod tests {
                 let closed = zero_result_lookup_cost(&p, m);
                 let exact = zero_result_lookup_cost_exact(&p, m);
                 let rel = (closed - exact).abs() / exact.max(1e-9);
-                assert!(rel < 0.05, "{policy:?} bpe={bpe}: closed {closed} vs exact {exact}");
+                assert!(
+                    rel < 0.05,
+                    "{policy:?} bpe={bpe}: closed {closed} vs exact {exact}"
+                );
             }
         }
     }
@@ -313,9 +322,7 @@ mod tests {
             (zero_result_lookup_cost(&lev, m) - zero_result_lookup_cost(&tier, m)).abs() < 1e-9
         );
         assert!((update_cost(&lev, 1.0) - update_cost(&tier, 1.0)).abs() < 1e-12);
-        assert!(
-            (range_lookup_cost(&lev, 0.01) - range_lookup_cost(&tier, 0.01)).abs() < 1e-9
-        );
+        assert!((range_lookup_cost(&lev, 0.01) - range_lookup_cost(&tier, 0.01)).abs() < 1e-9);
     }
 
     #[test]
@@ -338,7 +345,10 @@ mod tests {
     fn range_cost_scales_with_selectivity() {
         let p = params(4.0, Policy::Leveling);
         let q0 = range_lookup_cost(&p, 0.0);
-        assert!((q0 - p.max_runs()).abs() < 1e-9, "empty range: just the seeks");
+        assert!(
+            (q0 - p.max_runs()).abs() < 1e-9,
+            "empty range: just the seeks"
+        );
         let q = range_lookup_cost(&p, 0.5);
         assert!((q - (0.5 * p.entries / p.entries_per_page() + p.max_runs())).abs() < 1e-6);
     }

@@ -31,14 +31,62 @@ pub struct SystemPreset {
 /// The systems of Figure 1.
 pub fn presets() -> Vec<SystemPreset> {
     vec![
-        SystemPreset { name: "LevelDB", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
-        SystemPreset { name: "RocksDB", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
-        SystemPreset { name: "cLSM", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
-        SystemPreset { name: "bLSM", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: false },
-        SystemPreset { name: "WiredTiger", policy: Policy::Leveling, size_ratio: 15.0, bits_per_entry: 16.0, monkey_filters: false },
-        SystemPreset { name: "Cassandra", policy: Policy::Tiering, size_ratio: 4.0, bits_per_entry: 10.0, monkey_filters: false },
-        SystemPreset { name: "HBase", policy: Policy::Tiering, size_ratio: 4.0, bits_per_entry: 10.0, monkey_filters: false },
-        SystemPreset { name: "Monkey", policy: Policy::Leveling, size_ratio: 10.0, bits_per_entry: 10.0, monkey_filters: true },
+        SystemPreset {
+            name: "LevelDB",
+            policy: Policy::Leveling,
+            size_ratio: 10.0,
+            bits_per_entry: 10.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "RocksDB",
+            policy: Policy::Leveling,
+            size_ratio: 10.0,
+            bits_per_entry: 10.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "cLSM",
+            policy: Policy::Leveling,
+            size_ratio: 10.0,
+            bits_per_entry: 10.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "bLSM",
+            policy: Policy::Leveling,
+            size_ratio: 10.0,
+            bits_per_entry: 10.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "WiredTiger",
+            policy: Policy::Leveling,
+            size_ratio: 15.0,
+            bits_per_entry: 16.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "Cassandra",
+            policy: Policy::Tiering,
+            size_ratio: 4.0,
+            bits_per_entry: 10.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "HBase",
+            policy: Policy::Tiering,
+            size_ratio: 4.0,
+            bits_per_entry: 10.0,
+            monkey_filters: false,
+        },
+        SystemPreset {
+            name: "Monkey",
+            policy: Policy::Leveling,
+            size_ratio: 10.0,
+            bits_per_entry: 10.0,
+            monkey_filters: true,
+        },
     ]
 }
 
@@ -117,7 +165,14 @@ mod tests {
     use super::*;
 
     fn base() -> Params {
-        Params::new(4194304.0, 8192.0, 32768.0, 16777216.0, 2.0, Policy::Leveling)
+        Params::new(
+            4194304.0,
+            8192.0,
+            32768.0,
+            16777216.0,
+            2.0,
+            Policy::Leveling,
+        )
     }
 
     #[test]
@@ -148,12 +203,18 @@ mod tests {
         let b = base();
         let ts = [2.0, 4.0, 8.0, 16.0];
         let lev = curve(&b, Policy::Leveling, &ts, 10.0 * b.entries, 1.0, true);
-        assert!(lev.windows(2).all(|w| w[1].lookup_cost <= w[0].lookup_cost + 1e-12));
+        assert!(lev
+            .windows(2)
+            .all(|w| w[1].lookup_cost <= w[0].lookup_cost + 1e-12));
         assert!(lev.windows(2).all(|w| w[1].update_cost >= w[0].update_cost));
         // Along tiering the directions flip.
         let tier = curve(&b, Policy::Tiering, &ts, 10.0 * b.entries, 1.0, true);
-        assert!(tier.windows(2).all(|w| w[1].lookup_cost >= w[0].lookup_cost));
-        assert!(tier.windows(2).all(|w| w[1].update_cost <= w[0].update_cost));
+        assert!(tier
+            .windows(2)
+            .all(|w| w[1].lookup_cost >= w[0].lookup_cost));
+        assert!(tier
+            .windows(2)
+            .all(|w| w[1].update_cost <= w[0].update_cost));
     }
 
     #[test]
@@ -200,7 +261,10 @@ mod tests {
         let log = curve(&b, Policy::Tiering, &[tlim], m, 1.0, true)[0];
         let sorted = curve(&b, Policy::Leveling, &[tlim], m, 1.0, true)[0];
         assert!(log.update_cost < sorted.update_cost / 100.0);
-        assert!(sorted.lookup_cost <= 1.0 + 1e-9, "sorted array: one I/O per lookup");
+        assert!(
+            sorted.lookup_cost <= 1.0 + 1e-9,
+            "sorted array: one I/O per lookup"
+        );
         assert!(log.lookup_cost > sorted.lookup_cost * 100.0);
     }
 }

@@ -50,7 +50,9 @@ pub fn optimal_fprs(levels: usize, t: f64, policy: Policy, r: f64) -> Vec<f64> {
         let r_f = r - l_u as f64 * rpl;
         // Largest filtered level's FPR must not exceed 1 (Appendix B).
         let p_deepest = match policy {
-            Policy::Leveling => r_f * (t - 1.0) * t.powi(l_f as i32 - 1) / (t.powi(l_f as i32) - 1.0),
+            Policy::Leveling => {
+                r_f * (t - 1.0) * t.powi(l_f as i32 - 1) / (t.powi(l_f as i32) - 1.0)
+            }
             Policy::Tiering => r_f * t.powi(l_f as i32 - 1) / (t.powi(l_f as i32) - 1.0),
         };
         if r_f > 0.0 && p_deepest <= 1.0 + 1e-12 {
@@ -157,7 +159,10 @@ pub fn optimal_fprs_for_run_sizes(sizes: &[f64], m_filters: f64) -> Vec<f64> {
         }
     }
     let ln_c = 0.5 * (lo + hi);
-    sizes.iter().map(|&n| (ln_c + n.ln()).exp().min(1.0)).collect()
+    sizes
+        .iter()
+        .map(|&n| (ln_c + n.ln()).exp().min(1.0))
+        .collect()
 }
 
 /// The state of the art (Eqs. 23/24): every level gets the same FPR.
@@ -180,7 +185,12 @@ mod tests {
 
     #[test]
     fn assignment_sums_to_target_r() {
-        for &(levels, t, r) in &[(5usize, 2.0, 0.5), (7, 4.0, 0.1), (6, 3.0, 2.5), (4, 10.0, 0.9)] {
+        for &(levels, t, r) in &[
+            (5usize, 2.0, 0.5),
+            (7, 4.0, 0.1),
+            (6, 3.0, 2.5),
+            (4, 10.0, 0.9),
+        ] {
             for policy in [Policy::Leveling, Policy::Tiering] {
                 let fprs = optimal_fprs(levels, t, policy, r);
                 let sum = lookup_cost_of_fprs(&fprs, t, policy);
@@ -243,7 +253,10 @@ mod tests {
                     for frac in [1e-6, 0.001, 0.1, 0.5, 0.9, 0.999, 1.0] {
                         let fprs = optimal_fprs(levels, t, policy, max_r * frac);
                         for &p in &fprs {
-                            assert!(p > 0.0 && p <= 1.0, "L={levels} T={t} {policy:?} frac={frac}: {fprs:?}");
+                            assert!(
+                                p > 0.0 && p <= 1.0,
+                                "L={levels} T={t} {policy:?} frac={frac}: {fprs:?}"
+                            );
                         }
                         assert!(
                             fprs.windows(2).all(|w| w[0] <= w[1] + 1e-12),
@@ -316,7 +329,11 @@ mod tests {
         // One run: the whole budget goes to it (the uniform answer).
         let fprs = optimal_fprs_for_run_sizes(&[10_000.0], 50_000.0);
         let expect = (-(50_000.0 / 10_000.0) * crate::params::LN2_SQUARED).exp();
-        assert!((fprs[0] - expect).abs() / expect < 1e-6, "{} vs {expect}", fprs[0]);
+        assert!(
+            (fprs[0] - expect).abs() / expect < 1e-6,
+            "{} vs {expect}",
+            fprs[0]
+        );
     }
 
     #[test]
@@ -328,7 +345,13 @@ mod tests {
         let used: f64 = sizes
             .iter()
             .zip(&fprs)
-            .map(|(&n, &p)| if p < 1.0 { -n * p.ln() / LN2_SQUARED } else { 0.0 })
+            .map(|(&n, &p)| {
+                if p < 1.0 {
+                    -n * p.ln() / LN2_SQUARED
+                } else {
+                    0.0
+                }
+            })
             .sum();
         assert!((used - m).abs() / m < 1e-6, "used {used} of {m}");
         // FPR proportional to size among unclamped runs.
@@ -357,6 +380,11 @@ mod tests {
         let (levels, t, r) = (7, 2.0, 0.5);
         let monkey = optimal_fprs(levels, t, Policy::Leveling, r);
         let base = baseline_fprs(levels, t, Policy::Leveling, r);
-        assert!(monkey[0] < base[0] / 10.0, "monkey {} vs base {}", monkey[0], base[0]);
+        assert!(
+            monkey[0] < base[0] / 10.0,
+            "monkey {} vs base {}",
+            monkey[0],
+            base[0]
+        );
     }
 }

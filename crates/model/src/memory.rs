@@ -36,7 +36,12 @@ pub fn m_threshold(entries: f64, t: f64) -> f64 {
 /// `L_unfiltered` (Eq. 22): how many of the deepest levels have no filters
 /// under the optimal assignment with `m_filters` bits available.
 pub fn l_unfiltered(params: &Params, m_filters: f64) -> usize {
-    l_unfiltered_given(params.levels(), params.entries, params.size_ratio, m_filters)
+    l_unfiltered_given(
+        params.levels(),
+        params.entries,
+        params.size_ratio,
+        m_filters,
+    )
 }
 
 /// [`l_unfiltered`] with the level count given explicitly — for callers
@@ -134,7 +139,10 @@ pub fn allocate_memory(params: &Params, m_bits: f64, r_negligible: f64) -> Memor
 
     let remaining = m_bits - step1;
     if remaining <= 0.0 {
-        return MemoryAllocation { buffer_bits: m_bits, filter_bits: 0.0 };
+        return MemoryAllocation {
+            buffer_bits: m_bits,
+            filter_bits: 0.0,
+        };
     }
 
     // Step 2: filters get 95% of the remainder, capped at the memory where
@@ -145,7 +153,10 @@ pub fn allocate_memory(params: &Params, m_bits: f64, r_negligible: f64) -> Memor
 
     // Step 3: everything else is buffer.
     let buffer_bits = m_bits - filter_bits;
-    MemoryAllocation { buffer_bits, filter_bits }
+    MemoryAllocation {
+        buffer_bits,
+        filter_bits,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +186,10 @@ mod tests {
                 let closed = filter_memory_for_lookup_cost(&p, r);
                 let exact = filter_memory_for_lookup_cost_exact(&p, r);
                 let rel = (closed - exact).abs() / exact;
-                assert!(rel < 0.02, "{policy:?} r={r}: closed {closed} vs exact {exact}");
+                assert!(
+                    rel < 0.02,
+                    "{policy:?} r={r}: closed {closed} vs exact {exact}"
+                );
             }
         }
     }
@@ -213,9 +227,17 @@ mod tests {
     fn l_unfiltered_regimes() {
         let p = params(2.0, Policy::Leveling);
         let thr = m_threshold(p.entries, 2.0);
-        assert_eq!(l_unfiltered(&p, thr * 2.0), 0, "plenty of memory: all filtered");
+        assert_eq!(
+            l_unfiltered(&p, thr * 2.0),
+            0,
+            "plenty of memory: all filtered"
+        );
         assert_eq!(l_unfiltered(&p, thr), 0, "exactly at threshold");
-        assert_eq!(l_unfiltered(&p, 0.0), p.levels(), "no memory: nothing filtered");
+        assert_eq!(
+            l_unfiltered(&p, 0.0),
+            p.levels(),
+            "no memory: nothing filtered"
+        );
         // One level unfiltered once memory dips below the threshold.
         assert_eq!(l_unfiltered(&p, thr / 1.5), 1);
         // Every factor of T deeper costs another level (Eq. 22).
@@ -229,14 +251,10 @@ mod tests {
         for policy in [Policy::Leveling, Policy::Tiering] {
             let p = params(4.0, policy);
             for &r in &[0.01, 0.1, 0.5] {
-                let opt = filter_memory_for_fprs(
-                    &p,
-                    &optimal_fprs(p.levels(), p.size_ratio, policy, r),
-                );
-                let base = filter_memory_for_fprs(
-                    &p,
-                    &baseline_fprs(p.levels(), p.size_ratio, policy, r),
-                );
+                let opt =
+                    filter_memory_for_fprs(&p, &optimal_fprs(p.levels(), p.size_ratio, policy, r));
+                let base =
+                    filter_memory_for_fprs(&p, &baseline_fprs(p.levels(), p.size_ratio, policy, r));
                 assert!(
                     opt < base,
                     "{policy:?} r={r}: optimal {opt} !< baseline {base}"

@@ -53,10 +53,20 @@ impl Params {
     ) -> Self {
         assert!(entries > 0.0, "N must be positive");
         assert!(entry_bits > 0.0, "E must be positive");
-        assert!(page_bits >= entry_bits, "a page must hold at least one entry");
+        assert!(
+            page_bits >= entry_bits,
+            "a page must hold at least one entry"
+        );
         assert!(buffer_bits > 0.0, "M_buffer must be positive");
         assert!(size_ratio >= 2.0, "T must be at least 2");
-        Self { entries, entry_bits, page_bits, buffer_bits, size_ratio, policy }
+        Self {
+            entries,
+            entry_bits,
+            page_bits,
+            buffer_bits,
+            size_ratio,
+            policy,
+        }
     }
 
     /// `B`: entries per disk page.
@@ -110,12 +120,19 @@ impl Params {
 
     /// Same parameters with a different size ratio / policy (tuner use).
     pub fn with_tuning(&self, size_ratio: f64, policy: Policy) -> Self {
-        Self { size_ratio: size_ratio.max(2.0), policy, ..*self }
+        Self {
+            size_ratio: size_ratio.max(2.0),
+            policy,
+            ..*self
+        }
     }
 
     /// Same parameters with a different buffer size.
     pub fn with_buffer_bits(&self, buffer_bits: f64) -> Self {
-        Self { buffer_bits: buffer_bits.max(1.0), ..*self }
+        Self {
+            buffer_bits: buffer_bits.max(1.0),
+            ..*self
+        }
     }
 }
 
@@ -130,7 +147,14 @@ mod tests {
 
     fn params(t: f64) -> Params {
         // 2^20 entries of 1 KiB with 4 KiB pages and a 2 MiB buffer.
-        Params::new(1048576.0, 8192.0, 8.0 * 4096.0, 8.0 * 2097152.0, t, Policy::Leveling)
+        Params::new(
+            1048576.0,
+            8192.0,
+            8.0 * 4096.0,
+            8.0 * 2097152.0,
+            t,
+            Policy::Leveling,
+        )
     }
 
     #[test]
@@ -150,7 +174,11 @@ mod tests {
         let tlim = p.t_lim();
         assert_eq!(tlim, 512.0);
         let collapsed = p.with_tuning(tlim, Policy::Leveling);
-        assert_eq!(collapsed.levels(), 1, "log is a sorted array / log at T_lim");
+        assert_eq!(
+            collapsed.levels(),
+            1,
+            "log is a sorted array / log at T_lim"
+        );
     }
 
     #[test]
@@ -188,7 +216,10 @@ mod tests {
     fn max_runs_by_policy() {
         let lev = params(4.0);
         assert_eq!(lev.max_runs(), lev.levels() as f64);
-        let tier = Params { policy: Policy::Tiering, ..lev };
+        let tier = Params {
+            policy: Policy::Tiering,
+            ..lev
+        };
         assert_eq!(tier.max_runs(), lev.levels() as f64 * 3.0);
     }
 

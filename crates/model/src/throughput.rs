@@ -63,18 +63,31 @@ pub struct Environment {
 impl Environment {
     /// A 10 ms-seek hard disk (the paper's testbed).
     pub fn disk() -> Self {
-        Self { read_secs: 10e-3, phi: 1.0, negligible_r: 1e-4 }
+        Self {
+            read_secs: 10e-3,
+            phi: 1.0,
+            negligible_r: 1e-4,
+        }
     }
 
     /// A 100 µs flash device with writes 3× reads.
     pub fn flash() -> Self {
-        Self { read_secs: 100e-6, phi: 3.0, negligible_r: 1e-2 }
+        Self {
+            read_secs: 100e-6,
+            phi: 3.0,
+            negligible_r: 1e-2,
+        }
     }
 }
 
 /// Average operation cost `θ` in I/Os (Eq. 12), using Monkey's cost models:
 /// `θ = r·R + v·V + q·Q + w·W`.
-pub fn average_operation_cost(params: &Params, m_filters: f64, workload: &Workload, env: &Environment) -> f64 {
+pub fn average_operation_cost(
+    params: &Params,
+    m_filters: f64,
+    workload: &Workload,
+    env: &Environment,
+) -> f64 {
     workload.zero_result_lookups * zero_result_lookup_cost(params, m_filters)
         + workload.non_zero_result_lookups * non_zero_result_lookup_cost(params, m_filters)
         + workload.range_lookups * range_lookup_cost(params, workload.range_selectivity)
@@ -105,7 +118,14 @@ mod tests {
     use crate::params::Policy;
 
     fn params() -> Params {
-        Params::new(4194304.0, 8192.0, 32768.0, 16777216.0, 2.0, Policy::Leveling)
+        Params::new(
+            4194304.0,
+            8192.0,
+            32768.0,
+            16777216.0,
+            2.0,
+            Policy::Leveling,
+        )
     }
 
     #[test]
@@ -127,9 +147,7 @@ mod tests {
         let m = 5.0 * p.entries;
         let lookups = Workload::lookups_vs_updates(1.0);
         assert!(
-            (average_operation_cost(&p, m, &lookups, &env)
-                - zero_result_lookup_cost(&p, m))
-            .abs()
+            (average_operation_cost(&p, m, &lookups, &env) - zero_result_lookup_cost(&p, m)).abs()
                 < 1e-12
         );
         let updates = Workload::lookups_vs_updates(0.0);

@@ -11,10 +11,10 @@
 //! Service-level agreements are supported by discarding configurations
 //! whose lookup or update cost exceeds an imposed bound (§4.4).
 
+use crate::cost::{update_cost, zero_result_lookup_cost};
 use crate::memory::{allocate_memory, MemoryAllocation};
 use crate::params::{Params, Policy};
 use crate::throughput::{average_operation_cost, worst_case_throughput, Environment, Workload};
-use crate::cost::{update_cost, zero_result_lookup_cost};
 
 /// θ values at or above this are SLA-infeasible points: the graded penalty
 /// lets the search descend toward feasibility, and results still at the
@@ -81,7 +81,11 @@ pub struct TraceStep {
 
 fn coordinate(i: i64) -> (f64, Policy) {
     let t = i.unsigned_abs() as f64 + 2.0;
-    let policy = if i > 0 { Policy::Tiering } else { Policy::Leveling };
+    let policy = if i > 0 {
+        Policy::Tiering
+    } else {
+        Policy::Leveling
+    };
     (t, policy)
 }
 
@@ -159,17 +163,18 @@ pub fn tune_traced(
     mut trace: Option<&mut Vec<TraceStep>>,
 ) -> Tuning {
     let limit = (base.t_lim() - 2.0).max(0.0) as i64;
-    let record = |i: i64, tuning: &Tuning, accepted: bool, trace: &mut Option<&mut Vec<TraceStep>>| {
-        if let Some(tr) = trace.as_deref_mut() {
-            tr.push(TraceStep {
-                i,
-                size_ratio: tuning.size_ratio,
-                policy: tuning.policy,
-                theta: tuning.theta,
-                accepted,
-            });
-        }
-    };
+    let record =
+        |i: i64, tuning: &Tuning, accepted: bool, trace: &mut Option<&mut Vec<TraceStep>>| {
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(TraceStep {
+                    i,
+                    size_ratio: tuning.size_ratio,
+                    policy: tuning.policy,
+                    theta: tuning.theta,
+                    accepted,
+                });
+            }
+        };
 
     let mut i: i64 = 0;
     let mut best = compute(base, strategy, workload, env, constraints, 0);
@@ -253,7 +258,13 @@ mod tests {
     fn update_heavy_chooses_tiering() {
         let p = base();
         let wl = Workload::lookups_vs_updates(0.1);
-        let t = tune(&p, &fixed_five_bpe(&p), &wl, &Environment::disk(), &TuningConstraints::default());
+        let t = tune(
+            &p,
+            &fixed_five_bpe(&p),
+            &wl,
+            &Environment::disk(),
+            &TuningConstraints::default(),
+        );
         assert_eq!(t.policy, Policy::Tiering, "90% updates: tier (Figure 11F)");
         assert!(t.size_ratio > 2.0);
     }
@@ -262,8 +273,18 @@ mod tests {
     fn lookup_heavy_chooses_leveling() {
         let p = base();
         let wl = Workload::lookups_vs_updates(0.9);
-        let t = tune(&p, &fixed_five_bpe(&p), &wl, &Environment::disk(), &TuningConstraints::default());
-        assert_eq!(t.policy, Policy::Leveling, "90% lookups: level (Figure 11F)");
+        let t = tune(
+            &p,
+            &fixed_five_bpe(&p),
+            &wl,
+            &Environment::disk(),
+            &TuningConstraints::default(),
+        );
+        assert_eq!(
+            t.policy,
+            Policy::Leveling,
+            "90% lookups: level (Figure 11F)"
+        );
     }
 
     #[test]
@@ -271,9 +292,27 @@ mod tests {
         let p = base();
         let env = Environment::disk();
         let strat = fixed_five_bpe(&p);
-        let lo = tune(&p, &strat, &Workload::lookups_vs_updates(0.1), &env, &TuningConstraints::default());
-        let mid = tune(&p, &strat, &Workload::lookups_vs_updates(0.5), &env, &TuningConstraints::default());
-        let hi = tune(&p, &strat, &Workload::lookups_vs_updates(0.9), &env, &TuningConstraints::default());
+        let lo = tune(
+            &p,
+            &strat,
+            &Workload::lookups_vs_updates(0.1),
+            &env,
+            &TuningConstraints::default(),
+        );
+        let mid = tune(
+            &p,
+            &strat,
+            &Workload::lookups_vs_updates(0.5),
+            &env,
+            &TuningConstraints::default(),
+        );
+        let hi = tune(
+            &p,
+            &strat,
+            &Workload::lookups_vs_updates(0.9),
+            &env,
+            &TuningConstraints::default(),
+        );
         assert!(mid.update_cost <= hi.update_cost || mid.lookup_cost <= lo.lookup_cost);
         assert!(hi.lookup_cost <= mid.lookup_cost + 1e-9);
         assert!(lo.update_cost <= mid.update_cost + 1e-9);
@@ -291,8 +330,12 @@ mod tests {
             assert!(
                 fast.theta <= slow.theta * 1.02,
                 "frac={frac}: fast θ={} (T={} {:?}) vs exhaustive θ={} (T={} {:?})",
-                fast.theta, fast.size_ratio, fast.policy,
-                slow.theta, slow.size_ratio, slow.policy,
+                fast.theta,
+                fast.size_ratio,
+                fast.policy,
+                slow.theta,
+                slow.size_ratio,
+                slow.policy,
             );
         }
     }
@@ -303,7 +346,9 @@ mod tests {
         // brute force too.
         let p = base();
         let env = Environment::disk();
-        let strat = MemoryStrategy::Allocate { total_bits: 8.0 * p.entries + p.buffer_bits };
+        let strat = MemoryStrategy::Allocate {
+            total_bits: 8.0 * p.entries + p.buffer_bits,
+        };
         for frac in [0.2, 0.5, 0.8] {
             let wl = Workload::lookups_vs_updates(frac);
             let fast = tune(&p, &strat, &wl, &env, &TuningConstraints::default());
@@ -327,7 +372,11 @@ mod tests {
         );
         let tlim = p.t_lim();
         let bound = 3.0 * tlim.log2() + 5.0;
-        assert!((trace.len() as f64) < bound, "{} probes for T_lim={tlim}", trace.len());
+        assert!(
+            (trace.len() as f64) < bound,
+            "{} probes for T_lim={tlim}",
+            trace.len()
+        );
     }
 
     #[test]
@@ -342,10 +391,16 @@ mod tests {
             &strat,
             &wl,
             &env,
-            &TuningConstraints { max_update_cost: Some(free.update_cost * 0.5), ..Default::default() },
+            &TuningConstraints {
+                max_update_cost: Some(free.update_cost * 0.5),
+                ..Default::default()
+            },
         );
         assert!(capped.update_cost <= free.update_cost * 0.5);
-        assert!(capped.theta >= free.theta, "constraint can only cost throughput");
+        assert!(
+            capped.theta >= free.theta,
+            "constraint can only cost throughput"
+        );
     }
 
     #[test]
@@ -360,7 +415,10 @@ mod tests {
             &strat,
             &wl,
             &env,
-            &TuningConstraints { max_lookup_cost: Some(free.lookup_cost * 0.3), ..Default::default() },
+            &TuningConstraints {
+                max_lookup_cost: Some(free.lookup_cost * 0.3),
+                ..Default::default()
+            },
         );
         assert!(capped.lookup_cost <= free.lookup_cost * 0.3);
     }

@@ -97,7 +97,10 @@ impl Backend for MemBackend {
         pages
             .get(page_no as usize)
             .cloned()
-            .ok_or(StorageError::NotFound { run, page: Some(page_no) })
+            .ok_or(StorageError::NotFound {
+                run,
+                page: Some(page_no),
+            })
     }
 
     fn pages(&self, run: RunId) -> Result<u32> {
@@ -155,7 +158,10 @@ impl FileBackend {
 impl Backend for FileBackend {
     fn append_page(&self, run: RunId, page_no: u32, data: &[u8]) -> Result<()> {
         if data.len() != self.page_size {
-            return Err(StorageError::BadPageSize { got: data.len(), want: self.page_size });
+            return Err(StorageError::BadPageSize {
+                got: data.len(),
+                want: self.page_size,
+            });
         }
         let handle = {
             let mut building = self.building.write();
@@ -201,7 +207,10 @@ impl Backend for FileBackend {
         })?;
         let offset = page_no as u64 * self.page_size as u64;
         if offset + self.page_size as u64 > file.metadata()?.len() {
-            return Err(StorageError::NotFound { run, page: Some(page_no) });
+            return Err(StorageError::NotFound {
+                run,
+                page: Some(page_no),
+            });
         }
         file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; self.page_size];
@@ -264,7 +273,10 @@ mod tests {
         assert_eq!(&backend.read_page(1, 1).unwrap()[..], &data_b[..]);
         assert!(matches!(
             backend.read_page(1, 2),
-            Err(StorageError::NotFound { run: 1, page: Some(2) })
+            Err(StorageError::NotFound {
+                run: 1,
+                page: Some(2)
+            })
         ));
         assert!(matches!(
             backend.read_page(9, 0),

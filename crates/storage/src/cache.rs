@@ -96,11 +96,21 @@ impl Shard {
             self.bytes += data.len();
             let idx = match self.free.pop() {
                 Some(i) => {
-                    self.nodes[i] = Node { key, data, prev: NO_NODE, next: NO_NODE };
+                    self.nodes[i] = Node {
+                        key,
+                        data,
+                        prev: NO_NODE,
+                        next: NO_NODE,
+                    };
                     i
                 }
                 None => {
-                    self.nodes.push(Node { key, data, prev: NO_NODE, next: NO_NODE });
+                    self.nodes.push(Node {
+                        key,
+                        data,
+                        prev: NO_NODE,
+                        next: NO_NODE,
+                    });
                     self.nodes.len() - 1
                 }
             };
@@ -171,7 +181,9 @@ impl BlockCache {
     pub fn new(capacity_bytes: usize) -> Self {
         let per_shard = capacity_bytes / Self::SHARDS;
         Self {
-            shards: (0..Self::SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -180,7 +192,8 @@ impl BlockCache {
     #[inline]
     fn shard(&self, key: Key) -> &Mutex<Shard> {
         // Cheap key mix: run ids are sequential, page numbers dense.
-        let h = key.0.wrapping_mul(0x9E3779B97F4A7C15) ^ (key.1 as u64).wrapping_mul(0xC2B2AE3D4F4E5425);
+        let h = key.0.wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (key.1 as u64).wrapping_mul(0xC2B2AE3D4F4E5425);
         &self.shards[(h >> 58) as usize & (Self::SHARDS - 1)]
     }
 
@@ -197,7 +210,9 @@ impl BlockCache {
 
     /// Inserts a page read from storage.
     pub fn insert(&self, run: RunId, page_no: u32, data: Bytes) {
-        self.shard((run, page_no)).lock().insert((run, page_no), data);
+        self.shard((run, page_no))
+            .lock()
+            .insert((run, page_no), data);
     }
 
     /// Drops every cached page of `run` (called when a run is deleted after
@@ -244,8 +259,8 @@ mod tests {
         // Single shard worth of capacity split over 16 shards: use keys that
         // we re-check individually rather than assuming shard placement.
         let c = BlockCache::new(16 * 300); // 300 bytes per shard
-        // Insert 4 pages of 100 bytes targeting the same run; at most 3 fit
-        // in any one shard.
+                                           // Insert 4 pages of 100 bytes targeting the same run; at most 3 fit
+                                           // in any one shard.
         for p in 0..40 {
             c.insert(5, p, page(p as u8, 100));
         }
@@ -258,8 +273,8 @@ mod tests {
     #[test]
     fn touch_refreshes_recency() {
         let c = BlockCache::new(16 * 250); // 2 pages of 100B per shard
-        // Behavioural check: a repeatedly touched page survives churn that
-        // evicts everything else.
+                                           // Behavioural check: a repeatedly touched page survives churn that
+                                           // evicts everything else.
         for i in 0..100u32 {
             c.insert(9, i, page(0, 100));
             c.insert(9, 0, page(0, 100)); // keep page 0 hot

@@ -83,7 +83,11 @@ mod tests {
 
     #[test]
     fn point_read_costs_a_seek() {
-        let io = IoSnapshot { page_reads: 1, seeks: 1, ..Default::default() };
+        let io = IoSnapshot {
+            page_reads: 1,
+            seeks: 1,
+            ..Default::default()
+        };
         let d = DeviceModel::disk();
         assert!((d.latency_secs(&io) - 10e-3).abs() < 1e-12);
     }
@@ -91,7 +95,11 @@ mod tests {
     #[test]
     fn scan_pays_one_seek_then_transfer() {
         // 1 seek + 100 pages scanned.
-        let io = IoSnapshot { page_reads: 100, seeks: 1, ..Default::default() };
+        let io = IoSnapshot {
+            page_reads: 100,
+            seeks: 1,
+            ..Default::default()
+        };
         let d = DeviceModel::disk();
         let want = 10e-3 + 99.0 * 40e-6;
         assert!((d.latency_secs(&io) - want).abs() < 1e-12);
@@ -99,7 +107,10 @@ mod tests {
 
     #[test]
     fn writes_scaled_by_phi() {
-        let io = IoSnapshot { page_writes: 10, ..Default::default() };
+        let io = IoSnapshot {
+            page_writes: 10,
+            ..Default::default()
+        };
         let flash = DeviceModel::flash();
         let want = 10.0 * 50e-6 * 3.0;
         assert!((flash.latency_secs(&io) - want).abs() < 1e-12);
@@ -108,7 +119,11 @@ mod tests {
     #[test]
     fn more_seeks_than_reads_is_clamped() {
         // Defensive: seeks from scans that read zero pages.
-        let io = IoSnapshot { page_reads: 1, seeks: 5, ..Default::default() };
+        let io = IoSnapshot {
+            page_reads: 1,
+            seeks: 5,
+            ..Default::default()
+        };
         let d = DeviceModel::disk();
         assert!((d.latency_secs(&io) - 10e-3).abs() < 1e-12);
     }

@@ -314,7 +314,10 @@ mod tests {
         let id = w.seal().unwrap();
         disk.read_page(id, 0).unwrap();
         disk.delete_run(id).unwrap();
-        assert!(disk.read_page(id, 0).is_err(), "stale cache must not serve deleted run");
+        assert!(
+            disk.read_page(id, 0).is_err(),
+            "stale cache must not serve deleted run"
+        );
     }
 
     #[test]

@@ -63,11 +63,17 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = StorageError::NotFound { run: 3, page: Some(7) };
+        let e = StorageError::NotFound {
+            run: 3,
+            page: Some(7),
+        };
         assert_eq!(e.to_string(), "page 7 of run 3 not found");
         let e = StorageError::NotFound { run: 3, page: None };
         assert_eq!(e.to_string(), "run 3 not found");
-        let e = StorageError::BadPageSize { got: 100, want: 4096 };
+        let e = StorageError::BadPageSize {
+            got: 100,
+            want: 4096,
+        };
         assert!(e.to_string().contains("4096"));
         let e = StorageError::Corruption("bad magic".into());
         assert!(e.to_string().contains("bad magic"));

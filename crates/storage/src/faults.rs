@@ -73,7 +73,9 @@ impl<B: Backend> FlakyBackend<B> {
         // Consume one unit of budget; fail once it is exhausted.
         let prev = self
             .budget
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| Some(b.saturating_sub(1)))
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+                Some(b.saturating_sub(1))
+            })
             .unwrap();
         if prev == 0 {
             self.injected.fetch_add(1, Ordering::SeqCst);

@@ -24,9 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod faults;
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod iostats;
 
 mod backend;

@@ -26,7 +26,11 @@ impl KeySpace {
     pub fn with_entry_size(entries: u64, entry_bytes: usize) -> Self {
         let key_len = 16;
         assert!(entry_bytes > key_len, "entry must be bigger than its key");
-        Self { entries, key_len, value_len: entry_bytes - key_len }
+        Self {
+            entries,
+            key_len,
+            value_len: entry_bytes - key_len,
+        }
     }
 
     fn key_of_index(&self, index: u64) -> Vec<u8> {

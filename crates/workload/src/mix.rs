@@ -143,7 +143,8 @@ impl TraceBuilder {
                 let start = rng.gen_range(0..self.keys.entries.saturating_sub(span).max(1));
                 Op::Range(
                     self.keys.existing_key(start),
-                    self.keys.existing_key((start + span).min(self.keys.entries - 1)),
+                    self.keys
+                        .existing_key((start + span).min(self.keys.entries - 1)),
                 )
             } else {
                 let (i, key) = self.keys.random_existing(rng);
@@ -236,10 +237,8 @@ mod tests {
             OpMix::ycsb_e(),
             OpMix::ycsb_f(),
         ] {
-            let total = mix.zero_result_lookups
-                + mix.existing_lookups
-                + mix.range_lookups
-                + mix.updates;
+            let total =
+                mix.zero_result_lookups + mix.existing_lookups + mix.range_lookups + mix.updates;
             assert!((total - 1.0).abs() < 1e-9);
         }
         assert!(OpMix::ycsb_e().range_lookups > 0.9);

@@ -65,7 +65,9 @@ mod tests {
     fn hot_fraction(c: f64, n: u64, samples: usize) -> f64 {
         let s = TemporalSampler::new(n, c);
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let hits = (0..samples).filter(|_| s.sample_rank(&mut rng) < s.hot_size()).count();
+        let hits = (0..samples)
+            .filter(|_| s.sample_rank(&mut rng) < s.hot_size())
+            .count();
         hits as f64 / samples as f64
     }
 
@@ -113,7 +115,10 @@ mod tests {
         let s = TemporalSampler::new(100, 0.0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         for _ in 0..100 {
-            assert!(s.sample_rank(&mut rng) >= s.hot_size(), "c=0: only old entries");
+            assert!(
+                s.sample_rank(&mut rng) >= s.hot_size(),
+                "c=0: only old entries"
+            );
         }
     }
 

@@ -35,7 +35,9 @@ pub fn harmonic(n: u64, theta: f64) -> f64 {
     if n <= EXACT_CUTOFF {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
-        let head: f64 = (1..=EXACT_CUTOFF).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let head: f64 = (1..=EXACT_CUTOFF)
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
         let a = EXACT_CUTOFF as f64;
         let b = n as f64;
         // ∫_a^b x^-θ dx plus the trapezoid end corrections.
@@ -48,7 +50,10 @@ impl ZipfianSampler {
     /// A sampler over `n ≥ 1` ranks with skew `theta ∈ (0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n >= 1, "need at least one item");
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1), got {theta}");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
         let zetan = harmonic(n, theta);
         let zeta2 = harmonic(2, theta);
         let alpha = 1.0 / (1.0 - theta);

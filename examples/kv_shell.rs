@@ -19,7 +19,9 @@ use monkey::{Db, DbOptions, DbOptionsExt};
 use std::io::{BufRead, Write};
 
 fn main() -> monkey::Result<()> {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/monkeydb".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/monkeydb".into());
     let db = Db::open(
         DbOptions::at_path(&path)
             .buffer_capacity(64 << 10)

@@ -26,7 +26,9 @@ fn build(policy: MergePolicy, t: usize) -> Arc<Db> {
 }
 
 fn main() {
-    println!("measuring the Pareto curve on a live store ({ENTRIES} entries, Monkey filters @ 5 b/e)\n");
+    println!(
+        "measuring the Pareto curve on a live store ({ENTRIES} entries, Monkey filters @ 5 b/e)\n"
+    );
     println!(
         "{:>8} {:>12} {:>14} {:>14} {:>14} {:>14}",
         "config", "levels", "W measured", "W model", "R measured", "R model"
@@ -43,14 +45,16 @@ fn main() {
         let db = build(policy, t);
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..ENTRIES {
-            db.put(format!("key{i:012}").into_bytes(), vec![b'v'; 48]).unwrap();
+            db.put(format!("key{i:012}").into_bytes(), vec![b'v'; 48])
+                .unwrap();
         }
 
         // Update phase: overwrite the dataset once, measuring write I/O.
         db.reset_io();
         for _ in 0..ENTRIES {
             let i = rng.gen_range(0..ENTRIES);
-            db.put(format!("key{i:012}").into_bytes(), vec![b'w'; 48]).unwrap();
+            db.put(format!("key{i:012}").into_bytes(), vec![b'w'; 48])
+                .unwrap();
         }
         let w_measured = db.io().page_writes as f64 / ENTRIES as f64;
 

@@ -12,7 +12,7 @@ fn main() -> monkey::Result<()> {
     let db = Db::open(
         DbOptions::in_memory()
             .buffer_capacity(64 << 10) // 64 KiB buffer (the paper's M_buffer)
-            .size_ratio(4)             // T = 4
+            .size_ratio(4) // T = 4
             .merge_policy(MergePolicy::Leveling)
             .monkey_filters(10.0),
     )?;
@@ -43,7 +43,12 @@ fn main() -> monkey::Result<()> {
     // Introspection: the tree's shape and the model's expected cost of a
     // zero-result lookup (the sum of all filters' false positive rates).
     let stats = db.stats();
-    println!("\ntree: {} entries across {} runs in {} levels", stats.disk_entries, stats.runs, stats.depth());
+    println!(
+        "\ntree: {} entries across {} runs in {} levels",
+        stats.disk_entries,
+        stats.runs,
+        stats.depth()
+    );
     for level in stats.levels.iter().filter(|l| l.runs > 0) {
         println!(
             "  level {}: {} run(s), {:>6} entries, {:>7.1} filter bits/entry, FPR sum {:.5}",

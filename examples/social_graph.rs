@@ -28,7 +28,11 @@ fn build(monkey: bool) -> Arc<Db> {
         .buffer_capacity(64 << 10)
         .size_ratio(2)
         .merge_policy(MergePolicy::Leveling);
-    let opts = if monkey { opts.monkey_filters(5.0) } else { opts.uniform_filters(5.0) };
+    let opts = if monkey {
+        opts.monkey_filters(5.0)
+    } else {
+        opts.uniform_filters(5.0)
+    };
     Db::open(opts).unwrap()
 }
 
@@ -36,7 +40,10 @@ fn main() {
     println!("social-graph edge store: {USERS} users, {INITIAL_EDGES} initial edges");
     println!("workload: {OPERATIONS} ops, 80% edge-exists checks (mostly absent), 20% follows\n");
 
-    for (label, monkey) in [("uniform 5 bits/entry", false), ("monkey  5 bits/entry", true)] {
+    for (label, monkey) in [
+        ("uniform 5 bits/entry", false),
+        ("monkey  5 bits/entry", true),
+    ] {
         let db = build(monkey);
         // Graph bootstrap: random follower edges.
         let mut rng = StdRng::seed_from_u64(1);

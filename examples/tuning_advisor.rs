@@ -29,7 +29,10 @@ fn main() {
         rec.tuning.allocation.filter_bits / 8.0 / 1e6,
         rec.tuning.allocation.filter_bits / (16u64 << 20) as f64,
     );
-    println!("predicted    : R={:.5} I/Os, W={:.5} I/Os, throughput {:.0} ops/s", rec.tuning.lookup_cost, rec.tuning.update_cost, rec.tuning.throughput);
+    println!(
+        "predicted    : R={:.5} I/Os, W={:.5} I/Os, throughput {:.0} ops/s",
+        rec.tuning.lookup_cost, rec.tuning.update_cost, rec.tuning.throughput
+    );
 
     // What-if analysis around that design point.
     let what_if = navigator.what_if(&rec.tuning);
@@ -37,9 +40,13 @@ fn main() {
     println!("\n=== what-if ===");
     println!(
         "today                         : R={:.5}  V={:.4}  W={:.4}  (baseline R={:.5})",
-        now.zero_result_lookup, now.non_zero_result_lookup, now.update, now.zero_result_lookup_baseline
+        now.zero_result_lookup,
+        now.non_zero_result_lookup,
+        now.update,
+        now.zero_result_lookup_baseline
     );
-    let quarter = what_if.with_filter_memory((rec.tuning.allocation.filter_bits / 8.0 / 4.0) as usize);
+    let quarter =
+        what_if.with_filter_memory((rec.tuning.allocation.filter_bits / 8.0 / 4.0) as usize);
     println!(
         "filters cut to a quarter      : R={:.5}  (baseline would be {:.5})",
         quarter.zero_result_lookup, quarter.zero_result_lookup_baseline
@@ -58,7 +65,10 @@ fn main() {
 
     // How the recommendation itself shifts across workload mixes.
     println!("\n=== recommendations across lookup/update mixes ===");
-    println!("{:>12} {:>10} {:>6} {:>12} {:>12}", "lookups", "policy", "T", "R (I/Os)", "W (I/Os)");
+    println!(
+        "{:>12} {:>10} {:>6} {:>12} {:>12}",
+        "lookups", "policy", "T", "R (I/Os)", "W (I/Os)"
+    );
     for pct in [10, 30, 50, 70, 90] {
         let lookups = pct as f64 / 100.0;
         // Keep a constant 5% range share; split the rest lookup/update.

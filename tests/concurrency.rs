@@ -24,7 +24,11 @@ fn readers_never_see_torn_or_stale_forever() {
         let db = open(policy);
         // Seed: every key holds a self-describing value.
         for i in 0..500u32 {
-            db.put(format!("k{i:04}").into_bytes(), format!("gen0-{i}").into_bytes()).unwrap();
+            db.put(
+                format!("k{i:04}").into_bytes(),
+                format!("gen0-{i}").into_bytes(),
+            )
+            .unwrap();
         }
         let stop = AtomicBool::new(false);
         let (db_ref, stop_ref) = (&db, &stop);
@@ -51,7 +55,10 @@ fn readers_never_see_torn_or_stale_forever() {
                     while !stop_ref.load(Ordering::Acquire) {
                         i = (i + 37) % 500;
                         let key = format!("k{i:04}");
-                        let got = db_ref.get(key.as_bytes()).unwrap().expect("key always present");
+                        let got = db_ref
+                            .get(key.as_bytes())
+                            .unwrap()
+                            .expect("key always present");
                         let text = String::from_utf8(got.to_vec()).unwrap();
                         let (gen, idx) = text
                             .strip_prefix("gen")
@@ -94,7 +101,8 @@ fn concurrent_distinct_writers_via_external_mutex_pattern() {
             let db = &db;
             scope.spawn(move |_| {
                 for i in 0..400u32 {
-                    db.put(format!("t{t}-k{i:05}").into_bytes(), vec![b'v'; 24]).unwrap();
+                    db.put(format!("t{t}-k{i:05}").into_bytes(), vec![b'v'; 24])
+                        .unwrap();
                 }
             });
         }

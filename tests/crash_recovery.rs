@@ -25,7 +25,11 @@ fn reopen_recovers_all_data() {
     {
         let db = Db::open(opts(&d)).unwrap();
         for i in 0..500 {
-            db.put(format!("key{i:05}").into_bytes(), format!("value{i}").into_bytes()).unwrap();
+            db.put(
+                format!("key{i:05}").into_bytes(),
+                format!("value{i}").into_bytes(),
+            )
+            .unwrap();
         }
         db.delete(&b"key00042"[..]).unwrap();
         // Dropped without any explicit shutdown: WAL + manifest must carry
@@ -37,7 +41,11 @@ fn reopen_recovers_all_data() {
         if i == 42 {
             assert!(got.is_none(), "tombstone survived recovery");
         } else {
-            assert_eq!(got.unwrap().as_ref(), format!("value{i}").as_bytes(), "key {i}");
+            assert_eq!(
+                got.unwrap().as_ref(),
+                format!("value{i}").as_bytes(),
+                "key {i}"
+            );
         }
     }
     assert_eq!(db.range(b"", None).unwrap().count(), 499);
@@ -51,18 +59,29 @@ fn recovery_preserves_tree_shape_and_filters() {
     {
         let db = Db::open(opts(&d)).unwrap();
         for i in 0..2000 {
-            db.put(format!("key{i:05}").into_bytes(), vec![b'v'; 32]).unwrap();
+            db.put(format!("key{i:05}").into_bytes(), vec![b'v'; 32])
+                .unwrap();
         }
         db.rebuild_filters().unwrap();
         let stats = db.stats();
-        shape_before = stats.levels.iter().map(|l| (l.runs, l.entries)).collect::<Vec<_>>();
+        shape_before = stats
+            .levels
+            .iter()
+            .map(|l| (l.runs, l.entries))
+            .collect::<Vec<_>>();
         filters_before = stats.filter_bits;
     }
     let db = Db::open(opts(&d)).unwrap();
     let stats = db.stats();
     let shape_after: Vec<_> = stats.levels.iter().map(|l| (l.runs, l.entries)).collect();
-    assert_eq!(shape_after, shape_before, "manifest restored the exact layout");
-    assert_eq!(stats.filter_bits, filters_before, "filters rebuilt at recorded bpe");
+    assert_eq!(
+        shape_after, shape_before,
+        "manifest restored the exact layout"
+    );
+    assert_eq!(
+        stats.filter_bits, filters_before,
+        "filters rebuilt at recorded bpe"
+    );
     std::fs::remove_dir_all(&d).unwrap();
 }
 
@@ -101,7 +120,10 @@ fn torn_wal_tail_loses_only_the_torn_write() {
     std::fs::write(&wal, &bytes[..bytes.len() - 2]).unwrap();
     let db = Db::open(opts(&d)).unwrap();
     assert_eq!(db.get(b"durable").unwrap().unwrap().as_ref(), b"1");
-    assert!(db.get(b"torn").unwrap().is_none(), "torn record not replayed");
+    assert!(
+        db.get(b"torn").unwrap().is_none(),
+        "torn record not replayed"
+    );
     std::fs::remove_dir_all(&d).unwrap();
 }
 

@@ -37,8 +37,11 @@ fn binary_keys_with_extreme_bytes() {
         assert_eq!(db.get(k).unwrap().unwrap().as_ref(), &[i as u8], "{k:?}");
     }
     // Full scan sorts by raw bytes.
-    let scanned: Vec<Vec<u8>> =
-        db.range(b"", None).unwrap().map(|kv| kv.unwrap().0.to_vec()).collect();
+    let scanned: Vec<Vec<u8>> = db
+        .range(b"", None)
+        .unwrap()
+        .map(|kv| kv.unwrap().0.to_vec())
+        .collect();
     let mut sorted = keys.clone();
     sorted.sort();
     assert_eq!(scanned, sorted);
@@ -50,7 +53,10 @@ fn empty_key_and_empty_value() {
     db.put(Vec::new(), b"value-of-empty-key".to_vec()).unwrap();
     db.put(b"empty-value".to_vec(), Vec::new()).unwrap();
     db.flush().unwrap();
-    assert_eq!(db.get(b"").unwrap().unwrap().as_ref(), b"value-of-empty-key");
+    assert_eq!(
+        db.get(b"").unwrap().unwrap().as_ref(),
+        b"value-of-empty-key"
+    );
     let v = db.get(b"empty-value").unwrap().unwrap();
     assert!(v.is_empty());
     // The empty key sorts first.
@@ -70,7 +76,9 @@ fn entry_exactly_at_page_capacity() {
     db.flush().unwrap();
     assert_eq!(db.get(&key).unwrap().unwrap().len(), value.len());
     // One byte more is rejected.
-    let err = db.put(vec![b'x'; 20], vec![b'v'; max_payload - 19]).unwrap_err();
+    let err = db
+        .put(vec![b'x'; 20], vec![b'v'; max_payload - 19])
+        .unwrap_err();
     assert!(matches!(err, LsmError::EntryTooLarge { .. }));
 }
 
@@ -116,7 +124,8 @@ fn delete_then_reinsert_cycles() {
     let db = db();
     let key = b"phoenix".to_vec();
     for round in 0..20u32 {
-        db.put(key.clone(), format!("life{round}").into_bytes()).unwrap();
+        db.put(key.clone(), format!("life{round}").into_bytes())
+            .unwrap();
         assert!(db.get(&key).unwrap().is_some());
         db.delete(key.clone()).unwrap();
         assert!(db.get(&key).unwrap().is_none());

@@ -35,7 +35,11 @@ fn insert(db: &Db, n: u32) {
 
 /// Per-level (runs, entries) snapshot.
 fn shape(db: &Db) -> Vec<(usize, u64)> {
-    db.stats().levels.iter().map(|l| (l.runs, l.entries)).collect()
+    db.stats()
+        .levels
+        .iter()
+        .map(|l| (l.runs, l.entries))
+        .collect()
 }
 
 #[test]
@@ -46,7 +50,11 @@ fn tiered_merge_accumulates_then_pushes() {
     for n in [2, 4, 8, 12, 15, 18] {
         insert(&db, n);
     }
-    assert_eq!(shape(&db), vec![(0, 0), (1, 6)], "three runs merged into one at level 2");
+    assert_eq!(
+        shape(&db),
+        vec![(0, 0), (1, 6)],
+        "three runs merged into one at level 2"
+    );
 
     // Two more runs accumulate at level 1 (below the T=3 trigger).
     for n in [3, 19, 1, 10] {
@@ -124,7 +132,10 @@ fn same_inserts_same_data_different_structure() {
         insert(&leveled, n);
     }
     let scan = |db: &Db| -> Vec<Vec<u8>> {
-        db.range(b"", None).unwrap().map(|kv| kv.unwrap().0.to_vec()).collect()
+        db.range(b"", None)
+            .unwrap()
+            .map(|kv| kv.unwrap().0.to_vec())
+            .collect()
     };
     assert_eq!(scan(&tiered), scan(&leveled));
     // But tiering batched more runs while leveling merged eagerly.

@@ -38,7 +38,9 @@ fn run_against_reference(policy: MergePolicy, t: usize, filters: &str, seed: u64
         reference.insert(k.clone(), v.clone());
         db.put(k, v).unwrap();
     }
-    let mix = OpMix::new(0.25, 0.25, 0.1, 0.4).with_deletes(0.3).with_selectivity(0.01);
+    let mix = OpMix::new(0.25, 0.25, 0.1, 0.4)
+        .with_deletes(0.3)
+        .with_selectivity(0.01);
     for op in tb.query_phase(&mix, 4000, &mut rng) {
         match op {
             Op::Put(k, v) => {
@@ -54,7 +56,11 @@ fn run_against_reference(policy: MergePolicy, t: usize, filters: &str, seed: u64
             }
             Op::GetExisting(k) => {
                 let got = db.get(&k).unwrap().map(|b| b.to_vec());
-                assert_eq!(got, reference.get(&k).cloned(), "{policy:?} T={t} {filters}");
+                assert_eq!(
+                    got,
+                    reference.get(&k).cloned(),
+                    "{policy:?} T={t} {filters}"
+                );
             }
             Op::Range(lo, hi) => {
                 let got: Vec<(Vec<u8>, Vec<u8>)> = db
@@ -75,7 +81,11 @@ fn run_against_reference(policy: MergePolicy, t: usize, filters: &str, seed: u64
     }
 
     // Full scan equals the reference exactly.
-    let got: Vec<Vec<u8>> = db.range(b"", None).unwrap().map(|kv| kv.unwrap().0.to_vec()).collect();
+    let got: Vec<Vec<u8>> = db
+        .range(b"", None)
+        .unwrap()
+        .map(|kv| kv.unwrap().0.to_vec())
+        .collect();
     let want: Vec<Vec<u8>> = reference.keys().cloned().collect();
     assert_eq!(got, want, "{policy:?} T={t} {filters} full scan");
 }
@@ -126,7 +136,10 @@ fn monkey_spends_same_memory_as_uniform_but_reads_less() {
     // Memory parity within a few percent (word-rounding of bit arrays).
     let mu = uniform.stats().filter_bits as f64;
     let mm = monkey.stats().filter_bits as f64;
-    assert!((mm - mu).abs() / mu < 0.15, "uniform {mu} bits vs monkey {mm} bits");
+    assert!(
+        (mm - mu).abs() / mu < 0.15,
+        "uniform {mu} bits vs monkey {mm} bits"
+    );
 
     // Expected lookup cost (sum of FPRs) strictly better for Monkey.
     assert!(
@@ -188,7 +201,10 @@ fn stats_memory_terms_are_consistent() {
         8000,
         "no entries lost or duplicated"
     );
-    assert_eq!(stats.levels.iter().map(|l| l.filter_bits).sum::<u64>(), stats.filter_bits);
+    assert_eq!(
+        stats.levels.iter().map(|l| l.filter_bits).sum::<u64>(),
+        stats.filter_bits
+    );
     let fpr_sum: f64 = stats.levels.iter().map(|l| l.fpr_sum).sum();
     assert!((fpr_sum - stats.expected_zero_result_lookup_ios).abs() < 1e-9);
 }

@@ -37,7 +37,11 @@ fn capacity_schedule_is_geometric() {
             "capacities grow by T between adjacent levels"
         );
     }
-    assert_eq!(stats.levels[0].capacity_bytes, 4096 * 3, "level 1 = buffer × T");
+    assert_eq!(
+        stats.levels[0].capacity_bytes,
+        4096 * 3,
+        "level 1 = buffer × T"
+    );
 }
 
 #[test]
@@ -45,7 +49,12 @@ fn run_count_bounds_per_policy() {
     for t in [2usize, 3, 5] {
         let (db, _) = loaded(MergePolicy::Leveling, t, 15_000);
         for level in &db.stats().levels {
-            assert!(level.runs <= 1, "leveling T={t}: level {} has {} runs", level.level, level.runs);
+            assert!(
+                level.runs <= 1,
+                "leveling T={t}: level {} has {} runs",
+                level.level,
+                level.runs
+            );
         }
         let (db, _) = loaded(MergePolicy::Tiering, t, 15_000);
         for level in &db.stats().levels {
@@ -120,7 +129,10 @@ fn memory_terms_scale_as_the_paper_says() {
         data_bits
     );
     let bpe = stats.bits_per_entry();
-    assert!((bpe - 8.0).abs() < 2.0, "≈8 bits/entry of filters, got {bpe}");
+    assert!(
+        (bpe - 8.0).abs() < 2.0,
+        "≈8 bits/entry of filters, got {bpe}"
+    );
 }
 
 #[test]
@@ -130,9 +142,15 @@ fn deeper_levels_hold_exponentially_more_data() {
     let occupied: Vec<_> = stats.levels.iter().filter(|l| l.runs > 0).collect();
     // A freshly cascaded leveled tree may have empty intermediate levels;
     // at least the deepest and one shallower level must be occupied here.
-    assert!(occupied.len() >= 2, "need at least two occupied levels, got {occupied:?}");
+    assert!(
+        occupied.len() >= 2,
+        "need at least two occupied levels, got {occupied:?}"
+    );
     let last = occupied.last().unwrap();
-    let rest: u64 = occupied[..occupied.len() - 1].iter().map(|l| l.entries).sum();
+    let rest: u64 = occupied[..occupied.len() - 1]
+        .iter()
+        .map(|l| l.entries)
+        .sum();
     assert!(
         last.entries > rest,
         "the last level holds the majority of entries (Figure 2)"

@@ -23,7 +23,11 @@ fn build(policy: MergePolicy, t: usize, monkey: bool, n: u64) -> (Arc<Db>, KeySp
         .buffer_capacity(8 << 10)
         .size_ratio(t)
         .merge_policy(policy);
-    let opts = if monkey { opts.monkey_filters(5.0) } else { opts.uniform_filters(5.0) };
+    let opts = if monkey {
+        opts.monkey_filters(5.0)
+    } else {
+        opts.uniform_filters(5.0)
+    };
     let db = Db::open(opts).unwrap();
     let keys = KeySpace::with_entry_size(n, 64);
     let mut rng = StdRng::seed_from_u64(31);
@@ -104,7 +108,11 @@ fn non_zero_result_lookups_between_r_and_r_plus_one() {
     }
     let v = db.io().page_reads as f64 / lookups as f64;
     assert!(v >= 1.0, "found lookups need at least one I/O, got {v}");
-    assert!(v <= r + 1.0 + 0.05, "V={v} should be at most R+1={}", r + 1.0);
+    assert!(
+        v <= r + 1.0 + 0.05,
+        "V={v} should be at most R+1={}",
+        r + 1.0
+    );
 }
 
 #[test]
@@ -124,10 +132,16 @@ fn update_cost_scales_with_size_ratio_under_leveling() {
     };
     let lev2 = per_update_io(MergePolicy::Leveling, 2);
     let lev6 = per_update_io(MergePolicy::Leveling, 6);
-    assert!(lev6 > lev2 * 0.9, "leveling write-amp grows-ish with T: {lev2} -> {lev6}");
+    assert!(
+        lev6 > lev2 * 0.9,
+        "leveling write-amp grows-ish with T: {lev2} -> {lev6}"
+    );
     let tier2 = per_update_io(MergePolicy::Tiering, 2);
     let tier6 = per_update_io(MergePolicy::Tiering, 6);
-    assert!(tier6 < tier2, "tiering write-amp shrinks with T: {tier2} -> {tier6}");
+    assert!(
+        tier6 < tier2,
+        "tiering write-amp shrinks with T: {tier2} -> {tier6}"
+    );
 }
 
 #[test]
@@ -143,7 +157,11 @@ fn range_cost_is_seeks_plus_scanned_pages() {
     let count = db.range(&lo, Some(&hi)).unwrap().count();
     assert!(count >= (n / 10 - 1) as usize);
     let io = db.io();
-    assert!(io.seeks <= runs + 1, "at most one seek per run: {} vs {runs}", io.seeks);
+    assert!(
+        io.seeks <= runs + 1,
+        "at most one seek per run: {} vs {runs}",
+        io.seeks
+    );
     // Pages scanned should be within a small factor of s·N/B plus the
     // per-run page overhead (each run rounds up to whole pages).
     let b = 1024 / 79; // page / encoded entry size

@@ -15,7 +15,11 @@ fn measured_r(n: u64, buffer: usize, monkey: bool) -> f64 {
         .buffer_capacity(buffer)
         .size_ratio(2)
         .merge_policy(MergePolicy::Leveling);
-    let opts = if monkey { opts.monkey_filters(5.0) } else { opts.uniform_filters(5.0) };
+    let opts = if monkey {
+        opts.monkey_filters(5.0)
+    } else {
+        opts.uniform_filters(5.0)
+    };
     let db = Db::open(opts).unwrap();
     let keys = KeySpace::with_entry_size(n, 64);
     let mut rng = StdRng::seed_from_u64(21);

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API this workspace's benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! harness: calibrate an iteration count, take `sample_size` samples, and
+//! report the median ns/iter. No statistics engine, no HTML reports, no
+//! gnuplot; results print to stdout as `group/name  <median> ns/iter`.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does for
+//! `harness = false` targets) every benchmark runs exactly once, so bench
+//! code stays covered by the test gate without burning wall-clock time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in always re-runs
+/// setup per iteration (criterion's `PerIteration` semantics), which is
+/// the only mode this workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input for every iteration.
+    PerIteration,
+    /// Criterion hint; treated as `PerIteration` here.
+    SmallInput,
+    /// Criterion hint; treated as `PerIteration` here.
+    LargeInput,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` excluding `setup`, re-running setup each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver (one per `criterion_group!`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (median taken across them).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total wall-clock budget for one benchmark's samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{}/{}: ok (test mode)", self.name, id);
+            return self;
+        }
+
+        // Calibrate: grow the iteration count until one sample is long
+        // enough for the clock to resolve it (~1 ms or 2^20 iters).
+        let mut iters = 1u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            b.iters = iters;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1) || iters >= (1 << 20) {
+                break;
+            }
+            iters *= 2;
+        }
+        let per_iter = b.elapsed.as_nanos().max(1) as f64 / iters as f64;
+        let per_sample = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let sample_iters = ((per_sample / per_iter) as u64).clamp(1, 1 << 28);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = sample_iters;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{}/{}: {:>12} ns/iter (min {}, max {}, {} samples x {} iters)",
+            self.name,
+            id,
+            format_ns(median),
+            format_ns(min),
+            format_ns(max),
+            samples.len(),
+            sample_iters,
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5).measurement_time(Duration::from_millis(10));
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 3u64, |x| x * 2, BatchSize::PerIteration)
+            });
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn real_measurement_produces_positive_time() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("m");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        g.bench_function("spin", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Supplies `crossbeam::scope` — the only crossbeam API this workspace
+//! uses — implemented on top of `std::thread::scope`. The crossbeam
+//! closure signature passes the scope to each spawned thread
+//! (`scope.spawn(|scope| ...)`), which std's API does not, so spawned
+//! closures receive a lightweight `Copy` wrapper around the std scope.
+
+use std::any::Any;
+
+/// Scoped-thread support, mirroring `crossbeam::thread`.
+pub mod thread {
+    use super::*;
+
+    /// A scope for spawning threads that may borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope, so it
+        /// can spawn further siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing local data can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates through
+    /// `std::thread::scope` rather than surfacing in the returned
+    /// `Result`; since every call site `.unwrap()`s the result, the
+    /// observable behavior (panic on child panic) is identical.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_passed_scope() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}
