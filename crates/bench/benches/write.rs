@@ -1,0 +1,162 @@
+//! Write-path benchmarks: put throughput and put tail latency across the
+//! two merge policies × the two flush schedules.
+//!
+//! In synchronous mode a put that fills the buffer pays for the whole
+//! flush (and any merge cascade it triggers) inline, so the mean stays low
+//! but the tail is the full cascade cost. With `background_compaction` the
+//! rotating put only freezes the memtable and hands it to the worker; the
+//! tail collapses to the rotation cost unless backpressure kicks in. The
+//! throughput numbers come from the criterion harness (median ns/put); the
+//! latency distribution is measured separately below because the offline
+//! criterion stand-in reports no percentiles.
+
+use criterion::{criterion_group, Criterion};
+use monkey::{Db, DbOptions, DbOptionsExt, MergePolicy};
+use std::time::{Duration, Instant};
+
+const VALUE_LEN: usize = 64;
+
+fn opts(policy: MergePolicy, background: bool) -> DbOptions {
+    // The harness default shape (EXPERIMENTS.md): 1 KiB pages, 16 KiB
+    // buffer, T=2 — deep enough that leveling cascades span many levels.
+    DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(16 << 10)
+        .size_ratio(2)
+        .merge_policy(policy)
+        .monkey_filters(5.0)
+        .background_compaction(background)
+        .max_immutable_memtables(4)
+}
+
+fn configs() -> [(MergePolicy, bool, &'static str); 4] {
+    [
+        (MergePolicy::Leveling, false, "leveling_sync"),
+        (MergePolicy::Leveling, true, "leveling_background"),
+        (MergePolicy::Tiering, false, "tiering_sync"),
+        (MergePolicy::Tiering, true, "tiering_background"),
+    ]
+}
+
+fn bench_put_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("put_throughput");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for (policy, background, label) in configs() {
+        let db = Db::open(opts(policy, background)).unwrap();
+        let mut i = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                    .unwrap();
+            })
+        });
+        db.flush().unwrap();
+    }
+    group.finish();
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn us(d: Duration) -> String {
+    format!("{:.1}us", d.as_nanos() as f64 / 1e3)
+}
+
+/// One fixed-size load per config, timing every individual put: the tail
+/// is where the two flush schedules differ.
+fn latency_distribution(n: usize) {
+    println!("\nput_latency ({n} sequential puts, {VALUE_LEN} B values):");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9}  stalls",
+        "config", "p50", "p99", "p99.9", "max"
+    );
+    for (policy, background, label) in configs() {
+        let db = Db::open(opts(policy, background)).unwrap();
+        let mut lat = Vec::with_capacity(n);
+        for i in 0..n {
+            let key = format!("key{i:012}").into_bytes();
+            let t0 = Instant::now();
+            db.put(key, vec![b'v'; VALUE_LEN]).unwrap();
+            lat.push(t0.elapsed());
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.disk_entries, n as u64, "{label}: no writes lost");
+        lat.sort();
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9}  {}",
+            label,
+            us(percentile(&lat, 0.50)),
+            us(percentile(&lat, 0.99)),
+            us(percentile(&lat, 0.999)),
+            us(lat[lat.len() - 1]),
+            stats.pipeline.stalls,
+        );
+    }
+}
+
+/// Point-lookup tail latency while a writer saturates the put path:
+/// lookups read an immutable version snapshot, so an in-flight flush or
+/// merge cascade must not show up in the get tail (in either mode — only
+/// the brief memtable-insert lock is shared).
+fn get_latency_under_write_load(n: usize) {
+    println!("\nget_latency_under_write_load ({n} gets vs a saturating writer):");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9}",
+        "config", "p50", "p99", "p99.9", "max"
+    );
+    for (policy, background, label) in configs() {
+        let db = Db::open(opts(policy, background)).unwrap();
+        for i in 0..20_000usize {
+            db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                .unwrap();
+        }
+        db.flush().unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut lat = Vec::with_capacity(n);
+        crossbeam::scope(|scope| {
+            let (db_ref, stop_ref) = (&db, &stop);
+            scope.spawn(move |_| {
+                let mut i = 20_000u64;
+                while !stop_ref.load(std::sync::atomic::Ordering::Acquire) {
+                    db_ref
+                        .put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                        .unwrap();
+                    i += 1;
+                }
+            });
+            for i in 0..n {
+                let key = format!("key{:012}", i % 20_000);
+                let t0 = Instant::now();
+                assert!(db.get(key.as_bytes()).unwrap().is_some());
+                lat.push(t0.elapsed());
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        })
+        .unwrap();
+        lat.sort();
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9}",
+            label,
+            us(percentile(&lat, 0.50)),
+            us(percentile(&lat, 0.99)),
+            us(percentile(&lat, 0.999)),
+            us(lat[lat.len() - 1]),
+        );
+    }
+}
+
+criterion_group!(benches, bench_put_throughput);
+
+fn main() {
+    benches();
+    // `cargo test --benches` passes `--test`: keep the smoke run cheap.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    latency_distribution(if test_mode { 2_000 } else { 200_000 });
+    get_latency_under_write_load(if test_mode { 2_000 } else { 100_000 });
+}

@@ -56,7 +56,8 @@ mod bridge;
 pub use bridge::{model_params_for, to_model_policy};
 pub use monkey_lsm::{
     Db, DbOptions, DbStats, Entry, EntryKind, FilterContext, FilterPolicy, FilterVariant,
-    LevelStats, LookupStats, LsmError, MergePolicy, RangeIter, Result, UniformFilterPolicy,
+    LevelStats, LookupStats, LsmError, MergePolicy, PipelineStats, RangeIter, Result,
+    UniformFilterPolicy, WalStats,
 };
 pub use monkey_model::{Environment, Workload};
 pub use navigator::{Navigator, Recommendation, WhatIf};

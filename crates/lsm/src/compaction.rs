@@ -9,9 +9,130 @@
 use crate::entry::Entry;
 use crate::error::Result;
 use crate::iter::{EntrySource, MergingIter};
+use crate::level::{level_capacity_bytes, Version};
+use crate::options::DbOptions;
+use crate::policy::FilterContext;
 use crate::run::{FilterParams, Run, RunBuilder};
 use monkey_storage::Disk;
 use std::sync::Arc;
+
+/// What a flush's merge cascade did, for the engine's lifetime counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct CascadeOutcome {
+    /// Merge operations performed.
+    pub merges: u64,
+    /// Entries read-and-rewritten by those merges.
+    pub entries_rewritten: u64,
+}
+
+/// Builds the filter parameters for a run of `run_entries` entries landing
+/// at `level`: bits-per-entry from the filter policy, layout variant from
+/// the options. At every call site, `version` holds exactly the runs that
+/// will coexist with the new run (merge inputs have already been taken out
+/// of their levels). `extra_entries` counts memory-resident entries not in
+/// any run — zero during a flush cascade (the frozen memtable being built
+/// *is* the new run), the memtable sizes during a filter rebuild.
+pub(crate) fn filter_params_for(
+    opts: &DbOptions,
+    version: &Version,
+    level: usize,
+    run_entries: u64,
+    extra_entries: u64,
+) -> FilterParams {
+    let other_run_entries: Vec<u64> = version
+        .levels()
+        .iter()
+        .flat_map(|l| l.runs().iter().map(|r| r.entries()))
+        .collect();
+    let ctx = FilterContext {
+        level,
+        num_levels: version.deepest().max(level),
+        run_entries,
+        total_entries: run_entries + other_run_entries.iter().sum::<u64>() + extra_entries,
+        other_run_entries,
+        size_ratio: opts.size_ratio,
+        merge_policy: opts.merge_policy,
+    };
+    FilterParams::new(opts.filter_policy.bits_per_entry(&ctx), opts.filter_variant)
+}
+
+/// Leveling (§2): the arriving run sort-merges with the resident run of
+/// level 1; whenever a level exceeds its capacity, its (single) run moves
+/// down and merges with the next level's resident run. Mutates `version`
+/// in place — callers hand in a private, not-yet-published clone, so a
+/// failure part-way leaves the *published* tree untouched.
+pub(crate) fn install_leveling(
+    disk: &Arc<Disk>,
+    opts: &DbOptions,
+    version: &mut Version,
+    run: Arc<Run>,
+    outcome: &mut CascadeOutcome,
+) -> Result<()> {
+    let mut carry = run;
+    let mut lvl = 1usize;
+    loop {
+        version.ensure_levels(lvl);
+        let deepest = version.deepest().max(lvl);
+        if !version.levels()[lvl - 1].is_empty() {
+            let mut inputs = vec![carry];
+            inputs.extend(version.levels_mut()[lvl - 1].take_all());
+            let drop_tombstones = lvl >= deepest;
+            let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
+            let params = filter_params_for(opts, version, lvl, input_entries, 0);
+            outcome.merges += 1;
+            outcome.entries_rewritten += input_entries;
+            match merge_runs(disk, &inputs, drop_tombstones, params)? {
+                Some(merged) => carry = merged,
+                None => return Ok(()), // merge annihilated everything
+            }
+        }
+        version.levels_mut()[lvl - 1].push_youngest(carry);
+        let capacity = level_capacity_bytes(opts.buffer_capacity, opts.size_ratio, lvl);
+        if version.levels()[lvl - 1].bytes() <= capacity {
+            return Ok(());
+        }
+        // Over capacity: the run moves to the next level.
+        let mut moved = version.levels_mut()[lvl - 1].take_all();
+        debug_assert_eq!(moved.len(), 1);
+        carry = moved.pop().expect("level had a run");
+        lvl += 1;
+    }
+}
+
+/// Tiering (§2): runs accumulate at a level; the arrival of the `T`-th
+/// merges them all into a single run at the next level. Same private-clone
+/// contract as [`install_leveling`].
+pub(crate) fn install_tiering(
+    disk: &Arc<Disk>,
+    opts: &DbOptions,
+    version: &mut Version,
+    run: Arc<Run>,
+    outcome: &mut CascadeOutcome,
+) -> Result<()> {
+    version.ensure_levels(1);
+    version.levels_mut()[0].push_youngest(run);
+    let t = opts.size_ratio;
+    let mut lvl = 1usize;
+    loop {
+        if version.levels()[lvl - 1].run_count() < t {
+            return Ok(());
+        }
+        let inputs = version.levels_mut()[lvl - 1].take_all();
+        // Tombstones can be dropped when nothing deeper than this level
+        // holds data: the merged run lands at lvl+1 as its deepest data.
+        let drop_tombstones = version.deepest() <= lvl;
+        let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
+        let params = filter_params_for(opts, version, lvl + 1, input_entries, 0);
+        outcome.merges += 1;
+        outcome.entries_rewritten += input_entries;
+        let merged = merge_runs(disk, &inputs, drop_tombstones, params)?;
+        version.ensure_levels(lvl + 1);
+        if let Some(merged) = merged {
+            version.levels_mut()[lvl].push_youngest(merged);
+        }
+        lvl += 1;
+    }
+}
 
 /// Sort-merges `inputs` into a single new run.
 ///

@@ -1,83 +1,150 @@
 //! The database: buffer + levels + policies, glued together.
+//!
+//! ## Write pipeline
+//!
+//! Foreground puts append to the WAL (group commit) and the active
+//! memtable. When the memtable fills it *rotates*: the WAL seals its
+//! current segment and the memtable moves, frozen, into an immutable
+//! queue. The queue is drained by a flush stage — either inline on the
+//! rotating put's own thread (`background_compaction = false`, the
+//! default: deterministic I/O timing, what every experiment uses) or by a
+//! dedicated worker thread (`true`: foreground puts never pay for a merge
+//! cascade; they stall only when the queue hits its configured bound).
+//!
+//! ## Non-blocking reads
+//!
+//! The disk-resident shape of the tree lives in an immutable
+//! [`Version`] behind an `Arc`. A lookup takes one brief shared lock to
+//! probe the active memtable and clone the immutable list + version
+//! pointers, then probes runs with **no lock held** — an in-flight merge
+//! cascade builds its successor version off to the side and publishes it
+//! with a pointer swap, so `get`/`range` never block on compaction in
+//! either mode.
 
-use crate::compaction::{build_run_from_sorted, merge_runs};
+use crate::compaction::{
+    build_run_from_sorted, filter_params_for, install_leveling, install_tiering, CascadeOutcome,
+};
 use crate::entry::{Entry, EntryKind, ENTRY_HEADER_LEN};
 use crate::error::{LsmError, Result};
 use crate::iter::{EntrySource, MergingIter, RangeIter};
-use crate::level::{level_capacity_bytes, Level};
+use crate::level::{level_capacity_bytes, Version};
 use crate::manifest::{Manifest, ManifestState, RunRecord};
 use crate::memtable::Memtable;
 use crate::options::{DbOptions, StorageConfig};
 use crate::page::max_entry_len;
 use crate::policy::FilterContext;
-use crate::run::{recover_run, FilterParams, Run};
-use crate::stats::{DbStats, LevelStats, LookupStats};
+use crate::run::{recover_run, FilterParams};
+use crate::stats::{DbStats, LevelStats, LookupStats, PipelineStats};
 use crate::vlog::{ValueLog, ValuePointer};
 use crate::wal::Wal;
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
 use monkey_storage::{Disk, IoSnapshot};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
-struct Inner {
+/// A memtable frozen at rotation, queued for the flush stage. Still fully
+/// readable; `wal_segment` is the id of the last WAL segment holding its
+/// entries, pruned once the flush lands.
+#[derive(Clone)]
+struct ImmutableMemtable {
+    memtable: Arc<Memtable>,
+    wal_segment: Option<u64>,
+    entries: u64,
+    bytes: usize,
+}
+
+/// Read-visible state: what a lookup snapshots under one shared lock.
+/// Writers hold the lock exclusively only for memtable inserts, rotations,
+/// and version pointer swaps — never across a flush or merge.
+struct Shared {
     memtable: Memtable,
-    /// `levels[0]` is disk level 1 (shallowest).
-    levels: Vec<Level>,
     next_seq: u64,
+    /// Frozen memtables awaiting flush, oldest first.
+    immutables: VecDeque<ImmutableMemtable>,
+    /// Current disk shape. Published by pointer swap; readers clone the
+    /// `Arc` and keep their snapshot for as long as they need it.
+    version: Arc<Version>,
 }
 
-impl Inner {
-    /// Deepest non-empty level (1-based), 0 when the disk is empty.
-    fn deepest(&self) -> usize {
-        self.levels
-            .iter()
-            .rposition(|l| !l.is_empty())
-            .map_or(0, |i| i + 1)
-    }
-
-    fn disk_entries(&self) -> u64 {
-        self.levels.iter().map(Level::entries).sum()
-    }
-
-    fn ensure_level(&mut self, level: usize) {
-        while self.levels.len() < level {
-            self.levels.push(Level::new());
-        }
-    }
+/// Pipeline control flags, guarded by a `std` mutex so the condvars can
+/// wait on them. Kept separate from [`Shared`] so signaling never contends
+/// with the read path.
+#[derive(Default)]
+struct Control {
+    shutdown: bool,
+    paused: bool,
+    /// Deferred worker failure, surfaced (and consumed) by the next
+    /// foreground call.
+    background_error: Option<String>,
 }
 
-/// An LSM-tree key-value store.
-///
-/// Thread-safe: lookups and scans proceed under a shared lock; updates (and
-/// the flushes/merges they trigger) serialize under an exclusive lock.
-pub struct Db {
+struct Signals {
+    control: StdMutex<Control>,
+    /// Wakes the worker: new immutable queued, resume, or shutdown.
+    work_cv: Condvar,
+    /// Wakes stalled writers: an immutable was flushed (or an error means
+    /// they should give up).
+    stall_cv: Condvar,
+}
+
+/// Everything the engine and its background worker share. The worker owns
+/// an `Arc<Core>` (not the `Db`), so dropping the last `Db` handle shuts
+/// the pipeline down instead of leaking it.
+struct Core {
     disk: Arc<Disk>,
     opts: DbOptions,
-    inner: RwLock<Inner>,
+    shared: RwLock<Shared>,
+    signals: Signals,
+    /// Serializes flush cascades and filter rebuilds: whoever holds it is
+    /// the only builder of successor versions.
+    compaction_lock: Mutex<()>,
     wal: Wal,
     manifest: Option<Manifest>,
     compactions: CompactionCounters,
     lookups: LookupCounters,
+    pipeline: PipelineCounters,
     /// Value log for key-value separation (WiscKey mode), when enabled.
     vlog: Option<Arc<ValueLog>>,
 }
 
-/// Lifetime counters of the engine's background (inline) maintenance work.
+/// An LSM-tree key-value store.
+///
+/// Thread-safe. Lookups and scans read an immutable version snapshot and
+/// never block on flushes or merges; updates serialize on a short
+/// exclusive lock (memtable insert + WAL enqueue) with the heavy merge
+/// work running inline (default) or on a background thread.
+pub struct Db {
+    core: Arc<Core>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Lifetime counters of the engine's maintenance work.
 #[derive(Debug, Default)]
 struct CompactionCounters {
-    flushes: std::sync::atomic::AtomicU64,
-    merges: std::sync::atomic::AtomicU64,
-    entries_rewritten: std::sync::atomic::AtomicU64,
+    flushes: AtomicU64,
+    merges: AtomicU64,
+    entries_rewritten: AtomicU64,
 }
 
 /// Lifetime counters of the point-lookup fast path (see [`LookupStats`]).
 #[derive(Debug, Default)]
 struct LookupCounters {
-    key_hashes: std::sync::atomic::AtomicU64,
-    filter_probes: std::sync::atomic::AtomicU64,
-    filter_negatives: std::sync::atomic::AtomicU64,
-    filter_false_positives: std::sync::atomic::AtomicU64,
+    key_hashes: AtomicU64,
+    filter_probes: AtomicU64,
+    filter_negatives: AtomicU64,
+    filter_false_positives: AtomicU64,
+}
+
+/// Lifetime counters of the write pipeline (see [`PipelineStats`]).
+#[derive(Debug, Default)]
+struct PipelineCounters {
+    stalls: AtomicU64,
+    stall_micros: AtomicU64,
+    background_errors: AtomicU64,
 }
 
 /// A snapshot of the engine's maintenance work since open.
@@ -93,146 +160,7 @@ pub struct CompactionStats {
     pub entries_rewritten: u64,
 }
 
-impl Db {
-    /// Opens a database. For directory-backed storage, recovers the tree
-    /// from the manifest and replays the WAL.
-    pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
-        let (disk, wal, manifest, replayed, manifest_state) = match &opts.storage {
-            StorageConfig::Memory => (
-                Disk::mem(opts.page_size),
-                Wal::disabled(),
-                None,
-                Vec::new(),
-                None,
-            ),
-            StorageConfig::MemoryCached(cache) => (
-                Disk::mem_cached(opts.page_size, *cache),
-                Wal::disabled(),
-                None,
-                Vec::new(),
-                None,
-            ),
-            StorageConfig::Directory(dir) => {
-                std::fs::create_dir_all(dir)?;
-                let disk = Disk::file(dir.join("pages"), opts.page_size)?;
-                let manifest = Manifest::at(dir.join("MANIFEST"));
-                let state = manifest.load()?;
-                let (wal, replayed) = Wal::open(dir.join("wal.log"), opts.wal_sync_each_append)?;
-                (disk, wal, Some(manifest), replayed, state)
-            }
-        };
-
-        let mut inner = Inner {
-            memtable: Memtable::new(),
-            levels: Vec::new(),
-            next_seq: 0,
-        };
-
-        if let Some(state) = manifest_state {
-            Self::recover_levels(&disk, &state, &mut inner)?;
-            inner.next_seq = state.next_seq;
-        }
-        for entry in replayed {
-            inner.next_seq = inner.next_seq.max(entry.seq + 1);
-            inner.memtable.insert(entry);
-        }
-        // (Separated values from replayed WAL records are re-separated on
-        // the next flush via the normal put path being bypassed here; the
-        // memtable holds them inline, which is always correct — separation
-        // is an optimization, not an invariant.)
-
-        let vlog = opts
-            .value_separation
-            .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
-        let db = Arc::new(Self {
-            disk,
-            opts,
-            inner: RwLock::new(inner),
-            wal,
-            manifest,
-            compactions: CompactionCounters::default(),
-            lookups: LookupCounters::default(),
-            vlog,
-        });
-        // A WAL bigger than the buffer (crash right before a flush): flush now.
-        {
-            let mut inner = db.inner.write();
-            if inner.memtable.bytes() >= db.opts.buffer_capacity {
-                db.flush_locked(&mut inner)?;
-            }
-        }
-        Ok(db)
-    }
-
-    /// Opens a volatile database over a caller-supplied [`Disk`] — used by
-    /// tests and simulations that need a custom backend (fault injection,
-    /// bespoke caches). No WAL or manifest is attached.
-    pub fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Arc<Self>> {
-        assert_eq!(
-            disk.page_size(),
-            opts.page_size,
-            "disk and options disagree on the page size"
-        );
-        let inner = Inner {
-            memtable: Memtable::new(),
-            levels: Vec::new(),
-            next_seq: 0,
-        };
-        let vlog = opts
-            .value_separation
-            .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
-        Ok(Arc::new(Self {
-            disk,
-            opts,
-            inner: RwLock::new(inner),
-            wal: Wal::disabled(),
-            manifest: None,
-            compactions: CompactionCounters::default(),
-            lookups: LookupCounters::default(),
-            vlog,
-        }))
-    }
-
-    fn recover_levels(disk: &Arc<Disk>, state: &ManifestState, inner: &mut Inner) -> Result<()> {
-        let mut records: Vec<RunRecord> = state.runs.clone();
-        // Within a level, older runs (higher age) are pushed first so the
-        // youngest ends up in front.
-        records.sort_by_key(|r| (r.level, std::cmp::Reverse(r.age)));
-        for record in records {
-            if record.level == 0 {
-                return Err(LsmError::Corruption("manifest run at level 0".into()));
-            }
-            inner.ensure_level(record.level);
-            let run = recover_run(
-                disk,
-                record.id,
-                FilterParams::new(record.bits_per_entry, record.flavor),
-            )?;
-            inner.levels[record.level - 1].push_youngest(Arc::new(run));
-        }
-        Ok(())
-    }
-
-    /// The configuration this database was opened with.
-    pub fn options(&self) -> &DbOptions {
-        &self.opts
-    }
-
-    /// The underlying counted storage (for I/O measurements).
-    pub fn disk(&self) -> &Arc<Disk> {
-        &self.disk
-    }
-
-    /// I/O counters since open or the last reset.
-    pub fn io(&self) -> IoSnapshot {
-        self.disk.io()
-    }
-
-    /// Resets the I/O counters.
-    pub fn reset_io(&self) {
-        self.disk.reset_io();
-    }
-
+impl Core {
     fn check_entry_size(&self, key: &[u8], value_len: usize) -> Result<()> {
         if key.len() > u16::MAX as usize {
             return Err(LsmError::KeyTooLarge(key.len()));
@@ -245,65 +173,11 @@ impl Db {
         Ok(())
     }
 
-    /// Inserts or updates a key.
-    ///
-    /// With key-value separation enabled, values at or above the threshold
-    /// go to the value log and the tree stores a pointer; the WAL always
-    /// records the full value, so durability does not depend on log-page
-    /// flush timing.
-    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
-        let (key, value) = (key.into(), value.into());
-        let separate = match (&self.vlog, self.opts.value_separation) {
-            (Some(vlog), Some(threshold)) if value.len() >= threshold => {
-                if value.len() > vlog.max_value_len() {
-                    return Err(LsmError::EntryTooLarge {
-                        encoded: value.len(),
-                        max: vlog.max_value_len(),
-                    });
-                }
-                true
-            }
-            _ => {
-                self.check_entry_size(&key, value.len())?;
-                false
-            }
-        };
-        if separate {
-            self.check_entry_size(&key, ValuePointer::ENCODED_LEN)?;
-        }
-        let mut inner = self.inner.write();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        // WAL gets the full value either way.
-        self.wal.append(&Entry {
-            key: key.clone(),
-            value: value.clone(),
-            seq,
-            kind: EntryKind::Put,
-        })?;
-        let entry = if separate {
-            let ptr = self
-                .vlog
-                .as_ref()
-                .expect("separation checked")
-                .append(&value)?;
-            Entry {
-                key,
-                value: Bytes::copy_from_slice(&ptr.encode()),
-                seq,
-                kind: EntryKind::IndirectPut,
-            }
-        } else {
-            Entry {
-                key,
-                value,
-                seq,
-                kind: EntryKind::Put,
-            }
-        };
-        inner.memtable.insert(entry);
-        if inner.memtable.bytes() >= self.opts.buffer_capacity {
-            self.flush_locked(&mut inner)?;
+    /// Surfaces (and consumes) a deferred background-worker failure.
+    fn check_background_error(&self) -> Result<()> {
+        let mut ctl = self.signals.control.lock().expect("control poisoned");
+        if let Some(msg) = ctl.background_error.take() {
+            return Err(LsmError::Background(msg));
         }
         Ok(())
     }
@@ -325,235 +199,172 @@ impl Db {
         }
     }
 
-    /// Deletes a key (writes a tombstone).
-    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
-        let key = key.into();
-        self.check_entry_size(&key, 0)?;
-        let mut inner = self.inner.write();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let entry = Entry::tombstone(key, seq);
-        self.wal.append(&entry)?;
-        inner.memtable.insert(entry);
-        if inner.memtable.bytes() >= self.opts.buffer_capacity {
-            self.flush_locked(&mut inner)?;
-        }
-        Ok(())
-    }
-
-    /// Point lookup. Probes the buffer, then each level shallow-to-deep
-    /// (runs youngest-to-oldest), stopping at the first version found (§2).
-    ///
-    /// The key is hashed **once**, when the lookup first reaches the disk
-    /// levels; the same hash pair serves every run's filter probe no matter
-    /// how many runs the tree holds.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        use std::sync::atomic::Ordering::Relaxed;
-        let inner = self.inner.read();
-        if let Some(entry) = inner.memtable.get(key) {
-            return self.resolve_value(&entry);
-        }
-        let pair = hash_pair(key); // the lookup's only hash computation
-        self.lookups.key_hashes.fetch_add(1, Relaxed);
-        for level in &inner.levels {
-            for run in level.runs() {
-                let look = run.get_hashed(key, pair)?;
-                if look.probed_filter {
-                    self.lookups.filter_probes.fetch_add(1, Relaxed);
-                    if look.filter_negative {
-                        self.lookups.filter_negatives.fetch_add(1, Relaxed);
-                    } else if look.page_read && look.entry.is_none() {
-                        // The filter said "maybe", the page said no: a true
-                        // false positive, one wasted I/O.
-                        self.lookups.filter_false_positives.fetch_add(1, Relaxed);
-                    }
-                }
-                if let Some(entry) = look.entry {
-                    return self.resolve_value(&entry);
-                }
-            }
-        }
-        Ok(None)
-    }
-
-    /// Counters of the point-lookup fast path since open.
-    pub fn lookup_stats(&self) -> LookupStats {
-        use std::sync::atomic::Ordering::Relaxed;
-        LookupStats {
-            key_hashes: self.lookups.key_hashes.load(Relaxed),
-            filter_probes: self.lookups.filter_probes.load(Relaxed),
-            filter_negatives: self.lookups.filter_negatives.load(Relaxed),
-            filter_false_positives: self.lookups.filter_false_positives.load(Relaxed),
-        }
-    }
-
-    /// Range scan over `[lo, hi)` (`hi = None` scans to the end). The
-    /// cursor owns snapshots of the relevant runs, so concurrent writes and
-    /// merges do not disturb it.
-    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
-        if let Some(hi) = hi {
-            if hi <= lo {
-                // Empty (or inverted) interval: nothing to scan.
-                return Ok(
-                    RangeIter::new(MergingIter::new(Vec::new(), true)?, None).with_value_log(None)
-                );
-            }
-        }
-        let inner = self.inner.read();
-        let mut sources: Vec<EntrySource> = Vec::with_capacity(1 + inner.levels.len());
-        sources.push(Box::new(inner.memtable.range(lo, hi).into_iter().map(Ok)));
-        for level in &inner.levels {
-            for run in level.runs() {
-                sources.push(Box::new(run.iter_from(lo)));
-            }
-        }
-        let hi = hi.map(Bytes::copy_from_slice);
-        drop(inner);
-        Ok(RangeIter::new(MergingIter::new(sources, true)?, hi).with_value_log(self.vlog.clone()))
-    }
-
-    /// Forces the buffer to flush into the tree even if not full.
-    pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.write();
-        self.flush_locked(&mut inner)
-    }
-
-    /// Builds the filter parameters for a run of `run_entries` entries
-    /// landing at `level`: bits-per-entry from the filter policy, layout
-    /// variant from the options. At every call site, `inner.levels` holds
-    /// exactly the runs that will coexist with the new run (merge inputs
-    /// have already been taken out of their levels).
-    fn filter_params(&self, inner: &Inner, level: usize, run_entries: u64) -> FilterParams {
-        let other_run_entries: Vec<u64> = inner
-            .levels
-            .iter()
-            .flat_map(|l| l.runs().iter().map(|r| r.entries()))
-            .collect();
-        let ctx = FilterContext {
-            level,
-            num_levels: inner.deepest().max(level),
-            run_entries,
-            total_entries: run_entries
-                + other_run_entries.iter().sum::<u64>()
-                + inner.memtable.len() as u64,
-            other_run_entries,
-            size_ratio: self.opts.size_ratio,
-            merge_policy: self.opts.merge_policy,
-        };
-        FilterParams::new(
-            self.opts.filter_policy.bits_per_entry(&ctx),
-            self.opts.filter_variant,
-        )
-    }
-
-    fn flush_locked(&self, inner: &mut Inner) -> Result<()> {
-        if inner.memtable.is_empty() {
+    /// Freezes the active memtable into the immutable queue, sealing the
+    /// WAL segment that covers it. No-op on an empty memtable.
+    fn rotate_locked(&self, shared: &mut Shared) -> Result<()> {
+        if shared.memtable.is_empty() {
             return Ok(());
         }
-        if let Some(vlog) = &self.vlog {
-            // Pointers about to be persisted must reference durable pages.
-            vlog.sync()?;
-        }
-        let entries = inner.memtable.drain_sorted();
-        let n = entries.len() as u64;
-        // Tombstones can be dropped immediately only when the disk is empty.
-        let drop_tombstones = inner.deepest() == 0;
-        let params = self.filter_params(inner, 1, n);
-        // (memtable already drained: filter_params saw it as empty, correct
-        // — its entries are exactly the run being built.)
-        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, params)?;
-        self.compactions
-            .flushes
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if let Some(run) = run {
-            match self.opts.merge_policy {
-                crate::policy::MergePolicy::Leveling => self.install_leveling(inner, run)?,
-                crate::policy::MergePolicy::Tiering => self.install_tiering(inner, run)?,
-            }
-        }
-        self.wal.reset()?;
-        self.persist_manifest(inner)?;
+        let sealed = self.wal.seal_current()?;
+        let frozen = std::mem::take(&mut shared.memtable);
+        shared.immutables.push_back(ImmutableMemtable {
+            entries: frozen.len() as u64,
+            bytes: frozen.bytes(),
+            memtable: Arc::new(frozen),
+            wal_segment: sealed,
+        });
+        self.signals.work_cv.notify_one();
         Ok(())
     }
 
-    /// Leveling (§2): the arriving run sort-merges with the resident run of
-    /// level 1; whenever a level exceeds its capacity, its (single) run
-    /// moves down and merges with the next level's resident run.
-    fn install_leveling(&self, inner: &mut Inner, run: Arc<Run>) -> Result<()> {
-        let mut carry = run;
-        let mut lvl = 1usize;
+    /// Whether a rotation fits under the backpressure bounds.
+    fn room_to_rotate(&self, shared: &Shared) -> bool {
+        if shared.immutables.len() >= self.opts.max_immutable_memtables {
+            return false;
+        }
+        match self.opts.stall_threshold {
+            Some(limit) => shared.immutables.iter().map(|i| i.bytes).sum::<usize>() < limit,
+            None => true,
+        }
+    }
+
+    /// Post-insert capacity check. Consumes the write guard: the inline
+    /// path drops it before draining, the backpressure path re-takes it
+    /// around each stall wait.
+    fn maybe_rotate_after_insert<'a>(&'a self, shared: RwLockWriteGuard<'a, Shared>) -> Result<()> {
+        if shared.memtable.bytes() < self.opts.buffer_capacity {
+            return Ok(());
+        }
+        if self.opts.background_compaction {
+            self.stall_then_rotate(shared)
+        } else {
+            // Synchronous mode: rotate unconditionally and drain on this
+            // thread — the seed engine's deterministic behavior (and the
+            // guaranteed-progress path: there is no worker to wait for).
+            let mut shared = shared;
+            self.rotate_locked(&mut shared)?;
+            drop(shared);
+            self.drain_queue()
+        }
+    }
+
+    /// Backpressure: rotate when the queue has room, otherwise block on
+    /// the stall condvar (with a timeout, so a missed wakeup only costs
+    /// latency) until the worker catches up.
+    fn stall_then_rotate<'a>(&'a self, mut shared: RwLockWriteGuard<'a, Shared>) -> Result<()> {
+        let mut counted = false;
         loop {
-            inner.ensure_level(lvl);
-            let deepest = inner.deepest().max(lvl);
-            if !inner.levels[lvl - 1].is_empty() {
-                let mut inputs = vec![carry];
-                inputs.extend(inner.levels[lvl - 1].take_all());
-                let drop_tombstones = lvl >= deepest;
-                let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
-                let params = self.filter_params(inner, lvl, input_entries);
-                self.compactions
-                    .merges
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                self.compactions
-                    .entries_rewritten
-                    .fetch_add(input_entries, std::sync::atomic::Ordering::Relaxed);
-                match merge_runs(&self.disk, &inputs, drop_tombstones, params)? {
-                    Some(merged) => carry = merged,
-                    None => return Ok(()), // merge annihilated everything
+            if self.room_to_rotate(&shared) {
+                return self.rotate_locked(&mut shared);
+            }
+            drop(shared);
+            if !counted {
+                self.pipeline.stalls.fetch_add(1, Relaxed);
+                counted = true;
+            }
+            let t0 = Instant::now();
+            {
+                let ctl = self.signals.control.lock().expect("control poisoned");
+                if ctl.shutdown {
+                    return Err(LsmError::Background("database shutting down".into()));
+                }
+                let _ = self
+                    .signals
+                    .stall_cv
+                    .wait_timeout(ctl, Duration::from_millis(2))
+                    .expect("control poisoned");
+            }
+            self.pipeline
+                .stall_micros
+                .fetch_add(t0.elapsed().as_micros() as u64, Relaxed);
+            self.check_background_error()?;
+            shared = self.shared.write();
+        }
+    }
+
+    /// Flushes queued immutable memtables until the queue is empty.
+    fn drain_queue(&self) -> Result<()> {
+        while self.flush_one()? {}
+        Ok(())
+    }
+
+    /// Flushes the oldest queued immutable memtable, if any. On failure
+    /// the memtable stays queued (still readable, still WAL-covered) for
+    /// a later retry.
+    fn flush_one(&self) -> Result<bool> {
+        let _cascade = self.compaction_lock.lock();
+        let Some(imm) = self.shared.read().immutables.front().cloned() else {
+            return Ok(false);
+        };
+        self.flush_immutable(&imm)?;
+        Ok(true)
+    }
+
+    /// The flush stage: turn one frozen memtable into a run, cascade it
+    /// through the merge policy on a private clone of the current version,
+    /// publish the successor, persist the manifest, prune the WAL.
+    /// Caller holds `compaction_lock`; the shared lock is taken only for
+    /// the final pointer swap.
+    fn flush_immutable(&self, imm: &ImmutableMemtable) -> Result<()> {
+        if let Some(vlog) = &self.vlog {
+            // Pointers about to be persisted must reference durable pages.
+            // This runs without the shared lock: large separated values no
+            // longer stall concurrent puts.
+            vlog.sync()?;
+        }
+        let entries = imm.memtable.to_sorted_entries();
+        let base = Arc::clone(&self.shared.read().version);
+        let mut working = (*base).clone();
+        // Tombstones can be dropped immediately only when the disk is empty.
+        let drop_tombstones = working.deepest() == 0;
+        let n = entries.len() as u64;
+        let params = filter_params_for(&self.opts, &working, 1, n, 0);
+        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, params)?;
+        self.compactions.flushes.fetch_add(1, Relaxed);
+        let mut outcome = CascadeOutcome::default();
+        if let Some(run) = run {
+            match self.opts.merge_policy {
+                crate::policy::MergePolicy::Leveling => {
+                    install_leveling(&self.disk, &self.opts, &mut working, run, &mut outcome)?
+                }
+                crate::policy::MergePolicy::Tiering => {
+                    install_tiering(&self.disk, &self.opts, &mut working, run, &mut outcome)?
                 }
             }
-            inner.levels[lvl - 1].push_youngest(carry);
-            let capacity =
-                level_capacity_bytes(self.opts.buffer_capacity, self.opts.size_ratio, lvl);
-            if inner.levels[lvl - 1].bytes() <= capacity {
-                return Ok(());
-            }
-            // Over capacity: the run moves to the next level.
-            let mut moved = inner.levels[lvl - 1].take_all();
-            debug_assert_eq!(moved.len(), 1);
-            carry = moved.pop().expect("level had a run");
-            lvl += 1;
         }
+        self.compactions.merges.fetch_add(outcome.merges, Relaxed);
+        self.compactions
+            .entries_rewritten
+            .fetch_add(outcome.entries_rewritten, Relaxed);
+        let new_version = Arc::new(working);
+        let next_seq;
+        {
+            // Publish atomically: readers either see the entries in the
+            // immutable memtable (old version) or in the runs (new
+            // version), never neither.
+            let mut shared = self.shared.write();
+            shared.version = Arc::clone(&new_version);
+            let popped = shared
+                .immutables
+                .pop_front()
+                .expect("flushed memtable vanished from the queue");
+            debug_assert!(Arc::ptr_eq(&popped.memtable, &imm.memtable));
+            next_seq = shared.next_seq;
+        }
+        self.signals.stall_cv.notify_all();
+        self.persist_manifest(&new_version, next_seq)?;
+        if let Some(segment) = imm.wal_segment {
+            self.wal.prune_upto(segment)?;
+        }
+        Ok(())
     }
 
-    /// Tiering (§2): runs accumulate at a level; the arrival of the `T`-th
-    /// merges them all into a single run at the next level.
-    fn install_tiering(&self, inner: &mut Inner, run: Arc<Run>) -> Result<()> {
-        inner.ensure_level(1);
-        inner.levels[0].push_youngest(run);
-        let t = self.opts.size_ratio;
-        let mut lvl = 1usize;
-        loop {
-            if inner.levels[lvl - 1].run_count() < t {
-                return Ok(());
-            }
-            let inputs = inner.levels[lvl - 1].take_all();
-            // Tombstones can be dropped when nothing deeper than this level
-            // holds data: the merged run lands at lvl+1 as its deepest data.
-            let drop_tombstones = inner.deepest() <= lvl;
-            let input_entries: u64 = inputs.iter().map(|r| r.entries()).sum();
-            let params = self.filter_params(inner, lvl + 1, input_entries);
-            self.compactions
-                .merges
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.compactions
-                .entries_rewritten
-                .fetch_add(input_entries, std::sync::atomic::Ordering::Relaxed);
-            let merged = merge_runs(&self.disk, &inputs, drop_tombstones, params)?;
-            inner.ensure_level(lvl + 1);
-            if let Some(merged) = merged {
-                inner.levels[lvl].push_youngest(merged);
-            }
-            lvl += 1;
-        }
-    }
-
-    fn persist_manifest(&self, inner: &Inner) -> Result<()> {
+    fn persist_manifest(&self, version: &Version, next_seq: u64) -> Result<()> {
         let Some(manifest) = &self.manifest else {
             return Ok(());
         };
         let mut runs = Vec::new();
-        for (idx, level) in inner.levels.iter().enumerate() {
+        for (idx, level) in version.levels().iter().enumerate() {
             for (age, run) in level.runs().iter().enumerate() {
                 runs.push(RunRecord {
                     id: run.id(),
@@ -565,11 +376,501 @@ impl Db {
             }
         }
         manifest.store(&ManifestState {
-            next_seq: inner.next_seq,
+            next_seq,
             policy: Some(self.opts.merge_policy),
             size_ratio: Some(self.opts.size_ratio),
             runs,
         })
+    }
+}
+
+/// The background flush/compaction worker. Drains the immutable queue;
+/// on failure it records the error for the foreground and retries with
+/// backoff (the memtable stays queued and readable, its WAL segments
+/// stay on disk). Exits when shutdown is flagged and the queue is empty
+/// — or immediately on a failure during shutdown, leaving recovery to
+/// the WAL.
+fn worker_loop(core: Arc<Core>) {
+    loop {
+        let (shutdown, paused) = {
+            let ctl = core.signals.control.lock().expect("control poisoned");
+            (ctl.shutdown, ctl.paused)
+        };
+        let has_work = !core.shared.read().immutables.is_empty();
+        if shutdown && !has_work {
+            return;
+        }
+        if !shutdown && (paused || !has_work) {
+            let ctl = core.signals.control.lock().expect("control poisoned");
+            let _ = core
+                .signals
+                .work_cv
+                .wait_timeout(ctl, Duration::from_millis(5))
+                .expect("control poisoned");
+            continue;
+        }
+        match core.flush_one() {
+            Ok(_) => {}
+            Err(e) => {
+                core.pipeline.background_errors.fetch_add(1, Relaxed);
+                {
+                    let mut ctl = core.signals.control.lock().expect("control poisoned");
+                    ctl.background_error = Some(e.to_string());
+                }
+                core.signals.stall_cv.notify_all();
+                if shutdown {
+                    return;
+                }
+                let ctl = core.signals.control.lock().expect("control poisoned");
+                let _ = core
+                    .signals
+                    .work_cv
+                    .wait_timeout(ctl, Duration::from_millis(10))
+                    .expect("control poisoned");
+            }
+        }
+    }
+}
+
+impl Db {
+    /// Opens a database. For directory-backed storage, recovers the tree
+    /// from the manifest and replays the WAL segments.
+    pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
+        let (disk, wal, manifest, replayed, manifest_state) = match &opts.storage {
+            StorageConfig::Memory => (
+                Disk::mem(opts.page_size),
+                Wal::disabled(),
+                None,
+                Vec::new(),
+                None,
+            ),
+            StorageConfig::MemoryCached(cache) => (
+                Disk::mem_cached(opts.page_size, *cache),
+                Wal::disabled(),
+                None,
+                Vec::new(),
+                None,
+            ),
+            StorageConfig::Directory(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let disk = Disk::file(dir.join("pages"), opts.page_size)?;
+                let manifest = Manifest::at(dir.join("MANIFEST"));
+                let state = manifest.load()?;
+                let (wal, replayed) = Wal::open(dir, opts.wal_sync_each_append)?;
+                (disk, wal, Some(manifest), replayed, state)
+            }
+        };
+
+        let mut version = Version::empty();
+        let mut next_seq = 0;
+        if let Some(state) = &manifest_state {
+            Self::recover_version(&disk, state, &mut version)?;
+            next_seq = state.next_seq;
+        }
+        let mut memtable = Memtable::new();
+        for entry in replayed {
+            next_seq = next_seq.max(entry.seq + 1);
+            memtable.insert(entry);
+        }
+        // (Separated values from replayed WAL records land inline in the
+        // memtable, which is always correct — separation is an
+        // optimization, not an invariant.)
+
+        let vlog = opts
+            .value_separation
+            .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
+        let core = Arc::new(Core {
+            disk,
+            shared: RwLock::new(Shared {
+                memtable,
+                next_seq,
+                immutables: VecDeque::new(),
+                version: Arc::new(version),
+            }),
+            signals: Signals {
+                control: StdMutex::new(Control::default()),
+                work_cv: Condvar::new(),
+                stall_cv: Condvar::new(),
+            },
+            compaction_lock: Mutex::new(()),
+            wal,
+            manifest,
+            compactions: CompactionCounters::default(),
+            lookups: LookupCounters::default(),
+            pipeline: PipelineCounters::default(),
+            vlog,
+            opts,
+        });
+        // A WAL bigger than the buffer (crash right before a flush): flush
+        // now, inline, before the worker exists.
+        {
+            let mut shared = core.shared.write();
+            if shared.memtable.bytes() >= core.opts.buffer_capacity {
+                core.rotate_locked(&mut shared)?;
+                drop(shared);
+                core.drain_queue()?;
+            }
+        }
+        Ok(Arc::new(Self::with_worker(core)))
+    }
+
+    /// Opens a volatile database over a caller-supplied [`Disk`] — used by
+    /// tests and simulations that need a custom backend (fault injection,
+    /// slow devices, bespoke caches). No WAL or manifest is attached.
+    pub fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Arc<Self>> {
+        assert_eq!(
+            disk.page_size(),
+            opts.page_size,
+            "disk and options disagree on the page size"
+        );
+        let vlog = opts
+            .value_separation
+            .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
+        let core = Arc::new(Core {
+            disk,
+            shared: RwLock::new(Shared {
+                memtable: Memtable::new(),
+                next_seq: 0,
+                immutables: VecDeque::new(),
+                version: Arc::new(Version::empty()),
+            }),
+            signals: Signals {
+                control: StdMutex::new(Control::default()),
+                work_cv: Condvar::new(),
+                stall_cv: Condvar::new(),
+            },
+            compaction_lock: Mutex::new(()),
+            wal: Wal::disabled(),
+            manifest: None,
+            compactions: CompactionCounters::default(),
+            lookups: LookupCounters::default(),
+            pipeline: PipelineCounters::default(),
+            vlog,
+            opts,
+        });
+        Ok(Arc::new(Self::with_worker(core)))
+    }
+
+    fn with_worker(core: Arc<Core>) -> Self {
+        let worker = if core.opts.background_compaction {
+            let worker_core = Arc::clone(&core);
+            Some(
+                std::thread::Builder::new()
+                    .name("monkey-flush".into())
+                    .spawn(move || worker_loop(worker_core))
+                    .expect("spawn flush worker"),
+            )
+        } else {
+            None
+        };
+        Self { core, worker }
+    }
+
+    fn recover_version(
+        disk: &Arc<Disk>,
+        state: &ManifestState,
+        version: &mut Version,
+    ) -> Result<()> {
+        let mut records: Vec<RunRecord> = state.runs.clone();
+        // Within a level, older runs (higher age) are pushed first so the
+        // youngest ends up in front.
+        records.sort_by_key(|r| (r.level, std::cmp::Reverse(r.age)));
+        for record in records {
+            if record.level == 0 {
+                return Err(LsmError::Corruption("manifest run at level 0".into()));
+            }
+            version.ensure_levels(record.level);
+            let run = recover_run(
+                disk,
+                record.id,
+                FilterParams::new(record.bits_per_entry, record.flavor),
+            )?;
+            version.levels_mut()[record.level - 1].push_youngest(Arc::new(run));
+        }
+        Ok(())
+    }
+
+    /// The configuration this database was opened with.
+    pub fn options(&self) -> &DbOptions {
+        &self.core.opts
+    }
+
+    /// The underlying counted storage (for I/O measurements).
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.core.disk
+    }
+
+    /// I/O counters since open or the last reset.
+    pub fn io(&self) -> IoSnapshot {
+        self.core.disk.io()
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_io(&self) {
+        self.core.disk.reset_io();
+    }
+
+    /// Inserts or updates a key.
+    ///
+    /// With key-value separation enabled, values at or above the threshold
+    /// go to the value log and the tree stores a pointer; the WAL always
+    /// records the full value, so durability does not depend on log-page
+    /// flush timing.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        let core = &self.core;
+        core.check_background_error()?;
+        let (key, value) = (key.into(), value.into());
+        let separate = match (&core.vlog, core.opts.value_separation) {
+            (Some(vlog), Some(threshold)) if value.len() >= threshold => {
+                if value.len() > vlog.max_value_len() {
+                    return Err(LsmError::EntryTooLarge {
+                        encoded: value.len(),
+                        max: vlog.max_value_len(),
+                    });
+                }
+                true
+            }
+            _ => {
+                core.check_entry_size(&key, value.len())?;
+                false
+            }
+        };
+        if separate {
+            core.check_entry_size(&key, ValuePointer::ENCODED_LEN)?;
+        }
+        let seq;
+        {
+            let mut shared = core.shared.write();
+            seq = shared.next_seq;
+            shared.next_seq += 1;
+            // The WAL gets the full value either way. Enqueued under the
+            // exclusive lock (preserving sequence order); the physical
+            // write happens in `commit` below, off the lock, batched with
+            // whatever other writers enqueued meanwhile.
+            core.wal.enqueue(&Entry {
+                key: key.clone(),
+                value: value.clone(),
+                seq,
+                kind: EntryKind::Put,
+            })?;
+            let entry = if separate {
+                let ptr = core
+                    .vlog
+                    .as_ref()
+                    .expect("separation checked")
+                    .append(&value)?;
+                Entry {
+                    key,
+                    value: Bytes::copy_from_slice(&ptr.encode()),
+                    seq,
+                    kind: EntryKind::IndirectPut,
+                }
+            } else {
+                Entry {
+                    key,
+                    value,
+                    seq,
+                    kind: EntryKind::Put,
+                }
+            };
+            shared.memtable.insert(entry);
+            core.maybe_rotate_after_insert(shared)?;
+        }
+        core.wal.commit(seq)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
+        let core = &self.core;
+        core.check_background_error()?;
+        let key = key.into();
+        core.check_entry_size(&key, 0)?;
+        let seq;
+        {
+            let mut shared = core.shared.write();
+            seq = shared.next_seq;
+            shared.next_seq += 1;
+            let entry = Entry::tombstone(key, seq);
+            core.wal.enqueue(&entry)?;
+            shared.memtable.insert(entry);
+            core.maybe_rotate_after_insert(shared)?;
+        }
+        core.wal.commit(seq)
+    }
+
+    /// Point lookup. Probes the buffer and any frozen memtables, then each
+    /// level shallow-to-deep (runs youngest-to-oldest), stopping at the
+    /// first version found (§2).
+    ///
+    /// One brief shared-lock critical section snapshots the memtable probe
+    /// result, the immutable list, and the version; every disk probe runs
+    /// with **no lock held**, so an in-flight flush or merge cascade never
+    /// delays the lookup. The key is hashed **once**, when the lookup
+    /// first reaches the disk levels.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let core = &self.core;
+        let (immutables, version) = {
+            let shared = core.shared.read();
+            if let Some(entry) = shared.memtable.get(key) {
+                drop(shared);
+                return core.resolve_value(&entry);
+            }
+            let immutables: Vec<Arc<Memtable>> = shared
+                .immutables
+                .iter()
+                .map(|imm| Arc::clone(&imm.memtable))
+                .collect();
+            (immutables, Arc::clone(&shared.version))
+        };
+        // Frozen memtables, newest first.
+        for imm in immutables.iter().rev() {
+            if let Some(entry) = imm.get(key) {
+                return core.resolve_value(&entry);
+            }
+        }
+        let pair = hash_pair(key); // the lookup's only hash computation
+        core.lookups.key_hashes.fetch_add(1, Relaxed);
+        for level in version.levels() {
+            for run in level.runs() {
+                let look = run.get_hashed(key, pair)?;
+                if look.probed_filter {
+                    core.lookups.filter_probes.fetch_add(1, Relaxed);
+                    if look.filter_negative {
+                        core.lookups.filter_negatives.fetch_add(1, Relaxed);
+                    } else if look.page_read && look.entry.is_none() {
+                        // The filter said "maybe", the page said no: a true
+                        // false positive, one wasted I/O.
+                        core.lookups.filter_false_positives.fetch_add(1, Relaxed);
+                    }
+                }
+                if let Some(entry) = look.entry {
+                    return core.resolve_value(&entry);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Counters of the point-lookup fast path since open.
+    pub fn lookup_stats(&self) -> LookupStats {
+        let l = &self.core.lookups;
+        LookupStats {
+            key_hashes: l.key_hashes.load(Relaxed),
+            filter_probes: l.filter_probes.load(Relaxed),
+            filter_negatives: l.filter_negatives.load(Relaxed),
+            filter_false_positives: l.filter_false_positives.load(Relaxed),
+        }
+    }
+
+    /// Counters of the write pipeline since open: stall events and time,
+    /// current flush backlog, deferred worker failures, and WAL
+    /// group-commit batching.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        let p = &self.core.pipeline;
+        let wal = self.core.wal.stats();
+        PipelineStats {
+            stalls: p.stalls.load(Relaxed),
+            stall_micros: p.stall_micros.load(Relaxed),
+            immutable_queue_depth: self.core.shared.read().immutables.len(),
+            background_errors: p.background_errors.load(Relaxed),
+            wal_group_commits: wal.group_commits,
+            wal_batched_appends: wal.batched_appends,
+        }
+    }
+
+    /// Range scan over `[lo, hi)` (`hi = None` scans to the end). The
+    /// cursor owns snapshots of the relevant memtables and runs, so
+    /// concurrent writes and merges do not disturb it.
+    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
+        if let Some(hi) = hi {
+            if hi <= lo {
+                // Empty (or inverted) interval: nothing to scan.
+                return Ok(
+                    RangeIter::new(MergingIter::new(Vec::new(), true)?, None).with_value_log(None)
+                );
+            }
+        }
+        let core = &self.core;
+        let (buffered, immutables, version) = {
+            let shared = core.shared.read();
+            let immutables: Vec<Arc<Memtable>> = shared
+                .immutables
+                .iter()
+                .map(|imm| Arc::clone(&imm.memtable))
+                .collect();
+            (
+                shared.memtable.range(lo, hi),
+                immutables,
+                Arc::clone(&shared.version),
+            )
+        };
+        let mut sources: Vec<EntrySource> =
+            Vec::with_capacity(1 + immutables.len() + version.run_count());
+        sources.push(Box::new(buffered.into_iter().map(Ok)));
+        for imm in immutables.iter().rev() {
+            sources.push(Box::new(imm.range(lo, hi).into_iter().map(Ok)));
+        }
+        for level in version.levels() {
+            for run in level.runs() {
+                sources.push(Box::new(run.iter_from(lo)));
+            }
+        }
+        let hi = hi.map(Bytes::copy_from_slice);
+        Ok(RangeIter::new(MergingIter::new(sources, true)?, hi).with_value_log(core.vlog.clone()))
+    }
+
+    /// Forces the buffer to flush into the tree even if not full, then
+    /// drains the whole immutable queue on the calling thread. After this
+    /// returns, the pipeline is quiesced: `stats()`/`verify()` see a
+    /// settled tree.
+    pub fn flush(&self) -> Result<()> {
+        let core = &self.core;
+        core.check_background_error()?;
+        {
+            let mut shared = core.shared.write();
+            core.rotate_locked(&mut shared)?;
+        }
+        core.drain_queue()
+    }
+
+    /// Deterministic escape hatch for model-vs-engine comparisons: flush
+    /// and run every resulting merge cascade to completion on the calling
+    /// thread, regardless of `background_compaction`.
+    pub fn compact_blocking(&self) -> Result<()> {
+        self.flush()
+    }
+
+    /// Stops the background worker from flushing (testing hook, the
+    /// analogue of RocksDB's `DisableAutoCompactions`). Foreground drains
+    /// (`flush`, synchronous-mode rotation) are unaffected. With the
+    /// worker paused, rotations accumulate in the immutable queue until
+    /// backpressure stalls puts.
+    pub fn pause_compaction(&self) {
+        self.core
+            .signals
+            .control
+            .lock()
+            .expect("control poisoned")
+            .paused = true;
+    }
+
+    /// Resumes background flushing after [`pause_compaction`](Self::pause_compaction).
+    pub fn resume_compaction(&self) {
+        {
+            let mut ctl = self.core.signals.control.lock().expect("control poisoned");
+            ctl.paused = false;
+        }
+        self.core.signals.work_cv.notify_all();
+    }
+
+    /// Quiesces the pipeline without consuming the handle: drains queued
+    /// immutable memtables, writes out any buffered WAL records, and
+    /// propagates a deferred background error. The active memtable is NOT
+    /// flushed — its entries are durable in the WAL (drop does the same).
+    pub fn close(&self) -> Result<()> {
+        self.core.check_background_error()?;
+        self.core.drain_queue()?;
+        self.core.wal.flush_pending()
     }
 
     /// Rebuilds every run's Bloom filter according to the *current* filter
@@ -579,12 +880,19 @@ impl Db {
     /// the tree gains levels and runs). The scan is counted I/O;
     /// experiments reset counters afterwards.
     pub fn rebuild_filters(&self) -> Result<()> {
-        let mut inner = self.inner.write();
-        let num_levels = inner.deepest();
-        let memtable_len = inner.memtable.len() as u64;
+        let core = &self.core;
+        let _cascade = core.compaction_lock.lock();
+        let (base, extra_entries) = {
+            let shared = core.shared.read();
+            let extra = shared.memtable.len() as u64
+                + shared.immutables.iter().map(|i| i.entries).sum::<u64>();
+            (Arc::clone(&shared.version), extra)
+        };
+        let mut working = (*base).clone();
+        let num_levels = working.deepest();
         // Snapshot of every run's position and size.
-        let all: Vec<(usize, usize, u64)> = inner
-            .levels
+        let all: Vec<(usize, usize, u64)> = working
+            .levels()
             .iter()
             .enumerate()
             .flat_map(|(li, level)| {
@@ -595,7 +903,7 @@ impl Db {
                     .map(move |(ri, run)| (li, ri, run.entries()))
             })
             .collect();
-        let total: u64 = all.iter().map(|x| x.2).sum::<u64>() + memtable_len;
+        let total: u64 = all.iter().map(|x| x.2).sum::<u64>() + extra_entries;
         for &(li, ri, entries) in &all {
             let others: Vec<u64> = all
                 .iter()
@@ -608,20 +916,27 @@ impl Db {
                 run_entries: entries,
                 total_entries: total,
                 other_run_entries: others,
-                size_ratio: self.opts.size_ratio,
-                merge_policy: self.opts.merge_policy,
+                size_ratio: core.opts.size_ratio,
+                merge_policy: core.opts.merge_policy,
             };
-            let bits = self.opts.filter_policy.bits_per_entry(&ctx);
-            let current = Arc::clone(&inner.levels[li].runs()[ri]);
+            let bits = core.opts.filter_policy.bits_per_entry(&ctx);
+            let current = Arc::clone(&working.levels()[li].runs()[ri]);
             let allocation_drifted = (bits - current.filter_bits_per_entry()).abs() > 1e-9;
-            let variant_changed = current.filter_variant() != self.opts.filter_variant;
+            let variant_changed = current.filter_variant() != core.opts.filter_variant;
             if allocation_drifted || variant_changed {
-                let params = FilterParams::new(bits, self.opts.filter_variant);
-                let rebuilt = Arc::new(recover_run(&self.disk, current.id(), params)?);
-                inner.levels[li].replace_run(ri, rebuilt);
+                let params = FilterParams::new(bits, core.opts.filter_variant);
+                let rebuilt = Arc::new(recover_run(&core.disk, current.id(), params)?);
+                working.levels_mut()[li].replace_run(ri, rebuilt);
             }
         }
-        self.persist_manifest(&inner)?;
+        let new_version = Arc::new(working);
+        let next_seq;
+        {
+            let mut shared = core.shared.write();
+            shared.version = Arc::clone(&new_version);
+            next_seq = shared.next_seq;
+        }
+        core.persist_manifest(&new_version, next_seq)?;
         Ok(())
     }
 
@@ -648,11 +963,11 @@ impl Db {
 
     /// Maintenance-work counters since open.
     pub fn compaction_stats(&self) -> CompactionStats {
-        use std::sync::atomic::Ordering::Relaxed;
+        let c = &self.core.compactions;
         CompactionStats {
-            flushes: self.compactions.flushes.load(Relaxed),
-            merges: self.compactions.merges.load(Relaxed),
-            entries_rewritten: self.compactions.entries_rewritten.load(Relaxed),
+            flushes: c.flushes.load(Relaxed),
+            merges: c.merges.load(Relaxed),
+            entries_rewritten: c.entries_rewritten.load(Relaxed),
         }
     }
 
@@ -670,9 +985,9 @@ impl Db {
     ///
     /// Returns the number of entries verified.
     pub fn verify(&self) -> Result<u64> {
-        let inner = self.inner.read();
+        let version = Arc::clone(&self.core.shared.read().version);
         let mut verified = 0u64;
-        for (idx, level) in inner.levels.iter().enumerate() {
+        for (idx, level) in version.levels().iter().enumerate() {
             for run in level.runs() {
                 let mut count = 0u64;
                 let mut bytes = 0u64;
@@ -697,7 +1012,7 @@ impl Db {
                     }
                     if entry.kind == EntryKind::IndirectPut {
                         // Dangling or corrupt value-log pointers surface here.
-                        self.resolve_value(&entry)?;
+                        self.core.resolve_value(&entry)?;
                     }
                     count += 1;
                     bytes += entry.encoded_len() as u64;
@@ -731,12 +1046,22 @@ impl Db {
 
     /// Structural and memory statistics.
     pub fn stats(&self) -> DbStats {
-        let inner = self.inner.read();
-        let mut levels = Vec::with_capacity(inner.levels.len());
+        let core = &self.core;
+        let (buffer_entries, buffer_bytes, immutable_entries, queue_depth, version) = {
+            let shared = core.shared.read();
+            (
+                shared.memtable.len() as u64,
+                shared.memtable.bytes() as u64,
+                shared.immutables.iter().map(|i| i.entries).sum::<u64>(),
+                shared.immutables.len(),
+                Arc::clone(&shared.version),
+            )
+        };
+        let mut levels = Vec::with_capacity(version.depth());
         let mut filter_bits = 0u64;
         let mut fence_bits = 0u64;
         let mut fpr_total = 0.0f64;
-        for (idx, level) in inner.levels.iter().enumerate() {
+        for (idx, level) in version.levels().iter().enumerate() {
             let mut level_filter_bits = 0u64;
             let mut fpr_sum = 0.0f64;
             for run in level.runs() {
@@ -752,26 +1077,56 @@ impl Db {
                 entries: level.entries(),
                 bytes: level.bytes(),
                 capacity_bytes: level_capacity_bytes(
-                    self.opts.buffer_capacity,
-                    self.opts.size_ratio,
+                    core.opts.buffer_capacity,
+                    core.opts.size_ratio,
                     idx + 1,
                 ),
                 filter_bits: level_filter_bits,
                 fpr_sum,
             });
         }
+        let p = &core.pipeline;
+        let wal = core.wal.stats();
         DbStats {
-            buffer_entries: inner.memtable.len() as u64,
-            buffer_bytes: inner.memtable.bytes() as u64,
-            buffer_capacity: self.opts.buffer_capacity as u64,
-            disk_entries: inner.disk_entries(),
-            runs: inner.levels.iter().map(Level::run_count).sum(),
+            buffer_entries,
+            buffer_bytes,
+            buffer_capacity: core.opts.buffer_capacity as u64,
+            disk_entries: version.disk_entries(),
+            runs: version.run_count(),
             levels,
             filter_bits,
             fence_bits,
             expected_zero_result_lookup_ios: fpr_total,
             lookups: self.lookup_stats(),
+            immutable_entries,
+            pipeline: PipelineStats {
+                stalls: p.stalls.load(Relaxed),
+                stall_micros: p.stall_micros.load(Relaxed),
+                immutable_queue_depth: queue_depth,
+                background_errors: p.background_errors.load(Relaxed),
+                wal_group_commits: wal.group_commits,
+                wal_batched_appends: wal.batched_appends,
+            },
         }
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        {
+            let mut ctl = self.core.signals.control.lock().expect("control poisoned");
+            ctl.shutdown = true;
+            ctl.paused = false;
+        }
+        self.core.signals.work_cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        // Any still-enqueued WAL records reach the file (no fsync): a
+        // clean process exit loses nothing that was acknowledged. The
+        // active memtable is intentionally NOT flushed — crash recovery
+        // replays it from the WAL.
+        let _ = self.core.wal.flush_pending();
     }
 }
 
@@ -1119,6 +1474,147 @@ mod tests {
         })
         .unwrap();
         assert_eq!(db.range(b"", None).unwrap().count(), 400);
+    }
+
+    #[test]
+    fn sync_mode_queue_is_always_drained() {
+        let db = small_db(MergePolicy::Leveling, 2);
+        fill(&db, 1000);
+        let p = db.pipeline_stats();
+        assert_eq!(p.immutable_queue_depth, 0, "inline drain leaves no backlog");
+        assert_eq!(p.stalls, 0, "synchronous mode never stalls");
+        assert_eq!(db.stats().immutable_entries, 0);
+    }
+
+    #[test]
+    fn background_mode_roundtrip_and_quiesce() {
+        for policy in [MergePolicy::Leveling, MergePolicy::Tiering] {
+            let db = Db::open(
+                DbOptions::in_memory()
+                    .page_size(256)
+                    .buffer_capacity(512)
+                    .size_ratio(3)
+                    .merge_policy(policy)
+                    .background_compaction(true)
+                    .uniform_filters(10.0),
+            )
+            .unwrap();
+            for i in 0..800 {
+                db.put(format!("key{i:06}").into_bytes(), vec![b'v'; 20])
+                    .unwrap();
+            }
+            // Every write is immediately readable, wherever it lives
+            // (active memtable, frozen memtable, or run).
+            for i in (0..800).step_by(23) {
+                assert!(
+                    db.get(format!("key{i:06}").as_bytes()).unwrap().is_some(),
+                    "{policy:?}: key{i}"
+                );
+            }
+            db.flush().unwrap(); // quiesce
+            let stats = db.stats();
+            assert_eq!(stats.pipeline.immutable_queue_depth, 0);
+            assert_eq!(stats.buffer_entries, 0);
+            assert_eq!(stats.disk_entries, 800, "{policy:?}");
+            assert_eq!(db.range(b"", None).unwrap().count(), 800);
+            db.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn pause_queues_immutables_and_keeps_them_readable() {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .size_ratio(3)
+                .background_compaction(true)
+                .max_immutable_memtables(64)
+                .uniform_filters(10.0),
+        )
+        .unwrap();
+        db.pause_compaction();
+        fill(&db, 400);
+        let depth = db.pipeline_stats().immutable_queue_depth;
+        assert!(depth > 0, "paused worker lets rotations accumulate");
+        // Entries parked in frozen memtables answer lookups.
+        for i in (0..400).step_by(11) {
+            assert!(db.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+        }
+        assert_eq!(db.range(b"", None).unwrap().count(), 400);
+        db.resume_compaction();
+        db.flush().unwrap();
+        assert_eq!(db.pipeline_stats().immutable_queue_depth, 0);
+        assert_eq!(db.range(b"", None).unwrap().count(), 400);
+    }
+
+    #[test]
+    fn wal_group_commit_counters_surface_in_stats() {
+        let dir = std::env::temp_dir().join(format!("monkey-db-walstats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Db::open(
+                DbOptions::at_path(&dir)
+                    .page_size(256)
+                    .buffer_capacity(4096),
+            )
+            .unwrap();
+            for i in 0..50 {
+                db.put(format!("k{i:03}").into_bytes(), vec![b'v'; 10])
+                    .unwrap();
+            }
+            let p = db.pipeline_stats();
+            assert!(p.wal_batched_appends >= 50, "every append is counted");
+            assert!(p.wal_group_commits >= 1);
+            assert!(p.wal_group_commits <= p.wal_batched_appends);
+            assert_eq!(
+                db.stats().pipeline.wal_batched_appends,
+                p.wal_batched_appends
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_error_is_deferred_then_surfaced() {
+        use monkey_storage::{Backend, Disk, FaultKind, FlakyBackend, MemBackend};
+        let backend = FlakyBackend::new(MemBackend::new(), FaultKind::Writes);
+        let disk = Disk::with_backend(backend.clone() as Arc<dyn Backend>, 256, None);
+        let db = Db::open_with_disk(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .background_compaction(true)
+                .max_immutable_memtables(8)
+                .uniform_filters(10.0),
+            disk,
+        )
+        .unwrap();
+        // Queue rotations while the worker is held off, then arm the fault
+        // so the worker's first flush attempt fails. (Filling with the
+        // fault already armed would let an interleaved `put` surface the
+        // deferred error mid-fill — that's designed behavior, but it makes
+        // the assertion ordering racy.)
+        db.pause_compaction();
+        fill(&db, 60); // enough to rotate at least once
+        assert!(db.pipeline_stats().immutable_queue_depth > 0);
+        backend.arm(0); // every page write fails
+        db.resume_compaction();
+        // The worker hits the fault; wait for it to record the failure.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while db.pipeline_stats().background_errors == 0 {
+            assert!(Instant::now() < deadline, "worker never reported the fault");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        backend.disarm();
+        // The next foreground call surfaces the deferred error...
+        let err = db.flush().unwrap_err();
+        assert!(matches!(err, LsmError::Background(_)), "got {err}");
+        // ...and the engine recovers: the memtable stayed queued, so a
+        // retry flushes it and nothing was lost.
+        db.flush().unwrap();
+        assert_eq!(db.pipeline_stats().immutable_queue_depth, 0);
+        assert_eq!(db.range(b"", None).unwrap().count(), 60);
     }
 }
 

@@ -20,6 +20,10 @@ pub enum LsmError {
     Corruption(String),
     /// An operating-system error outside the paged store (WAL, manifest).
     Io(std::io::Error),
+    /// A deferred failure from the background flush/compaction worker,
+    /// surfaced on the next foreground call (the original error is not
+    /// `Clone`, so the worker records its rendering).
+    Background(String),
 }
 
 impl std::fmt::Display for LsmError {
@@ -35,6 +39,7 @@ impl std::fmt::Display for LsmError {
             Self::KeyTooLarge(n) => write!(f, "key is {n} bytes, limit is 65535"),
             Self::Corruption(msg) => write!(f, "corruption: {msg}"),
             Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::Background(msg) => write!(f, "background worker: {msg}"),
         }
     }
 }
@@ -83,5 +88,8 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let e: LsmError = std::io::Error::other("x").into();
         assert!(std::error::Error::source(&e).is_some());
+        let e = LsmError::Background("flush failed".into());
+        assert!(e.to_string().contains("flush failed"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

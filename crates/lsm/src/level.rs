@@ -62,6 +62,74 @@ impl Level {
     }
 }
 
+/// An immutable snapshot of the tree's disk-resident shape: the level/run
+/// lists at one instant.
+///
+/// The engine keeps the current version behind an `Arc` and publishes
+/// changes by building a *new* version off to the side and swapping the
+/// pointer — readers that cloned the `Arc` keep iterating their snapshot
+/// while a merge cascade installs its successor, so `get`/`range` never
+/// block on compaction. Runs are themselves `Arc`ed and copy-on-write at
+/// the level granularity, so cloning a version is cheap (a `Vec` of
+/// refcount bumps).
+#[derive(Debug, Default, Clone)]
+pub struct Version {
+    levels: Vec<Level>,
+}
+
+impl Version {
+    /// A version with no disk levels (fresh database).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A version wrapping existing levels (recovery path).
+    pub fn from_levels(levels: Vec<Level>) -> Self {
+        Self { levels }
+    }
+
+    /// Disk levels, shallowest first. Index 0 is the paper's level 1.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Mutable access for cascade construction (only ever called on a
+    /// private clone that has not been published yet).
+    pub fn levels_mut(&mut self) -> &mut Vec<Level> {
+        &mut self.levels
+    }
+
+    /// Ensures at least `n` levels exist, growing with empty ones.
+    pub fn ensure_levels(&mut self, n: usize) {
+        while self.levels.len() < n {
+            self.levels.push(Level::new());
+        }
+    }
+
+    /// Number of disk levels (including empty trailing ones).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Deepest non-empty level (1-based), 0 when the disk is empty.
+    pub fn deepest(&self) -> usize {
+        self.levels
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Total entries across all disk runs.
+    pub fn disk_entries(&self) -> u64 {
+        self.levels.iter().map(|l| l.entries()).sum()
+    }
+
+    /// Total runs across all levels.
+    pub fn run_count(&self) -> usize {
+        self.levels.iter().map(|l| l.run_count()).sum()
+    }
+}
+
 /// Capacity in bytes of disk level `i` (1-based): `buffer_bytes · Tⁱ`
 /// (Figure 2's `P·B·Tⁱ` schedule, expressed in bytes so entry sizes may
 /// vary).
@@ -133,5 +201,22 @@ mod tests {
     fn capacity_saturates_instead_of_overflowing() {
         let cap = level_capacity_bytes(usize::MAX, 1000, 10);
         assert_eq!(cap, u64::MAX);
+    }
+
+    #[test]
+    fn version_snapshot_is_immutable_under_successor_edits() {
+        let disk = Disk::mem(64);
+        let mut v = Version::empty();
+        v.ensure_levels(2);
+        v.levels_mut()[0].push_youngest(tiny_run(&disk, "a"));
+        let snapshot = v.clone();
+        // Mutating the successor must not disturb the snapshot.
+        v.levels_mut()[0].take_all();
+        v.levels_mut()[1].push_youngest(tiny_run(&disk, "b"));
+        assert_eq!(snapshot.levels()[0].run_count(), 1);
+        assert_eq!(snapshot.disk_entries(), 1);
+        assert_eq!(v.levels()[0].run_count(), 0);
+        assert_eq!(v.run_count(), 1);
+        assert_eq!(v.depth(), 2);
     }
 }

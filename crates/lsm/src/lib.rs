@@ -21,10 +21,16 @@
 //!   (tombstones), crash recovery from WAL + manifest, and full memory- and
 //!   I/O-footprint introspection.
 //!
-//! The engine is deliberately synchronous: flushes and compactions happen on
-//! the write path so every experiment's I/O counts are deterministic. The
-//! paper's §6 notes that merge *scheduling* is orthogonal to Monkey's
-//! contribution.
+//! Merge scheduling is configurable. By default flushes and compactions
+//! happen inline on the write path, so every experiment's I/O counts are
+//! deterministic (the paper's §6 notes that merge *scheduling* is orthogonal
+//! to Monkey's contribution). With
+//! [`background_compaction`](DbOptions::background_compaction) the write
+//! path hands full memtables to a dedicated flush/compaction worker through
+//! a bounded immutable queue, the WAL group-commits concurrent appends, and
+//! puts stall only when the queue hits its configured limit. In **both**
+//! modes reads are served from an immutable version snapshot
+//! ([`level::Version`]) and never block on an in-flight merge.
 //!
 //! # Example
 //!
@@ -68,5 +74,6 @@ pub use monkey_bloom::FilterVariant;
 pub use options::DbOptions;
 pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};
 pub use run::{FilterParams, Run, RunLookup};
-pub use stats::{DbStats, LevelStats, LookupStats};
+pub use stats::{DbStats, LevelStats, LookupStats, PipelineStats};
 pub use vlog::{ValueLog, ValuePointer};
+pub use wal::WalStats;

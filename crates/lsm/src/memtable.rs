@@ -92,6 +92,22 @@ impl Memtable {
             .collect()
     }
 
+    /// Clones the buffer into a sorted entry vector without consuming it —
+    /// used for frozen (immutable) memtables queued behind the active one,
+    /// which must stay readable until their flush completes. `Bytes` clones
+    /// are refcount bumps, not copies.
+    pub fn to_sorted_entries(&self) -> Vec<Entry> {
+        self.map
+            .iter()
+            .map(|(key, slot)| Entry {
+                key: key.clone(),
+                value: slot.value.clone(),
+                seq: slot.seq,
+                kind: slot.kind,
+            })
+            .collect()
+    }
+
     /// Sorted entries in `[lo, hi)` (hi = None means unbounded), cloned.
     pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Vec<Entry> {
         let upper = match hi {

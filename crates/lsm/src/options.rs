@@ -45,6 +45,20 @@ pub struct DbOptions {
     /// this many bytes live in an append-only value log and the tree
     /// stores a 14-byte pointer instead. `None` keeps every value inline.
     pub value_separation: Option<usize>,
+    /// Run flushes and merge cascades on a dedicated background thread.
+    /// When off (the default, and what the experiment harness uses), a put
+    /// that fills the buffer drains it inline on the calling thread —
+    /// deterministic I/O timing, same amortized cost. Either way, reads
+    /// are served from an immutable version snapshot and never block on a
+    /// merge.
+    pub background_compaction: bool,
+    /// How many full (immutable) memtables may queue behind the active one
+    /// before puts stall waiting for the flush stage to catch up (≥ 1).
+    pub max_immutable_memtables: usize,
+    /// Optional harder backpressure bound: stall puts once the *bytes*
+    /// queued in immutable memtables reach this limit, even if the count
+    /// limit has not been hit. `None` bounds by count only.
+    pub stall_threshold: Option<usize>,
 }
 
 impl DbOptions {
@@ -84,6 +98,9 @@ impl DbOptions {
             filter_variant: FilterVariant::Standard,
             wal_sync_each_append: false,
             value_separation: None,
+            background_compaction: false,
+            max_immutable_memtables: 2,
+            stall_threshold: None,
         }
     }
 
@@ -151,6 +168,27 @@ impl DbOptions {
         self.value_separation = Some(threshold_bytes);
         self
     }
+
+    /// Moves flushes and merge cascades to a dedicated background thread.
+    pub fn background_compaction(mut self, on: bool) -> Self {
+        self.background_compaction = on;
+        self
+    }
+
+    /// Sets how many immutable memtables may queue before puts stall.
+    pub fn max_immutable_memtables(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one immutable memtable must be allowed");
+        self.max_immutable_memtables = n;
+        self
+    }
+
+    /// Stalls puts once the queued immutable memtables hold at least this
+    /// many bytes (a harder bound than the count limit).
+    pub fn stall_threshold(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0);
+        self.stall_threshold = Some(bytes);
+        self
+    }
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -165,6 +203,9 @@ impl std::fmt::Debug for DbOptions {
             .field("filter_variant", &self.filter_variant)
             .field("wal_sync_each_append", &self.wal_sync_each_append)
             .field("value_separation", &self.value_separation)
+            .field("background_compaction", &self.background_compaction)
+            .field("max_immutable_memtables", &self.max_immutable_memtables)
+            .field("stall_threshold", &self.stall_threshold)
             .finish()
     }
 }
@@ -210,6 +251,27 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn size_ratio_below_two_rejected() {
         DbOptions::in_memory().size_ratio(1);
+    }
+
+    #[test]
+    fn pipeline_knobs() {
+        let o = DbOptions::in_memory();
+        assert!(!o.background_compaction, "sync mode is the default");
+        assert_eq!(o.max_immutable_memtables, 2);
+        assert_eq!(o.stall_threshold, None);
+        let o = o
+            .background_compaction(true)
+            .max_immutable_memtables(4)
+            .stall_threshold(1 << 20);
+        assert!(o.background_compaction);
+        assert_eq!(o.max_immutable_memtables, 4);
+        assert_eq!(o.stall_threshold, Some(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one immutable")]
+    fn zero_immutable_queue_rejected() {
+        DbOptions::in_memory().max_immutable_memtables(0);
     }
 
     #[test]

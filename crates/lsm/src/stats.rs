@@ -50,6 +50,33 @@ pub struct DbStats {
     pub expected_zero_result_lookup_ios: f64,
     /// Observed point-lookup path counters since the database was opened.
     pub lookups: LookupStats,
+    /// Entries held in immutable memtables queued for flush (readable but
+    /// no longer accepting writes).
+    pub immutable_entries: u64,
+    /// Write-pipeline counters since the database was opened.
+    pub pipeline: PipelineStats,
+}
+
+/// Observed counters of the background write pipeline: how often
+/// foreground puts hit backpressure, how deep the flush backlog is, and
+/// how well the WAL's group commit amortizes writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Puts that blocked because the immutable-memtable backlog was at
+    /// its configured limit.
+    pub stalls: u64,
+    /// Total wall-clock microseconds puts spent stalled.
+    pub stall_micros: u64,
+    /// Immutable memtables currently queued behind the active one.
+    pub immutable_queue_depth: usize,
+    /// Flush/merge failures recorded by the background worker (the error
+    /// itself is returned from the next foreground call).
+    pub background_errors: u64,
+    /// WAL write batches issued (each one `write` + at most one `sync`).
+    pub wal_group_commits: u64,
+    /// WAL records carried by those batches; `wal_batched_appends /
+    /// wal_group_commits` is the mean group-commit batch size.
+    pub wal_batched_appends: u64,
 }
 
 /// Observed counters of the point-lookup fast path. Where

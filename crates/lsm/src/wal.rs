@@ -1,17 +1,38 @@
-//! Write-ahead log for buffered updates.
+//! Segmented write-ahead log with group commit.
 //!
 //! The buffer (memtable) holds the newest updates in volatile memory; the
-//! WAL makes them durable. Each record is checksummed, and replay stops at
-//! the first torn or corrupt record — everything before it is recovered,
-//! which is the standard contract for a crash mid-append.
+//! WAL makes them durable. The log is a sequence of **segments**
+//! (`wal-NNNNNN.log`), one per memtable generation: when the active
+//! memtable rotates into the immutable flush queue, the current segment is
+//! sealed and a fresh one is opened, so each queued memtable is covered by
+//! a closed set of segments. After the background pipeline flushes a
+//! memtable into a run, exactly the segments at or below its seal point
+//! are deleted ([`Wal::prune_upto`]) — segments for younger, still-queued
+//! memtables survive, which is what makes crash recovery with a non-empty
+//! immutable queue correct.
 //!
-//! Record wire format:
+//! Appends use **group commit** (leader/follower): a put encodes its
+//! record and enqueues it under the engine's write lock
+//! ([`Wal::enqueue`]), then — outside that lock — calls [`Wal::commit`].
+//! The first committer to take the file lock becomes the *leader*: it
+//! drains every pending record into one `write` (plus one `sync_data` in
+//! fsync-per-append mode) and publishes the durable high-water mark.
+//! Followers whose records rode that batch return without touching the
+//! file. Records are enqueued in sequence order under the write lock and
+//! drained in order under the file lock, so the on-disk record order
+//! always matches sequence order.
+//!
+//! Record wire format (unchanged from the single-file log):
 //!
 //! ```text
 //! [u64 checksum][u8 kind][u64 seq][u16 key_len][u32 val_len][key][value]
 //! ```
 //!
-//! where the checksum is XXH64 over the bytes that follow it.
+//! where the checksum is XXH64 over the bytes that follow it. Replay stops
+//! at the first torn or corrupt record — everything before it is
+//! recovered, which is the standard contract for a crash mid-append. A
+//! pre-segmentation `wal.log` file is replayed as segment 0, so old stores
+//! recover unchanged.
 
 use crate::entry::{Entry, EntryKind};
 use crate::error::{LsmError, Result};
@@ -21,19 +42,68 @@ use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const WAL_SEED: u64 = 0x57414C5F4D4F4E4B; // "WAL_MONK"
+const LEGACY_FILE: &str = "wal.log";
 
-struct WalFile {
-    file: File,
-    path: PathBuf,
+/// Lifetime counters of the group-commit protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Physical write batches issued (each one `write` + at most one
+    /// `sync`).
+    pub group_commits: u64,
+    /// Records that rode those batches. `batched_appends / group_commits`
+    /// is the mean batch size — above 1.0 means concurrent writers shared
+    /// commits.
+    pub batched_appends: u64,
 }
 
-/// The write-ahead log. A disabled WAL (for in-memory experiment databases)
-/// accepts appends and does nothing.
+/// One encoded record waiting for a leader to write it.
+struct PendingRecord {
+    seq: u64,
+    body: Vec<u8>,
+}
+
+struct ActiveSegment {
+    id: u64,
+    file: File,
+}
+
+struct WalInner {
+    dir: PathBuf,
+    /// Records enqueued (in seq order) but not yet written to the file.
+    pending: Mutex<Vec<PendingRecord>>,
+    /// The open segment. Leaders hold this lock while draining `pending`,
+    /// which is what serializes batches and keeps file order = seq order.
+    segment: Mutex<ActiveSegment>,
+    /// `seq + 1` of the newest record written (and, in
+    /// fsync-per-append mode, synced); 0 = nothing written yet.
+    durable_mark: AtomicU64,
+    group_commits: AtomicU64,
+    batched_appends: AtomicU64,
+}
+
+/// The write-ahead log. A disabled WAL (for in-memory experiment
+/// databases) accepts appends and does nothing.
 pub struct Wal {
-    inner: Option<Mutex<WalFile>>,
+    inner: Option<WalInner>,
     sync_each_append: bool,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:06}.log"))
+}
+
+/// Parses a directory entry name into a segment id (`wal.log` ⇒ 0).
+fn segment_id_of(name: &str) -> Option<u64> {
+    if name == LEGACY_FILE {
+        return Some(0);
+    }
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
 }
 
 impl Wal {
@@ -45,28 +115,61 @@ impl Wal {
         }
     }
 
-    /// Opens (or creates) the log at `path` and replays any complete
-    /// records already present. Returns the WAL and the replayed entries in
-    /// append order.
-    pub fn open(path: impl AsRef<Path>, sync_each_append: bool) -> Result<(Self, Vec<Entry>)> {
-        let path = path.as_ref().to_path_buf();
-        let entries = match std::fs::read(&path) {
-            Ok(buf) => replay(&buf),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    /// Opens the log rooted at directory `dir`, replaying every complete
+    /// record from every segment in segment order. Returns the WAL (with a
+    /// fresh active segment) and the replayed entries in append order.
+    pub fn open(dir: impl AsRef<Path>, sync_each_append: bool) -> Result<(Self, Vec<Entry>)> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut ids: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| segment_id_of(&e.file_name().to_string_lossy()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup(); // wal.log and wal-000000.log are both segment 0
+        let mut entries = Vec::new();
+        for &id in &ids {
+            let path = if id == 0 && !segment_path(&dir, 0).exists() {
+                dir.join(LEGACY_FILE)
+            } else {
+                segment_path(&dir, id)
+            };
+            let buf = std::fs::read(&path)?;
+            let (mut seg_entries, clean) = replay(&buf);
+            entries.append(&mut seg_entries);
+            if !clean {
+                // A torn/corrupt record: nothing after it (including later
+                // segments) can be trusted — same contract as the
+                // single-file log.
+                break;
+            }
+        }
+        let next_id = ids.last().map_or(1, |id| id + 1);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, next_id))?;
         Ok((
             Self {
-                inner: Some(Mutex::new(WalFile { file, path })),
+                inner: Some(WalInner {
+                    dir,
+                    pending: Mutex::new(Vec::new()),
+                    segment: Mutex::new(ActiveSegment { id: next_id, file }),
+                    durable_mark: AtomicU64::new(0),
+                    group_commits: AtomicU64::new(0),
+                    batched_appends: AtomicU64::new(0),
+                }),
                 sync_each_append,
             },
             entries,
         ))
     }
 
-    /// Appends one entry.
-    pub fn append(&self, entry: &Entry) -> Result<()> {
+    /// Encodes `entry` and queues it for the next group commit. Called
+    /// under the engine's write lock, which is what keeps the pending
+    /// queue in sequence order; the encoding itself is a couple of
+    /// memcpys — the checksum is computed later, by the leader, off the
+    /// hot lock.
+    pub fn enqueue(&self, entry: &Entry) -> Result<()> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
@@ -80,49 +183,149 @@ impl Wal {
         body.extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
         body.extend_from_slice(&entry.key);
         body.extend_from_slice(&entry.value);
-        let checksum = xxh64(&body, WAL_SEED);
+        inner.pending.lock().push(PendingRecord {
+            seq: entry.seq,
+            body,
+        });
+        Ok(())
+    }
 
-        let mut guard = inner.lock();
-        guard.file.write_all(&checksum.to_le_bytes())?;
-        guard.file.write_all(&body)?;
+    /// Ensures the record carrying `seq` has been written to the log (and
+    /// synced, in fsync-per-append mode). The caller becomes the batch
+    /// leader if no other committer got there first.
+    pub fn commit(&self, seq: u64) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.durable_mark.load(Ordering::Acquire) > seq {
+            return Ok(()); // a leader already wrote our record
+        }
+        let mut segment = inner.segment.lock();
+        if inner.durable_mark.load(Ordering::Acquire) > seq {
+            return Ok(()); // it committed while we waited for the lock
+        }
+        self.write_pending_locked(inner, &mut segment)
+    }
+
+    /// Convenience single-record append: enqueue + commit.
+    pub fn append(&self, entry: &Entry) -> Result<()> {
+        self.enqueue(entry)?;
+        self.commit(entry.seq)
+    }
+
+    /// Drains the pending queue into the active segment as one batch.
+    /// Caller holds the segment lock.
+    fn write_pending_locked(&self, inner: &WalInner, segment: &mut ActiveSegment) -> Result<()> {
+        let batch = std::mem::take(&mut *inner.pending.lock());
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let total: usize = batch.iter().map(|r| 8 + r.body.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for record in &batch {
+            let checksum = xxh64(&record.body, WAL_SEED);
+            buf.extend_from_slice(&checksum.to_le_bytes());
+            buf.extend_from_slice(&record.body);
+        }
+        segment.file.write_all(&buf)?;
         if self.sync_each_append {
-            guard.file.sync_data()?;
+            segment.file.sync_data()?;
+        }
+        let last_seq = batch.last().expect("non-empty batch").seq;
+        inner.durable_mark.store(last_seq + 1, Ordering::Release);
+        inner.group_commits.fetch_add(1, Ordering::Relaxed);
+        inner
+            .batched_appends
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Seals the active segment — flushing any pending records into it —
+    /// and opens the next one. Returns the sealed segment's id; entries
+    /// enqueued so far live in segments at or below that id. Called at
+    /// memtable rotation, under the engine's write lock.
+    pub fn seal_current(&self) -> Result<Option<u64>> {
+        let Some(inner) = &self.inner else {
+            return Ok(None);
+        };
+        let mut segment = inner.segment.lock();
+        self.write_pending_locked(inner, &mut segment)?;
+        segment.file.sync_data()?;
+        let sealed = segment.id;
+        let next = sealed + 1;
+        segment.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&inner.dir, next))?;
+        segment.id = next;
+        Ok(Some(sealed))
+    }
+
+    /// Deletes every segment with id ≤ `id` (including a legacy
+    /// `wal.log`, which is segment 0) — called after the memtable those
+    /// segments covered has been flushed into a durable run.
+    pub fn prune_upto(&self, id: u64) -> Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        // The active segment is never pruned (its id is always > any seal
+        // point handed to a flush).
+        for dirent in std::fs::read_dir(&inner.dir)? {
+            let dirent = dirent?;
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if let Some(seg_id) = segment_id_of(&name) {
+                if seg_id <= id {
+                    std::fs::remove_file(dirent.path())?;
+                }
+            }
         }
         Ok(())
     }
 
-    /// Forces buffered records to stable storage.
+    /// Writes any pending records and forces them to stable storage.
     pub fn sync(&self) -> Result<()> {
         if let Some(inner) = &self.inner {
-            inner.lock().file.sync_data()?;
+            let mut segment = inner.segment.lock();
+            self.write_pending_locked(inner, &mut segment)?;
+            segment.file.sync_data()?;
         }
         Ok(())
     }
 
-    /// Truncates the log — called right after a buffer flush makes its
-    /// contents durable in a run.
-    pub fn reset(&self) -> Result<()> {
+    /// Writes any pending records without forcing a sync (shutdown path:
+    /// nothing a clean process exit would lose stays buffered in memory).
+    pub fn flush_pending(&self) -> Result<()> {
         if let Some(inner) = &self.inner {
-            let mut guard = inner.lock();
-            guard.file = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&guard.path)?;
-            guard.file.sync_data()?;
+            let mut segment = inner.segment.lock();
+            self.write_pending_locked(inner, &mut segment)?;
         }
         Ok(())
+    }
+
+    /// Group-commit counters since open.
+    pub fn stats(&self) -> WalStats {
+        match &self.inner {
+            Some(inner) => WalStats {
+                group_commits: inner.group_commits.load(Ordering::Relaxed),
+                batched_appends: inner.batched_appends.load(Ordering::Relaxed),
+            },
+            None => WalStats::default(),
+        }
     }
 }
 
-/// Decodes complete records from a WAL image, stopping at the first
-/// corruption or truncation.
-fn replay(buf: &[u8]) -> Vec<Entry> {
+/// Decodes complete records from a WAL segment image, stopping at the
+/// first corruption or truncation. The second return value is `false` when
+/// the segment ended in a torn or corrupt record.
+fn replay(buf: &[u8]) -> (Vec<Entry>, bool) {
     let mut entries = Vec::new();
     let mut off = 0usize;
     loop {
+        if off == buf.len() {
+            return (entries, true); // clean EOF
+        }
         if off + 8 + 15 > buf.len() {
-            break; // header truncated: clean EOF or torn tail
+            return (entries, false); // header truncated: torn tail
         }
         let checksum = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
         let body_start = off + 8;
@@ -134,13 +337,13 @@ fn replay(buf: &[u8]) -> Vec<Entry> {
             u32::from_le_bytes(buf[body_start + 11..body_start + 15].try_into().unwrap()) as usize;
         let body_end = body_start + 15 + klen + vlen;
         if body_end > buf.len() {
-            break; // torn record
+            return (entries, false); // torn record
         }
         if xxh64(&buf[body_start..body_end], WAL_SEED) != checksum {
-            break; // corrupt record: stop trusting the tail
+            return (entries, false); // corrupt record: stop trusting the tail
         }
         let Some(kind) = EntryKind::from_byte(kind) else {
-            break;
+            return (entries, false);
         };
         let key = Bytes::copy_from_slice(&buf[body_start + 15..body_start + 15 + klen]);
         let value = Bytes::copy_from_slice(&buf[body_start + 15 + klen..body_end]);
@@ -152,7 +355,6 @@ fn replay(buf: &[u8]) -> Vec<Entry> {
         });
         off = body_end;
     }
-    entries
 }
 
 #[cfg(test)]
@@ -160,7 +362,22 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("monkey-wal-{}-{name}", std::process::id()))
+        let d = std::env::temp_dir().join(format!("monkey-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn newest_segment(dir: &Path) -> PathBuf {
+        let mut segs: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                segment_id_of(&e.file_name().to_string_lossy()).map(|id| (id, e.path()))
+            })
+            .collect();
+        segs.sort();
+        segs.pop().unwrap().1
     }
 
     #[test]
@@ -169,111 +386,212 @@ mod tests {
         wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1))
             .unwrap();
         wal.sync().unwrap();
-        wal.reset().unwrap();
+        assert_eq!(wal.seal_current().unwrap(), None);
+        wal.prune_upto(99).unwrap();
+        assert_eq!(wal.stats(), WalStats::default());
     }
 
     #[test]
     fn append_and_replay() {
-        let path = tmp("basic");
-        let _ = std::fs::remove_file(&path);
+        let dir = tmp("basic");
         {
-            let (wal, replayed) = Wal::open(&path, false).unwrap();
+            let (wal, replayed) = Wal::open(&dir, false).unwrap();
             assert!(replayed.is_empty());
             wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1))
                 .unwrap();
             wal.append(&Entry::tombstone(b"b".to_vec(), 2)).unwrap();
             wal.sync().unwrap();
         }
-        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        let (_wal, replayed) = Wal::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 2);
         assert_eq!(replayed[0].key.as_ref(), b"a");
         assert_eq!(replayed[0].value.as_ref(), b"1");
         assert!(replayed[1].is_tombstone());
         assert_eq!(replayed[1].seq, 2);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn reset_truncates() {
-        let path = tmp("reset");
-        let _ = std::fs::remove_file(&path);
+    fn seal_and_prune_drop_old_segments_only() {
+        let dir = tmp("segments");
         {
-            let (wal, _) = Wal::open(&path, false).unwrap();
-            wal.append(&Entry::put(b"a".to_vec(), b"1".to_vec(), 1))
+            let (wal, _) = Wal::open(&dir, false).unwrap();
+            wal.append(&Entry::put(b"old".to_vec(), b"1".to_vec(), 1))
                 .unwrap();
-            wal.reset().unwrap();
-            wal.append(&Entry::put(b"b".to_vec(), b"2".to_vec(), 2))
+            let sealed = wal.seal_current().unwrap().unwrap();
+            wal.append(&Entry::put(b"new".to_vec(), b"2".to_vec(), 2))
                 .unwrap();
-            wal.sync().unwrap();
+            wal.flush_pending().unwrap();
+            wal.prune_upto(sealed).unwrap();
         }
-        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        // Only the record written after the seal survives the prune.
+        let (_wal, replayed) = Wal::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 1);
-        assert_eq!(replayed[0].key.as_ref(), b"b");
-        std::fs::remove_file(&path).unwrap();
+        assert_eq!(replayed[0].key.as_ref(), b"new");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn queued_segments_replay_in_order() {
+        let dir = tmp("queued");
+        {
+            let (wal, _) = Wal::open(&dir, false).unwrap();
+            wal.append(&Entry::put(b"k".to_vec(), b"gen1".to_vec(), 1))
+                .unwrap();
+            wal.seal_current().unwrap();
+            wal.append(&Entry::put(b"k".to_vec(), b"gen2".to_vec(), 2))
+                .unwrap();
+            wal.seal_current().unwrap();
+            wal.append(&Entry::put(b"k".to_vec(), b"gen3".to_vec(), 3))
+                .unwrap();
+            wal.flush_pending().unwrap();
+            // No prune: simulates a crash with two memtables still queued.
+        }
+        let (_wal, replayed) = Wal::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 3, "all segments replayed");
+        assert_eq!(
+            replayed.last().unwrap().value.as_ref(),
+            b"gen3",
+            "append order across segments preserved"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_file_log_replays_as_segment_zero() {
+        let dir = tmp("legacy");
+        // Write a record in the old single-file format (same record wire
+        // format, file named wal.log).
+        let entry = Entry::put(b"old-store".to_vec(), b"v".to_vec(), 7);
+        let mut body = vec![entry.kind.to_byte()];
+        body.extend_from_slice(&entry.seq.to_le_bytes());
+        body.extend_from_slice(&(entry.key.len() as u16).to_le_bytes());
+        body.extend_from_slice(&(entry.value.len() as u32).to_le_bytes());
+        body.extend_from_slice(&entry.key);
+        body.extend_from_slice(&entry.value);
+        let mut file_bytes = xxh64(&body, WAL_SEED).to_le_bytes().to_vec();
+        file_bytes.extend_from_slice(&body);
+        std::fs::write(dir.join(LEGACY_FILE), &file_bytes).unwrap();
+
+        let (wal, replayed) = Wal::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].key.as_ref(), b"old-store");
+        // Pruning past segment 0 removes the legacy file.
+        let sealed = wal.seal_current().unwrap().unwrap();
+        wal.prune_upto(sealed).unwrap();
+        assert!(!dir.join(LEGACY_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn torn_tail_recovers_prefix() {
-        let path = tmp("torn");
-        let _ = std::fs::remove_file(&path);
+        let dir = tmp("torn");
         {
-            let (wal, _) = Wal::open(&path, false).unwrap();
+            let (wal, _) = Wal::open(&dir, false).unwrap();
             wal.append(&Entry::put(b"good".to_vec(), b"1".to_vec(), 1))
                 .unwrap();
             wal.append(&Entry::put(b"lost".to_vec(), b"2".to_vec(), 2))
                 .unwrap();
             wal.sync().unwrap();
         }
-        // Tear the last record.
-        let buf = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &buf[..buf.len() - 3]).unwrap();
-        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        let seg = newest_segment(&dir);
+        let buf = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &buf[..buf.len() - 3]).unwrap();
+        let (_wal, replayed) = Wal::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 1);
         assert_eq!(replayed[0].key.as_ref(), b"good");
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn corrupt_record_stops_replay() {
-        let path = tmp("corrupt");
-        let _ = std::fs::remove_file(&path);
+        let dir = tmp("corrupt");
         {
-            let (wal, _) = Wal::open(&path, false).unwrap();
-            wal.append(&Entry::put(b"first".to_vec(), b"1".to_vec(), 1))
-                .unwrap();
-            wal.append(&Entry::put(b"second".to_vec(), b"2".to_vec(), 2))
-                .unwrap();
-            wal.append(&Entry::put(b"third".to_vec(), b"3".to_vec(), 3))
-                .unwrap();
+            let (wal, _) = Wal::open(&dir, false).unwrap();
+            for (i, k) in [b"first", b"secnd", b"third"].iter().enumerate() {
+                wal.append(&Entry::put(k.to_vec(), b"1".to_vec(), i as u64))
+                    .unwrap();
+            }
             wal.sync().unwrap();
         }
-        // Flip a byte in the middle record's body.
-        let mut buf = std::fs::read(&path).unwrap();
+        let seg = newest_segment(&dir);
+        let mut buf = std::fs::read(&seg).unwrap();
         let record_len = 8 + 15 + 5 + 1; // first record (key "first", val "1")
         buf[record_len + 20] ^= 0xFF;
-        std::fs::write(&path, &buf).unwrap();
-        let (_wal, replayed) = Wal::open(&path, false).unwrap();
+        std::fs::write(&seg, &buf).unwrap();
+        let (_wal, replayed) = Wal::open(&dir, false).unwrap();
         assert_eq!(replayed.len(), 1, "only the intact prefix is trusted");
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn empty_and_garbage_files() {
-        assert!(replay(&[]).is_empty());
-        assert!(replay(&[1, 2, 3]).is_empty());
-        assert!(replay(&[0u8; 64]).is_empty(), "zeroed preallocated file");
+        assert!(replay(&[]).0.is_empty());
+        assert!(replay(&[]).1, "empty file is a clean EOF");
+        assert!(replay(&[1, 2, 3]).0.is_empty());
+        assert!(!replay(&[1, 2, 3]).1);
+        let (entries, clean) = replay(&[0u8; 64]);
+        assert!(entries.is_empty(), "zeroed preallocated file");
+        assert!(!clean);
     }
 
     #[test]
     fn sync_each_append_mode() {
-        let path = tmp("sync");
-        let _ = std::fs::remove_file(&path);
-        let (wal, _) = Wal::open(&path, true).unwrap();
-        wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1))
-            .unwrap();
-        drop(wal);
-        let (_w, replayed) = Wal::open(&path, true).unwrap();
+        let dir = tmp("sync");
+        {
+            let (wal, _) = Wal::open(&dir, true).unwrap();
+            wal.append(&Entry::put(b"k".to_vec(), b"v".to_vec(), 1))
+                .unwrap();
+        }
+        let (_w, replayed) = Wal::open(&dir, true).unwrap();
         assert_eq!(replayed.len(), 1);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_appends() {
+        let dir = tmp("group");
+        let (wal, _) = Wal::open(&dir, true).unwrap();
+        let wal = std::sync::Arc::new(wal);
+        let n_threads = 8u64;
+        let per_thread = 50u64;
+        // The engine's pattern: sequence allocation and enqueue happen
+        // under one lock (so the pending queue is in seq order), while the
+        // physical commits race — whoever grabs the file first becomes the
+        // leader and writes everyone's records in one batch.
+        let next_seq = std::sync::Mutex::new(0u64);
+        crossbeam::scope(|scope| {
+            for _ in 0..n_threads {
+                let wal = std::sync::Arc::clone(&wal);
+                let next_seq = &next_seq;
+                scope.spawn(move |_| {
+                    for _ in 0..per_thread {
+                        let seq = {
+                            let mut n = next_seq.lock().unwrap();
+                            let seq = *n;
+                            *n += 1;
+                            let entry =
+                                Entry::put(format!("k{seq:05}").into_bytes(), b"v".to_vec(), seq);
+                            wal.enqueue(&entry).unwrap();
+                            seq
+                        };
+                        wal.commit(seq).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.batched_appends, n_threads * per_thread);
+        assert!(
+            stats.group_commits <= stats.batched_appends,
+            "a batch never writes fewer than one record"
+        );
+        drop(wal);
+        let (_w, replayed) = Wal::open(&dir, false).unwrap();
+        assert_eq!(replayed.len(), (n_threads * per_thread) as usize);
+        // On-disk order is sequence order even under concurrency.
+        assert!(replayed.windows(2).all(|w| w[0].seq < w[1].seq));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

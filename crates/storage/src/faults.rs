@@ -115,6 +115,73 @@ impl<B: Backend> Backend for FlakyBackend<B> {
     }
 }
 
+/// A backend that sleeps before each page read/write — a stand-in for a
+/// slow device, used to make background flushes and merge cascades take
+/// real wall-clock time so concurrency tests can observe that foreground
+/// operations keep making progress while maintenance work is in flight.
+pub struct SlowBackend<B> {
+    inner: B,
+    read_delay_us: AtomicU64,
+    write_delay_us: AtomicU64,
+}
+
+impl<B: Backend> SlowBackend<B> {
+    /// Wraps `inner` with zero delay (set delays later, even while I/O is
+    /// running — the knobs are atomic).
+    pub fn new(inner: B) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            read_delay_us: AtomicU64::new(0),
+            write_delay_us: AtomicU64::new(0),
+        })
+    }
+
+    /// Sleeps `micros` before every page read.
+    pub fn set_read_delay_micros(&self, micros: u64) {
+        self.read_delay_us.store(micros, Ordering::SeqCst);
+    }
+
+    /// Sleeps `micros` before every page append.
+    pub fn set_write_delay_micros(&self, micros: u64) {
+        self.write_delay_us.store(micros, Ordering::SeqCst);
+    }
+
+    fn nap(&self, micros: &AtomicU64) {
+        let us = micros.load(Ordering::SeqCst);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+}
+
+impl<B: Backend> Backend for SlowBackend<B> {
+    fn append_page(&self, run: RunId, page_no: u32, data: &[u8]) -> Result<()> {
+        self.nap(&self.write_delay_us);
+        self.inner.append_page(run, page_no, data)
+    }
+
+    fn seal(&self, run: RunId) -> Result<()> {
+        self.inner.seal(run)
+    }
+
+    fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        self.nap(&self.read_delay_us);
+        self.inner.read_page(run, page_no)
+    }
+
+    fn pages(&self, run: RunId) -> Result<u32> {
+        self.inner.pages(run)
+    }
+
+    fn delete(&self, run: RunId) -> Result<()> {
+        self.inner.delete(run)
+    }
+
+    fn list(&self) -> Vec<RunId> {
+        self.inner.list()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +216,19 @@ mod tests {
         assert!(b.append_page(1, 1, &[0u8; 8]).is_ok());
         b.disarm();
         assert!(b.read_page(1, 0).is_ok());
+    }
+
+    #[test]
+    fn slow_backend_delays_then_passes_through() {
+        let b = SlowBackend::new(MemBackend::new());
+        b.append_page(1, 0, &[7u8; 8]).unwrap();
+        b.set_read_delay_micros(2_000);
+        let t0 = std::time::Instant::now();
+        assert_eq!(&b.read_page(1, 0).unwrap()[..], &[7u8; 8]);
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(2_000));
+        b.set_read_delay_micros(0);
+        assert_eq!(b.list(), vec![1]);
+        b.delete(1).unwrap();
+        assert!(b.list().is_empty());
     }
 }

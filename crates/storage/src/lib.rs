@@ -37,5 +37,5 @@ pub use cache::{BlockCache, CacheStats};
 pub use device::DeviceModel;
 pub use disk::{Disk, RunWriter};
 pub use error::{Result, StorageError};
-pub use faults::{FaultKind, FlakyBackend};
+pub use faults::{FaultKind, FlakyBackend, SlowBackend};
 pub use iostats::{IoSnapshot, IoStats};
