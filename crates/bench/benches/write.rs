@@ -151,6 +151,44 @@ fn get_latency_under_write_load(n: usize) {
     }
 }
 
+/// Telemetry overhead on the put path (acceptance bound: <2%): identical
+/// sequential loads against the same store shape with the hub off and on,
+/// best of three rounds each to shed scheduler noise. The on-run's full
+/// report (histogram percentiles included) lands in the repo-root
+/// `BENCH_telemetry.json` artifact next to the throughput delta.
+fn telemetry_overhead(n: usize) {
+    let run = |telemetry: bool| -> (f64, Option<String>) {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let db = Db::open(opts(MergePolicy::Leveling, false).telemetry(telemetry)).unwrap();
+            let t0 = Instant::now();
+            for i in 0..n {
+                db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                    .unwrap();
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / n as f64);
+            db.flush().unwrap();
+            report = db.telemetry_report().map(|r| r.to_json());
+        }
+        (best, report)
+    };
+    let (off, _) = run(false);
+    let (on, report) = run(true);
+    let overhead = (on - off) / off * 100.0;
+    println!("\ntelemetry_overhead (put path, {n} puts, best of 3):");
+    println!("  telemetry off: {off:.1} ns/put");
+    println!("  telemetry on:  {on:.1} ns/put   overhead {overhead:+.2}%");
+    monkey_bench::emit_bench_telemetry(
+        "write",
+        &format!(
+            "{{\"puts\": {n}, \"ns_per_put_off\": {off:.1}, \"ns_per_put_on\": {on:.1}, \
+             \"overhead_pct\": {overhead:.2}, \"report\": {}}}",
+            report.expect("telemetry report")
+        ),
+    );
+}
+
 criterion_group!(benches, bench_put_throughput);
 
 fn main() {
@@ -159,4 +197,5 @@ fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     latency_distribution(if test_mode { 2_000 } else { 200_000 });
     get_latency_under_write_load(if test_mode { 2_000 } else { 100_000 });
+    telemetry_overhead(if test_mode { 2_000 } else { 200_000 });
 }

@@ -63,6 +63,9 @@ pub struct ExpConfig {
     pub variant: FilterVariant,
     /// Block cache size in bytes (0 = disabled).
     pub cache_bytes: usize,
+    /// Whether the engine's telemetry hub is enabled (off for paper
+    /// experiments; the overhead benches flip it).
+    pub telemetry: bool,
 }
 
 impl ExpConfig {
@@ -82,6 +85,7 @@ impl ExpConfig {
             filters: FilterKind::Monkey(5.0),
             variant: FilterVariant::Standard,
             cache_bytes: 0,
+            telemetry: false,
         }
     }
 
@@ -97,6 +101,12 @@ impl ExpConfig {
         self
     }
 
+    /// Same configuration with the telemetry hub toggled.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Builds the engine options for this configuration.
     pub fn options(&self) -> DbOptions {
         let base = if self.cache_bytes > 0 {
@@ -109,7 +119,8 @@ impl ExpConfig {
             .buffer_capacity(self.buffer_bytes)
             .size_ratio(self.size_ratio)
             .merge_policy(self.policy)
-            .filter_variant(self.variant);
+            .filter_variant(self.variant)
+            .telemetry(self.telemetry);
         match self.filters {
             FilterKind::None => base.uniform_filters(0.0),
             FilterKind::Uniform(bpe) => base.uniform_filters(bpe),
@@ -254,6 +265,36 @@ pub fn mixed_phase(loaded: &LoadedDb, lookup_fraction: f64, n: u64, seed: u64) -
     n as f64 / secs
 }
 
+/// Merges one bench's section into the repo-root `BENCH_telemetry.json`
+/// artifact, preserving sections written by other benches. The format is
+/// one `"section": <single-line JSON value>` per line, so a plain
+/// line-based merge suffices without a JSON parser.
+pub fn emit_bench_telemetry(section: &str, value_json: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with('"') {
+                continue; // the surrounding braces
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let k = k.trim().trim_matches('"');
+                if !k.is_empty() && k != section {
+                    sections.push((k.to_string(), v.trim().to_string()));
+                }
+            }
+        }
+    }
+    sections.push((section.to_string(), value_json.to_string()));
+    let body = sections
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write BENCH_telemetry.json");
+}
+
 /// Prints a CSV header line.
 pub fn csv_header(cols: &[&str]) {
     println!("{}", cols.join(","));
@@ -284,6 +325,7 @@ mod tests {
             filters: FilterKind::Monkey(5.0),
             variant: FilterVariant::Standard,
             cache_bytes: 0,
+            telemetry: false,
         }
     }
 

@@ -55,9 +55,10 @@ mod bridge;
 
 pub use bridge::{model_params_for, to_model_policy};
 pub use monkey_lsm::{
-    Db, DbOptions, DbStats, Entry, EntryKind, FilterContext, FilterPolicy, FilterVariant,
-    LevelStats, LookupStats, LsmError, MergePolicy, PipelineStats, RangeIter, Result,
-    UniformFilterPolicy, WalStats,
+    Db, DbOptions, DbStats, DriftFlag, Entry, EntryKind, Event, EventKind, FilterContext,
+    FilterPolicy, FilterVariant, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, LevelStats,
+    LookupStats, LsmError, MergePolicy, OpKind, OpLatencyReport, PipelineGauges, PipelineStats,
+    RangeIter, Result, Telemetry, TelemetryReport, UniformFilterPolicy, WalStats,
 };
 pub use monkey_model::{Environment, Workload};
 pub use navigator::{Navigator, Recommendation, WhatIf};

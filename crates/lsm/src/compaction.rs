@@ -81,7 +81,7 @@ pub(crate) fn install_leveling(
             let params = filter_params_for(opts, version, lvl, input_entries, 0);
             outcome.merges += 1;
             outcome.entries_rewritten += input_entries;
-            match merge_runs(disk, &inputs, drop_tombstones, params)? {
+            match merge_runs(disk, &inputs, drop_tombstones, lvl, params)? {
                 Some(merged) => carry = merged,
                 None => return Ok(()), // merge annihilated everything
             }
@@ -125,7 +125,7 @@ pub(crate) fn install_tiering(
         let params = filter_params_for(opts, version, lvl + 1, input_entries, 0);
         outcome.merges += 1;
         outcome.entries_rewritten += input_entries;
-        let merged = merge_runs(disk, &inputs, drop_tombstones, params)?;
+        let merged = merge_runs(disk, &inputs, drop_tombstones, lvl + 1, params)?;
         version.ensure_levels(lvl + 1);
         if let Some(merged) = merged {
             version.levels_mut()[lvl].push_youngest(merged);
@@ -134,12 +134,27 @@ pub(crate) fn install_tiering(
     }
 }
 
-/// Sort-merges `inputs` into a single new run.
+/// Pre-registers the run under construction at its destination `level` in
+/// the disk's I/O attribution table (when one is attached), so the build's
+/// own page writes are charged to the level the run will land on. A no-op
+/// without telemetry. Stale tags from failed builds are harmless — the run
+/// id is never reused for I/O — and every version install retags from the
+/// authoritative tree anyway.
+fn tag_destination(disk: &Disk, builder: &RunBuilder, level: usize) {
+    if let Some(attr) = disk.attribution() {
+        attr.tag_run(builder.run_id(), level);
+    }
+}
+
+/// Sort-merges `inputs` into a single new run landing at `level`.
 ///
 /// * Duplicate keys are resolved newest-wins (by sequence number).
 /// * With `drop_tombstones`, tombstones are not written to the output.
 /// * Inputs are marked obsolete on success; their storage is reclaimed when
 ///   the last reference (e.g. a concurrent cursor) drops.
+/// * `level` is the 1-based destination level, used only for per-level I/O
+///   attribution when telemetry is enabled (the caller still places the run
+///   in the tree itself).
 ///
 /// Returns `None` when the merge produces no entries at all (e.g. only
 /// tombstones merged into the last level).
@@ -147,6 +162,7 @@ pub fn merge_runs(
     disk: &Arc<Disk>,
     inputs: &[Arc<Run>],
     drop_tombstones: bool,
+    level: usize,
     filter: impl Into<FilterParams>,
 ) -> Result<Option<Arc<Run>>> {
     debug_assert!(!inputs.is_empty());
@@ -156,6 +172,8 @@ pub fn merge_runs(
         .collect();
     let merged = MergingIter::new(sources, true)?;
     let mut builder = RunBuilder::new(Arc::clone(disk));
+    tag_destination(disk, &builder, level);
+    let run_id = builder.run_id();
     for item in merged {
         let entry: Entry = item?;
         if drop_tombstones && entry.is_tombstone() {
@@ -164,6 +182,11 @@ pub fn merge_runs(
         builder.push(entry)?;
     }
     let output = builder.finish(filter)?.map(Arc::new);
+    if output.is_none() {
+        if let Some(attr) = disk.attribution() {
+            attr.untag_run(run_id);
+        }
+    }
     for input in inputs {
         input.mark_obsolete();
     }
@@ -172,20 +195,31 @@ pub fn merge_runs(
 
 /// Builds a run directly from pre-sorted, pre-deduplicated entries (the
 /// buffer flush path: a memtable drain is already sorted and unique).
+/// `level` is the 1-based destination level for I/O attribution, exactly as
+/// in [`merge_runs`].
 pub fn build_run_from_sorted(
     disk: &Arc<Disk>,
     entries: Vec<Entry>,
     drop_tombstones: bool,
+    level: usize,
     filter: impl Into<FilterParams>,
 ) -> Result<Option<Arc<Run>>> {
     let mut builder = RunBuilder::new(Arc::clone(disk));
+    tag_destination(disk, &builder, level);
+    let run_id = builder.run_id();
     for entry in entries {
         if drop_tombstones && entry.is_tombstone() {
             continue;
         }
         builder.push(entry)?;
     }
-    Ok(builder.finish(filter)?.map(Arc::new))
+    let output = builder.finish(filter)?.map(Arc::new);
+    if output.is_none() {
+        if let Some(attr) = disk.attribution() {
+            attr.untag_run(run_id);
+        }
+    }
+    Ok(output)
 }
 
 #[cfg(test)]
@@ -194,7 +228,7 @@ mod tests {
     use crate::entry::EntryKind;
 
     fn run_of(disk: &Arc<Disk>, entries: Vec<Entry>) -> Arc<Run> {
-        build_run_from_sorted(disk, entries, false, 10.0)
+        build_run_from_sorted(disk, entries, false, 1, 10.0)
             .unwrap()
             .unwrap()
     }
@@ -208,7 +242,7 @@ mod tests {
         let disk = Disk::mem(128);
         let old = run_of(&disk, vec![put("a", "old", 1), put("b", "b1", 2)]);
         let new = run_of(&disk, vec![put("a", "new", 5), put("c", "c1", 6)]);
-        let merged = merge_runs(&disk, &[new, old], false, 10.0)
+        let merged = merge_runs(&disk, &[new, old], false, 1, 10.0)
             .unwrap()
             .unwrap();
         assert_eq!(merged.entries(), 3);
@@ -223,7 +257,7 @@ mod tests {
         let a = run_of(&disk, vec![put("a", "1", 1)]);
         let b = run_of(&disk, vec![put("b", "2", 2)]);
         let (ida, idb) = (a.id(), b.id());
-        let merged = merge_runs(&disk, &[a, b], false, 10.0).unwrap().unwrap();
+        let merged = merge_runs(&disk, &[a, b], false, 1, 10.0).unwrap().unwrap();
         // Inputs dropped at the end of merge_runs' caller scope — here the
         // Arcs moved into the call were the last references.
         assert!(disk.run_pages(ida).is_err());
@@ -236,7 +270,7 @@ mod tests {
         let disk = Disk::mem(128);
         let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9)]);
         let old = run_of(&disk, vec![put("k", "v", 1)]);
-        let merged = merge_runs(&disk, &[young, old], false, 10.0)
+        let merged = merge_runs(&disk, &[young, old], false, 1, 10.0)
             .unwrap()
             .unwrap();
         let e = merged.get(b"k").unwrap().unwrap();
@@ -256,7 +290,7 @@ mod tests {
             vec![Entry::tombstone(b"k".to_vec(), 9), put("live", "v", 8)],
         );
         let old = run_of(&disk, vec![put("k", "v", 1)]);
-        let merged = merge_runs(&disk, &[young, old], true, 10.0)
+        let merged = merge_runs(&disk, &[young, old], true, 1, 10.0)
             .unwrap()
             .unwrap();
         assert_eq!(merged.entries(), 1);
@@ -269,7 +303,7 @@ mod tests {
         let disk = Disk::mem(128);
         let young = run_of(&disk, vec![Entry::tombstone(b"k".to_vec(), 9)]);
         let old = run_of(&disk, vec![put("k", "v", 1)]);
-        let merged = merge_runs(&disk, &[young, old], true, 10.0).unwrap();
+        let merged = merge_runs(&disk, &[young, old], true, 1, 10.0).unwrap();
         assert!(merged.is_none(), "nothing left to write");
         assert!(disk.list_runs().is_empty(), "all storage reclaimed");
     }
@@ -287,7 +321,7 @@ mod tests {
         let b = run_of(&disk, entries_b);
         let in_pages = (a.pages() + b.pages()) as u64;
         disk.reset_io();
-        let merged = merge_runs(&disk, &[a, b], false, 10.0).unwrap().unwrap();
+        let merged = merge_runs(&disk, &[a, b], false, 1, 10.0).unwrap().unwrap();
         let io = disk.io();
         assert_eq!(
             io.page_reads, in_pages,
@@ -304,7 +338,7 @@ mod tests {
             Entry::tombstone(b"b".to_vec(), 2),
             put("c", "3", 3),
         ];
-        let run = build_run_from_sorted(&disk, entries, true, 10.0)
+        let run = build_run_from_sorted(&disk, entries, true, 1, 10.0)
             .unwrap()
             .unwrap();
         assert_eq!(run.entries(), 2);

@@ -34,11 +34,15 @@ use crate::options::{DbOptions, StorageConfig};
 use crate::page::max_entry_len;
 use crate::policy::FilterContext;
 use crate::run::{recover_run, FilterParams};
-use crate::stats::{DbStats, LevelStats, LookupStats, PipelineStats};
+use crate::stats::{DbStats, LevelStats, LookupStats, PipelineGauges, PipelineStats};
 use crate::vlog::{ValueLog, ValuePointer};
 use crate::wal::Wal;
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
+use monkey_obs::{
+    drift_flag, EventKind, LevelReport, OpKind, OpLatencyReport, Telemetry, TelemetryReport,
+    MAX_LEVELS, OP_KINDS,
+};
 use monkey_storage::{Disk, IoSnapshot};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::collections::VecDeque;
@@ -109,6 +113,9 @@ struct Core {
     pipeline: PipelineCounters,
     /// Value log for key-value separation (WiscKey mode), when enabled.
     vlog: Option<Arc<ValueLog>>,
+    /// Telemetry hub, present iff `DbOptions::telemetry`. When `None`,
+    /// every instrumentation site collapses to a single branch.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// An LSM-tree key-value store.
@@ -199,6 +206,23 @@ impl Core {
         }
     }
 
+    /// Rebuilds the run → level attribution table from `version` — the
+    /// authoritative shape. Merges tag output runs at build time, but a
+    /// leveling carry moves a run down a level *without* rewriting it, and
+    /// recovery re-adopts runs wholesale; walking the installed version
+    /// covers every such path (and retires tags of dropped runs).
+    fn retag_attribution(&self, version: &Version) {
+        if let Some(t) = &self.telemetry {
+            t.attribution().retag_all(
+                version
+                    .levels()
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(li, level)| level.runs().iter().map(move |r| (r.id(), li + 1))),
+            );
+        }
+    }
+
     /// Freezes the active memtable into the immutable queue, sealing the
     /// WAL segment that covers it. No-op on an empty memtable.
     fn rotate_locked(&self, shared: &mut Shared) -> Result<()> {
@@ -253,14 +277,25 @@ impl Core {
     /// latency) until the worker catches up.
     fn stall_then_rotate<'a>(&'a self, mut shared: RwLockWriteGuard<'a, Shared>) -> Result<()> {
         let mut counted = false;
+        let mut stall_started: Option<Instant> = None;
         loop {
             if self.room_to_rotate(&shared) {
+                if let (Some(t), Some(s0)) = (&self.telemetry, stall_started) {
+                    t.event(EventKind::StallEnd {
+                        waited_micros: s0.elapsed().as_micros() as u64,
+                    });
+                }
                 return self.rotate_locked(&mut shared);
             }
+            let queue_depth = shared.immutables.len() as u64;
             drop(shared);
             if !counted {
                 self.pipeline.stalls.fetch_add(1, Relaxed);
                 counted = true;
+                if let Some(t) = &self.telemetry {
+                    stall_started = Some(Instant::now());
+                    t.event(EventKind::StallBegin { queue_depth });
+                }
             }
             let t0 = Instant::now();
             {
@@ -306,6 +341,17 @@ impl Core {
     /// Caller holds `compaction_lock`; the shared lock is taken only for
     /// the final pointer swap.
     fn flush_immutable(&self, imm: &ImmutableMemtable) -> Result<()> {
+        let tel = self.telemetry.as_deref();
+        let flush_started = match tel {
+            Some(t) => {
+                t.event(EventKind::FlushStart {
+                    entries: imm.entries,
+                    bytes: imm.bytes as u64,
+                });
+                t.op_start(OpKind::Flush)
+            }
+            None => None,
+        };
         if let Some(vlog) = &self.vlog {
             // Pointers about to be persisted must reference durable pages.
             // This runs without the shared lock: large separated values no
@@ -319,10 +365,11 @@ impl Core {
         let drop_tombstones = working.deepest() == 0;
         let n = entries.len() as u64;
         let params = filter_params_for(&self.opts, &working, 1, n, 0);
-        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, params)?;
+        let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, 1, params)?;
         self.compactions.flushes.fetch_add(1, Relaxed);
         let mut outcome = CascadeOutcome::default();
         if let Some(run) = run {
+            let cascade_started = tel.and_then(|t| t.op_start(OpKind::Cascade));
             match self.opts.merge_policy {
                 crate::policy::MergePolicy::Leveling => {
                     install_leveling(&self.disk, &self.opts, &mut working, run, &mut outcome)?
@@ -330,6 +377,13 @@ impl Core {
                 crate::policy::MergePolicy::Tiering => {
                     install_tiering(&self.disk, &self.opts, &mut working, run, &mut outcome)?
                 }
+            }
+            if let Some(t) = tel {
+                t.op_end(OpKind::Cascade, cascade_started);
+                t.event(EventKind::CascadeInstall {
+                    merges: outcome.merges,
+                    deepest_level: working.deepest() as u64,
+                });
             }
         }
         self.compactions.merges.fetch_add(outcome.merges, Relaxed);
@@ -352,9 +406,15 @@ impl Core {
             next_seq = shared.next_seq;
         }
         self.signals.stall_cv.notify_all();
+        self.retag_attribution(&new_version);
         self.persist_manifest(&new_version, next_seq)?;
         if let Some(segment) = imm.wal_segment {
             self.wal.prune_upto(segment)?;
+        }
+        if let Some(t) = tel {
+            let duration_micros = flush_started.map_or(0, |s| s.elapsed().as_micros() as u64);
+            t.op_end(OpKind::Flush, flush_started);
+            t.event(EventKind::FlushEnd { duration_micros });
         }
         Ok(())
     }
@@ -413,6 +473,11 @@ fn worker_loop(core: Arc<Core>) {
             Ok(_) => {}
             Err(e) => {
                 core.pipeline.background_errors.fetch_add(1, Relaxed);
+                if let Some(t) = &core.telemetry {
+                    t.event(EventKind::BackgroundError {
+                        message: e.to_string(),
+                    });
+                }
                 {
                     let mut ctl = core.signals.control.lock().expect("control poisoned");
                     ctl.background_error = Some(e.to_string());
@@ -479,6 +544,13 @@ impl Db {
         let vlog = opts
             .value_separation
             .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
+        let telemetry = opts
+            .telemetry
+            .then(|| Arc::new(Telemetry::new(Telemetry::DEFAULT_EVENT_CAPACITY)));
+        if let Some(t) = &telemetry {
+            disk.attach_attribution(Arc::clone(t.attribution()));
+            wal.attach_telemetry(Arc::clone(t));
+        }
         let core = Arc::new(Core {
             disk,
             shared: RwLock::new(Shared {
@@ -499,8 +571,11 @@ impl Db {
             lookups: LookupCounters::default(),
             pipeline: PipelineCounters::default(),
             vlog,
+            telemetry,
             opts,
         });
+        // Recovered runs carry no build-time tags; adopt them level by level.
+        core.retag_attribution(&core.shared.read().version);
         // A WAL bigger than the buffer (crash right before a flush): flush
         // now, inline, before the worker exists.
         {
@@ -526,6 +601,12 @@ impl Db {
         let vlog = opts
             .value_separation
             .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
+        let telemetry = opts
+            .telemetry
+            .then(|| Arc::new(Telemetry::new(Telemetry::DEFAULT_EVENT_CAPACITY)));
+        if let Some(t) = &telemetry {
+            disk.attach_attribution(Arc::clone(t.attribution()));
+        }
         let core = Arc::new(Core {
             disk,
             shared: RwLock::new(Shared {
@@ -546,6 +627,7 @@ impl Db {
             lookups: LookupCounters::default(),
             pipeline: PipelineCounters::default(),
             vlog,
+            telemetry,
             opts,
         });
         Ok(Arc::new(Self::with_worker(core)))
@@ -618,6 +700,10 @@ impl Db {
     /// flush timing.
     pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
         let core = &self.core;
+        let started = match &core.telemetry {
+            Some(t) => t.op_start(OpKind::Put),
+            None => None,
+        };
         core.check_background_error()?;
         let (key, value) = (key.into(), value.into());
         let separate = match (&core.vlog, core.opts.value_separation) {
@@ -676,12 +762,21 @@ impl Db {
             shared.memtable.insert(entry);
             core.maybe_rotate_after_insert(shared)?;
         }
-        core.wal.commit(seq)
+        core.wal.commit(seq)?;
+        if let Some(t) = &core.telemetry {
+            t.op_end(OpKind::Put, started);
+        }
+        Ok(())
     }
 
-    /// Deletes a key (writes a tombstone).
+    /// Deletes a key (writes a tombstone). Counted as a put in telemetry:
+    /// a tombstone write takes the identical path.
     pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
         let core = &self.core;
+        let started = match &core.telemetry {
+            Some(t) => t.op_start(OpKind::Put),
+            None => None,
+        };
         core.check_background_error()?;
         let key = key.into();
         core.check_entry_size(&key, 0)?;
@@ -695,7 +790,11 @@ impl Db {
             shared.memtable.insert(entry);
             core.maybe_rotate_after_insert(shared)?;
         }
-        core.wal.commit(seq)
+        core.wal.commit(seq)?;
+        if let Some(t) = &core.telemetry {
+            t.op_end(OpKind::Put, started);
+        }
+        Ok(())
     }
 
     /// Point lookup. Probes the buffer and any frozen memtables, then each
@@ -708,6 +807,18 @@ impl Db {
     /// delays the lookup. The key is hashed **once**, when the lookup
     /// first reaches the disk levels.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        match &self.core.telemetry {
+            Some(t) => {
+                let started = t.op_start(OpKind::Get);
+                let out = self.get_impl(key);
+                t.op_end(OpKind::Get, started);
+                out
+            }
+            None => self.get_impl(key),
+        }
+    }
+
+    fn get_impl(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let core = &self.core;
         let (immutables, version) = {
             let shared = core.shared.read();
@@ -730,18 +841,37 @@ impl Db {
         }
         let pair = hash_pair(key); // the lookup's only hash computation
         core.lookups.key_hashes.fetch_add(1, Relaxed);
-        for level in version.levels() {
+        let tel = core.telemetry.as_deref();
+        for (li, level) in version.levels().iter().enumerate() {
             for run in level.runs() {
                 let look = run.get_hashed(key, pair)?;
-                if look.probed_filter {
-                    core.lookups.filter_probes.fetch_add(1, Relaxed);
-                    if look.filter_negative {
-                        core.lookups.filter_negatives.fetch_add(1, Relaxed);
-                    } else if look.page_read && look.entry.is_none() {
-                        // The filter said "maybe", the page said no: a true
-                        // false positive, one wasted I/O.
-                        core.lookups.filter_false_positives.fetch_add(1, Relaxed);
+                // With telemetry on the per-level table is the sole record
+                // of probe traffic — `lookup_stats` derives its engine-wide
+                // totals from it — so the hot path pays one fetch_add per
+                // probed run either way, never two sets of counters.
+                match tel {
+                    Some(t) => {
+                        if look.probed_filter {
+                            if !look.filter_negative && look.page_read && look.entry.is_none() {
+                                t.record_false_positive(li + 1);
+                            }
+                            t.record_filter_probe(li + 1, look.filter_negative);
+                        }
+                        if look.page_read {
+                            t.record_lookup_read(li + 1);
+                        }
                     }
+                    None if look.probed_filter => {
+                        core.lookups.filter_probes.fetch_add(1, Relaxed);
+                        if look.filter_negative {
+                            core.lookups.filter_negatives.fetch_add(1, Relaxed);
+                        } else if look.page_read && look.entry.is_none() {
+                            // The filter said "maybe", the page said no: a
+                            // true false positive, one wasted I/O.
+                            core.lookups.filter_false_positives.fetch_add(1, Relaxed);
+                        }
+                    }
+                    None => {}
                 }
                 if let Some(entry) = look.entry {
                     return core.resolve_value(&entry);
@@ -751,30 +881,51 @@ impl Db {
         Ok(None)
     }
 
-    /// Counters of the point-lookup fast path since open.
+    /// Counters of the point-lookup fast path since open. With telemetry
+    /// on, the engine-wide totals are the sums of the per-level telemetry
+    /// table (the hot path writes only there); otherwise they come from
+    /// the engine's own global counters.
     pub fn lookup_stats(&self) -> LookupStats {
         let l = &self.core.lookups;
-        LookupStats {
-            key_hashes: l.key_hashes.load(Relaxed),
-            filter_probes: l.filter_probes.load(Relaxed),
-            filter_negatives: l.filter_negatives.load(Relaxed),
-            filter_false_positives: l.filter_false_positives.load(Relaxed),
+        let key_hashes = l.key_hashes.load(Relaxed);
+        match self.core.telemetry.as_deref() {
+            Some(t) => {
+                let levels = t.level_lookups();
+                LookupStats {
+                    key_hashes,
+                    filter_probes: levels.iter().map(|s| s.filter_probes).sum(),
+                    filter_negatives: levels.iter().map(|s| s.filter_negatives).sum(),
+                    filter_false_positives: levels.iter().map(|s| s.filter_false_positives).sum(),
+                }
+            }
+            None => LookupStats {
+                key_hashes,
+                filter_probes: l.filter_probes.load(Relaxed),
+                filter_negatives: l.filter_negatives.load(Relaxed),
+                filter_false_positives: l.filter_false_positives.load(Relaxed),
+            },
         }
     }
 
     /// Counters of the write pipeline since open: stall events and time,
-    /// current flush backlog, deferred worker failures, and WAL
-    /// group-commit batching.
+    /// deferred worker failures, and WAL group-commit batching.
     pub fn pipeline_stats(&self) -> PipelineStats {
         let p = &self.core.pipeline;
         let wal = self.core.wal.stats();
         PipelineStats {
             stalls: p.stalls.load(Relaxed),
             stall_micros: p.stall_micros.load(Relaxed),
-            immutable_queue_depth: self.core.shared.read().immutables.len(),
             background_errors: p.background_errors.load(Relaxed),
             wal_group_commits: wal.group_commits,
             wal_batched_appends: wal.batched_appends,
+        }
+    }
+
+    /// Instantaneous levels of the write pipeline (see [`PipelineGauges`]
+    /// for why these are kept apart from the counters).
+    pub fn pipeline_gauges(&self) -> PipelineGauges {
+        PipelineGauges {
+            immutable_queue_depth: self.core.shared.read().immutables.len(),
         }
     }
 
@@ -782,12 +933,19 @@ impl Db {
     /// cursor owns snapshots of the relevant memtables and runs, so
     /// concurrent writes and merges do not disturb it.
     pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
+        // The cursor's Drop records the whole scan's latency, not just
+        // construction — the sample covers every page the scan touched.
+        let timer = self
+            .core
+            .telemetry
+            .as_ref()
+            .map(|t| (Arc::clone(t), t.op_start(OpKind::Range)));
         if let Some(hi) = hi {
             if hi <= lo {
                 // Empty (or inverted) interval: nothing to scan.
-                return Ok(
-                    RangeIter::new(MergingIter::new(Vec::new(), true)?, None).with_value_log(None)
-                );
+                return Ok(RangeIter::new(MergingIter::new(Vec::new(), true)?, None)
+                    .with_value_log(None)
+                    .with_telemetry(timer));
             }
         }
         let core = &self.core;
@@ -816,7 +974,9 @@ impl Db {
             }
         }
         let hi = hi.map(Bytes::copy_from_slice);
-        Ok(RangeIter::new(MergingIter::new(sources, true)?, hi).with_value_log(core.vlog.clone()))
+        Ok(RangeIter::new(MergingIter::new(sources, true)?, hi)
+            .with_value_log(core.vlog.clone())
+            .with_telemetry(timer))
     }
 
     /// Forces the buffer to flush into the tree even if not full, then
@@ -936,6 +1096,7 @@ impl Db {
             shared.version = Arc::clone(&new_version);
             next_seq = shared.next_seq;
         }
+        core.retag_attribution(&new_version);
         core.persist_manifest(&new_version, next_seq)?;
         Ok(())
     }
@@ -1102,12 +1263,84 @@ impl Db {
             pipeline: PipelineStats {
                 stalls: p.stalls.load(Relaxed),
                 stall_micros: p.stall_micros.load(Relaxed),
-                immutable_queue_depth: queue_depth,
                 background_errors: p.background_errors.load(Relaxed),
                 wal_group_commits: wal.group_commits,
                 wal_batched_appends: wal.batched_appends,
             },
+            pipeline_gauges: PipelineGauges {
+                immutable_queue_depth: queue_depth,
+            },
         }
+    }
+
+    /// The telemetry hub, when [`DbOptions::telemetry`] is on — for callers
+    /// that want raw histograms/events rather than the assembled report.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.core.telemetry.as_ref()
+    }
+
+    /// Assembles the full telemetry snapshot: per-op latency percentiles,
+    /// per-level I/O attribution and measured-vs-allocated filter FPRs
+    /// (with drift flags), the model's expected zero-result lookup cost
+    /// next to the measured one, and the drained event timeline.
+    ///
+    /// Returns `None` unless the database was opened with
+    /// [`DbOptions::telemetry`]. Draining the events is destructive: each
+    /// event appears in exactly one report.
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        let t = self.core.telemetry.as_ref()?;
+        let stats = self.stats();
+        let level_lookups = t.level_lookups();
+        let io = t.attribution().snapshot();
+        let ops = OP_KINDS
+            .iter()
+            .map(|&k| OpLatencyReport::from_snapshot(k.name(), t.op_count(k), &t.hist(k)))
+            .collect();
+        let levels = stats
+            .levels
+            .iter()
+            .map(|l| {
+                let slot = l.level.min(MAX_LEVELS);
+                let lookups = level_lookups[slot];
+                // The mean of the level's per-run FPRs is the expected
+                // false positives per *negative* probe — the comparable
+                // quantity to the measured negative-query rate.
+                let allocated_fpr = if l.runs > 0 {
+                    l.fpr_sum / l.runs as f64
+                } else {
+                    0.0
+                };
+                let measured_fpr = lookups.measured_fpr();
+                // A level whose runs merged away keeps its probe history
+                // but has no allocation left to drift from.
+                let drift = if l.runs > 0 {
+                    drift_flag(measured_fpr, allocated_fpr, lookups.negative_trials())
+                } else {
+                    None
+                };
+                LevelReport {
+                    level: l.level,
+                    runs: l.runs,
+                    entries: l.entries,
+                    io: io[slot],
+                    allocated_fpr,
+                    measured_fpr,
+                    drift,
+                    lookups,
+                }
+            })
+            .collect();
+        Some(TelemetryReport {
+            uptime_micros: t.now_micros(),
+            ops,
+            levels,
+            unattributed_io: io[0],
+            expected_zero_result_lookup_ios: stats.expected_zero_result_lookup_ios,
+            measured_zero_result_lookup_ios: stats.lookups.measured_zero_result_lookup_ios(),
+            lookups: stats.lookups.key_hashes,
+            events: t.drain_events(),
+            events_dropped: t.events_dropped(),
+        })
     }
 }
 
@@ -1480,9 +1713,16 @@ mod tests {
     fn sync_mode_queue_is_always_drained() {
         let db = small_db(MergePolicy::Leveling, 2);
         fill(&db, 1000);
-        let p = db.pipeline_stats();
-        assert_eq!(p.immutable_queue_depth, 0, "inline drain leaves no backlog");
-        assert_eq!(p.stalls, 0, "synchronous mode never stalls");
+        assert_eq!(
+            db.pipeline_gauges().immutable_queue_depth,
+            0,
+            "inline drain leaves no backlog"
+        );
+        assert_eq!(
+            db.pipeline_stats().stalls,
+            0,
+            "synchronous mode never stalls"
+        );
         assert_eq!(db.stats().immutable_entries, 0);
     }
 
@@ -1513,7 +1753,7 @@ mod tests {
             }
             db.flush().unwrap(); // quiesce
             let stats = db.stats();
-            assert_eq!(stats.pipeline.immutable_queue_depth, 0);
+            assert_eq!(stats.pipeline_gauges.immutable_queue_depth, 0);
             assert_eq!(stats.buffer_entries, 0);
             assert_eq!(stats.disk_entries, 800, "{policy:?}");
             assert_eq!(db.range(b"", None).unwrap().count(), 800);
@@ -1535,7 +1775,7 @@ mod tests {
         .unwrap();
         db.pause_compaction();
         fill(&db, 400);
-        let depth = db.pipeline_stats().immutable_queue_depth;
+        let depth = db.pipeline_gauges().immutable_queue_depth;
         assert!(depth > 0, "paused worker lets rotations accumulate");
         // Entries parked in frozen memtables answer lookups.
         for i in (0..400).step_by(11) {
@@ -1544,7 +1784,7 @@ mod tests {
         assert_eq!(db.range(b"", None).unwrap().count(), 400);
         db.resume_compaction();
         db.flush().unwrap();
-        assert_eq!(db.pipeline_stats().immutable_queue_depth, 0);
+        assert_eq!(db.pipeline_gauges().immutable_queue_depth, 0);
         assert_eq!(db.range(b"", None).unwrap().count(), 400);
     }
 
@@ -1597,7 +1837,7 @@ mod tests {
         // the assertion ordering racy.)
         db.pause_compaction();
         fill(&db, 60); // enough to rotate at least once
-        assert!(db.pipeline_stats().immutable_queue_depth > 0);
+        assert!(db.pipeline_gauges().immutable_queue_depth > 0);
         backend.arm(0); // every page write fails
         db.resume_compaction();
         // The worker hits the fault; wait for it to record the failure.
@@ -1613,7 +1853,7 @@ mod tests {
         // ...and the engine recovers: the memtable stayed queued, so a
         // retry flushes it and nothing was lost.
         db.flush().unwrap();
-        assert_eq!(db.pipeline_stats().immutable_queue_depth, 0);
+        assert_eq!(db.pipeline_gauges().immutable_queue_depth, 0);
         assert_eq!(db.range(b"", None).unwrap().count(), 60);
     }
 }

@@ -129,6 +129,12 @@ pub struct RangeIter {
     hi: Option<Bytes>,
     done: bool,
     vlog: Option<std::sync::Arc<crate::vlog::ValueLog>>,
+    // Range latency is recorded when the cursor is dropped, so the
+    // histogram covers the whole scan, not just cursor construction.
+    timer: Option<(
+        std::sync::Arc<monkey_obs::Telemetry>,
+        Option<std::time::Instant>,
+    )>,
 }
 
 impl RangeIter {
@@ -138,6 +144,7 @@ impl RangeIter {
             hi,
             done: false,
             vlog: None,
+            timer: None,
         }
     }
 
@@ -148,6 +155,27 @@ impl RangeIter {
     ) -> Self {
         self.vlog = vlog;
         self
+    }
+
+    /// Attaches a telemetry hub and the scan's (sampled) start instant;
+    /// the range latency sample lands when the cursor is dropped.
+    pub(crate) fn with_telemetry(
+        mut self,
+        timer: Option<(
+            std::sync::Arc<monkey_obs::Telemetry>,
+            Option<std::time::Instant>,
+        )>,
+    ) -> Self {
+        self.timer = timer;
+        self
+    }
+}
+
+impl Drop for RangeIter {
+    fn drop(&mut self) {
+        if let Some((telemetry, started)) = self.timer.take() {
+            telemetry.op_end(monkey_obs::OpKind::Range, started);
+        }
     }
 }
 

@@ -71,9 +71,13 @@ pub use entry::{Entry, EntryKind};
 pub use error::{LsmError, Result};
 pub use iter::RangeIter;
 pub use monkey_bloom::FilterVariant;
+pub use monkey_obs::{
+    DriftFlag, Event, EventKind, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, OpKind,
+    OpLatencyReport, Telemetry, TelemetryReport,
+};
 pub use options::DbOptions;
 pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};
 pub use run::{FilterParams, Run, RunLookup};
-pub use stats::{DbStats, LevelStats, LookupStats, PipelineStats};
+pub use stats::{DbStats, LevelStats, LookupStats, PipelineGauges, PipelineStats};
 pub use vlog::{ValueLog, ValuePointer};
 pub use wal::WalStats;

@@ -59,6 +59,11 @@ pub struct DbOptions {
     /// queued in immutable memtables reach this limit, even if the count
     /// limit has not been hit. `None` bounds by count only.
     pub stall_threshold: Option<usize>,
+    /// Record engine telemetry: latency histograms, per-level I/O
+    /// attribution, and the structured event timeline, exposed through
+    /// `Db::telemetry_report()`. Off by default; when off, the only cost
+    /// left on any hot path is one `None` branch per operation.
+    pub telemetry: bool,
 }
 
 impl DbOptions {
@@ -101,6 +106,7 @@ impl DbOptions {
             background_compaction: false,
             max_immutable_memtables: 2,
             stall_threshold: None,
+            telemetry: false,
         }
     }
 
@@ -189,6 +195,12 @@ impl DbOptions {
         self.stall_threshold = Some(bytes);
         self
     }
+
+    /// Enables engine telemetry (see [`DbOptions::telemetry`]).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -206,6 +218,7 @@ impl std::fmt::Debug for DbOptions {
             .field("background_compaction", &self.background_compaction)
             .field("max_immutable_memtables", &self.max_immutable_memtables)
             .field("stall_threshold", &self.stall_threshold)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -251,6 +264,13 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn size_ratio_below_two_rejected() {
         DbOptions::in_memory().size_ratio(1);
+    }
+
+    #[test]
+    fn telemetry_off_by_default() {
+        let o = DbOptions::in_memory();
+        assert!(!o.telemetry);
+        assert!(o.telemetry(true).telemetry);
     }
 
     #[test]

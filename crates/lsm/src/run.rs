@@ -364,6 +364,14 @@ impl RunBuilder {
         self.entries
     }
 
+    /// The storage id the run under construction will carry — available
+    /// before [`finish`](Self::finish), so callers can pre-register the run
+    /// (e.g. tag its destination level for per-level I/O attribution before
+    /// any of the build's own page writes happen).
+    pub fn run_id(&self) -> RunId {
+        self.writer.as_ref().expect("writer live until finish").id()
+    }
+
     /// Seals the run, building its filter per `params` — a bare `f64` means
     /// that many bits per entry in the standard layout. Returns `None` for
     /// an empty builder: empty runs do not exist in the tree.

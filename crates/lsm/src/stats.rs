@@ -55,11 +55,19 @@ pub struct DbStats {
     pub immutable_entries: u64,
     /// Write-pipeline counters since the database was opened.
     pub pipeline: PipelineStats,
+    /// Write-pipeline gauges: instantaneous levels at snapshot time.
+    pub pipeline_gauges: PipelineGauges,
 }
 
-/// Observed counters of the background write pipeline: how often
-/// foreground puts hit backpressure, how deep the flush backlog is, and
-/// how well the WAL's group commit amortizes writes.
+/// Observed **counters** of the background write pipeline: how often
+/// foreground puts hit backpressure and how well the WAL's group commit
+/// amortizes writes.
+///
+/// Everything here is monotonically non-decreasing over the lifetime of
+/// the `Db` handle, so two snapshots can be subtracted to get a rate
+/// (a Prometheus `counter`). Instantaneous levels — quantities that go
+/// both up and down, where subtraction is meaningless — live in
+/// [`PipelineGauges`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelineStats {
     /// Puts that blocked because the immutable-memtable backlog was at
@@ -67,8 +75,6 @@ pub struct PipelineStats {
     pub stalls: u64,
     /// Total wall-clock microseconds puts spent stalled.
     pub stall_micros: u64,
-    /// Immutable memtables currently queued behind the active one.
-    pub immutable_queue_depth: usize,
     /// Flush/merge failures recorded by the background worker (the error
     /// itself is returned from the next foreground call).
     pub background_errors: u64,
@@ -77,6 +83,20 @@ pub struct PipelineStats {
     /// WAL records carried by those batches; `wal_batched_appends /
     /// wal_group_commits` is the mean group-commit batch size.
     pub wal_batched_appends: u64,
+}
+
+/// Observed **gauges** of the background write pipeline: instantaneous
+/// levels, valid only at the moment the snapshot was taken.
+///
+/// A gauge moves in both directions — the flush backlog grows when puts
+/// outrun the flush stage and shrinks as it catches up — so unlike the
+/// monotone [`PipelineStats`] counters, subtracting two gauge snapshots
+/// tells you nothing; only the latest value is meaningful (a Prometheus
+/// `gauge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineGauges {
+    /// Immutable memtables currently queued behind the active one.
+    pub immutable_queue_depth: usize,
 }
 
 /// Observed counters of the point-lookup fast path. Where
@@ -97,6 +117,19 @@ pub struct LookupStats {
     /// Probes where the filter said "maybe" but the page read found
     /// nothing — one wasted I/O each; the measured counterpart of `R`.
     pub filter_false_positives: u64,
+}
+
+impl LookupStats {
+    /// Measured wasted I/Os per point lookup — the empirical counterpart
+    /// of [`DbStats::expected_zero_result_lookup_ios`] when the workload
+    /// is all zero-result lookups. `0.0` before any lookup ran.
+    pub fn measured_zero_result_lookup_ios(&self) -> f64 {
+        if self.key_hashes == 0 {
+            0.0
+        } else {
+            self.filter_false_positives as f64 / self.key_hashes as f64
+        }
+    }
 }
 
 impl DbStats {
@@ -150,6 +183,15 @@ mod tests {
         assert_eq!(s.occupied_levels(), 2);
         assert_eq!(s.depth(), 3, "empty middle level does not hide depth");
         assert_eq!(DbStats::default().depth(), 0);
+    }
+
+    #[test]
+    fn measured_zero_result_lookup_ios() {
+        let mut l = LookupStats::default();
+        assert_eq!(l.measured_zero_result_lookup_ios(), 0.0);
+        l.key_hashes = 200;
+        l.filter_false_positives = 3;
+        assert!((l.measured_zero_result_lookup_ios() - 0.015).abs() < 1e-12);
     }
 
     #[test]

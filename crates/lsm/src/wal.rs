@@ -38,11 +38,13 @@ use crate::entry::{Entry, EntryKind};
 use crate::error::{LsmError, Result};
 use bytes::Bytes;
 use monkey_bloom::hash::xxh64;
+use monkey_obs::{EventKind, Telemetry};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 const WAL_SEED: u64 = 0x57414C5F4D4F4E4B; // "WAL_MONK"
 const LEGACY_FILE: &str = "wal.log";
@@ -89,6 +91,10 @@ struct WalInner {
 pub struct Wal {
     inner: Option<WalInner>,
     sync_each_append: bool,
+    /// Optional telemetry sink: group commits emit an
+    /// [`EventKind::WalGroupCommit`] event carrying the batch size —
+    /// always for multi-record batches, 1-in-64 for single-record ones.
+    events: OnceLock<Arc<Telemetry>>,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
@@ -112,7 +118,14 @@ impl Wal {
         Self {
             inner: None,
             sync_each_append: false,
+            events: OnceLock::new(),
         }
+    }
+
+    /// Routes group-commit events into `telemetry`. First attachment
+    /// wins; later calls are ignored.
+    pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.events.set(telemetry);
     }
 
     /// Opens the log rooted at directory `dir`, replaying every complete
@@ -159,6 +172,7 @@ impl Wal {
                     batched_appends: AtomicU64::new(0),
                 }),
                 sync_each_append,
+                events: OnceLock::new(),
             },
             entries,
         ))
@@ -233,10 +247,21 @@ impl Wal {
         }
         let last_seq = batch.last().expect("non-empty batch").seq;
         inner.durable_mark.store(last_seq + 1, Ordering::Release);
-        inner.group_commits.fetch_add(1, Ordering::Relaxed);
+        let commit_no = inner.group_commits.fetch_add(1, Ordering::Relaxed);
         inner
             .batched_appends
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // Real groups (>1 record) always make the timeline; single-record
+        // commits — every sync-mode put — are sampled 1-in-64 so the event
+        // ring shows WAL cadence without a clock read and ring push on the
+        // put hot path. The stats counters above stay exact regardless.
+        if batch.len() > 1 || commit_no.is_multiple_of(64) {
+            if let Some(t) = self.events.get() {
+                t.event(EventKind::WalGroupCommit {
+                    records: batch.len() as u64,
+                });
+            }
+        }
         Ok(())
     }
 

@@ -10,9 +10,10 @@ use crate::cache::{BlockCache, CacheStats};
 use crate::error::{Result, StorageError};
 use crate::iostats::{IoSnapshot, IoStats};
 use bytes::Bytes;
+use monkey_obs::IoAttribution;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A counted, optionally cached page store.
 pub struct Disk {
@@ -21,6 +22,10 @@ pub struct Disk {
     cache: Option<BlockCache>,
     page_size: usize,
     next_run: AtomicU64,
+    /// Optional per-level I/O attribution table, attached once by the LSM
+    /// layer when telemetry is enabled. When unset, the per-I/O cost is a
+    /// single `OnceLock` load that finds nothing.
+    attribution: OnceLock<Arc<IoAttribution>>,
 }
 
 impl Disk {
@@ -60,7 +65,34 @@ impl Disk {
             cache,
             page_size,
             next_run: AtomicU64::new(next),
+            attribution: OnceLock::new(),
         })
+    }
+
+    /// Attaches a per-level attribution table. Every subsequent physical
+    /// page read/write is reported against the run it touched. Attaching
+    /// twice is a no-op (the first table wins).
+    pub fn attach_attribution(&self, attribution: Arc<IoAttribution>) {
+        let _ = self.attribution.set(attribution);
+    }
+
+    /// The attached attribution table, if any.
+    pub fn attribution(&self) -> Option<&Arc<IoAttribution>> {
+        self.attribution.get()
+    }
+
+    #[inline]
+    fn attr_read(&self, run: RunId) {
+        if let Some(a) = self.attribution.get() {
+            a.on_read(run, self.page_size as u64);
+        }
+    }
+
+    #[inline]
+    fn attr_write(&self, run: RunId) {
+        if let Some(a) = self.attribution.get() {
+            a.on_write(run, self.page_size as u64);
+        }
     }
 
     /// The fixed page size in bytes (`B·E` in the paper's terms: one page
@@ -93,6 +125,7 @@ impl Disk {
         let data = self.backend.read_page(run, page_no)?;
         self.stats.add_seek();
         self.stats.add_reads(1);
+        self.attr_read(run);
         if let Some(cache) = &self.cache {
             cache.insert(run, page_no, data.clone());
         }
@@ -113,6 +146,7 @@ impl Disk {
         }
         let data = self.backend.read_page(run, page_no)?;
         self.stats.add_reads(1);
+        self.attr_read(run);
         if let Some(cache) = &self.cache {
             cache.insert(run, page_no, data.clone());
         }
@@ -138,6 +172,7 @@ impl Disk {
             }
             let data = self.backend.read_page(run, page_no)?;
             self.stats.add_reads(1);
+            self.attr_read(run);
             if let Some(cache) = &self.cache {
                 cache.insert(run, page_no, data.clone());
             }
@@ -151,10 +186,13 @@ impl Disk {
         self.backend.pages(run)
     }
 
-    /// Deletes a run and purges it from the cache.
+    /// Deletes a run, purges it from the cache, and drops its level tag.
     pub fn delete_run(&self, run: RunId) -> Result<()> {
         if let Some(cache) = &self.cache {
             cache.evict_run(run);
+        }
+        if let Some(a) = self.attribution.get() {
+            a.untag_run(run);
         }
         self.backend.delete(run)
     }
@@ -210,6 +248,7 @@ impl RunWriter {
         }
         self.disk.backend.append_page(self.id, self.pages, page)?;
         self.disk.stats.add_writes(1);
+        self.disk.attr_write(self.id);
         self.pages += 1;
         Ok(())
     }
@@ -339,6 +378,50 @@ mod tests {
         } // dropped without seal
         assert!(disk.run_pages(id).is_err());
         assert!(disk.list_runs().is_empty());
+    }
+
+    #[test]
+    fn attribution_tracks_reads_and_writes_by_level() {
+        let disk = Disk::mem(64);
+        let attr = Arc::new(IoAttribution::new());
+        disk.attach_attribution(Arc::clone(&attr));
+
+        let mut w = disk.begin_run();
+        attr.tag_run(w.id(), 1);
+        w.append(&page(&disk, 1)).unwrap();
+        w.append(&page(&disk, 2)).unwrap();
+        let id = w.seal().unwrap();
+
+        disk.read_page(id, 0).unwrap();
+        disk.read_pages(id, 0, 2).unwrap();
+
+        let s = attr.snapshot();
+        assert_eq!(s[1].writes, 2);
+        assert_eq!(s[1].write_bytes, 128);
+        assert_eq!(s[1].reads, 3);
+        assert_eq!(s[1].read_bytes, 192);
+        assert!(s[0].is_zero(), "nothing should be unattributed");
+
+        // Deleting the run drops the tag: later I/O on the id (impossible
+        // for real runs, but cheap to pin down) is unattributed.
+        disk.delete_run(id).unwrap();
+        assert_eq!(attr.level_of(id), None);
+    }
+
+    #[test]
+    fn cache_hits_are_not_attributed() {
+        let disk = Disk::mem_cached(64, 1 << 20);
+        let attr = Arc::new(IoAttribution::new());
+        disk.attach_attribution(Arc::clone(&attr));
+        let mut w = disk.begin_run();
+        attr.tag_run(w.id(), 2);
+        w.append(&page(&disk, 9)).unwrap();
+        let id = w.seal().unwrap();
+
+        disk.read_page(id, 0).unwrap(); // miss: one attributed read
+        disk.read_page(id, 0).unwrap(); // hit: not an I/O, not attributed
+        let s = attr.snapshot();
+        assert_eq!(s[2].reads, 1);
     }
 
     #[test]

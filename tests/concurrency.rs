@@ -144,14 +144,14 @@ fn readers_progress_while_merge_cascade_is_in_flight() {
         db.put(format!("k{i:04}").into_bytes(), vec![b'v'; 24])
             .unwrap();
     }
-    assert!(db.stats().pipeline.immutable_queue_depth > 0);
+    assert!(db.stats().pipeline_gauges.immutable_queue_depth > 0);
     slow.set_write_delay_micros(2_000);
     db.resume_compaction();
     // While the cascades are in flight, point lookups keep completing:
     // they probe an immutable version snapshot and never wait for a merge.
     let mut reads_during_merge = 0u64;
     let mut i = 0u32;
-    while db.stats().pipeline.immutable_queue_depth > 0 {
+    while db.stats().pipeline_gauges.immutable_queue_depth > 0 {
         let key = format!("k{:04}", i % 900);
         assert!(db.get(key.as_bytes()).unwrap().is_some(), "{key}");
         reads_during_merge += 1;
@@ -203,8 +203,9 @@ fn writers_stall_at_the_backpressure_bound_and_recover() {
             .unwrap();
     }
     db.flush().unwrap();
-    let p = db.stats().pipeline;
-    assert_eq!(p.immutable_queue_depth, 0);
+    let s = db.stats();
+    let p = s.pipeline;
+    assert_eq!(s.pipeline_gauges.immutable_queue_depth, 0);
     assert_eq!(p.background_errors, 0);
     assert!(p.stalls >= stalled.stalls, "counters are monotonic");
     assert_eq!(db.range(b"", None).unwrap().count(), 500);

@@ -200,7 +200,7 @@ fn queued_immutable_memtables_recover_from_wal() {
                 .unwrap();
         }
         assert!(
-            db.stats().pipeline.immutable_queue_depth > 0,
+            db.stats().pipeline_gauges.immutable_queue_depth > 0,
             "writes are parked in frozen memtables"
         );
         // Simulate a crash at this instant: clone the on-disk state while
