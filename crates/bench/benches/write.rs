@@ -189,13 +189,61 @@ fn telemetry_overhead(n: usize) {
     );
 }
 
+/// Observatory overhead on top of plain telemetry: the same put load with
+/// the hub on, then with the `monkey-obs-sampler` thread also cutting
+/// windows — at a production-shaped 100ms interval and at an aggressive
+/// 1ms one (the latter matters on few-core boxes, where a hyperactive
+/// sampler thread competes with the writer for CPU, not because a tick
+/// is expensive). The put path itself is identical in all three runs, so
+/// the deltas bound the whole windowed-series machinery against the <2%
+/// telemetry budget.
+fn observatory_overhead(n: usize) {
+    let run = |interval: Option<Duration>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut o = opts(MergePolicy::Leveling, false).telemetry(true);
+            if let Some(interval) = interval {
+                o = o.observatory_interval(interval).observatory_retention(256);
+            }
+            let db = Db::open(o).unwrap();
+            let t0 = Instant::now();
+            for i in 0..n {
+                db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                    .unwrap();
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / n as f64);
+            db.flush().unwrap();
+        }
+        best
+    };
+    let plain = run(None);
+    let relaxed = run(Some(Duration::from_millis(100)));
+    let aggressive = run(Some(Duration::from_millis(1)));
+    println!("\nobservatory_overhead (put path, {n} puts, best of 3):");
+    println!("  telemetry on, no sampler: {plain:.1} ns/put");
+    println!(
+        "  + 100ms sampler thread:   {relaxed:.1} ns/put   overhead {:+.2}%",
+        (relaxed - plain) / plain * 100.0
+    );
+    println!(
+        "  + 1ms sampler thread:     {aggressive:.1} ns/put   overhead {:+.2}%",
+        (aggressive - plain) / plain * 100.0
+    );
+}
+
 criterion_group!(benches, bench_put_throughput);
 
 fn main() {
-    benches();
     // `cargo test --benches` passes `--test`: keep the smoke run cheap.
     let test_mode = std::env::args().any(|a| a == "--test");
-    latency_distribution(if test_mode { 2_000 } else { 200_000 });
-    get_latency_under_write_load(if test_mode { 2_000 } else { 100_000 });
+    // `--overhead` runs only the overhead harnesses (repeat runs to map
+    // the noise floor without paying for the full latency suites).
+    let overhead_only = std::env::args().any(|a| a == "--overhead");
+    if !overhead_only {
+        benches();
+        latency_distribution(if test_mode { 2_000 } else { 200_000 });
+        get_latency_under_write_load(if test_mode { 2_000 } else { 100_000 });
+    }
     telemetry_overhead(if test_mode { 2_000 } else { 200_000 });
+    observatory_overhead(if test_mode { 2_000 } else { 200_000 });
 }

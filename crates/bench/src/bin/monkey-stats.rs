@@ -5,27 +5,88 @@
 //!
 //! ```text
 //! monkey-stats [--entries N] [--in-memory] [--json | --prometheus]
+//!              [--watch N] [--advise] [--budget BYTES] [--trace OUT.json]
 //! ```
 //!
 //! By default the store is directory-backed (in a temp dir, removed on
 //! exit) so the timeline includes WAL group commits; `--in-memory` skips
 //! the filesystem. `--json` and `--prometheus` switch the output format
 //! for machine consumption; the default is the human `pretty()` dump.
+//!
+//! Observatory flags:
+//!
+//! - `--watch N` cuts the query phase into `N` observatory windows and
+//!   prints one rate line per window as it closes (ops/s, flush
+//!   throughput, stall ratio, windowed write amplification).
+//! - `--advise` resets the characterizer after the bulk load, measures
+//!   the query phase's `(r, v, q, w)` mix, and prints the closed-loop
+//!   [`TuningAdvisor`] report instead of the telemetry report — in the
+//!   selected output format. `--budget BYTES` sets the memory budget the
+//!   advisor allocates (default 1 MiB).
+//! - `--trace OUT.json` writes the event timeline as Chrome trace-event
+//!   JSON (load it at `chrome://tracing` or in Perfetto).
 
-use monkey::{Db, DbOptions, DbOptionsExt, MergePolicy};
-use monkey_workload::KeySpace;
+use monkey::{Db, DbOptions, DbOptionsExt, Environment, MergePolicy, TuningAdvisor, WindowRates};
+use monkey_workload::{KeySpace, Op, OpMix, TraceBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn run(db: &Db, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                db.put(k.clone(), v.clone()).expect("put");
+            }
+            Op::Delete(k) => {
+                db.delete(k.clone()).expect("delete");
+            }
+            Op::GetMissing(k) | Op::GetExisting(k) => {
+                db.get(k).expect("get");
+            }
+            Op::Range(lo, hi) => {
+                db.range(lo, Some(hi)).expect("range").for_each(|kv| {
+                    kv.expect("range entry");
+                });
+            }
+        }
+    }
+}
+
+fn print_window(n: usize, w: &WindowRates) {
+    eprintln!(
+        "# window {n:>3}  {:>7.1} ms  {:>9.0} ops/s ({:>8.0} get/s {:>8.0} put/s {:>6.0} range/s)  \
+         flush {:>9.0} B/s  stall {:>5.3}  write-amp {:>5.2}",
+        w.span_secs * 1e3,
+        w.ops_per_sec,
+        w.gets_per_sec,
+        w.puts_per_sec,
+        w.ranges_per_sec,
+        w.bytes_flushed_per_sec,
+        w.stall_ratio,
+        w.write_amp,
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
-    let entries: u64 = args
-        .iter()
-        .position(|a| a == "--entries")
-        .and_then(|i| args.get(i + 1))
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let entries: u64 = value("--entries")
         .map(|v| v.parse().expect("--entries takes a number"))
         .unwrap_or(1 << 14);
+    let watch: usize = value("--watch")
+        .map(|v| v.parse().expect("--watch takes a window count"))
+        .unwrap_or(0);
+    let budget: usize = value("--budget")
+        .map(|v| v.parse().expect("--budget takes bytes"))
+        .unwrap_or(1 << 20);
+    let trace_path = value("--trace");
+    let advise = flag("--advise");
 
     let tmp = std::env::temp_dir().join(format!("monkey-stats-{}", std::process::id()));
     let base = if flag("--in-memory") {
@@ -46,33 +107,56 @@ fn main() {
 
     // Load in random order, re-fit filters to the final shape, then a
     // query phase: zero-result gets (exercising the filters), existing
-    // gets, overwrites, and a range scan.
+    // gets, overwrites, and short range scans.
     eprintln!("# monkey-stats: loading {entries} entries, then a mixed query phase");
-    let keys = KeySpace::with_entry_size(entries, 64);
+    let builder = TraceBuilder::new(KeySpace::with_entry_size(entries, 64));
     let mut rng = StdRng::seed_from_u64(5);
-    for i in keys.shuffled_indices(&mut rng) {
-        db.put(keys.existing_key(i), keys.value_for(i))
-            .expect("put");
-    }
+    run(&db, &builder.load_phase(&mut rng));
     db.rebuild_filters().expect("rebuild filters");
-    let queries = (entries / 2).max(1_000);
-    for _ in 0..queries {
-        let k = keys.random_missing(&mut rng);
-        assert!(db.get(&k).expect("get").is_none());
+    if advise {
+        // Measure the query phase only: advising on the bulk load would
+        // just tell the operator to optimize for blind writes.
+        db.telemetry().expect("telemetry is on").reset();
     }
-    for _ in 0..queries {
-        let (_, k) = keys.random_existing(&mut rng);
-        assert!(db.get(&k).expect("get").is_some());
+
+    let mix = OpMix::new(0.40, 0.40, 0.01, 0.19).with_selectivity(0.002);
+    let queries = builder.query_phase(&mix, (entries as usize * 2).max(4_000), &mut rng);
+    if watch > 0 {
+        db.observatory_tick(); // baseline
+        for (n, chunk) in queries.chunks(queries.len().div_ceil(watch)).enumerate() {
+            run(&db, chunk);
+            if let Some(w) = db.observatory_tick() {
+                print_window(n + 1, &w);
+            }
+        }
+    } else {
+        run(&db, &queries);
+        if advise {
+            // No windows were cut by --watch; cut enough deterministic
+            // ones for the advisor's evidence gate.
+            for _ in 0..5 {
+                db.observatory_tick();
+            }
+        }
     }
-    for _ in 0..queries / 4 {
-        let (i, k) = keys.random_existing(&mut rng);
-        db.put(k, keys.value_for(i)).expect("overwrite");
-    }
-    let scan_from = keys.existing_key(entries / 4);
-    let _ = db.range(&scan_from, None).expect("range").take(256).count();
 
     let report = db.telemetry_report().expect("telemetry is on");
-    if flag("--json") {
+    if let Some(path) = &trace_path {
+        std::fs::write(path, report.to_chrome_trace()).expect("write trace");
+        eprintln!("# wrote Chrome trace-event JSON to {path}");
+    }
+
+    if advise {
+        let advisor = TuningAdvisor::new(Environment::disk(), budget);
+        let advice = advisor.advise(&db).expect("telemetry is on");
+        if flag("--json") {
+            println!("{}", advice.to_json());
+        } else if flag("--prometheus") {
+            print!("{}", advice.to_prometheus());
+        } else {
+            print!("{}", advice.pretty());
+        }
+    } else if flag("--json") {
         println!("{}", report.to_json());
     } else if flag("--prometheus") {
         print!("{}", report.to_prometheus());

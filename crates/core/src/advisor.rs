@@ -1,0 +1,271 @@
+//! The closed-loop tuning advisor: live measurements in, design advice out.
+//!
+//! Where the [`Navigator`](crate::Navigator) answers *offline* design
+//! questions ("given this workload description, what should I deploy?"),
+//! the advisor closes the loop on a *running* engine: it reads the workload
+//! the observatory actually measured — the paper's `(r, v, q, w)` mix with
+//! its selectivity — prices the deployed design under that mix (Eq. 12/13),
+//! runs the same Appendix D + §4.4 search the navigator uses over the
+//! memory budget, and reports both priced designs side by side. A
+//! confidence gate (minimum classified ops and minimum observatory
+//! windows) withholds the recommendation until enough evidence
+//! accumulated, so a store warming up never gets told to re-shape itself
+//! over ten operations of noise.
+
+use crate::bridge::to_model_policy;
+use monkey_lsm::Db;
+use monkey_model::{price_design, recommend, Environment, Params, Policy, Workload};
+use monkey_obs::{
+    DesignPoint, MeasuredWorkload, TuningAdvice, DEFAULT_MIN_ADVICE_SAMPLES,
+    DEFAULT_MIN_ADVICE_WINDOWS,
+};
+
+/// Turns live observatory measurements into [`TuningAdvice`].
+///
+/// The advisor carries the two inputs the engine cannot measure about
+/// itself — the storage device model and the total memory budget the
+/// operator is willing to spend — plus the confidence gates. Everything
+/// else (entry count, entry size, the deployed design, the measured mix)
+/// is read from the database at [`advise`](TuningAdvisor::advise) time.
+#[derive(Debug, Clone, Copy)]
+pub struct TuningAdvisor {
+    env: Environment,
+    memory_bytes: usize,
+    min_samples: u64,
+    min_windows: u64,
+}
+
+impl TuningAdvisor {
+    /// An advisor for a store on a device described by `env` with
+    /// `memory_bytes` of main memory (buffer + filters) to allocate.
+    pub fn new(env: Environment, memory_bytes: usize) -> Self {
+        assert!(memory_bytes > 0, "memory budget must be positive");
+        Self {
+            env,
+            memory_bytes,
+            min_samples: DEFAULT_MIN_ADVICE_SAMPLES,
+            min_windows: DEFAULT_MIN_ADVICE_WINDOWS,
+        }
+    }
+
+    /// Sets the minimum classified operations before advice is released.
+    pub fn min_samples(mut self, n: u64) -> Self {
+        self.min_samples = n;
+        self
+    }
+
+    /// Sets the minimum recorded observatory windows before advice is
+    /// released.
+    pub fn min_windows(mut self, n: u64) -> Self {
+        self.min_windows = n;
+        self
+    }
+
+    /// Reads the measured workload and the deployed design from `db`,
+    /// prices both the current and the recommended configuration under the
+    /// measured mix, and assembles the advice report. Returns `None` when
+    /// the database was opened without telemetry — there is nothing
+    /// measured to advise from.
+    pub fn advise(&self, db: &Db) -> Option<TuningAdvice> {
+        let measured = db.measured_workload()?;
+        let windows = db.observatory().map_or(0, |s| s.recorded());
+        Some(self.advise_from(db, &measured, windows))
+    }
+
+    /// [`advise`](Self::advise) with the measurements supplied explicitly
+    /// — the deterministic entry point tests and replay tools use.
+    pub fn advise_from(&self, db: &Db, measured: &MeasuredWorkload, windows: u64) -> TuningAdvice {
+        let stats = db.stats();
+        let opts = db.options();
+        let entries = (stats.disk_entries + stats.buffer_entries + stats.immutable_entries).max(1);
+        let total_bytes = stats.buffer_bytes + stats.levels.iter().map(|l| l.bytes).sum::<u64>();
+        let entry_bytes = (total_bytes / entries).max(1);
+
+        // Pricing needs a mix that sums to 1; before the first classified
+        // op, fall back to a balanced lookups-vs-updates placeholder (the
+        // gate withholds the recommendation in that state anyway).
+        let selectivity = measured.selectivity(entries);
+        let workload = if measured.total() > 0 {
+            Workload::new(
+                measured.r(),
+                measured.v(),
+                measured.q(),
+                measured.w(),
+                selectivity,
+            )
+        } else {
+            Workload::lookups_vs_updates(0.5)
+        };
+
+        // The deployed design, exactly as configured and filtered.
+        let current_params = Params::new(
+            entries as f64,
+            (entry_bytes * 8) as f64,
+            (opts.page_size * 8) as f64,
+            (opts.buffer_capacity * 8) as f64,
+            opts.size_ratio as f64,
+            to_model_policy(opts.merge_policy),
+        );
+        let current_filter_bits = stats.filter_bits as f64;
+        let current_costs =
+            price_design(&current_params, current_filter_bits, &workload, &self.env);
+        let current = DesignPoint {
+            policy: policy_name(current_params.policy).to_string(),
+            size_ratio: current_params.size_ratio,
+            buffer_bytes: opts.buffer_capacity as f64,
+            filter_bits: current_filter_bits,
+            theta: current_costs.theta,
+            throughput: current_costs.throughput,
+        };
+
+        let mut advice = TuningAdvice {
+            samples: measured.total(),
+            min_samples: self.min_samples,
+            windows,
+            min_windows: self.min_windows,
+            measured_r: measured.r(),
+            measured_v: measured.v(),
+            measured_q: measured.q(),
+            measured_w: measured.w(),
+            measured_selectivity: selectivity,
+            entries,
+            entry_bytes,
+            memory_bytes: self.memory_bytes as u64,
+            current,
+            recommended: None,
+        };
+
+        if advice.confident() {
+            // Identical parameterization to `Navigator::recommend`, so the
+            // advisor's pick and a direct `tune` call on the same inputs
+            // agree bit for bit.
+            let base = Params::new(
+                entries as f64,
+                (entry_bytes * 8) as f64,
+                (opts.page_size * 8) as f64,
+                (opts.page_size * 8) as f64, // provisional one-page buffer
+                2.0,
+                Policy::Leveling,
+            );
+            let tuning = recommend(&base, (self.memory_bytes * 8) as f64, &workload, &self.env);
+            advice.recommended = Some(DesignPoint {
+                policy: policy_name(tuning.policy).to_string(),
+                size_ratio: tuning.size_ratio,
+                buffer_bytes: tuning.allocation.buffer_bits / 8.0,
+                filter_bits: tuning.allocation.filter_bits,
+                theta: tuning.theta,
+                throughput: tuning.throughput,
+            });
+        }
+        advice
+    }
+}
+
+fn policy_name(policy: Policy) -> &'static str {
+    match policy {
+        Policy::Leveling => "leveling",
+        Policy::Tiering => "tiering",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monkey_lsm::DbOptions;
+
+    fn observed_db() -> std::sync::Arc<Db> {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(512)
+                .buffer_capacity(4 << 10)
+                .telemetry(true),
+        )
+        .unwrap();
+        for i in 0..400u32 {
+            db.put(format!("k{i:06}").into_bytes(), vec![0u8; 32])
+                .unwrap();
+        }
+        for i in 0..300u32 {
+            db.get(format!("k{i:06}").as_bytes()).unwrap();
+        }
+        for _ in 0..300 {
+            db.get(b"zzz-missing").unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn advice_gated_until_enough_evidence() {
+        let db = observed_db();
+        let advisor = TuningAdvisor::new(Environment::disk(), 1 << 20);
+        // 1000 ops classified but zero windows recorded: gate holds.
+        let advice = advisor.advise(&db).unwrap();
+        assert_eq!(advice.samples, 1000);
+        assert!(!advice.confident());
+        assert!(advice.recommended.is_none());
+        assert_eq!(advice.speedup(), 1.0);
+        // Cut enough windows and the recommendation is released.
+        for _ in 0..4 {
+            db.observatory_tick();
+        }
+        let advice = advisor.advise(&db).unwrap();
+        assert!(advice.confident());
+        assert!(advice.recommended.is_some());
+    }
+
+    #[test]
+    fn advice_measures_the_actual_mix() {
+        let db = observed_db();
+        let advisor = TuningAdvisor::new(Environment::disk(), 1 << 20).min_windows(0);
+        let advice = advisor.advise(&db).unwrap();
+        assert!((advice.measured_w - 0.4).abs() < 1e-9);
+        assert!((advice.measured_v - 0.3).abs() < 1e-9);
+        assert!((advice.measured_r - 0.3).abs() < 1e-9);
+        assert_eq!(advice.measured_q, 0.0);
+        assert!(advice.entries >= 400);
+        assert!(advice.entry_bytes >= 32, "key+value+header per entry");
+    }
+
+    #[test]
+    fn recommendation_matches_direct_tune() {
+        use monkey_model::{tune, MemoryStrategy, TuningConstraints};
+        let db = observed_db();
+        let advisor = TuningAdvisor::new(Environment::disk(), 1 << 20).min_windows(0);
+        let advice = advisor.advise(&db).unwrap();
+        let rec = advice.recommended.expect("gate passed");
+        let base = Params::new(
+            advice.entries as f64,
+            (advice.entry_bytes * 8) as f64,
+            (db.options().page_size * 8) as f64,
+            (db.options().page_size * 8) as f64,
+            2.0,
+            Policy::Leveling,
+        );
+        let wl = Workload::new(
+            advice.measured_r,
+            advice.measured_v,
+            advice.measured_q,
+            advice.measured_w,
+            advice.measured_selectivity,
+        );
+        let direct = tune(
+            &base,
+            &MemoryStrategy::Allocate {
+                total_bits: (1u64 << 20) as f64 * 8.0,
+            },
+            &wl,
+            &Environment::disk(),
+            &TuningConstraints::default(),
+        );
+        assert_eq!(rec.policy, super::policy_name(direct.policy));
+        assert_eq!(rec.size_ratio, direct.size_ratio);
+        assert_eq!(rec.theta, direct.theta);
+    }
+
+    #[test]
+    fn no_telemetry_means_no_advice() {
+        let db = Db::open(DbOptions::in_memory()).unwrap();
+        let advisor = TuningAdvisor::new(Environment::disk(), 1 << 20);
+        assert!(advisor.advise(&db).is_none());
+    }
+}

@@ -48,18 +48,22 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod navigator;
 pub mod policy;
 
 mod bridge;
 
+pub use advisor::TuningAdvisor;
 pub use bridge::{model_params_for, to_model_policy};
 pub use monkey_lsm::{
     Db, DbOptions, DbStats, DriftFlag, Entry, EntryKind, Event, EventKind, FilterContext,
     FilterPolicy, FilterVariant, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, LevelStats,
-    LookupStats, LsmError, MergePolicy, OpKind, OpLatencyReport, PipelineGauges, PipelineStats,
-    RangeIter, Result, Telemetry, TelemetryReport, UniformFilterPolicy, WalStats,
+    LookupStats, LsmError, MeasuredWorkload, MergePolicy, OpKind, OpLatencyReport, PipelineGauges,
+    PipelineStats, RangeIter, Result, Telemetry, TelemetryReport, UniformFilterPolicy, WalStats,
+    WindowRates, WindowedSeries,
 };
 pub use monkey_model::{Environment, Workload};
+pub use monkey_obs::{DesignPoint, TuningAdvice};
 pub use navigator::{Navigator, Recommendation, WhatIf};
 pub use policy::{AdaptiveFilterPolicy, DbOptionsExt, MonkeyFilterPolicy, ScheduleFilterPolicy};

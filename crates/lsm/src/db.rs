@@ -40,7 +40,8 @@ use crate::wal::Wal;
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
 use monkey_obs::{
-    drift_flag, EventKind, LevelReport, OpKind, OpLatencyReport, Telemetry, TelemetryReport,
+    drift_flag, EventKind, LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, Telemetry,
+    TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, DEFAULT_EWMA_ALPHA,
     MAX_LEVELS, OP_KINDS,
 };
 use monkey_storage::{Disk, IoSnapshot};
@@ -93,6 +94,8 @@ struct Signals {
     /// Wakes stalled writers: an immutable was flushed (or an error means
     /// they should give up).
     stall_cv: Condvar,
+    /// Wakes the observatory sampler early, for prompt shutdown.
+    obs_cv: Condvar,
 }
 
 /// Everything the engine and its background worker share. The worker owns
@@ -116,6 +119,10 @@ struct Core {
     /// Telemetry hub, present iff `DbOptions::telemetry`. When `None`,
     /// every instrumentation site collapses to a single branch.
     telemetry: Option<Arc<Telemetry>>,
+    /// Windowed time series of counter deltas, present iff telemetry is
+    /// on. Fed by the sampler thread or `Db::observatory_tick()`; op hot
+    /// paths never touch it.
+    series: Option<Arc<WindowedSeries>>,
 }
 
 /// An LSM-tree key-value store.
@@ -127,6 +134,7 @@ struct Core {
 pub struct Db {
     core: Arc<Core>,
     worker: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Lifetime counters of the engine's maintenance work.
@@ -135,6 +143,9 @@ struct CompactionCounters {
     flushes: AtomicU64,
     merges: AtomicU64,
     entries_rewritten: AtomicU64,
+    /// Payload bytes drained from immutable memtables by flushes — the
+    /// numerator of the observatory's flush-rate window metric.
+    bytes_flushed: AtomicU64,
 }
 
 /// Lifetime counters of the point-lookup fast path (see [`LookupStats`]).
@@ -152,6 +163,10 @@ struct PipelineCounters {
     stalls: AtomicU64,
     stall_micros: AtomicU64,
     background_errors: AtomicU64,
+    /// Gauge (not a counter): writers blocked in a stall *right now*.
+    /// Incremented when a put first hits backpressure, decremented on
+    /// every exit from the stall loop, error paths included.
+    active_stalls: AtomicU64,
 }
 
 /// A snapshot of the engine's maintenance work since open.
@@ -278,6 +293,13 @@ impl Core {
     fn stall_then_rotate<'a>(&'a self, mut shared: RwLockWriteGuard<'a, Shared>) -> Result<()> {
         let mut counted = false;
         let mut stall_started: Option<Instant> = None;
+        // The active-stall gauge must come back down on *every* exit from
+        // the loop — success, shutdown, and background-error alike.
+        let unstall = |counted: bool| {
+            if counted {
+                self.pipeline.active_stalls.fetch_sub(1, Relaxed);
+            }
+        };
         loop {
             if self.room_to_rotate(&shared) {
                 if let (Some(t), Some(s0)) = (&self.telemetry, stall_started) {
@@ -285,12 +307,14 @@ impl Core {
                         waited_micros: s0.elapsed().as_micros() as u64,
                     });
                 }
+                unstall(counted);
                 return self.rotate_locked(&mut shared);
             }
             let queue_depth = shared.immutables.len() as u64;
             drop(shared);
             if !counted {
                 self.pipeline.stalls.fetch_add(1, Relaxed);
+                self.pipeline.active_stalls.fetch_add(1, Relaxed);
                 counted = true;
                 if let Some(t) = &self.telemetry {
                     stall_started = Some(Instant::now());
@@ -301,6 +325,7 @@ impl Core {
             {
                 let ctl = self.signals.control.lock().expect("control poisoned");
                 if ctl.shutdown {
+                    unstall(counted);
                     return Err(LsmError::Background("database shutting down".into()));
                 }
                 let _ = self
@@ -312,7 +337,10 @@ impl Core {
             self.pipeline
                 .stall_micros
                 .fetch_add(t0.elapsed().as_micros() as u64, Relaxed);
-            self.check_background_error()?;
+            if let Err(e) = self.check_background_error() {
+                unstall(counted);
+                return Err(e);
+            }
             shared = self.shared.write();
         }
     }
@@ -367,6 +395,9 @@ impl Core {
         let params = filter_params_for(&self.opts, &working, 1, n, 0);
         let run = build_run_from_sorted(&self.disk, entries, drop_tombstones, 1, params)?;
         self.compactions.flushes.fetch_add(1, Relaxed);
+        self.compactions
+            .bytes_flushed
+            .fetch_add(imm.bytes as u64, Relaxed);
         let mut outcome = CascadeOutcome::default();
         if let Some(run) = run {
             let cascade_started = tel.and_then(|t| t.op_start(OpKind::Cascade));
@@ -441,6 +472,57 @@ impl Core {
             size_ratio: Some(self.opts.size_ratio),
             runs,
         })
+    }
+
+    /// Cuts one observatory window: snapshots the engine's monotone
+    /// counters and folds the delta against the previous snapshot into the
+    /// windowed series. Returns the closed window's rates, or `None` when
+    /// telemetry is off or this was the baseline (first) snapshot.
+    fn observatory_tick(&self) -> Option<WindowRates> {
+        let (t, series) = match (&self.telemetry, &self.series) {
+            (Some(t), Some(s)) => (t, s),
+            _ => return None,
+        };
+        let snapshot = TelemetrySnapshot {
+            at_micros: t.now_micros(),
+            gets: t.op_count(OpKind::Get),
+            puts: t.op_count(OpKind::Put),
+            ranges: t.op_count(OpKind::Range),
+            bytes_flushed: self.compactions.bytes_flushed.load(Relaxed),
+            entries_rewritten: self.compactions.entries_rewritten.load(Relaxed),
+            stalls: self.pipeline.stalls.load(Relaxed),
+            stall_micros: self.pipeline.stall_micros.load(Relaxed),
+            level_io: t.attribution().snapshot(),
+        };
+        series.record(snapshot)
+    }
+}
+
+/// The observatory sampler: cuts a window every `interval` until shutdown.
+/// Owns only an `Arc<Core>` (like the flush worker), never touches op hot
+/// paths, and wakes early when `obs_cv` signals shutdown.
+fn sampler_loop(core: Arc<Core>, interval: Duration) {
+    loop {
+        let deadline = Instant::now() + interval;
+        {
+            let mut ctl = core.signals.control.lock().expect("control poisoned");
+            loop {
+                if ctl.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = core
+                    .signals
+                    .obs_cv
+                    .wait_timeout(ctl, deadline - now)
+                    .expect("control poisoned");
+                ctl = guard;
+            }
+        }
+        core.observatory_tick();
     }
 }
 
@@ -551,6 +633,12 @@ impl Db {
             disk.attach_attribution(Arc::clone(t.attribution()));
             wal.attach_telemetry(Arc::clone(t));
         }
+        let series = telemetry.as_ref().map(|_| {
+            Arc::new(WindowedSeries::new(
+                opts.observatory_retention,
+                DEFAULT_EWMA_ALPHA,
+            ))
+        });
         let core = Arc::new(Core {
             disk,
             shared: RwLock::new(Shared {
@@ -563,6 +651,7 @@ impl Db {
                 control: StdMutex::new(Control::default()),
                 work_cv: Condvar::new(),
                 stall_cv: Condvar::new(),
+                obs_cv: Condvar::new(),
             },
             compaction_lock: Mutex::new(()),
             wal,
@@ -572,6 +661,7 @@ impl Db {
             pipeline: PipelineCounters::default(),
             vlog,
             telemetry,
+            series,
             opts,
         });
         // Recovered runs carry no build-time tags; adopt them level by level.
@@ -607,6 +697,12 @@ impl Db {
         if let Some(t) = &telemetry {
             disk.attach_attribution(Arc::clone(t.attribution()));
         }
+        let series = telemetry.as_ref().map(|_| {
+            Arc::new(WindowedSeries::new(
+                opts.observatory_retention,
+                DEFAULT_EWMA_ALPHA,
+            ))
+        });
         let core = Arc::new(Core {
             disk,
             shared: RwLock::new(Shared {
@@ -619,6 +715,7 @@ impl Db {
                 control: StdMutex::new(Control::default()),
                 work_cv: Condvar::new(),
                 stall_cv: Condvar::new(),
+                obs_cv: Condvar::new(),
             },
             compaction_lock: Mutex::new(()),
             wal: Wal::disabled(),
@@ -628,6 +725,7 @@ impl Db {
             pipeline: PipelineCounters::default(),
             vlog,
             telemetry,
+            series,
             opts,
         });
         Ok(Arc::new(Self::with_worker(core)))
@@ -645,7 +743,23 @@ impl Db {
         } else {
             None
         };
-        Self { core, worker }
+        let sampler = match (&core.series, core.opts.observatory_interval) {
+            (Some(_), Some(interval)) => {
+                let sampler_core = Arc::clone(&core);
+                Some(
+                    std::thread::Builder::new()
+                        .name("monkey-obs-sampler".into())
+                        .spawn(move || sampler_loop(sampler_core, interval))
+                        .expect("spawn observatory sampler"),
+                )
+            }
+            _ => None,
+        };
+        Self {
+            core,
+            worker,
+            sampler,
+        }
     }
 
     fn recover_version(
@@ -706,6 +820,10 @@ impl Db {
         };
         core.check_background_error()?;
         let (key, value) = (key.into(), value.into());
+        if let Some(t) = &core.telemetry {
+            // Classified as `w` before the key moves into the entry below.
+            t.workload().record_update(&key);
+        }
         let separate = match (&core.vlog, core.opts.value_separation) {
             (Some(vlog), Some(threshold)) if value.len() >= threshold => {
                 if value.len() > vlog.max_value_len() {
@@ -779,6 +897,9 @@ impl Db {
         };
         core.check_background_error()?;
         let key = key.into();
+        if let Some(t) = &core.telemetry {
+            t.workload().record_update(&key);
+        }
         core.check_entry_size(&key, 0)?;
         let seq;
         {
@@ -811,6 +932,11 @@ impl Db {
             Some(t) => {
                 let started = t.op_start(OpKind::Get);
                 let out = self.get_impl(key);
+                if let Ok(found) = &out {
+                    // The taxonomy split the model cares about: zero-result
+                    // (`r`) vs non-zero-result (`v`) point lookups.
+                    t.workload().record_lookup(key, found.is_some());
+                }
                 t.op_end(OpKind::Get, started);
                 out
             }
@@ -926,6 +1052,7 @@ impl Db {
     pub fn pipeline_gauges(&self) -> PipelineGauges {
         PipelineGauges {
             immutable_queue_depth: self.core.shared.read().immutables.len(),
+            stalled_writers: self.core.pipeline.active_stalls.load(Relaxed) as usize,
         }
     }
 
@@ -1269,6 +1396,7 @@ impl Db {
             },
             pipeline_gauges: PipelineGauges {
                 immutable_queue_depth: queue_depth,
+                stalled_writers: p.active_stalls.load(Relaxed) as usize,
             },
         }
     }
@@ -1338,9 +1466,33 @@ impl Db {
             expected_zero_result_lookup_ios: stats.expected_zero_result_lookup_ios,
             measured_zero_result_lookup_ios: stats.lookups.measured_zero_result_lookup_ios(),
             lookups: stats.lookups.key_hashes,
+            immutable_queue_depth: stats.pipeline_gauges.immutable_queue_depth as u64,
+            stalled_writers: stats.pipeline_gauges.stalled_writers as u64,
             events: t.drain_events(),
             events_dropped: t.events_dropped(),
         })
+    }
+
+    /// Cuts one observatory window deterministically (the testing-friendly
+    /// alternative to the sampler thread): snapshots the engine's counters
+    /// now and returns the window's rates against the previous snapshot.
+    /// The first call establishes the baseline and returns `None`; so does
+    /// a database opened without [`DbOptions::telemetry`].
+    pub fn observatory_tick(&self) -> Option<WindowRates> {
+        self.core.observatory_tick()
+    }
+
+    /// The windowed time series behind the observatory, when telemetry is
+    /// on: closed windows, eviction count, and EWMA-smoothed rates.
+    pub fn observatory(&self) -> Option<&Arc<WindowedSeries>> {
+        self.core.series.as_ref()
+    }
+
+    /// The workload measured so far — op counts classified into the
+    /// paper's taxonomy `(r, v, q, w)` plus key-skew sketches — when
+    /// telemetry is on.
+    pub fn measured_workload(&self) -> Option<MeasuredWorkload> {
+        self.core.telemetry.as_ref().map(|t| t.measured_workload())
     }
 }
 
@@ -1352,8 +1504,12 @@ impl Drop for Db {
             ctl.paused = false;
         }
         self.core.signals.work_cv.notify_all();
+        self.core.signals.obs_cv.notify_all();
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
         }
         // Any still-enqueued WAL records reach the file (no fsync): a
         // clean process exit loses nothing that was acknowledged. The
@@ -1990,6 +2146,83 @@ mod verify_tests {
         // tiering T=3 amortizes to (T−1)/T ≈ 0.67 rewrites per level.
         let amp = c.entries_rewritten as f64 / 1500.0;
         assert!((1.0..12.0).contains(&amp), "write amp {amp}");
+    }
+
+    #[test]
+    fn observatory_tick_cuts_windows_and_classifies_ops() {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(512)
+                .telemetry(true)
+                .observatory_retention(4),
+        )
+        .unwrap();
+        assert!(
+            db.observatory_tick().is_none(),
+            "first tick is the baseline"
+        );
+        for i in 0..50u32 {
+            db.put(format!("k{i:04}").into_bytes(), vec![0u8; 16])
+                .unwrap();
+        }
+        for i in 0..30u32 {
+            db.get(format!("k{i:04}").as_bytes()).unwrap();
+        }
+        for _ in 0..20 {
+            db.get(b"missing").unwrap();
+        }
+        let scanned: usize = db
+            .range(b"k0000", Some(b"k0010"))
+            .unwrap()
+            .map(|kv| kv.map(|_| 1).unwrap())
+            .sum();
+        assert_eq!(scanned, 10);
+        let w = db.observatory_tick().expect("second tick closes a window");
+        assert!(w.ops_per_sec > 0.0);
+        assert!(w.puts_per_sec > 0.0);
+        let series = db.observatory().expect("telemetry on");
+        assert_eq!(series.len(), 1);
+        let m = db.measured_workload().unwrap();
+        assert_eq!(m.updates, 50);
+        assert_eq!(m.existing_lookups, 30);
+        assert_eq!(m.zero_result_lookups, 20);
+        assert_eq!(m.range_lookups, 1);
+        assert_eq!(m.range_entries_scanned, 10);
+    }
+
+    #[test]
+    fn observatory_absent_without_telemetry() {
+        let db = Db::open(DbOptions::in_memory()).unwrap();
+        assert!(db.observatory().is_none());
+        assert!(db.observatory_tick().is_none());
+        assert!(db.measured_workload().is_none());
+    }
+
+    #[test]
+    fn sampler_thread_cuts_windows_on_its_own() {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(256)
+                .buffer_capacity(4 << 10)
+                .telemetry(true)
+                .observatory_interval(Duration::from_millis(5)),
+        )
+        .unwrap();
+        for i in 0..100u32 {
+            db.put(format!("k{i:04}").into_bytes(), vec![0u8; 8])
+                .unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let series = Arc::clone(db.observatory().unwrap());
+        while series.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            !series.is_empty(),
+            "sampler should have closed at least one window"
+        );
+        drop(db); // joins the sampler without hanging
     }
 
     #[test]

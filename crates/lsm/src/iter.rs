@@ -135,6 +135,9 @@ pub struct RangeIter {
         std::sync::Arc<monkey_obs::Telemetry>,
         Option<std::time::Instant>,
     )>,
+    // Live pairs yielded so far; reported to the workload characterizer on
+    // drop as the scan's measured selectivity numerator.
+    scanned: u64,
 }
 
 impl RangeIter {
@@ -145,6 +148,7 @@ impl RangeIter {
             done: false,
             vlog: None,
             timer: None,
+            scanned: 0,
         }
     }
 
@@ -174,6 +178,7 @@ impl RangeIter {
 impl Drop for RangeIter {
     fn drop(&mut self) {
         if let Some((telemetry, started)) = self.timer.take() {
+            telemetry.workload().record_range(self.scanned);
             telemetry.op_end(monkey_obs::OpKind::Range, started);
         }
     }
@@ -215,13 +220,17 @@ impl Iterator for RangeIter {
                         )),
                     });
                 return match resolved {
-                    Ok(value) => Some(Ok((entry.key, value))),
+                    Ok(value) => {
+                        self.scanned += 1;
+                        Some(Ok((entry.key, value)))
+                    }
                     Err(e) => {
                         self.done = true;
                         Some(Err(e))
                     }
                 };
             }
+            self.scanned += 1;
             return Some(Ok((entry.key, entry.value)));
         }
     }

@@ -72,8 +72,9 @@ pub use error::{LsmError, Result};
 pub use iter::RangeIter;
 pub use monkey_bloom::FilterVariant;
 pub use monkey_obs::{
-    DriftFlag, Event, EventKind, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, OpKind,
-    OpLatencyReport, Telemetry, TelemetryReport,
+    DriftFlag, Event, EventKind, HotKey, LevelIoRates, LevelIoSnapshot, LevelLookupSnapshot,
+    LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, SmoothedRates, Telemetry,
+    TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, WorkloadCharacterizer,
 };
 pub use options::DbOptions;
 pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};

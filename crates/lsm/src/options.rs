@@ -64,6 +64,16 @@ pub struct DbOptions {
     /// `Db::telemetry_report()`. Off by default; when off, the only cost
     /// left on any hot path is one `None` branch per operation.
     pub telemetry: bool,
+    /// Sampling interval of the workload observatory: when set (and
+    /// telemetry is on), a `monkey-obs-sampler` thread snapshots the
+    /// engine's counters this often and folds the deltas into the windowed
+    /// time series behind `Db::observatory()`. `None` (the default) spawns
+    /// no thread; windows can still be cut deterministically with
+    /// `Db::observatory_tick()`.
+    pub observatory_interval: Option<std::time::Duration>,
+    /// How many closed windows the observatory retains (oldest evicted
+    /// first; ≥ 1).
+    pub observatory_retention: usize,
 }
 
 impl DbOptions {
@@ -107,6 +117,8 @@ impl DbOptions {
             max_immutable_memtables: 2,
             stall_threshold: None,
             telemetry: false,
+            observatory_interval: None,
+            observatory_retention: 128,
         }
     }
 
@@ -201,6 +213,22 @@ impl DbOptions {
         self.telemetry = on;
         self
     }
+
+    /// Spawns the observatory sampler thread, cutting a time-series window
+    /// every `interval` (implies nothing unless [`DbOptions::telemetry`]
+    /// is also on).
+    pub fn observatory_interval(mut self, interval: std::time::Duration) -> Self {
+        assert!(!interval.is_zero(), "observatory interval must be positive");
+        self.observatory_interval = Some(interval);
+        self
+    }
+
+    /// Sets how many closed observatory windows are retained.
+    pub fn observatory_retention(mut self, windows: usize) -> Self {
+        assert!(windows >= 1, "at least one window must be retained");
+        self.observatory_retention = windows;
+        self
+    }
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -219,6 +247,8 @@ impl std::fmt::Debug for DbOptions {
             .field("max_immutable_memtables", &self.max_immutable_memtables)
             .field("stall_threshold", &self.stall_threshold)
             .field("telemetry", &self.telemetry)
+            .field("observatory_interval", &self.observatory_interval)
+            .field("observatory_retention", &self.observatory_retention)
             .finish()
     }
 }
@@ -292,6 +322,27 @@ mod tests {
     #[should_panic(expected = "at least one immutable")]
     fn zero_immutable_queue_rejected() {
         DbOptions::in_memory().max_immutable_memtables(0);
+    }
+
+    #[test]
+    fn observatory_knobs() {
+        let o = DbOptions::in_memory();
+        assert_eq!(o.observatory_interval, None, "no sampler by default");
+        assert_eq!(o.observatory_retention, 128);
+        let o = o
+            .observatory_interval(std::time::Duration::from_millis(50))
+            .observatory_retention(16);
+        assert_eq!(
+            o.observatory_interval,
+            Some(std::time::Duration::from_millis(50))
+        );
+        assert_eq!(o.observatory_retention, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_observatory_retention_rejected() {
+        DbOptions::in_memory().observatory_retention(0);
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub struct PipelineStats {
 pub struct PipelineGauges {
     /// Immutable memtables currently queued behind the active one.
     pub immutable_queue_depth: usize,
+    /// Writer threads currently blocked in a backpressure stall, waiting
+    /// for the flush stage to drain the immutable queue.
+    pub stalled_writers: usize,
 }
 
 /// Observed counters of the point-lookup fast path. Where

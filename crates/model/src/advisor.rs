@@ -1,0 +1,112 @@
+//! Model entry points for the closed-loop tuning advisor.
+//!
+//! The advisor (in the `monkey` facade crate) compares the *deployed*
+//! design against the navigator's pick for a *measured* workload. Both
+//! halves of that comparison are pure model math and live here:
+//! [`price_design`] evaluates Eq. 12/13 for an already-shaped design, and
+//! [`recommend`] runs the Appendix D divide-and-conquer tuner with the
+//! §4.4 memory split over a raw memory budget — the same call path the
+//! offline `Navigator` uses, so an advisor recommendation and a direct
+//! `tune` invocation on the same inputs are bit-for-bit identical.
+
+use crate::params::Params;
+use crate::throughput::{average_operation_cost, worst_case_throughput, Environment, Workload};
+use crate::tuner::{tune, MemoryStrategy, Tuning, TuningConstraints};
+
+/// Model-predicted cost of one concrete design under one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignCosts {
+    /// Expected I/Os per operation (Eq. 12's θ).
+    pub theta: f64,
+    /// Worst-case throughput `1/(θ·Ω)` in ops/s (Eq. 13's τ).
+    pub throughput: f64,
+}
+
+/// Price an already-shaped design: `params` carries the deployed
+/// `(policy, T, M_buf)` and `m_filters` the filter budget actually spent.
+pub fn price_design(
+    params: &Params,
+    m_filters: f64,
+    workload: &Workload,
+    env: &Environment,
+) -> DesignCosts {
+    let theta = average_operation_cost(params, m_filters, workload, env);
+    DesignCosts {
+        theta,
+        throughput: worst_case_throughput(theta, env),
+    }
+}
+
+/// Run the Appendix D navigator over a raw memory budget of `total_bits`
+/// (buffer + filters, split per §4.4) with default constraints — the
+/// advisor-facing spelling of [`tune`].
+pub fn recommend(base: &Params, total_bits: f64, workload: &Workload, env: &Environment) -> Tuning {
+    tune(
+        base,
+        &MemoryStrategy::Allocate { total_bits },
+        workload,
+        env,
+        &TuningConstraints::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Policy;
+
+    fn base() -> Params {
+        // 1M entries of 64 B, 4 KiB pages, provisional one-page buffer.
+        Params::new(1e6, 512.0, 32768.0, 32768.0, 2.0, Policy::Leveling)
+    }
+
+    #[test]
+    fn price_design_matches_eqs_12_13() {
+        let env = Environment::disk();
+        let wl = Workload::new(0.25, 0.25, 0.01, 0.49, 1e-4);
+        let p = base();
+        let costs = price_design(&p, 1e7, &wl, &env);
+        let theta = average_operation_cost(&p, 1e7, &wl, &env);
+        assert_eq!(costs.theta, theta);
+        assert!((costs.throughput - 1.0 / (theta * env.read_secs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recommend_is_tune_with_allocate_strategy() {
+        let env = Environment::disk();
+        let wl = Workload::new(0.5, 0.2, 0.01, 0.29, 1e-4);
+        let total_bits = 16e6;
+        let rec = recommend(&base(), total_bits, &wl, &env);
+        let direct = tune(
+            &base(),
+            &MemoryStrategy::Allocate { total_bits },
+            &wl,
+            &env,
+            &TuningConstraints::default(),
+        );
+        assert_eq!(rec.policy, direct.policy);
+        assert_eq!(rec.size_ratio, direct.size_ratio);
+        assert_eq!(rec.theta, direct.theta);
+    }
+
+    #[test]
+    fn recommended_design_never_prices_worse_than_default() {
+        let env = Environment::disk();
+        let wl = Workload::new(0.1, 0.1, 0.0, 0.8, 0.0);
+        let rec = recommend(&base(), 16e6, &wl, &env);
+        // The navigator explored the space; its theta cannot exceed the
+        // leveling T=2 starting point with the same budget.
+        let start = tune(
+            &base(),
+            &MemoryStrategy::Allocate { total_bits: 16e6 },
+            &wl,
+            &env,
+            &TuningConstraints {
+                max_lookup_cost: None,
+                max_update_cost: None,
+            },
+        );
+        assert!(rec.theta <= start.theta + 1e-12);
+        assert!(rec.throughput > 0.0);
+    }
+}

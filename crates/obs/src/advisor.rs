@@ -1,0 +1,668 @@
+//! Online workload characterisation and the tuning-advice report.
+//!
+//! Monkey's holistic tuning (§5, Appendix D) consumes the workload
+//! proportions `(r, v, q, w)` — zero-result lookups, non-zero-result
+//! lookups, range lookups, updates — as a *given*. A running store has to
+//! measure them. [`WorkloadCharacterizer`] does that online: the engine
+//! classifies every finished op into the taxonomy (exact sharded
+//! counters), measures range selectivity from the entries each scan
+//! actually yielded, and sketches key skew with a count-min sketch plus a
+//! space-saving top-k (keys are sampled 1-in-[`KEY_SAMPLE_PERIOD`] so the
+//! sketch stays off the dominant hot-path cost).
+//!
+//! [`MeasuredWorkload`] is the resulting point-in-time summary, and
+//! [`TuningAdvice`] the report the closed-loop advisor (in `monkey::
+//! TuningAdvisor`) emits after pushing the measured mix through the
+//! Appendix D navigator: current vs recommended design, predicted
+//! worst-case throughput for both, and a confidence gate that withholds
+//! the recommendation until enough evidence has accumulated.
+
+use std::cell::Cell;
+
+use crate::counter::ShardedCounter;
+use crate::json::{json_array, JsonObject};
+use crate::sketch::{CountMinSketch, HotKey, SpaceSaving};
+
+/// One in this many classified ops feeds the key-skew sketches. The
+/// classification counters themselves are exact; only the (heavier)
+/// sketch updates are sampled.
+pub const KEY_SAMPLE_PERIOD: u64 = 32;
+
+/// Advice is withheld until at least this many ops have been classified…
+pub const DEFAULT_MIN_ADVICE_SAMPLES: u64 = 1000;
+
+/// …and at least this many windows have been recorded by the series.
+pub const DEFAULT_MIN_ADVICE_WINDOWS: u64 = 3;
+
+/// Default number of hot keys tracked by the characterizer.
+pub const DEFAULT_HOT_KEYS: usize = 8;
+
+thread_local! {
+    static KEY_TICK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Online classifier of the paper's workload taxonomy plus key-skew
+/// sketches. One instance lives inside the telemetry hub; the engine
+/// calls the `record_*` hooks from the op paths.
+pub struct WorkloadCharacterizer {
+    zero_result: ShardedCounter,
+    existing: ShardedCounter,
+    ranges: ShardedCounter,
+    range_entries: ShardedCounter,
+    updates: ShardedCounter,
+    sketch: CountMinSketch,
+    hot: SpaceSaving,
+}
+
+impl Default for WorkloadCharacterizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadCharacterizer {
+    /// Characterizer with default sketch sizing: ε = 1 %, δ = 1 %
+    /// (≈ 20 KiB of counters) and [`DEFAULT_HOT_KEYS`] monitored keys.
+    pub fn new() -> Self {
+        Self {
+            zero_result: ShardedCounter::new(),
+            existing: ShardedCounter::new(),
+            ranges: ShardedCounter::new(),
+            range_entries: ShardedCounter::new(),
+            updates: ShardedCounter::new(),
+            sketch: CountMinSketch::with_error(0.01, 0.01),
+            hot: SpaceSaving::new(DEFAULT_HOT_KEYS),
+        }
+    }
+
+    /// 1-in-[`KEY_SAMPLE_PERIOD`] per-thread sampling decision for the
+    /// sketch updates.
+    #[inline]
+    fn key_sampled() -> bool {
+        KEY_TICK.with(|t| {
+            let v = t.get();
+            t.set(v.wrapping_add(1));
+            v % KEY_SAMPLE_PERIOD == 0
+        })
+    }
+
+    #[inline]
+    fn sketch_key(&self, key: &[u8]) {
+        if Self::key_sampled() {
+            // The sketch's updated estimate gates the (mutex-guarded)
+            // top-k, so a cold key on a full table costs no lock at all.
+            let estimate = self.sketch.observe(key);
+            self.hot.offer(key, estimate);
+        }
+    }
+
+    /// A point lookup finished: `found` separates the paper's `v`
+    /// (non-zero result) from `r` (zero result).
+    #[inline]
+    pub fn record_lookup(&self, key: &[u8], found: bool) {
+        if found {
+            self.existing.incr();
+        } else {
+            self.zero_result.incr();
+        }
+        self.sketch_key(key);
+    }
+
+    /// An update (`put` or `delete`) committed — the paper's `w`.
+    #[inline]
+    pub fn record_update(&self, key: &[u8]) {
+        self.updates.incr();
+        self.sketch_key(key);
+    }
+
+    /// A range lookup finished having yielded `entries` entries — the
+    /// paper's `q`; the entry count feeds measured selectivity.
+    #[inline]
+    pub fn record_range(&self, entries: u64) {
+        self.ranges.incr();
+        self.range_entries.add(entries);
+    }
+
+    /// Point-in-time summary of everything recorded so far.
+    pub fn measured(&self) -> MeasuredWorkload {
+        MeasuredWorkload {
+            zero_result_lookups: self.zero_result.get(),
+            existing_lookups: self.existing.get(),
+            range_lookups: self.ranges.get(),
+            range_entries_scanned: self.range_entries.get(),
+            updates: self.updates.get(),
+            sampled_keys: self.sketch.observed(),
+            hot_keys: self.hot.top(),
+        }
+    }
+
+    /// The key-frequency sketch (estimates are per *sampled* stream).
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+
+    /// Zero all counters and sketches.
+    pub fn reset(&self) {
+        self.zero_result.reset();
+        self.existing.reset();
+        self.ranges.reset();
+        self.range_entries.reset();
+        self.updates.reset();
+        self.sketch.reset();
+        self.hot.reset();
+    }
+}
+
+/// Measured workload composition in the paper's taxonomy. Counts are
+/// exact; `hot_keys`/`sampled_keys` come from the 1-in-N sampled sketch
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredWorkload {
+    /// Point lookups that found nothing (the paper's `r` numerator).
+    pub zero_result_lookups: u64,
+    /// Point lookups that found a value (`v`).
+    pub existing_lookups: u64,
+    /// Range lookups (`q`).
+    pub range_lookups: u64,
+    /// Total entries yielded by all range lookups (selectivity numerator).
+    pub range_entries_scanned: u64,
+    /// Updates — puts and deletes (`w`).
+    pub updates: u64,
+    /// Keys folded into the skew sketches (sampled stream length).
+    pub sampled_keys: u64,
+    /// Monitored heavy hitters, most frequent first.
+    pub hot_keys: Vec<HotKey>,
+}
+
+impl MeasuredWorkload {
+    /// Total classified ops.
+    pub fn total(&self) -> u64 {
+        self.zero_result_lookups + self.existing_lookups + self.range_lookups + self.updates
+    }
+
+    fn fraction(&self, part: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            part as f64 / total as f64
+        }
+    }
+
+    /// Measured `r`: fraction of ops that were zero-result lookups.
+    pub fn r(&self) -> f64 {
+        self.fraction(self.zero_result_lookups)
+    }
+
+    /// Measured `v`: fraction that were non-zero-result lookups.
+    pub fn v(&self) -> f64 {
+        self.fraction(self.existing_lookups)
+    }
+
+    /// Measured `q`: fraction that were range lookups.
+    pub fn q(&self) -> f64 {
+        self.fraction(self.range_lookups)
+    }
+
+    /// Measured `w`: fraction that were updates.
+    pub fn w(&self) -> f64 {
+        self.fraction(self.updates)
+    }
+
+    /// Mean entries yielded per range lookup (0 when none ran).
+    pub fn mean_range_entries(&self) -> f64 {
+        if self.range_lookups == 0 {
+            0.0
+        } else {
+            self.range_entries_scanned as f64 / self.range_lookups as f64
+        }
+    }
+
+    /// Measured range selectivity against a store of `total_entries`:
+    /// mean scanned fraction, clamped into `[0, 1]`, 0 when unmeasurable.
+    pub fn selectivity(&self, total_entries: u64) -> f64 {
+        if total_entries == 0 {
+            return 0.0;
+        }
+        (self.mean_range_entries() / total_entries as f64).clamp(0.0, 1.0)
+    }
+
+    /// Compact JSON rendering (used by `monkey-stats --watch`).
+    pub fn to_json(&self) -> String {
+        let hot = json_array(self.hot_keys.iter().map(|h| {
+            JsonObject::new()
+                .str("key", &String::from_utf8_lossy(&h.key))
+                .u64("count", h.count)
+                .u64("error", h.error)
+                .finish()
+        }));
+        JsonObject::new()
+            .u64("zero_result_lookups", self.zero_result_lookups)
+            .u64("existing_lookups", self.existing_lookups)
+            .u64("range_lookups", self.range_lookups)
+            .u64("range_entries_scanned", self.range_entries_scanned)
+            .u64("updates", self.updates)
+            .f64("r", self.r())
+            .f64("v", self.v())
+            .f64("q", self.q())
+            .f64("w", self.w())
+            .u64("sampled_keys", self.sampled_keys)
+            .raw("hot_keys", &hot)
+            .finish()
+    }
+}
+
+/// One point in Monkey's design space, priced by the model. Plain data so
+/// the dependency-free `obs` crate can render it; the glue layer
+/// (`monkey::TuningAdvisor`) fills it from `model` types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Merge policy name: `"leveling"` or `"tiering"`.
+    pub policy: String,
+    /// Size ratio `T` between adjacent levels.
+    pub size_ratio: f64,
+    /// Write-buffer allocation in bytes (`M_buf / 8`).
+    pub buffer_bytes: f64,
+    /// Total Bloom-filter allocation in bits (`M_filters`).
+    pub filter_bits: f64,
+    /// Expected worst-case I/Os per operation (Eq. 12's θ).
+    pub theta: f64,
+    /// Predicted worst-case throughput, ops/s (Eq. 13's τ).
+    pub throughput: f64,
+}
+
+impl DesignPoint {
+    fn summary(&self) -> String {
+        format!(
+            "{:<9} T={:<3.0} buffer={:.1} KiB  filters={:.0} bits  theta={:.4}  worst-case {:.1} ops/s",
+            self.policy,
+            self.size_ratio,
+            self.buffer_bytes / 1024.0,
+            self.filter_bits,
+            self.theta,
+            self.throughput,
+        )
+    }
+
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("policy", &self.policy)
+            .f64("size_ratio", self.size_ratio)
+            .f64("buffer_bytes", self.buffer_bytes)
+            .f64("filter_bits", self.filter_bits)
+            .f64("theta", self.theta)
+            .f64("worst_case_throughput", self.throughput)
+            .finish()
+    }
+}
+
+/// The closed-loop tuning report: measured mix, current design vs the
+/// navigator's recommendation, and the confidence gate that decides
+/// whether the recommendation is actionable yet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningAdvice {
+    /// Ops classified by the characterizer when advice was computed.
+    pub samples: u64,
+    /// Gate: minimum classified ops before advice is released.
+    pub min_samples: u64,
+    /// Windows recorded by the observatory series.
+    pub windows: u64,
+    /// Gate: minimum recorded windows before advice is released.
+    pub min_windows: u64,
+    /// Measured zero-result lookup fraction `r`.
+    pub measured_r: f64,
+    /// Measured non-zero-result lookup fraction `v`.
+    pub measured_v: f64,
+    /// Measured range fraction `q`.
+    pub measured_q: f64,
+    /// Measured update fraction `w`.
+    pub measured_w: f64,
+    /// Measured range selectivity `s`.
+    pub measured_selectivity: f64,
+    /// Entry count the designs were priced for.
+    pub entries: u64,
+    /// Entry size in bytes the designs were priced for.
+    pub entry_bytes: u64,
+    /// Memory budget (buffer + filters) in bytes.
+    pub memory_bytes: u64,
+    /// The deployed design, priced under the measured mix.
+    pub current: DesignPoint,
+    /// The navigator's pick; `None` while the confidence gate holds.
+    pub recommended: Option<DesignPoint>,
+}
+
+impl TuningAdvice {
+    /// Whether enough evidence accumulated to release a recommendation.
+    pub fn confident(&self) -> bool {
+        self.samples >= self.min_samples && self.windows >= self.min_windows
+    }
+
+    /// Predicted throughput ratio recommended / current (1.0 while the
+    /// gate holds or the current design already wins).
+    pub fn speedup(&self) -> f64 {
+        match &self.recommended {
+            Some(rec) if self.current.throughput > 0.0 => rec.throughput / self.current.throughput,
+            _ => 1.0,
+        }
+    }
+
+    /// Human-readable report.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== tuning advisor ==\n");
+        out.push_str(&format!(
+            "measured mix     r={:.3} v={:.3} q={:.3} w={:.3}  selectivity={:.6}\n",
+            self.measured_r,
+            self.measured_v,
+            self.measured_q,
+            self.measured_w,
+            self.measured_selectivity,
+        ));
+        out.push_str(&format!(
+            "evidence         {} classified ops (gate {}), {} windows (gate {})\n",
+            self.samples, self.min_samples, self.windows, self.min_windows,
+        ));
+        out.push_str(&format!(
+            "sizing           N={} entries x {} B, memory budget {:.1} KiB\n",
+            self.entries,
+            self.entry_bytes,
+            self.memory_bytes as f64 / 1024.0,
+        ));
+        out.push_str(&format!("current design   {}\n", self.current.summary()));
+        match &self.recommended {
+            Some(rec) => {
+                out.push_str(&format!(
+                    "recommended      {}  ({:.2}x)\n",
+                    rec.summary(),
+                    self.speedup(),
+                ));
+            }
+            None => {
+                out.push_str(
+                    "recommended      (withheld: not enough evidence yet — keep sampling)\n",
+                );
+            }
+        }
+        out
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .bool("confident", self.confident())
+            .u64("samples", self.samples)
+            .u64("min_samples", self.min_samples)
+            .u64("windows", self.windows)
+            .u64("min_windows", self.min_windows)
+            .raw(
+                "measured",
+                &JsonObject::new()
+                    .f64("r", self.measured_r)
+                    .f64("v", self.measured_v)
+                    .f64("q", self.measured_q)
+                    .f64("w", self.measured_w)
+                    .f64("selectivity", self.measured_selectivity)
+                    .finish(),
+            )
+            .u64("entries", self.entries)
+            .u64("entry_bytes", self.entry_bytes)
+            .u64("memory_bytes", self.memory_bytes)
+            .raw("current", &self.current.to_json());
+        obj = match &self.recommended {
+            Some(rec) => obj
+                .raw("recommended", &rec.to_json())
+                .f64("speedup", self.speedup()),
+            None => obj.raw("recommended", "null"),
+        };
+        obj.finish()
+    }
+
+    /// Prometheus text-exposition rendering (`monkey_advisor_*` metrics).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: &str| {
+            out.push_str(s);
+            out.push('\n');
+        };
+        push(&mut out, "# HELP monkey_advisor_confident 1 when enough evidence accumulated to trust the recommendation.");
+        push(&mut out, "# TYPE monkey_advisor_confident gauge");
+        push(
+            &mut out,
+            &format!("monkey_advisor_confident {}", u64::from(self.confident())),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_advisor_samples Ops classified by the workload characterizer.",
+        );
+        push(&mut out, "# TYPE monkey_advisor_samples gauge");
+        push(
+            &mut out,
+            &format!("monkey_advisor_samples {}", self.samples),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_advisor_windows Observatory windows recorded.",
+        );
+        push(&mut out, "# TYPE monkey_advisor_windows gauge");
+        push(
+            &mut out,
+            &format!("monkey_advisor_windows {}", self.windows),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_advisor_measured_mix Measured workload proportions (paper taxonomy).",
+        );
+        push(&mut out, "# TYPE monkey_advisor_measured_mix gauge");
+        for (op, share) in [
+            ("zero_result_lookup", self.measured_r),
+            ("non_zero_result_lookup", self.measured_v),
+            ("range_lookup", self.measured_q),
+            ("update", self.measured_w),
+        ] {
+            push(
+                &mut out,
+                &format!("monkey_advisor_measured_mix{{op=\"{op}\"}} {share}"),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP monkey_advisor_measured_selectivity Measured mean range selectivity.",
+        );
+        push(&mut out, "# TYPE monkey_advisor_measured_selectivity gauge");
+        push(
+            &mut out,
+            &format!(
+                "monkey_advisor_measured_selectivity {}",
+                self.measured_selectivity
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_advisor_design_info Designs under comparison; policy as a label.",
+        );
+        push(&mut out, "# TYPE monkey_advisor_design_info gauge");
+        push(&mut out, "# HELP monkey_advisor_worst_case_throughput Model-predicted worst-case throughput (Eq. 13), ops/s.");
+        push(
+            &mut out,
+            "# TYPE monkey_advisor_worst_case_throughput gauge",
+        );
+        let design = |out: &mut String, label: &str, d: &DesignPoint| {
+            push(
+                out,
+                &format!(
+                    "monkey_advisor_design_info{{design=\"{label}\",policy=\"{}\"}} 1",
+                    d.policy
+                ),
+            );
+            push(
+                out,
+                &format!(
+                    "monkey_advisor_size_ratio{{design=\"{label}\"}} {}",
+                    d.size_ratio
+                ),
+            );
+            push(
+                out,
+                &format!(
+                    "monkey_advisor_buffer_bytes{{design=\"{label}\"}} {}",
+                    d.buffer_bytes
+                ),
+            );
+            push(
+                out,
+                &format!(
+                    "monkey_advisor_filter_bits{{design=\"{label}\"}} {}",
+                    d.filter_bits
+                ),
+            );
+            push(
+                out,
+                &format!("monkey_advisor_theta{{design=\"{label}\"}} {}", d.theta),
+            );
+            push(
+                out,
+                &format!(
+                    "monkey_advisor_worst_case_throughput{{design=\"{label}\"}} {}",
+                    d.throughput
+                ),
+            );
+        };
+        design(&mut out, "current", &self.current);
+        if let Some(rec) = &self.recommended {
+            design(&mut out, "recommended", rec);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classify(c: &WorkloadCharacterizer, r: u64, v: u64, q: u64, w: u64) {
+        for i in 0..r {
+            c.record_lookup(&i.to_le_bytes(), false);
+        }
+        for i in 0..v {
+            c.record_lookup(&i.to_le_bytes(), true);
+        }
+        for _ in 0..q {
+            c.record_range(50);
+        }
+        for i in 0..w {
+            c.record_update(&i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn characterizer_counts_are_exact() {
+        let c = WorkloadCharacterizer::new();
+        classify(&c, 250, 250, 10, 490);
+        let m = c.measured();
+        assert_eq!(m.total(), 1000);
+        assert_eq!(m.zero_result_lookups, 250);
+        assert!((m.r() - 0.25).abs() < 1e-12);
+        assert!((m.q() - 0.01).abs() < 1e-12);
+        assert!((m.w() - 0.49).abs() < 1e-12);
+        assert_eq!(m.mean_range_entries(), 50.0);
+        assert!((m.selectivity(100_000) - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_degrades_to_zero() {
+        let m = WorkloadCharacterizer::new().measured();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.r(), 0.0);
+        assert_eq!(m.selectivity(0), 0.0);
+        assert_eq!(m.mean_range_entries(), 0.0);
+    }
+
+    #[test]
+    fn key_sampling_feeds_sketch_at_one_in_n() {
+        let c = WorkloadCharacterizer::new();
+        let n = KEY_SAMPLE_PERIOD * 100;
+        for _ in 0..n {
+            c.record_update(b"hot-key");
+        }
+        let m = c.measured();
+        // Exact classification, sampled sketch.
+        assert_eq!(m.updates, n);
+        assert!(m.sampled_keys >= n / KEY_SAMPLE_PERIOD / 2);
+        assert!(m.sampled_keys <= n);
+        assert_eq!(m.hot_keys[0].key, b"hot-key".to_vec());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = WorkloadCharacterizer::new();
+        classify(&c, 10, 10, 10, 10);
+        c.reset();
+        let m = c.measured();
+        assert_eq!(m.total(), 0);
+        assert!(m.hot_keys.is_empty());
+        assert_eq!(m.sampled_keys, 0);
+    }
+
+    fn advice(recommended: bool, samples: u64, windows: u64) -> TuningAdvice {
+        let current = DesignPoint {
+            policy: "leveling".into(),
+            size_ratio: 2.0,
+            buffer_bytes: 16384.0,
+            filter_bits: 80000.0,
+            theta: 2.0,
+            throughput: 50.0,
+        };
+        TuningAdvice {
+            samples,
+            min_samples: 1000,
+            windows,
+            min_windows: 3,
+            measured_r: 0.25,
+            measured_v: 0.25,
+            measured_q: 0.01,
+            measured_w: 0.49,
+            measured_selectivity: 0.0005,
+            entries: 100_000,
+            entry_bytes: 64,
+            memory_bytes: 1 << 20,
+            current,
+            recommended: recommended.then(|| DesignPoint {
+                policy: "tiering".into(),
+                size_ratio: 8.0,
+                buffer_bytes: 65536.0,
+                filter_bits: 70000.0,
+                theta: 1.0,
+                throughput: 100.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn gate_and_speedup() {
+        let gated = advice(false, 10, 1);
+        assert!(!gated.confident());
+        assert_eq!(gated.speedup(), 1.0);
+        assert!(gated.pretty().contains("withheld"));
+        assert!(gated.to_json().contains("\"recommended\":null"));
+        let open = advice(true, 5000, 10);
+        assert!(open.confident());
+        assert_eq!(open.speedup(), 2.0);
+        assert!(open.pretty().contains("tiering"));
+    }
+
+    #[test]
+    fn renderings_cover_all_surfaces() {
+        let a = advice(true, 5000, 10);
+        let json = a.to_json();
+        assert!(json.contains("\"confident\":true"));
+        assert!(json.contains("\"policy\":\"tiering\""));
+        assert!(json.contains("\"speedup\":2"));
+        let prom = a.to_prometheus();
+        assert!(prom.contains("monkey_advisor_confident 1"));
+        assert!(prom.contains("monkey_advisor_worst_case_throughput{design=\"recommended\"} 100"));
+        assert!(prom.contains("monkey_advisor_measured_mix{op=\"update\"} 0.49"));
+        let pretty = a.pretty();
+        assert!(pretty.contains("current design"));
+        assert!(pretty.contains("2.00x"));
+    }
+}

@@ -15,21 +15,33 @@
 //!   `Option<Arc<Telemetry>>` — `None` when `DbOptions::telemetry` is off,
 //!   so the disabled cost is one branch per op.
 //! - [`TelemetryReport`]: the assembled snapshot with Prometheus text,
-//!   JSON, and human renderings, plus the FPR model-drift bound
-//!   ([`drift_flag`]).
+//!   JSON, human, and Chrome trace-event renderings, plus the FPR
+//!   model-drift bound ([`drift_flag`]).
+//! - The workload observatory: [`WindowedSeries`] (ring of periodic
+//!   [`TelemetrySnapshot`] deltas with EWMA smoothing),
+//!   [`WorkloadCharacterizer`] (online `(r, v, q, w)` classification and
+//!   key-skew sketching via [`CountMinSketch`]/[`SpaceSaving`]), and
+//!   [`TuningAdvice`] (the closed-loop tuning report).
 //!
 //! The crate is intentionally std-only: it sits below every other crate
 //! in the workspace so instrumentation can be threaded through any layer
 //! without dependency cycles.
 
+mod advisor;
 mod attribution;
 mod counter;
 mod events;
 mod hist;
 mod json;
 mod report;
+mod series;
+mod sketch;
 mod telemetry;
 
+pub use advisor::{
+    DesignPoint, MeasuredWorkload, TuningAdvice, WorkloadCharacterizer, DEFAULT_HOT_KEYS,
+    DEFAULT_MIN_ADVICE_SAMPLES, DEFAULT_MIN_ADVICE_WINDOWS, KEY_SAMPLE_PERIOD,
+};
 pub use attribution::{IoAttribution, LevelIoSnapshot, LEVEL_SLOTS, MAX_LEVELS};
 pub use counter::ShardedCounter;
 pub use events::{Event, EventKind, EventRing};
@@ -39,4 +51,9 @@ pub use report::{
     drift_flag, DriftFlag, LevelReport, OpLatencyReport, TelemetryReport, DRIFT_EPSILON,
     DRIFT_MIN_PROBES, DRIFT_Z,
 };
+pub use series::{
+    counter_delta, Ewma, LevelIoRates, SmoothedRates, TelemetrySnapshot, WindowRates,
+    WindowedSeries, DEFAULT_EWMA_ALPHA,
+};
+pub use sketch::{fnv1a, CountMinSketch, HotKey, SpaceSaving};
 pub use telemetry::{LevelLookupSnapshot, OpKind, Telemetry, OP_KINDS, SAMPLE_PERIOD};

@@ -7,7 +7,7 @@
 //! the `monkey-stats` bin — plus the model-drift bound.
 
 use crate::attribution::LevelIoSnapshot;
-use crate::events::Event;
+use crate::events::{Event, EventKind};
 use crate::hist::HistogramSnapshot;
 use crate::json::{json_array, json_f64, JsonObject};
 use crate::telemetry::LevelLookupSnapshot;
@@ -129,6 +129,10 @@ pub struct TelemetryReport {
     pub events: Vec<Event>,
     /// Events evicted from the ring before this drain.
     pub events_dropped: u64,
+    /// Gauge: immutable memtables queued for flush right now.
+    pub immutable_queue_depth: u64,
+    /// Gauge: writers currently blocked in a backpressure stall.
+    pub stalled_writers: u64,
 }
 
 impl TelemetryReport {
@@ -322,6 +326,28 @@ impl TelemetryReport {
 
         push(
             &mut out,
+            "# HELP monkey_immutable_queue_depth Immutable memtables queued for flush (gauge).",
+        );
+        push(&mut out, "# TYPE monkey_immutable_queue_depth gauge");
+        push(
+            &mut out,
+            &format!(
+                "monkey_immutable_queue_depth {}",
+                self.immutable_queue_depth
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_stalled_writers Writers currently blocked in a backpressure stall (gauge).",
+        );
+        push(&mut out, "# TYPE monkey_stalled_writers gauge");
+        push(
+            &mut out,
+            &format!("monkey_stalled_writers {}", self.stalled_writers),
+        );
+
+        push(
+            &mut out,
             "# HELP monkey_events_dropped_total Events evicted from the ring before export.",
         );
         push(&mut out, "# TYPE monkey_events_dropped_total counter");
@@ -330,6 +356,101 @@ impl TelemetryReport {
             &format!("monkey_events_dropped_total {}", self.events_dropped),
         );
         out
+    }
+
+    /// Export the drained event timeline in Chrome trace-event JSON, the
+    /// format Perfetto / `chrome://tracing` open directly. Flush and stall
+    /// episodes become complete (`"ph":"X"`) spans — start/end pairs are
+    /// matched within the drained window, the span duration taken from the
+    /// end event's payload — and everything else becomes an instant event.
+    pub fn to_chrome_trace(&self) -> String {
+        // One synthetic thread lane per timeline family keeps flush spans,
+        // stall spans, and instants from stacking on one Perfetto track.
+        const TID_FLUSH: u64 = 1;
+        const TID_STALL: u64 = 2;
+        const TID_INSTANT: u64 = 3;
+        let span = |name: &str, tid: u64, ts: u64, dur: u64, args: String| -> String {
+            JsonObject::new()
+                .str("name", name)
+                .str("ph", "X")
+                .str("cat", "monkey")
+                .u64("ts", ts)
+                .u64("dur", dur)
+                .u64("pid", 1)
+                .u64("tid", tid)
+                .raw("args", &args)
+                .finish()
+        };
+        let instant = |e: &Event| -> String {
+            let args = e
+                .kind
+                .fields()
+                .into_iter()
+                .fold(JsonObject::new(), |obj, (k, v)| {
+                    if v.bytes().all(|b| b.is_ascii_digit()) && !v.is_empty() {
+                        obj.raw(k, &v)
+                    } else {
+                        obj.str(k, &v)
+                    }
+                })
+                .finish();
+            JsonObject::new()
+                .str("name", e.kind.name())
+                .str("ph", "i")
+                .str("cat", "monkey")
+                .u64("ts", e.ts_micros)
+                .u64("pid", 1)
+                .u64("tid", TID_INSTANT)
+                .str("s", "p")
+                .raw("args", &args)
+                .finish()
+        };
+        let mut out: Vec<String> = Vec::with_capacity(self.events.len());
+        // Pending starts not yet closed by their end event, as indices
+        // into the timeline. Flushes are serialized by the engine and
+        // stalls are drained in order, so a LIFO match is faithful enough
+        // for a trace view.
+        let mut open_flushes: Vec<usize> = Vec::new();
+        let mut open_stalls: Vec<usize> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match &e.kind {
+                EventKind::FlushStart { .. } => open_flushes.push(i),
+                EventKind::FlushEnd { duration_micros } => {
+                    let args = match open_flushes.pop().map(|j| &self.events[j].kind) {
+                        Some(EventKind::FlushStart { entries, bytes }) => JsonObject::new()
+                            .u64("entries", *entries)
+                            .u64("bytes", *bytes)
+                            .finish(),
+                        _ => JsonObject::new().finish(),
+                    };
+                    let dur = *duration_micros;
+                    let ts = e.ts_micros.saturating_sub(dur);
+                    out.push(span("flush", TID_FLUSH, ts, dur, args));
+                }
+                EventKind::StallBegin { .. } => open_stalls.push(i),
+                EventKind::StallEnd { waited_micros } => {
+                    let args = match open_stalls.pop().map(|j| &self.events[j].kind) {
+                        Some(EventKind::StallBegin { queue_depth }) => {
+                            JsonObject::new().u64("queue_depth", *queue_depth).finish()
+                        }
+                        _ => JsonObject::new().finish(),
+                    };
+                    let dur = *waited_micros;
+                    let ts = e.ts_micros.saturating_sub(dur);
+                    out.push(span("stall", TID_STALL, ts, dur, args));
+                }
+                _ => out.push(instant(e)),
+            }
+        }
+        // Starts whose end fell outside the drained window still deserve a
+        // mark on the timeline.
+        for i in open_flushes.into_iter().chain(open_stalls) {
+            out.push(instant(&self.events[i]));
+        }
+        JsonObject::new()
+            .raw("traceEvents", &json_array(out))
+            .str("displayTimeUnit", "ms")
+            .finish()
     }
 
     /// Compact JSON snapshot of the whole report, timeline included.
@@ -412,6 +533,8 @@ impl TelemetryReport {
             .u64("lookups", self.lookups)
             .raw("events", &events)
             .u64("events_dropped", self.events_dropped)
+            .u64("immutable_queue_depth", self.immutable_queue_depth)
+            .u64("stalled_writers", self.stalled_writers)
             .finish()
     }
 
@@ -481,6 +604,11 @@ impl TelemetryReport {
                 self.unattributed_io.write_bytes
             ));
         }
+
+        out.push_str(&format!(
+            "\npipeline gauges: {} immutable memtable(s) queued, {} writer(s) stalled\n",
+            self.immutable_queue_depth, self.stalled_writers
+        ));
 
         out.push_str("\nmodel vs measurement:\n");
         out.push_str(&format!(
@@ -597,6 +725,8 @@ mod tests {
                 kind: EventKind::WalGroupCommit { records: 7 },
             }],
             events_dropped: 0,
+            immutable_queue_depth: 2,
+            stalled_writers: 1,
         }
     }
 
@@ -621,6 +751,77 @@ mod tests {
         assert!(text.contains("monkey_level_fpr_drift{level=\"1\"} 1"));
         assert!(text.contains("monkey_zero_result_lookup_ios{source=\"model\"} 0.01"));
         assert!(text.contains("# TYPE monkey_op_latency_micros summary"));
+    }
+
+    #[test]
+    fn prometheus_exposes_pipeline_gauges() {
+        let text = sample_report().to_prometheus();
+        assert!(text.contains("# TYPE monkey_immutable_queue_depth gauge"));
+        assert!(text.contains("monkey_immutable_queue_depth 2"));
+        assert!(text.contains("# TYPE monkey_stalled_writers gauge"));
+        assert!(text.contains("monkey_stalled_writers 1"));
+        assert!(text.contains("monkey_events_dropped_total 0"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_keeps_instants() {
+        let mut r = sample_report();
+        r.events = vec![
+            Event {
+                seq: 0,
+                ts_micros: 100,
+                kind: EventKind::FlushStart {
+                    entries: 10,
+                    bytes: 640,
+                },
+            },
+            Event {
+                seq: 1,
+                ts_micros: 150,
+                kind: EventKind::CascadeInstall {
+                    merges: 1,
+                    deepest_level: 2,
+                },
+            },
+            Event {
+                seq: 2,
+                ts_micros: 180,
+                kind: EventKind::FlushEnd {
+                    duration_micros: 80,
+                },
+            },
+            Event {
+                seq: 3,
+                ts_micros: 200,
+                kind: EventKind::StallBegin { queue_depth: 3 },
+            },
+            Event {
+                seq: 4,
+                ts_micros: 260,
+                kind: EventKind::StallEnd { waited_micros: 60 },
+            },
+            // A start with no matching end in this drain window.
+            Event {
+                seq: 5,
+                ts_micros: 300,
+                kind: EventKind::FlushStart {
+                    entries: 5,
+                    bytes: 320,
+                },
+            },
+        ];
+        let trace = r.to_chrome_trace();
+        assert!(trace.starts_with('{') && trace.ends_with('}'));
+        // Flush span: ts = end - dur, dur from FlushEnd, args from the start.
+        assert!(trace.contains(r#""name":"flush","ph":"X","cat":"monkey","ts":100,"dur":80"#));
+        assert!(trace.contains(r#""entries":10,"bytes":640"#));
+        // Stall span carries the begin's queue depth.
+        assert!(trace.contains(r#""name":"stall","ph":"X","cat":"monkey","ts":200,"dur":60"#));
+        assert!(trace.contains(r#""queue_depth":3"#));
+        // Cascade is an instant; the unmatched trailing start survives too.
+        assert!(trace.contains(r#""name":"cascade_install","ph":"i""#));
+        assert!(trace.contains(r#""name":"flush_start","ph":"i""#));
+        assert_eq!(trace.matches(r#""ph":"X""#).count(), 2);
     }
 
     #[test]

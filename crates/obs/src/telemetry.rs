@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::advisor::{MeasuredWorkload, WorkloadCharacterizer};
 use crate::attribution::{IoAttribution, LEVEL_SLOTS, MAX_LEVELS};
 use crate::counter::ShardedCounter;
 use crate::events::{Event, EventKind, EventRing};
@@ -117,7 +118,8 @@ impl LevelLookupSnapshot {
 }
 
 /// Shared telemetry hub: latency histograms, exact op counters, per-level
-/// lookup counters, per-level I/O attribution, and the event ring.
+/// lookup counters, per-level I/O attribution, the event ring, and the
+/// online workload characterizer.
 pub struct Telemetry {
     origin: Instant,
     hists: [LatencyHistogram; OP_KINDS.len()],
@@ -125,6 +127,7 @@ pub struct Telemetry {
     level_lookups: [LevelLookup; LEVEL_SLOTS],
     attribution: Arc<IoAttribution>,
     events: EventRing,
+    workload: WorkloadCharacterizer,
 }
 
 impl Telemetry {
@@ -140,6 +143,7 @@ impl Telemetry {
             level_lookups: std::array::from_fn(|_| LevelLookup::default()),
             attribution: Arc::new(IoAttribution::new()),
             events: EventRing::new(event_capacity),
+            workload: WorkloadCharacterizer::new(),
         }
     }
 
@@ -224,6 +228,17 @@ impl Telemetry {
         &self.attribution
     }
 
+    /// The online workload characterizer (paper-taxonomy classification
+    /// plus key-skew sketches).
+    pub fn workload(&self) -> &WorkloadCharacterizer {
+        &self.workload
+    }
+
+    /// Snapshot the measured workload composition.
+    pub fn measured_workload(&self) -> MeasuredWorkload {
+        self.workload.measured()
+    }
+
     pub fn hist(&self, kind: OpKind) -> HistogramSnapshot {
         self.hists[kind as usize].snapshot()
     }
@@ -267,8 +282,8 @@ impl Telemetry {
         self.events.dropped()
     }
 
-    /// Zero histograms, op counts, level counters, and attribution
-    /// traffic. Events and run tags survive.
+    /// Zero histograms, op counts, level counters, attribution traffic,
+    /// and the workload characterizer. Events and run tags survive.
     pub fn reset(&self) {
         for h in &self.hists {
             h.reset();
@@ -283,6 +298,7 @@ impl Telemetry {
             l.lookup_page_reads.store(0, Ordering::Relaxed);
         }
         self.attribution.reset_counters();
+        self.workload.reset();
     }
 }
 
@@ -341,6 +357,20 @@ mod tests {
         assert_eq!(evs.len(), 2);
         assert!(evs[0].ts_micros <= evs[1].ts_micros);
         assert!(t.drain_events().is_empty());
+    }
+
+    #[test]
+    fn workload_classification_flows_through() {
+        let t = Telemetry::new(4);
+        t.workload().record_lookup(b"k", false);
+        t.workload().record_lookup(b"k", true);
+        t.workload().record_update(b"k");
+        t.workload().record_range(10);
+        let m = t.measured_workload();
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.range_entries_scanned, 10);
+        t.reset();
+        assert_eq!(t.measured_workload().total(), 0);
     }
 
     #[test]
