@@ -1,0 +1,148 @@
+//! Merge-engine benchmarks: merge wall-clock throughput as a function of
+//! `compaction_threads`, and the put-stall tail under saturating writes
+//! with sequential vs parallel cascades. Results merge into the repo-root
+//! `BENCH_compaction.json` artifact (EXPERIMENTS.md quotes them).
+//!
+//! The parallel merge is byte-identical to the sequential one and charges
+//! the same `IoStats`, so thread count is *pure* wall-clock: these tables
+//! are the whole observable difference. Speedup scales with physical
+//! cores — on a single-core runner expect ~1.0×.
+
+use monkey_lsm::compaction::build_run_from_sorted;
+use monkey_lsm::merge::merge_runs_with;
+use monkey_lsm::{Db, DbOptions, Entry, MergePolicy, Run};
+use monkey_storage::Disk;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `n_runs` runs with interleaved keys — every output page draws from all
+/// inputs, the worst (and common) case for a leveled cascade merge.
+fn build_inputs(disk: &Arc<Disk>, n_runs: usize, per_run: usize) -> Vec<Arc<Run>> {
+    (0..n_runs)
+        .map(|r| {
+            let entries: Vec<Entry> = (0..per_run)
+                .map(|i| {
+                    let k = i * n_runs + r;
+                    Entry::put(
+                        format!("key{k:08}").into_bytes(),
+                        vec![b'v'; 64],
+                        (r * per_run + i) as u64,
+                    )
+                })
+                .collect();
+            build_run_from_sorted(disk, entries, false, 1, 10.0)
+                .expect("build input run")
+                .expect("non-empty run")
+        })
+        .collect()
+}
+
+/// Best-of-`rounds` wall-clock merge throughput (entries/s) per thread
+/// count, with identical inputs rebuilt on a fresh in-memory disk each
+/// round so cache state and run ids match across configurations.
+fn merge_throughput(n_runs: usize, per_run: usize, rounds: usize) -> Vec<(usize, f64, u32)> {
+    [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut best = f64::INFINITY;
+            let mut partitions = 0;
+            for _ in 0..rounds {
+                let disk = Disk::mem(4096);
+                let inputs = build_inputs(&disk, n_runs, per_run);
+                let t0 = Instant::now();
+                let (out, report) =
+                    merge_runs_with(&disk, &inputs, false, 1, 10.0, threads).expect("merge");
+                best = best.min(t0.elapsed().as_secs_f64());
+                partitions = report.partitions;
+                assert_eq!(
+                    out.expect("output run").entries(),
+                    (n_runs * per_run) as u64
+                );
+            }
+            (threads, (n_runs * per_run) as f64 / best, partitions)
+        })
+        .collect()
+}
+
+/// Saturating-write put latencies against a background-compacting store:
+/// every put timed individually, returns (p99, max) in microseconds.
+/// Stalls happen when the immutable queue is full, i.e. exactly when the
+/// cascade can't keep up — the tail is where merge throughput shows.
+fn put_stall_tail(threads: usize, puts: usize) -> (f64, f64) {
+    let db = Db::open(
+        DbOptions::in_memory()
+            .page_size(4096)
+            .buffer_capacity(32 << 10)
+            .size_ratio(3)
+            .merge_policy(MergePolicy::Leveling)
+            .compaction_threads(threads)
+            .background_compaction(true)
+            .max_immutable_memtables(4)
+            .uniform_filters(10.0),
+    )
+    .expect("open");
+    let mut lat_us: Vec<f64> = Vec::with_capacity(puts);
+    for i in 0..puts {
+        let key = format!("key{:08}", (i * 131) % (puts * 2)).into_bytes();
+        let t0 = Instant::now();
+        db.put(key, vec![b'w'; 64]).expect("put");
+        lat_us.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+    db.flush().expect("drain");
+    lat_us.sort_by(f64::total_cmp);
+    let p99 = lat_us[(lat_us.len() as f64 * 0.99) as usize - 1];
+    (p99, *lat_us.last().expect("non-empty"))
+}
+
+fn main() {
+    // `cargo test --benches` / `cargo bench -- --test`: keep the smoke
+    // run cheap but exercise every code path, including real parallelism.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (n_runs, per_run, rounds, puts) = if test_mode {
+        (3, 4_000, 1, 8_000)
+    } else {
+        (4, 60_000, 3, 120_000)
+    };
+
+    let rows = merge_throughput(n_runs, per_run, rounds);
+    let base = rows[0].1;
+    println!(
+        "\nmerge_throughput ({} runs x {} entries, best of {rounds}):",
+        n_runs, per_run
+    );
+    for &(threads, eps, partitions) in &rows {
+        println!(
+            "  {threads} thread(s): {:>10.0} entries/s   {:>5.2}x   ({partitions} partitions)",
+            eps,
+            eps / base
+        );
+    }
+
+    let (p99_seq, max_seq) = put_stall_tail(1, puts);
+    let (p99_par, max_par) = put_stall_tail(4, puts);
+    println!("\nput_stall_tail ({puts} saturating puts, background cascades):");
+    println!("  1 thread : p99 {p99_seq:>8.1} us   max {max_seq:>10.1} us");
+    println!("  4 threads: p99 {p99_par:>8.1} us   max {max_par:>10.1} us");
+
+    let threads_json = rows
+        .iter()
+        .map(|(t, eps, parts)| format!("\"{t}\": {{\"entries_per_s\": {eps:.0}, \"speedup\": {:.3}, \"partitions\": {parts}}}", eps / base))
+        .collect::<Vec<_>>()
+        .join(", ");
+    monkey_bench::emit_bench_artifact(
+        "BENCH_compaction.json",
+        "merge_throughput",
+        &format!(
+            "{{\"runs\": {n_runs}, \"entries_per_run\": {per_run}, \"cores\": {}, {threads_json}}}",
+            std::thread::available_parallelism().map_or(0, |n| n.get())
+        ),
+    );
+    monkey_bench::emit_bench_artifact(
+        "BENCH_compaction.json",
+        "put_stall",
+        &format!(
+            "{{\"puts\": {puts}, \"p99_us_1t\": {p99_seq:.1}, \"p99_us_4t\": {p99_par:.1}, \
+             \"max_us_1t\": {max_seq:.1}, \"max_us_4t\": {max_par:.1}}}"
+        ),
+    );
+}

@@ -10,6 +10,8 @@
 use criterion::{criterion_group, Criterion};
 use monkey::FilterVariant;
 use monkey_bench::{load, ExpConfig, FilterKind};
+use monkey_lsm::page::{decode_page, search_page, PageBuilder, PageCursor};
+use monkey_lsm::Entry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -118,7 +120,55 @@ fn telemetry_overhead(n: u64) {
     );
 }
 
-criterion_group!(benches, bench_zero_result, bench_existing);
+/// The page-probe step of a point lookup in isolation: the old
+/// materializing path (`decode_page` into a `Vec<Entry>` then binary
+/// search) against the zero-copy `PageCursor::search` that
+/// `Run::get_hashed` now uses. Same encoded page, same probe keys.
+fn bench_page_probe(c: &mut Criterion) {
+    let mut builder = PageBuilder::new(4096);
+    let mut i = 0u32;
+    while builder.fits(&Entry::put(
+        format!("key{i:06}").into_bytes(),
+        vec![b'v'; 24],
+        i as u64,
+    )) {
+        builder
+            .push(&Entry::put(
+                format!("key{i:06}").into_bytes(),
+                vec![b'v'; 24],
+                i as u64,
+            ))
+            .expect("push");
+        i += 1;
+    }
+    let page = bytes::Bytes::from(builder.finish());
+    let n = i;
+    let mut group = c.benchmark_group("page_probe");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let mut k = 0u32;
+    group.bench_function("decode_vec_then_search", |b| {
+        b.iter(|| {
+            k = (k + 7) % n;
+            let entries = decode_page(&page).expect("decode");
+            assert!(search_page(&entries, format!("key{k:06}").as_bytes()).is_some());
+        })
+    });
+    group.bench_function("zero_copy_cursor", |b| {
+        b.iter(|| {
+            k = (k + 7) % n;
+            let hit = PageCursor::new(page.clone())
+                .expect("cursor")
+                .search(format!("key{k:06}").as_bytes())
+                .expect("search");
+            assert!(hit.is_some());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zero_result, bench_existing, bench_page_probe);
 
 fn main() {
     benches();

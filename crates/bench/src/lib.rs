@@ -266,13 +266,19 @@ pub fn mixed_phase(loaded: &LoadedDb, lookup_fraction: f64, n: u64, seed: u64) -
 }
 
 /// Merges one bench's section into the repo-root `BENCH_telemetry.json`
-/// artifact, preserving sections written by other benches. The format is
-/// one `"section": <single-line JSON value>` per line, so a plain
-/// line-based merge suffices without a JSON parser.
+/// artifact — see [`emit_bench_artifact`].
 pub fn emit_bench_telemetry(section: &str, value_json: &str) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    emit_bench_artifact("BENCH_telemetry.json", section, value_json);
+}
+
+/// Merges one bench's section into a repo-root `BENCH_*.json` artifact,
+/// preserving sections written by other benches. The format is one
+/// `"section": <single-line JSON value>` per line, so a plain line-based
+/// merge suffices without a JSON parser.
+pub fn emit_bench_artifact(file_name: &str, section: &str, value_json: &str) {
+    let path = format!("{}/../../{file_name}", env!("CARGO_MANIFEST_DIR"));
     let mut sections: Vec<(String, String)> = Vec::new();
-    if let Ok(existing) = std::fs::read_to_string(path) {
+    if let Ok(existing) = std::fs::read_to_string(&path) {
         for line in existing.lines() {
             let line = line.trim().trim_end_matches(',');
             if !line.starts_with('"') {
@@ -292,7 +298,8 @@ pub fn emit_bench_telemetry(section: &str, value_json: &str) {
         .map(|(k, v)| format!("\"{k}\": {v}"))
         .collect::<Vec<_>>()
         .join(",\n");
-    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write BENCH_telemetry.json");
+    std::fs::write(&path, format!("{{\n{body}\n}}\n"))
+        .unwrap_or_else(|e| panic!("write {file_name}: {e}"));
 }
 
 /// Prints a CSV header line.

@@ -8,13 +8,15 @@
 
 use crate::entry::Entry;
 use crate::error::Result;
-use crate::iter::{EntrySource, MergingIter};
 use crate::level::{level_capacity_bytes, Version};
+use crate::merge::{merge_runs_with, tag_destination, MergeReport};
 use crate::options::DbOptions;
 use crate::policy::FilterContext;
 use crate::run::{FilterParams, Run, RunBuilder};
+use monkey_obs::{OpKind, Telemetry};
 use monkey_storage::Disk;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What a flush's merge cascade did, for the engine's lifetime counters.
 #[derive(Debug, Default, Clone, Copy)]
@@ -23,6 +25,40 @@ pub(crate) struct CascadeOutcome {
     pub merges: u64,
     /// Entries read-and-rewritten by those merges.
     pub entries_rewritten: u64,
+    /// Most key-range partitions any single merge was cut into (0 when the
+    /// cascade performed no merge).
+    pub max_partitions: u32,
+    /// Most worker threads any single merge used (0 when no merge ran).
+    pub max_threads: u32,
+}
+
+impl CascadeOutcome {
+    fn absorb(&mut self, report: MergeReport) {
+        self.max_partitions = self.max_partitions.max(report.partitions);
+        self.max_threads = self.max_threads.max(report.threads);
+    }
+}
+
+/// Runs one merge through the partitioned merge engine, timing it into the
+/// `merge` latency histogram when telemetry is on.
+#[allow(clippy::too_many_arguments)]
+fn timed_merge(
+    disk: &Arc<Disk>,
+    inputs: &[Arc<Run>],
+    drop_tombstones: bool,
+    level: usize,
+    filter: FilterParams,
+    threads: usize,
+    telemetry: Option<&Telemetry>,
+    outcome: &mut CascadeOutcome,
+) -> Result<Option<Arc<Run>>> {
+    let started = telemetry.map(|_| Instant::now());
+    let (output, report) = merge_runs_with(disk, inputs, drop_tombstones, level, filter, threads)?;
+    if let (Some(t), Some(started)) = (telemetry, started) {
+        t.record_nanos(OpKind::Merge, started.elapsed().as_nanos() as u64);
+    }
+    outcome.absorb(report);
+    Ok(output)
 }
 
 /// Builds the filter parameters for a run of `run_entries` entries landing
@@ -67,6 +103,7 @@ pub(crate) fn install_leveling(
     version: &mut Version,
     run: Arc<Run>,
     outcome: &mut CascadeOutcome,
+    telemetry: Option<&Telemetry>,
 ) -> Result<()> {
     let mut carry = run;
     let mut lvl = 1usize;
@@ -81,7 +118,17 @@ pub(crate) fn install_leveling(
             let params = filter_params_for(opts, version, lvl, input_entries, 0);
             outcome.merges += 1;
             outcome.entries_rewritten += input_entries;
-            match merge_runs(disk, &inputs, drop_tombstones, lvl, params)? {
+            let merged = timed_merge(
+                disk,
+                &inputs,
+                drop_tombstones,
+                lvl,
+                params,
+                opts.compaction_threads,
+                telemetry,
+                outcome,
+            )?;
+            match merged {
                 Some(merged) => carry = merged,
                 None => return Ok(()), // merge annihilated everything
             }
@@ -108,6 +155,7 @@ pub(crate) fn install_tiering(
     version: &mut Version,
     run: Arc<Run>,
     outcome: &mut CascadeOutcome,
+    telemetry: Option<&Telemetry>,
 ) -> Result<()> {
     version.ensure_levels(1);
     version.levels_mut()[0].push_youngest(run);
@@ -125,7 +173,16 @@ pub(crate) fn install_tiering(
         let params = filter_params_for(opts, version, lvl + 1, input_entries, 0);
         outcome.merges += 1;
         outcome.entries_rewritten += input_entries;
-        let merged = merge_runs(disk, &inputs, drop_tombstones, lvl + 1, params)?;
+        let merged = timed_merge(
+            disk,
+            &inputs,
+            drop_tombstones,
+            lvl + 1,
+            params,
+            opts.compaction_threads,
+            telemetry,
+            outcome,
+        )?;
         version.ensure_levels(lvl + 1);
         if let Some(merged) = merged {
             version.levels_mut()[lvl].push_youngest(merged);
@@ -134,30 +191,9 @@ pub(crate) fn install_tiering(
     }
 }
 
-/// Pre-registers the run under construction at its destination `level` in
-/// the disk's I/O attribution table (when one is attached), so the build's
-/// own page writes are charged to the level the run will land on. A no-op
-/// without telemetry. Stale tags from failed builds are harmless — the run
-/// id is never reused for I/O — and every version install retags from the
-/// authoritative tree anyway.
-fn tag_destination(disk: &Disk, builder: &RunBuilder, level: usize) {
-    if let Some(attr) = disk.attribution() {
-        attr.tag_run(builder.run_id(), level);
-    }
-}
-
-/// Sort-merges `inputs` into a single new run landing at `level`.
-///
-/// * Duplicate keys are resolved newest-wins (by sequence number).
-/// * With `drop_tombstones`, tombstones are not written to the output.
-/// * Inputs are marked obsolete on success; their storage is reclaimed when
-///   the last reference (e.g. a concurrent cursor) drops.
-/// * `level` is the 1-based destination level, used only for per-level I/O
-///   attribution when telemetry is enabled (the caller still places the run
-///   in the tree itself).
-///
-/// Returns `None` when the merge produces no entries at all (e.g. only
-/// tombstones merged into the last level).
+/// Sort-merges `inputs` into a single new run landing at `level`, on the
+/// calling thread. This is [`merge_runs_with`] at one thread — see the
+/// `merge` module for the parallel partitioned engine and its guarantees.
 pub fn merge_runs(
     disk: &Arc<Disk>,
     inputs: &[Arc<Run>],
@@ -165,32 +201,7 @@ pub fn merge_runs(
     level: usize,
     filter: impl Into<FilterParams>,
 ) -> Result<Option<Arc<Run>>> {
-    debug_assert!(!inputs.is_empty());
-    let sources: Vec<EntrySource> = inputs
-        .iter()
-        .map(|run| Box::new(run.iter()) as EntrySource)
-        .collect();
-    let merged = MergingIter::new(sources, true)?;
-    let mut builder = RunBuilder::new(Arc::clone(disk));
-    tag_destination(disk, &builder, level);
-    let run_id = builder.run_id();
-    for item in merged {
-        let entry: Entry = item?;
-        if drop_tombstones && entry.is_tombstone() {
-            continue;
-        }
-        builder.push(entry)?;
-    }
-    let output = builder.finish(filter)?.map(Arc::new);
-    if output.is_none() {
-        if let Some(attr) = disk.attribution() {
-            attr.untag_run(run_id);
-        }
-    }
-    for input in inputs {
-        input.mark_obsolete();
-    }
-    Ok(output)
+    merge_runs_with(disk, inputs, drop_tombstones, level, filter, 1).map(|(run, _)| run)
 }
 
 /// Builds a run directly from pre-sorted, pre-deduplicated entries (the

@@ -146,6 +146,10 @@ struct CompactionCounters {
     /// Payload bytes drained from immutable memtables by flushes — the
     /// numerator of the observatory's flush-rate window metric.
     bytes_flushed: AtomicU64,
+    /// Gauge: key-range partitions of the most recent merge (0 = none yet).
+    last_merge_partitions: AtomicU64,
+    /// Gauge: worker threads of the most recent merge (0 = none yet).
+    last_merge_threads: AtomicU64,
 }
 
 /// Lifetime counters of the point-lookup fast path (see [`LookupStats`]).
@@ -180,6 +184,11 @@ pub struct CompactionStats {
     /// user updates this is the engine's measured write amplification in
     /// entries (the quantity Eq. 10 models in I/Os).
     pub entries_rewritten: u64,
+    /// Key-range partitions of the most recent merge (1 = sequential;
+    /// 0 = no merge has run yet).
+    pub last_merge_partitions: u64,
+    /// Worker threads of the most recent merge (0 = no merge yet).
+    pub last_merge_threads: u64,
 }
 
 impl Core {
@@ -403,10 +412,10 @@ impl Core {
             let cascade_started = tel.and_then(|t| t.op_start(OpKind::Cascade));
             match self.opts.merge_policy {
                 crate::policy::MergePolicy::Leveling => {
-                    install_leveling(&self.disk, &self.opts, &mut working, run, &mut outcome)?
+                    install_leveling(&self.disk, &self.opts, &mut working, run, &mut outcome, tel)?
                 }
                 crate::policy::MergePolicy::Tiering => {
-                    install_tiering(&self.disk, &self.opts, &mut working, run, &mut outcome)?
+                    install_tiering(&self.disk, &self.opts, &mut working, run, &mut outcome, tel)?
                 }
             }
             if let Some(t) = tel {
@@ -421,6 +430,14 @@ impl Core {
         self.compactions
             .entries_rewritten
             .fetch_add(outcome.entries_rewritten, Relaxed);
+        if outcome.merges > 0 {
+            self.compactions
+                .last_merge_partitions
+                .store(outcome.max_partitions as u64, Relaxed);
+            self.compactions
+                .last_merge_threads
+                .store(outcome.max_threads as u64, Relaxed);
+        }
         let new_version = Arc::new(working);
         let next_seq;
         {
@@ -1256,6 +1273,8 @@ impl Db {
             flushes: c.flushes.load(Relaxed),
             merges: c.merges.load(Relaxed),
             entries_rewritten: c.entries_rewritten.load(Relaxed),
+            last_merge_partitions: c.last_merge_partitions.load(Relaxed),
+            last_merge_threads: c.last_merge_threads.load(Relaxed),
         }
     }
 
@@ -1468,6 +1487,8 @@ impl Db {
             lookups: stats.lookups.key_hashes,
             immutable_queue_depth: stats.pipeline_gauges.immutable_queue_depth as u64,
             stalled_writers: stats.pipeline_gauges.stalled_writers as u64,
+            last_merge_partitions: self.core.compactions.last_merge_partitions.load(Relaxed),
+            last_merge_threads: self.core.compactions.last_merge_threads.load(Relaxed),
             events: t.drain_events(),
             events_dropped: t.events_dropped(),
         })

@@ -10,50 +10,166 @@ use crate::entry::Entry;
 use crate::error::Result;
 use bytes::Bytes;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A boxed sorted source of entries.
 pub type EntrySource = Box<dyn Iterator<Item = Result<Entry>>>;
 
-struct HeapItem {
-    entry: Entry,
-    src: usize,
+/// Sentinel runner-up index: no live contender besides the winner.
+const NO_CONTENDER: usize = usize::MAX;
+
+/// A tournament tree of losers over `k` sources.
+///
+/// Classic k-way merge structures pay `O(log k)` heap pops/pushes per
+/// entry. The loser tree replays only the winner's root path (`log k`
+/// comparisons), and — the case that dominates real merges, where one
+/// input run supplies a long stretch of consecutive keys — a *run
+/// detection* fast path keeps the same source winning with **one**
+/// comparison per entry: after each replay the tree remembers the
+/// runner-up (the best head among the losers on the winner's path); as
+/// long as the winner's next entry still beats that runner-up, every
+/// internal node's loser is unchanged and no replay is needed.
+///
+/// Ordering is internal order plus a source-index tiebreak — (key asc,
+/// seq desc, source asc) — so the merge is fully deterministic, which the
+/// parallel partitioned merge relies on for byte-identical output.
+struct LoserTree {
+    /// Current head of each leaf; `None` = exhausted (sorts last).
+    /// Length is `p`, the leaf count padded to a power of two.
+    heads: Vec<Option<Entry>>,
+    /// `losers[1..p]`: the losing leaf of the match played at each
+    /// internal node. `losers[0]` is unused.
+    losers: Vec<usize>,
+    /// Leaf count padded to a power of two.
+    p: usize,
+    /// Leaf holding the overall winner.
+    winner: usize,
+    /// Best leaf among the losers on the winner's path (the head the
+    /// winner must beat to keep its crown without a replay).
+    runner_up: usize,
 }
 
-// Min-heap by (key asc, seq desc): BinaryHeap is a max-heap, so reverse.
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .entry
-            .key
-            .cmp(&self.entry.key)
-            .then_with(|| self.entry.seq.cmp(&other.entry.seq))
+impl LoserTree {
+    fn new(mut heads: Vec<Option<Entry>>) -> Self {
+        let p = heads.len().next_power_of_two().max(1);
+        heads.resize_with(p, || None);
+        let mut tree = Self {
+            heads,
+            losers: vec![0; p],
+            p,
+            winner: 0,
+            runner_up: NO_CONTENDER,
+        };
+        tree.rebuild();
+        tree
+    }
+
+    /// Does leaf `a`'s head beat leaf `b`'s in internal order?
+    #[inline]
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (Some(x), Some(y)) => match x.key.cmp(&y.key).then_with(|| y.seq.cmp(&x.seq)) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Plays the full tournament bottom-up (initial build).
+    fn rebuild(&mut self) {
+        if self.p == 1 {
+            self.winner = 0;
+            self.runner_up = NO_CONTENDER;
+            return;
+        }
+        let p = self.p;
+        // winners[i] = winning leaf of the subtree rooted at node i.
+        let mut winners = vec![0usize; 2 * p];
+        for (i, w) in winners.iter_mut().enumerate().skip(p) {
+            *w = i - p;
+        }
+        for i in (1..p).rev() {
+            let (a, b) = (winners[2 * i], winners[2 * i + 1]);
+            let (win, lose) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            winners[i] = win;
+            self.losers[i] = lose;
+        }
+        self.winner = winners[1];
+        self.recompute_runner_up();
+    }
+
+    /// Replays the winner's path after its head changed hands.
+    fn replay(&mut self) {
+        let p = self.p;
+        let mut winner = self.winner;
+        let mut node = (winner + p) >> 1;
+        while node >= 1 {
+            let loser = self.losers[node];
+            if self.beats(loser, winner) {
+                self.losers[node] = winner;
+                winner = loser;
+            }
+            node >>= 1;
+        }
+        self.winner = winner;
+        self.recompute_runner_up();
+    }
+
+    fn recompute_runner_up(&mut self) {
+        if self.p == 1 {
+            self.runner_up = NO_CONTENDER;
+            return;
+        }
+        let mut node = (self.winner + self.p) >> 1;
+        let mut best = NO_CONTENDER;
+        while node >= 1 {
+            let cand = self.losers[node];
+            if best == NO_CONTENDER || self.beats(cand, best) {
+                best = cand;
+            }
+            node >>= 1;
+        }
+        self.runner_up = best;
+    }
+
+    /// The winning source index, or `None` when every source is exhausted.
+    fn winner_source(&self) -> Option<usize> {
+        self.heads[self.winner].is_some().then_some(self.winner)
+    }
+
+    /// Takes the winning entry; the caller must follow with
+    /// [`refill`](Self::refill) before the next take.
+    fn take_winner(&mut self) -> Entry {
+        self.heads[self.winner].take().expect("winner has a head")
+    }
+
+    /// Installs the winner source's next head and restores the tournament
+    /// invariant — by the 1-comparison fast path when the source is still
+    /// winning, by a root-path replay otherwise.
+    fn refill(&mut self, head: Option<Entry>) {
+        self.heads[self.winner] = head;
+        if self.runner_up == NO_CONTENDER {
+            return; // sole live contender: nothing can outrank it
+        }
+        if self.beats(self.winner, self.runner_up) {
+            return; // run detected: same source keeps winning
+        }
+        self.replay();
     }
 }
 
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for HeapItem {}
-
-/// Merges any number of sorted entry sources.
+/// Merges any number of sorted entry sources through a [`LoserTree`].
 pub struct MergingIter {
     sources: Vec<EntrySource>,
-    heap: BinaryHeap<HeapItem>,
+    tree: LoserTree,
     last_key: Option<Bytes>,
     dedup: bool,
     failed: bool,
-    // An error hit while refilling the heap: surfaced after the entries
-    // already popped, so no data is silently dropped before the error.
+    // An error hit while refilling the tree: surfaced after the entries
+    // already buffered, so no data is silently dropped before the error.
     pending_err: Option<crate::error::LsmError>,
 }
 
@@ -63,30 +179,22 @@ impl MergingIter {
     /// With `dedup`, only the newest version (highest sequence number) of
     /// each key is yielded; older versions are consumed silently.
     pub fn new(mut sources: Vec<EntrySource>, dedup: bool) -> Result<Self> {
-        let mut heap = BinaryHeap::with_capacity(sources.len());
-        for (src, source) in sources.iter_mut().enumerate() {
+        let mut heads = Vec::with_capacity(sources.len());
+        for source in sources.iter_mut() {
             match source.next() {
-                Some(Ok(entry)) => heap.push(HeapItem { entry, src }),
+                Some(Ok(entry)) => heads.push(Some(entry)),
                 Some(Err(e)) => return Err(e),
-                None => {}
+                None => heads.push(None),
             }
         }
         Ok(Self {
             sources,
-            heap,
+            tree: LoserTree::new(heads),
             last_key: None,
             dedup,
             failed: false,
             pending_err: None,
         })
-    }
-
-    fn advance(&mut self, src: usize) -> Result<()> {
-        if let Some(item) = self.sources[src].next() {
-            let entry = item?;
-            self.heap.push(HeapItem { entry, src });
-        }
-        Ok(())
     }
 }
 
@@ -98,18 +206,29 @@ impl Iterator for MergingIter {
             return None;
         }
         loop {
-            let Some(HeapItem { entry, src }) = self.heap.pop() else {
+            let Some(src) = self.tree.winner_source() else {
                 if let Some(e) = self.pending_err.take() {
                     self.failed = true;
                     return Some(Err(e));
                 }
                 return None;
             };
-            if self.pending_err.is_none() {
-                if let Err(e) = self.advance(src) {
-                    self.pending_err = Some(e);
+            let entry = self.tree.take_winner();
+            // After an error, stop pulling sources: the heads already
+            // buffered drain first, then the error surfaces.
+            let head = if self.pending_err.is_none() {
+                match self.sources[src].next() {
+                    Some(Ok(e)) => Some(e),
+                    Some(Err(e)) => {
+                        self.pending_err = Some(e);
+                        None
+                    }
+                    None => None,
                 }
-            }
+            } else {
+                None
+            };
+            self.tree.refill(head);
             if self.dedup {
                 if self.last_key.as_ref() == Some(&entry.key) {
                     continue; // superseded version

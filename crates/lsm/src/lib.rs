@@ -55,6 +55,7 @@ pub mod iter;
 pub mod level;
 pub mod manifest;
 pub mod memtable;
+pub mod merge;
 pub mod page;
 pub mod policy;
 pub mod run;
@@ -70,6 +71,7 @@ pub use db::{CompactionStats, Db};
 pub use entry::{Entry, EntryKind};
 pub use error::{LsmError, Result};
 pub use iter::RangeIter;
+pub use merge::MergeReport;
 pub use monkey_bloom::FilterVariant;
 pub use monkey_obs::{
     DriftFlag, Event, EventKind, HotKey, LevelIoRates, LevelIoSnapshot, LevelLookupSnapshot,

@@ -74,6 +74,13 @@ pub struct DbOptions {
     /// How many closed windows the observatory retains (oldest evicted
     /// first; ≥ 1).
     pub observatory_retention: usize,
+    /// Worker threads per merge (≥ 1). With more than one, each merge's key
+    /// space is cut along input fence pointers into that many disjoint
+    /// partitions merged concurrently; the concatenated output is
+    /// byte-identical to the single-threaded merge and the I/O counts are
+    /// unchanged — the same pages are read and written, just on more cores.
+    /// Default 1 (fully sequential, deterministic I/O *ordering* as well).
+    pub compaction_threads: usize,
 }
 
 impl DbOptions {
@@ -119,6 +126,14 @@ impl DbOptions {
             telemetry: false,
             observatory_interval: None,
             observatory_retention: 128,
+            // The env override lets CI (and ad-hoc experiments) run the
+            // whole suite under a parallel merge engine without touching
+            // every call site that builds options.
+            compaction_threads: std::env::var("MONKEY_COMPACTION_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
         }
     }
 
@@ -229,6 +244,14 @@ impl DbOptions {
         self.observatory_retention = windows;
         self
     }
+
+    /// Sets how many worker threads each merge may use (see
+    /// [`DbOptions::compaction_threads`]).
+    pub fn compaction_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one compaction thread is required");
+        self.compaction_threads = n;
+        self
+    }
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -249,6 +272,7 @@ impl std::fmt::Debug for DbOptions {
             .field("telemetry", &self.telemetry)
             .field("observatory_interval", &self.observatory_interval)
             .field("observatory_retention", &self.observatory_retention)
+            .field("compaction_threads", &self.compaction_threads)
             .finish()
     }
 }
@@ -343,6 +367,21 @@ mod tests {
     #[should_panic(expected = "at least one window")]
     fn zero_observatory_retention_rejected() {
         DbOptions::in_memory().observatory_retention(0);
+    }
+
+    #[test]
+    fn compaction_threads_knob() {
+        // Not asserting the default here: CI runs the suite with
+        // MONKEY_COMPACTION_THREADS set, which base() honors by design.
+        let o = DbOptions::in_memory();
+        assert!(o.compaction_threads >= 1);
+        assert_eq!(o.compaction_threads(4).compaction_threads, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compaction thread")]
+    fn zero_compaction_threads_rejected() {
+        DbOptions::in_memory().compaction_threads(0);
     }
 
     #[test]

@@ -114,8 +114,8 @@ impl PageBuilder {
     }
 }
 
-/// Decodes every entry of a page.
-pub fn decode_page(page: &Bytes) -> Result<Vec<Entry>> {
+/// Verifies a page's header and checksum, returning the entry count.
+fn verify_page(page: &Bytes) -> Result<usize> {
     if page.len() < PAGE_HEADER_LEN {
         return Err(LsmError::Corruption("page shorter than header".into()));
     }
@@ -130,30 +130,139 @@ pub fn decode_page(page: &Bytes) -> Result<Vec<Entry>> {
             "page checksum mismatch: stored {stored:#x}, computed {computed:#x}"
         )));
     }
-    let mut entries = Vec::with_capacity(count);
-    let mut off = PAGE_HEADER_LEN;
-    for i in 0..count {
-        if off + ENTRY_HEADER_LEN > page.len() {
-            return Err(LsmError::Corruption(format!("entry {i} header truncated")));
+    Ok(count)
+}
+
+/// A streaming cursor over one encoded page: validates the checksum once,
+/// then yields entries lazily, without materializing a `Vec<Entry>` for
+/// the whole page. Entry keys/values are `Bytes` slices into the page
+/// buffer (refcount bumps, no copies).
+///
+/// Merge inputs and the point-lookup hot path use this; [`decode_page`]
+/// stays as the eager equivalent for compatibility and tests.
+pub struct PageCursor {
+    page: Bytes,
+    off: usize,
+    /// Entries not yet yielded.
+    remaining: usize,
+    /// Index of the next entry (for corruption messages).
+    index: usize,
+}
+
+impl PageCursor {
+    /// Opens a cursor, verifying the page header and checksum.
+    pub fn new(page: Bytes) -> Result<Self> {
+        let count = verify_page(&page)?;
+        Ok(Self {
+            page,
+            off: PAGE_HEADER_LEN,
+            remaining: count,
+            index: 0,
+        })
+    }
+
+    /// Entries not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Borrows the key of the next entry without decoding it — the probe
+    /// primitive of [`search`](Self::search): no `Bytes` refcount traffic,
+    /// no value slicing.
+    pub fn peek_key(&self) -> Result<Option<&[u8]>> {
+        if self.remaining == 0 {
+            return Ok(None);
         }
-        let klen = u16::from_le_bytes(page[off..off + 2].try_into().unwrap()) as usize;
-        let vlen = u32::from_le_bytes(page[off + 2..off + 6].try_into().unwrap()) as usize;
-        let seq = u64::from_le_bytes(page[off + 6..off + 14].try_into().unwrap());
-        let kind = EntryKind::from_byte(page[off + 14])
-            .ok_or_else(|| LsmError::Corruption(format!("entry {i} has bad kind byte")))?;
-        off += ENTRY_HEADER_LEN;
-        if off + klen + vlen > page.len() {
-            return Err(LsmError::Corruption(format!("entry {i} body truncated")));
+        let (klen, _) = self.header()?;
+        let start = self.off + ENTRY_HEADER_LEN;
+        Ok(Some(&self.page[start..start + klen]))
+    }
+
+    /// Decodes the next entry and advances.
+    pub fn next_entry(&mut self) -> Result<Option<Entry>> {
+        if self.remaining == 0 {
+            return Ok(None);
         }
-        let key = page.slice(off..off + klen);
-        let value = page.slice(off + klen..off + klen + vlen);
-        off += klen + vlen;
-        entries.push(Entry {
+        let (klen, vlen) = self.header()?;
+        let off = self.off;
+        let seq = u64::from_le_bytes(self.page[off + 6..off + 14].try_into().unwrap());
+        let kind = EntryKind::from_byte(self.page[off + 14]).ok_or_else(|| {
+            LsmError::Corruption(format!("entry {} has bad kind byte", self.index))
+        })?;
+        let body = off + ENTRY_HEADER_LEN;
+        let key = self.page.slice(body..body + klen);
+        let value = self.page.slice(body + klen..body + klen + vlen);
+        self.advance(klen, vlen);
+        Ok(Some(Entry {
             key,
             value,
             seq,
             kind,
-        });
+        }))
+    }
+
+    /// Skips the next entry without decoding its body.
+    pub fn skip_entry(&mut self) -> Result<bool> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        let (klen, vlen) = self.header()?;
+        self.advance(klen, vlen);
+        Ok(true)
+    }
+
+    /// Finds the newest version of `key` in the page.
+    ///
+    /// Entries are in internal order (key asc, seq desc), so the scan
+    /// compares key slices in place and stops as soon as it passes `key` —
+    /// the first match is the newest version, and nothing before or after
+    /// it is ever decoded into an owned [`Entry`].
+    pub fn search(mut self, key: &[u8]) -> Result<Option<Entry>> {
+        while let Some(k) = self.peek_key()? {
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => {
+                    self.skip_entry()?;
+                }
+                std::cmp::Ordering::Equal => return self.next_entry(),
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Header of the next entry, bounds-checked: `(key_len, value_len)`.
+    fn header(&self) -> Result<(usize, usize)> {
+        let off = self.off;
+        if off + ENTRY_HEADER_LEN > self.page.len() {
+            return Err(LsmError::Corruption(format!(
+                "entry {} header truncated",
+                self.index
+            )));
+        }
+        let klen = u16::from_le_bytes(self.page[off..off + 2].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(self.page[off + 2..off + 6].try_into().unwrap()) as usize;
+        if off + ENTRY_HEADER_LEN + klen + vlen > self.page.len() {
+            return Err(LsmError::Corruption(format!(
+                "entry {} body truncated",
+                self.index
+            )));
+        }
+        Ok((klen, vlen))
+    }
+
+    fn advance(&mut self, klen: usize, vlen: usize) {
+        self.off += ENTRY_HEADER_LEN + klen + vlen;
+        self.remaining -= 1;
+        self.index += 1;
+    }
+}
+
+/// Decodes every entry of a page.
+pub fn decode_page(page: &Bytes) -> Result<Vec<Entry>> {
+    let mut cursor = PageCursor::new(page.clone())?;
+    let mut entries = Vec::with_capacity(cursor.remaining());
+    while let Some(entry) = cursor.next_entry()? {
+        entries.push(entry);
     }
     Ok(entries)
 }
@@ -293,5 +402,86 @@ mod tests {
         let mut b = PageBuilder::new(32);
         let page = Bytes::from(b.finish());
         assert!(decode_page(&page).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_streams_the_same_entries_decode_page_returns() {
+        let mut b = PageBuilder::new(256);
+        let entries = vec![
+            entry("alpha", "1", 10),
+            entry("beta", "2", 11),
+            Entry::tombstone(b"gamma".to_vec(), 12),
+        ];
+        for e in &entries {
+            b.push(e).unwrap();
+        }
+        let page = Bytes::from(b.finish());
+        let mut cursor = PageCursor::new(page.clone()).unwrap();
+        assert_eq!(cursor.remaining(), 3);
+        let mut streamed = Vec::new();
+        while let Some(e) = cursor.next_entry().unwrap() {
+            streamed.push(e);
+        }
+        assert_eq!(streamed, decode_page(&page).unwrap());
+        assert_eq!(cursor.remaining(), 0);
+        assert!(cursor.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn cursor_peek_and_skip_do_not_decode() {
+        let mut b = PageBuilder::new(256);
+        b.push(&entry("a", "1", 1)).unwrap();
+        b.push(&entry("b", "2", 2)).unwrap();
+        let mut cursor = PageCursor::new(Bytes::from(b.finish())).unwrap();
+        assert_eq!(cursor.peek_key().unwrap(), Some(b"a".as_slice()));
+        assert!(cursor.skip_entry().unwrap());
+        assert_eq!(cursor.peek_key().unwrap(), Some(b"b".as_slice()));
+        assert_eq!(cursor.next_entry().unwrap().unwrap().key.as_ref(), b"b");
+        assert_eq!(cursor.peek_key().unwrap(), None);
+        assert!(!cursor.skip_entry().unwrap());
+    }
+
+    #[test]
+    fn cursor_search_matches_search_page() {
+        // Internal order: key asc, seq desc — duplicates keep newest first.
+        let entries = vec![
+            entry("a", "new", 9),
+            entry("a", "old", 3),
+            entry("b", "x", 5),
+            entry("d", "y", 7),
+        ];
+        let mut b = PageBuilder::new(256);
+        for e in &entries {
+            b.push(e).unwrap();
+        }
+        let page = Bytes::from(b.finish());
+        for probe in [b"a".as_slice(), b"b", b"c", b"d", b"0", b"z"] {
+            let eager = search_page(&entries, probe).cloned();
+            let streamed = PageCursor::new(page.clone())
+                .unwrap()
+                .search(probe)
+                .unwrap();
+            assert_eq!(eager, streamed, "probe {probe:?}");
+        }
+        assert_eq!(
+            PageCursor::new(page.clone())
+                .unwrap()
+                .search(b"a")
+                .unwrap()
+                .unwrap()
+                .seq,
+            9,
+            "newest version wins"
+        );
+    }
+
+    #[test]
+    fn cursor_rejects_corrupt_pages() {
+        let mut b = PageBuilder::new(64);
+        b.push(&entry("k", "v", 1)).unwrap();
+        let good = b.finish();
+        let mut bad = good.clone();
+        bad[PAGE_HEADER_LEN + 20] ^= 1;
+        assert!(PageCursor::new(Bytes::from(bad)).is_err(), "checksum trips");
     }
 }

@@ -133,6 +133,11 @@ pub struct TelemetryReport {
     pub immutable_queue_depth: u64,
     /// Gauge: writers currently blocked in a backpressure stall.
     pub stalled_writers: u64,
+    /// Gauge: key-range partitions of the most recent merge (1 = that
+    /// merge ran sequentially; 0 = no merge has run yet).
+    pub last_merge_partitions: u64,
+    /// Gauge: worker threads of the most recent merge (0 = none yet).
+    pub last_merge_threads: u64,
 }
 
 impl TelemetryReport {
@@ -345,6 +350,27 @@ impl TelemetryReport {
             &mut out,
             &format!("monkey_stalled_writers {}", self.stalled_writers),
         );
+        push(
+            &mut out,
+            "# HELP monkey_last_merge_partitions Key-range partitions of the most recent merge (gauge).",
+        );
+        push(&mut out, "# TYPE monkey_last_merge_partitions gauge");
+        push(
+            &mut out,
+            &format!(
+                "monkey_last_merge_partitions {}",
+                self.last_merge_partitions
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_last_merge_threads Worker threads of the most recent merge (gauge).",
+        );
+        push(&mut out, "# TYPE monkey_last_merge_threads gauge");
+        push(
+            &mut out,
+            &format!("monkey_last_merge_threads {}", self.last_merge_threads),
+        );
 
         push(
             &mut out,
@@ -535,6 +561,8 @@ impl TelemetryReport {
             .u64("events_dropped", self.events_dropped)
             .u64("immutable_queue_depth", self.immutable_queue_depth)
             .u64("stalled_writers", self.stalled_writers)
+            .u64("last_merge_partitions", self.last_merge_partitions)
+            .u64("last_merge_threads", self.last_merge_threads)
             .finish()
     }
 
@@ -609,6 +637,12 @@ impl TelemetryReport {
             "\npipeline gauges: {} immutable memtable(s) queued, {} writer(s) stalled\n",
             self.immutable_queue_depth, self.stalled_writers
         ));
+        if self.last_merge_partitions > 0 {
+            out.push_str(&format!(
+                "merge engine: last merge used {} partition(s) on {} thread(s)\n",
+                self.last_merge_partitions, self.last_merge_threads
+            ));
+        }
 
         out.push_str("\nmodel vs measurement:\n");
         out.push_str(&format!(
@@ -727,6 +761,8 @@ mod tests {
             events_dropped: 0,
             immutable_queue_depth: 2,
             stalled_writers: 1,
+            last_merge_partitions: 4,
+            last_merge_threads: 2,
         }
     }
 
@@ -760,6 +796,9 @@ mod tests {
         assert!(text.contains("monkey_immutable_queue_depth 2"));
         assert!(text.contains("# TYPE monkey_stalled_writers gauge"));
         assert!(text.contains("monkey_stalled_writers 1"));
+        assert!(text.contains("# TYPE monkey_last_merge_partitions gauge"));
+        assert!(text.contains("monkey_last_merge_partitions 4"));
+        assert!(text.contains("monkey_last_merge_threads 2"));
         assert!(text.contains("monkey_events_dropped_total 0"));
     }
 

@@ -28,15 +28,19 @@ pub enum OpKind {
     Range = 2,
     Flush = 3,
     Cascade = 4,
+    /// One merge operation inside a cascade (a cascade performs zero or
+    /// more merges; this histogram shows their individual durations).
+    Merge = 5,
 }
 
 /// All op kinds, in histogram index order.
-pub const OP_KINDS: [OpKind; 5] = [
+pub const OP_KINDS: [OpKind; 6] = [
     OpKind::Get,
     OpKind::Put,
     OpKind::Range,
     OpKind::Flush,
     OpKind::Cascade,
+    OpKind::Merge,
 ];
 
 impl OpKind {
@@ -47,6 +51,7 @@ impl OpKind {
             OpKind::Range => "range",
             OpKind::Flush => "flush",
             OpKind::Cascade => "cascade",
+            OpKind::Merge => "merge",
         }
     }
 
