@@ -1,0 +1,281 @@
+//! Block-cache benchmarks: hit-path latency of the lock-free cache against
+//! a mutex-sharded LRU baseline (the pre-rewrite design), and point-lookup
+//! hit ratio under a Zipfian get + periodic full-scan mix, LRU vs the
+//! scan-resistant policy at equal capacity. Results merge into the
+//! repo-root `BENCH_cache.json` artifact (EXPERIMENTS.md quotes them).
+
+use bytes::Bytes;
+use monkey_lsm::{Db, DbOptions};
+use monkey_storage::{BlockCache, CacheConfig};
+use monkey_workload::ZipfianSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---- baseline: the pre-rewrite mutex-sharded LRU hit path -----------------
+
+/// Verbatim port of the old cache's hit path: 16 mutex shards, each a
+/// `HashMap` into an intrusive LRU list, every hit taking the shard lock
+/// to unlink/re-link its node, plus the old cache-global hit counter.
+struct MutexLru {
+    shards: Vec<Mutex<MutexShard>>,
+    hits: AtomicU64,
+}
+
+const NO_NODE: usize = usize::MAX;
+
+struct OldNode {
+    #[allow(dead_code)] // eviction used it; kept so node size (and thus
+    // memory traffic per touch) matches the old cache
+    key: (u64, u32),
+    data: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Default)]
+struct MutexShard {
+    map: HashMap<(u64, u32), usize>,
+    nodes: Vec<OldNode>,
+    head: usize,
+    tail: usize,
+}
+
+impl MutexShard {
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NO_NODE {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NO_NODE {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NO_NODE;
+        self.nodes[idx].next = self.head;
+        if self.head != NO_NODE {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NO_NODE {
+            self.tail = idx;
+        }
+    }
+}
+
+impl MutexLru {
+    fn new() -> Self {
+        Self {
+            shards: (0..16)
+                .map(|_| {
+                    Mutex::new(MutexShard {
+                        head: NO_NODE,
+                        tail: NO_NODE,
+                        ..MutexShard::default()
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, run: u64, page: u32) -> Option<Bytes> {
+        let mut s = self.shards[BlockCache::shard_of(run, page)].lock().unwrap();
+        let idx = *s.map.get(&(run, page))?;
+        s.unlink(idx);
+        s.push_front(idx);
+        let data = s.nodes[idx].data.clone();
+        drop(s);
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(data)
+    }
+
+    // Capacity enforcement elided: the bench working set is fully
+    // resident in both caches, so only the hit path is exercised.
+    fn insert(&self, run: u64, page: u32, data: Bytes) {
+        let mut s = self.shards[BlockCache::shard_of(run, page)].lock().unwrap();
+        let node = OldNode {
+            key: (run, page),
+            data,
+            prev: NO_NODE,
+            next: NO_NODE,
+        };
+        let idx = s.nodes.len();
+        s.nodes.push(node);
+        s.map.insert((run, page), idx);
+        s.push_front(idx);
+    }
+}
+
+// ---- hit-path latency -----------------------------------------------------
+
+const PAGE: usize = 256;
+const WORKING_SET: u32 = 1024;
+
+fn fill_lockfree() -> Arc<BlockCache> {
+    let cache = Arc::new(BlockCache::with_config(
+        CacheConfig::lru(2 * WORKING_SET as usize * PAGE).with_page_size(PAGE),
+    ));
+    for p in 0..WORKING_SET {
+        cache.insert(p as u64 % 8, p, Bytes::from(vec![p as u8; PAGE]));
+    }
+    cache
+}
+
+fn fill_mutex() -> Arc<MutexLru> {
+    let cache = Arc::new(MutexLru::new());
+    for p in 0..WORKING_SET {
+        cache.insert(p as u64 % 8, p, Bytes::from(vec![p as u8; PAGE]));
+    }
+    cache
+}
+
+/// ns per hit across `threads` threads doing `iters` gets each. With
+/// `hot_page`, every thread hammers the same page (one shard, the worst
+/// contention case — exactly the hot-block shape a Zipfian read mix
+/// produces); otherwise accesses spread over the whole working set.
+fn hit_ns<C: Send + Sync + 'static>(
+    cache: &Arc<C>,
+    get: fn(&C, u64, u32) -> Option<Bytes>,
+    threads: usize,
+    iters: u64,
+    hot_page: bool,
+) -> f64 {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = Arc::clone(cache);
+            std::thread::spawn(move || {
+                let mut sink = 0u64;
+                for i in 0..iters {
+                    let p = if hot_page {
+                        0
+                    } else {
+                        ((i.wrapping_mul(2654435761).wrapping_add(t as u64)) % WORKING_SET as u64)
+                            as u32
+                    };
+                    let got = get(&cache, p as u64 % 8, p).expect("resident page");
+                    sink = sink.wrapping_add(got[0] as u64);
+                }
+                sink
+            })
+        })
+        .collect();
+    let mut sink = 0u64;
+    for h in handles {
+        sink = sink.wrapping_add(h.join().expect("reader"));
+    }
+    std::hint::black_box(sink);
+    t0.elapsed().as_nanos() as f64 / (threads as u64 * iters) as f64
+}
+
+// ---- mixed-workload hit ratio ---------------------------------------------
+
+/// Runs Zipfian point gets interleaved with periodic full-range scans
+/// against a real `Db` on cached in-memory storage, and returns the
+/// point-phase cache hit ratio `hits / (hits + disk reads)`.
+fn mixed_hit_ratio(scan_resistant: bool, keys: usize, rounds: usize, gets_per_round: usize) -> f64 {
+    let mut opts = DbOptions::in_memory_cached(64 << 10)
+        .page_size(1024)
+        .buffer_capacity(16 << 10)
+        .size_ratio(4)
+        .uniform_filters(10.0);
+    if scan_resistant {
+        opts = opts.scan_resistant_cache();
+    }
+    let db = Db::open(opts).expect("open");
+    for i in 0..keys {
+        db.put(format!("key{i:08}").into_bytes(), vec![b'v'; 56])
+            .expect("put");
+    }
+    let zipf = ZipfianSampler::new(keys as u64, 0.99);
+    let mut rng = StdRng::seed_from_u64(42);
+    // Warm the cache with one point phase before measuring.
+    for _ in 0..gets_per_round {
+        let k = zipf.sample(&mut rng);
+        db.get(format!("key{k:08}").as_bytes()).expect("get");
+    }
+    let mut hits = 0u64;
+    let mut reads = 0u64;
+    for _ in 0..rounds {
+        let before = db.io();
+        for _ in 0..gets_per_round {
+            let k = zipf.sample(&mut rng);
+            db.get(format!("key{k:08}").as_bytes()).expect("get");
+        }
+        let d = db.io() - before;
+        hits += d.cache_hits;
+        reads += d.page_reads;
+        // The cache-hostile phase: a full table scan.
+        let mut n = 0usize;
+        for kv in db.range(b"", None).expect("range") {
+            kv.expect("scan entry");
+            n += 1;
+        }
+        assert_eq!(n, keys, "scan covers the whole table");
+    }
+    hits as f64 / (hits + reads).max(1) as f64
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (iters, keys, rounds, gets) = if test_mode {
+        (200_000u64, 4_000usize, 2usize, 1_000usize)
+    } else {
+        (4_000_000u64, 20_000usize, 6usize, 8_000usize)
+    };
+
+    // Hit path: identical working set, resident in both caches.
+    let lockfree = fill_lockfree();
+    let mutexed = fill_mutex();
+    let mut rows = Vec::new();
+    for &(threads, hot, label) in &[(1usize, false, "1t"), (4, false, "4t"), (4, true, "4t_hot")] {
+        let new_ns = hit_ns(&lockfree, |c, r, p| c.get(r, p), threads, iters, hot);
+        let old_ns = hit_ns(&mutexed, |c, r, p| c.get(r, p), threads, iters, hot);
+        println!(
+            "hit_path {label:>6}: mutex-LRU {old_ns:>7.1} ns/hit   \
+             lock-free {new_ns:>7.1} ns/hit   {:>5.2}x",
+            old_ns / new_ns
+        );
+        rows.push(format!(
+            "\"{label}\": {{\"mutex_ns\": {old_ns:.1}, \"lockfree_ns\": {new_ns:.1}, \
+             \"speedup\": {:.3}}}",
+            old_ns / new_ns
+        ));
+    }
+    monkey_bench::emit_bench_artifact(
+        "BENCH_cache.json",
+        "hit_path",
+        &format!(
+            "{{\"iters\": {iters}, \"working_set_pages\": {WORKING_SET}, \"page_bytes\": {PAGE}, {}}}",
+            rows.join(", ")
+        ),
+    );
+
+    // Mixed workload: equal capacity, only the admission policy differs.
+    let lru = mixed_hit_ratio(false, keys, rounds, gets);
+    let s3 = mixed_hit_ratio(true, keys, rounds, gets);
+    println!(
+        "mixed_workload point-get hit ratio: LRU {:.3}   scan-resistant {:.3}",
+        lru, s3
+    );
+    monkey_bench::emit_bench_artifact(
+        "BENCH_cache.json",
+        "mixed_workload",
+        &format!(
+            "{{\"keys\": {keys}, \"rounds\": {rounds}, \"gets_per_round\": {gets}, \
+             \"cache_bytes\": {}, \"lru_hit_ratio\": {lru:.4}, \
+             \"scan_resistant_hit_ratio\": {s3:.4}}}",
+            64 << 10
+        ),
+    );
+}

@@ -609,7 +609,7 @@ impl Db {
                 None,
             ),
             StorageConfig::MemoryCached(cache) => (
-                Disk::mem_cached(opts.page_size, *cache),
+                Disk::mem_cached_with(opts.page_size, *cache, opts.cache_policy),
                 Wal::disabled(),
                 None,
                 Vec::new(),

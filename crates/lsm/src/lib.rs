@@ -78,6 +78,7 @@ pub use monkey_obs::{
     LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, SmoothedRates, Telemetry,
     TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, WorkloadCharacterizer,
 };
+pub use monkey_storage::{CachePolicy, CacheStats};
 pub use options::DbOptions;
 pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};
 pub use run::{FilterParams, Run, RunLookup};

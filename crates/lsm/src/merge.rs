@@ -220,7 +220,9 @@ impl PageRangeIter {
     fn fetch_page(&mut self) -> Result<Bytes> {
         let page = if self.next_page == 0 {
             // The single seeking read of the run, wherever it is claimed.
-            self.run.disk().read_page(self.run.id(), 0)?
+            // Streaming admission: merge inputs must not flush a
+            // scan-resistant cache's protected segment.
+            self.run.disk().read_page_scan(self.run.id(), 0)?
         } else {
             self.run
                 .disk()
@@ -351,7 +353,7 @@ fn plan_partitions(inputs: &[Arc<Run>], want: usize) -> Result<Vec<Partition>> {
         }
         for (&page_no, entries) in straddle.iter_mut() {
             let page = if page_no == 0 {
-                run.disk().read_page(run.id(), 0)?
+                run.disk().read_page_scan(run.id(), 0)?
             } else {
                 run.disk().read_page_sequential(run.id(), page_no)?
             };

@@ -2,6 +2,7 @@
 
 use crate::policy::{FilterPolicy, MergePolicy, UniformFilterPolicy};
 use monkey_bloom::FilterVariant;
+use monkey_storage::CachePolicy;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -74,6 +75,12 @@ pub struct DbOptions {
     /// How many closed windows the observatory retains (oldest evicted
     /// first; ≥ 1).
     pub observatory_retention: usize,
+    /// Block-cache admission/eviction policy (only meaningful with
+    /// [`StorageConfig::MemoryCached`]). The default, plain LRU, is what
+    /// the paper's Figure 12 models; `ScanResistant` switches to an
+    /// S3-FIFO-style segmented cache whose protected segment range scans
+    /// cannot flush.
+    pub cache_policy: CachePolicy,
     /// Worker threads per merge (≥ 1). With more than one, each merge's key
     /// space is cut along input fence pointers into that many disjoint
     /// partitions merged concurrently; the concatenated output is
@@ -126,6 +133,7 @@ impl DbOptions {
             telemetry: false,
             observatory_interval: None,
             observatory_retention: 128,
+            cache_policy: CachePolicy::Lru,
             // The env override lets CI (and ad-hoc experiments) run the
             // whole suite under a parallel merge engine without touching
             // every call site that builds options.
@@ -229,6 +237,17 @@ impl DbOptions {
         self
     }
 
+    /// Sets the block-cache admission/eviction policy.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Shorthand for the scan-resistant block cache.
+    pub fn scan_resistant_cache(self) -> Self {
+        self.cache_policy(CachePolicy::ScanResistant)
+    }
+
     /// Spawns the observatory sampler thread, cutting a time-series window
     /// every `interval` (implies nothing unless [`DbOptions::telemetry`]
     /// is also on).
@@ -272,6 +291,7 @@ impl std::fmt::Debug for DbOptions {
             .field("telemetry", &self.telemetry)
             .field("observatory_interval", &self.observatory_interval)
             .field("observatory_retention", &self.observatory_retention)
+            .field("cache_policy", &self.cache_policy)
             .field("compaction_threads", &self.compaction_threads)
             .finish()
     }
@@ -325,6 +345,17 @@ mod tests {
         let o = DbOptions::in_memory();
         assert!(!o.telemetry);
         assert!(o.telemetry(true).telemetry);
+    }
+
+    #[test]
+    fn cache_policy_defaults_to_lru() {
+        // Figure 12 depends on the LRU baseline staying the default.
+        let o = DbOptions::in_memory_cached(1 << 20);
+        assert_eq!(o.cache_policy, CachePolicy::Lru);
+        let o = o.scan_resistant_cache();
+        assert_eq!(o.cache_policy, CachePolicy::ScanResistant);
+        let o = DbOptions::in_memory().cache_policy(CachePolicy::Lru);
+        assert_eq!(o.cache_policy, CachePolicy::Lru);
     }
 
     #[test]

@@ -474,7 +474,11 @@ impl RunScanIter {
                 .read_page_sequential(self.run.id(), self.next_page)?
         } else {
             self.started = true;
-            self.run.disk.read_page(self.run.id(), self.next_page)?
+            // Scan admission: same seek+read accounting as a point read,
+            // but the cache treats the page as streaming.
+            self.run
+                .disk
+                .read_page_scan(self.run.id(), self.next_page)?
         };
         self.next_page += 1;
         Ok(page)
@@ -554,7 +558,7 @@ pub fn recover_run(disk: &Arc<Disk>, id: RunId, params: impl Into<FilterParams>)
     let mut max_key = Bytes::new();
     for page_no in 0..pages {
         let page = if page_no == 0 {
-            disk.read_page(id, page_no)?
+            disk.read_page_scan(id, page_no)?
         } else {
             disk.read_page_sequential(id, page_no)?
         };

@@ -28,6 +28,8 @@ struct LevelIo {
     writes: AtomicU64,
     read_bytes: AtomicU64,
     write_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_hit_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of one level's I/O counters.
@@ -37,6 +39,10 @@ pub struct LevelIoSnapshot {
     pub writes: u64,
     pub read_bytes: u64,
     pub write_bytes: u64,
+    /// Reads on this level's runs absorbed by the block cache (not I/Os;
+    /// excluded from `reads`). Shows where cache capacity pays off.
+    pub cache_hits: u64,
+    pub cache_hit_bytes: u64,
 }
 
 impl LevelIoSnapshot {
@@ -160,6 +166,18 @@ impl IoAttribution {
         l.write_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record a block-cache hit of `bytes` against `run`'s level. Hits are
+    /// not I/Os and are deliberately kept out of `reads`/`read_bytes`; this
+    /// separate channel lets the advisor see which levels the cache is
+    /// absorbing traffic for.
+    #[inline]
+    pub fn on_cache_hit(&self, run: u64, bytes: u64) {
+        let slot = self.level_of(run).unwrap_or(0);
+        let l = &self.levels[slot];
+        l.cache_hits.fetch_add(1, Ordering::Relaxed);
+        l.cache_hit_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot all level slots. Index 0 is the unattributed slot.
     pub fn snapshot(&self) -> Vec<LevelIoSnapshot> {
         self.levels
@@ -169,6 +187,8 @@ impl IoAttribution {
                 writes: l.writes.load(Ordering::Relaxed),
                 read_bytes: l.read_bytes.load(Ordering::Relaxed),
                 write_bytes: l.write_bytes.load(Ordering::Relaxed),
+                cache_hits: l.cache_hits.load(Ordering::Relaxed),
+                cache_hit_bytes: l.cache_hit_bytes.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -180,6 +200,8 @@ impl IoAttribution {
             l.writes.store(0, Ordering::Relaxed);
             l.read_bytes.store(0, Ordering::Relaxed);
             l.write_bytes.store(0, Ordering::Relaxed);
+            l.cache_hits.store(0, Ordering::Relaxed);
+            l.cache_hit_bytes.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -194,6 +216,7 @@ mod tests {
         a.tag_run(7, 2);
         a.on_read(7, 1024);
         a.on_write(7, 4096);
+        a.on_cache_hit(7, 1024);
         a.on_read(99, 512); // untagged
         let s = a.snapshot();
         assert_eq!(
@@ -203,8 +226,11 @@ mod tests {
                 writes: 1,
                 read_bytes: 1024,
                 write_bytes: 4096,
+                cache_hits: 1,
+                cache_hit_bytes: 1024,
             }
         );
+        assert_eq!(s[2].reads, 1, "cache hits are not reads");
         assert_eq!(s[0].reads, 1);
         assert_eq!(s[0].read_bytes, 512);
     }

@@ -265,6 +265,18 @@ impl TelemetryReport {
             "Bytes written to this level.",
             &|l| l.io.write_bytes,
         );
+        level_counter(
+            &mut out,
+            "monkey_level_cache_hits_total",
+            "Reads on this level absorbed by the block cache (not I/Os).",
+            &|l| l.io.cache_hits,
+        );
+        level_counter(
+            &mut out,
+            "monkey_level_cache_hit_bytes_total",
+            "Bytes served from the block cache for this level.",
+            &|l| l.io.cache_hit_bytes,
+        );
 
         push(
             &mut out,
@@ -500,6 +512,8 @@ impl TelemetryReport {
                 .u64("writes", io.writes)
                 .u64("read_bytes", io.read_bytes)
                 .u64("write_bytes", io.write_bytes)
+                .u64("cache_hits", io.cache_hits)
+                .u64("cache_hit_bytes", io.cache_hit_bytes)
                 .finish()
         };
         let levels = json_array(self.levels.iter().map(|l| {
@@ -595,7 +609,7 @@ impl TelemetryReport {
 
         out.push_str("\nper-level I/O and filter behaviour:\n");
         out.push_str(&format!(
-            "  {:<4} {:>5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>12} {:>12} {:>6}\n",
+            "  {:<4} {:>5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>6}\n",
             "lvl",
             "runs",
             "entries",
@@ -603,13 +617,14 @@ impl TelemetryReport {
             "fp",
             "pg_reads",
             "reads",
+            "c_hits",
             "write_bytes",
             "meas_fpr",
             "alloc"
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "  {:<4} {:>5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>12} {:>12.5} {:>6.4}{}\n",
+                "  {:<4} {:>5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>10} {:>12} {:>12.5} {:>6.4}{}\n",
                 l.level,
                 l.runs,
                 l.entries,
@@ -617,6 +632,7 @@ impl TelemetryReport {
                 l.lookups.filter_false_positives,
                 l.lookups.lookup_page_reads,
                 l.io.reads,
+                l.io.cache_hits,
                 l.io.write_bytes,
                 l.measured_fpr,
                 l.allocated_fpr,
@@ -744,6 +760,8 @@ mod tests {
                     writes: 8,
                     read_bytes: 102_400,
                     write_bytes: 8_192,
+                    cache_hits: 40,
+                    cache_hit_bytes: 40_960,
                 },
                 allocated_fpr: 0.01,
                 measured_fpr: 0.1,

@@ -474,6 +474,7 @@ mod tests {
             writes: 50,
             read_bytes: 100 * 4096,
             write_bytes: 50 * 4096,
+            ..LevelIoSnapshot::default()
         };
         let w = s.record(cur).unwrap();
         assert!(w.level_io[1].is_zero());

@@ -6,7 +6,7 @@
 //! boundary where the reproduction's measurements are taken.
 
 use crate::backend::{Backend, FileBackend, MemBackend, RunId};
-use crate::cache::{BlockCache, CacheStats};
+use crate::cache::{BlockCache, CacheConfig, CachePolicy, CachePriority, CacheStats};
 use crate::error::{Result, StorageError};
 use crate::iostats::{IoSnapshot, IoStats};
 use bytes::Bytes;
@@ -34,12 +34,23 @@ impl Disk {
         Self::with_backend(Arc::new(MemBackend::new()), page_size, None)
     }
 
-    /// Creates an in-memory disk with a block cache of `cache_bytes`.
+    /// Creates an in-memory disk with an LRU block cache of `cache_bytes`.
     pub fn mem_cached(page_size: usize, cache_bytes: usize) -> Arc<Self> {
+        Self::mem_cached_with(page_size, cache_bytes, CachePolicy::Lru)
+    }
+
+    /// Creates an in-memory disk with a block cache of `cache_bytes` under
+    /// an explicit admission/eviction policy.
+    pub fn mem_cached_with(page_size: usize, cache_bytes: usize, policy: CachePolicy) -> Arc<Self> {
+        let config = match policy {
+            CachePolicy::Lru => CacheConfig::lru(cache_bytes),
+            CachePolicy::ScanResistant => CacheConfig::scan_resistant(cache_bytes),
+        }
+        .with_page_size(page_size);
         Self::with_backend(
             Arc::new(MemBackend::new()),
             page_size,
-            Some(BlockCache::new(cache_bytes)),
+            Some(BlockCache::with_config(config)),
         )
     }
 
@@ -113,49 +124,70 @@ impl Disk {
         }
     }
 
-    /// Reads one page with a random access: counts one seek plus one page
-    /// read on a cache miss, or a cache hit otherwise.
-    pub fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
-        if let Some(cache) = &self.cache {
-            if let Some(data) = cache.get(run, page_no) {
-                self.stats.add_cache_hit();
-                return Ok(data);
-            }
+    /// Cache probe shared by every read path: records the hit in the I/O
+    /// stats and the per-level attribution table (hits are *not* I/Os —
+    /// they live in their own counters on both).
+    #[inline]
+    fn cache_probe(&self, run: RunId, page_no: u32) -> Option<Bytes> {
+        let data = self.cache.as_ref()?.get(run, page_no)?;
+        self.stats.add_cache_hit();
+        if let Some(a) = self.attribution.get() {
+            a.on_cache_hit(run, self.page_size as u64);
         }
+        Some(data)
+    }
+
+    /// One physical page read plus the miss-side bookkeeping: counted,
+    /// attributed, and admitted to the cache with the given priority.
+    #[inline]
+    fn read_miss(&self, run: RunId, page_no: u32, priority: CachePriority) -> Result<Bytes> {
         let data = self.backend.read_page(run, page_no)?;
-        self.stats.add_seek();
         self.stats.add_reads(1);
         self.attr_read(run);
         if let Some(cache) = &self.cache {
-            cache.insert(run, page_no, data.clone());
+            cache.insert_with(run, page_no, data.clone(), priority);
         }
         Ok(data)
+    }
+
+    /// Reads one page with a random access: counts one seek plus one page
+    /// read on a cache miss, or a cache hit otherwise. Point-lookup
+    /// priority: the page is eligible for the cache's protected segment.
+    pub fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        if let Some(data) = self.cache_probe(run, page_no) {
+            return Ok(data);
+        }
+        self.stats.add_seek();
+        self.read_miss(run, page_no, CachePriority::Point)
+    }
+
+    /// Reads the first page of a sequential scan: same I/O accounting as
+    /// [`read_page`](Self::read_page) (one seek plus one read on a miss),
+    /// but the page is admitted with streaming priority so a scan-resistant
+    /// cache keeps it out of the protected segment.
+    pub fn read_page_scan(&self, run: RunId, page_no: u32) -> Result<Bytes> {
+        if let Some(data) = self.cache_probe(run, page_no) {
+            return Ok(data);
+        }
+        self.stats.add_seek();
+        self.read_miss(run, page_no, CachePriority::Streaming)
     }
 
     /// Reads one page as the continuation of a sequential scan: counts a
     /// page read (or cache hit) but no seek. Run iterators use
-    /// [`read_page`](Self::read_page) for their first page and this for the
-    /// rest, matching the paper's range-lookup cost model (Eq. 11: one seek
-    /// per run, then sequential pages).
+    /// [`read_page_scan`](Self::read_page_scan) for their first page and
+    /// this for the rest, matching the paper's range-lookup cost model
+    /// (Eq. 11: one seek per run, then sequential pages).
     pub fn read_page_sequential(&self, run: RunId, page_no: u32) -> Result<Bytes> {
-        if let Some(cache) = &self.cache {
-            if let Some(data) = cache.get(run, page_no) {
-                self.stats.add_cache_hit();
-                return Ok(data);
-            }
+        if let Some(data) = self.cache_probe(run, page_no) {
+            return Ok(data);
         }
-        let data = self.backend.read_page(run, page_no)?;
-        self.stats.add_reads(1);
-        self.attr_read(run);
-        if let Some(cache) = &self.cache {
-            cache.insert(run, page_no, data.clone());
-        }
-        Ok(data)
+        self.read_miss(run, page_no, CachePriority::Streaming)
     }
 
     /// Reads `count` consecutive pages starting at `start`: one seek, then
     /// sequential page reads. Used by range lookups (Eq. 11: a seek per run
-    /// plus `s·N/B` sequential pages).
+    /// plus `s·N/B` sequential pages). Streaming priority throughout.
     pub fn read_pages(&self, run: RunId, start: u32, count: u32) -> Result<Vec<Bytes>> {
         if count == 0 {
             return Ok(Vec::new());
@@ -163,20 +195,11 @@ impl Disk {
         self.stats.add_seek();
         let mut out = Vec::with_capacity(count as usize);
         for page_no in start..start + count {
-            if let Some(cache) = &self.cache {
-                if let Some(data) = cache.get(run, page_no) {
-                    self.stats.add_cache_hit();
-                    out.push(data);
-                    continue;
-                }
+            if let Some(data) = self.cache_probe(run, page_no) {
+                out.push(data);
+                continue;
             }
-            let data = self.backend.read_page(run, page_no)?;
-            self.stats.add_reads(1);
-            self.attr_read(run);
-            if let Some(cache) = &self.cache {
-                cache.insert(run, page_no, data.clone());
-            }
-            out.push(data);
+            out.push(self.read_miss(run, page_no, CachePriority::Streaming)?);
         }
         Ok(out)
     }
@@ -421,7 +444,51 @@ mod tests {
         disk.read_page(id, 0).unwrap(); // miss: one attributed read
         disk.read_page(id, 0).unwrap(); // hit: not an I/O, not attributed
         let s = attr.snapshot();
-        assert_eq!(s[2].reads, 1);
+        assert_eq!(s[2].reads, 1, "the hit must not count as a read");
+        assert_eq!(s[2].cache_hits, 1, "but it is attributed as a hit");
+        assert_eq!(s[2].cache_hit_bytes, 64);
+    }
+
+    #[test]
+    fn scan_reads_count_like_point_reads() {
+        // read_page_scan differs from read_page only in cache admission;
+        // its I/O accounting must be identical so Eq. 11 costs hold.
+        let disk = Disk::mem_cached(64, 1 << 20);
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 1)).unwrap();
+        w.append(&page(&disk, 2)).unwrap();
+        let id = w.seal().unwrap();
+        disk.reset_io();
+
+        disk.read_page_scan(id, 0).unwrap(); // miss: seek + read
+        let io = disk.io();
+        assert_eq!((io.seeks, io.page_reads, io.cache_hits), (1, 1, 0));
+        disk.read_page_scan(id, 0).unwrap(); // hit: no I/O
+        let io = disk.io();
+        assert_eq!((io.seeks, io.page_reads, io.cache_hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn scan_resistant_disk_keeps_point_pages_over_scans() {
+        use crate::cache::CachePolicy;
+        // 8 pages of cache; a hot point page re-read between scan sweeps
+        // stays cached under the scan-resistant policy.
+        let disk = Disk::mem_cached_with(64, 16 * 64, CachePolicy::ScanResistant);
+        let mut w = disk.begin_run();
+        for i in 0..64 {
+            w.append(&page(&disk, i)).unwrap();
+        }
+        let id = w.seal().unwrap();
+
+        for _ in 0..4 {
+            disk.read_page(id, 0).unwrap(); // hot point page
+        }
+        for p in 0..64 {
+            disk.read_page_scan(id, p).unwrap(); // full-run sweep
+        }
+        disk.reset_io();
+        disk.read_page(id, 0).unwrap();
+        assert_eq!(disk.io().cache_hits, 1, "hot page survived the sweep");
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod backend;
 mod disk;
 
 pub use backend::{Backend, FileBackend, MemBackend, RunId};
-pub use cache::{BlockCache, CacheStats};
+pub use cache::{BlockCache, CacheConfig, CachePolicy, CachePriority, CacheStats};
 pub use device::DeviceModel;
 pub use disk::{Disk, RunWriter};
 pub use error::{Result, StorageError};

@@ -77,7 +77,10 @@ proptest! {
             let data = Bytes::from(vec![fill; 64]);
             cache.insert(run, page, data.clone());
             model.insert((run, page), data);
-            prop_assert!(cache.used_bytes() <= capacity);
+            // The byte budget is enforced per shard and rounds up, so the
+            // total may exceed the configured capacity by up to one byte
+            // per shard (16).
+            prop_assert!(cache.used_bytes() <= capacity.div_ceil(16) * 16);
             if let Some(got) = cache.get(run, page) {
                 prop_assert_eq!(&got, model.get(&(run, page)).unwrap());
             }
