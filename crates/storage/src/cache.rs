@@ -12,9 +12,9 @@
 //!   [`AtomicPtr`]-published entries probed with plain atomic loads
 //!   (fixed probe window, so deletions need no tombstones);
 //! * readers are protected by an SRCU-style pair of per-shard epoch
-//!   counters: a writer that unpublishes an entry flips the shard epoch
-//!   and waits until the old epoch's reader count drains before freeing
-//!   it (a single-grace-period quiescence scheme, RCU style);
+//!   counters: a writer that unpublishes an entry runs two flip-and-drain
+//!   phases (classic SRCU `synchronize`) before freeing it, so even a
+//!   reader that registered on a stale parity is waited out;
 //! * recency is recorded into a per-shard lossy ring of access records
 //!   that the next insert/evict drains under the shard's writer mutex, so
 //!   the LRU touch is deferred off the hit path;
@@ -262,24 +262,42 @@ impl Shard {
     }
 
     /// Waits until every reader that might still hold a pointer unpublished
-    /// before this call has exited. Flips the epoch and drains the *old*
-    /// epoch's reader count. Soundness (all ops SeqCst): a reader that was
-    /// not counted — the writer read the old counter as 0 before the
-    /// reader's increment landed — performs its slot loads after that read
-    /// in the SeqCst total order, hence after the unpublishing swap, so it
-    /// can only see the new pointer. A reader that *was* counted holds the
-    /// epoch counter up until it is done with the entry's bytes. Only
-    /// called with the shard writer mutex held, so flips are serialized.
+    /// before this call has exited: two flip-and-drain phases (classic
+    /// SRCU `synchronize`), so **both** parities are drained after the
+    /// unpublishing swap.
+    ///
+    /// One phase is not enough: a reader loads `epoch` (parity `p`), then
+    /// stalls before its `fetch_add`, an unrelated grace period on `p`
+    /// completes, and the reader registers on `p` — which is no longer
+    /// the current parity. A later single-flip grace would wait only on
+    /// `1-p` and could free an entry that stale-registered reader is
+    /// still dereferencing.
+    ///
+    /// Soundness with two phases (all ops SeqCst; argue in the SeqCst
+    /// total order S): a reader that holds a pre-swap pointer performed
+    /// its slot load before the swap in S, and its `active[p]` increment
+    /// precedes that load, so the increment precedes the swap — for
+    /// *whichever* parity `p` it registered on, current or stale. Both
+    /// drain phases run after the swap in S and between them wait on both
+    /// parities, so the phase draining `p` reads `active[p]` after the
+    /// increment and spins until the reader's decrement — which happens
+    /// only after the reader is done with the entry's bytes. Conversely,
+    /// a reader whose increment a drain did not observe ordered its slot
+    /// loads after that drain's counter read, hence after the swap: it
+    /// can only see the new pointer. Only called with the shard writer
+    /// mutex held, so flips are serialized.
     fn grace(&self) {
-        let old = self.epoch.fetch_add(1, Ordering::SeqCst);
-        let idx = (old & 1) as usize;
-        let mut spins = 0u32;
-        while self.active[idx].load(Ordering::SeqCst) != 0 {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+        for _ in 0..2 {
+            let old = self.epoch.fetch_add(1, Ordering::SeqCst);
+            let idx = (old & 1) as usize;
+            let mut spins = 0u32;
+            while self.active[idx].load(Ordering::SeqCst) != 0 {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
     }
@@ -453,22 +471,23 @@ impl BlockCache {
             if entry.key == key {
                 found = Some(entry.data.clone());
                 // Deferred touch: lossy by design, drained on next insert.
-                // Plain load/store (not fetch_add) keeps the hit path free
-                // of further locked RMWs; concurrent hits may overwrite one
-                // another's ring slot, losing a touch — the recency order is
-                // already approximate under concurrency, and single-threaded
-                // (where LRU order is exact) there is no race. The Release
-                // store pairs with the drain's Acquire load of `ring_head`,
-                // so a drained head never precedes its ring entry.
-                let pos = shard.ring_head.load(Ordering::Relaxed);
-                shard.ring[pos as usize & (RING - 1)].store(slot as u64 + 1, Ordering::Relaxed);
-                shard.ring_head.store(pos + 1, Ordering::Release);
+                // `fetch_add` gives each hit a unique ring position, so the
+                // head is monotone (a load+store pair could be interleaved
+                // and *rewind* the head, silently dropping up to RING
+                // pending touches and regressing the drain cursor). The
+                // ring-slot store may land after a drain has already read
+                // past the position; the drain then swaps 0 there (touch
+                // lost — fine, the ring is lossy) and the late record is
+                // applied whenever that slot next drains, a spurious touch
+                // of a live slot, which is harmless.
+                let pos = shard.ring_head.fetch_add(1, Ordering::Relaxed);
+                shard.ring[pos as usize & (RING - 1)].store(slot as u64 + 1, Ordering::Release);
                 break;
             }
         }
         shard.active[epoch].fetch_sub(1, Ordering::SeqCst);
 
-        // Same load/store trick: racing increments can be lost, so the
+        // Plain load/store: racing increments can be lost, so the
         // counters are best-effort under concurrency (and exact without
         // it). One lost count per collision is a fine price for dropping
         // the last locked RMW off the hit path.
@@ -522,8 +541,8 @@ impl BlockCache {
             return;
         }
 
-        // Find a slot in the probe window; displace the stalest occupant
-        // if the window is full (rare: tables hold ~4x the page budget).
+        // Find a slot in the probe window; displace an occupant if the
+        // window is full (rare: tables hold ~4x the page budget).
         let mask = shard.slots.len() - 1;
         let base = Self::mix(key) as usize;
         let mut slot = None;
@@ -537,10 +556,25 @@ impl BlockCache {
         let idx = match slot {
             Some(s) => s,
             None => {
-                let victim = (0..PROBE)
-                    .map(|i| ((base + i) & mask) as u32)
-                    .min_by_key(|&s| w.meta[s as usize].stamp)
-                    .expect("probe window is non-empty");
+                // Displace the stalest *probationary* occupant when one
+                // exists, so hash collisions cannot let a streaming flood
+                // evict protected main-segment pages (under Lru every
+                // occupant is Seg::Small, preserving the original
+                // min-stamp displacement). If the whole window is
+                // protected, a streaming page is not worth displacing
+                // main pages for — refuse admission; a point lookup
+                // falls back to min-stamp displacement.
+                let window = || (0..PROBE).map(|i| ((base + i) & mask) as u32);
+                let victim = window()
+                    .filter(|&s| w.meta[s as usize].seg == Seg::Small)
+                    .min_by_key(|&s| w.meta[s as usize].stamp);
+                let victim = match victim {
+                    Some(v) => v,
+                    None if priority == CachePriority::Streaming => return,
+                    None => window()
+                        .min_by_key(|&s| w.meta[s as usize].stamp)
+                        .expect("probe window is non-empty"),
+                };
                 self.remove_slot(shard, &mut w, victim);
                 victim
             }
@@ -941,6 +975,59 @@ mod tests {
             "scan-resistant keeps more of the hot set (s3: {s3}, lru: {lru})"
         );
         assert_eq!(lru, 0, "plain LRU is fully flushed by a large scan");
+    }
+
+    #[test]
+    fn streaming_collisions_cannot_displace_main_pages() {
+        // Regression: with a full probe window, displacement used to pick
+        // the min-stamp occupant regardless of segment, so a streaming
+        // flood could evict protected main-segment pages through hash
+        // collisions. Build a slot-scarce shard (capacity 1024 B/shard
+        // with a 4096 B page-size hint clamps the table to the 16-slot
+        // minimum) so 64-byte pages keep every 8-slot probe window full,
+        // promote a hot set into main, then flood with streaming inserts.
+        let c =
+            BlockCache::with_config(CacheConfig::scan_resistant(16 * 1024).with_page_size(4096));
+        let shard0_keys = |run: RunId, n: usize| -> Vec<u32> {
+            (0u32..)
+                .filter(|&p| BlockCache::shard_of(run, p) == 0)
+                .take(n)
+                .collect()
+        };
+        let hot = shard0_keys(1, 12);
+        for &p in &hot {
+            c.insert(1, p, page(1, 64)); // 768 B of hot pages in shard 0
+        }
+        for &p in &hot {
+            c.get(1, p); // ring-buffered freq bumps
+        }
+        // One 512 B filler pushes the shard past its 1024 B budget (a
+        // 64 B filler could displace instead of adding byte pressure):
+        // the insert drains the ring (hot pages now have freq > 0), and
+        // the eviction pass promotes the hot set to the main segment,
+        // then evicts the freq-0 filler itself.
+        c.insert(3, shard0_keys(3, 1)[0], page(3, 512));
+        let live_before: Vec<u32> = hot
+            .iter()
+            .copied()
+            .filter(|&p| c.get(1, p).is_some())
+            .collect();
+        assert!(
+            live_before.len() >= 8,
+            "most of the hot set reached main (live: {}/12)",
+            live_before.len()
+        );
+        // Streaming flood 16x the shard's page budget. Every probe window
+        // is full; the only victims it may displace are probationary.
+        for p in shard0_keys(9, 256) {
+            c.insert_with(9, p, page(9, 64), CachePriority::Streaming);
+        }
+        for &p in &live_before {
+            assert!(
+                c.get(1, p).is_some(),
+                "main-segment page (1, {p}) displaced by a streaming collision"
+            );
+        }
     }
 
     #[test]
