@@ -117,6 +117,12 @@ fn main() {
             eps / base
         );
     }
+    if monkey_bench::single_core_runner() {
+        println!(
+            "  note: single-core runner — multi-thread rows measure scheduling \
+             overhead, not speedup; flagged in the artifact, not a regression"
+        );
+    }
 
     let (p99_seq, max_seq) = put_stall_tail(1, puts);
     let (p99_par, max_par) = put_stall_tail(4, puts);
@@ -126,7 +132,13 @@ fn main() {
 
     let threads_json = rows
         .iter()
-        .map(|(t, eps, parts)| format!("\"{t}\": {{\"entries_per_s\": {eps:.0}, \"speedup\": {:.3}, \"partitions\": {parts}}}", eps / base))
+        .map(|(t, eps, parts)| {
+            format!(
+                "\"{t}\": {{\"entries_per_s\": {eps:.0}, \"speedup\": {:.3}, \"partitions\": {parts}{}}}",
+                eps / base,
+                if *t > 1 { monkey_bench::single_core_flag() } else { "" }
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ");
     monkey_bench::emit_bench_artifact(
@@ -134,7 +146,7 @@ fn main() {
         "merge_throughput",
         &format!(
             "{{\"runs\": {n_runs}, \"entries_per_run\": {per_run}, \"cores\": {}, {threads_json}}}",
-            std::thread::available_parallelism().map_or(0, |n| n.get())
+            monkey_bench::host_parallelism()
         ),
     );
     monkey_bench::emit_bench_artifact(

@@ -151,6 +151,91 @@ fn get_latency_under_write_load(n: usize) {
     }
 }
 
+/// Shard scaling: the same multi-writer put load against a single-shard
+/// store and a 4-shard store, then single-threaded get p99 against each.
+/// With one shard, concurrent writers serialize on the memtable insert
+/// lock and the single flush pipeline; with four, the hash router gives
+/// each writer an (almost always) uncontended shard. The numbers land in
+/// the repo-root `BENCH_shards.json` — on a 1-core runner the speedup row
+/// is flagged rather than reported as a regression, because there is no
+/// parallelism to exhibit.
+fn shard_scaling(n: usize) {
+    const WRITERS: usize = 4;
+    let run = |shards: usize| -> (f64, f64, f64) {
+        let db = Db::open(opts(MergePolicy::Leveling, true).shards(shards)).unwrap();
+        let t0 = Instant::now();
+        crossbeam::scope(|scope| {
+            for w in 0..WRITERS {
+                let db_ref = &db;
+                scope.spawn(move |_| {
+                    for i in (w..n).step_by(WRITERS) {
+                        db_ref
+                            .put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let puts_per_sec = n as f64 / t0.elapsed().as_secs_f64();
+        db.flush().unwrap();
+        assert_eq!(db.stats().disk_entries, n as u64, "no writes lost");
+        let gets = n.min(20_000);
+        let mut lat = Vec::with_capacity(gets);
+        for i in 0..gets {
+            let key = format!("key{i:012}");
+            let t0 = Instant::now();
+            assert!(db.get(key.as_bytes()).unwrap().is_some());
+            lat.push(t0.elapsed());
+        }
+        lat.sort();
+        (
+            puts_per_sec,
+            percentile(&lat, 0.99).as_nanos() as f64 / 1e3,
+            lat[lat.len() - 1].as_nanos() as f64 / 1e3,
+        )
+    };
+    let (eps1, get_p99_1, get_max_1) = run(1);
+    let (eps4, get_p99_4, get_max_4) = run(4);
+    let speedup = eps4 / eps1;
+    println!(
+        "\nshard_scaling ({n} puts from {WRITERS} writers, then {} gets):",
+        n.min(20_000)
+    );
+    println!(
+        "  1 shard : {eps1:>10.0} puts/s   get p99 {get_p99_1:>7.1}us  max {get_max_1:>9.1}us"
+    );
+    println!(
+        "  4 shards: {eps4:>10.0} puts/s   get p99 {get_p99_4:>7.1}us  max {get_max_4:>9.1}us"
+    );
+    println!("  put speedup: {speedup:.2}x");
+    if monkey_bench::single_core_runner() {
+        println!(
+            "  note: single-core runner — no parallelism to exhibit; the speedup \
+             row is flagged in the artifact, not a regression"
+        );
+    }
+    monkey_bench::emit_bench_artifact(
+        "BENCH_shards.json",
+        "put_scaling",
+        &format!(
+            "{{\"writers\": {WRITERS}, \"puts\": {n}, \
+             \"puts_per_s_1shard\": {eps1:.0}, \"puts_per_s_4shard\": {eps4:.0}, \
+             \"speedup\": {speedup:.3}{}}}",
+            monkey_bench::single_core_flag()
+        ),
+    );
+    monkey_bench::emit_bench_artifact(
+        "BENCH_shards.json",
+        "get_tail",
+        &format!(
+            "{{\"gets\": {}, \"p99_us_1shard\": {get_p99_1:.1}, \"p99_us_4shard\": {get_p99_4:.1}, \
+             \"max_us_1shard\": {get_max_1:.1}, \"max_us_4shard\": {get_max_4:.1}}}",
+            n.min(20_000)
+        ),
+    );
+}
+
 /// Telemetry overhead on the put path (acceptance bound: <2%): identical
 /// sequential loads against the same store shape with the hub off and on,
 /// best of three rounds each to shed scheduler noise. The on-run's full
@@ -243,6 +328,7 @@ fn main() {
         benches();
         latency_distribution(if test_mode { 2_000 } else { 200_000 });
         get_latency_under_write_load(if test_mode { 2_000 } else { 100_000 });
+        shard_scaling(if test_mode { 4_000 } else { 200_000 });
     }
     telemetry_overhead(if test_mode { 2_000 } else { 200_000 });
     observatory_overhead(if test_mode { 2_000 } else { 200_000 });

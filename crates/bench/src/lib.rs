@@ -271,10 +271,35 @@ pub fn emit_bench_telemetry(section: &str, value_json: &str) {
     emit_bench_artifact("BENCH_telemetry.json", section, value_json);
 }
 
+/// Logical cores the runner exposes (1 when the platform can't say).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Whether this runner can exhibit real parallelism. On a 1-core
+/// container a sub-1× "speedup" is scheduling overhead, not a
+/// regression — emitters flag such rows instead of reporting them as
+/// regressions, and readers must discount them.
+pub fn single_core_runner() -> bool {
+    host_parallelism() == 1
+}
+
+/// JSON fragment appended to a parallel-speedup row when the runner
+/// cannot exhibit parallelism (empty otherwise).
+pub fn single_core_flag() -> &'static str {
+    if single_core_runner() {
+        ", \"flagged_single_core\": true"
+    } else {
+        ""
+    }
+}
+
 /// Merges one bench's section into a repo-root `BENCH_*.json` artifact,
 /// preserving sections written by other benches. The format is one
 /// `"section": <single-line JSON value>` per line, so a plain line-based
-/// merge suffices without a JSON parser.
+/// merge suffices without a JSON parser. Every write refreshes a `host`
+/// section recording `available_parallelism()` so any artifact can be
+/// judged against the hardware that produced it.
 pub fn emit_bench_artifact(file_name: &str, section: &str, value_json: &str) {
     let path = format!("{}/../../{file_name}", env!("CARGO_MANIFEST_DIR"));
     let mut sections: Vec<(String, String)> = Vec::new();
@@ -286,12 +311,23 @@ pub fn emit_bench_artifact(file_name: &str, section: &str, value_json: &str) {
             }
             if let Some((k, v)) = line.split_once(':') {
                 let k = k.trim().trim_matches('"');
-                if !k.is_empty() && k != section {
+                if !k.is_empty() && k != section && k != "host" {
                     sections.push((k.to_string(), v.trim().to_string()));
                 }
             }
         }
     }
+    sections.insert(
+        0,
+        (
+            "host".to_string(),
+            format!(
+                "{{\"available_parallelism\": {}, \"single_core\": {}}}",
+                host_parallelism(),
+                single_core_runner()
+            ),
+        ),
+    );
     sections.push((section.to_string(), value_json.to_string()));
     let body = sections
         .iter()

@@ -40,8 +40,8 @@ use crate::wal::Wal;
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
 use monkey_obs::{
-    drift_flag, EventKind, LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, Telemetry,
-    TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, DEFAULT_EWMA_ALPHA,
+    drift_flag, EventKind, LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, ShardBreakdown,
+    Telemetry, TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, DEFAULT_EWMA_ALPHA,
     MAX_LEVELS, OP_KINDS,
 };
 use monkey_storage::{Disk, IoSnapshot};
@@ -131,10 +131,16 @@ struct Core {
 /// never block on flushes or merges; updates serialize on a short
 /// exclusive lock (memtable insert + WAL enqueue) with the heavy merge
 /// work running inline (default) or on a background thread.
+///
+/// With [`DbOptions::shards`] > 1 the facade hash-partitions the keyspace
+/// across that many independent engines — per-shard memtable, WAL,
+/// immutable queue, and flush/merge pipeline — so writers on different
+/// shards never contend on a lock. `shards = 1` (the default) is the
+/// single engine, byte-identical on disk to the pre-shard code path.
 pub struct Db {
-    core: Arc<Core>,
-    worker: Option<std::thread::JoinHandle<()>>,
-    sampler: Option<std::thread::JoinHandle<()>>,
+    /// The facade-level configuration (undivided budgets, `shards = N`).
+    opts: DbOptions,
+    shards: Vec<Shard>,
 }
 
 /// Lifetime counters of the engine's maintenance work.
@@ -596,10 +602,10 @@ fn worker_loop(core: Arc<Core>) {
     }
 }
 
-impl Db {
-    /// Opens a database. For directory-backed storage, recovers the tree
-    /// from the manifest and replays the WAL segments.
-    pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
+impl Core {
+    /// Opens a single-shard engine core. For directory-backed storage,
+    /// recovers the tree from the manifest and replays the WAL segments.
+    fn open_core(opts: DbOptions) -> Result<Arc<Core>> {
         let (disk, wal, manifest, replayed, manifest_state) = match &opts.storage {
             StorageConfig::Memory => (
                 Disk::mem(opts.page_size),
@@ -631,7 +637,7 @@ impl Db {
             Self::recover_version(&disk, state, &mut version)?;
             next_seq = state.next_seq;
         }
-        let mut memtable = Memtable::new();
+        let memtable = Memtable::new();
         for entry in replayed {
             next_seq = next_seq.max(entry.seq + 1);
             memtable.insert(entry);
@@ -693,13 +699,14 @@ impl Db {
                 core.drain_queue()?;
             }
         }
-        Ok(Arc::new(Self::with_worker(core)))
+        Ok(core)
     }
 
-    /// Opens a volatile database over a caller-supplied [`Disk`] — used by
-    /// tests and simulations that need a custom backend (fault injection,
-    /// slow devices, bespoke caches). No WAL or manifest is attached.
-    pub fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Arc<Self>> {
+    /// Opens a volatile engine core over a caller-supplied [`Disk`] — used
+    /// by tests and simulations that need a custom backend (fault
+    /// injection, slow devices, bespoke caches). No WAL or manifest is
+    /// attached.
+    fn open_core_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Arc<Core>> {
         assert_eq!(
             disk.page_size(),
             opts.page_size,
@@ -745,7 +752,25 @@ impl Db {
             series,
             opts,
         });
-        Ok(Arc::new(Self::with_worker(core)))
+        Ok(core)
+    }
+}
+
+/// One keyspace shard: an engine core plus its background threads.
+/// Dropping it shuts the shard's pipeline down and joins its workers.
+struct Shard {
+    core: Arc<Core>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Shard {
+    fn open(opts: DbOptions) -> Result<Shard> {
+        Ok(Self::with_worker(Core::open_core(opts)?))
+    }
+
+    fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Shard> {
+        Ok(Self::with_worker(Core::open_core_with_disk(opts, disk)?))
     }
 
     fn with_worker(core: Arc<Core>) -> Self {
@@ -778,7 +803,32 @@ impl Db {
             sampler,
         }
     }
+}
 
+impl Drop for Shard {
+    fn drop(&mut self) {
+        {
+            let mut ctl = self.core.signals.control.lock().expect("control poisoned");
+            ctl.shutdown = true;
+            ctl.paused = false;
+        }
+        self.core.signals.work_cv.notify_all();
+        self.core.signals.obs_cv.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
+        // Any still-enqueued WAL records reach the file (no fsync): a
+        // clean process exit loses nothing that was acknowledged. The
+        // active memtable is intentionally NOT flushed — crash recovery
+        // replays it from the WAL.
+        let _ = self.core.wal.flush_pending();
+    }
+}
+
+impl Core {
     fn recover_version(
         disk: &Arc<Disk>,
         state: &ManifestState,
@@ -803,40 +853,19 @@ impl Db {
         Ok(())
     }
 
-    /// The configuration this database was opened with.
-    pub fn options(&self) -> &DbOptions {
-        &self.core.opts
-    }
-
-    /// The underlying counted storage (for I/O measurements).
-    pub fn disk(&self) -> &Arc<Disk> {
-        &self.core.disk
-    }
-
-    /// I/O counters since open or the last reset.
-    pub fn io(&self) -> IoSnapshot {
-        self.core.disk.io()
-    }
-
-    /// Resets the I/O counters.
-    pub fn reset_io(&self) {
-        self.core.disk.reset_io();
-    }
-
     /// Inserts or updates a key.
     ///
     /// With key-value separation enabled, values at or above the threshold
     /// go to the value log and the tree stores a pointer; the WAL always
     /// records the full value, so durability does not depend on log-page
     /// flush timing.
-    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
-        let core = &self.core;
+    fn put(&self, key: Bytes, value: Bytes) -> Result<()> {
+        let core = self;
         let started = match &core.telemetry {
             Some(t) => t.op_start(OpKind::Put),
             None => None,
         };
         core.check_background_error()?;
-        let (key, value) = (key.into(), value.into());
         if let Some(t) = &core.telemetry {
             // Classified as `w` before the key moves into the entry below.
             t.workload().record_update(&key);
@@ -906,14 +935,13 @@ impl Db {
 
     /// Deletes a key (writes a tombstone). Counted as a put in telemetry:
     /// a tombstone write takes the identical path.
-    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
-        let core = &self.core;
+    fn delete(&self, key: Bytes) -> Result<()> {
+        let core = self;
         let started = match &core.telemetry {
             Some(t) => t.op_start(OpKind::Put),
             None => None,
         };
         core.check_background_error()?;
-        let key = key.into();
         if let Some(t) = &core.telemetry {
             t.workload().record_update(&key);
         }
@@ -944,8 +972,8 @@ impl Db {
     /// with **no lock held**, so an in-flight flush or merge cascade never
     /// delays the lookup. The key is hashed **once**, when the lookup
     /// first reaches the disk levels.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        match &self.core.telemetry {
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        match &self.telemetry {
             Some(t) => {
                 let started = t.op_start(OpKind::Get);
                 let out = self.get_impl(key);
@@ -962,7 +990,7 @@ impl Db {
     }
 
     fn get_impl(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        let core = &self.core;
+        let core = self;
         let (immutables, version) = {
             let shared = core.shared.read();
             if let Some(entry) = shared.memtable.get(key) {
@@ -1028,10 +1056,10 @@ impl Db {
     /// on, the engine-wide totals are the sums of the per-level telemetry
     /// table (the hot path writes only there); otherwise they come from
     /// the engine's own global counters.
-    pub fn lookup_stats(&self) -> LookupStats {
-        let l = &self.core.lookups;
+    fn lookup_stats(&self) -> LookupStats {
+        let l = &self.lookups;
         let key_hashes = l.key_hashes.load(Relaxed);
-        match self.core.telemetry.as_deref() {
+        match self.telemetry.as_deref() {
             Some(t) => {
                 let levels = t.level_lookups();
                 LookupStats {
@@ -1052,9 +1080,9 @@ impl Db {
 
     /// Counters of the write pipeline since open: stall events and time,
     /// deferred worker failures, and WAL group-commit batching.
-    pub fn pipeline_stats(&self) -> PipelineStats {
-        let p = &self.core.pipeline;
-        let wal = self.core.wal.stats();
+    fn pipeline_stats(&self) -> PipelineStats {
+        let p = &self.pipeline;
+        let wal = self.wal.stats();
         PipelineStats {
             stalls: p.stalls.load(Relaxed),
             stall_micros: p.stall_micros.load(Relaxed),
@@ -1066,21 +1094,20 @@ impl Db {
 
     /// Instantaneous levels of the write pipeline (see [`PipelineGauges`]
     /// for why these are kept apart from the counters).
-    pub fn pipeline_gauges(&self) -> PipelineGauges {
+    fn pipeline_gauges(&self) -> PipelineGauges {
         PipelineGauges {
-            immutable_queue_depth: self.core.shared.read().immutables.len(),
-            stalled_writers: self.core.pipeline.active_stalls.load(Relaxed) as usize,
+            immutable_queue_depth: self.shared.read().immutables.len(),
+            stalled_writers: self.pipeline.active_stalls.load(Relaxed) as usize,
         }
     }
 
     /// Range scan over `[lo, hi)` (`hi = None` scans to the end). The
     /// cursor owns snapshots of the relevant memtables and runs, so
     /// concurrent writes and merges do not disturb it.
-    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
+    fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
         // The cursor's Drop records the whole scan's latency, not just
         // construction — the sample covers every page the scan touched.
         let timer = self
-            .core
             .telemetry
             .as_ref()
             .map(|t| (Arc::clone(t), t.op_start(OpKind::Range)));
@@ -1092,7 +1119,7 @@ impl Db {
                     .with_telemetry(timer));
             }
         }
-        let core = &self.core;
+        let core = self;
         let (buffered, immutables, version) = {
             let shared = core.shared.read();
             let immutables: Vec<Arc<Memtable>> = shared
@@ -1127,8 +1154,8 @@ impl Db {
     /// drains the whole immutable queue on the calling thread. After this
     /// returns, the pipeline is quiesced: `stats()`/`verify()` see a
     /// settled tree.
-    pub fn flush(&self) -> Result<()> {
-        let core = &self.core;
+    fn flush(&self) -> Result<()> {
+        let core = self;
         core.check_background_error()?;
         {
             let mut shared = core.shared.write();
@@ -1137,21 +1164,13 @@ impl Db {
         core.drain_queue()
     }
 
-    /// Deterministic escape hatch for model-vs-engine comparisons: flush
-    /// and run every resulting merge cascade to completion on the calling
-    /// thread, regardless of `background_compaction`.
-    pub fn compact_blocking(&self) -> Result<()> {
-        self.flush()
-    }
-
     /// Stops the background worker from flushing (testing hook, the
     /// analogue of RocksDB's `DisableAutoCompactions`). Foreground drains
     /// (`flush`, synchronous-mode rotation) are unaffected. With the
     /// worker paused, rotations accumulate in the immutable queue until
     /// backpressure stalls puts.
-    pub fn pause_compaction(&self) {
-        self.core
-            .signals
+    fn pause_compaction(&self) {
+        self.signals
             .control
             .lock()
             .expect("control poisoned")
@@ -1159,22 +1178,22 @@ impl Db {
     }
 
     /// Resumes background flushing after [`pause_compaction`](Self::pause_compaction).
-    pub fn resume_compaction(&self) {
+    fn resume_compaction(&self) {
         {
-            let mut ctl = self.core.signals.control.lock().expect("control poisoned");
+            let mut ctl = self.signals.control.lock().expect("control poisoned");
             ctl.paused = false;
         }
-        self.core.signals.work_cv.notify_all();
+        self.signals.work_cv.notify_all();
     }
 
     /// Quiesces the pipeline without consuming the handle: drains queued
     /// immutable memtables, writes out any buffered WAL records, and
     /// propagates a deferred background error. The active memtable is NOT
     /// flushed — its entries are durable in the WAL (drop does the same).
-    pub fn close(&self) -> Result<()> {
-        self.core.check_background_error()?;
-        self.core.drain_queue()?;
-        self.core.wal.flush_pending()
+    fn close(&self) -> Result<()> {
+        self.check_background_error()?;
+        self.drain_queue()?;
+        self.wal.flush_pending()
     }
 
     /// Rebuilds every run's Bloom filter according to the *current* filter
@@ -1183,8 +1202,8 @@ impl Db {
     /// their filters at build time, but the optimal assignment shifts as
     /// the tree gains levels and runs). The scan is counted I/O;
     /// experiments reset counters afterwards.
-    pub fn rebuild_filters(&self) -> Result<()> {
-        let core = &self.core;
+    fn rebuild_filters(&self) -> Result<()> {
+        let core = self;
         let _cascade = core.compaction_lock.lock();
         let (base, extra_entries) = {
             let shared = core.shared.read();
@@ -1245,30 +1264,9 @@ impl Db {
         Ok(())
     }
 
-    /// Migrates the store to a new tuning (Appendix A of the paper:
-    /// "a future class of key-value stores may adaptively switch from one
-    /// tuning setting to another"). Opens a fresh database under
-    /// `new_opts`, streams every live entry into it (tombstones and
-    /// superseded versions are left behind), and returns the new store.
-    ///
-    /// The source is read through a snapshot cursor, so it stays readable
-    /// during the migration; writes applied to the source after the
-    /// snapshot is taken are *not* carried over — quiesce writes first or
-    /// diff afterwards. The transformation cost is observable by diffing
-    /// [`io`](Self::io) on both stores around the call.
-    pub fn migrate_to(&self, new_opts: DbOptions) -> Result<Arc<Db>> {
-        let target = Db::open(new_opts)?;
-        for kv in self.range(b"", None)? {
-            let (key, value) = kv?;
-            target.put(key, value)?;
-        }
-        target.flush()?;
-        Ok(target)
-    }
-
     /// Maintenance-work counters since open.
-    pub fn compaction_stats(&self) -> CompactionStats {
-        let c = &self.core.compactions;
+    fn compaction_stats(&self) -> CompactionStats {
+        let c = &self.compactions;
         CompactionStats {
             flushes: c.flushes.load(Relaxed),
             merges: c.merges.load(Relaxed),
@@ -1291,8 +1289,8 @@ impl Db {
     /// * the youngest-first sequence ordering of runs within a level.
     ///
     /// Returns the number of entries verified.
-    pub fn verify(&self) -> Result<u64> {
-        let version = Arc::clone(&self.core.shared.read().version);
+    fn verify(&self) -> Result<u64> {
+        let version = Arc::clone(&self.shared.read().version);
         let mut verified = 0u64;
         for (idx, level) in version.levels().iter().enumerate() {
             for run in level.runs() {
@@ -1319,7 +1317,7 @@ impl Db {
                     }
                     if entry.kind == EntryKind::IndirectPut {
                         // Dangling or corrupt value-log pointers surface here.
-                        self.core.resolve_value(&entry)?;
+                        self.resolve_value(&entry)?;
                     }
                     count += 1;
                     bytes += entry.encoded_len() as u64;
@@ -1352,8 +1350,8 @@ impl Db {
     }
 
     /// Structural and memory statistics.
-    pub fn stats(&self) -> DbStats {
-        let core = &self.core;
+    fn stats(&self) -> DbStats {
+        let core = self;
         let (buffer_entries, buffer_bytes, immutable_entries, queue_depth, version) = {
             let shared = core.shared.read();
             (
@@ -1420,12 +1418,6 @@ impl Db {
         }
     }
 
-    /// The telemetry hub, when [`DbOptions::telemetry`] is on — for callers
-    /// that want raw histograms/events rather than the assembled report.
-    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
-        self.core.telemetry.as_ref()
-    }
-
     /// Assembles the full telemetry snapshot: per-op latency percentiles,
     /// per-level I/O attribution and measured-vs-allocated filter FPRs
     /// (with drift flags), the model's expected zero-result lookup cost
@@ -1434,8 +1426,8 @@ impl Db {
     /// Returns `None` unless the database was opened with
     /// [`DbOptions::telemetry`]. Draining the events is destructive: each
     /// event appears in exactly one report.
-    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
-        let t = self.core.telemetry.as_ref()?;
+    fn telemetry_report(&self) -> Option<TelemetryReport> {
+        let t = self.telemetry.as_ref()?;
         let stats = self.stats();
         let level_lookups = t.level_lookups();
         let io = t.attribution().snapshot();
@@ -1487,10 +1479,559 @@ impl Db {
             lookups: stats.lookups.key_hashes,
             immutable_queue_depth: stats.pipeline_gauges.immutable_queue_depth as u64,
             stalled_writers: stats.pipeline_gauges.stalled_writers as u64,
-            last_merge_partitions: self.core.compactions.last_merge_partitions.load(Relaxed),
-            last_merge_threads: self.core.compactions.last_merge_threads.load(Relaxed),
+            last_merge_partitions: self.compactions.last_merge_partitions.load(Relaxed),
+            last_merge_threads: self.compactions.last_merge_threads.load(Relaxed),
             events: t.drain_events(),
             events_dropped: t.events_dropped(),
+            shards: Vec::new(),
+        })
+    }
+}
+
+/// Seed of the shard router's key hash. Fixed forever: which shard a key
+/// lives on — and therefore the on-disk layout of every multi-shard store
+/// — depends on it.
+const SHARD_SEED: u64 = 0x4d4f_4e4b_4559_2153;
+
+/// Meta file at a multi-shard store's root recording its shard count. A
+/// single-shard store writes no meta and keeps the pre-shard layout, so
+/// stores created before sharding existed open unchanged — and so the
+/// single-shard disk image stays byte-identical.
+const SHARDS_META: &str = "SHARDS";
+
+impl Db {
+    /// Opens a database.
+    ///
+    /// With [`DbOptions::shards`] > 1 the keyspace is hash-partitioned
+    /// into that many independent engines, each rooted in its own
+    /// `shard-NNN` subdirectory with `ceil(1/N)` of the global memory
+    /// budgets (§4.4: buffer, stall threshold, and block cache are
+    /// *divided*, never replicated). The shard count of a durable store is
+    /// fixed at creation (recorded in a `SHARDS` meta file) and reopening
+    /// honors what is on disk, whatever the new options request — use
+    /// [`migrate_to`](Self::migrate_to) to re-shard.
+    pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
+        let n = Self::resolve_shards(&opts)?;
+        let mut shards = Vec::with_capacity(n);
+        for index in 0..n {
+            shards.push(Shard::open(Self::shard_options(&opts, index, n))?);
+        }
+        Ok(Arc::new(Db { opts, shards }))
+    }
+
+    /// Opens a volatile database over a caller-supplied [`Disk`] — used by
+    /// tests and simulations that need a custom backend (fault injection,
+    /// slow devices, bespoke caches). No WAL or manifest is attached, and
+    /// the store always runs single-shard: one externally-owned disk
+    /// cannot be partitioned.
+    pub fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Arc<Self>> {
+        let mut opts = opts;
+        opts.shards = 1;
+        let shard = Shard::open_with_disk(opts.clone(), disk)?;
+        Ok(Arc::new(Db {
+            opts,
+            shards: vec![shard],
+        }))
+    }
+
+    /// How many shards a store actually runs. The `SHARDS` meta of an
+    /// existing multi-shard store wins; an existing store *without* one is
+    /// single-shard whatever was requested (its layout is already on
+    /// disk); a fresh directory honors the request and records it.
+    fn resolve_shards(opts: &DbOptions) -> Result<usize> {
+        let requested = opts.shards.max(1);
+        let StorageConfig::Directory(root) = &opts.storage else {
+            return Ok(requested);
+        };
+        let meta = root.join(SHARDS_META);
+        match std::fs::read_to_string(&meta) {
+            Ok(text) => text
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 2)
+                .ok_or_else(|| {
+                    LsmError::Corruption(format!("malformed {SHARDS_META} meta: {:?}", text.trim()))
+                }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let occupied = match std::fs::read_dir(root) {
+                    Ok(mut entries) => entries.next().is_some(),
+                    Err(_) => false,
+                };
+                if occupied {
+                    return Ok(1);
+                }
+                if requested > 1 {
+                    std::fs::create_dir_all(root)?;
+                    std::fs::write(&meta, format!("{requested}\n"))?;
+                }
+                Ok(requested)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The configuration one shard runs under: the global memory budgets
+    /// split `ceil(total / N)` with a one-page floor, and storage rooted
+    /// in the shard's own subdirectory. A single-shard store passes the
+    /// options through untouched (bit-identity with the pre-shard engine).
+    fn shard_options(opts: &DbOptions, index: usize, n: usize) -> DbOptions {
+        let mut shard = opts.clone();
+        shard.shards = 1;
+        if n == 1 {
+            return shard;
+        }
+        let split = |total: usize| total.div_ceil(n).max(opts.page_size);
+        shard.buffer_capacity = split(opts.buffer_capacity);
+        shard.stall_threshold = opts.stall_threshold.map(split);
+        shard.storage = match &opts.storage {
+            StorageConfig::Memory => StorageConfig::Memory,
+            StorageConfig::MemoryCached(bytes) => StorageConfig::MemoryCached(split(*bytes)),
+            StorageConfig::Directory(root) => {
+                StorageConfig::Directory(root.join(format!("shard-{index:03}")))
+            }
+        };
+        shard
+    }
+
+    /// The shard that owns `key`. Single-shard stores skip the hash
+    /// entirely — the route is free on the pre-shard code path.
+    fn shard_for(&self, key: &[u8]) -> &Core {
+        match self.shards.len() {
+            1 => &self.shards[0].core,
+            n => {
+                &self.shards[(monkey_bloom::hash::xxh64(key, SHARD_SEED) % n as u64) as usize].core
+            }
+        }
+    }
+
+    fn cores(&self) -> impl Iterator<Item = &Core> {
+        self.shards.iter().map(|s| &*s.core)
+    }
+
+    /// The configuration this database was opened with — facade-level:
+    /// budgets are the undivided totals, `shards` the requested count.
+    pub fn options(&self) -> &DbOptions {
+        &self.opts
+    }
+
+    /// The underlying counted storage (for I/O measurements). On a
+    /// multi-shard store this is shard 0's disk; use [`io`](Self::io) for
+    /// store-wide counters.
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.shards[0].core.disk
+    }
+
+    /// I/O counters since open or the last reset, summed across shards.
+    pub fn io(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for core in self.cores() {
+            let io = core.disk.io();
+            total.page_reads += io.page_reads;
+            total.page_writes += io.page_writes;
+            total.seeks += io.seeks;
+            total.cache_hits += io.cache_hits;
+        }
+        total
+    }
+
+    /// Resets the I/O counters of every shard.
+    pub fn reset_io(&self) {
+        for core in self.cores() {
+            core.disk.reset_io();
+        }
+    }
+
+    /// Inserts or updates a key (routed to the shard that owns it).
+    ///
+    /// With key-value separation enabled, values at or above the threshold
+    /// go to the value log and the tree stores a pointer; the WAL always
+    /// records the full value, so durability does not depend on log-page
+    /// flush timing.
+    pub fn put(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        self.shard_for(&key).put(key, value.into())
+    }
+
+    /// Deletes a key (writes a tombstone on the owning shard). Counted as
+    /// a put in telemetry: a tombstone write takes the identical path.
+    pub fn delete(&self, key: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        self.shard_for(&key).delete(key)
+    }
+
+    /// Point lookup, routed to the one shard that owns the key — other
+    /// shards are never probed, so per-lookup cost does not grow with the
+    /// shard count.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.shard_for(key).get(key)
+    }
+
+    /// Range scan over `[lo, hi)` (`hi = None` scans to the end). The
+    /// cursor owns snapshots of the relevant memtables and runs, so
+    /// concurrent writes and merges do not disturb it. On a multi-shard
+    /// store the scan fans out to every shard and merges the (disjoint)
+    /// per-shard cursors back into one key-ordered stream.
+    pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Result<RangeIter> {
+        if self.shards.len() == 1 {
+            return self.shards[0].core.range(lo, hi);
+        }
+        let mut children = Vec::with_capacity(self.shards.len());
+        for core in self.cores() {
+            children.push(core.range(lo, hi)?);
+        }
+        RangeIter::fanout(children)
+    }
+
+    /// Forces every shard's buffer to flush into its tree even if not
+    /// full, then drains the immutable queues on the calling thread. After
+    /// this returns, the pipeline is quiesced: `stats()`/`verify()` see a
+    /// settled tree.
+    pub fn flush(&self) -> Result<()> {
+        for core in self.cores() {
+            core.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic escape hatch for model-vs-engine comparisons: flush
+    /// and run every resulting merge cascade to completion on the calling
+    /// thread, regardless of `background_compaction`.
+    pub fn compact_blocking(&self) -> Result<()> {
+        self.flush()
+    }
+
+    /// Stops the background workers from flushing (testing hook, the
+    /// analogue of RocksDB's `DisableAutoCompactions`). Foreground drains
+    /// (`flush`, synchronous-mode rotation) are unaffected. With the
+    /// workers paused, rotations accumulate in the immutable queues until
+    /// backpressure stalls puts.
+    pub fn pause_compaction(&self) {
+        for core in self.cores() {
+            core.pause_compaction();
+        }
+    }
+
+    /// Resumes background flushing after [`pause_compaction`](Self::pause_compaction).
+    pub fn resume_compaction(&self) {
+        for core in self.cores() {
+            core.resume_compaction();
+        }
+    }
+
+    /// Quiesces the pipeline without consuming the handle: drains queued
+    /// immutable memtables, writes out any buffered WAL records, and
+    /// propagates a deferred background error. The active memtables are
+    /// NOT flushed — their entries are durable in the WAL (drop does the
+    /// same).
+    pub fn close(&self) -> Result<()> {
+        for core in self.cores() {
+            core.close()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds every run's Bloom filter according to the *current* filter
+    /// policy and tree shape, by rescanning the runs — on every shard.
+    /// Used when a policy's ideal allocation drifts from what runs were
+    /// built with. The scan is counted I/O; experiments reset counters
+    /// afterwards.
+    pub fn rebuild_filters(&self) -> Result<()> {
+        for core in self.cores() {
+            core.rebuild_filters()?;
+        }
+        Ok(())
+    }
+
+    /// Self-tuning re-shape ("migrate the store from one tuning setting to
+    /// another"). Opens a fresh database under `new_opts`, streams every
+    /// live entry into it (tombstones and superseded versions are left
+    /// behind), and returns the new store. Also the re-*sharding* path:
+    /// the target may run any shard count.
+    ///
+    /// The source is read through a snapshot cursor, so it stays readable
+    /// during the migration; writes applied to the source after the
+    /// snapshot is taken are *not* carried over — quiesce writes first or
+    /// diff afterwards. The transformation cost is observable by diffing
+    /// [`io`](Self::io) on both stores around the call.
+    pub fn migrate_to(&self, new_opts: DbOptions) -> Result<Arc<Db>> {
+        let target = Db::open(new_opts)?;
+        for kv in self.range(b"", None)? {
+            let (key, value) = kv?;
+            target.put(key, value)?;
+        }
+        target.flush()?;
+        Ok(target)
+    }
+
+    /// Counters of the point-lookup fast path since open, summed across
+    /// shards.
+    pub fn lookup_stats(&self) -> LookupStats {
+        let mut total = LookupStats::default();
+        for core in self.cores() {
+            let s = core.lookup_stats();
+            total.key_hashes += s.key_hashes;
+            total.filter_probes += s.filter_probes;
+            total.filter_negatives += s.filter_negatives;
+            total.filter_false_positives += s.filter_false_positives;
+        }
+        total
+    }
+
+    /// Counters of the write pipeline since open, summed across shards.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        let mut total = PipelineStats::default();
+        for core in self.cores() {
+            let s = core.pipeline_stats();
+            total.stalls += s.stalls;
+            total.stall_micros += s.stall_micros;
+            total.background_errors += s.background_errors;
+            total.wal_group_commits += s.wal_group_commits;
+            total.wal_batched_appends += s.wal_batched_appends;
+        }
+        total
+    }
+
+    /// Instantaneous levels of the write pipeline, summed across shards.
+    pub fn pipeline_gauges(&self) -> PipelineGauges {
+        let mut total = PipelineGauges::default();
+        for core in self.cores() {
+            let g = core.pipeline_gauges();
+            total.immutable_queue_depth += g.immutable_queue_depth;
+            total.stalled_writers += g.stalled_writers;
+        }
+        total
+    }
+
+    /// Maintenance-work counters since open, summed across shards (the
+    /// `last_merge_*` gauges report the widest merge any shard ran).
+    pub fn compaction_stats(&self) -> CompactionStats {
+        let mut total = CompactionStats::default();
+        for core in self.cores() {
+            let s = core.compaction_stats();
+            total.flushes += s.flushes;
+            total.merges += s.merges;
+            total.entries_rewritten += s.entries_rewritten;
+            total.last_merge_partitions = total.last_merge_partitions.max(s.last_merge_partitions);
+            total.last_merge_threads = total.last_merge_threads.max(s.last_merge_threads);
+        }
+        total
+    }
+
+    /// Deep integrity check of every shard: reads every page of every run
+    /// (counted I/O) and verifies checksums, key ordering, metadata
+    /// agreement, filter completeness, and value-log pointers. Returns the
+    /// number of entries verified across all shards.
+    pub fn verify(&self) -> Result<u64> {
+        let mut verified = 0;
+        for core in self.cores() {
+            verified += core.verify()?;
+        }
+        Ok(verified)
+    }
+
+    /// Structural and memory statistics. On a multi-shard store the
+    /// shards' snapshots are merged: entries, bytes, memory footprints,
+    /// and pipeline counters sum; `expected_zero_result_lookup_ios` is the
+    /// *mean* across shards (a point lookup probes exactly one shard, so
+    /// per-level `fpr_sum` contributions are averaged likewise).
+    pub fn stats(&self) -> DbStats {
+        if self.shards.len() == 1 {
+            return self.shards[0].core.stats();
+        }
+        let per: Vec<DbStats> = self.cores().map(|c| c.stats()).collect();
+        let n = per.len() as f64;
+        let mut levels: Vec<LevelStats> = Vec::new();
+        for s in &per {
+            for l in &s.levels {
+                while levels.len() < l.level {
+                    levels.push(LevelStats {
+                        level: levels.len() + 1,
+                        runs: 0,
+                        entries: 0,
+                        bytes: 0,
+                        capacity_bytes: 0,
+                        filter_bits: 0,
+                        fpr_sum: 0.0,
+                    });
+                }
+                let slot = &mut levels[l.level - 1];
+                slot.runs += l.runs;
+                slot.entries += l.entries;
+                slot.bytes += l.bytes;
+                slot.capacity_bytes += l.capacity_bytes;
+                slot.filter_bits += l.filter_bits;
+                slot.fpr_sum += l.fpr_sum;
+            }
+        }
+        for l in &mut levels {
+            l.fpr_sum /= n;
+        }
+        let mut total = DbStats {
+            levels,
+            ..DbStats::default()
+        };
+        for s in &per {
+            total.buffer_entries += s.buffer_entries;
+            total.buffer_bytes += s.buffer_bytes;
+            total.buffer_capacity += s.buffer_capacity;
+            total.disk_entries += s.disk_entries;
+            total.runs += s.runs;
+            total.filter_bits += s.filter_bits;
+            total.fence_bits += s.fence_bits;
+            total.expected_zero_result_lookup_ios += s.expected_zero_result_lookup_ios;
+            total.lookups.key_hashes += s.lookups.key_hashes;
+            total.lookups.filter_probes += s.lookups.filter_probes;
+            total.lookups.filter_negatives += s.lookups.filter_negatives;
+            total.lookups.filter_false_positives += s.lookups.filter_false_positives;
+            total.immutable_entries += s.immutable_entries;
+            total.pipeline.stalls += s.pipeline.stalls;
+            total.pipeline.stall_micros += s.pipeline.stall_micros;
+            total.pipeline.background_errors += s.pipeline.background_errors;
+            total.pipeline.wal_group_commits += s.pipeline.wal_group_commits;
+            total.pipeline.wal_batched_appends += s.pipeline.wal_batched_appends;
+            total.pipeline_gauges.immutable_queue_depth += s.pipeline_gauges.immutable_queue_depth;
+            total.pipeline_gauges.stalled_writers += s.pipeline_gauges.stalled_writers;
+        }
+        total.expected_zero_result_lookup_ios /= n;
+        total
+    }
+
+    /// The telemetry hub, when [`DbOptions::telemetry`] is on — for
+    /// callers that want raw histograms/events rather than the assembled
+    /// report. On a multi-shard store this is shard 0's hub; the merged
+    /// view is [`telemetry_report`](Self::telemetry_report).
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.shards[0].core.telemetry.as_ref()
+    }
+
+    /// Assembles the full telemetry snapshot: per-op latency percentiles,
+    /// per-level I/O attribution and measured-vs-allocated filter FPRs
+    /// (with drift flags), the model's expected zero-result lookup cost
+    /// next to the measured one, and the drained event timeline. On a
+    /// multi-shard store the shards' histograms, per-level tables, and
+    /// event streams are merged, and [`TelemetryReport::shards`] carries a
+    /// per-shard breakdown (it stays empty on a single-shard store, whose
+    /// report and renderings are unchanged).
+    ///
+    /// Returns `None` unless the database was opened with
+    /// [`DbOptions::telemetry`]. Draining the events is destructive: each
+    /// event appears in exactly one report.
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        if self.shards.len() == 1 {
+            return self.shards[0].core.telemetry_report();
+        }
+        let hubs: Vec<&Arc<Telemetry>> = self
+            .cores()
+            .map(|c| c.telemetry.as_ref())
+            .collect::<Option<Vec<_>>>()?;
+        let per_stats: Vec<DbStats> = self.cores().map(|c| c.stats()).collect();
+        let n = hubs.len();
+
+        let ops = OP_KINDS
+            .iter()
+            .map(|&k| {
+                let mut hist = hubs[0].hist(k);
+                for hub in &hubs[1..] {
+                    hist.merge(&hub.hist(k));
+                }
+                let count = hubs.iter().map(|h| h.op_count(k)).sum();
+                OpLatencyReport::from_snapshot(k.name(), count, &hist)
+            })
+            .collect();
+
+        let mut level_lookups = hubs[0].level_lookups();
+        let mut io = hubs[0].attribution().snapshot();
+        for hub in &hubs[1..] {
+            for (slot, other) in level_lookups.iter_mut().zip(hub.level_lookups()) {
+                slot.merge(&other);
+            }
+            for (slot, other) in io.iter_mut().zip(hub.attribution().snapshot()) {
+                slot.merge(&other);
+            }
+        }
+
+        // Per-level aggregates from raw per-shard sums: `allocated_fpr` is
+        // the mean per-run FPR across *all* shards' runs at the level —
+        // the comparable quantity to the merged measured rate, since each
+        // negative probe lands on exactly one shard's runs.
+        let deepest = per_stats.iter().map(|s| s.levels.len()).max().unwrap_or(0);
+        let levels = (1..=deepest)
+            .map(|level| {
+                let (mut runs, mut entries, mut fpr_sum) = (0usize, 0u64, 0.0f64);
+                for s in &per_stats {
+                    if let Some(l) = s.levels.get(level - 1) {
+                        runs += l.runs;
+                        entries += l.entries;
+                        fpr_sum += l.fpr_sum;
+                    }
+                }
+                let slot = level.min(MAX_LEVELS);
+                let lookups = level_lookups[slot];
+                let allocated_fpr = if runs > 0 { fpr_sum / runs as f64 } else { 0.0 };
+                let measured_fpr = lookups.measured_fpr();
+                let drift = if runs > 0 {
+                    drift_flag(measured_fpr, allocated_fpr, lookups.negative_trials())
+                } else {
+                    None
+                };
+                LevelReport {
+                    level,
+                    runs,
+                    entries,
+                    io: io[slot],
+                    allocated_fpr,
+                    measured_fpr,
+                    drift,
+                    lookups,
+                }
+            })
+            .collect();
+
+        let merged_lookups = self.lookup_stats();
+        let gauges = self.pipeline_gauges();
+        let compactions = self.compaction_stats();
+        let shards = self
+            .cores()
+            .zip(hubs.iter())
+            .zip(per_stats.iter())
+            .enumerate()
+            .map(|(index, ((core, hub), stats))| ShardBreakdown {
+                shard: index,
+                gets: hub.op_count(OpKind::Get),
+                puts: hub.op_count(OpKind::Put),
+                ranges: hub.op_count(OpKind::Range),
+                disk_entries: stats.disk_entries,
+                buffer_bytes: stats.buffer_bytes,
+                immutable_queue_depth: stats.pipeline_gauges.immutable_queue_depth as u64,
+                stalled_writers: stats.pipeline_gauges.stalled_writers as u64,
+                page_reads: core.disk.io().page_reads,
+                page_writes: core.disk.io().page_writes,
+            })
+            .collect();
+
+        let mut events: Vec<_> = hubs.iter().flat_map(|h| h.drain_events()).collect();
+        events.sort_by_key(|e| (e.ts_micros, e.seq));
+
+        Some(TelemetryReport {
+            uptime_micros: hubs.iter().map(|h| h.now_micros()).max().unwrap_or(0),
+            ops,
+            levels,
+            unattributed_io: io[0],
+            expected_zero_result_lookup_ios: per_stats
+                .iter()
+                .map(|s| s.expected_zero_result_lookup_ios)
+                .sum::<f64>()
+                / n as f64,
+            measured_zero_result_lookup_ios: merged_lookups.measured_zero_result_lookup_ios(),
+            lookups: merged_lookups.key_hashes,
+            immutable_queue_depth: gauges.immutable_queue_depth as u64,
+            stalled_writers: gauges.stalled_writers as u64,
+            last_merge_partitions: compactions.last_merge_partitions,
+            last_merge_threads: compactions.last_merge_threads,
+            events,
+            events_dropped: hubs.iter().map(|h| h.events_dropped()).sum(),
+            shards,
         })
     }
 
@@ -1498,45 +2039,83 @@ impl Db {
     /// alternative to the sampler thread): snapshots the engine's counters
     /// now and returns the window's rates against the previous snapshot.
     /// The first call establishes the baseline and returns `None`; so does
-    /// a database opened without [`DbOptions::telemetry`].
+    /// a database opened without [`DbOptions::telemetry`]. On a
+    /// multi-shard store every shard's window is cut and the rates are
+    /// summed (store-wide throughput; `write_amp` is weighted by each
+    /// shard's update rate).
     pub fn observatory_tick(&self) -> Option<WindowRates> {
-        self.core.observatory_tick()
+        if self.shards.len() == 1 {
+            return self.shards[0].core.observatory_tick();
+        }
+        let windows: Vec<WindowRates> = self.cores().filter_map(|c| c.observatory_tick()).collect();
+        let first = windows.first()?;
+        let mut merged = WindowRates {
+            start_micros: first.start_micros,
+            end_micros: first.end_micros,
+            span_secs: first.span_secs,
+            ops_per_sec: 0.0,
+            gets_per_sec: 0.0,
+            puts_per_sec: 0.0,
+            ranges_per_sec: 0.0,
+            bytes_flushed_per_sec: 0.0,
+            stall_ratio: 0.0,
+            write_amp: 0.0,
+            level_io: Vec::new(),
+        };
+        let mut amp_weight = 0.0;
+        for w in &windows {
+            merged.start_micros = merged.start_micros.min(w.start_micros);
+            merged.end_micros = merged.end_micros.max(w.end_micros);
+            merged.span_secs = merged.span_secs.max(w.span_secs);
+            merged.ops_per_sec += w.ops_per_sec;
+            merged.gets_per_sec += w.gets_per_sec;
+            merged.puts_per_sec += w.puts_per_sec;
+            merged.ranges_per_sec += w.ranges_per_sec;
+            merged.bytes_flushed_per_sec += w.bytes_flushed_per_sec;
+            merged.stall_ratio += w.stall_ratio;
+            merged.write_amp += w.write_amp * w.puts_per_sec;
+            amp_weight += w.puts_per_sec;
+            if merged.level_io.len() < w.level_io.len() {
+                merged.level_io.resize(w.level_io.len(), Default::default());
+            }
+            for (slot, rates) in merged.level_io.iter_mut().zip(&w.level_io) {
+                slot.reads_per_sec += rates.reads_per_sec;
+                slot.writes_per_sec += rates.writes_per_sec;
+                slot.read_bytes_per_sec += rates.read_bytes_per_sec;
+                slot.write_bytes_per_sec += rates.write_bytes_per_sec;
+            }
+        }
+        merged.write_amp = if amp_weight > 0.0 {
+            merged.write_amp / amp_weight
+        } else {
+            0.0
+        };
+        Some(merged)
     }
 
     /// The windowed time series behind the observatory, when telemetry is
-    /// on: closed windows, eviction count, and EWMA-smoothed rates.
+    /// on: closed windows, eviction count, and EWMA-smoothed rates. On a
+    /// multi-shard store this is shard 0's series; the merged per-window
+    /// view comes from [`observatory_tick`](Self::observatory_tick).
     pub fn observatory(&self) -> Option<&Arc<WindowedSeries>> {
-        self.core.series.as_ref()
+        self.shards[0].core.series.as_ref()
     }
 
     /// The workload measured so far — op counts classified into the
     /// paper's taxonomy `(r, v, q, w)` plus key-skew sketches — when
-    /// telemetry is on.
+    /// telemetry is on. Multi-shard stores merge the per-shard
+    /// measurements (the router partitions the keyspace, so each hot key
+    /// is counted by exactly one shard).
     pub fn measured_workload(&self) -> Option<MeasuredWorkload> {
-        self.core.telemetry.as_ref().map(|t| t.measured_workload())
-    }
-}
-
-impl Drop for Db {
-    fn drop(&mut self) {
-        {
-            let mut ctl = self.core.signals.control.lock().expect("control poisoned");
-            ctl.shutdown = true;
-            ctl.paused = false;
+        let mut merged: Option<MeasuredWorkload> = None;
+        for core in self.cores() {
+            let m = core.telemetry.as_ref()?.measured_workload();
+            match &mut merged {
+                Some(acc) => acc.merge(&m),
+                None => merged = Some(m),
+            }
         }
-        self.core.signals.work_cv.notify_all();
-        self.core.signals.obs_cv.notify_all();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
-        if let Some(sampler) = self.sampler.take() {
-            let _ = sampler.join();
-        }
-        // Any still-enqueued WAL records reach the file (no fsync): a
-        // clean process exit loses nothing that was acknowledged. The
-        // active memtable is intentionally NOT flushed — crash recovery
-        // replays it from the WAL.
-        let _ = self.core.wal.flush_pending();
+        merged
     }
 }
 
@@ -1546,13 +2125,17 @@ mod tests {
     use crate::policy::MergePolicy;
 
     fn small_db(policy: MergePolicy, t: usize) -> Arc<Db> {
+        // Pinned single-shard: these tests assert per-level run structure
+        // and per-lookup hash counts, which a MONKEY_SHARDS override would
+        // split across shards.
         Db::open(
             DbOptions::in_memory()
                 .page_size(256)
                 .buffer_capacity(512)
                 .size_ratio(t)
                 .merge_policy(policy)
-                .uniform_filters(10.0),
+                .uniform_filters(10.0)
+                .shards(1),
         )
         .unwrap()
     }
@@ -2062,12 +2645,15 @@ mod migrate_tests {
 
         let dst = src
             .migrate_to(
+                // Pinned single-shard: the tiering-structure assertion below
+                // reads per-level run counts, which shards would split.
                 DbOptions::in_memory()
                     .page_size(256)
                     .buffer_capacity(1024)
                     .size_ratio(4)
                     .merge_policy(MergePolicy::Tiering)
-                    .uniform_filters(10.0),
+                    .uniform_filters(10.0)
+                    .shards(1),
             )
             .unwrap();
 
@@ -2171,12 +2757,16 @@ mod verify_tests {
 
     #[test]
     fn observatory_tick_cuts_windows_and_classifies_ops() {
+        // Pinned single-shard: exact op-classification counts (a fanned-out
+        // range scan is recorded once per shard) and series length are
+        // single-shard semantics.
         let db = Db::open(
             DbOptions::in_memory()
                 .page_size(256)
                 .buffer_capacity(512)
                 .telemetry(true)
-                .observatory_retention(4),
+                .observatory_retention(4)
+                .shards(1),
         )
         .unwrap();
         assert!(

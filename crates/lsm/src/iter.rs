@@ -244,7 +244,7 @@ impl Iterator for MergingIter {
 /// [`Db::range`](crate::Db::range). Yields live `(key, value)` pairs in key
 /// order; tombstones and superseded versions are resolved internally.
 pub struct RangeIter {
-    inner: MergingIter,
+    source: RangeSource,
     hi: Option<Bytes>,
     done: bool,
     vlog: Option<std::sync::Arc<crate::vlog::ValueLog>>,
@@ -259,16 +259,47 @@ pub struct RangeIter {
     scanned: u64,
 }
 
+/// Where a range cursor's pairs come from.
+enum RangeSource {
+    /// One engine's k-way merge over its memtables and runs.
+    Merged(MergingIter),
+    /// Fan-out across per-shard cursors whose keyspaces are disjoint: each
+    /// step yields the minimum head key. The children resolve their own
+    /// tombstones, value-log pointers, and upper bounds.
+    Shards {
+        children: Vec<RangeIter>,
+        heads: Vec<Option<(Bytes, Bytes)>>,
+    },
+}
+
 impl RangeIter {
     pub(crate) fn new(inner: MergingIter, hi: Option<Bytes>) -> Self {
         Self {
-            inner,
+            source: RangeSource::Merged(inner),
             hi,
             done: false,
             vlog: None,
             timer: None,
             scanned: 0,
         }
+    }
+
+    /// Merges per-shard cursors into one globally-sorted cursor. Because
+    /// the shard router partitions by key, the children's keyspaces are
+    /// disjoint — no deduplication is needed, only a min-head merge.
+    pub(crate) fn fanout(mut children: Vec<RangeIter>) -> Result<Self> {
+        let mut heads = Vec::with_capacity(children.len());
+        for child in children.iter_mut() {
+            heads.push(child.next().transpose()?);
+        }
+        Ok(Self {
+            source: RangeSource::Shards { children, heads },
+            hi: None,
+            done: false,
+            vlog: None,
+            timer: None,
+            scanned: 0,
+        })
     }
 
     /// Attaches the value log used to resolve separated values.
@@ -310,8 +341,31 @@ impl Iterator for RangeIter {
         if self.done {
             return None;
         }
+        let inner = match &mut self.source {
+            RangeSource::Merged(inner) => inner,
+            RangeSource::Shards { children, heads } => {
+                // Minimum head key across the live children wins; disjoint
+                // keyspaces mean ties are impossible.
+                let min = heads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, h)| h.as_ref().map(|(k, _)| (i, k)))
+                    .min_by(|a, b| a.1.cmp(b.1))
+                    .map(|(i, _)| i)?;
+                let pair = heads[min].take().expect("min head is live");
+                match children[min].next().transpose() {
+                    Ok(head) => heads[min] = head,
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                }
+                self.scanned += 1;
+                return Some(Ok(pair));
+            }
+        };
         loop {
-            let entry = match self.inner.next()? {
+            let entry = match inner.next()? {
                 Ok(e) => e,
                 Err(e) => {
                     self.done = true;

@@ -59,6 +59,7 @@ pub mod merge;
 pub mod page;
 pub mod policy;
 pub mod run;
+pub(crate) mod skiplist;
 pub mod stats;
 pub mod vlog;
 pub mod wal;

@@ -4,11 +4,16 @@
 //! a key already buffered replaces it **in place** so "only the latest one
 //! survives" (§2). When the buffer reaches its byte capacity
 //! `M_buffer = P·B·E`, the engine sorts its entries into a run and flushes.
+//!
+//! The buffer is a concurrent skiplist: writers are serialized by the
+//! engine's shard lock anyway, but point reads, frozen-memtable scans, and
+//! the observatory's classification hooks traverse it **lock-free** — a
+//! `get` against the active buffer never waits behind a writer.
 
 use crate::entry::{Entry, EntryKind, ENTRY_HEADER_LEN};
+use crate::skiplist::SkipList;
 use bytes::Bytes;
-use std::collections::BTreeMap;
-use std::ops::Bound;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -17,11 +22,20 @@ struct Slot {
     kind: EntryKind,
 }
 
+fn entry_of(key: &Bytes, slot: &Slot) -> Entry {
+    Entry {
+        key: key.clone(),
+        value: slot.value.clone(),
+        seq: slot.seq,
+        kind: slot.kind,
+    }
+}
+
 /// Sorted in-memory buffer of the newest updates.
 #[derive(Debug, Default)]
 pub struct Memtable {
-    map: BTreeMap<Bytes, Slot>,
-    bytes: usize,
+    list: SkipList<Slot>,
+    bytes: AtomicUsize,
 }
 
 impl Memtable {
@@ -31,7 +45,9 @@ impl Memtable {
     }
 
     /// Inserts or replaces an entry, returning the buffer's new byte size.
-    pub fn insert(&mut self, entry: Entry) -> usize {
+    /// Takes `&self`: concurrent readers stay lock-free while the engine's
+    /// shard lock serializes writers.
+    pub fn insert(&self, entry: Entry) -> usize {
         let add = entry.encoded_len();
         let Entry {
             key,
@@ -40,56 +56,45 @@ impl Memtable {
             kind,
         } = entry;
         let key_len = key.len();
-        if let Some(old) = self.map.insert(key, Slot { value, seq, kind }) {
+        if let Some(old) = self.list.insert(key, Slot { value, seq, kind }) {
             // Replaced in place (§2): swap the old footprint for the new.
             let old_footprint = ENTRY_HEADER_LEN + key_len + old.value.len();
-            self.bytes = self.bytes - old_footprint + add;
+            let before = self.bytes.fetch_add(add, Relaxed);
+            self.bytes.fetch_sub(old_footprint, Relaxed);
+            before + add - old_footprint
         } else {
-            self.bytes += add;
+            self.bytes.fetch_add(add, Relaxed) + add
         }
-        self.bytes
     }
 
-    /// Looks a key up. `Some(entry)` may be a tombstone — the caller decides
-    /// what a delete means at its layer.
+    /// Looks a key up without locking. `Some(entry)` may be a tombstone —
+    /// the caller decides what a delete means at its layer.
     pub fn get(&self, key: &[u8]) -> Option<Entry> {
-        self.map.get_key_value(key).map(|(k, slot)| Entry {
-            key: k.clone(),
-            value: slot.value.clone(),
-            seq: slot.seq,
-            kind: slot.kind,
-        })
+        self.list.get(key).map(|(k, slot)| entry_of(k, slot))
     }
 
     /// Number of distinct buffered keys.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.list.len()
     }
 
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.list.is_empty()
     }
 
     /// Approximate encoded footprint in bytes (what counts against
     /// `M_buffer`).
     pub fn bytes(&self) -> usize {
-        self.bytes
+        self.bytes.load(Relaxed)
     }
 
     /// Drains the buffer into a sorted entry vector (ready to become a run)
     /// and resets it.
     pub fn drain_sorted(&mut self) -> Vec<Entry> {
-        self.bytes = 0;
-        std::mem::take(&mut self.map)
-            .into_iter()
-            .map(|(key, slot)| Entry {
-                key,
-                value: slot.value,
-                seq: slot.seq,
-                kind: slot.kind,
-            })
-            .collect()
+        let entries = self.to_sorted_entries();
+        *self = Self::new();
+        entries
     }
 
     /// Clones the buffer into a sorted entry vector without consuming it —
@@ -97,31 +102,18 @@ impl Memtable {
     /// which must stay readable until their flush completes. `Bytes` clones
     /// are refcount bumps, not copies.
     pub fn to_sorted_entries(&self) -> Vec<Entry> {
-        self.map
+        self.list
             .iter()
-            .map(|(key, slot)| Entry {
-                key: key.clone(),
-                value: slot.value.clone(),
-                seq: slot.seq,
-                kind: slot.kind,
-            })
+            .map(|(k, slot)| entry_of(k, slot))
             .collect()
     }
 
     /// Sorted entries in `[lo, hi)` (hi = None means unbounded), cloned.
     pub fn range(&self, lo: &[u8], hi: Option<&[u8]>) -> Vec<Entry> {
-        let upper = match hi {
-            Some(h) => Bound::Excluded(Bytes::copy_from_slice(h)),
-            None => Bound::Unbounded,
-        };
-        self.map
-            .range((Bound::Included(Bytes::copy_from_slice(lo)), upper))
-            .map(|(key, slot)| Entry {
-                key: key.clone(),
-                value: slot.value.clone(),
-                seq: slot.seq,
-                kind: slot.kind,
-            })
+        self.list
+            .iter_from(Some(lo))
+            .take_while(|(k, _)| hi.is_none_or(|h| k.as_ref() < h))
+            .map(|(k, slot)| entry_of(k, slot))
             .collect()
     }
 }
@@ -130,7 +122,7 @@ impl Memtable {
 mod tests {
     use super::*;
 
-    fn put(m: &mut Memtable, k: &str, v: &str, seq: u64) {
+    fn put(m: &Memtable, k: &str, v: &str, seq: u64) {
         m.insert(Entry::put(
             k.as_bytes().to_vec(),
             v.as_bytes().to_vec(),
@@ -140,8 +132,8 @@ mod tests {
 
     #[test]
     fn insert_and_get() {
-        let mut m = Memtable::new();
-        put(&mut m, "a", "1", 1);
+        let m = Memtable::new();
+        put(&m, "a", "1", 1);
         assert_eq!(m.get(b"a").unwrap().value.as_ref(), b"1");
         assert!(m.get(b"b").is_none());
         assert_eq!(m.len(), 1);
@@ -149,9 +141,9 @@ mod tests {
 
     #[test]
     fn replacement_keeps_latest_only() {
-        let mut m = Memtable::new();
-        put(&mut m, "k", "old", 1);
-        put(&mut m, "k", "new", 2);
+        let m = Memtable::new();
+        put(&m, "k", "old", 1);
+        put(&m, "k", "new", 2);
         assert_eq!(m.len(), 1, "in-place replacement (§2)");
         let e = m.get(b"k").unwrap();
         assert_eq!(e.value.as_ref(), b"new");
@@ -160,8 +152,8 @@ mod tests {
 
     #[test]
     fn tombstone_is_visible() {
-        let mut m = Memtable::new();
-        put(&mut m, "k", "v", 1);
+        let m = Memtable::new();
+        put(&m, "k", "v", 1);
         m.insert(Entry::tombstone(b"k".to_vec(), 2));
         let e = m.get(b"k").unwrap();
         assert!(e.is_tombstone());
@@ -169,22 +161,22 @@ mod tests {
 
     #[test]
     fn bytes_accounting_tracks_replacements() {
-        let mut m = Memtable::new();
-        put(&mut m, "key", "12345", 1);
+        let m = Memtable::new();
+        put(&m, "key", "12345", 1);
         let after_first = m.bytes();
         assert_eq!(after_first, ENTRY_HEADER_LEN + 3 + 5);
-        put(&mut m, "key", "1", 2); // value shrinks by 4
+        put(&m, "key", "1", 2); // value shrinks by 4
         assert_eq!(m.bytes(), after_first - 4);
-        put(&mut m, "key", "123456789", 3); // value grows
+        put(&m, "key", "123456789", 3); // value grows
         assert_eq!(m.bytes(), ENTRY_HEADER_LEN + 3 + 9);
     }
 
     #[test]
     fn drain_sorted_returns_key_order_and_resets() {
         let mut m = Memtable::new();
-        put(&mut m, "c", "3", 3);
-        put(&mut m, "a", "1", 1);
-        put(&mut m, "b", "2", 2);
+        put(&m, "c", "3", 3);
+        put(&m, "a", "1", 1);
+        put(&m, "b", "2", 2);
         let drained = m.drain_sorted();
         let keys: Vec<&[u8]> = drained.iter().map(|e| e.key.as_ref()).collect();
         assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c"]);
@@ -194,9 +186,9 @@ mod tests {
 
     #[test]
     fn range_bounds() {
-        let mut m = Memtable::new();
+        let m = Memtable::new();
         for k in ["a", "b", "c", "d"] {
-            put(&mut m, k, "v", 1);
+            put(&m, k, "v", 1);
         }
         let r = m.range(b"b", Some(b"d"));
         let keys: Vec<&[u8]> = r.iter().map(|e| e.key.as_ref()).collect();
@@ -205,5 +197,35 @@ mod tests {
         assert_eq!(r.len(), 2);
         let r = m.range(b"x", None);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lock_free_reads_see_writes() {
+        use std::sync::Arc;
+        let m = Arc::new(Memtable::new());
+        let writer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    m.insert(Entry::put(
+                        format!("key{:05}", i % 500).into_bytes(),
+                        format!("v{i}").into_bytes(),
+                        i + 1,
+                    ));
+                }
+            })
+        };
+        let mut last_len = 0;
+        while last_len < 500 {
+            last_len = m.len();
+            for i in (0..500).step_by(13) {
+                if let Some(e) = m.get(format!("key{i:05}").as_bytes()) {
+                    assert!(e.seq >= 1);
+                }
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.to_sorted_entries().len(), 500);
     }
 }

@@ -88,6 +88,14 @@ pub struct DbOptions {
     /// unchanged — the same pages are read and written, just on more cores.
     /// Default 1 (fully sequential, deterministic I/O *ordering* as well).
     pub compaction_threads: usize,
+    /// Keyspace shards (≥ 1). With more than one, the keyspace is hash-
+    /// partitioned into this many independent engines behind the `Db`
+    /// facade — each with its own memtable, WAL, immutable queue, and
+    /// flush/merge pipeline — and the memory budgets (`buffer_capacity`,
+    /// `stall_threshold`, block cache) are split across them per §4.4.
+    /// Default 1: the single-shard engine, byte-identical on disk to the
+    /// pre-shard code path (every figure and model comparison runs there).
+    pub shards: usize,
 }
 
 impl DbOptions {
@@ -138,6 +146,11 @@ impl DbOptions {
             // whole suite under a parallel merge engine without touching
             // every call site that builds options.
             compaction_threads: std::env::var("MONKEY_COMPACTION_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
+            shards: std::env::var("MONKEY_SHARDS")
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n >= 1)
@@ -271,6 +284,14 @@ impl DbOptions {
         self.compaction_threads = n;
         self
     }
+
+    /// Sets how many keyspace shards the store runs (see
+    /// [`DbOptions::shards`]).
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard is required");
+        self.shards = n;
+        self
+    }
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -293,6 +314,7 @@ impl std::fmt::Debug for DbOptions {
             .field("observatory_retention", &self.observatory_retention)
             .field("cache_policy", &self.cache_policy)
             .field("compaction_threads", &self.compaction_threads)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -413,6 +435,21 @@ mod tests {
     #[should_panic(expected = "at least one compaction thread")]
     fn zero_compaction_threads_rejected() {
         DbOptions::in_memory().compaction_threads(0);
+    }
+
+    #[test]
+    fn shards_knob() {
+        // Not asserting the default here: CI runs the suite with
+        // MONKEY_SHARDS set, which base() honors by design.
+        let o = DbOptions::in_memory();
+        assert!(o.shards >= 1);
+        assert_eq!(o.shards(8).shards, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        DbOptions::in_memory().shards(0);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! A concurrent skiplist keyed by `Bytes`, specialized for the memtable.
+//!
+//! The engine's write path is already serialized (every `put` holds the
+//! shard's write lock while it appends to the WAL and buffer), so this
+//! list optimizes for the other side: **readers never take a lock**.
+//! Point lookups, frozen-memtable scans, and the observatory's
+//! classification hooks all traverse the towers with `Acquire` loads
+//! while a writer may be splicing nodes in.
+//!
+//! The usual skiplist hazards are sidestepped structurally rather than
+//! with epochs or hazard pointers:
+//!
+//! - **Nodes are never unlinked.** The memtable only ever inserts or
+//!   replaces; deletes are tombstone values. Every published node stays
+//!   reachable until the whole list drops.
+//! - **Replaced values are retired, not freed.** An in-place update
+//!   (§2: "only the latest one survives") swaps the node's value
+//!   pointer and parks the old allocation on a garbage list that is
+//!   only freed in `Drop`, so a reader that loaded the old pointer can
+//!   keep dereferencing it. Callers hold the memtable via `Arc`, so
+//!   `Drop` cannot race a reader.
+//! - **Writers serialize on an internal mutex**, which also guards the
+//!   deterministic tower-height RNG and the garbage list.
+//!
+//! Tower heights come from a fixed-seed xorshift so that rebuilding the
+//! same op trace rebuilds the same structure — nothing in the engine
+//! depends on that, but it keeps replays reproducible when debugging.
+
+use bytes::Bytes;
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{
+    AtomicPtr, AtomicUsize,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::Mutex;
+
+/// Tallest tower. With p = 1/2 this is comfortable for the few hundred
+/// thousand entries a large write buffer can hold.
+const MAX_HEIGHT: usize = 16;
+
+struct Node<V> {
+    key: Bytes,
+    /// Current value; swapped on in-place replacement.
+    value: AtomicPtr<V>,
+    /// `next[lvl]` is the successor at level `lvl` for levels the node's
+    /// tower reaches; null above (and at the tail).
+    next: [AtomicPtr<Node<V>>; MAX_HEIGHT],
+}
+
+impl<V> Node<V> {
+    fn new(key: Bytes, value: V) -> Box<Self> {
+        Box::new(Self {
+            key,
+            value: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        })
+    }
+}
+
+struct WriterState<V> {
+    /// xorshift64 state for tower heights; fixed seed, deterministic.
+    rng: u64,
+    /// Value allocations displaced by in-place replacement; freed in
+    /// `Drop` (readers may still hold pointers to them until then).
+    retired: Vec<*mut V>,
+}
+
+/// Concurrent sorted map: lock-free reads, mutex-serialized writes.
+pub(crate) struct SkipList<V> {
+    /// Sentinel with an empty key; never matched, only traversed.
+    head: Box<Node<V>>,
+    writer: Mutex<WriterState<V>>,
+    len: AtomicUsize,
+}
+
+unsafe impl<V: Send> Send for SkipList<V> {}
+unsafe impl<V: Send + Sync> Sync for SkipList<V> {}
+
+impl<V> Default for SkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> fmt::Debug for SkipList<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipList")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<V> SkipList<V> {
+    pub fn new() -> Self {
+        Self {
+            head: Box::new(Node {
+                key: Bytes::new(),
+                value: AtomicPtr::new(ptr::null_mut()),
+                next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            }),
+            writer: Mutex::new(WriterState {
+                rng: 0x9E37_79B9_7F4A_7C15,
+                retired: Vec::new(),
+            }),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `value` under `key`, or replaces in place when the key is
+    /// already present. Returns a reference to the **displaced** value
+    /// if there was one — valid until the list drops, because retired
+    /// allocations are only freed then.
+    pub fn insert(&self, key: Bytes, value: V) -> Option<&V> {
+        let mut writer = self.writer.lock().unwrap();
+        let mut preds: [*const Node<V>; MAX_HEIGHT] = [&*self.head; MAX_HEIGHT];
+        let mut node: *const Node<V> = &*self.head;
+        let mut found: *const Node<V> = ptr::null();
+        for lvl in (0..MAX_HEIGHT).rev() {
+            loop {
+                // Acquire pairs with the Release splice below so a fully
+                // initialized node is visible once its pointer is.
+                let next = unsafe { (*node).next[lvl].load(Acquire) };
+                if next.is_null() {
+                    break;
+                }
+                match unsafe { (*next).key.as_ref() }.cmp(key.as_ref()) {
+                    std::cmp::Ordering::Less => node = next,
+                    std::cmp::Ordering::Equal => {
+                        found = next;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            preds[lvl] = node;
+        }
+
+        if !found.is_null() {
+            // In-place replacement: publish the new value, retire the old.
+            let fresh = Box::into_raw(Box::new(value));
+            let old = unsafe { (*found).value.swap(fresh, Release) };
+            writer.retired.push(old);
+            // Safe: retired allocations outlive every borrow of `self`.
+            return Some(unsafe { &*old });
+        }
+
+        // New key: deterministic geometric height (p = 1/2).
+        writer.rng ^= writer.rng << 13;
+        writer.rng ^= writer.rng >> 7;
+        writer.rng ^= writer.rng << 17;
+        let height = ((writer.rng.trailing_zeros() as usize) + 1).min(MAX_HEIGHT);
+
+        let node = Box::into_raw(Node::new(key, value));
+        for (lvl, pred) in preds.iter().enumerate().take(height) {
+            let succ = unsafe { (**pred).next[lvl].load(Relaxed) };
+            unsafe { (*node).next[lvl].store(succ, Relaxed) };
+            // Release publishes the node's key, value, and next pointers.
+            unsafe { (**pred).next[lvl].store(node, Release) };
+        }
+        self.len.fetch_add(1, Relaxed);
+        None
+    }
+
+    /// Lock-free point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<(&Bytes, &V)> {
+        let mut node: *const Node<V> = &*self.head;
+        for lvl in (0..MAX_HEIGHT).rev() {
+            loop {
+                let next = unsafe { (*node).next[lvl].load(Acquire) };
+                if next.is_null() {
+                    break;
+                }
+                match unsafe { (*next).key.as_ref() }.cmp(key) {
+                    std::cmp::Ordering::Less => node = next,
+                    std::cmp::Ordering::Equal => {
+                        let value = unsafe { (*next).value.load(Acquire) };
+                        return Some(unsafe { (&(*next).key, &*value) });
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Lock-free in-order walk of every entry from the first key `>= lo`
+    /// (or the front when `lo` is `None`). Entries spliced in while the
+    /// iterator is live may or may not be observed.
+    pub fn iter_from(&self, lo: Option<&[u8]>) -> Iter<'_, V> {
+        let mut node: *const Node<V> = &*self.head;
+        if let Some(lo) = lo {
+            for lvl in (0..MAX_HEIGHT).rev() {
+                loop {
+                    let next = unsafe { (*node).next[lvl].load(Acquire) };
+                    if next.is_null() || unsafe { (*next).key.as_ref() } >= lo {
+                        break;
+                    }
+                    node = next;
+                }
+            }
+        }
+        Iter {
+            next: unsafe { (*node).next[0].load(Acquire) },
+            _list: self,
+        }
+    }
+
+    /// Lock-free in-order walk of every entry.
+    pub fn iter(&self) -> Iter<'_, V> {
+        self.iter_from(None)
+    }
+}
+
+impl<V> Drop for SkipList<V> {
+    fn drop(&mut self) {
+        let mut node = *self.head.next[0].get_mut();
+        while !node.is_null() {
+            let boxed = unsafe { Box::from_raw(node) };
+            drop(unsafe { Box::from_raw(boxed.value.load(Relaxed)) });
+            node = boxed.next[0].load(Relaxed);
+        }
+        let writer = self.writer.get_mut().unwrap();
+        for retired in writer.retired.drain(..) {
+            drop(unsafe { Box::from_raw(retired) });
+        }
+    }
+}
+
+/// Level-0 walk; see [`SkipList::iter_from`].
+pub(crate) struct Iter<'a, V> {
+    next: *const Node<V>,
+    _list: &'a SkipList<V>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (&'a Bytes, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next.is_null() {
+            return None;
+        }
+        let node = self.next;
+        self.next = unsafe { (*node).next[0].load(Acquire) };
+        let value = unsafe { (*node).value.load(Acquire) };
+        Some(unsafe { (&(*node).key, &*value) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let list: SkipList<u32> = SkipList::new();
+        assert!(list.insert(b("b"), 2).is_none());
+        assert!(list.insert(b("a"), 1).is_none());
+        assert_eq!(list.insert(b("b"), 20), Some(&2));
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.get(b"a"), Some((&b("a"), &1)));
+        assert_eq!(list.get(b"b"), Some((&b("b"), &20)));
+        assert_eq!(list.get(b"c"), None);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_bounded() {
+        let list: SkipList<u32> = SkipList::new();
+        for (i, k) in ["d", "a", "c", "b", "e"].iter().enumerate() {
+            list.insert(b(k), i as u32);
+        }
+        let keys: Vec<&Bytes> = list.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b("a"), &b("b"), &b("c"), &b("d"), &b("e")]);
+        let from_c: Vec<&Bytes> = list.iter_from(Some(b"c")).map(|(k, _)| k).collect();
+        assert_eq!(from_c, vec![&b("c"), &b("d"), &b("e")]);
+        assert_eq!(list.iter_from(Some(b"z")).count(), 0);
+    }
+
+    #[test]
+    fn many_keys_stay_sorted() {
+        let list: SkipList<usize> = SkipList::new();
+        for i in 0..2000usize {
+            list.insert(b(&format!("key{:05}", (i * 7919) % 2000)), i);
+        }
+        assert_eq!(list.len(), 2000);
+        let keys: Vec<Vec<u8>> = list.iter().map(|(k, _)| k.to_vec()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        let list: Arc<SkipList<u64>> = Arc::new(SkipList::new());
+        let stop = Arc::new(AtomicUsize::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut hits = 0u64;
+                while stop.load(Acquire) == 0 {
+                    for i in (0..512).step_by(7) {
+                        if let Some((k, v)) = list.get(format!("k{i:04}").as_bytes()) {
+                            // A replaced value is always >= the original.
+                            assert!(*v >= (i as u64), "key {k:?} regressed");
+                            hits += 1;
+                        }
+                    }
+                    let mut prev: Option<Vec<u8>> = None;
+                    for (k, _) in list.iter() {
+                        if let Some(p) = &prev {
+                            assert!(k.as_ref() > p.as_slice(), "iteration out of order");
+                        }
+                        prev = Some(k.to_vec());
+                    }
+                }
+                hits
+            }));
+        }
+        for round in 0..8u64 {
+            for i in 0..512u64 {
+                list.insert(b(&format!("k{i:04}")), i + round * 1000);
+            }
+        }
+        stop.store(1, Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(list.len(), 512);
+        assert_eq!(*list.get(b"k0000").unwrap().1, 7000);
+    }
+}

@@ -175,6 +175,29 @@ pub struct MeasuredWorkload {
 }
 
 impl MeasuredWorkload {
+    /// Folds another shard's measurement into this one: counters sum;
+    /// heavy hitters merge by key (a shard router partitions the keyspace,
+    /// so a given key is counted by exactly one shard) and re-sort by
+    /// estimated count.
+    pub fn merge(&mut self, other: &MeasuredWorkload) {
+        self.zero_result_lookups += other.zero_result_lookups;
+        self.existing_lookups += other.existing_lookups;
+        self.range_lookups += other.range_lookups;
+        self.range_entries_scanned += other.range_entries_scanned;
+        self.updates += other.updates;
+        self.sampled_keys += other.sampled_keys;
+        for hk in &other.hot_keys {
+            match self.hot_keys.iter_mut().find(|h| h.key == hk.key) {
+                Some(mine) => {
+                    mine.count += hk.count;
+                    mine.error += hk.error;
+                }
+                None => self.hot_keys.push(hk.clone()),
+            }
+        }
+        self.hot_keys.sort_by_key(|k| std::cmp::Reverse(k.count));
+    }
+
     /// Total classified ops.
     pub fn total(&self) -> u64 {
         self.zero_result_lookups + self.existing_lookups + self.range_lookups + self.updates

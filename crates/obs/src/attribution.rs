@@ -46,6 +46,16 @@ pub struct LevelIoSnapshot {
 }
 
 impl LevelIoSnapshot {
+    /// Field-wise sum — aggregates one level's I/O across shards.
+    pub fn merge(&mut self, other: &LevelIoSnapshot) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_hit_bytes += other.cache_hit_bytes;
+    }
+
     pub fn is_zero(&self) -> bool {
         *self == Self::default()
     }

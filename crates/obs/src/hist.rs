@@ -91,6 +91,18 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Folds another snapshot into this one: bucket-wise and counter sums,
+    /// max of maxes. Used to aggregate per-shard histograms into one
+    /// engine-wide latency distribution — log2 buckets merge exactly.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     pub fn empty() -> Self {
         Self {
             buckets: [0; HIST_BUCKETS],

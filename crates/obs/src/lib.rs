@@ -48,8 +48,8 @@ pub use events::{Event, EventKind, EventRing};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use json::{json_array, json_f64, json_string, JsonObject};
 pub use report::{
-    drift_flag, DriftFlag, LevelReport, OpLatencyReport, TelemetryReport, DRIFT_EPSILON,
-    DRIFT_MIN_PROBES, DRIFT_Z,
+    drift_flag, DriftFlag, LevelReport, OpLatencyReport, ShardBreakdown, TelemetryReport,
+    DRIFT_EPSILON, DRIFT_MIN_PROBES, DRIFT_Z,
 };
 pub use series::{
     counter_delta, Ewma, LevelIoRates, SmoothedRates, TelemetrySnapshot, WindowRates,

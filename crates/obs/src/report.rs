@@ -109,6 +109,33 @@ pub struct LevelReport {
     pub drift: Option<DriftFlag>,
 }
 
+/// Per-shard gauges of a sharded engine. Populated only when the store
+/// runs more than one keyspace shard; a single-shard store reports an
+/// empty list and its renderings are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardBreakdown {
+    /// 0-based shard index.
+    pub shard: usize,
+    /// Point lookups routed to this shard.
+    pub gets: u64,
+    /// Updates (puts + deletes) routed to this shard.
+    pub puts: u64,
+    /// Range scans that touched this shard.
+    pub ranges: u64,
+    /// Entries resident in this shard's disk levels.
+    pub disk_entries: u64,
+    /// Bytes buffered in this shard's active memtable right now.
+    pub buffer_bytes: u64,
+    /// Immutable memtables queued for flush on this shard right now.
+    pub immutable_queue_depth: u64,
+    /// Writers currently stalled on this shard's backpressure.
+    pub stalled_writers: u64,
+    /// Page reads charged to this shard's disk.
+    pub page_reads: u64,
+    /// Page writes charged to this shard's disk.
+    pub page_writes: u64,
+}
+
 /// The full report returned by `Db::telemetry_report()`.
 #[derive(Debug, Clone)]
 pub struct TelemetryReport {
@@ -138,6 +165,9 @@ pub struct TelemetryReport {
     pub last_merge_partitions: u64,
     /// Gauge: worker threads of the most recent merge (0 = none yet).
     pub last_merge_threads: u64,
+    /// Per-shard gauges; empty on a single-shard store (whose report and
+    /// renderings stay byte-identical to the pre-shard engine).
+    pub shards: Vec<ShardBreakdown>,
 }
 
 impl TelemetryReport {
@@ -384,6 +414,71 @@ impl TelemetryReport {
             &format!("monkey_last_merge_threads {}", self.last_merge_threads),
         );
 
+        if !self.shards.is_empty() {
+            let shard_series =
+                |out: &mut String, name: &str, help: &str, f: &dyn Fn(&ShardBreakdown) -> u64| {
+                    push(out, &format!("# HELP {name} {help}"));
+                    push(out, &format!("# TYPE {name} gauge"));
+                    for s in &self.shards {
+                        push(out, &format!("{name}{{shard=\"{}\"}} {}", s.shard, f(s)));
+                    }
+                };
+            shard_series(
+                &mut out,
+                "monkey_shard_gets_total",
+                "Point lookups routed to this shard.",
+                &|s| s.gets,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_puts_total",
+                "Updates routed to this shard.",
+                &|s| s.puts,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_ranges_total",
+                "Range scans that touched this shard.",
+                &|s| s.ranges,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_disk_entries",
+                "Entries resident in this shard's disk levels.",
+                &|s| s.disk_entries,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_buffer_bytes",
+                "Bytes buffered in this shard's active memtable.",
+                &|s| s.buffer_bytes,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_immutable_queue_depth",
+                "Immutable memtables queued on this shard.",
+                &|s| s.immutable_queue_depth,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_stalled_writers",
+                "Writers stalled on this shard's backpressure.",
+                &|s| s.stalled_writers,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_page_reads_total",
+                "Page reads charged to this shard's disk.",
+                &|s| s.page_reads,
+            );
+            shard_series(
+                &mut out,
+                "monkey_shard_page_writes_total",
+                "Page writes charged to this shard's disk.",
+                &|s| s.page_writes,
+            );
+        }
+
         push(
             &mut out,
             "# HELP monkey_events_dropped_total Events evicted from the ring before export.",
@@ -557,7 +652,7 @@ impl TelemetryReport {
                 .raw("fields", &fields)
                 .finish()
         }));
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .u64("uptime_micros", self.uptime_micros)
             .raw("ops", &ops)
             .raw("levels", &levels)
@@ -576,8 +671,25 @@ impl TelemetryReport {
             .u64("immutable_queue_depth", self.immutable_queue_depth)
             .u64("stalled_writers", self.stalled_writers)
             .u64("last_merge_partitions", self.last_merge_partitions)
-            .u64("last_merge_threads", self.last_merge_threads)
-            .finish()
+            .u64("last_merge_threads", self.last_merge_threads);
+        if !self.shards.is_empty() {
+            let shards = json_array(self.shards.iter().map(|s| {
+                JsonObject::new()
+                    .usize("shard", s.shard)
+                    .u64("gets", s.gets)
+                    .u64("puts", s.puts)
+                    .u64("ranges", s.ranges)
+                    .u64("disk_entries", s.disk_entries)
+                    .u64("buffer_bytes", s.buffer_bytes)
+                    .u64("immutable_queue_depth", s.immutable_queue_depth)
+                    .u64("stalled_writers", s.stalled_writers)
+                    .u64("page_reads", s.page_reads)
+                    .u64("page_writes", s.page_writes)
+                    .finish()
+            }));
+            obj = obj.raw("shards", &shards);
+        }
+        obj.finish()
     }
 
     /// Human-readable dump used by the `monkey-stats` bin.
@@ -647,6 +759,38 @@ impl TelemetryReport {
                 self.unattributed_io.read_bytes,
                 self.unattributed_io.write_bytes
             ));
+        }
+
+        if !self.shards.is_empty() {
+            out.push_str("\nper-shard breakdown:\n");
+            out.push_str(&format!(
+                "  {:<6} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>10} {:>10}\n",
+                "shard",
+                "gets",
+                "puts",
+                "ranges",
+                "disk_entries",
+                "buf_bytes",
+                "queue",
+                "stalled",
+                "pg_reads",
+                "pg_writes"
+            ));
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "  {:<6} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>10} {:>10}\n",
+                    s.shard,
+                    s.gets,
+                    s.puts,
+                    s.ranges,
+                    s.disk_entries,
+                    s.buffer_bytes,
+                    s.immutable_queue_depth,
+                    s.stalled_writers,
+                    s.page_reads,
+                    s.page_writes
+                ));
+            }
         }
 
         out.push_str(&format!(
@@ -781,6 +925,7 @@ mod tests {
             stalled_writers: 1,
             last_merge_partitions: 4,
             last_merge_threads: 2,
+            shards: Vec::new(),
         }
     }
 

@@ -96,6 +96,15 @@ pub struct LevelLookupSnapshot {
 }
 
 impl LevelLookupSnapshot {
+    /// Field-wise sum — aggregates one level's lookup counters across
+    /// shards.
+    pub fn merge(&mut self, other: &LevelLookupSnapshot) {
+        self.filter_probes += other.filter_probes;
+        self.filter_negatives += other.filter_negatives;
+        self.filter_false_positives += other.filter_false_positives;
+        self.lookup_page_reads += other.lookup_page_reads;
+    }
+
     pub fn is_zero(&self) -> bool {
         *self == Self::default()
     }
