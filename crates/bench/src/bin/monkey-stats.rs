@@ -6,6 +6,7 @@
 //! ```text
 //! monkey-stats [--entries N] [--in-memory] [--json | --prometheus]
 //!              [--watch N] [--advise] [--budget BYTES] [--trace OUT.json]
+//!              [--dir PATH] [--flight-recorder DIR]
 //! ```
 //!
 //! By default the store is directory-backed (in a temp dir, removed on
@@ -25,11 +26,27 @@
 //!   advisor allocates (default 1 MiB).
 //! - `--trace OUT.json` writes the event timeline as Chrome trace-event
 //!   JSON (load it at `chrome://tracing` or in Perfetto).
+//!
+//! Tracing flags:
+//!
+//! - `--dir PATH` roots the store at `PATH` and keeps it on exit (so its
+//!   flight-recorder segments can be decoded afterwards). Directory-backed
+//!   runs open with causal tracing on, spilling spans and events into
+//!   `obs-NNNNNN.log` segments next to the WAL.
+//! - `--flight-recorder DIR` skips the workload entirely: decode the
+//!   recorder segments under `DIR` (and any `shard-*` subdirectories),
+//!   print the recorded timeline's tail, and correlate the flush spans
+//!   against the WAL segments and manifest still on disk — the post-crash
+//!   forensics view.
 
-use monkey::{Db, DbOptions, DbOptionsExt, Environment, MergePolicy, TuningAdvisor, WindowRates};
+use monkey::{
+    Db, DbOptions, DbOptionsExt, Environment, FlightRecorder, MergePolicy, RecorderRecord,
+    SpanKind, TuningAdvisor, WindowRates,
+};
 use monkey_workload::{KeySpace, Op, OpMix, TraceBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 
 fn run(db: &Db, ops: &[Op]) {
     for op in ops {
@@ -49,6 +66,135 @@ fn run(db: &Db, ops: &[Op]) {
                 });
             }
         }
+    }
+}
+
+/// Largest `wal-NNNNNN.log` id still present in `dir`, if any.
+fn newest_wal_segment(dir: &Path) -> Option<u64> {
+    std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.strip_prefix("wal-")?
+                .strip_suffix(".log")?
+                .parse()
+                .ok()
+        })
+        .max()
+}
+
+/// Decodes the flight-recorder segments under one engine directory and
+/// prints the recorded timeline against the directory's WAL/manifest
+/// state. Returns false when the directory holds no recorder segments.
+fn decode_one_dir(dir: &Path) -> bool {
+    let flight = FlightRecorder::decode_dir(dir);
+    if flight.segments == 0 {
+        return false;
+    }
+    println!(
+        "flight recorder at {}: {} segment(s), {} record(s){}",
+        dir.display(),
+        flight.segments,
+        flight.records.len(),
+        if flight.truncated {
+            ", newest segment ends in a torn frame (crash tail)"
+        } else {
+            ""
+        }
+    );
+    let newest_wal = newest_wal_segment(dir);
+    let manifest = dir.join("MANIFEST").exists();
+    println!(
+        "  on-disk state: newest WAL segment {}, manifest {}",
+        newest_wal.map_or("none".into(), |n| format!("wal-{n:06}.log")),
+        if manifest { "present" } else { "absent" }
+    );
+    // Correlate: a flush span's third link is the pruned WAL seal point
+    // +1 (0 = no WAL). Every recorded flush must have pruned strictly
+    // below the newest segment still on disk.
+    let mut flushes = 0u64;
+    let mut inconsistent = 0u64;
+    for r in &flight.records {
+        if let RecorderRecord::Span(s) = r {
+            if s.kind == SpanKind::Flush {
+                flushes += 1;
+                if let (Some(&seal_plus_one), Some(newest)) = (s.links.get(2), newest_wal) {
+                    // `seal_plus_one > newest` ⟺ sealed segment ≥ newest:
+                    // a seal at or above the live segment is impossible in
+                    // a timeline the on-disk WAL agrees with.
+                    if seal_plus_one > newest {
+                        inconsistent += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "  correlation: {flushes} recorded flush(es), {inconsistent} with a pruned WAL segment \
+         at or above the newest on disk{}",
+        if inconsistent == 0 {
+            " (timeline consistent with recovered state)"
+        } else {
+            " — INCONSISTENT"
+        }
+    );
+    let tail = flight.records.len().saturating_sub(32);
+    if tail > 0 {
+        println!("  ... {tail} older record(s) elided ...");
+    }
+    for r in &flight.records[tail..] {
+        match r {
+            RecorderRecord::Span(s) => println!(
+                "  +{:>12.3}ms  span  {:<10} id={} parent={} dur={}us links={:?} [shard {}]",
+                s.start_micros as f64 / 1e3,
+                s.kind.name(),
+                s.id,
+                s.parent,
+                s.duration_micros,
+                s.links,
+                s.shard
+            ),
+            RecorderRecord::Event(e) => {
+                let fields = e
+                    .kind
+                    .fields()
+                    .into_iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                println!(
+                    "  +{:>12.3}ms  event {:<16} {} [shard {}]",
+                    e.ts_micros as f64 / 1e3,
+                    e.kind.name(),
+                    fields,
+                    e.shard
+                );
+            }
+        }
+    }
+    true
+}
+
+/// `--flight-recorder DIR`: decode `DIR` and any `shard-*` children.
+fn flight_recorder_main(dir: &Path) {
+    let mut dirs: Vec<PathBuf> = vec![dir.to_path_buf()];
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if name.starts_with("shard-") && e.path().is_dir() {
+                dirs.push(e.path());
+            }
+        }
+    }
+    dirs.sort();
+    let decoded = dirs.iter().filter(|d| decode_one_dir(d)).count();
+    if decoded == 0 {
+        eprintln!(
+            "no flight-recorder segments (obs-NNNNNN.log) under {}",
+            dir.display()
+        );
+        std::process::exit(1);
     }
 }
 
@@ -88,12 +234,23 @@ fn main() {
     let trace_path = value("--trace");
     let advise = flag("--advise");
 
-    let tmp = std::env::temp_dir().join(format!("monkey-stats-{}", std::process::id()));
-    let base = if flag("--in-memory") {
+    if let Some(dir) = value("--flight-recorder") {
+        flight_recorder_main(Path::new(&dir));
+        return;
+    }
+
+    let keep_dir = value("--dir").map(PathBuf::from);
+    let tmp = keep_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("monkey-stats-{}", std::process::id()))
+    });
+    let in_memory = flag("--in-memory");
+    let base = if in_memory {
         DbOptions::in_memory()
     } else {
         let _ = std::fs::remove_dir_all(&tmp);
-        DbOptions::at_path(&tmp)
+        // Directory-backed demo runs trace causally too, so the store
+        // leaves decodable flight-recorder segments behind (see --dir).
+        DbOptions::at_path(&tmp).tracing(true)
     };
     let db = Db::open(
         base.page_size(1024)
@@ -165,7 +322,14 @@ fn main() {
     }
 
     drop(db);
-    if !flag("--in-memory") {
-        let _ = std::fs::remove_dir_all(&tmp);
+    if !in_memory {
+        if keep_dir.is_some() {
+            eprintln!(
+                "# store kept at {} (decode with --flight-recorder)",
+                tmp.display()
+            );
+        } else {
+            let _ = std::fs::remove_dir_all(&tmp);
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! `monkey-top`: a live terminal dashboard over the engine's telemetry.
+//!
+//! ```text
+//! monkey-top [--once] [--frames N] [--interval MS] [--shards N]
+//!            [--entries N] [--threads N] [--budget BYTES]
+//! ```
+//!
+//! Opens a sharded in-memory store with telemetry and causal tracing on,
+//! drives it from background workload threads, and repaints one frame per
+//! polling interval from [`Db::telemetry_report`] snapshots:
+//!
+//! - a totals line (ops/s, measured-vs-model zero-result lookup cost `R`),
+//! - a tracing line (spans started/dropped, flight-recorder bytes),
+//! - one row per shard — get/put/range rates, flush-queue depth, stalled
+//!   writers, block-cache hit ratio, resident entries,
+//! - the model-drift flags currently raised, and
+//! - the closed-loop [`TuningAdvisor`] verdict for the measured mix.
+//!
+//! `--once` renders a single frame without clearing the screen and exits —
+//! the CI smoke mode. `--frames N` stops after `N` repaints (default: run
+//! until interrupted).
+
+use monkey::{
+    Db, DbOptions, DbOptionsExt, Environment, MergePolicy, TelemetryReport, TuningAdvisor,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-shard cumulative counters from the previous frame, so rates can be
+/// rendered as deltas over the polling interval.
+#[derive(Clone, Copy, Default)]
+struct ShardPrev {
+    gets: u64,
+    puts: u64,
+    ranges: u64,
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// One workload thread: a seeded mixed loop of puts, maybe-missing gets,
+/// and short range scans over a bounded keyspace.
+fn drive(db: &Db, keyspace: u64, seed: u64, stop: &AtomicBool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let value = vec![seed as u8; 64];
+    while !stop.load(Ordering::Relaxed) {
+        for _ in 0..64 {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            if roll < 0.45 {
+                let k = rng.gen_range(0..keyspace);
+                db.put(format!("k{k:08}").into_bytes(), value.clone())
+                    .expect("put");
+            } else if roll < 0.95 {
+                // Half the lookups target keys outside the keyspace, so the
+                // filters (and the measured R) see zero-result traffic.
+                let k = rng.gen_range(0..keyspace * 2);
+                db.get(format!("k{k:08}").as_bytes()).expect("get");
+            } else {
+                let lo = rng.gen_range(0..keyspace);
+                let lo_key = format!("k{lo:08}").into_bytes();
+                let hi_key = format!("k{:08}", lo + 16).into_bytes();
+                db.range(&lo_key[..], Some(&hi_key[..]))
+                    .expect("range")
+                    .for_each(|kv| {
+                        kv.expect("range entry");
+                    });
+            }
+        }
+    }
+}
+
+fn render(
+    report: &TelemetryReport,
+    prev: &mut Vec<ShardPrev>,
+    dt_secs: f64,
+    frame: u64,
+    advice_line: &str,
+) {
+    println!(
+        "monkey-top  frame {frame}  uptime {:.1}s  interval {:.1}s",
+        report.uptime_micros as f64 / 1e6,
+        dt_secs,
+    );
+    let (mut gets, mut puts, mut ranges) = (0u64, 0u64, 0u64);
+    for s in &report.shards {
+        gets += s.gets;
+        puts += s.puts;
+        ranges += s.ranges;
+    }
+    prev.resize(report.shards.len(), ShardPrev::default());
+    let delta_ops: u64 = report
+        .shards
+        .iter()
+        .zip(prev.iter())
+        .map(|(s, p)| (s.gets + s.puts + s.ranges).saturating_sub(p.gets + p.puts + p.ranges))
+        .sum();
+    println!(
+        "ops          {:>9.0}/s   cumulative: {gets} gets  {puts} puts  {ranges} ranges",
+        delta_ops as f64 / dt_secs.max(1e-9),
+    );
+    println!(
+        "lookup cost  R model {:.4}  measured {:.4}  ({} lookups)",
+        report.expected_zero_result_lookup_ios,
+        report.measured_zero_result_lookup_ios,
+        report.lookups,
+    );
+    println!(
+        "tracing      {} spans started  {} dropped  recorder {}",
+        report.spans_started,
+        report.spans_dropped,
+        fmt_bytes(report.recorder_bytes),
+    );
+    println!(
+        "shard      get/s      put/s    range/s  queue  stall  cache-hit     entries    buffer"
+    );
+    for (s, p) in report.shards.iter().zip(prev.iter_mut()) {
+        let dg = s.gets.saturating_sub(p.gets) as f64 / dt_secs.max(1e-9);
+        let dp = s.puts.saturating_sub(p.puts) as f64 / dt_secs.max(1e-9);
+        let dr = s.ranges.saturating_sub(p.ranges) as f64 / dt_secs.max(1e-9);
+        let probes = s.cache_hits + s.page_reads;
+        let hit = if probes > 0 {
+            format!("{:>8.1}%", s.cache_hits as f64 / probes as f64 * 100.0)
+        } else {
+            format!("{:>9}", "-")
+        };
+        println!(
+            "{:>5} {:>10.0} {:>10.0} {:>10.0} {:>6} {:>6} {hit} {:>11} {:>9}",
+            s.shard,
+            dg,
+            dp,
+            dr,
+            s.immutable_queue_depth,
+            s.stalled_writers,
+            s.disk_entries,
+            fmt_bytes(s.buffer_bytes),
+        );
+        *p = ShardPrev {
+            gets: s.gets,
+            puts: s.puts,
+            ranges: s.ranges,
+        };
+    }
+    let drifted = report.drifted();
+    if drifted.is_empty() {
+        println!("drift        none");
+    } else {
+        for l in drifted {
+            let d = l.drift.expect("drifted() only returns flagged levels");
+            println!(
+                "drift        level {}: measured FPR {:.5} vs allocated {:.5} (dev {:.5} > bound {:.5})",
+                l.level, l.measured_fpr, l.allocated_fpr, d.deviation, d.bound,
+            );
+        }
+    }
+    println!("advisor      {advice_line}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let once = flag("--once");
+    let frames: u64 = value("--frames")
+        .map(|v| v.parse().expect("--frames takes a number"))
+        .unwrap_or(if once { 1 } else { u64::MAX });
+    let interval = Duration::from_millis(
+        value("--interval")
+            .map(|v| v.parse().expect("--interval takes milliseconds"))
+            .unwrap_or(1000),
+    );
+    let shards: usize = value("--shards")
+        .map(|v| v.parse().expect("--shards takes a number"))
+        .unwrap_or(4);
+    let keyspace: u64 = value("--entries")
+        .map(|v| v.parse().expect("--entries takes a number"))
+        .unwrap_or(1 << 14);
+    let threads: usize = value("--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(shards.max(2));
+    let budget: usize = value("--budget")
+        .map(|v| v.parse().expect("--budget takes bytes"))
+        .unwrap_or(1 << 20);
+
+    let db = Db::open(
+        DbOptions::in_memory()
+            .shards(shards)
+            .page_size(1024)
+            .buffer_capacity(16 << 10)
+            .size_ratio(2)
+            .merge_policy(MergePolicy::Leveling)
+            .monkey_filters(5.0)
+            .telemetry(true)
+            .tracing(true),
+    )
+    .expect("open");
+    let advisor = TuningAdvisor::new(Environment::disk(), budget);
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let db = &db;
+            let stop = &stop;
+            scope.spawn(move || drive(db, keyspace, 0xD15C0 + t as u64, stop));
+        }
+
+        let mut prev: Vec<ShardPrev> = Vec::new();
+        let mut last = Instant::now();
+        for frame in 1..=frames {
+            std::thread::sleep(interval);
+            db.observatory_tick();
+            let dt = last.elapsed().as_secs_f64();
+            last = Instant::now();
+            let report = db.telemetry_report().expect("telemetry is on");
+            let advice_line = match advisor.advise(&db) {
+                Some(a) if a.confident() => match &a.recommended {
+                    Some(rec) => format!("{}  ({:.2}x)", rec.summary(), a.speedup()),
+                    None => format!("current design already optimal: {}", a.current.summary()),
+                },
+                Some(a) => format!(
+                    "gathering evidence ({}/{} classified ops, {}/{} windows)",
+                    a.samples, a.min_samples, a.windows, a.min_windows,
+                ),
+                None => "telemetry off".to_string(),
+            };
+            if !once {
+                // Repaint in place: clear the screen, home the cursor.
+                print!("\x1b[2J\x1b[H");
+            }
+            render(&report, &mut prev, dt, frame, &advice_line);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}

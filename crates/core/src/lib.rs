@@ -57,10 +57,11 @@ mod bridge;
 pub use advisor::TuningAdvisor;
 pub use bridge::{model_params_for, to_model_policy};
 pub use monkey_lsm::{
-    Db, DbOptions, DbStats, DriftFlag, Entry, EntryKind, Event, EventKind, FilterContext,
-    FilterPolicy, FilterVariant, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, LevelStats,
-    LookupStats, LsmError, MeasuredWorkload, MergePolicy, OpKind, OpLatencyReport, PipelineGauges,
-    PipelineStats, RangeIter, Result, Telemetry, TelemetryReport, UniformFilterPolicy, WalStats,
+    decode_segment, Db, DbOptions, DbStats, DecodedFlight, DriftFlag, Entry, EntryKind, Event,
+    EventKind, FilterContext, FilterPolicy, FilterVariant, FlightRecorder, LevelIoSnapshot,
+    LevelLookupSnapshot, LevelReport, LevelStats, LookupStats, LsmError, MeasuredWorkload,
+    MergePolicy, OpKind, OpLatencyReport, PipelineGauges, PipelineStats, RangeIter, RecorderRecord,
+    Result, Span, SpanKind, Telemetry, TelemetryReport, Tracer, UniformFilterPolicy, WalStats,
     WindowRates, WindowedSeries,
 };
 pub use monkey_model::{Environment, Workload};

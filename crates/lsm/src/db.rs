@@ -40,9 +40,9 @@ use crate::wal::Wal;
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
 use monkey_obs::{
-    drift_flag, EventKind, LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, ShardBreakdown,
-    Telemetry, TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, DEFAULT_EWMA_ALPHA,
-    MAX_LEVELS, OP_KINDS,
+    drift_flag, EventKind, FlightRecorder, LevelReport, MeasuredWorkload, OpKind, OpLatencyReport,
+    ShardBreakdown, SpanKind, Telemetry, TelemetryReport, TelemetrySnapshot, Tracer, WindowRates,
+    WindowedSeries, DEFAULT_EWMA_ALPHA, MAX_LEVELS, OP_KINDS,
 };
 use monkey_storage::{Disk, IoSnapshot};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
@@ -60,6 +60,10 @@ struct ImmutableMemtable {
     wal_segment: Option<u64>,
     entries: u64,
     bytes: usize,
+    /// Generation number the memtable carried while active; flush spans
+    /// link to it so a traced put can be joined to the flush that drained
+    /// its memtable.
+    generation: u64,
 }
 
 /// Read-visible state: what a lookup snapshots under one shared lock.
@@ -68,6 +72,10 @@ struct ImmutableMemtable {
 struct Shared {
     memtable: Memtable,
     next_seq: u64,
+    /// Generation of the active memtable, starting at 1 and bumped at
+    /// every rotation. A traced put records the generation it inserted
+    /// into; the flush of that generation links back to it.
+    generation: u64,
     /// Frozen memtables awaiting flush, oldest first.
     immutables: VecDeque<ImmutableMemtable>,
     /// Current disk shape. Published by pointer swap; readers clone the
@@ -119,6 +127,10 @@ struct Core {
     /// Telemetry hub, present iff `DbOptions::telemetry`. When `None`,
     /// every instrumentation site collapses to a single branch.
     telemetry: Option<Arc<Telemetry>>,
+    /// Causal span source, present iff `DbOptions::tracing` (and
+    /// telemetry) are on. Holds the optional on-disk flight recorder for
+    /// directory-backed stores.
+    tracer: Option<Arc<Tracer>>,
     /// Windowed time series of counter deltas, present iff telemetry is
     /// on. Fed by the sampler thread or `Db::observatory_tick()`; op hot
     /// paths never touch it.
@@ -261,11 +273,14 @@ impl Core {
         }
         let sealed = self.wal.seal_current()?;
         let frozen = std::mem::take(&mut shared.memtable);
+        let generation = shared.generation;
+        shared.generation += 1;
         shared.immutables.push_back(ImmutableMemtable {
             entries: frozen.len() as u64,
             bytes: frozen.bytes(),
             memtable: Arc::new(frozen),
             wal_segment: sealed,
+            generation,
         });
         self.signals.work_cv.notify_one();
         Ok(())
@@ -308,6 +323,8 @@ impl Core {
     fn stall_then_rotate<'a>(&'a self, mut shared: RwLockWriteGuard<'a, Shared>) -> Result<()> {
         let mut counted = false;
         let mut stall_started: Option<Instant> = None;
+        let mut stall_span = None;
+        let mut stall_depth = 0u64;
         // The active-stall gauge must come back down on *every* exit from
         // the loop — success, shutdown, and background-error alike.
         let unstall = |counted: bool| {
@@ -322,6 +339,9 @@ impl Core {
                         waited_micros: s0.elapsed().as_micros() as u64,
                     });
                 }
+                if let (Some(tr), Some(active)) = (&self.tracer, stall_span.take()) {
+                    tr.finish(active, 0, vec![stall_depth]);
+                }
                 unstall(counted);
                 return self.rotate_locked(&mut shared);
             }
@@ -334,6 +354,11 @@ impl Core {
                 if let Some(t) = &self.telemetry {
                     stall_started = Some(Instant::now());
                     t.event(EventKind::StallBegin { queue_depth });
+                }
+                // Stalls are rare and diagnostic gold: trace every one.
+                if let Some(tr) = &self.tracer {
+                    stall_depth = queue_depth;
+                    stall_span = Some(tr.start(SpanKind::Stall));
                 }
             }
             let t0 = Instant::now();
@@ -395,6 +420,10 @@ impl Core {
             }
             None => None,
         };
+        // Every flush is traced (rare, and the join point of the causal
+        // chain: puts link to the generation this span carries).
+        let flush_span = self.tracer.as_ref().map(|t| t.start(SpanKind::Flush));
+        let flush_span_id = flush_span.as_ref().map_or(0, |s| s.id);
         if let Some(vlog) = &self.vlog {
             // Pointers about to be persisted must reference durable pages.
             // This runs without the shared lock: large separated values no
@@ -416,6 +445,7 @@ impl Core {
         let mut outcome = CascadeOutcome::default();
         if let Some(run) = run {
             let cascade_started = tel.and_then(|t| t.op_start(OpKind::Cascade));
+            let cascade_span = self.tracer.as_ref().map(|t| t.start(SpanKind::Cascade));
             match self.opts.merge_policy {
                 crate::policy::MergePolicy::Leveling => {
                     install_leveling(&self.disk, &self.opts, &mut working, run, &mut outcome, tel)?
@@ -430,6 +460,18 @@ impl Core {
                     merges: outcome.merges,
                     deepest_level: working.deepest() as u64,
                 });
+            }
+            if let (Some(tr), Some(active)) = (&self.tracer, cascade_span) {
+                // Parented under the flush; links record the generation,
+                // the merge shape, then the full input-run lineage.
+                let mut links = vec![
+                    imm.generation,
+                    outcome.merges,
+                    outcome.max_partitions as u64,
+                    outcome.max_threads as u64,
+                ];
+                links.extend(&outcome.input_runs);
+                tr.finish(active, flush_span_id, links);
             }
         }
         self.compactions.merges.fetch_add(outcome.merges, Relaxed);
@@ -469,6 +511,19 @@ impl Core {
             let duration_micros = flush_started.map_or(0, |s| s.elapsed().as_micros() as u64);
             t.op_end(OpKind::Flush, flush_started);
             t.event(EventKind::FlushEnd { duration_micros });
+        }
+        if let (Some(tr), Some(active)) = (&self.tracer, flush_span) {
+            // wal_segment is stored +1 so 0 can mean "no WAL" (volatile
+            // store) without an Option in the link layout.
+            tr.finish(
+                active,
+                0,
+                vec![
+                    imm.generation,
+                    imm.entries,
+                    imm.wal_segment.map_or(0, |s| s + 1),
+                ],
+            );
         }
         Ok(())
     }
@@ -649,12 +704,40 @@ impl Core {
         let vlog = opts
             .value_separation
             .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
-        let telemetry = opts
-            .telemetry
-            .then(|| Arc::new(Telemetry::new(Telemetry::DEFAULT_EVENT_CAPACITY)));
+        let telemetry = opts.telemetry.then(|| {
+            Arc::new(Telemetry::for_shard(
+                opts.shard_index,
+                Telemetry::DEFAULT_EVENT_CAPACITY,
+            ))
+        });
+        let tracer = match &telemetry {
+            Some(_) if opts.tracing => {
+                // Directory-backed stores also spill spans and events into
+                // the on-disk flight recorder; volatile stores keep spans
+                // in the in-memory ring only.
+                let recorder = match &opts.storage {
+                    StorageConfig::Directory(dir) => Some(FlightRecorder::open(
+                        dir,
+                        opts.recorder_segment_bytes,
+                        opts.recorder_max_segments,
+                    )?),
+                    _ => None,
+                };
+                Some(Arc::new(Tracer::new(
+                    opts.shard_index,
+                    opts.trace_sample_period,
+                    recorder,
+                )))
+            }
+            _ => None,
+        };
         if let Some(t) = &telemetry {
             disk.attach_attribution(Arc::clone(t.attribution()));
             wal.attach_telemetry(Arc::clone(t));
+            if let Some(tr) = &tracer {
+                t.attach_tracer(Arc::clone(tr));
+                wal.attach_tracer(Arc::clone(tr));
+            }
         }
         let series = telemetry.as_ref().map(|_| {
             Arc::new(WindowedSeries::new(
@@ -667,6 +750,7 @@ impl Core {
             shared: RwLock::new(Shared {
                 memtable,
                 next_seq,
+                generation: 1,
                 immutables: VecDeque::new(),
                 version: Arc::new(version),
             }),
@@ -684,6 +768,7 @@ impl Core {
             pipeline: PipelineCounters::default(),
             vlog,
             telemetry,
+            tracer,
             series,
             opts,
         });
@@ -715,11 +800,27 @@ impl Core {
         let vlog = opts
             .value_separation
             .map(|_| Arc::new(ValueLog::new(Arc::clone(&disk), 1024)));
-        let telemetry = opts
-            .telemetry
-            .then(|| Arc::new(Telemetry::new(Telemetry::DEFAULT_EVENT_CAPACITY)));
+        let telemetry = opts.telemetry.then(|| {
+            Arc::new(Telemetry::for_shard(
+                opts.shard_index,
+                Telemetry::DEFAULT_EVENT_CAPACITY,
+            ))
+        });
+        let tracer = match &telemetry {
+            // Caller-supplied disks are volatile: spans stay in the ring,
+            // no flight recorder.
+            Some(_) if opts.tracing => Some(Arc::new(Tracer::new(
+                opts.shard_index,
+                opts.trace_sample_period,
+                None,
+            ))),
+            _ => None,
+        };
         if let Some(t) = &telemetry {
             disk.attach_attribution(Arc::clone(t.attribution()));
+            if let Some(tr) = &tracer {
+                t.attach_tracer(Arc::clone(tr));
+            }
         }
         let series = telemetry.as_ref().map(|_| {
             Arc::new(WindowedSeries::new(
@@ -732,6 +833,7 @@ impl Core {
             shared: RwLock::new(Shared {
                 memtable: Memtable::new(),
                 next_seq: 0,
+                generation: 1,
                 immutables: VecDeque::new(),
                 version: Arc::new(Version::empty()),
             }),
@@ -749,6 +851,7 @@ impl Core {
             pipeline: PipelineCounters::default(),
             vlog,
             telemetry,
+            tracer,
             series,
             opts,
         });
@@ -865,6 +968,10 @@ impl Core {
             Some(t) => t.op_start(OpKind::Put),
             None => None,
         };
+        let put_span = core
+            .tracer
+            .as_ref()
+            .and_then(|t| t.maybe_start(SpanKind::Put));
         core.check_background_error()?;
         if let Some(t) = &core.telemetry {
             // Classified as `w` before the key moves into the entry below.
@@ -889,6 +996,7 @@ impl Core {
             core.check_entry_size(&key, ValuePointer::ENCODED_LEN)?;
         }
         let seq;
+        let generation;
         {
             let mut shared = core.shared.write();
             seq = shared.next_seq;
@@ -924,9 +1032,16 @@ impl Core {
                 }
             };
             shared.memtable.insert(entry);
+            generation = shared.generation;
             core.maybe_rotate_after_insert(shared)?;
         }
-        core.wal.commit(seq)?;
+        let wal_batch = core.wal.commit(seq)?;
+        if let (Some(tr), Some(active)) = (&core.tracer, put_span) {
+            // Links: the group-commit batch that made this put durable and
+            // the memtable generation it landed in — the flush of that
+            // generation carries the same id.
+            tr.finish(active, 0, vec![wal_batch, generation]);
+        }
         if let Some(t) = &core.telemetry {
             t.op_end(OpKind::Put, started);
         }
@@ -1484,6 +1599,13 @@ impl Core {
             events: t.drain_events(),
             events_dropped: t.events_dropped(),
             shards: Vec::new(),
+            spans: self
+                .tracer
+                .as_ref()
+                .map_or_else(Vec::new, |tr| tr.drain_spans()),
+            spans_started: self.tracer.as_ref().map_or(0, |tr| tr.spans_started()),
+            spans_dropped: self.tracer.as_ref().map_or(0, |tr| tr.spans_dropped()),
+            recorder_bytes: self.tracer.as_ref().map_or(0, |tr| tr.recorder_bytes()),
         })
     }
 }
@@ -1578,6 +1700,7 @@ impl Db {
     fn shard_options(opts: &DbOptions, index: usize, n: usize) -> DbOptions {
         let mut shard = opts.clone();
         shard.shards = 1;
+        shard.shard_index = index as u32;
         if n == 1 {
             return shard;
         }
@@ -1899,10 +2022,26 @@ impl Db {
 
     /// The telemetry hub, when [`DbOptions::telemetry`] is on — for
     /// callers that want raw histograms/events rather than the assembled
-    /// report. On a multi-shard store this is shard 0's hub; the merged
-    /// view is [`telemetry_report`](Self::telemetry_report).
+    /// report.
+    ///
+    /// **Facade behavior:** on a multi-shard store this is *shard 0's*
+    /// hub only — its counters and events cover that shard's slice of the
+    /// keyspace, not the whole store. Use
+    /// [`shard_telemetry`](Self::shard_telemetry) to reach a specific
+    /// shard's hub, or [`telemetry_report`](Self::telemetry_report) for
+    /// the merged store-wide view.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
-        self.shards[0].core.telemetry.as_ref()
+        self.shard_telemetry(0)
+    }
+
+    /// Shard `index`'s telemetry hub, when [`DbOptions::telemetry`] is on.
+    /// Returns `None` when telemetry is off **or** `index` is out of
+    /// range (see [`DbOptions::shards`]). Events drained from one shard's
+    /// hub never appear in another's, so per-shard consumers compose with
+    /// the merged [`telemetry_report`](Self::telemetry_report) only if
+    /// each event source is drained by exactly one of them.
+    pub fn shard_telemetry(&self, index: usize) -> Option<&Arc<Telemetry>> {
+        self.shards.get(index)?.core.telemetry.as_ref()
     }
 
     /// Assembles the full telemetry snapshot: per-op latency percentiles,
@@ -2007,11 +2146,19 @@ impl Db {
                 stalled_writers: stats.pipeline_gauges.stalled_writers as u64,
                 page_reads: core.disk.io().page_reads,
                 page_writes: core.disk.io().page_writes,
+                cache_hits: core.disk.io().cache_hits,
             })
             .collect();
 
         let mut events: Vec<_> = hubs.iter().flat_map(|h| h.drain_events()).collect();
         events.sort_by_key(|e| (e.ts_micros, e.seq));
+
+        // Merge the shards' span rings into one timeline. Each shard's
+        // tracer has its own clock origin, but they were all created at
+        // open, so sorting by start keeps the merged view coherent.
+        let tracers: Vec<_> = self.cores().filter_map(|c| c.tracer.clone()).collect();
+        let mut spans: Vec<_> = tracers.iter().flat_map(|tr| tr.drain_spans()).collect();
+        spans.sort_by_key(|s| (s.start_micros, s.shard, s.id));
 
         Some(TelemetryReport {
             uptime_micros: hubs.iter().map(|h| h.now_micros()).max().unwrap_or(0),
@@ -2032,6 +2179,10 @@ impl Db {
             events,
             events_dropped: hubs.iter().map(|h| h.events_dropped()).sum(),
             shards,
+            spans,
+            spans_started: tracers.iter().map(|tr| tr.spans_started()).sum(),
+            spans_dropped: tracers.iter().map(|tr| tr.spans_dropped()).sum(),
+            recorder_bytes: tracers.iter().map(|tr| tr.recorder_bytes()).sum(),
         })
     }
 

@@ -75,9 +75,10 @@ pub use iter::RangeIter;
 pub use merge::MergeReport;
 pub use monkey_bloom::FilterVariant;
 pub use monkey_obs::{
-    DriftFlag, Event, EventKind, HotKey, LevelIoRates, LevelIoSnapshot, LevelLookupSnapshot,
-    LevelReport, MeasuredWorkload, OpKind, OpLatencyReport, SmoothedRates, Telemetry,
-    TelemetryReport, TelemetrySnapshot, WindowRates, WindowedSeries, WorkloadCharacterizer,
+    decode_segment, DecodedFlight, DriftFlag, Event, EventKind, FlightRecorder, HotKey,
+    LevelIoRates, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, MeasuredWorkload, OpKind,
+    OpLatencyReport, RecorderRecord, SmoothedRates, Span, SpanKind, Telemetry, TelemetryReport,
+    TelemetrySnapshot, Tracer, WindowRates, WindowedSeries, WorkloadCharacterizer,
 };
 pub use monkey_storage::{CachePolicy, CacheStats};
 pub use options::DbOptions;

@@ -56,13 +56,16 @@ const BATCH_ENTRIES: usize = 1024;
 /// ahead of the coordinator park after this much lookahead.
 const CHANNEL_BATCHES: usize = 4;
 
-/// How a merge was executed, for telemetry gauges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How a merge was executed, for telemetry gauges and trace lineage.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergeReport {
     /// Key-range partitions the merge was cut into (1 = sequential).
     pub partitions: u32,
     /// Worker threads that merged them (1 = sequential).
     pub threads: u32,
+    /// Ids of the input runs consumed, in merge order — the causal lineage
+    /// a cascade span records so a trace can say which runs fed a merge.
+    pub input_runs: Vec<u64>,
 }
 
 /// Pre-registers the run under construction at its destination `level` in
@@ -104,7 +107,8 @@ pub fn merge_runs_with(
     let mut builder = RunBuilder::new(Arc::clone(disk));
     tag_destination(disk, &builder, level);
     let run_id = builder.run_id();
-    let report = feed_merge(&mut builder, inputs, drop_tombstones, threads)?;
+    let mut report = feed_merge(&mut builder, inputs, drop_tombstones, threads)?;
+    report.input_runs = inputs.iter().map(|r| r.id()).collect();
     let output = builder.finish(filter)?.map(Arc::new);
     if output.is_none() {
         if let Some(attr) = disk.attribution() {
@@ -145,6 +149,7 @@ fn feed_merge(
         return Ok(MergeReport {
             partitions: 1,
             threads: 1,
+            input_runs: Vec::new(),
         });
     }
     let nparts = partitions.len() as u32;
@@ -153,6 +158,7 @@ fn feed_merge(
     Ok(MergeReport {
         partitions: nparts,
         threads: workers,
+        input_runs: Vec::new(),
     })
 }
 

@@ -96,6 +96,28 @@ pub struct DbOptions {
     /// Default 1: the single-shard engine, byte-identical on disk to the
     /// pre-shard code path (every figure and model comparison runs there).
     pub shards: usize,
+    /// Causal span tracing (requires [`DbOptions::telemetry`]). When on,
+    /// every `trace_sample_period`-th operation opens a span; background
+    /// work (WAL group commits, flushes, merge cascades, stalls) is traced
+    /// whenever it carries sampled foreground work, with parent/link ids
+    /// tying a stalled put to the group-commit batch and flush that carried
+    /// it. Off by default; when off the per-op cost is one branch.
+    pub tracing: bool,
+    /// Sample one operation span out of every this many operations (≥ 1;
+    /// 1 traces everything — deterministic, for tests).
+    pub trace_sample_period: u64,
+    /// Flight-recorder segment size in bytes. Spans and events spill into
+    /// an on-disk ring of CRC-framed `obs-NNNNNN.log` segments (durable
+    /// stores only) so the last seconds before a crash can be decoded by
+    /// `monkey-stats --flight-recorder`.
+    pub recorder_segment_bytes: u64,
+    /// How many recorder segments are retained before the oldest is
+    /// deleted (the ring's size cap is roughly `segment_bytes × max`).
+    pub recorder_max_segments: usize,
+    /// Index of this engine within a sharded store; assigned internally by
+    /// the `Db` facade when it splits options per shard. 0 on single-shard
+    /// stores. Not a user knob.
+    pub shard_index: u32,
 }
 
 impl DbOptions {
@@ -155,6 +177,11 @@ impl DbOptions {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n >= 1)
                 .unwrap_or(1),
+            tracing: false,
+            trace_sample_period: monkey_obs::DEFAULT_TRACE_SAMPLE_PERIOD,
+            recorder_segment_bytes: monkey_obs::DEFAULT_RECORDER_SEGMENT_BYTES,
+            recorder_max_segments: monkey_obs::DEFAULT_RECORDER_MAX_SEGMENTS,
+            shard_index: 0,
         }
     }
 
@@ -292,6 +319,31 @@ impl DbOptions {
         self.shards = n;
         self
     }
+
+    /// Enables causal span tracing (see [`DbOptions::tracing`]; requires
+    /// telemetry to be on as well).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Sets the span sampling period: one operation in every `period` is
+    /// traced (see [`DbOptions::trace_sample_period`]).
+    pub fn trace_sample_period(mut self, period: u64) -> Self {
+        assert!(period >= 1, "trace sample period must be at least 1");
+        self.trace_sample_period = period;
+        self
+    }
+
+    /// Sets the flight-recorder segment size and retained segment count
+    /// (see [`DbOptions::recorder_segment_bytes`]).
+    pub fn recorder_limits(mut self, segment_bytes: u64, max_segments: usize) -> Self {
+        assert!(segment_bytes > 0, "recorder segment size must be positive");
+        assert!(max_segments >= 1, "at least one recorder segment required");
+        self.recorder_segment_bytes = segment_bytes;
+        self.recorder_max_segments = max_segments;
+        self
+    }
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -315,6 +367,10 @@ impl std::fmt::Debug for DbOptions {
             .field("cache_policy", &self.cache_policy)
             .field("compaction_threads", &self.compaction_threads)
             .field("shards", &self.shards)
+            .field("tracing", &self.tracing)
+            .field("trace_sample_period", &self.trace_sample_period)
+            .field("recorder_segment_bytes", &self.recorder_segment_bytes)
+            .field("recorder_max_segments", &self.recorder_max_segments)
             .finish()
     }
 }
@@ -450,6 +506,30 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         DbOptions::in_memory().shards(0);
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let o = DbOptions::in_memory();
+        assert!(!o.tracing);
+        assert_eq!(o.trace_sample_period, 32);
+        assert_eq!(o.shard_index, 0);
+        let o = o.tracing(true).trace_sample_period(1);
+        assert!(o.tracing);
+        assert_eq!(o.trace_sample_period, 1);
+    }
+
+    #[test]
+    fn recorder_limits_knob() {
+        let o = DbOptions::in_memory().recorder_limits(4096, 2);
+        assert_eq!(o.recorder_segment_bytes, 4096);
+        assert_eq!(o.recorder_max_segments, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_trace_sample_period_rejected() {
+        DbOptions::in_memory().trace_sample_period(0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::entry::{Entry, EntryKind};
 use crate::error::{LsmError, Result};
 use bytes::Bytes;
 use monkey_bloom::hash::xxh64;
-use monkey_obs::{EventKind, Telemetry};
+use monkey_obs::{EventKind, SpanKind, Telemetry, Tracer};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -82,6 +82,11 @@ struct WalInner {
     /// `seq + 1` of the newest record written (and, in
     /// fsync-per-append mode, synced); 0 = nothing written yet.
     durable_mark: AtomicU64,
+    /// Commit number (1-based) of the newest batch written. Stored before
+    /// `durable_mark` is released, so a follower that observes its record
+    /// durable reads the id of the batch that carried it (or a later one —
+    /// still causally downstream of its write).
+    last_commit_no: AtomicU64,
     group_commits: AtomicU64,
     batched_appends: AtomicU64,
 }
@@ -95,6 +100,11 @@ pub struct Wal {
     /// [`EventKind::WalGroupCommit`] event carrying the batch size —
     /// always for multi-record batches, 1-in-64 for single-record ones.
     events: OnceLock<Arc<Telemetry>>,
+    /// Optional span source: multi-record batches (and sampled
+    /// single-record ones) are timed as [`SpanKind::WalCommit`] spans
+    /// whose links carry the commit number, so a traced put can be joined
+    /// to the physical batch that made it durable.
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
@@ -119,6 +129,7 @@ impl Wal {
             inner: None,
             sync_each_append: false,
             events: OnceLock::new(),
+            tracer: OnceLock::new(),
         }
     }
 
@@ -126,6 +137,12 @@ impl Wal {
     /// wins; later calls are ignored.
     pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
         let _ = self.events.set(telemetry);
+    }
+
+    /// Routes group-commit spans into `tracer`. First attachment wins;
+    /// later calls are ignored.
+    pub fn attach_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
     }
 
     /// Opens the log rooted at directory `dir`, replaying every complete
@@ -168,11 +185,13 @@ impl Wal {
                     pending: Mutex::new(Vec::new()),
                     segment: Mutex::new(ActiveSegment { id: next_id, file }),
                     durable_mark: AtomicU64::new(0),
+                    last_commit_no: AtomicU64::new(0),
                     group_commits: AtomicU64::new(0),
                     batched_appends: AtomicU64::new(0),
                 }),
                 sync_each_append,
                 events: OnceLock::new(),
+                tracer: OnceLock::new(),
             },
             entries,
         ))
@@ -206,17 +225,23 @@ impl Wal {
 
     /// Ensures the record carrying `seq` has been written to the log (and
     /// synced, in fsync-per-append mode). The caller becomes the batch
-    /// leader if no other committer got there first.
-    pub fn commit(&self, seq: u64) -> Result<()> {
+    /// leader if no other committer got there first. Returns the commit
+    /// number (1-based) of the batch observed to carry the record — the
+    /// causal link a traced put records against its group commit — or 0
+    /// when the WAL is disabled.
+    pub fn commit(&self, seq: u64) -> Result<u64> {
         let Some(inner) = &self.inner else {
-            return Ok(());
+            return Ok(0);
         };
         if inner.durable_mark.load(Ordering::Acquire) > seq {
-            return Ok(()); // a leader already wrote our record
+            // A leader already wrote our record; its batch id (or a later
+            // one) is visible because last_commit_no is stored before the
+            // durable mark's release.
+            return Ok(inner.last_commit_no.load(Ordering::Relaxed));
         }
         let mut segment = inner.segment.lock();
         if inner.durable_mark.load(Ordering::Acquire) > seq {
-            return Ok(()); // it committed while we waited for the lock
+            return Ok(inner.last_commit_no.load(Ordering::Relaxed)); // committed while we waited
         }
         self.write_pending_locked(inner, &mut segment)
     }
@@ -224,16 +249,29 @@ impl Wal {
     /// Convenience single-record append: enqueue + commit.
     pub fn append(&self, entry: &Entry) -> Result<()> {
         self.enqueue(entry)?;
-        self.commit(entry.seq)
+        self.commit(entry.seq)?;
+        Ok(())
     }
 
     /// Drains the pending queue into the active segment as one batch.
-    /// Caller holds the segment lock.
-    fn write_pending_locked(&self, inner: &WalInner, segment: &mut ActiveSegment) -> Result<()> {
+    /// Caller holds the segment lock. Returns the batch's commit number
+    /// (the latest one when the queue was already empty).
+    fn write_pending_locked(&self, inner: &WalInner, segment: &mut ActiveSegment) -> Result<u64> {
         let batch = std::mem::take(&mut *inner.pending.lock());
         if batch.is_empty() {
-            return Ok(());
+            return Ok(inner.last_commit_no.load(Ordering::Relaxed));
         }
+        // Multi-record batches are always traced (they are the interesting
+        // group commits); single-record ones ride the tracer's sampler so
+        // period-1 test configs see every commit while the default period
+        // keeps the put path clock-free.
+        let span = self.tracer.get().and_then(|t| {
+            if batch.len() > 1 || t.sample() {
+                Some((t, t.start(SpanKind::WalCommit)))
+            } else {
+                None
+            }
+        });
         let total: usize = batch.iter().map(|r| 8 + r.body.len()).sum();
         let mut buf = Vec::with_capacity(total);
         for record in &batch {
@@ -246,23 +284,27 @@ impl Wal {
             segment.file.sync_data()?;
         }
         let last_seq = batch.last().expect("non-empty batch").seq;
+        let commit_no = inner.group_commits.fetch_add(1, Ordering::Relaxed) + 1;
+        inner.last_commit_no.store(commit_no, Ordering::Relaxed);
         inner.durable_mark.store(last_seq + 1, Ordering::Release);
-        let commit_no = inner.group_commits.fetch_add(1, Ordering::Relaxed);
         inner
             .batched_appends
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if let Some((tracer, active)) = span {
+            tracer.finish(active, 0, vec![commit_no, batch.len() as u64]);
+        }
         // Real groups (>1 record) always make the timeline; single-record
         // commits — every sync-mode put — are sampled 1-in-64 so the event
         // ring shows WAL cadence without a clock read and ring push on the
         // put hot path. The stats counters above stay exact regardless.
-        if batch.len() > 1 || commit_no.is_multiple_of(64) {
+        if batch.len() > 1 || (commit_no - 1).is_multiple_of(64) {
             if let Some(t) = self.events.get() {
                 t.event(EventKind::WalGroupCommit {
                     records: batch.len() as u64,
                 });
             }
         }
-        Ok(())
+        Ok(commit_no)
     }
 
     /// Seals the active segment — flushing any pending records into it —

@@ -295,7 +295,9 @@ pub struct DesignPoint {
 }
 
 impl DesignPoint {
-    fn summary(&self) -> String {
+    /// One-line rendering of the design and its predicted worst case —
+    /// the form [`TuningAdvice::pretty`] and `monkey-top` print.
+    pub fn summary(&self) -> String {
         format!(
             "{:<9} T={:<3.0} buffer={:.1} KiB  filters={:.0} bits  theta={:.4}  worst-case {:.1} ops/s",
             self.policy,

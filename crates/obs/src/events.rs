@@ -79,11 +79,16 @@ impl EventKind {
 }
 
 /// One timeline entry: a monotonically increasing sequence number, a
-/// timestamp in microseconds since the telemetry origin, and the payload.
+/// timestamp in microseconds since the telemetry origin, the shard that
+/// recorded it (so multi-shard timelines merged by timestamp stay
+/// attributable), and the payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     pub seq: u64,
     pub ts_micros: u64,
+    /// Index of the shard whose engine emitted this event; 0 on a
+    /// single-shard store.
+    pub shard: u32,
     pub kind: EventKind,
 }
 
@@ -96,14 +101,21 @@ struct Ring {
 /// Bounded ring of recent [`Event`]s.
 pub struct EventRing {
     capacity: usize,
+    shard: u32,
     inner: Mutex<Ring>,
 }
 
 impl EventRing {
     pub fn new(capacity: usize) -> Self {
+        Self::for_shard(0, capacity)
+    }
+
+    /// A ring whose events are stamped with `shard`.
+    pub fn for_shard(shard: u32, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
             capacity,
+            shard,
             inner: Mutex::new(Ring {
                 buf: VecDeque::with_capacity(capacity),
                 next_seq: 0,
@@ -116,8 +128,10 @@ impl EventRing {
         self.capacity
     }
 
-    /// Append an event, evicting the oldest if full.
-    pub fn push(&self, ts_micros: u64, kind: EventKind) {
+    /// Append an event, evicting the oldest if full. Returns a copy of
+    /// the stored event so callers can forward it (e.g. to the flight
+    /// recorder) without re-locking.
+    pub fn push(&self, ts_micros: u64, kind: EventKind) -> Event {
         let mut g = self.inner.lock().unwrap();
         if g.buf.len() == self.capacity {
             g.buf.pop_front();
@@ -125,11 +139,14 @@ impl EventRing {
         }
         let seq = g.next_seq;
         g.next_seq += 1;
-        g.buf.push_back(Event {
+        let event = Event {
             seq,
             ts_micros,
+            shard: self.shard,
             kind,
-        });
+        };
+        g.buf.push_back(event.clone());
+        event
     }
 
     /// Remove and return the buffered timeline, oldest first. Sequence
@@ -184,6 +201,7 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].seq, 0);
         assert_eq!(events[0].ts_micros, 10);
+        assert_eq!(events[0].shard, 0);
         assert_eq!(events[0].kind.name(), "flush_start");
         assert_eq!(events[1].seq, 1);
         assert!(ring.is_empty());
@@ -202,6 +220,14 @@ mod tests {
         // The survivors are the most recent two, with original seqs.
         assert_eq!(events[0].seq, 3);
         assert_eq!(events[1].seq, 4);
+    }
+
+    #[test]
+    fn shard_tag_flows_through() {
+        let ring = EventRing::for_shard(7, 4);
+        let pushed = ring.push(5, EventKind::StallBegin { queue_depth: 1 });
+        assert_eq!(pushed.shard, 7);
+        assert_eq!(ring.drain()[0].shard, 7);
     }
 
     #[test]

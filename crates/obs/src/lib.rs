@@ -22,6 +22,10 @@
 //!   [`WorkloadCharacterizer`] (online `(r, v, q, w)` classification and
 //!   key-skew sketching via [`CountMinSketch`]/[`SpaceSaving`]), and
 //!   [`TuningAdvice`] (the closed-loop tuning report).
+//! - The causal tracing layer: [`Tracer`] hands out sampled [`Span`]s
+//!   with ids, parent links, and causal references, and the
+//!   [`FlightRecorder`] persists spans and events into a bounded on-disk
+//!   ring of checksum-framed segments for post-crash forensics.
 //!
 //! The crate is intentionally std-only: it sits below every other crate
 //! in the workspace so instrumentation can be threaded through any layer
@@ -37,6 +41,7 @@ mod report;
 mod series;
 mod sketch;
 mod telemetry;
+mod trace;
 
 pub use advisor::{
     DesignPoint, MeasuredWorkload, TuningAdvice, WorkloadCharacterizer, DEFAULT_HOT_KEYS,
@@ -57,3 +62,8 @@ pub use series::{
 };
 pub use sketch::{fnv1a, CountMinSketch, HotKey, SpaceSaving};
 pub use telemetry::{LevelLookupSnapshot, OpKind, Telemetry, OP_KINDS, SAMPLE_PERIOD};
+pub use trace::{
+    decode_segment, ActiveSpan, DecodedFlight, FlightRecorder, RecorderRecord, Span, SpanKind,
+    Tracer, DEFAULT_RECORDER_MAX_SEGMENTS, DEFAULT_RECORDER_SEGMENT_BYTES, DEFAULT_SPAN_CAPACITY,
+    DEFAULT_TRACE_SAMPLE_PERIOD,
+};

@@ -11,6 +11,8 @@ use crate::events::{Event, EventKind};
 use crate::hist::HistogramSnapshot;
 use crate::json::{json_array, json_f64, JsonObject};
 use crate::telemetry::LevelLookupSnapshot;
+use crate::trace::Span;
+use std::collections::HashMap;
 
 /// z-score for the drift confidence bound (~99.7% two-sided).
 pub const DRIFT_Z: f64 = 3.0;
@@ -134,6 +136,8 @@ pub struct ShardBreakdown {
     pub page_reads: u64,
     /// Page writes charged to this shard's disk.
     pub page_writes: u64,
+    /// Reads absorbed by this shard's block cache (not I/Os).
+    pub cache_hits: u64,
 }
 
 /// The full report returned by `Db::telemetry_report()`.
@@ -168,6 +172,17 @@ pub struct TelemetryReport {
     /// Per-shard gauges; empty on a single-shard store (whose report and
     /// renderings stay byte-identical to the pre-shard engine).
     pub shards: Vec<ShardBreakdown>,
+    /// Finished trace spans (a copy of the span ring, oldest first;
+    /// multi-shard reports merge-sort by start time). Empty when tracing
+    /// is off.
+    pub spans: Vec<Span>,
+    /// Spans started since tracing began (`monkey_trace_spans_total`).
+    pub spans_started: u64,
+    /// Finished spans evicted from the ring before any export saw them.
+    pub spans_dropped: u64,
+    /// Bytes appended to the flight recorder by this process
+    /// (`monkey_recorder_bytes`); 0 without a recorder.
+    pub recorder_bytes: u64,
 }
 
 impl TelemetryReport {
@@ -477,6 +492,12 @@ impl TelemetryReport {
                 "Page writes charged to this shard's disk.",
                 &|s| s.page_writes,
             );
+            shard_series(
+                &mut out,
+                "monkey_shard_cache_hits_total",
+                "Reads absorbed by this shard's block cache.",
+                &|s| s.cache_hits,
+            );
         }
 
         push(
@@ -488,6 +509,33 @@ impl TelemetryReport {
             &mut out,
             &format!("monkey_events_dropped_total {}", self.events_dropped),
         );
+        push(
+            &mut out,
+            "# HELP monkey_trace_spans_total Trace spans started since tracing began.",
+        );
+        push(&mut out, "# TYPE monkey_trace_spans_total counter");
+        push(
+            &mut out,
+            &format!("monkey_trace_spans_total {}", self.spans_started),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_trace_spans_dropped_total Finished spans evicted from the ring before export.",
+        );
+        push(&mut out, "# TYPE monkey_trace_spans_dropped_total counter");
+        push(
+            &mut out,
+            &format!("monkey_trace_spans_dropped_total {}", self.spans_dropped),
+        );
+        push(
+            &mut out,
+            "# HELP monkey_recorder_bytes Bytes appended to the flight recorder by this process.",
+        );
+        push(&mut out, "# TYPE monkey_recorder_bytes counter");
+        push(
+            &mut out,
+            &format!("monkey_recorder_bytes {}", self.recorder_bytes),
+        );
         out
     }
 
@@ -496,12 +544,18 @@ impl TelemetryReport {
     /// episodes become complete (`"ph":"X"`) spans — start/end pairs are
     /// matched within the drained window, the span duration taken from the
     /// end event's payload — and everything else becomes an instant event.
+    ///
+    /// Each shard gets its own block of thread lanes (`tid = shard*4 +
+    /// lane`): lane 0 carries sampled trace spans, lane 1 flush spans,
+    /// lane 2 stall spans, lane 3 instants. Shard 0's lanes are therefore
+    /// tids 1–3 for events, matching the pre-sharding layout.
     pub fn to_chrome_trace(&self) -> String {
-        // One synthetic thread lane per timeline family keeps flush spans,
-        // stall spans, and instants from stacking on one Perfetto track.
-        const TID_FLUSH: u64 = 1;
-        const TID_STALL: u64 = 2;
-        const TID_INSTANT: u64 = 3;
+        // Lane offsets inside a shard's tid block.
+        const LANE_TRACE: u64 = 0;
+        const LANE_FLUSH: u64 = 1;
+        const LANE_STALL: u64 = 2;
+        const LANE_INSTANT: u64 = 3;
+        let tid = |shard: u32, lane: u64| shard as u64 * 4 + lane;
         let span = |name: &str, tid: u64, ts: u64, dur: u64, args: String| -> String {
             JsonObject::new()
                 .str("name", name)
@@ -533,23 +587,29 @@ impl TelemetryReport {
                 .str("cat", "monkey")
                 .u64("ts", e.ts_micros)
                 .u64("pid", 1)
-                .u64("tid", TID_INSTANT)
+                .u64("tid", tid(e.shard, LANE_INSTANT))
                 .str("s", "p")
                 .raw("args", &args)
                 .finish()
         };
-        let mut out: Vec<String> = Vec::with_capacity(self.events.len());
+        let mut out: Vec<String> = Vec::with_capacity(self.events.len() + self.spans.len());
         // Pending starts not yet closed by their end event, as indices
-        // into the timeline. Flushes are serialized by the engine and
+        // into the timeline, tracked per shard (shards flush and stall
+        // independently, so an end must match a start from its own
+        // shard). Within a shard flushes are serialized by the engine and
         // stalls are drained in order, so a LIFO match is faithful enough
         // for a trace view.
-        let mut open_flushes: Vec<usize> = Vec::new();
-        let mut open_stalls: Vec<usize> = Vec::new();
+        let mut open_flushes: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut open_stalls: HashMap<u32, Vec<usize>> = HashMap::new();
         for (i, e) in self.events.iter().enumerate() {
             match &e.kind {
-                EventKind::FlushStart { .. } => open_flushes.push(i),
+                EventKind::FlushStart { .. } => open_flushes.entry(e.shard).or_default().push(i),
                 EventKind::FlushEnd { duration_micros } => {
-                    let args = match open_flushes.pop().map(|j| &self.events[j].kind) {
+                    let start = open_flushes
+                        .get_mut(&e.shard)
+                        .and_then(|v| v.pop())
+                        .map(|j| &self.events[j].kind);
+                    let args = match start {
                         Some(EventKind::FlushStart { entries, bytes }) => JsonObject::new()
                             .u64("entries", *entries)
                             .u64("bytes", *bytes)
@@ -558,11 +618,15 @@ impl TelemetryReport {
                     };
                     let dur = *duration_micros;
                     let ts = e.ts_micros.saturating_sub(dur);
-                    out.push(span("flush", TID_FLUSH, ts, dur, args));
+                    out.push(span("flush", tid(e.shard, LANE_FLUSH), ts, dur, args));
                 }
-                EventKind::StallBegin { .. } => open_stalls.push(i),
+                EventKind::StallBegin { .. } => open_stalls.entry(e.shard).or_default().push(i),
                 EventKind::StallEnd { waited_micros } => {
-                    let args = match open_stalls.pop().map(|j| &self.events[j].kind) {
+                    let start = open_stalls
+                        .get_mut(&e.shard)
+                        .and_then(|v| v.pop())
+                        .map(|j| &self.events[j].kind);
+                    let args = match start {
                         Some(EventKind::StallBegin { queue_depth }) => {
                             JsonObject::new().u64("queue_depth", *queue_depth).finish()
                         }
@@ -570,15 +634,70 @@ impl TelemetryReport {
                     };
                     let dur = *waited_micros;
                     let ts = e.ts_micros.saturating_sub(dur);
-                    out.push(span("stall", TID_STALL, ts, dur, args));
+                    out.push(span("stall", tid(e.shard, LANE_STALL), ts, dur, args));
                 }
                 _ => out.push(instant(e)),
             }
         }
         // Starts whose end fell outside the drained window still deserve a
         // mark on the timeline.
-        for i in open_flushes.into_iter().chain(open_stalls) {
+        let mut leftovers: Vec<usize> = open_flushes
+            .into_values()
+            .chain(open_stalls.into_values())
+            .flatten()
+            .collect();
+        leftovers.sort_unstable();
+        for i in leftovers {
             out.push(instant(&self.events[i]));
+        }
+        // Sampled trace spans ride on each shard's lane 0, with causal
+        // metadata (span id, parent id, links) in args.
+        for s in &self.spans {
+            let mut args = JsonObject::new().u64("id", s.id);
+            if s.parent != 0 {
+                args = args.u64("parent", s.parent);
+            }
+            if !s.links.is_empty() {
+                args = args.raw("links", &json_array(s.links.iter().map(|l| l.to_string())));
+            }
+            out.push(span(
+                s.kind.name(),
+                tid(s.shard, LANE_TRACE),
+                s.start_micros,
+                s.duration_micros,
+                args.finish(),
+            ));
+        }
+        // Name the lanes so Perfetto rows read "shard N / <lane>" rather
+        // than bare tids.
+        let shards: std::collections::BTreeSet<u32> = self
+            .events
+            .iter()
+            .map(|e| e.shard)
+            .chain(self.spans.iter().map(|s| s.shard))
+            .collect();
+        for shard in shards {
+            for (lane, label) in [
+                (LANE_TRACE, "trace"),
+                (LANE_FLUSH, "flush"),
+                (LANE_STALL, "stall"),
+                (LANE_INSTANT, "events"),
+            ] {
+                out.push(
+                    JsonObject::new()
+                        .str("name", "thread_name")
+                        .str("ph", "M")
+                        .u64("pid", 1)
+                        .u64("tid", tid(shard, lane))
+                        .raw(
+                            "args",
+                            &JsonObject::new()
+                                .str("name", &format!("shard {shard} {label}"))
+                                .finish(),
+                        )
+                        .finish(),
+                );
+            }
         }
         JsonObject::new()
             .raw("traceEvents", &json_array(out))
@@ -648,6 +767,7 @@ impl TelemetryReport {
             JsonObject::new()
                 .u64("seq", e.seq)
                 .u64("ts_micros", e.ts_micros)
+                .u64("shard", e.shard as u64)
                 .str("event", e.kind.name())
                 .raw("fields", &fields)
                 .finish()
@@ -685,10 +805,31 @@ impl TelemetryReport {
                     .u64("stalled_writers", s.stalled_writers)
                     .u64("page_reads", s.page_reads)
                     .u64("page_writes", s.page_writes)
+                    .u64("cache_hits", s.cache_hits)
                     .finish()
             }));
             obj = obj.raw("shards", &shards);
         }
+        let spans = json_array(self.spans.iter().map(|s| {
+            let mut o = JsonObject::new()
+                .u64("id", s.id)
+                .u64("shard", s.shard as u64)
+                .str("kind", s.kind.name())
+                .u64("start_micros", s.start_micros)
+                .u64("duration_micros", s.duration_micros);
+            if s.parent != 0 {
+                o = o.u64("parent", s.parent);
+            }
+            if !s.links.is_empty() {
+                o = o.raw("links", &json_array(s.links.iter().map(|l| l.to_string())));
+            }
+            o.finish()
+        }));
+        obj = obj
+            .raw("spans", &spans)
+            .u64("spans_started", self.spans_started)
+            .u64("spans_dropped", self.spans_dropped)
+            .u64("recorder_bytes", self.recorder_bytes);
         obj.finish()
     }
 
@@ -764,7 +905,7 @@ impl TelemetryReport {
         if !self.shards.is_empty() {
             out.push_str("\nper-shard breakdown:\n");
             out.push_str(&format!(
-                "  {:<6} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>10} {:>10}\n",
+                "  {:<6} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>10} {:>10} {:>10}\n",
                 "shard",
                 "gets",
                 "puts",
@@ -774,11 +915,12 @@ impl TelemetryReport {
                 "queue",
                 "stalled",
                 "pg_reads",
-                "pg_writes"
+                "pg_writes",
+                "c_hits"
             ));
             for s in &self.shards {
                 out.push_str(&format!(
-                    "  {:<6} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>10} {:>10}\n",
+                    "  {:<6} {:>10} {:>10} {:>8} {:>12} {:>10} {:>6} {:>8} {:>10} {:>10} {:>10}\n",
                     s.shard,
                     s.gets,
                     s.puts,
@@ -788,7 +930,8 @@ impl TelemetryReport {
                     s.immutable_queue_depth,
                     s.stalled_writers,
                     s.page_reads,
-                    s.page_writes
+                    s.page_writes,
+                    s.cache_hits
                 ));
             }
         }
@@ -801,6 +944,15 @@ impl TelemetryReport {
             out.push_str(&format!(
                 "merge engine: last merge used {} partition(s) on {} thread(s)\n",
                 self.last_merge_partitions, self.last_merge_threads
+            ));
+        }
+        if self.spans_started > 0 {
+            out.push_str(&format!(
+                "tracing: {} span(s) started, {} in window, {} dropped, {} recorder byte(s)\n",
+                self.spans_started,
+                self.spans.len(),
+                self.spans_dropped,
+                self.recorder_bytes
             ));
         }
 
@@ -918,6 +1070,7 @@ mod tests {
             events: vec![Event {
                 seq: 0,
                 ts_micros: 42,
+                shard: 0,
                 kind: EventKind::WalGroupCommit { records: 7 },
             }],
             events_dropped: 0,
@@ -926,6 +1079,10 @@ mod tests {
             last_merge_partitions: 4,
             last_merge_threads: 2,
             shards: Vec::new(),
+            spans: Vec::new(),
+            spans_started: 0,
+            spans_dropped: 0,
+            recorder_bytes: 0,
         }
     }
 
@@ -963,6 +1120,9 @@ mod tests {
         assert!(text.contains("monkey_last_merge_partitions 4"));
         assert!(text.contains("monkey_last_merge_threads 2"));
         assert!(text.contains("monkey_events_dropped_total 0"));
+        assert!(text.contains("monkey_trace_spans_total 0"));
+        assert!(text.contains("monkey_trace_spans_dropped_total 0"));
+        assert!(text.contains("monkey_recorder_bytes 0"));
     }
 
     #[test]
@@ -972,6 +1132,7 @@ mod tests {
             Event {
                 seq: 0,
                 ts_micros: 100,
+                shard: 0,
                 kind: EventKind::FlushStart {
                     entries: 10,
                     bytes: 640,
@@ -980,6 +1141,7 @@ mod tests {
             Event {
                 seq: 1,
                 ts_micros: 150,
+                shard: 0,
                 kind: EventKind::CascadeInstall {
                     merges: 1,
                     deepest_level: 2,
@@ -988,6 +1150,7 @@ mod tests {
             Event {
                 seq: 2,
                 ts_micros: 180,
+                shard: 0,
                 kind: EventKind::FlushEnd {
                     duration_micros: 80,
                 },
@@ -995,17 +1158,20 @@ mod tests {
             Event {
                 seq: 3,
                 ts_micros: 200,
+                shard: 0,
                 kind: EventKind::StallBegin { queue_depth: 3 },
             },
             Event {
                 seq: 4,
                 ts_micros: 260,
+                shard: 0,
                 kind: EventKind::StallEnd { waited_micros: 60 },
             },
             // A start with no matching end in this drain window.
             Event {
                 seq: 5,
                 ts_micros: 300,
+                shard: 0,
                 kind: EventKind::FlushStart {
                     entries: 5,
                     bytes: 320,
@@ -1024,6 +1190,91 @@ mod tests {
         assert!(trace.contains(r#""name":"cascade_install","ph":"i""#));
         assert!(trace.contains(r#""name":"flush_start","ph":"i""#));
         assert_eq!(trace.matches(r#""ph":"X""#).count(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_gives_each_shard_its_own_lanes() {
+        let mut r = sample_report();
+        r.events = vec![
+            Event {
+                seq: 0,
+                ts_micros: 100,
+                shard: 1,
+                kind: EventKind::FlushStart {
+                    entries: 10,
+                    bytes: 640,
+                },
+            },
+            Event {
+                seq: 1,
+                ts_micros: 180,
+                shard: 1,
+                kind: EventKind::FlushEnd {
+                    duration_micros: 80,
+                },
+            },
+            Event {
+                seq: 2,
+                ts_micros: 200,
+                shard: 2,
+                kind: EventKind::WalGroupCommit { records: 4 },
+            },
+        ];
+        r.spans = vec![Span {
+            id: 9,
+            parent: 3,
+            shard: 1,
+            kind: crate::trace::SpanKind::Put,
+            start_micros: 120,
+            duration_micros: 5,
+            links: vec![7, 11],
+        }];
+        let trace = r.to_chrome_trace();
+        // Shard 1's flush span lands on tid 1*4+1 = 5; shard 2's instant
+        // on tid 2*4+3 = 11; shard 1's trace span on tid 1*4+0 = 4.
+        assert!(trace.contains(
+            r#""name":"flush","ph":"X","cat":"monkey","ts":100,"dur":80,"pid":1,"tid":5"#
+        ));
+        assert!(trace.contains(r#""tid":11"#));
+        assert!(trace
+            .contains(r#""name":"put","ph":"X","cat":"monkey","ts":120,"dur":5,"pid":1,"tid":4"#));
+        assert!(trace.contains(r#""id":9,"parent":3,"links":[7,11]"#));
+        // Lane labels name the rows.
+        assert!(trace.contains(r#""name":"shard 1 flush""#));
+        assert!(trace.contains(r#""name":"shard 2 events""#));
+    }
+
+    #[test]
+    fn cross_shard_flush_ends_do_not_steal_other_shards_starts() {
+        let mut r = sample_report();
+        // Shard 1 opens a flush, shard 2 ends one (its start fell outside
+        // the window): shard 2's end must not consume shard 1's start.
+        r.events = vec![
+            Event {
+                seq: 0,
+                ts_micros: 100,
+                shard: 1,
+                kind: EventKind::FlushStart {
+                    entries: 10,
+                    bytes: 640,
+                },
+            },
+            Event {
+                seq: 1,
+                ts_micros: 180,
+                shard: 2,
+                kind: EventKind::FlushEnd {
+                    duration_micros: 80,
+                },
+            },
+        ];
+        let trace = r.to_chrome_trace();
+        // Shard 2's orphan end renders with empty args; shard 1's start
+        // survives as an instant.
+        assert!(trace.contains(
+            r#""name":"flush","ph":"X","cat":"monkey","ts":100,"dur":80,"pid":1,"tid":9,"args":{}"#
+        ));
+        assert!(trace.contains(r#""name":"flush_start","ph":"i""#));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::advisor::{MeasuredWorkload, WorkloadCharacterizer};
@@ -19,6 +19,7 @@ use crate::attribution::{IoAttribution, LEVEL_SLOTS, MAX_LEVELS};
 use crate::counter::ShardedCounter;
 use crate::events::{Event, EventKind, EventRing};
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::trace::Tracer;
 
 /// Operations with dedicated latency histograms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,12 +137,14 @@ impl LevelLookupSnapshot {
 /// online workload characterizer.
 pub struct Telemetry {
     origin: Instant,
+    shard: u32,
     hists: [LatencyHistogram; OP_KINDS.len()],
     op_counts: [ShardedCounter; OP_KINDS.len()],
     level_lookups: [LevelLookup; LEVEL_SLOTS],
     attribution: Arc<IoAttribution>,
     events: EventRing,
     workload: WorkloadCharacterizer,
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 impl Telemetry {
@@ -150,15 +153,34 @@ impl Telemetry {
     pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
     pub fn new(event_capacity: usize) -> Self {
+        Self::for_shard(0, event_capacity)
+    }
+
+    /// A hub whose events are stamped with `shard` — the originating
+    /// shard index on a multi-shard store.
+    pub fn for_shard(shard: u32, event_capacity: usize) -> Self {
         Self {
             origin: Instant::now(),
+            shard,
             hists: std::array::from_fn(|_| LatencyHistogram::new()),
             op_counts: std::array::from_fn(|_| ShardedCounter::new()),
             level_lookups: std::array::from_fn(|_| LevelLookup::default()),
             attribution: Arc::new(IoAttribution::new()),
-            events: EventRing::new(event_capacity),
+            events: EventRing::for_shard(shard, event_capacity),
             workload: WorkloadCharacterizer::new(),
+            tracer: OnceLock::new(),
         }
+    }
+
+    /// The shard index stamped into this hub's events.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Attach the shard's tracer so every structured event is also
+    /// spilled into the flight recorder. First attachment wins.
+    pub fn attach_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
     }
 
     /// Microseconds since this telemetry object was created. Monotonic.
@@ -200,9 +222,13 @@ impl Telemetry {
         self.hists[kind as usize].record(nanos);
     }
 
-    /// Append a structured event stamped with the current monotonic time.
+    /// Append a structured event stamped with the current monotonic time,
+    /// forwarding it to the flight recorder when a tracer is attached.
     pub fn event(&self, kind: EventKind) {
-        self.events.push(self.now_micros(), kind);
+        let event = self.events.push(self.now_micros(), kind);
+        if let Some(t) = self.tracer.get() {
+            t.spill_event(&event);
+        }
     }
 
     fn level_slot(level: usize) -> usize {

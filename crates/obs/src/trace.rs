@@ -1,0 +1,889 @@
+//! Causal span tracing and the on-disk flight recorder.
+//!
+//! A [`Tracer`] hands out sampled per-operation **spans**: ids with parent
+//! links and a small fixed vector of causal references (`links`), so
+//! background work can be attributed to the foreground operations that
+//! caused it — a `put` records the WAL group-commit batch that carried it
+//! and the memtable generation it landed in, a flush records the
+//! generation it drained, and a cascade records the lineage of its merge
+//! input runs plus how many partitions/threads the merge engine used.
+//!
+//! Hot-path cost model mirrors the telemetry hub: the engine holds an
+//! `Option<Arc<Tracer>>` (`None` when `DbOptions::tracing` is off, one
+//! branch per op), and high-frequency ops only start a span one call in
+//! `sample_period` via a thread-local tick. Rare background spans (flush,
+//! cascade, stall, WAL batch) are recorded whenever tracing is on.
+//!
+//! Finished spans land in a bounded in-memory ring (evictions are counted,
+//! never blocking) and — when the store is directory-backed — in the
+//! **flight recorder**: a size-capped ring of `obs-NNNNNN.log` segments of
+//! checksum-framed records, written with plain buffered appends (no
+//! fsync), so the last seconds before a crash survive process death and
+//! can be decoded offline ([`FlightRecorder::decode_dir`]) and correlated
+//! against WAL/manifest state.
+//!
+//! Record framing (all integers little-endian):
+//!
+//! ```text
+//! [u64 fnv1a(payload)][u32 payload_len][payload]
+//! payload = [u8 tag = 1 (span)][u8 kind][u32 shard][u64 id][u64 parent]
+//!           [u64 start_micros][u64 duration_micros][u16 n][n × u64 links]
+//! payload = [u8 tag = 2 (event)][u8 kind][u32 shard][u64 seq][u64 ts]
+//!           [kind-specific u64 fields; background_error carries
+//!            u32 len + utf-8 bytes]
+//! ```
+//!
+//! Decoding stops at the first bad checksum or short frame in a segment
+//! (exactly the WAL's torn-tail rule), so a record half-written at the
+//! moment of the crash is dropped rather than misread.
+
+use crate::events::{Event, EventKind};
+use crate::sketch::fnv1a;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One in this many high-frequency ops (`put`/`get`) starts a span when
+/// tracing is on. Power of two so the modulo is a mask.
+pub const DEFAULT_TRACE_SAMPLE_PERIOD: u64 = 32;
+
+/// Default capacity of the in-memory finished-span ring.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// Default per-segment byte cap for the flight recorder.
+pub const DEFAULT_RECORDER_SEGMENT_BYTES: u64 = 64 << 10;
+
+/// Default number of flight-recorder segments retained per shard.
+pub const DEFAULT_RECORDER_MAX_SEGMENTS: usize = 8;
+
+thread_local! {
+    static TRACE_TICK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// What a span measured. The `links` layout is fixed per kind (see each
+/// variant); extra trailing links are allowed so decoders must index, not
+/// match on length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A `put`. `links = [wal_batch, memtable_generation]` — the WAL
+    /// group-commit batch (0 when the store has no WAL) that made it
+    /// durable and the memtable generation that absorbed it.
+    Put,
+    /// A `get`. `links = []`.
+    Get,
+    /// One WAL group-commit batch. `links = [wal_batch, records]`.
+    WalCommit,
+    /// A memtable flush. `links = [generation, entries,
+    /// wal_segment_plus_one]` (0 = no WAL segment sealed under it).
+    Flush,
+    /// A merge cascade. `parent` is the flush span that triggered it;
+    /// `links = [generation, merges, max_partitions, max_threads,
+    /// input_run_ids...]`.
+    Cascade,
+    /// A writer stalled on backpressure. `parent` is the sampled put that
+    /// hit the stall (0 when unsampled); `links = [queue_depth]`.
+    Stall,
+}
+
+impl SpanKind {
+    /// Stable snake_case name used by renderers and the decoder.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Put => "put",
+            SpanKind::Get => "get",
+            SpanKind::WalCommit => "wal_commit",
+            SpanKind::Flush => "flush",
+            SpanKind::Cascade => "cascade",
+            SpanKind::Stall => "stall",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            SpanKind::Put => 1,
+            SpanKind::Get => 2,
+            SpanKind::WalCommit => 3,
+            SpanKind::Flush => 4,
+            SpanKind::Cascade => 5,
+            SpanKind::Stall => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => SpanKind::Put,
+            2 => SpanKind::Get,
+            3 => SpanKind::WalCommit,
+            4 => SpanKind::Flush,
+            5 => SpanKind::Cascade,
+            6 => SpanKind::Stall,
+            _ => return None,
+        })
+    }
+}
+
+/// A finished span: an id, an optional parent (0 = root), the shard that
+/// recorded it, timing relative to the tracer's origin, and the causal
+/// links whose layout [`SpanKind`] documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Unique (per tracer) id, starting at 1. 0 never names a span.
+    pub id: u64,
+    /// Parent span id; 0 = no parent.
+    pub parent: u64,
+    /// Shard that recorded the span.
+    pub shard: u32,
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Start, microseconds since the tracer's origin.
+    pub start_micros: u64,
+    /// Wall-clock duration in microseconds.
+    pub duration_micros: u64,
+    /// Kind-specific causal references (see [`SpanKind`]).
+    pub links: Vec<u64>,
+}
+
+/// A started-but-unfinished span handed to the caller; pass it back to
+/// [`Tracer::finish`] with the parent and links once the work completes.
+#[derive(Debug)]
+pub struct ActiveSpan {
+    /// The id the finished span will carry (usable as a parent for child
+    /// spans started before this one finishes).
+    pub id: u64,
+    kind: SpanKind,
+    start: Instant,
+    start_micros: u64,
+}
+
+struct SpanRing {
+    buf: VecDeque<Span>,
+    capacity: usize,
+}
+
+/// Per-shard span source: sampling, id allocation, the finished-span
+/// ring, and the optional on-disk [`FlightRecorder`].
+pub struct Tracer {
+    shard: u32,
+    sample_period: u64,
+    origin: Instant,
+    next_id: AtomicU64,
+    started: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<SpanRing>,
+    recorder: Option<FlightRecorder>,
+}
+
+impl Tracer {
+    /// A tracer for `shard`, sampling one high-frequency op in
+    /// `sample_period` (clamped to ≥ 1), spilling spans and events into
+    /// `recorder` when one is given.
+    pub fn new(shard: u32, sample_period: u64, recorder: Option<FlightRecorder>) -> Self {
+        Self {
+            shard,
+            sample_period: sample_period.max(1),
+            origin: Instant::now(),
+            next_id: AtomicU64::new(1),
+            started: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(SpanRing {
+                buf: VecDeque::with_capacity(DEFAULT_SPAN_CAPACITY),
+                capacity: DEFAULT_SPAN_CAPACITY,
+            }),
+            recorder,
+        }
+    }
+
+    /// The shard this tracer stamps into its spans.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Microseconds since this tracer was created. Monotonic.
+    pub fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Advance the thread-local sampling tick; true when this call is the
+    /// one in `sample_period` that should be traced.
+    #[inline]
+    pub fn sample(&self) -> bool {
+        TRACE_TICK.with(|t| {
+            let v = t.get();
+            t.set(v.wrapping_add(1));
+            v % self.sample_period == 0
+        })
+    }
+
+    /// Start a span unconditionally (background work: flush, cascade,
+    /// stall, WAL batch).
+    pub fn start(&self, kind: SpanKind) -> ActiveSpan {
+        self.started.fetch_add(1, Ordering::Relaxed);
+        ActiveSpan {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            kind,
+            start: Instant::now(),
+            start_micros: self.now_micros(),
+        }
+    }
+
+    /// Start a span only when the sampler picks this call (hot paths).
+    #[inline]
+    pub fn maybe_start(&self, kind: SpanKind) -> Option<ActiveSpan> {
+        if self.sample() {
+            Some(self.start(kind))
+        } else {
+            None
+        }
+    }
+
+    /// Finish `active`: stamp duration, attach `parent` and `links`, spill
+    /// to the flight recorder, and push into the ring (evicting — and
+    /// counting — the oldest when full).
+    pub fn finish(&self, active: ActiveSpan, parent: u64, links: Vec<u64>) {
+        let span = Span {
+            id: active.id,
+            parent,
+            shard: self.shard,
+            kind: active.kind,
+            start_micros: active.start_micros,
+            duration_micros: active.start.elapsed().as_micros() as u64,
+            links,
+        };
+        if let Some(r) = &self.recorder {
+            r.append_span(&span);
+        }
+        let mut g = self.ring.lock().unwrap();
+        if g.buf.len() == g.capacity {
+            g.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.buf.push_back(span);
+    }
+
+    /// Spill a structured event into the flight recorder (no-op without
+    /// one). The telemetry hub calls this from `event()` so the on-disk
+    /// timeline interleaves events with spans.
+    pub fn spill_event(&self, event: &Event) {
+        if let Some(r) = &self.recorder {
+            r.append_event(event);
+        }
+    }
+
+    /// Spans started since creation (`monkey_trace_spans_total`).
+    pub fn spans_started(&self) -> u64 {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Finished spans evicted from the ring before any drain saw them.
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Bytes this process has appended to the flight recorder
+    /// (`monkey_recorder_bytes`); 0 without a recorder.
+    pub fn recorder_bytes(&self) -> u64 {
+        self.recorder.as_ref().map_or(0, |r| r.bytes_written())
+    }
+
+    /// Recorder appends that failed (disk full, permissions); the engine
+    /// never surfaces these as errors.
+    pub fn recorder_errors(&self) -> u64 {
+        self.recorder.as_ref().map_or(0, |r| r.write_errors())
+    }
+
+    /// The attached flight recorder, if the store is directory-backed.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Remove and return the buffered spans, oldest first.
+    pub fn drain_spans(&self) -> Vec<Span> {
+        self.ring.lock().unwrap().buf.drain(..).collect()
+    }
+
+    /// Copy the buffered spans without consuming them.
+    pub fn peek_spans(&self) -> Vec<Span> {
+        self.ring.lock().unwrap().buf.iter().cloned().collect()
+    }
+}
+
+const REC_SPAN: u8 = 1;
+const REC_EVENT: u8 = 2;
+
+const EV_FLUSH_START: u8 = 1;
+const EV_FLUSH_END: u8 = 2;
+const EV_CASCADE_INSTALL: u8 = 3;
+const EV_STALL_BEGIN: u8 = 4;
+const EV_STALL_END: u8 = 5;
+const EV_WAL_GROUP_COMMIT: u8 = 6;
+const EV_BACKGROUND_ERROR: u8 = 7;
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        let b = self.buf.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let b = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(b)
+    }
+}
+
+fn encode_span(span: &Span) -> Vec<u8> {
+    let mut p = Vec::with_capacity(40 + span.links.len() * 8);
+    p.push(REC_SPAN);
+    p.push(span.kind.tag());
+    put_u32(&mut p, span.shard);
+    put_u64(&mut p, span.id);
+    put_u64(&mut p, span.parent);
+    put_u64(&mut p, span.start_micros);
+    put_u64(&mut p, span.duration_micros);
+    p.extend_from_slice(&(span.links.len() as u16).to_le_bytes());
+    for &l in &span.links {
+        put_u64(&mut p, l);
+    }
+    p
+}
+
+fn encode_event(event: &Event) -> Vec<u8> {
+    let mut p = Vec::with_capacity(40);
+    p.push(REC_EVENT);
+    let tag = match &event.kind {
+        EventKind::FlushStart { .. } => EV_FLUSH_START,
+        EventKind::FlushEnd { .. } => EV_FLUSH_END,
+        EventKind::CascadeInstall { .. } => EV_CASCADE_INSTALL,
+        EventKind::StallBegin { .. } => EV_STALL_BEGIN,
+        EventKind::StallEnd { .. } => EV_STALL_END,
+        EventKind::WalGroupCommit { .. } => EV_WAL_GROUP_COMMIT,
+        EventKind::BackgroundError { .. } => EV_BACKGROUND_ERROR,
+    };
+    p.push(tag);
+    put_u32(&mut p, event.shard);
+    put_u64(&mut p, event.seq);
+    put_u64(&mut p, event.ts_micros);
+    match &event.kind {
+        EventKind::FlushStart { entries, bytes } => {
+            put_u64(&mut p, *entries);
+            put_u64(&mut p, *bytes);
+        }
+        EventKind::FlushEnd { duration_micros } => put_u64(&mut p, *duration_micros),
+        EventKind::CascadeInstall {
+            merges,
+            deepest_level,
+        } => {
+            put_u64(&mut p, *merges);
+            put_u64(&mut p, *deepest_level);
+        }
+        EventKind::StallBegin { queue_depth } => put_u64(&mut p, *queue_depth),
+        EventKind::StallEnd { waited_micros } => put_u64(&mut p, *waited_micros),
+        EventKind::WalGroupCommit { records } => put_u64(&mut p, *records),
+        EventKind::BackgroundError { message } => {
+            put_u32(&mut p, message.len() as u32);
+            p.extend_from_slice(message.as_bytes());
+        }
+    }
+    p
+}
+
+fn decode_payload(payload: &[u8]) -> Option<RecorderRecord> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    match r.u8()? {
+        REC_SPAN => {
+            let kind = SpanKind::from_tag(r.u8()?)?;
+            let shard = r.u32()?;
+            let id = r.u64()?;
+            let parent = r.u64()?;
+            let start_micros = r.u64()?;
+            let duration_micros = r.u64()?;
+            let n = r.u16()? as usize;
+            let mut links = Vec::with_capacity(n);
+            for _ in 0..n {
+                links.push(r.u64()?);
+            }
+            Some(RecorderRecord::Span(Span {
+                id,
+                parent,
+                shard,
+                kind,
+                start_micros,
+                duration_micros,
+                links,
+            }))
+        }
+        REC_EVENT => {
+            let tag = r.u8()?;
+            let shard = r.u32()?;
+            let seq = r.u64()?;
+            let ts_micros = r.u64()?;
+            let kind = match tag {
+                EV_FLUSH_START => EventKind::FlushStart {
+                    entries: r.u64()?,
+                    bytes: r.u64()?,
+                },
+                EV_FLUSH_END => EventKind::FlushEnd {
+                    duration_micros: r.u64()?,
+                },
+                EV_CASCADE_INSTALL => EventKind::CascadeInstall {
+                    merges: r.u64()?,
+                    deepest_level: r.u64()?,
+                },
+                EV_STALL_BEGIN => EventKind::StallBegin {
+                    queue_depth: r.u64()?,
+                },
+                EV_STALL_END => EventKind::StallEnd {
+                    waited_micros: r.u64()?,
+                },
+                EV_WAL_GROUP_COMMIT => EventKind::WalGroupCommit { records: r.u64()? },
+                EV_BACKGROUND_ERROR => {
+                    let len = r.u32()? as usize;
+                    EventKind::BackgroundError {
+                        message: String::from_utf8_lossy(r.bytes(len)?).into_owned(),
+                    }
+                }
+                _ => return None,
+            };
+            Some(RecorderRecord::Event(Event {
+                seq,
+                ts_micros,
+                shard,
+                kind,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// One decoded flight-recorder record: a finished span or a structured
+/// engine event, both shard-tagged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecorderRecord {
+    /// A finished [`Span`].
+    Span(Span),
+    /// A structured [`Event`] spilled from the telemetry ring.
+    Event(Event),
+}
+
+/// The result of decoding a directory of recorder segments.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedFlight {
+    /// Every cleanly-decoded record, in segment-then-offset order (which
+    /// is append order for a single shard).
+    pub records: Vec<RecorderRecord>,
+    /// Number of `obs-NNNNNN.log` segments found.
+    pub segments: usize,
+    /// True when some segment ended in a torn or corrupt frame (expected
+    /// for the newest segment after a crash); decoding of that segment
+    /// stopped there.
+    pub truncated: bool,
+}
+
+struct RecorderInner {
+    file: File,
+    seg_no: u64,
+    seg_bytes: u64,
+    segments: VecDeque<u64>,
+}
+
+/// Bounded on-disk ring of checksum-framed span/event records (see the
+/// module docs for the framing). Appends are plain buffered writes — the
+/// recorder trades the last instant of data for never stalling the
+/// engine; a crashed process still leaves everything the page cache
+/// accepted, which is what post-crash forensics need.
+pub struct FlightRecorder {
+    dir: PathBuf,
+    segment_bytes: u64,
+    max_segments: usize,
+    bytes_written: AtomicU64,
+    write_errors: AtomicU64,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// Opens (creating `dir` if needed) a recorder whose segments hold at
+    /// most `segment_bytes` each, retaining at most `max_segments`
+    /// segments — older ones are deleted as the ring advances. Segments
+    /// left by a previous process are kept (and count against the cap) so
+    /// reopening after a crash preserves the pre-crash timeline.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+        max_segments: usize,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut existing = segment_numbers(&dir)?;
+        existing.sort_unstable();
+        let seg_no = existing.last().map_or(0, |n| n + 1);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, seg_no))?;
+        let mut segments: VecDeque<u64> = existing.into();
+        segments.push_back(seg_no);
+        let recorder = Self {
+            dir,
+            segment_bytes: segment_bytes.max(1024),
+            max_segments: max_segments.max(1),
+            bytes_written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            inner: Mutex::new(RecorderInner {
+                file,
+                seg_no,
+                seg_bytes: 0,
+                segments,
+            }),
+        };
+        recorder.enforce_cap(&mut recorder.inner.lock().unwrap());
+        Ok(recorder)
+    }
+
+    /// The directory holding this recorder's segments.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes appended by this process.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Appends that failed; the record is dropped, never retried.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Append a finished span.
+    pub fn append_span(&self, span: &Span) {
+        self.append(&encode_span(span));
+    }
+
+    /// Append a structured event.
+    pub fn append_event(&self, event: &Event) {
+        self.append(&encode_event(event));
+    }
+
+    fn append(&self, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        put_u64(&mut frame, fnv1a(payload));
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(payload);
+        let mut g = self.inner.lock().unwrap();
+        if g.seg_bytes > 0
+            && g.seg_bytes + frame.len() as u64 > self.segment_bytes
+            && self.rotate(&mut g).is_err()
+        {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match g.file.write_all(&frame) {
+            Ok(()) => {
+                g.seg_bytes += frame.len() as u64;
+                self.bytes_written
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn rotate(&self, g: &mut RecorderInner) -> Result<(), ()> {
+        let next = g.seg_no + 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))
+            .map_err(|_| ())?;
+        g.file = file;
+        g.seg_no = next;
+        g.seg_bytes = 0;
+        g.segments.push_back(next);
+        self.enforce_cap(g);
+        Ok(())
+    }
+
+    fn enforce_cap(&self, g: &mut RecorderInner) {
+        while g.segments.len() > self.max_segments {
+            if let Some(old) = g.segments.pop_front() {
+                let _ = std::fs::remove_file(segment_path(&self.dir, old));
+            }
+        }
+    }
+
+    /// Decode every `obs-NNNNNN.log` segment under `dir` (non-recursive),
+    /// oldest segment first. Missing directory decodes as empty.
+    pub fn decode_dir(dir: impl AsRef<Path>) -> DecodedFlight {
+        let dir = dir.as_ref();
+        let mut numbers = segment_numbers(dir).unwrap_or_default();
+        numbers.sort_unstable();
+        let mut out = DecodedFlight {
+            segments: numbers.len(),
+            ..DecodedFlight::default()
+        };
+        for n in numbers {
+            let Ok(bytes) = std::fs::read(segment_path(dir, n)) else {
+                out.truncated = true;
+                continue;
+            };
+            let (records, clean) = decode_segment(&bytes);
+            out.records.extend(records);
+            if !clean {
+                out.truncated = true;
+            }
+        }
+        out
+    }
+}
+
+fn segment_path(dir: &Path, n: u64) -> PathBuf {
+    dir.join(format!("obs-{n:06}.log"))
+}
+
+fn segment_numbers(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix("obs-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+        {
+            if let Ok(n) = num.parse::<u64>() {
+                out.push(n);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decode one segment's bytes; returns the records plus whether the
+/// segment decoded cleanly to its end (false = torn/corrupt tail).
+pub fn decode_segment(bytes: &[u8]) -> (Vec<RecorderRecord>, bool) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 12) else {
+            return (records, false);
+        };
+        let checksum = u64::from_le_bytes(header[..8].try_into().unwrap());
+        let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
+            return (records, false);
+        };
+        if fnv1a(payload) != checksum {
+            return (records, false);
+        }
+        match decode_payload(payload) {
+            Some(rec) => records.push(rec),
+            None => return (records, false),
+        }
+        pos += 12 + len;
+    }
+    (records, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("monkey-trace-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn span(id: u64, kind: SpanKind, links: Vec<u64>) -> Span {
+        Span {
+            id,
+            parent: 0,
+            shard: 3,
+            kind,
+            start_micros: 100 * id,
+            duration_micros: 7,
+            links,
+        }
+    }
+
+    #[test]
+    fn span_and_event_roundtrip_through_a_segment() {
+        let d = tmp("roundtrip");
+        let r = FlightRecorder::open(&d, 1 << 20, 4).unwrap();
+        r.append_span(&span(1, SpanKind::Put, vec![42, 5]));
+        r.append_event(&Event {
+            seq: 9,
+            ts_micros: 1234,
+            shard: 3,
+            kind: EventKind::WalGroupCommit { records: 6 },
+        });
+        r.append_span(&span(2, SpanKind::Cascade, vec![5, 2, 4, 1, 77, 78]));
+        r.append_event(&Event {
+            seq: 10,
+            ts_micros: 1300,
+            shard: 3,
+            kind: EventKind::BackgroundError {
+                message: "injected fault".into(),
+            },
+        });
+        assert!(r.bytes_written() > 0);
+        assert_eq!(r.write_errors(), 0);
+        let decoded = FlightRecorder::decode_dir(&d);
+        assert_eq!(decoded.segments, 1);
+        assert!(!decoded.truncated);
+        assert_eq!(decoded.records.len(), 4);
+        assert_eq!(
+            decoded.records[0],
+            RecorderRecord::Span(span(1, SpanKind::Put, vec![42, 5]))
+        );
+        match &decoded.records[3] {
+            RecorderRecord::Event(e) => {
+                assert_eq!(e.shard, 3);
+                assert_eq!(e.kind.name(), "background_error");
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_stops_decoding_cleanly() {
+        let d = tmp("torn");
+        let r = FlightRecorder::open(&d, 1 << 20, 4).unwrap();
+        r.append_span(&span(1, SpanKind::Flush, vec![1, 10, 0]));
+        r.append_span(&span(2, SpanKind::Flush, vec![2, 10, 0]));
+        drop(r);
+        let seg = segment_path(&d, 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let decoded = FlightRecorder::decode_dir(&d);
+        assert!(decoded.truncated);
+        assert_eq!(decoded.records.len(), 1, "only the intact record");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn segment_ring_rotates_and_deletes_oldest() {
+        let d = tmp("ring");
+        let r = FlightRecorder::open(&d, 1024, 2).unwrap();
+        // Each span frame is ~60 bytes; write enough to force several
+        // rotations past the 2-segment cap.
+        for i in 0..200 {
+            r.append_span(&span(i, SpanKind::Put, vec![i, 1]));
+        }
+        let mut numbers = segment_numbers(&d).unwrap();
+        numbers.sort_unstable();
+        assert!(numbers.len() <= 2, "cap enforced: {numbers:?}");
+        assert!(*numbers.last().unwrap() >= 2, "ring advanced");
+        let decoded = FlightRecorder::decode_dir(&d);
+        assert!(!decoded.truncated);
+        // The retained tail is the most recent spans, contiguous.
+        let ids: Vec<u64> = decoded
+            .records
+            .iter()
+            .map(|rec| match rec {
+                RecorderRecord::Span(s) => s.id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(*ids.last().unwrap(), 199);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_previous_segments() {
+        let d = tmp("reopen");
+        {
+            let r = FlightRecorder::open(&d, 1 << 20, 4).unwrap();
+            r.append_span(&span(1, SpanKind::Put, vec![1, 1]));
+        }
+        let r = FlightRecorder::open(&d, 1 << 20, 4).unwrap();
+        r.append_span(&span(2, SpanKind::Put, vec![2, 1]));
+        let decoded = FlightRecorder::decode_dir(&d);
+        assert_eq!(decoded.segments, 2, "old segment kept for forensics");
+        assert_eq!(decoded.records.len(), 2);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn sampling_period_one_traces_every_op() {
+        let t = Tracer::new(0, 1, None);
+        for _ in 0..10 {
+            let s = t.maybe_start(SpanKind::Put).expect("period 1 samples all");
+            t.finish(s, 0, vec![0, 1]);
+        }
+        assert_eq!(t.spans_started(), 10);
+        assert_eq!(t.spans_dropped(), 0);
+        let spans = t.drain_spans();
+        assert_eq!(spans.len(), 10);
+        // Ids are unique and monotonically increasing from 1.
+        assert!(spans.windows(2).all(|w| w[1].id == w[0].id + 1));
+        assert_eq!(spans[0].id, 1);
+    }
+
+    #[test]
+    fn sampling_thins_by_the_period() {
+        let t = Tracer::new(0, 8, None);
+        let mut taken = 0;
+        for _ in 0..64 {
+            if let Some(s) = t.maybe_start(SpanKind::Get) {
+                t.finish(s, 0, vec![]);
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 8, "exactly one in eight on a single thread");
+    }
+
+    #[test]
+    fn ring_eviction_counts_dropped() {
+        let t = Tracer::new(0, 1, None);
+        for _ in 0..(DEFAULT_SPAN_CAPACITY + 10) {
+            let s = t.start(SpanKind::Flush);
+            t.finish(s, 0, vec![]);
+        }
+        assert_eq!(t.spans_dropped(), 10);
+        assert_eq!(t.peek_spans().len(), DEFAULT_SPAN_CAPACITY);
+    }
+}
