@@ -1,0 +1,193 @@
+//! Observability-plane benchmarks: what the live scrape endpoint and the
+//! device-level I/O timing cost.
+//!
+//! Three measurements, each emitted into the repo-root `BENCH_obsd.json`
+//! artifact:
+//!
+//! 1. **I/O-timing overhead** — directory-backed put throughput with
+//!    telemetry (and therefore the backend latency histograms on
+//!    `write_page`/`sync`) off vs on. This is the device-level complement
+//!    of the in-memory `telemetry_overhead` gate in `write.rs`; the same
+//!    <2% budget applies.
+//! 2. **Scrape latency** — full `GET /metrics` and `GET /report.json`
+//!    round trips against a populated store's embedded endpoint,
+//!    connection setup to body, p50/max over repeated scrapes.
+//! 3. **Scrape interference** — put throughput alone vs with a scraper
+//!    hammering `/metrics` in a loop: the cost a monitoring system
+//!    imposes on the write path it observes.
+
+use monkey::{http_get, Db, DbOptions, DbOptionsExt, MergePolicy};
+use std::time::Instant;
+
+const VALUE_LEN: usize = 64;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("monkey-obsd-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> DbOptions {
+    DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(16 << 10)
+        .size_ratio(2)
+        .merge_policy(MergePolicy::Leveling)
+        .monkey_filters(5.0)
+}
+
+/// Put throughput on a directory-backed store (where `write_page` and
+/// `sync` hit a real filesystem and are therefore timed when telemetry is
+/// on), interleaved best-of-5 in both states.
+fn io_timing_overhead(n: usize) {
+    let round = |telemetry: bool, tag: &str| -> f64 {
+        let dir = tempdir(tag);
+        let db = Db::open(
+            DbOptions::at_path(&dir)
+                .page_size(1024)
+                .buffer_capacity(16 << 10)
+                .size_ratio(2)
+                .merge_policy(MergePolicy::Leveling)
+                .monkey_filters(5.0)
+                .telemetry(telemetry),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        for i in 0..n {
+            db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                .unwrap();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+        ns
+    };
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        off = off.min(round(false, "off"));
+        on = on.min(round(true, "on"));
+    }
+    let overhead = (on - off) / off * 100.0;
+    println!("\nio_timing_overhead (directory-backed put path, {n} puts, best of 5):");
+    println!("  telemetry+io timing off: {off:.1} ns/put");
+    println!("  telemetry+io timing on:  {on:.1} ns/put   overhead {overhead:+.2}%");
+    monkey_bench::emit_bench_artifact(
+        "BENCH_obsd.json",
+        "io_timing",
+        &format!(
+            "{{\"ops\": {n}, \"ns_per_put_off\": {off:.1}, \"ns_per_put_on\": {on:.1}, \
+             \"put_overhead_pct\": {overhead:.2}}}"
+        ),
+    );
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() as f64 * p) as usize).min(sorted.len() - 1)]
+}
+
+/// Full scrape round trips (TCP connect + request + full body) against a
+/// populated endpoint.
+fn scrape_latency(entries: usize, scrapes: usize) {
+    let db = Db::open(opts().telemetry(true).obs_listen("127.0.0.1:0")).unwrap();
+    for i in 0..entries {
+        db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+            .unwrap();
+    }
+    let addr = db.obs_addr().unwrap().to_string();
+    println!("\nscrape_latency ({entries} resident entries, {scrapes} scrapes per route):");
+    let mut sections = Vec::new();
+    for path in ["/metrics", "/report.json"] {
+        let mut micros = Vec::with_capacity(scrapes);
+        let mut body_bytes = 0usize;
+        for _ in 0..scrapes {
+            let t0 = Instant::now();
+            let (status, body) = http_get(&addr, path).unwrap();
+            micros.push(t0.elapsed().as_nanos() as f64 / 1e3);
+            assert_eq!(status, 200);
+            body_bytes = body.len();
+        }
+        micros.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99, max) = (
+            percentile(&micros, 0.50),
+            percentile(&micros, 0.99),
+            micros[micros.len() - 1],
+        );
+        println!(
+            "  GET {path:<13} p50 {p50:>8.1}us  p99 {p99:>8.1}us  max {max:>8.1}us  \
+             ({body_bytes} B body)"
+        );
+        sections.push(format!(
+            "\"{path}\": {{\"p50_micros\": {p50:.1}, \"p99_micros\": {p99:.1}, \
+             \"max_micros\": {max:.1}, \"body_bytes\": {body_bytes}}}"
+        ));
+    }
+    monkey_bench::emit_bench_artifact(
+        "BENCH_obsd.json",
+        "scrape_latency",
+        &format!("{{\"scrapes\": {scrapes}, {}}}", sections.join(", ")),
+    );
+}
+
+/// Put throughput with and without a concurrent scraper polling
+/// `/metrics` every 10ms — an order of magnitude hotter than any real
+/// monitoring interval, so the measured delta bounds the interference a
+/// scraper imposes on the write path it observes. (On a single-core
+/// runner the delta is mostly scheduler time-slicing, not endpoint cost;
+/// the artifact row carries the `flagged_single_core` marker.)
+fn scrape_interference(n: usize) {
+    let round = |scraped: bool| -> f64 {
+        let db = Db::open(opts().telemetry(true).obs_listen("127.0.0.1:0")).unwrap();
+        let addr = db.obs_addr().unwrap().to_string();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            if scraped {
+                let stop = &stop;
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let _ = http_get(&addr, "/metrics");
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                });
+            }
+            let t0 = Instant::now();
+            for i in 0..n {
+                db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                    .unwrap();
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / n as f64;
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            ns
+        })
+    };
+    let (mut alone, mut scraped) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        alone = alone.min(round(false));
+        scraped = scraped.min(round(true));
+    }
+    let overhead = (scraped - alone) / alone * 100.0;
+    println!("\nscrape_interference (put path, {n} puts, best of 3):");
+    println!("  unobserved:           {alone:.1} ns/put");
+    println!("  /metrics scrape loop: {scraped:.1} ns/put   overhead {overhead:+.2}%");
+    monkey_bench::emit_bench_artifact(
+        "BENCH_obsd.json",
+        "scrape_interference",
+        &format!(
+            "{{\"ops\": {n}, \"ns_per_put_alone\": {alone:.1}, \
+             \"ns_per_put_scraped\": {scraped:.1}, \"overhead_pct\": {overhead:.2}{}}}",
+            monkey_bench::single_core_flag()
+        ),
+    );
+}
+
+fn main() {
+    // `cargo test --benches` passes `--test`: keep the smoke run cheap.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    io_timing_overhead(if test_mode { 2_000 } else { 100_000 });
+    scrape_latency(
+        if test_mode { 2_000 } else { 20_000 },
+        if test_mode { 20 } else { 200 },
+    );
+    scrape_interference(if test_mode { 2_000 } else { 100_000 });
+}

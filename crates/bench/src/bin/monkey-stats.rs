@@ -4,9 +4,12 @@
 //! model-drift section, and the event timeline.
 //!
 //! ```text
-//! monkey-stats [--entries N] [--in-memory] [--json | --prometheus]
+//! monkey-stats [--entries N] [--shards N] [--in-memory]
+//!              [--json | --prometheus]
 //!              [--watch N] [--advise] [--budget BYTES] [--trace OUT.json]
 //!              [--dir PATH] [--flight-recorder DIR]
+//!              [--serve HOST:PORT [--serve-seconds N]]
+//!              [--connect HOST:PORT]
 //! ```
 //!
 //! By default the store is directory-backed (in a temp dir, removed on
@@ -38,11 +41,27 @@
 //!   print the recorded timeline's tail, and correlate the flush spans
 //!   against the WAL segments and manifest still on disk — the post-crash
 //!   forensics view.
+//!
+//! Observability-plane flags:
+//!
+//! - `--serve HOST:PORT` binds the store's embedded scrape endpoint
+//!   ([`DbOptions::obs_listen`]) before the workload, wires the advisor
+//!   into `/advice.json`, and after printing the report keeps the process
+//!   (and the endpoint) alive — cutting observatory windows — so remote
+//!   scrapers, `curl`, and `monkey-top --connect` can attach.
+//!   `--serve-seconds N` bounds the serving phase (default: until
+//!   interrupted).
+//! - `--connect HOST:PORT` skips the local store and workload entirely:
+//!   fetch the *remote* store's report and print it in the selected
+//!   format (`--prometheus` relays `/metrics` verbatim; `--json` relays
+//!   `/report.json`; the default re-renders the fetched report through
+//!   the same `pretty()` dump a local run prints).
 
 use monkey::{
-    Db, DbOptions, DbOptionsExt, Environment, FlightRecorder, MergePolicy, RecorderRecord,
-    SpanKind, TuningAdvisor, WindowRates,
+    http_get, Db, DbOptions, DbOptionsExt, Environment, FlightRecorder, MergePolicy,
+    RecorderRecord, SpanKind, TuningAdvisor,
 };
+use monkey_bench::dashboard::{fetch_report, window_line};
 use monkey_workload::{KeySpace, Op, OpMix, TraceBuilder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -198,19 +217,51 @@ fn flight_recorder_main(dir: &Path) {
     }
 }
 
-fn print_window(n: usize, w: &WindowRates) {
-    eprintln!(
-        "# window {n:>3}  {:>7.1} ms  {:>9.0} ops/s ({:>8.0} get/s {:>8.0} put/s {:>6.0} range/s)  \
-         flush {:>9.0} B/s  stall {:>5.3}  write-amp {:>5.2}",
-        w.span_secs * 1e3,
-        w.ops_per_sec,
-        w.gets_per_sec,
-        w.puts_per_sec,
-        w.ranges_per_sec,
-        w.bytes_flushed_per_sec,
-        w.stall_ratio,
-        w.write_amp,
-    );
+/// `--connect`: print a remote store's report instead of running one.
+fn connect_main(addr: &str, json: bool, prometheus: bool) {
+    if prometheus {
+        // Relay the exposition verbatim — byte-identical to what a
+        // Prometheus scraper of the same endpoint ingests.
+        match http_get(addr, "/metrics") {
+            Ok((200, body)) => print!("{body}"),
+            Ok((status, body)) => {
+                eprintln!(
+                    "monkey-stats: {addr}/metrics answered {status}: {}",
+                    body.trim()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("monkey-stats: GET {addr}/metrics: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if json {
+        match http_get(addr, "/report.json") {
+            Ok((200, body)) => println!("{body}"),
+            Ok((status, body)) => {
+                eprintln!(
+                    "monkey-stats: {addr}/report.json answered {status}: {}",
+                    body.trim()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("monkey-stats: GET {addr}/report.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    match fetch_report(addr) {
+        Ok(report) => print!("{}", report.pretty()),
+        Err(e) => {
+            eprintln!("monkey-stats: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -225,6 +276,9 @@ fn main() {
     let entries: u64 = value("--entries")
         .map(|v| v.parse().expect("--entries takes a number"))
         .unwrap_or(1 << 14);
+    let shards: usize = value("--shards")
+        .map(|v| v.parse().expect("--shards takes a number"))
+        .unwrap_or(1);
     let watch: usize = value("--watch")
         .map(|v| v.parse().expect("--watch takes a window count"))
         .unwrap_or(0);
@@ -238,7 +292,12 @@ fn main() {
         flight_recorder_main(Path::new(&dir));
         return;
     }
+    if let Some(addr) = value("--connect") {
+        connect_main(&addr, flag("--json"), flag("--prometheus"));
+        return;
+    }
 
+    let serve_addr = value("--serve");
     let keep_dir = value("--dir").map(PathBuf::from);
     let tmp = keep_dir.clone().unwrap_or_else(|| {
         std::env::temp_dir().join(format!("monkey-stats-{}", std::process::id()))
@@ -252,15 +311,23 @@ fn main() {
         // leaves decodable flight-recorder segments behind (see --dir).
         DbOptions::at_path(&tmp).tracing(true)
     };
-    let db = Db::open(
-        base.page_size(1024)
-            .buffer_capacity(16 << 10)
-            .size_ratio(2)
-            .merge_policy(MergePolicy::Leveling)
-            .monkey_filters(5.0)
-            .telemetry(true),
-    )
-    .expect("open");
+    let mut opts = base
+        .page_size(1024)
+        .buffer_capacity(16 << 10)
+        .size_ratio(2)
+        .merge_policy(MergePolicy::Leveling)
+        .monkey_filters(5.0)
+        .telemetry(true)
+        .shards(shards);
+    if let Some(addr) = &serve_addr {
+        opts = opts.obs_listen(addr.clone());
+    }
+    let db = Db::open(opts).expect("open");
+    // With the endpoint up, wire the advisor so `/advice.json` serves the
+    // closed-loop verdict, not just the measured mix.
+    if serve_addr.is_some() {
+        TuningAdvisor::new(Environment::disk(), budget).serve_on(&db);
+    }
 
     // Load in random order, re-fit filters to the final shape, then a
     // query phase: zero-result gets (exercising the filters), existing
@@ -283,7 +350,7 @@ fn main() {
         for (n, chunk) in queries.chunks(queries.len().div_ceil(watch)).enumerate() {
             run(&db, chunk);
             if let Some(w) = db.observatory_tick() {
-                print_window(n + 1, &w);
+                eprintln!("{}", window_line(n + 1, &w));
             }
         }
     } else {
@@ -319,6 +386,24 @@ fn main() {
         print!("{}", report.to_prometheus());
     } else {
         print!("{}", report.pretty());
+    }
+
+    if serve_addr.is_some() {
+        let addr = db.obs_addr().expect("endpoint bound");
+        let secs: u64 = value("--serve-seconds")
+            .map(|v| v.parse().expect("--serve-seconds takes seconds"))
+            .unwrap_or(u64::MAX);
+        eprintln!(
+            "# serving /metrics /report.json /advice.json /spans.json /events.json /healthz \
+             at http://{addr}/ (attach with monkey-top --connect {addr})"
+        );
+        // Park, keeping the endpoint alive and the observatory windows
+        // ticking so remote scrapers see fresh rates.
+        let started = std::time::Instant::now();
+        while started.elapsed().as_secs() < secs {
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            db.observatory_tick();
+        }
     }
 
     drop(db);

@@ -3,11 +3,12 @@
 //! ```text
 //! monkey-top [--once] [--frames N] [--interval MS] [--shards N]
 //!            [--entries N] [--threads N] [--budget BYTES]
+//!            [--connect HOST:PORT]
 //! ```
 //!
-//! Opens a sharded in-memory store with telemetry and causal tracing on,
-//! drives it from background workload threads, and repaints one frame per
-//! polling interval from [`Db::telemetry_report`] snapshots:
+//! By default it opens a sharded in-memory store with telemetry and causal
+//! tracing on, drives it from background workload threads, and repaints
+//! one frame per polling interval from [`Db::telemetry_report`] snapshots:
 //!
 //! - a totals line (ops/s, measured-vs-model zero-result lookup cost `R`),
 //! - a tracing line (spans started/dropped, flight-recorder bytes),
@@ -16,36 +17,21 @@
 //! - the model-drift flags currently raised, and
 //! - the closed-loop [`TuningAdvisor`] verdict for the measured mix.
 //!
+//! With `--connect HOST:PORT` it attaches to a *remote* store's embedded
+//! scrape endpoint instead ([`DbOptions::obs_listen`]): each frame is one
+//! `GET /report.json` + `GET /advice.json` round trip, rendered through
+//! the same dashboard — no local store, no workload threads.
+//!
 //! `--once` renders a single frame without clearing the screen and exits —
 //! the CI smoke mode. `--frames N` stops after `N` repaints (default: run
 //! until interrupted).
 
-use monkey::{
-    Db, DbOptions, DbOptionsExt, Environment, MergePolicy, TelemetryReport, TuningAdvisor,
-};
+use monkey::{Db, DbOptions, DbOptionsExt, Environment, MergePolicy, TuningAdvisor};
+use monkey_bench::dashboard::{fetch_advice_line, fetch_report, render_frame, ShardPrev};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
-
-/// Per-shard cumulative counters from the previous frame, so rates can be
-/// rendered as deltas over the polling interval.
-#[derive(Clone, Copy, Default)]
-struct ShardPrev {
-    gets: u64,
-    puts: u64,
-    ranges: u64,
-}
-
-fn fmt_bytes(b: u64) -> String {
-    if b >= 1 << 20 {
-        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
-    } else if b >= 1 << 10 {
-        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
-    } else {
-        format!("{b}B")
-    }
-}
 
 /// One workload thread: a seeded mixed loop of puts, maybe-missing gets,
 /// and short range scans over a bounded keyspace.
@@ -78,90 +64,31 @@ fn drive(db: &Db, keyspace: u64, seed: u64, stop: &AtomicBool) {
     }
 }
 
-fn render(
-    report: &TelemetryReport,
-    prev: &mut Vec<ShardPrev>,
-    dt_secs: f64,
-    frame: u64,
-    advice_line: &str,
-) {
-    println!(
-        "monkey-top  frame {frame}  uptime {:.1}s  interval {:.1}s",
-        report.uptime_micros as f64 / 1e6,
-        dt_secs,
-    );
-    let (mut gets, mut puts, mut ranges) = (0u64, 0u64, 0u64);
-    for s in &report.shards {
-        gets += s.gets;
-        puts += s.puts;
-        ranges += s.ranges;
-    }
-    prev.resize(report.shards.len(), ShardPrev::default());
-    let delta_ops: u64 = report
-        .shards
-        .iter()
-        .zip(prev.iter())
-        .map(|(s, p)| (s.gets + s.puts + s.ranges).saturating_sub(p.gets + p.puts + p.ranges))
-        .sum();
-    println!(
-        "ops          {:>9.0}/s   cumulative: {gets} gets  {puts} puts  {ranges} ranges",
-        delta_ops as f64 / dt_secs.max(1e-9),
-    );
-    println!(
-        "lookup cost  R model {:.4}  measured {:.4}  ({} lookups)",
-        report.expected_zero_result_lookup_ios,
-        report.measured_zero_result_lookup_ios,
-        report.lookups,
-    );
-    println!(
-        "tracing      {} spans started  {} dropped  recorder {}",
-        report.spans_started,
-        report.spans_dropped,
-        fmt_bytes(report.recorder_bytes),
-    );
-    println!(
-        "shard      get/s      put/s    range/s  queue  stall  cache-hit     entries    buffer"
-    );
-    for (s, p) in report.shards.iter().zip(prev.iter_mut()) {
-        let dg = s.gets.saturating_sub(p.gets) as f64 / dt_secs.max(1e-9);
-        let dp = s.puts.saturating_sub(p.puts) as f64 / dt_secs.max(1e-9);
-        let dr = s.ranges.saturating_sub(p.ranges) as f64 / dt_secs.max(1e-9);
-        let probes = s.cache_hits + s.page_reads;
-        let hit = if probes > 0 {
-            format!("{:>8.1}%", s.cache_hits as f64 / probes as f64 * 100.0)
-        } else {
-            format!("{:>9}", "-")
+/// `--connect`: poll a remote endpoint, one frame per interval.
+fn remote_main(addr: &str, frames: u64, interval: Duration, once: bool) {
+    let mut prev: Vec<ShardPrev> = Vec::new();
+    let mut last = Instant::now();
+    for frame in 1..=frames {
+        std::thread::sleep(interval);
+        let dt = last.elapsed().as_secs_f64();
+        last = Instant::now();
+        let report = match fetch_report(addr) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("monkey-top: {e}");
+                std::process::exit(1);
+            }
         };
-        println!(
-            "{:>5} {:>10.0} {:>10.0} {:>10.0} {:>6} {:>6} {hit} {:>11} {:>9}",
-            s.shard,
-            dg,
-            dp,
-            dr,
-            s.immutable_queue_depth,
-            s.stalled_writers,
-            s.disk_entries,
-            fmt_bytes(s.buffer_bytes),
-        );
-        *p = ShardPrev {
-            gets: s.gets,
-            puts: s.puts,
-            ranges: s.ranges,
-        };
-    }
-    let drifted = report.drifted();
-    if drifted.is_empty() {
-        println!("drift        none");
-    } else {
-        for l in drifted {
-            let d = l.drift.expect("drifted() only returns flagged levels");
-            println!(
-                "drift        level {}: measured FPR {:.5} vs allocated {:.5} (dev {:.5} > bound {:.5})",
-                l.level, l.measured_fpr, l.allocated_fpr, d.deviation, d.bound,
-            );
+        let advice_line = fetch_advice_line(addr);
+        if !once {
+            // Repaint in place: clear the screen, home the cursor.
+            print!("\x1b[2J\x1b[H");
         }
+        print!(
+            "{}",
+            render_frame(&report, &mut prev, dt, frame, &advice_line)
+        );
     }
-    println!("advisor      {advice_line}");
 }
 
 fn main() {
@@ -182,6 +109,12 @@ fn main() {
             .map(|v| v.parse().expect("--interval takes milliseconds"))
             .unwrap_or(1000),
     );
+
+    if let Some(addr) = value("--connect") {
+        remote_main(&addr, frames, interval, once);
+        return;
+    }
+
     let shards: usize = value("--shards")
         .map(|v| v.parse().expect("--shards takes a number"))
         .unwrap_or(4);
@@ -240,7 +173,10 @@ fn main() {
                 // Repaint in place: clear the screen, home the cursor.
                 print!("\x1b[2J\x1b[H");
             }
-            render(&report, &mut prev, dt, frame, &advice_line);
+            print!(
+                "{}",
+                render_frame(&report, &mut prev, dt, frame, &advice_line)
+            );
         }
         stop.store(true, Ordering::Relaxed);
     });

@@ -1,0 +1,828 @@
+//! Shared dashboard plumbing for `monkey-top` and `monkey-stats`: the
+//! frame/window renderers both bins print, plus the remote-attach side —
+//! a dependency-free JSON reader and the reconstruction of a
+//! [`TelemetryReport`] from the `/report.json` document served by a
+//! store's embedded scrape endpoint
+//! ([`DbOptions::obs_listen`](monkey::DbOptions)).
+//!
+//! The reconstruction is faithful for everything the dashboards render:
+//! counters, latency summaries, per-level rows, per-op backend I/O
+//! latency, shard gauges, and drift flags. The drained event and span
+//! timelines are *not* rebuilt into typed [`monkey::Event`]/
+//! [`monkey::Span`] values — a remote consumer reads those from
+//! `/events.json` and `/spans.json` directly — so `events` and `spans`
+//! come back empty and the renderers treat them as such.
+
+use monkey::{
+    http_get, DriftFlag, IoLatencyReport, IoLevelLatencyReport, LevelIoSnapshot,
+    LevelLookupSnapshot, LevelReport, OpLatencyReport, ShardBreakdown, TelemetryReport,
+    WindowRates,
+};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader. The obs crate's JSON module is emit-only by
+// design (the engine never parses), so the remote-attach side of the
+// dashboards carries its own reader rather than growing the engine or
+// pulling in a dependency.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (read as `f64`; the reports never exceed 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup; `None` on missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number value as an unsigned counter.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|n| n.max(0.0) as u64)
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    // Typed member accessors with defaults, for counter-dense documents.
+    fn u64_of(&self, key: &str) -> u64 {
+        self.get(key).and_then(Json::as_u64).unwrap_or(0)
+    }
+
+    fn f64_of(&self, key: &str) -> f64 {
+        self.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+    }
+
+    fn usize_of(&self, key: &str) -> usize {
+        self.u64_of(key) as usize
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), String> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                expected as char, self.pos
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| "truncated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs never appear in the engine's
+                            // own output; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape {:?}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar, not a byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at offset {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report reconstruction.
+// ---------------------------------------------------------------------------
+
+/// Maps a serialized op name back onto the engine's static name table, so
+/// the rebuilt report can carry the same `&'static str` the in-process
+/// one does. Unknown names (a newer server than this client) are leaked —
+/// bounded by the handful of op kinds a server can emit.
+fn static_op_name(name: &str) -> &'static str {
+    const KNOWN: [&str; 10] = [
+        "get",
+        "put",
+        "range",
+        "flush",
+        "cascade",
+        "merge",
+        "read_page",
+        "read_page_sequential",
+        "write_page",
+        "sync",
+    ];
+    KNOWN
+        .iter()
+        .find(|k| **k == name)
+        .copied()
+        .unwrap_or_else(|| Box::leak(name.to_string().into_boxed_str()))
+}
+
+fn io_snapshot(v: &Json) -> LevelIoSnapshot {
+    LevelIoSnapshot {
+        reads: v.u64_of("reads"),
+        writes: v.u64_of("writes"),
+        read_bytes: v.u64_of("read_bytes"),
+        write_bytes: v.u64_of("write_bytes"),
+        cache_hits: v.u64_of("cache_hits"),
+        cache_hit_bytes: v.u64_of("cache_hit_bytes"),
+    }
+}
+
+/// Rebuilds a [`TelemetryReport`] from the JSON document `to_json()`
+/// emits and `/report.json` serves. Everything the dashboards render
+/// round-trips; the event/span timelines come back empty (see the module
+/// docs).
+pub fn report_from_json(text: &str) -> Result<TelemetryReport, String> {
+    let doc = Json::parse(text)?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("report document is not a JSON object".into());
+    }
+    let arr = |key: &str| doc.get(key).and_then(Json::as_array).unwrap_or(&[]);
+
+    let ops = arr("ops")
+        .iter()
+        .map(|o| OpLatencyReport {
+            op: static_op_name(o.get("op").and_then(Json::as_str).unwrap_or("?")),
+            ops: o.u64_of("ops"),
+            sampled: o.u64_of("sampled"),
+            mean_micros: o.f64_of("mean_micros"),
+            p50_micros: o.f64_of("p50_micros"),
+            p90_micros: o.f64_of("p90_micros"),
+            p99_micros: o.f64_of("p99_micros"),
+            p999_micros: o.f64_of("p999_micros"),
+            max_micros: o.f64_of("max_micros"),
+        })
+        .collect();
+
+    let levels = arr("levels")
+        .iter()
+        .map(|l| LevelReport {
+            level: l.usize_of("level"),
+            runs: l.usize_of("runs"),
+            entries: l.u64_of("entries"),
+            lookups: LevelLookupSnapshot {
+                filter_probes: l.u64_of("filter_probes"),
+                filter_negatives: l.u64_of("filter_negatives"),
+                filter_false_positives: l.u64_of("filter_false_positives"),
+                lookup_page_reads: l.u64_of("lookup_page_reads"),
+            },
+            io: l.get("io").map(io_snapshot).unwrap_or_default(),
+            allocated_fpr: l.f64_of("allocated_fpr"),
+            measured_fpr: l.f64_of("measured_fpr"),
+            drift: if l.get("drifted").and_then(Json::as_bool).unwrap_or(false) {
+                Some(DriftFlag {
+                    deviation: l.f64_of("drift_deviation"),
+                    bound: l.f64_of("drift_bound"),
+                })
+            } else {
+                None
+            },
+        })
+        .collect();
+
+    let io = arr("io")
+        .iter()
+        .map(|o| IoLatencyReport {
+            op: static_op_name(o.get("op").and_then(Json::as_str).unwrap_or("?")),
+            ops: o.u64_of("ops"),
+            sampled: o.u64_of("sampled"),
+            mean_micros: o.f64_of("mean_micros"),
+            p50_micros: o.f64_of("p50_micros"),
+            p90_micros: o.f64_of("p90_micros"),
+            p99_micros: o.f64_of("p99_micros"),
+            p999_micros: o.f64_of("p999_micros"),
+            max_micros: o.f64_of("max_micros"),
+            cache_mode_ratio: o.f64_of("cache_mode_ratio"),
+            mode_threshold_micros: o.f64_of("mode_threshold_micros"),
+            levels: o
+                .get("levels")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(|l| IoLevelLatencyReport {
+                    level: l.usize_of("level"),
+                    sampled: l.u64_of("sampled"),
+                    mean_micros: l.f64_of("mean_micros"),
+                    p50_micros: l.f64_of("p50_micros"),
+                    p90_micros: l.f64_of("p90_micros"),
+                    p99_micros: l.f64_of("p99_micros"),
+                    max_micros: l.f64_of("max_micros"),
+                })
+                .collect(),
+        })
+        .collect();
+
+    let shards = arr("shards")
+        .iter()
+        .map(|s| ShardBreakdown {
+            shard: s.usize_of("shard"),
+            gets: s.u64_of("gets"),
+            puts: s.u64_of("puts"),
+            ranges: s.u64_of("ranges"),
+            disk_entries: s.u64_of("disk_entries"),
+            buffer_bytes: s.u64_of("buffer_bytes"),
+            immutable_queue_depth: s.u64_of("immutable_queue_depth"),
+            stalled_writers: s.u64_of("stalled_writers"),
+            page_reads: s.u64_of("page_reads"),
+            page_writes: s.u64_of("page_writes"),
+            cache_hits: s.u64_of("cache_hits"),
+        })
+        .collect();
+
+    Ok(TelemetryReport {
+        uptime_micros: doc.u64_of("uptime_micros"),
+        ops,
+        levels,
+        unattributed_io: doc
+            .get("unattributed_io")
+            .map(io_snapshot)
+            .unwrap_or_default(),
+        io,
+        expected_zero_result_lookup_ios: doc.f64_of("expected_zero_result_lookup_ios"),
+        measured_zero_result_lookup_ios: doc.f64_of("measured_zero_result_lookup_ios"),
+        lookups: doc.u64_of("lookups"),
+        events: Vec::new(),
+        events_dropped: doc.u64_of("events_dropped"),
+        immutable_queue_depth: doc.u64_of("immutable_queue_depth"),
+        stalled_writers: doc.u64_of("stalled_writers"),
+        last_merge_partitions: doc.u64_of("last_merge_partitions"),
+        last_merge_threads: doc.u64_of("last_merge_threads"),
+        shards,
+        spans: Vec::new(),
+        spans_started: doc.u64_of("spans_started"),
+        spans_dropped: doc.u64_of("spans_dropped"),
+        recorder_bytes: doc.u64_of("recorder_bytes"),
+    })
+}
+
+/// One `GET /report.json` against a remote scrape endpoint, rebuilt into
+/// a [`TelemetryReport`].
+pub fn fetch_report(addr: &str) -> Result<TelemetryReport, String> {
+    let (status, body) =
+        http_get(addr, "/report.json").map_err(|e| format!("GET {addr}/report.json: {e}"))?;
+    if status != 200 {
+        return Err(format!(
+            "{addr}/report.json answered {status}: {}",
+            body.trim()
+        ));
+    }
+    report_from_json(&body)
+}
+
+/// One `GET /advice.json` against a remote scrape endpoint, condensed
+/// into the advisor line the dashboard prints. Mirrors the wording the
+/// in-process path uses, minus the one-line design summary a remote
+/// document cannot reproduce verbatim.
+pub fn fetch_advice_line(addr: &str) -> String {
+    let body = match http_get(addr, "/advice.json") {
+        Ok((200, body)) => body,
+        Ok((status, _)) => return format!("remote /advice.json answered {status}"),
+        Err(e) => return format!("remote /advice.json unreachable: {e}"),
+    };
+    let doc = match Json::parse(&body) {
+        Ok(doc) => doc,
+        Err(e) => return format!("remote /advice.json unparseable: {e}"),
+    };
+    advice_line_from_json(&doc)
+}
+
+/// The advisor line for a parsed `/advice.json` document.
+pub fn advice_line_from_json(doc: &Json) -> String {
+    let advice = match doc.get("advice") {
+        Some(a @ Json::Obj(_)) => a,
+        _ => return "no advisor wired on the remote store".to_string(),
+    };
+    let samples = advice.u64_of("samples");
+    let min_samples = advice.u64_of("min_samples");
+    let windows = advice.u64_of("windows");
+    let min_windows = advice.u64_of("min_windows");
+    if samples < min_samples || windows < min_windows {
+        return format!(
+            "gathering evidence ({samples}/{min_samples} classified ops, \
+             {windows}/{min_windows} windows)"
+        );
+    }
+    match advice.get("recommended") {
+        Some(rec @ Json::Obj(_)) => {
+            let current_tp = advice
+                .get("current")
+                .map(|c| c.f64_of("worst_case_throughput"))
+                .unwrap_or(0.0);
+            let rec_tp = rec.f64_of("worst_case_throughput");
+            let speedup = if current_tp > 0.0 {
+                rec_tp / current_tp
+            } else {
+                1.0
+            };
+            format!(
+                "{:<9} T={:<3.0} buffer={:.1} KiB  filters={:.0} bits  theta={:.4}  \
+                 worst-case {:.1} ops/s  ({speedup:.2}x)",
+                rec.get("policy").and_then(Json::as_str).unwrap_or("?"),
+                rec.f64_of("size_ratio"),
+                rec.f64_of("buffer_bytes") / 1024.0,
+                rec.f64_of("filter_bits"),
+                rec.f64_of("theta"),
+                rec_tp,
+            )
+        }
+        _ => "current design already optimal".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame rendering, shared by monkey-top (local and --connect) and the
+// watch mode of monkey-stats.
+// ---------------------------------------------------------------------------
+
+/// Per-shard cumulative counters from the previous frame, so rates can be
+/// rendered as deltas over the polling interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardPrev {
+    /// Cumulative point lookups at the previous frame.
+    pub gets: u64,
+    /// Cumulative updates at the previous frame.
+    pub puts: u64,
+    /// Cumulative range scans at the previous frame.
+    pub ranges: u64,
+}
+
+/// `1.5KiB` / `2.0MiB` style byte formatting for gauge columns.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Renders one dashboard frame — totals, tracing counters, per-shard
+/// rates (updating `prev` in place), drift flags, and the advisor line —
+/// as the text block both `monkey-top` modes print.
+pub fn render_frame(
+    report: &TelemetryReport,
+    prev: &mut Vec<ShardPrev>,
+    dt_secs: f64,
+    frame: u64,
+    advice_line: &str,
+) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!(
+        "monkey-top  frame {frame}  uptime {:.1}s  interval {:.1}s",
+        report.uptime_micros as f64 / 1e6,
+        dt_secs,
+    ));
+    let (mut gets, mut puts, mut ranges) = (0u64, 0u64, 0u64);
+    for s in &report.shards {
+        gets += s.gets;
+        puts += s.puts;
+        ranges += s.ranges;
+    }
+    prev.resize(report.shards.len(), ShardPrev::default());
+    let delta_ops: u64 = report
+        .shards
+        .iter()
+        .zip(prev.iter())
+        .map(|(s, p)| (s.gets + s.puts + s.ranges).saturating_sub(p.gets + p.puts + p.ranges))
+        .sum();
+    line(format!(
+        "ops          {:>9.0}/s   cumulative: {gets} gets  {puts} puts  {ranges} ranges",
+        delta_ops as f64 / dt_secs.max(1e-9),
+    ));
+    line(format!(
+        "lookup cost  R model {:.4}  measured {:.4}  ({} lookups)",
+        report.expected_zero_result_lookup_ios,
+        report.measured_zero_result_lookup_ios,
+        report.lookups,
+    ));
+    line(format!(
+        "tracing      {} spans started  {} dropped  recorder {}",
+        report.spans_started,
+        report.spans_dropped,
+        fmt_bytes(report.recorder_bytes),
+    ));
+    line(
+        "shard      get/s      put/s    range/s  queue  stall  cache-hit     entries    buffer"
+            .to_string(),
+    );
+    for (s, p) in report.shards.iter().zip(prev.iter_mut()) {
+        let dg = s.gets.saturating_sub(p.gets) as f64 / dt_secs.max(1e-9);
+        let dp = s.puts.saturating_sub(p.puts) as f64 / dt_secs.max(1e-9);
+        let dr = s.ranges.saturating_sub(p.ranges) as f64 / dt_secs.max(1e-9);
+        let probes = s.cache_hits + s.page_reads;
+        let hit = if probes > 0 {
+            format!("{:>8.1}%", s.cache_hits as f64 / probes as f64 * 100.0)
+        } else {
+            format!("{:>9}", "-")
+        };
+        line(format!(
+            "{:>5} {:>10.0} {:>10.0} {:>10.0} {:>6} {:>6} {hit} {:>11} {:>9}",
+            s.shard,
+            dg,
+            dp,
+            dr,
+            s.immutable_queue_depth,
+            s.stalled_writers,
+            s.disk_entries,
+            fmt_bytes(s.buffer_bytes),
+        ));
+        *p = ShardPrev {
+            gets: s.gets,
+            puts: s.puts,
+            ranges: s.ranges,
+        };
+    }
+    let drifted = report.drifted();
+    if drifted.is_empty() {
+        line("drift        none".to_string());
+    } else {
+        for l in drifted {
+            let d = l.drift.expect("drifted() only returns flagged levels");
+            line(format!(
+                "drift        level {}: measured FPR {:.5} vs allocated {:.5} \
+                 (dev {:.5} > bound {:.5})",
+                l.level, l.measured_fpr, l.allocated_fpr, d.deviation, d.bound,
+            ));
+        }
+    }
+    line(format!("advisor      {advice_line}"));
+    out
+}
+
+/// Renders one observatory window as the `# window N ...` rate line
+/// `monkey-stats --watch` prints.
+pub fn window_line(n: usize, w: &WindowRates) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "# window {n:>3}  {:>7.1} ms  {:>9.0} ops/s ({:>8.0} get/s {:>8.0} put/s \
+         {:>6.0} range/s)  flush {:>9.0} B/s  stall {:>5.3}  write-amp {:>5.2}",
+        w.span_secs * 1e3,
+        w.ops_per_sec,
+        w.gets_per_sec,
+        w.puts_per_sec,
+        w.ranges_per_sec,
+        w.bytes_flushed_per_sec,
+        w.stall_ratio,
+        w.write_amp,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monkey::{Db, DbOptions};
+
+    #[test]
+    fn json_reader_handles_the_grammar() {
+        let doc = Json::parse(
+            r#"{"a": 1, "b": [true, false, null], "c": {"nested": "va\"l\nue"},
+                "d": -2.5e2, "e": "", "u": "A"}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("c").unwrap().get("nested").unwrap().as_str(),
+            Some("va\"l\nue")
+        );
+        assert_eq!(doc.get("d").unwrap().as_f64(), Some(-250.0));
+        assert_eq!(doc.get("u").unwrap().as_str(), Some("A"));
+        assert!(Json::parse("{\"a\":1} junk").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,").is_err());
+    }
+
+    /// The acceptance loop: a real report, through `to_json()`, through
+    /// the reader, re-rendered — the rebuilt report reproduces every
+    /// field the dashboards consume, and its own `to_json()` matches the
+    /// original modulo the drained timelines.
+    #[test]
+    fn report_round_trips_through_json() {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .page_size(1024)
+                .buffer_capacity(8 << 10)
+                .size_ratio(3)
+                .shards(2)
+                .telemetry(true),
+        )
+        .unwrap();
+        for i in 0..1_500u64 {
+            db.put(format!("key{i:08}").into_bytes(), vec![b'v'; 48] as Vec<u8>)
+                .unwrap();
+        }
+        for i in 0..1_500u64 {
+            db.get(format!("key{i:08}").as_bytes()).unwrap();
+        }
+        let original = db.telemetry_report().unwrap();
+        let rebuilt = report_from_json(&original.to_json()).unwrap();
+
+        assert_eq!(rebuilt.uptime_micros, original.uptime_micros);
+        assert_eq!(rebuilt.lookups, original.lookups);
+        assert_eq!(rebuilt.ops.len(), original.ops.len());
+        for (r, o) in rebuilt.ops.iter().zip(&original.ops) {
+            assert_eq!(r.op, o.op);
+            assert_eq!(r.ops, o.ops);
+        }
+        assert_eq!(rebuilt.levels.len(), original.levels.len());
+        for (r, o) in rebuilt.levels.iter().zip(&original.levels) {
+            assert_eq!(r.level, o.level);
+            assert_eq!(r.entries, o.entries);
+            assert_eq!(r.io.writes, o.io.writes);
+            assert_eq!(r.lookups.filter_probes, o.lookups.filter_probes);
+        }
+        assert_eq!(rebuilt.io.len(), original.io.len());
+        for (r, o) in rebuilt.io.iter().zip(&original.io) {
+            assert_eq!(r.op, o.op);
+            assert_eq!(r.ops, o.ops);
+            assert_eq!(r.levels.len(), o.levels.len());
+        }
+        assert_eq!(rebuilt.shards.len(), 2);
+        for (r, o) in rebuilt.shards.iter().zip(&original.shards) {
+            assert_eq!(r, o);
+        }
+
+        // A drained original renders the same JSON as the rebuilt report:
+        // the only information the round trip drops is the timeline.
+        let mut drained = original.clone();
+        drained.events.clear();
+        drained.spans.clear();
+        assert_eq!(rebuilt.to_json(), drained.to_json());
+    }
+
+    #[test]
+    fn advice_lines_cover_every_gate_state() {
+        let gathering = Json::parse(
+            r#"{"advice":{"samples":10,"min_samples":500,"windows":0,"min_windows":4}}"#,
+        )
+        .unwrap();
+        assert!(advice_line_from_json(&gathering).contains("10/500"));
+
+        let confident = Json::parse(
+            r#"{"advice":{"samples":900,"min_samples":500,"windows":6,"min_windows":4,
+                "current":{"worst_case_throughput":100.0},
+                "recommended":{"policy":"tiering","size_ratio":4.0,"buffer_bytes":8192.0,
+                               "filter_bits":65536.0,"theta":1.25,
+                               "worst_case_throughput":150.0}}}"#,
+        )
+        .unwrap();
+        let line = advice_line_from_json(&confident);
+        assert!(line.contains("tiering"), "{line}");
+        assert!(line.contains("(1.50x)"), "{line}");
+
+        let optimal = Json::parse(
+            r#"{"advice":{"samples":900,"min_samples":500,"windows":6,"min_windows":4,
+                "current":{"worst_case_throughput":100.0},"recommended":null}}"#,
+        )
+        .unwrap();
+        assert!(advice_line_from_json(&optimal).contains("already optimal"));
+
+        let off = Json::parse(r#"{"advice":null}"#).unwrap();
+        assert!(advice_line_from_json(&off).contains("no advisor"));
+    }
+
+    #[test]
+    fn frame_renders_remote_and_local_reports_identically() {
+        let db = Db::open(
+            DbOptions::in_memory()
+                .buffer_capacity(8 << 10)
+                .shards(2)
+                .telemetry(true)
+                .obs_listen("127.0.0.1:0"),
+        )
+        .unwrap();
+        for i in 0..400u64 {
+            db.put(format!("k{i:06}").into_bytes(), vec![b'v'; 32] as Vec<u8>)
+                .unwrap();
+        }
+        let addr = db.obs_addr().unwrap().to_string();
+        let remote = fetch_report(&addr).unwrap();
+        let local = db.telemetry_report().unwrap();
+        let mut prev_a: Vec<ShardPrev> = Vec::new();
+        let mut prev_b: Vec<ShardPrev> = Vec::new();
+        let a = render_frame(&remote, &mut prev_a, 1.0, 1, "advice");
+        let b = render_frame(&local, &mut prev_b, 1.0, 1, "advice");
+        // Uptime differs between the two snapshots; every other line is
+        // byte-identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("monkey-top "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a), strip(&b));
+        assert!(a.contains("advisor      advice"));
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(17), "17B");
+        assert_eq!(fmt_bytes(1536), "1.5KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+}

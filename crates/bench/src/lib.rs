@@ -9,6 +9,8 @@
 //! I/Os per lookup, which is the primary metric here — see DESIGN.md §3 on
 //! the testbed substitution).
 
+pub mod dashboard;
+
 use monkey::{Db, DbOptions, DbOptionsExt, FilterVariant, MergePolicy};
 use monkey_storage::{DeviceModel, IoSnapshot};
 use monkey_workload::{KeySpace, TemporalSampler};

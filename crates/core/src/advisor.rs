@@ -61,6 +61,27 @@ impl TuningAdvisor {
         self
     }
 
+    /// Wires this advisor into `db`'s embedded scrape endpoint: every
+    /// `GET /advice.json` runs [`advise`](Self::advise) against the live
+    /// store and serves the full advice report, falling back to
+    /// `"advice": null` plus the measured workload while telemetry is off
+    /// or nothing has been classified yet. First installed provider wins;
+    /// a no-op without [`DbOptions::obs_listen`](monkey_lsm::DbOptions)
+    /// since nothing will ever call it.
+    pub fn serve_on(self, db: &Db) {
+        db.set_advice_provider(Box::new(move |db| {
+            let mut obj = monkey_obs::JsonObject::new();
+            obj = match self.advise(db) {
+                Some(advice) => obj.raw("advice", &advice.to_json()),
+                None => obj.raw("advice", "null"),
+            };
+            if let Some(w) = db.measured_workload() {
+                obj = obj.raw("workload", &w.to_json());
+            }
+            obj.finish()
+        }));
+    }
+
     /// Reads the measured workload and the deployed design from `db`,
     /// prices both the current and the recommended configuration under the
     /// measured mix, and assembles the advice report. Returns `None` when

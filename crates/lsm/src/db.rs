@@ -40,15 +40,16 @@ use crate::wal::Wal;
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
 use monkey_obs::{
-    drift_flag, EventKind, FlightRecorder, LevelReport, MeasuredWorkload, OpKind, OpLatencyReport,
-    ShardBreakdown, SpanKind, Telemetry, TelemetryReport, TelemetrySnapshot, Tracer, WindowRates,
-    WindowedSeries, DEFAULT_EWMA_ALPHA, MAX_LEVELS, OP_KINDS,
+    drift_flag, EventKind, FlightRecorder, HttpHandler, HttpResponse, IoLatencyReport, JsonObject,
+    LevelReport, MeasuredWorkload, ObsServer, OpKind, OpLatencyReport, ShardBreakdown, SpanKind,
+    Telemetry, TelemetryReport, TelemetrySnapshot, Tracer, WindowRates, WindowedSeries,
+    DEFAULT_EWMA_ALPHA, IO_OPS, MAX_LEVELS, OP_KINDS,
 };
 use monkey_storage::{Disk, IoSnapshot};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// A memtable frozen at rotation, queued for the flush stage. Still fully
@@ -152,8 +153,22 @@ struct Core {
 pub struct Db {
     /// The facade-level configuration (undivided budgets, `shards = N`).
     opts: DbOptions,
+    /// The embedded scrape endpoint, when [`DbOptions::obs_listen`] is
+    /// set. Declared before `shards` on purpose: fields drop in
+    /// declaration order, so the server stops answering (and its worker
+    /// threads join) before the engines it reads from shut down.
+    obs_server: OnceLock<ObsServer>,
+    /// Renders `/advice.json`. The closed-loop tuning advisor lives in a
+    /// crate above this one, so binaries inject a provider via
+    /// [`Db::set_advice_provider`]; without one the endpoint reports the
+    /// measured workload with `"advice": null`.
+    advice_provider: OnceLock<AdviceProvider>,
     shards: Vec<Shard>,
 }
+
+/// Renders the `/advice.json` body for a store — see
+/// [`Db::set_advice_provider`].
+pub type AdviceProvider = Box<dyn Fn(&Db) -> String + Send + Sync>;
 
 /// Lifetime counters of the engine's maintenance work.
 #[derive(Debug, Default)]
@@ -733,6 +748,7 @@ impl Core {
         };
         if let Some(t) = &telemetry {
             disk.attach_attribution(Arc::clone(t.attribution()));
+            disk.attach_io_latency(Arc::clone(t.io_latency()));
             wal.attach_telemetry(Arc::clone(t));
             if let Some(tr) = &tracer {
                 t.attach_tracer(Arc::clone(tr));
@@ -818,6 +834,7 @@ impl Core {
         };
         if let Some(t) = &telemetry {
             disk.attach_attribution(Arc::clone(t.attribution()));
+            disk.attach_io_latency(Arc::clone(t.io_latency()));
             if let Some(tr) = &tracer {
                 t.attach_tracer(Arc::clone(tr));
             }
@@ -1584,11 +1601,21 @@ impl Core {
                 }
             })
             .collect();
+        // Backend-op latency rows, ops with no backend calls omitted.
+        let lat = t.io_latency();
+        let io_lat = IO_OPS
+            .iter()
+            .filter(|&&op| lat.op_count(op) > 0)
+            .map(|&op| {
+                IoLatencyReport::from_level_hists(op.name(), lat.op_count(op), &lat.snapshot(op))
+            })
+            .collect();
         Some(TelemetryReport {
             uptime_micros: t.now_micros(),
             ops,
             levels,
             unattributed_io: io[0],
+            io: io_lat,
             expected_zero_result_lookup_ios: stats.expected_zero_result_lookup_ios,
             measured_zero_result_lookup_ios: stats.lookups.measured_zero_result_lookup_ios(),
             lookups: stats.lookups.key_hashes,
@@ -1638,7 +1665,14 @@ impl Db {
         for index in 0..n {
             shards.push(Shard::open(Self::shard_options(&opts, index, n))?);
         }
-        Ok(Arc::new(Db { opts, shards }))
+        let db = Arc::new(Db {
+            opts,
+            obs_server: OnceLock::new(),
+            advice_provider: OnceLock::new(),
+            shards,
+        });
+        db.bind_obs_server()?;
+        Ok(db)
     }
 
     /// Opens a volatile database over a caller-supplied [`Disk`] — used by
@@ -1650,10 +1684,14 @@ impl Db {
         let mut opts = opts;
         opts.shards = 1;
         let shard = Shard::open_with_disk(opts.clone(), disk)?;
-        Ok(Arc::new(Db {
+        let db = Arc::new(Db {
             opts,
+            obs_server: OnceLock::new(),
+            advice_provider: OnceLock::new(),
             shards: vec![shard],
-        }))
+        });
+        db.bind_obs_server()?;
+        Ok(db)
     }
 
     /// How many shards a store actually runs. The `SHARDS` meta of an
@@ -1701,6 +1739,8 @@ impl Db {
         let mut shard = opts.clone();
         shard.shards = 1;
         shard.shard_index = index as u32;
+        // The scrape endpoint belongs to the facade, never to a shard.
+        shard.obs_listen = None;
         if n == 1 {
             return shard;
         }
@@ -2160,11 +2200,35 @@ impl Db {
         let mut spans: Vec<_> = tracers.iter().flat_map(|tr| tr.drain_spans()).collect();
         spans.sort_by_key(|s| (s.start_micros, s.shard, s.id));
 
+        // Backend-op latency rows, merged per (op, level) across shards;
+        // ops with no backend calls anywhere are omitted.
+        let io_lat = IO_OPS
+            .iter()
+            .filter_map(|&op| {
+                let count: u64 = hubs.iter().map(|h| h.io_latency().op_count(op)).sum();
+                if count == 0 {
+                    return None;
+                }
+                let mut lat_levels = hubs[0].io_latency().snapshot(op);
+                for hub in &hubs[1..] {
+                    for (slot, other) in lat_levels.iter_mut().zip(hub.io_latency().snapshot(op)) {
+                        slot.merge(&other);
+                    }
+                }
+                Some(IoLatencyReport::from_level_hists(
+                    op.name(),
+                    count,
+                    &lat_levels,
+                ))
+            })
+            .collect();
+
         Some(TelemetryReport {
             uptime_micros: hubs.iter().map(|h| h.now_micros()).max().unwrap_or(0),
             ops,
             levels,
             unattributed_io: io[0],
+            io: io_lat,
             expected_zero_result_lookup_ios: per_stats
                 .iter()
                 .map(|s| s.expected_zero_result_lookup_ios)
@@ -2267,6 +2331,87 @@ impl Db {
             }
         }
         merged
+    }
+
+    /// Binds the embedded scrape endpoint when the options ask for one.
+    /// The handler holds only a `Weak<Db>`: the server never keeps the
+    /// store alive, and a request racing teardown gets a 503 instead of a
+    /// read from a half-dropped engine.
+    fn bind_obs_server(self: &Arc<Self>) -> Result<()> {
+        let Some(addr) = self.opts.obs_listen.as_deref() else {
+            return Ok(());
+        };
+        let weak = Arc::downgrade(self);
+        let handler: HttpHandler = Arc::new(move |path| Db::serve_obs_route(&weak, path));
+        let server = ObsServer::bind(addr, handler)?;
+        let _ = self.obs_server.set(server);
+        Ok(())
+    }
+
+    /// The bound address of the embedded scrape endpoint, when one is
+    /// serving. With `obs_listen` port 0 this is where the OS actually
+    /// put it.
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.get().map(|s| s.local_addr())
+    }
+
+    /// Installs the `/advice.json` renderer (first install wins). The
+    /// closed-loop advisor lives above this crate, so binaries that have
+    /// one inject it here; the body must be a complete JSON document.
+    pub fn set_advice_provider(&self, provider: AdviceProvider) {
+        let _ = self.advice_provider.set(provider);
+    }
+
+    /// The `/advice.json` body: the injected provider's rendering, or the
+    /// default — measured workload plus `"advice": null` — when no
+    /// advisor is wired up (or telemetry is off and nothing was measured).
+    fn advice_json(&self) -> String {
+        if let Some(provider) = self.advice_provider.get() {
+            return provider(self);
+        }
+        let mut obj = JsonObject::new().raw("advice", "null");
+        if let Some(w) = self.measured_workload() {
+            obj = obj.raw("workload", &w.to_json());
+        }
+        obj.finish()
+    }
+
+    /// Routes one scrape-endpoint request. `path` arrives with the query
+    /// string already stripped; `None` renders as 404. Report endpoints
+    /// *drain* the event/span rings exactly like [`Db::telemetry_report`]
+    /// — one scraper should own an endpoint, as with any Prometheus
+    /// target.
+    fn serve_obs_route(weak: &Weak<Db>, path: &str) -> Option<HttpResponse> {
+        let Some(db) = weak.upgrade() else {
+            // The store is tearing down; its drop glue will stop this
+            // server momentarily.
+            return Some(HttpResponse::unavailable("shutting down\n"));
+        };
+        let report = |render: fn(&TelemetryReport) -> String, content_type: &str| match db
+            .telemetry_report()
+        {
+            Some(r) => HttpResponse::ok(content_type, render(&r)),
+            None => HttpResponse::unavailable("telemetry is off\n"),
+        };
+        match path {
+            "/metrics" => Some(report(
+                TelemetryReport::to_prometheus,
+                "text/plain; version=0.0.4",
+            )),
+            "/report.json" => Some(report(TelemetryReport::to_json, "application/json")),
+            "/spans.json" => Some(report(TelemetryReport::to_chrome_trace, "application/json")),
+            "/events.json" => Some(report(TelemetryReport::events_json, "application/json")),
+            "/advice.json" => Some(HttpResponse::ok("application/json", db.advice_json())),
+            "/healthz" => {
+                let errors = db.pipeline_stats().background_errors;
+                Some(if errors == 0 {
+                    HttpResponse::ok("text/plain", "ok\n".to_string())
+                } else {
+                    HttpResponse::unavailable(&format!("background errors: {errors}\n"))
+                })
+            }
+            _ => None,
+        }
     }
 }
 

@@ -68,17 +68,19 @@ mod db;
 mod error;
 mod options;
 
-pub use db::{CompactionStats, Db};
+pub use db::{AdviceProvider, CompactionStats, Db};
 pub use entry::{Entry, EntryKind};
 pub use error::{LsmError, Result};
 pub use iter::RangeIter;
 pub use merge::MergeReport;
 pub use monkey_bloom::FilterVariant;
 pub use monkey_obs::{
-    decode_segment, DecodedFlight, DriftFlag, Event, EventKind, FlightRecorder, HotKey,
-    LevelIoRates, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, MeasuredWorkload, OpKind,
-    OpLatencyReport, RecorderRecord, SmoothedRates, Span, SpanKind, Telemetry, TelemetryReport,
-    TelemetrySnapshot, Tracer, WindowRates, WindowedSeries, WorkloadCharacterizer,
+    decode_segment, http_get, mode_split, DecodedFlight, DriftFlag, Event, EventKind,
+    FlightRecorder, HotKey, IoLatency, IoLatencyReport, IoLevelLatencyReport, IoOp, LevelIoRates,
+    LevelIoSnapshot, LevelLookupSnapshot, LevelReport, MeasuredWorkload, ModeSplit, OpKind,
+    OpLatencyReport, RecorderRecord, ShardBreakdown, SmoothedRates, Span, SpanKind, Telemetry,
+    TelemetryReport, TelemetrySnapshot, Tracer, WindowRates, WindowedSeries, WorkloadCharacterizer,
+    IO_OPS,
 };
 pub use monkey_storage::{CachePolicy, CacheStats};
 pub use options::DbOptions;

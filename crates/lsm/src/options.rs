@@ -114,6 +114,13 @@ pub struct DbOptions {
     /// How many recorder segments are retained before the oldest is
     /// deleted (the ring's size cap is roughly `segment_bytes × max`).
     pub recorder_max_segments: usize,
+    /// Serve the observability plane over HTTP on this address (e.g.
+    /// `"127.0.0.1:9184"`; requires [`DbOptions::telemetry`] for the
+    /// report endpoints). The embedded server answers `GET /metrics`
+    /// (Prometheus text), `/report.json`, `/advice.json`, `/spans.json`,
+    /// `/events.json`, and `/healthz`, and shuts down when the `Db` is
+    /// dropped. `None` (the default) binds nothing.
+    pub obs_listen: Option<String>,
     /// Index of this engine within a sharded store; assigned internally by
     /// the `Db` facade when it splits options per shard. 0 on single-shard
     /// stores. Not a user knob.
@@ -181,6 +188,7 @@ impl DbOptions {
             trace_sample_period: monkey_obs::DEFAULT_TRACE_SAMPLE_PERIOD,
             recorder_segment_bytes: monkey_obs::DEFAULT_RECORDER_SEGMENT_BYTES,
             recorder_max_segments: monkey_obs::DEFAULT_RECORDER_MAX_SEGMENTS,
+            obs_listen: None,
             shard_index: 0,
         }
     }
@@ -335,6 +343,16 @@ impl DbOptions {
         self
     }
 
+    /// Serves the observability plane on `addr` (see
+    /// [`DbOptions::obs_listen`]). Port 0 picks a free port; the bound
+    /// address is available from `Db::obs_addr()`.
+    pub fn obs_listen(mut self, addr: impl Into<String>) -> Self {
+        let addr = addr.into();
+        assert!(!addr.is_empty(), "obs_listen address must be non-empty");
+        self.obs_listen = Some(addr);
+        self
+    }
+
     /// Sets the flight-recorder segment size and retained segment count
     /// (see [`DbOptions::recorder_segment_bytes`]).
     pub fn recorder_limits(mut self, segment_bytes: u64, max_segments: usize) -> Self {
@@ -371,6 +389,7 @@ impl std::fmt::Debug for DbOptions {
             .field("trace_sample_period", &self.trace_sample_period)
             .field("recorder_segment_bytes", &self.recorder_segment_bytes)
             .field("recorder_max_segments", &self.recorder_max_segments)
+            .field("obs_listen", &self.obs_listen)
             .finish()
     }
 }
@@ -530,6 +549,20 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_trace_sample_period_rejected() {
         DbOptions::in_memory().trace_sample_period(0);
+    }
+
+    #[test]
+    fn obs_listen_off_by_default() {
+        let o = DbOptions::in_memory();
+        assert_eq!(o.obs_listen, None);
+        let o = o.obs_listen("127.0.0.1:0");
+        assert_eq!(o.obs_listen.as_deref(), Some("127.0.0.1:0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_obs_listen_rejected() {
+        DbOptions::in_memory().obs_listen("");
     }
 
     #[test]

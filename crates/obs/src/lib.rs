@@ -11,6 +11,11 @@
 //!   monotonic timestamps, drainable as a timeline.
 //! - [`IoAttribution`]: run-id → level tagging so page reads/writes in the
 //!   storage layer can be attributed to tree levels.
+//! - [`IoLatency`]: sampled per-backend-op latency histograms (read,
+//!   sequential read, write, sync) with per-level attribution and a
+//!   page-cache-vs-device split inferred from bimodality ([`mode_split`]).
+//! - [`ObsServer`]: a hand-rolled HTTP/1.1 scrape endpoint serving the
+//!   report renderings to Prometheus scrapers and `monkey-top --connect`.
 //! - [`Telemetry`]: the aggregate hub the engine holds as
 //!   `Option<Arc<Telemetry>>` — `None` when `DbOptions::telemetry` is off,
 //!   so the disabled cost is one branch per op.
@@ -36,9 +41,11 @@ mod attribution;
 mod counter;
 mod events;
 mod hist;
+mod iolat;
 mod json;
 mod report;
 mod series;
+mod serve;
 mod sketch;
 mod telemetry;
 mod trace;
@@ -51,15 +58,17 @@ pub use attribution::{IoAttribution, LevelIoSnapshot, LEVEL_SLOTS, MAX_LEVELS};
 pub use counter::ShardedCounter;
 pub use events::{Event, EventKind, EventRing};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
+pub use iolat::{mode_split, IoLatency, IoOp, ModeSplit, IO_OPS, IO_SAMPLE_PERIOD};
 pub use json::{json_array, json_f64, json_string, JsonObject};
 pub use report::{
-    drift_flag, DriftFlag, LevelReport, OpLatencyReport, ShardBreakdown, TelemetryReport,
-    DRIFT_EPSILON, DRIFT_MIN_PROBES, DRIFT_Z,
+    drift_flag, DriftFlag, IoLatencyReport, IoLevelLatencyReport, LevelReport, OpLatencyReport,
+    ShardBreakdown, TelemetryReport, DRIFT_EPSILON, DRIFT_MIN_PROBES, DRIFT_Z,
 };
 pub use series::{
     counter_delta, Ewma, LevelIoRates, SmoothedRates, TelemetrySnapshot, WindowRates,
     WindowedSeries, DEFAULT_EWMA_ALPHA,
 };
+pub use serve::{http_get, HttpHandler, HttpResponse, ObsServer, MAX_REQUEST_BYTES};
 pub use sketch::{fnv1a, CountMinSketch, HotKey, SpaceSaving};
 pub use telemetry::{LevelLookupSnapshot, OpKind, Telemetry, OP_KINDS, SAMPLE_PERIOD};
 pub use trace::{

@@ -9,10 +9,15 @@
 use crate::attribution::LevelIoSnapshot;
 use crate::events::{Event, EventKind};
 use crate::hist::HistogramSnapshot;
+use crate::iolat::mode_split;
 use crate::json::{json_array, json_f64, JsonObject};
 use crate::telemetry::LevelLookupSnapshot;
 use crate::trace::Span;
 use std::collections::HashMap;
+
+/// Version string baked into `monkey_build_info` so scrapes identify the
+/// build they came from.
+pub(crate) const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// z-score for the drift confidence bound (~99.7% two-sided).
 pub const DRIFT_Z: f64 = 3.0;
@@ -88,6 +93,86 @@ impl OpLatencyReport {
     }
 }
 
+/// Backend latency for one backend op on one level, in microseconds.
+#[derive(Debug, Clone)]
+pub struct IoLevelLatencyReport {
+    /// Level slot (0 = unattributed I/O, e.g. the WAL or transient runs).
+    pub level: usize,
+    /// Duration samples backing the percentiles.
+    pub sampled: u64,
+    pub mean_micros: f64,
+    pub p50_micros: f64,
+    pub p90_micros: f64,
+    pub p99_micros: f64,
+    pub max_micros: f64,
+}
+
+/// Latency summary for one backend op (`read_page`,
+/// `read_page_sequential`, `write_page`, `sync`), aggregated across
+/// levels, plus the inferred page-cache-vs-device mode split.
+#[derive(Debug, Clone)]
+pub struct IoLatencyReport {
+    pub op: &'static str,
+    /// Exact number of backend calls (every call).
+    pub ops: u64,
+    /// Duration samples backing the aggregate percentiles.
+    pub sampled: u64,
+    pub mean_micros: f64,
+    pub p50_micros: f64,
+    pub p90_micros: f64,
+    pub p99_micros: f64,
+    pub p999_micros: f64,
+    pub max_micros: f64,
+    /// Fraction of sampled calls in the fast (page-cache-speed) latency
+    /// mode; 1.0 when the distribution is unimodal.
+    pub cache_mode_ratio: f64,
+    /// Fast/slow boundary in microseconds; 0 when unimodal.
+    pub mode_threshold_micros: f64,
+    /// Per-level rows (only levels with samples).
+    pub levels: Vec<IoLevelLatencyReport>,
+}
+
+impl IoLatencyReport {
+    /// Assemble one op's report from its per-level histogram snapshots
+    /// (index 0 = unattributed), as returned by
+    /// [`crate::IoLatency::snapshot`].
+    pub fn from_level_hists(op: &'static str, ops: u64, levels: &[HistogramSnapshot]) -> Self {
+        let us = |n: u64| n as f64 / 1_000.0;
+        let mut merged = HistogramSnapshot::empty();
+        let mut rows = Vec::new();
+        for (level, h) in levels.iter().enumerate() {
+            if h.count == 0 {
+                continue;
+            }
+            merged.merge(h);
+            rows.push(IoLevelLatencyReport {
+                level,
+                sampled: h.count,
+                mean_micros: h.mean_nanos() / 1_000.0,
+                p50_micros: us(h.p50_nanos()),
+                p90_micros: us(h.p90_nanos()),
+                p99_micros: us(h.p99_nanos()),
+                max_micros: us(h.max),
+            });
+        }
+        let split = mode_split(&merged);
+        Self {
+            op,
+            ops,
+            sampled: merged.count,
+            mean_micros: merged.mean_nanos() / 1_000.0,
+            p50_micros: us(merged.p50_nanos()),
+            p90_micros: us(merged.p90_nanos()),
+            p99_micros: us(merged.p99_nanos()),
+            p999_micros: us(merged.p999_nanos()),
+            max_micros: us(merged.max),
+            cache_mode_ratio: split.fast_fraction,
+            mode_threshold_micros: split.threshold_nanos as f64 / 1_000.0,
+            levels: rows,
+        }
+    }
+}
+
 /// Everything measured about one tree level, next to what the model
 /// allocated to it.
 #[derive(Debug, Clone)]
@@ -149,6 +234,10 @@ pub struct TelemetryReport {
     pub levels: Vec<LevelReport>,
     /// I/O that could not be pinned to a level (value log, transient runs).
     pub unattributed_io: LevelIoSnapshot,
+    /// Backend I/O latency per op, with per-level rows and the inferred
+    /// page-cache-vs-device split. Ops with no backend calls are omitted
+    /// (an in-memory store reports an empty list).
+    pub io: Vec<IoLatencyReport>,
     /// The model's `R`: sum of per-run filter FPRs (Monkey Eq. 3).
     pub expected_zero_result_lookup_ios: f64,
     /// The engine's empirical counterpart: filter false positives per
@@ -198,6 +287,16 @@ impl TelemetryReport {
             out.push_str(s);
             out.push('\n');
         };
+
+        push(
+            &mut out,
+            "# HELP monkey_build_info Build metadata; the value is always 1.",
+        );
+        push(&mut out, "# TYPE monkey_build_info gauge");
+        push(
+            &mut out,
+            &format!("monkey_build_info{{version=\"{BUILD_VERSION}\"}} 1"),
+        );
 
         push(
             &mut out,
@@ -258,6 +357,94 @@ impl TelemetryReport {
                     op.op, op.sampled
                 ),
             );
+        }
+
+        if !self.io.is_empty() {
+            push(
+                &mut out,
+                "# HELP monkey_io_ops_total Backend I/O calls, by op.",
+            );
+            push(&mut out, "# TYPE monkey_io_ops_total counter");
+            for io in &self.io {
+                push(
+                    &mut out,
+                    &format!("monkey_io_ops_total{{op=\"{}\"}} {}", io.op, io.ops),
+                );
+            }
+            push(
+                &mut out,
+                "# HELP monkey_io_latency_micros Sampled backend I/O latency quantiles in \
+                 microseconds, by op and level (level 0 = unattributed).",
+            );
+            push(&mut out, "# TYPE monkey_io_latency_micros summary");
+            for io in &self.io {
+                for l in &io.levels {
+                    for (q, v) in [
+                        ("0.5", l.p50_micros),
+                        ("0.9", l.p90_micros),
+                        ("0.99", l.p99_micros),
+                    ] {
+                        push(
+                            &mut out,
+                            &format!(
+                                "monkey_io_latency_micros{{op=\"{}\",level=\"{}\",quantile=\"{}\"}} {}",
+                                io.op,
+                                l.level,
+                                q,
+                                json_f64(v)
+                            ),
+                        );
+                    }
+                    push(
+                        &mut out,
+                        &format!(
+                            "monkey_io_latency_micros_max{{op=\"{}\",level=\"{}\"}} {}",
+                            io.op,
+                            l.level,
+                            json_f64(l.max_micros)
+                        ),
+                    );
+                    push(
+                        &mut out,
+                        &format!(
+                            "monkey_io_latency_samples{{op=\"{}\",level=\"{}\"}} {}",
+                            io.op, l.level, l.sampled
+                        ),
+                    );
+                }
+            }
+            push(
+                &mut out,
+                "# HELP monkey_io_cache_mode_ratio Fraction of sampled backend calls in the \
+                 fast (page-cache-speed) latency mode; 1 when unimodal.",
+            );
+            push(&mut out, "# TYPE monkey_io_cache_mode_ratio gauge");
+            for io in &self.io {
+                push(
+                    &mut out,
+                    &format!(
+                        "monkey_io_cache_mode_ratio{{op=\"{}\"}} {}",
+                        io.op,
+                        json_f64(io.cache_mode_ratio)
+                    ),
+                );
+            }
+            push(
+                &mut out,
+                "# HELP monkey_io_mode_threshold_micros Inferred fast/slow latency boundary \
+                 in microseconds; 0 when unimodal.",
+            );
+            push(&mut out, "# TYPE monkey_io_mode_threshold_micros gauge");
+            for io in &self.io {
+                push(
+                    &mut out,
+                    &format!(
+                        "monkey_io_mode_threshold_micros{{op=\"{}\"}} {}",
+                        io.op,
+                        json_f64(io.mode_threshold_micros)
+                    ),
+                );
+            }
         }
 
         let level_counter =
@@ -750,33 +937,40 @@ impl TelemetryReport {
             }
             obj.finish()
         }));
-        let events = json_array(self.events.iter().map(|e| {
-            let fields = e
-                .kind
-                .fields()
-                .into_iter()
-                .fold(JsonObject::new(), |obj, (k, v)| {
-                    // Numeric payloads stay numbers; free text is quoted.
-                    if v.bytes().all(|b| b.is_ascii_digit()) && !v.is_empty() {
-                        obj.raw(k, &v)
-                    } else {
-                        obj.str(k, &v)
-                    }
-                })
-                .finish();
+        let io = json_array(self.io.iter().map(|io| {
+            let levels = json_array(io.levels.iter().map(|l| {
+                JsonObject::new()
+                    .usize("level", l.level)
+                    .u64("sampled", l.sampled)
+                    .f64("mean_micros", l.mean_micros)
+                    .f64("p50_micros", l.p50_micros)
+                    .f64("p90_micros", l.p90_micros)
+                    .f64("p99_micros", l.p99_micros)
+                    .f64("max_micros", l.max_micros)
+                    .finish()
+            }));
             JsonObject::new()
-                .u64("seq", e.seq)
-                .u64("ts_micros", e.ts_micros)
-                .u64("shard", e.shard as u64)
-                .str("event", e.kind.name())
-                .raw("fields", &fields)
+                .str("op", io.op)
+                .u64("ops", io.ops)
+                .u64("sampled", io.sampled)
+                .f64("mean_micros", io.mean_micros)
+                .f64("p50_micros", io.p50_micros)
+                .f64("p90_micros", io.p90_micros)
+                .f64("p99_micros", io.p99_micros)
+                .f64("p999_micros", io.p999_micros)
+                .f64("max_micros", io.max_micros)
+                .f64("cache_mode_ratio", io.cache_mode_ratio)
+                .f64("mode_threshold_micros", io.mode_threshold_micros)
+                .raw("levels", &levels)
                 .finish()
         }));
+        let events = self.events_array();
         let mut obj = JsonObject::new()
             .u64("uptime_micros", self.uptime_micros)
             .raw("ops", &ops)
             .raw("levels", &levels)
             .raw("unattributed_io", &io_obj(&self.unattributed_io))
+            .raw("io", &io)
             .f64(
                 "expected_zero_result_lookup_ios",
                 self.expected_zero_result_lookup_ios,
@@ -831,6 +1025,42 @@ impl TelemetryReport {
             .u64("spans_dropped", self.spans_dropped)
             .u64("recorder_bytes", self.recorder_bytes);
         obj.finish()
+    }
+
+    /// The drained event timeline as a JSON array literal.
+    fn events_array(&self) -> String {
+        json_array(self.events.iter().map(|e| {
+            let fields = e
+                .kind
+                .fields()
+                .into_iter()
+                .fold(JsonObject::new(), |obj, (k, v)| {
+                    // Numeric payloads stay numbers; free text is quoted.
+                    if v.bytes().all(|b| b.is_ascii_digit()) && !v.is_empty() {
+                        obj.raw(k, &v)
+                    } else {
+                        obj.str(k, &v)
+                    }
+                })
+                .finish();
+            JsonObject::new()
+                .u64("seq", e.seq)
+                .u64("ts_micros", e.ts_micros)
+                .u64("shard", e.shard as u64)
+                .str("event", e.kind.name())
+                .raw("fields", &fields)
+                .finish()
+        }))
+    }
+
+    /// Just the event timeline, as its own JSON document — what the
+    /// scrape endpoint serves at `/events.json`.
+    pub fn events_json(&self) -> String {
+        JsonObject::new()
+            .u64("uptime_micros", self.uptime_micros)
+            .raw("events", &self.events_array())
+            .u64("events_dropped", self.events_dropped)
+            .finish()
     }
 
     /// Human-readable dump used by the `monkey-stats` bin.
@@ -900,6 +1130,45 @@ impl TelemetryReport {
                 self.unattributed_io.read_bytes,
                 self.unattributed_io.write_bytes
             ));
+        }
+
+        if !self.io.is_empty() {
+            out.push_str("\nbackend I/O latencies (sampled, microseconds):\n");
+            out.push_str(&format!(
+                "  {:<22} {:>4} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+                "op", "lvl", "calls", "mean", "p50", "p99", "max", "cache-mode"
+            ));
+            for io in &self.io {
+                out.push_str(&format!(
+                    "  {:<22} {:>4} {:>10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.0}%{}\n",
+                    io.op,
+                    "all",
+                    io.ops,
+                    io.mean_micros,
+                    io.p50_micros,
+                    io.p99_micros,
+                    io.max_micros,
+                    io.cache_mode_ratio * 100.0,
+                    if io.mode_threshold_micros > 0.0 {
+                        format!("  (split at {:.1}us)", io.mode_threshold_micros)
+                    } else {
+                        String::new()
+                    }
+                ));
+                for l in &io.levels {
+                    out.push_str(&format!(
+                        "  {:<22} {:>4} {:>10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>10}\n",
+                        "",
+                        l.level,
+                        l.sampled,
+                        l.mean_micros,
+                        l.p50_micros,
+                        l.p99_micros,
+                        l.max_micros,
+                        ""
+                    ));
+                }
+            }
         }
 
         if !self.shards.is_empty() {
@@ -1064,6 +1333,22 @@ mod tests {
                 drift: drift_flag(0.1, 0.01, 1000),
             }],
             unattributed_io: LevelIoSnapshot::default(),
+            io: {
+                let hist = crate::hist::LatencyHistogram::new();
+                for _ in 0..70 {
+                    hist.record(2_048); // page-cache-speed reads
+                }
+                for _ in 0..30 {
+                    hist.record(2_097_152); // device-speed reads
+                }
+                let mut levels = vec![HistogramSnapshot::empty(); 2];
+                levels[1] = hist.snapshot();
+                vec![IoLatencyReport::from_level_hists(
+                    "read_page",
+                    3200,
+                    &levels,
+                )]
+            },
             expected_zero_result_lookup_ios: 0.01,
             measured_zero_result_lookup_ios: 0.1,
             lookups: 1000,
@@ -1107,6 +1392,47 @@ mod tests {
         assert!(text.contains("monkey_level_fpr_drift{level=\"1\"} 1"));
         assert!(text.contains("monkey_zero_result_lookup_ios{source=\"model\"} 0.01"));
         assert!(text.contains("# TYPE monkey_op_latency_micros summary"));
+    }
+
+    #[test]
+    fn prometheus_leads_with_build_info() {
+        let text = sample_report().to_prometheus();
+        assert!(text.starts_with("# HELP monkey_build_info"));
+        assert!(text.contains(&format!(
+            "monkey_build_info{{version=\"{BUILD_VERSION}\"}} 1"
+        )));
+    }
+
+    #[test]
+    fn prometheus_exposes_io_latency_series() {
+        let text = sample_report().to_prometheus();
+        assert!(text.contains("monkey_io_ops_total{op=\"read_page\"} 3200"));
+        assert!(text
+            .contains("monkey_io_latency_micros{op=\"read_page\",level=\"1\",quantile=\"0.5\"}"));
+        assert!(text.contains("monkey_io_latency_samples{op=\"read_page\",level=\"1\"} 100"));
+        assert!(text.contains("monkey_io_cache_mode_ratio{op=\"read_page\"} 0.7"));
+        // The split threshold sits between the 2us and 2ms modes.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("monkey_io_mode_threshold_micros"))
+            .expect("threshold series present");
+        let v: f64 = line.split(' ').nth(1).unwrap().parse().unwrap();
+        assert!(v > 2.0 && v < 2_097.0, "threshold={v}");
+        // An in-memory report (no backend calls) emits none of the series.
+        let mut r = sample_report();
+        r.io.clear();
+        assert!(!r.to_prometheus().contains("monkey_io_"));
+    }
+
+    #[test]
+    fn json_and_pretty_carry_io_latency() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"op\":\"read_page\",\"ops\":3200,\"sampled\":100"));
+        assert!(json.contains("\"cache_mode_ratio\":0.7"));
+        let text = sample_report().pretty();
+        assert!(text.contains("backend I/O latencies"));
+        assert!(text.contains("read_page"));
+        assert!(text.contains("split at"));
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! A hand-rolled HTTP/1.1 scrape endpoint.
+//!
+//! The repo's first wire-protocol code: a deliberately tiny server —
+//! `std::net` only, no framework — good enough for Prometheus scrapers,
+//! `curl`, and `monkey-top --connect`, and nothing more. The protocol
+//! subset: `GET` requests, one response per connection
+//! (`Connection: close`), correct `Content-Length`/`Content-Type`,
+//! status lines for 200/400/404/405/503. Request lines are bounded
+//! ([`MAX_REQUEST_BYTES`]): anything oversized or unparseable gets a
+//! `400` and a closed socket, never a panic or a hang (reads carry a
+//! timeout).
+//!
+//! Threading: one acceptor thread feeds a small fixed pool of workers
+//! over a channel. Shutdown (on drop) sets a flag, dials the listener
+//! once to unblock `accept`, closes the channel, and joins every thread
+//! — so by the time `drop` returns no handler is running. The only
+//! exception is a thread joining itself (a handler whose request drop
+//! tears the server down), which is detached instead.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on the bytes read per request (request line + headers).
+/// A `GET /metrics HTTP/1.1` with ordinary headers is a few hundred
+/// bytes; anything larger than this is answered `400` and dropped.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Worker threads handling accepted connections. Scrapes are cheap and
+/// rare; two workers keep a slow client from blocking a second scraper
+/// without wasting threads on an embedded endpoint.
+const WORKERS: usize = 2;
+
+/// Per-connection read/write timeout, so a stalled peer can never pin a
+/// worker (or a joining `drop`) forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One response from a route handler.
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body, written verbatim with an exact `Content-Length`.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &str, body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: content_type.to_string(),
+            body,
+        }
+    }
+
+    /// A `503 Service Unavailable` with a plain-text explanation.
+    pub fn unavailable(body: &str) -> Self {
+        Self {
+            status: 503,
+            content_type: "text/plain".to_string(),
+            body: body.to_string(),
+        }
+    }
+}
+
+/// Route handler: maps a request path (query string stripped) to a
+/// response, or `None` for 404.
+pub type HttpHandler = Arc<dyn Fn(&str) -> Option<HttpResponse> + Send + Sync>;
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &HttpResponse) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(resp.body.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn error_response(status: u16) -> HttpResponse {
+    HttpResponse {
+        status,
+        content_type: "text/plain".to_string(),
+        body: format!("{} {}\n", status, reason(status)),
+    }
+}
+
+/// Read the request head (bounded, with a timeout) and answer it. Every
+/// exit path closes the connection.
+fn handle_connection(mut stream: TcpStream, handler: &HttpHandler) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the blank line ending the request head. GETs carry no
+    // body, so nothing after it matters.
+    let complete = loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break false,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break true;
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    break false;
+                }
+            }
+            Err(_) => break false, // timeout or reset: drop it
+        }
+    };
+    if !complete {
+        write_response(&mut stream, &error_response(400));
+        return;
+    }
+    let line_end = buf
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .unwrap_or(buf.len());
+    let Ok(line) = std::str::from_utf8(&buf[..line_end]) else {
+        write_response(&mut stream, &error_response(400));
+        return;
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            write_response(&mut stream, &error_response(400));
+            return;
+        }
+    };
+    if !version.starts_with("HTTP/1.") || !target.starts_with('/') {
+        write_response(&mut stream, &error_response(400));
+        return;
+    }
+    if method != "GET" {
+        write_response(&mut stream, &error_response(405));
+        return;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    let resp = handler(path).unwrap_or_else(|| error_response(404));
+    write_response(&mut stream, &resp);
+}
+
+/// The embedded scrape server. Listens from `bind` until dropped.
+pub struct ObsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port)
+    /// and start serving `handler`. Fails fast — port in use, bad
+    /// address — rather than retrying.
+    pub fn bind(addr: &str, handler: HttpHandler) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(WORKERS * 8);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(WORKERS);
+        for i in 0..WORKERS {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("monkey-obsd-{i}"))
+                    .spawn(move || loop {
+                        // Lock only to receive; handling runs unlocked so
+                        // the other worker can pick up the next scrape.
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => return, // acceptor gone: shut down
+                        };
+                        handle_connection(stream, &handler);
+                    })?,
+            );
+        }
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("monkey-obsd-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            return; // drops tx; workers drain and exit
+                        }
+                        if let Ok(stream) = stream {
+                            // A full queue means WORKERS*8 scrapes are
+                            // already waiting; shed the connection rather
+                            // than block accept.
+                            let _ = tx.try_send(stream);
+                        }
+                    }
+                })?
+        };
+
+        Ok(Self {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock `accept` with one throwaway connection. A wildcard bind
+        // is dialled back via loopback.
+        let mut dial = self.addr;
+        if dial.ip().is_unspecified() {
+            dial.set_ip(std::net::Ipv4Addr::LOCALHOST.into());
+        }
+        let _ = TcpStream::connect_timeout(&dial, Duration::from_millis(250));
+        let this = std::thread::current().id();
+        for handle in self
+            .acceptor
+            .take()
+            .into_iter()
+            .chain(self.workers.drain(..))
+        {
+            // A handler can drop the last owner of the server (and thus
+            // the server itself) from inside a worker; that one thread
+            // detaches instead of joining itself.
+            if handle.thread().id() != this {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A minimal blocking HTTP/1.1 GET, for tests, benches, and the
+/// `--connect` bins: returns `(status, body)`. Counterpart to
+/// [`ObsServer`] — speaks exactly the subset the server emits.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut head_and_body = text.splitn(2, "\r\n\r\n");
+    let head = head_and_body.next().unwrap_or("");
+    let body = head_and_body.next().unwrap_or("").to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_server() -> ObsServer {
+        let handler: HttpHandler = Arc::new(|path| match path {
+            "/metrics" => Some(HttpResponse::ok(
+                "text/plain; version=0.0.4",
+                "monkey_up 1\n".to_string(),
+            )),
+            "/healthz" => Some(HttpResponse::ok("text/plain", "ok\n".to_string())),
+            _ => None,
+        });
+        ObsServer::bind("127.0.0.1:0", handler).expect("bind")
+    }
+
+    #[test]
+    fn serves_routes_with_exact_bodies() {
+        let server = demo_server();
+        let addr = server.local_addr().to_string();
+        let (status, body) = http_get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "monkey_up 1\n");
+        let (status, body) = http_get(&addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        let (status, _) = http_get(&addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        // Query strings are stripped before routing.
+        let (status, _) = http_get(&addr, "/healthz?verbose=1").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn content_length_and_type_are_exact() {
+        let server = demo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(raw.contains("Content-Length: 12\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("monkey_up 1\n"));
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_400_and_a_closed_socket() {
+        let server = demo_server();
+        let send_raw = |bytes: &[u8]| -> String {
+            let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+            stream.write_all(bytes).unwrap();
+            let mut raw = String::new();
+            // read_to_string returning proves the server closed the socket.
+            stream.read_to_string(&mut raw).unwrap();
+            raw
+        };
+        assert!(send_raw(b"GARBAGE\r\n\r\n").starts_with("HTTP/1.1 400 "));
+        assert!(send_raw(b"GET /too many parts HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 400 "));
+        assert!(send_raw(b"GET nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 400 "));
+        assert!(send_raw(b"GET / SMTP/1.0\r\n\r\n").starts_with("HTTP/1.1 400 "));
+        let oversized = vec![b'a'; MAX_REQUEST_BYTES + 1024];
+        assert!(send_raw(&oversized).starts_with("HTTP/1.1 400 "));
+        assert!(send_raw(b"POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405 "));
+        // The server is still healthy afterwards.
+        let (status, _) = http_get(&server.local_addr().to_string(), "/healthz").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answered() {
+        let server = demo_server();
+        let addr = server.local_addr().to_string();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let addr = &addr;
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        let (status, body) = http_get(addr, "/metrics").unwrap();
+                        assert_eq!(status, 200);
+                        assert_eq!(body, "monkey_up 1\n");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn port_in_use_fails_fast_and_drop_releases_it() {
+        let server = demo_server();
+        let addr = server.local_addr().to_string();
+        let handler: HttpHandler = Arc::new(|_| None);
+        let err = match ObsServer::bind(&addr, handler) {
+            Err(e) => e,
+            Ok(_) => panic!("port is taken"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        drop(server);
+        // The port comes back once the acceptor has been joined. A
+        // lingering TIME_WAIT from the shutdown dial can hold it briefly,
+        // so allow a few retries.
+        let mut rebound = None;
+        for _ in 0..40 {
+            let handler: HttpHandler = Arc::new(|_| None);
+            match ObsServer::bind(&addr, handler) {
+                Ok(s) => {
+                    rebound = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        rebound.expect("rebind after drop");
+    }
+}

@@ -19,6 +19,7 @@ use crate::attribution::{IoAttribution, LEVEL_SLOTS, MAX_LEVELS};
 use crate::counter::ShardedCounter;
 use crate::events::{Event, EventKind, EventRing};
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::iolat::IoLatency;
 use crate::trace::Tracer;
 
 /// Operations with dedicated latency histograms.
@@ -142,6 +143,7 @@ pub struct Telemetry {
     op_counts: [ShardedCounter; OP_KINDS.len()],
     level_lookups: [LevelLookup; LEVEL_SLOTS],
     attribution: Arc<IoAttribution>,
+    io_latency: Arc<IoLatency>,
     events: EventRing,
     workload: WorkloadCharacterizer,
     tracer: OnceLock<Arc<Tracer>>,
@@ -166,6 +168,7 @@ impl Telemetry {
             op_counts: std::array::from_fn(|_| ShardedCounter::new()),
             level_lookups: std::array::from_fn(|_| LevelLookup::default()),
             attribution: Arc::new(IoAttribution::new()),
+            io_latency: Arc::new(IoLatency::new()),
             events: EventRing::for_shard(shard, event_capacity),
             workload: WorkloadCharacterizer::new(),
             tracer: OnceLock::new(),
@@ -268,6 +271,11 @@ impl Telemetry {
         &self.attribution
     }
 
+    /// The backend I/O latency histograms shared with the storage layer.
+    pub fn io_latency(&self) -> &Arc<IoLatency> {
+        &self.io_latency
+    }
+
     /// The online workload characterizer (paper-taxonomy classification
     /// plus key-skew sketches).
     pub fn workload(&self) -> &WorkloadCharacterizer {
@@ -338,6 +346,7 @@ impl Telemetry {
             l.lookup_page_reads.store(0, Ordering::Relaxed);
         }
         self.attribution.reset_counters();
+        self.io_latency.reset();
         self.workload.reset();
     }
 }

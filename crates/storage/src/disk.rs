@@ -10,10 +10,11 @@ use crate::cache::{BlockCache, CacheConfig, CachePolicy, CachePriority, CacheSta
 use crate::error::{Result, StorageError};
 use crate::iostats::{IoSnapshot, IoStats};
 use bytes::Bytes;
-use monkey_obs::IoAttribution;
+use monkey_obs::{IoAttribution, IoLatency, IoOp};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// A counted, optionally cached page store.
 pub struct Disk {
@@ -26,6 +27,11 @@ pub struct Disk {
     /// layer when telemetry is enabled. When unset, the per-I/O cost is a
     /// single `OnceLock` load that finds nothing.
     attribution: OnceLock<Arc<IoAttribution>>,
+    /// Optional backend-latency histograms, attached alongside the
+    /// attribution table. Timing is sampled (1-in-N) and only brackets
+    /// physical backend calls — cache hits never reach it — so the
+    /// telemetry-off cost is again one empty `OnceLock` load per miss.
+    io_latency: OnceLock<Arc<IoLatency>>,
 }
 
 impl Disk {
@@ -77,6 +83,7 @@ impl Disk {
             page_size,
             next_run: AtomicU64::new(next),
             attribution: OnceLock::new(),
+            io_latency: OnceLock::new(),
         })
     }
 
@@ -90,6 +97,39 @@ impl Disk {
     /// The attached attribution table, if any.
     pub fn attribution(&self) -> Option<&Arc<IoAttribution>> {
         self.attribution.get()
+    }
+
+    /// Attaches backend-latency histograms. Every subsequent physical
+    /// backend call (`read_page`, `read_page_sequential`, `write_page`,
+    /// `sync`) is eligible for sampled timing, attributed to the touched
+    /// run's level. Attaching twice is a no-op (the first table wins).
+    pub fn attach_io_latency(&self, latency: Arc<IoLatency>) {
+        let _ = self.io_latency.set(latency);
+    }
+
+    /// The attached backend-latency histograms, if any.
+    pub fn io_latency(&self) -> Option<&Arc<IoLatency>> {
+        self.io_latency.get()
+    }
+
+    /// Sampling gate for one backend call: counts it exactly, returns a
+    /// start instant only when this call is chosen for timing.
+    #[inline]
+    fn io_start(&self, op: IoOp) -> Option<Instant> {
+        self.io_latency.get().and_then(|l| l.op_start(op))
+    }
+
+    /// Records a sampled backend duration against the run's level.
+    #[inline]
+    fn io_end(&self, op: IoOp, run: RunId, started: Option<Instant>) {
+        if let (Some(l), Some(s)) = (self.io_latency.get(), started) {
+            let level = self
+                .attribution
+                .get()
+                .and_then(|a| a.level_of(run))
+                .unwrap_or(0);
+            l.record(op, level, s);
+        }
     }
 
     #[inline]
@@ -138,10 +178,20 @@ impl Disk {
     }
 
     /// One physical page read plus the miss-side bookkeeping: counted,
-    /// attributed, and admitted to the cache with the given priority.
+    /// attributed, timed (when sampled), and admitted to the cache with
+    /// the given priority. `op` distinguishes seek reads from sequential
+    /// continuations in the latency histograms.
     #[inline]
-    fn read_miss(&self, run: RunId, page_no: u32, priority: CachePriority) -> Result<Bytes> {
+    fn read_miss(
+        &self,
+        run: RunId,
+        page_no: u32,
+        priority: CachePriority,
+        op: IoOp,
+    ) -> Result<Bytes> {
+        let started = self.io_start(op);
         let data = self.backend.read_page(run, page_no)?;
+        self.io_end(op, run, started);
         self.stats.add_reads(1);
         self.attr_read(run);
         if let Some(cache) = &self.cache {
@@ -158,7 +208,7 @@ impl Disk {
             return Ok(data);
         }
         self.stats.add_seek();
-        self.read_miss(run, page_no, CachePriority::Point)
+        self.read_miss(run, page_no, CachePriority::Point, IoOp::ReadPage)
     }
 
     /// Reads the first page of a sequential scan: same I/O accounting as
@@ -170,7 +220,7 @@ impl Disk {
             return Ok(data);
         }
         self.stats.add_seek();
-        self.read_miss(run, page_no, CachePriority::Streaming)
+        self.read_miss(run, page_no, CachePriority::Streaming, IoOp::ReadPage)
     }
 
     /// Reads one page as the continuation of a sequential scan: counts a
@@ -182,7 +232,12 @@ impl Disk {
         if let Some(data) = self.cache_probe(run, page_no) {
             return Ok(data);
         }
-        self.read_miss(run, page_no, CachePriority::Streaming)
+        self.read_miss(
+            run,
+            page_no,
+            CachePriority::Streaming,
+            IoOp::ReadPageSequential,
+        )
     }
 
     /// Reads `count` consecutive pages starting at `start`: one seek, then
@@ -199,7 +254,12 @@ impl Disk {
                 out.push(data);
                 continue;
             }
-            out.push(self.read_miss(run, page_no, CachePriority::Streaming)?);
+            out.push(self.read_miss(
+                run,
+                page_no,
+                CachePriority::Streaming,
+                IoOp::ReadPageSequential,
+            )?);
         }
         Ok(out)
     }
@@ -269,7 +329,9 @@ impl RunWriter {
                 want: self.disk.page_size,
             });
         }
+        let started = self.disk.io_start(IoOp::WritePage);
         self.disk.backend.append_page(self.id, self.pages, page)?;
+        self.disk.io_end(IoOp::WritePage, self.id, started);
         self.disk.stats.add_writes(1);
         self.disk.attr_write(self.id);
         self.pages += 1;
@@ -277,8 +339,13 @@ impl RunWriter {
     }
 
     /// Seals the run, making it durable and readable. Returns its id.
+    /// On file backends this is the durability barrier (`fsync`), timed
+    /// as the `sync` backend op — always, not sampled: seals are rare
+    /// and their latency is the one worth never missing.
     pub fn seal(mut self) -> Result<RunId> {
+        let started = self.disk.io_start(IoOp::Sync);
         self.disk.backend.seal(self.id)?;
+        self.disk.io_end(IoOp::Sync, self.id, started);
         self.sealed = true;
         Ok(self.id)
     }
@@ -489,6 +556,109 @@ mod tests {
         disk.reset_io();
         disk.read_page(id, 0).unwrap();
         assert_eq!(disk.io().cache_hits, 1, "hot page survived the sweep");
+    }
+
+    #[test]
+    fn io_latency_times_backend_ops_per_level() {
+        use monkey_obs::IO_SAMPLE_PERIOD;
+        let disk = Disk::mem(64);
+        let attr = Arc::new(IoAttribution::new());
+        let lat = Arc::new(IoLatency::new());
+        disk.attach_attribution(Arc::clone(&attr));
+        disk.attach_io_latency(Arc::clone(&lat));
+
+        let mut w = disk.begin_run();
+        attr.tag_run(w.id(), 2);
+        for i in 0..(IO_SAMPLE_PERIOD * 2) {
+            w.append(&page(&disk, i as u8)).unwrap();
+        }
+        let id = w.seal().unwrap();
+        for _ in 0..(IO_SAMPLE_PERIOD * 2) {
+            disk.read_page(id, 0).unwrap();
+        }
+        disk.read_pages(id, 0, 4).unwrap();
+
+        // Exact per-op counts for every backend call.
+        assert_eq!(lat.op_count(IoOp::WritePage), IO_SAMPLE_PERIOD * 2);
+        assert_eq!(lat.op_count(IoOp::ReadPage), IO_SAMPLE_PERIOD * 2);
+        assert_eq!(lat.op_count(IoOp::ReadPageSequential), 4);
+        assert_eq!(lat.op_count(IoOp::Sync), 1);
+        // Sampled durations land on the tagged level; syncs always time.
+        let writes = lat.snapshot(IoOp::WritePage);
+        assert!(writes[2].count >= 1, "sampled writes on level 2");
+        assert_eq!(writes[0].count, 0, "nothing unattributed");
+        assert_eq!(lat.snapshot(IoOp::Sync)[2].count, 1);
+    }
+
+    #[test]
+    fn cache_hits_are_never_timed() {
+        let disk = Disk::mem_cached(64, 1 << 20);
+        let lat = Arc::new(IoLatency::new());
+        disk.attach_io_latency(Arc::clone(&lat));
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 9)).unwrap();
+        let id = w.seal().unwrap();
+        disk.read_page(id, 0).unwrap(); // miss: one backend read
+        for _ in 0..100 {
+            disk.read_page(id, 0).unwrap(); // hits: no backend calls
+        }
+        assert_eq!(lat.op_count(IoOp::ReadPage), 1);
+    }
+
+    #[test]
+    fn unattached_disk_records_nothing() {
+        // The zero-cost contract: without an attached table the miss path
+        // sees one empty OnceLock and no histogram exists to fill.
+        let disk = Disk::mem(64);
+        let mut w = disk.begin_run();
+        w.append(&page(&disk, 1)).unwrap();
+        let id = w.seal().unwrap();
+        disk.read_page(id, 0).unwrap();
+        assert!(disk.io_latency().is_none());
+    }
+
+    #[test]
+    fn slow_backend_shifts_the_slow_mode() {
+        use crate::faults::SlowBackend;
+        use monkey_obs::mode_split;
+        let slow = SlowBackend::new(MemBackend::new());
+        let disk = Disk::with_backend(slow.clone(), 64, None);
+        let lat = Arc::new(IoLatency::new());
+        disk.attach_io_latency(Arc::clone(&lat));
+        let mut w = disk.begin_run();
+        for i in 0..8 {
+            w.append(&page(&disk, i)).unwrap();
+        }
+        let id = w.seal().unwrap();
+
+        // Fast phase: memory-speed reads, unimodal.
+        for _ in 0..512 {
+            disk.read_page(id, 0).unwrap();
+        }
+        let merged = |lat: &IoLatency| {
+            let mut m = monkey_obs::HistogramSnapshot::empty();
+            for h in lat.snapshot(IoOp::ReadPage) {
+                m.merge(&h);
+            }
+            m
+        };
+        let before = mode_split(&merged(&lat)).fast_fraction;
+        assert!(
+            before > 0.8,
+            "memory-speed reads are dominated by one mode (fast fraction {before})"
+        );
+
+        // Fault injection: device-like delays open a second mode and the
+        // fast-mode share drops.
+        slow.set_read_delay_micros(1_000);
+        for _ in 0..512 {
+            disk.read_page(id, 0).unwrap();
+        }
+        let after = mode_split(&merged(&lat)).fast_fraction;
+        assert!(
+            after < 0.7 && after < before,
+            "slow-mode injection must shift the split (fast fraction {before} -> {after})"
+        );
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! The live observability plane end to end: the embedded scrape
+//! endpoint serves the exact report renderings, stays healthy under
+//! concurrent scrapes and saturating writes, degrades cleanly when
+//! telemetry is off or the store is closing, and surfaces bind failures
+//! as ordinary open errors. Device-level I/O latency rows are checked
+//! against a real directory-backed cascade.
+
+use monkey::{http_get, Db, DbOptions, DbOptionsExt, LsmError, MergePolicy};
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "monkey-obsd-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small in-memory store with the endpoint on an OS-assigned port.
+fn serve(telemetry: bool) -> Arc<Db> {
+    let mut opts = DbOptions::in_memory()
+        .page_size(1024)
+        .buffer_capacity(8 << 10)
+        .size_ratio(3)
+        .obs_listen("127.0.0.1:0");
+    opts = if telemetry {
+        opts.telemetry(true)
+    } else {
+        opts
+    };
+    Db::open(opts).unwrap()
+}
+
+fn fill(db: &Db, n: u64) {
+    for i in 0..n {
+        db.put(format!("key{i:08}").into_bytes(), vec![b'v'; 40] as Vec<u8>)
+            .unwrap();
+    }
+    for i in 0..n {
+        db.get(format!("key{i:08}").as_bytes()).unwrap();
+    }
+}
+
+#[test]
+fn endpoint_serves_every_route() {
+    let db = serve(true);
+    fill(&db, 512);
+    let addr = db.obs_addr().expect("endpoint bound").to_string();
+
+    let (status, body) = http_get(&addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.starts_with("# HELP monkey_build_info"));
+    assert!(body.contains("monkey_ops_total{op=\"put\"} 512"));
+    assert!(body.contains("monkey_io_ops_total{op=\"write_page\"}"));
+
+    let (status, body) = http_get(&addr, "/report.json").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.starts_with('{') && body.ends_with('}'));
+    assert!(body.contains("\"io\":["));
+
+    let (status, body) = http_get(&addr, "/events.json").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"events\":["));
+
+    let (status, body) = http_get(&addr, "/spans.json").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"traceEvents\""));
+
+    let (status, body) = http_get(&addr, "/advice.json").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"advice\""));
+
+    let (status, body) = http_get(&addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, _) = http_get(&addr, "/nope").unwrap();
+    assert_eq!(status, 404);
+}
+
+/// Acceptance: `GET /metrics` is byte-identical to `to_prometheus()` on
+/// the same (quiesced) snapshot, modulo the one uptime gauge that ticks
+/// between the two renderings.
+#[test]
+fn served_metrics_match_direct_prometheus() {
+    let strip_uptime = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.starts_with("monkey_uptime_micros "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let db = serve(true);
+    fill(&db, 512);
+    let addr = db.obs_addr().unwrap().to_string();
+    // The scrape drains the event/span rings; the direct report right
+    // after sees the same counters and histograms with an empty timeline
+    // drained away — so drain once first, then compare quiesced renders.
+    let _ = http_get(&addr, "/metrics").unwrap();
+    let (_, served) = http_get(&addr, "/metrics").unwrap();
+    let direct = db.telemetry_report().unwrap().to_prometheus();
+    assert_eq!(strip_uptime(&served), strip_uptime(&direct));
+}
+
+#[test]
+fn telemetry_off_degrades_to_503_but_stays_healthy() {
+    let db = serve(false);
+    db.put(&b"k"[..], &b"v"[..]).unwrap();
+    let addr = db.obs_addr().unwrap().to_string();
+    for path in ["/metrics", "/report.json", "/events.json", "/spans.json"] {
+        let (status, body) = http_get(&addr, path).unwrap();
+        assert_eq!(status, 503, "{path}");
+        assert!(body.contains("telemetry is off"));
+    }
+    // Liveness and advice don't need the telemetry hub.
+    assert_eq!(http_get(&addr, "/healthz").unwrap().0, 200);
+    assert_eq!(http_get(&addr, "/advice.json").unwrap().0, 200);
+}
+
+#[test]
+fn no_listen_option_binds_nothing() {
+    let db = Db::open(DbOptions::in_memory().telemetry(true)).unwrap();
+    assert!(db.obs_addr().is_none());
+}
+
+/// Satellite: a port already in use surfaces as a clean `LsmError` from
+/// `Db::open`, not a panic or a silently dead endpoint.
+#[test]
+fn port_in_use_fails_open_cleanly() {
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = holder.local_addr().unwrap().to_string();
+    let err = match Db::open(DbOptions::in_memory().telemetry(true).obs_listen(addr)) {
+        Err(e) => e,
+        Ok(_) => panic!("open succeeded on an occupied port"),
+    };
+    match err {
+        LsmError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse),
+        other => panic!("wrong error kind: {other}"),
+    }
+}
+
+/// Satellite: malformed and oversized request lines get a 400 and a
+/// closed connection from the *served* store, and the endpoint keeps
+/// answering real scrapes afterwards.
+#[test]
+fn malformed_requests_get_400_and_service_survives() {
+    let db = serve(true);
+    let addr = db.obs_addr().unwrap();
+    for junk in [
+        "GARBAGE\r\n\r\n".to_string(),
+        "GET /metrics\r\n\r\n".to_string(), // missing HTTP version
+        format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000)), // oversized
+    ] {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(junk.as_bytes()).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 400 "),
+            "junk {:?} got {response:?}",
+            &junk[..junk.len().min(40)]
+        );
+    }
+    assert_eq!(http_get(&addr.to_string(), "/healthz").unwrap().0, 200);
+}
+
+/// Satellite: concurrent scrapes of every endpoint during saturating
+/// multi-shard writes — nothing wedges, every response is well-formed.
+#[test]
+fn concurrent_scrapes_during_saturating_writes() {
+    let db = Db::open(
+        DbOptions::in_memory()
+            .page_size(1024)
+            .buffer_capacity(16 << 10)
+            .size_ratio(3)
+            .shards(4)
+            .telemetry(true)
+            .tracing(true)
+            .obs_listen("127.0.0.1:0"),
+    )
+    .unwrap();
+    let addr = db.obs_addr().unwrap().to_string();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    db.put(
+                        format!("w{w}-{i:08}").into_bytes(),
+                        vec![b'x'; 64] as Vec<u8>,
+                    )
+                    .unwrap();
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let paths = [
+        "/metrics",
+        "/report.json",
+        "/events.json",
+        "/spans.json",
+        "/advice.json",
+        "/healthz",
+    ];
+    let scrapers: Vec<_> = (0..4)
+        .map(|s| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                for i in 0..16 {
+                    let path = paths[(s + i) % paths.len()];
+                    let (status, _) = http_get(&addr, path).unwrap();
+                    assert_eq!(status, 200, "{path}");
+                }
+            })
+        })
+        .collect();
+    for s in scrapers {
+        s.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    // Per-shard rows made it into the merged served report.
+    let (_, body) = http_get(&addr, "/report.json").unwrap();
+    assert!(body.contains("\"shards\":["));
+}
+
+/// Dropping the store stops the server: the port refuses connections
+/// shortly after (the drop joins the acceptor, so this is deterministic
+/// up to kernel listen-queue draining).
+#[test]
+fn endpoint_stops_when_db_drops() {
+    let db = serve(true);
+    let addr = db.obs_addr().unwrap();
+    assert_eq!(http_get(&addr.to_string(), "/healthz").unwrap().0, 200);
+    drop(db);
+    assert!(
+        http_get(&addr.to_string(), "/healthz").is_err(),
+        "endpoint still answering after drop"
+    );
+}
+
+/// Tentpole: after a real directory-backed cascade, the report carries
+/// device-level latency rows — write and sync timings attributed to the
+/// levels the cascade built, read timings to the levels lookups probed.
+#[test]
+fn io_latency_rows_attributed_per_level_after_cascade() {
+    let dir = tempdir("iolat");
+    let db = Db::open(
+        DbOptions::at_path(&dir)
+            .page_size(1024)
+            .buffer_capacity(4 << 10)
+            .size_ratio(3)
+            .merge_policy(MergePolicy::Leveling)
+            .monkey_filters(8.0)
+            .telemetry(true),
+    )
+    .unwrap();
+    for i in 0..2_000u64 {
+        db.put(format!("key{i:08}").into_bytes(), vec![b'v'; 40] as Vec<u8>)
+            .unwrap();
+    }
+    for i in 0..2_000u64 {
+        db.get(format!("key{i:08}").as_bytes()).unwrap();
+    }
+    let stats = db.stats();
+    assert!(stats.levels.len() >= 2, "workload did not cascade");
+
+    let report = db.telemetry_report().unwrap();
+    let row = |op: &str| report.io.iter().find(|r| r.op == op);
+    let writes = row("write_page").expect("write rows");
+    assert!(writes.ops > 0 && writes.sampled > 0);
+    assert!(
+        writes.levels.iter().any(|l| l.level >= 2),
+        "no write latency attributed to a deep level: {:?}",
+        writes.levels.iter().map(|l| l.level).collect::<Vec<_>>()
+    );
+    let syncs = row("sync").expect("sync rows");
+    // Syncs are always timed, never sampled away.
+    assert_eq!(syncs.ops, syncs.sampled);
+    let reads = row("read_page").expect("read rows");
+    assert!(reads.ops > 0);
+    assert!(
+        !reads.levels.is_empty(),
+        "read latency rows carry no level attribution"
+    );
+    for r in &report.io {
+        assert!(r.cache_mode_ratio > 0.0 && r.cache_mode_ratio <= 1.0);
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,15 +29,23 @@ fn opts(d: &PathBuf) -> DbOptions {
         .trace_sample_period(1)
 }
 
+/// Copy a live store's tree, tolerating files that vanish mid-copy: the
+/// engine retires obsolete run files on a background thread, and a crash
+/// snapshot can legitimately miss one (the manifest stopped referencing
+/// the run before its deferred deletion fired, so recovery never asks
+/// for it).
 fn copy_tree(from: &PathBuf, to: &PathBuf) {
     std::fs::create_dir_all(to).unwrap();
     for entry in std::fs::read_dir(from).unwrap() {
         let entry = entry.unwrap();
         let dst = to.join(entry.file_name());
-        if entry.file_type().unwrap().is_dir() {
+        let Ok(file_type) = entry.file_type() else {
+            continue;
+        };
+        if file_type.is_dir() {
             copy_tree(&entry.path(), &dst);
-        } else {
-            std::fs::copy(entry.path(), dst).unwrap();
+        } else if let Err(e) = std::fs::copy(entry.path(), dst) {
+            assert_eq!(e.kind(), std::io::ErrorKind::NotFound, "copy failed: {e}");
         }
     }
 }
