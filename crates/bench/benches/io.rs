@@ -1,0 +1,225 @@
+//! Raw-speed I/O backend benchmarks: what the `O_DIRECT` (+ io_uring)
+//! backend and WAL fsync batching buy on real files.
+//!
+//! Three measurements, each emitted into the repo-root `BENCH_io.json`
+//! artifact:
+//!
+//! 1. **Cold-read latency** — point lookups against a freshly reopened
+//!    directory store, per backend. Buffered reads answer from the OS
+//!    page cache once it warms; direct reads pay the device every time,
+//!    which is the whole point — the direct row is the device-true
+//!    number the paper's lookup-cost figures want.
+//! 2. **Merge throughput** — sustained load pushing merge cascades, per
+//!    backend, exercising the batched readahead path (`read_scattered`
+//!    windows of 8 pages per submission, io_uring when compiled in).
+//! 3. **Syncs-per-commit** — saturating concurrent writers on a sharded
+//!    store with `wal_sync_each_append`, fsync batching on vs off. With
+//!    batching on, group commits coalesce onto shared fsync epochs and
+//!    the ratio drops below 1; off, every group commit pays its own.
+//!
+//! Rows record the *active* backend kind (`buffered`, `direct`,
+//! `direct+uring`) plus any fallback reason, so an artifact produced on
+//! a filesystem without `O_DIRECT` support is self-describing.
+
+use monkey::{Db, DbOptions, DbOptionsExt, IoBackend, MergePolicy};
+use std::sync::Arc;
+use std::time::Instant;
+
+const VALUE_LEN: usize = 64;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("monkey-io-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(dir: &std::path::Path, backend: IoBackend) -> DbOptions {
+    DbOptions::at_path(dir)
+        .page_size(4096)
+        .buffer_capacity(256 << 10)
+        .size_ratio(3)
+        .merge_policy(MergePolicy::Leveling)
+        .monkey_filters(5.0)
+        .io_backend(backend)
+        .shards(1)
+}
+
+/// `"backend": ..., "fallback": ...` fragment describing what actually
+/// served the I/O (the fallback ladder may have demoted the request).
+fn backend_fragment(db: &Db) -> String {
+    let info = db.io_backend_info();
+    match &info.fallback {
+        Some(reason) => format!(
+            "\"backend\": \"{}\", \"fallback\": \"{}\"",
+            info.kind,
+            reason.replace('"', "'")
+        ),
+        None => format!("\"backend\": \"{}\"", info.kind),
+    }
+}
+
+/// Point lookups against a reopened store: build once per backend, drop,
+/// reopen, then read keys in a scrambled order. The first pass after
+/// reopen is cold on both backends; later passes stay device-cold only
+/// under direct I/O.
+fn cold_read_latency(n: usize, reads: usize) {
+    println!("\ncold_read_latency ({n} resident entries, {reads} point reads after reopen):");
+    let mut rows = Vec::new();
+    for backend in [IoBackend::Buffered, IoBackend::Direct] {
+        let dir = tempdir(&format!("cold-{}", backend.name()));
+        let db = Db::open(opts(&dir, backend)).unwrap();
+        for i in 0..n {
+            db.put(format!("key{i:012}").into_bytes(), vec![b'v'; VALUE_LEN])
+                .unwrap();
+        }
+        db.flush().unwrap();
+        drop(db);
+        let db = Db::open(opts(&dir, backend)).unwrap();
+        let t0 = Instant::now();
+        for r in 0..reads {
+            let i = (r * 2_654_435_761) % n; // scrambled, full coverage
+            assert!(db.get(format!("key{i:012}").as_bytes()).unwrap().is_some());
+        }
+        let micros = t0.elapsed().as_nanos() as f64 / 1e3 / reads as f64;
+        let io = db.io();
+        println!(
+            "  {:<14} {micros:>8.2} us/get   ({} page reads, {} seeks)",
+            db.io_backend_info().kind,
+            io.page_reads,
+            io.seeks
+        );
+        rows.push(format!(
+            "{{{}, \"requested\": \"{}\", \"micros_per_get\": {micros:.2}, \
+             \"page_reads\": {}, \"seeks\": {}}}",
+            backend_fragment(&db),
+            backend.name(),
+            io.page_reads,
+            io.seeks
+        ));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    monkey_bench::emit_bench_artifact(
+        "BENCH_io.json",
+        "cold_read_latency",
+        &format!(
+            "{{\"entries\": {n}, \"reads\": {reads}, \"rows\": [{}]}}",
+            rows.join(", ")
+        ),
+    );
+}
+
+/// Sustained puts driving merge cascades: throughput of the whole write
+/// pipeline — memtable flush, batched-readahead merges, run builds — per
+/// backend.
+fn merge_throughput(n: usize) {
+    println!("\nmerge_throughput ({n} puts through cascaded merges):");
+    let mut rows = Vec::new();
+    for backend in [IoBackend::Buffered, IoBackend::Direct] {
+        let dir = tempdir(&format!("merge-{}", backend.name()));
+        let db = Db::open(opts(&dir, backend)).unwrap();
+        let t0 = Instant::now();
+        for i in 0..n {
+            // Overwrite-heavy keyspace: keeps merges busy discarding.
+            db.put(
+                format!("key{:09}", (i * 31) % (n / 2).max(1)).into_bytes(),
+                vec![b'v'; VALUE_LEN],
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        let kops = n as f64 / secs / 1e3;
+        let io = db.io();
+        println!(
+            "  {:<14} {kops:>8.1} kops/s   ({} pages read, {} written)",
+            db.io_backend_info().kind,
+            io.page_reads,
+            io.page_writes
+        );
+        rows.push(format!(
+            "{{{}, \"requested\": \"{}\", \"kops_per_sec\": {kops:.1}, \
+             \"page_reads\": {}, \"page_writes\": {}}}",
+            backend_fragment(&db),
+            backend.name(),
+            io.page_reads,
+            io.page_writes
+        ));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    monkey_bench::emit_bench_artifact(
+        "BENCH_io.json",
+        "merge_throughput",
+        &format!("{{\"ops\": {n}, \"rows\": [{}]}}", rows.join(", ")),
+    );
+}
+
+/// Saturating writers on a sharded store with fsync-per-append: physical
+/// syncs per group commit, fsync batching on vs off. (Coalescing needs
+/// overlapping committers, so on a single-core runner the on-row is
+/// scheduling-limited — flagged accordingly.)
+fn syncs_per_commit(threads: usize, per_thread: usize) {
+    println!(
+        "\nsyncs_per_commit ({threads} writers x {per_thread} puts, 4 shards, fsync per append):"
+    );
+    let round = |batching: bool| -> (u64, u64, f64) {
+        let dir = tempdir(&format!("sync-{batching}"));
+        let db = Arc::new(
+            Db::open(
+                DbOptions::at_path(&dir)
+                    .page_size(4096)
+                    .buffer_capacity(4 << 20)
+                    .wal_sync_each_append(true)
+                    .wal_fsync_batching(batching)
+                    .shards(4),
+            )
+            .unwrap(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let seq = t * per_thread + i;
+                        db.put(format!("key{seq:09}").into_bytes(), vec![b'v'; 24])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = db.pipeline_stats();
+        let ratio = stats.wal_syncs as f64 / stats.wal_group_commits.max(1) as f64;
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+        (stats.wal_syncs, stats.wal_group_commits, ratio)
+    };
+    let (syncs_on, commits_on, ratio_on) = round(true);
+    let (syncs_off, commits_off, ratio_off) = round(false);
+    println!("  batching on:  {ratio_on:.3} syncs/commit ({syncs_on} syncs / {commits_on} group commits)");
+    println!("  batching off: {ratio_off:.3} syncs/commit ({syncs_off} syncs / {commits_off} group commits)");
+    monkey_bench::emit_bench_artifact(
+        "BENCH_io.json",
+        "syncs_per_commit",
+        &format!(
+            "{{\"threads\": {threads}, \"puts_per_thread\": {per_thread}, \"shards\": 4, \
+             \"batching_on\": {{\"syncs\": {syncs_on}, \"group_commits\": {commits_on}, \
+             \"syncs_per_commit\": {ratio_on:.3}}}, \
+             \"batching_off\": {{\"syncs\": {syncs_off}, \"group_commits\": {commits_off}, \
+             \"syncs_per_commit\": {ratio_off:.3}}}{}}}",
+            monkey_bench::single_core_flag()
+        ),
+    );
+}
+
+fn main() {
+    // `cargo test --benches` passes `--test`: keep the smoke run cheap.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    cold_read_latency(
+        if test_mode { 2_000 } else { 50_000 },
+        if test_mode { 500 } else { 20_000 },
+    );
+    merge_throughput(if test_mode { 5_000 } else { 200_000 });
+    syncs_per_commit(8, if test_mode { 100 } else { 2_000 });
+}

@@ -14,7 +14,7 @@
 //! come back empty and the renderers treat them as such.
 
 use monkey::{
-    http_get, DriftFlag, IoLatencyReport, IoLevelLatencyReport, LevelIoSnapshot,
+    http_get, DriftFlag, IoBackendReport, IoLatencyReport, IoLevelLatencyReport, LevelIoSnapshot,
     LevelLookupSnapshot, LevelReport, OpLatencyReport, ShardBreakdown, TelemetryReport,
     WindowRates,
 };
@@ -450,6 +450,20 @@ pub fn report_from_json(text: &str) -> Result<TelemetryReport, String> {
         spans_started: doc.u64_of("spans_started"),
         spans_dropped: doc.u64_of("spans_dropped"),
         recorder_bytes: doc.u64_of("recorder_bytes"),
+        io_backend: doc.get("io_backend").map(|b| IoBackendReport {
+            requested: b
+                .get("requested")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            kind: b
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            align: b.u64_of("align"),
+            fallback: b.get("fallback").and_then(Json::as_str).map(str::to_string),
+        }),
     })
 }
 

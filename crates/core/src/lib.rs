@@ -57,13 +57,13 @@ mod bridge;
 pub use advisor::TuningAdvisor;
 pub use bridge::{model_params_for, to_model_policy};
 pub use monkey_lsm::{
-    decode_segment, http_get, mode_split, Db, DbOptions, DbStats, DecodedFlight, DriftFlag, Entry,
-    EntryKind, Event, EventKind, FilterContext, FilterPolicy, FilterVariant, FlightRecorder,
-    IoLatencyReport, IoLevelLatencyReport, LevelIoSnapshot, LevelLookupSnapshot, LevelReport,
-    LevelStats, LookupStats, LsmError, MeasuredWorkload, MergePolicy, ModeSplit, OpKind,
-    OpLatencyReport, PipelineGauges, PipelineStats, RangeIter, RecorderRecord, Result,
-    ShardBreakdown, Span, SpanKind, Telemetry, TelemetryReport, Tracer, UniformFilterPolicy,
-    WalStats, WindowRates, WindowedSeries,
+    decode_segment, http_get, mode_split, BackendInfo, Db, DbOptions, DbStats, DecodedFlight,
+    DriftFlag, Entry, EntryKind, Event, EventKind, FilterContext, FilterPolicy, FilterVariant,
+    FlightRecorder, IoBackend, IoBackendReport, IoLatencyReport, IoLevelLatencyReport,
+    LevelIoSnapshot, LevelLookupSnapshot, LevelReport, LevelStats, LookupStats, LsmError,
+    MeasuredWorkload, MergePolicy, ModeSplit, OpKind, OpLatencyReport, PipelineGauges,
+    PipelineStats, RangeIter, RecorderRecord, Result, ShardBreakdown, Span, SpanKind, SyncStats,
+    Telemetry, TelemetryReport, Tracer, UniformFilterPolicy, WalStats, WindowRates, WindowedSeries,
 };
 pub use monkey_model::{Environment, Workload};
 pub use monkey_obs::{DesignPoint, TuningAdvice};

@@ -36,16 +36,16 @@ use crate::policy::FilterContext;
 use crate::run::{recover_run, FilterParams};
 use crate::stats::{DbStats, LevelStats, LookupStats, PipelineGauges, PipelineStats};
 use crate::vlog::{ValueLog, ValuePointer};
-use crate::wal::Wal;
+use crate::wal::{SyncStats, Wal, WalSyncCoordinator};
 use bytes::Bytes;
 use monkey_bloom::hash_pair;
 use monkey_obs::{
-    drift_flag, EventKind, FlightRecorder, HttpHandler, HttpResponse, IoLatencyReport, JsonObject,
-    LevelReport, MeasuredWorkload, ObsServer, OpKind, OpLatencyReport, ShardBreakdown, SpanKind,
-    Telemetry, TelemetryReport, TelemetrySnapshot, Tracer, WindowRates, WindowedSeries,
-    DEFAULT_EWMA_ALPHA, IO_OPS, MAX_LEVELS, OP_KINDS,
+    drift_flag, EventKind, FlightRecorder, HttpHandler, HttpResponse, IoBackendReport,
+    IoLatencyReport, JsonObject, LevelReport, MeasuredWorkload, ObsServer, OpKind, OpLatencyReport,
+    ShardBreakdown, SpanKind, Telemetry, TelemetryReport, TelemetrySnapshot, Tracer, WindowRates,
+    WindowedSeries, DEFAULT_EWMA_ALPHA, IO_OPS, MAX_LEVELS, OP_KINDS,
 };
-use monkey_storage::{Disk, IoSnapshot};
+use monkey_storage::{BackendInfo, Disk, IoSnapshot};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -163,6 +163,10 @@ pub struct Db {
     /// [`Db::set_advice_provider`]; without one the endpoint reports the
     /// measured workload with `"advice": null`.
     advice_provider: OnceLock<AdviceProvider>,
+    /// The cross-shard WAL fsync coordinator, when fsync batching is on
+    /// for a durable store — kept here so [`Db::wal_sync_stats`] can
+    /// report global coalescing (tickets vs. physical syncs).
+    sync_coord: Option<Arc<WalSyncCoordinator>>,
     shards: Vec<Shard>,
 }
 
@@ -675,7 +679,12 @@ fn worker_loop(core: Arc<Core>) {
 impl Core {
     /// Opens a single-shard engine core. For directory-backed storage,
     /// recovers the tree from the manifest and replays the WAL segments.
-    fn open_core(opts: DbOptions) -> Result<Arc<Core>> {
+    /// `sync_coord`, when present, routes every WAL fsync through the
+    /// shared cross-shard coalescing coordinator.
+    fn open_core(
+        opts: DbOptions,
+        sync_coord: Option<Arc<WalSyncCoordinator>>,
+    ) -> Result<Arc<Core>> {
         let (disk, wal, manifest, replayed, manifest_state) = match &opts.storage {
             StorageConfig::Memory => (
                 Disk::mem(opts.page_size),
@@ -693,10 +702,11 @@ impl Core {
             ),
             StorageConfig::Directory(dir) => {
                 std::fs::create_dir_all(dir)?;
-                let disk = Disk::file(dir.join("pages"), opts.page_size)?;
+                let disk =
+                    Disk::file_with(dir.join("pages"), opts.page_size, opts.io_backend, None)?;
                 let manifest = Manifest::at(dir.join("MANIFEST"));
                 let state = manifest.load()?;
-                let (wal, replayed) = Wal::open(dir, opts.wal_sync_each_append)?;
+                let (wal, replayed) = Wal::open_with(dir, opts.wal_sync_each_append, sync_coord)?;
                 (disk, wal, Some(manifest), replayed, state)
             }
         };
@@ -753,6 +763,16 @@ impl Core {
             if let Some(tr) = &tracer {
                 t.attach_tracer(Arc::clone(tr));
                 wal.attach_tracer(Arc::clone(tr));
+            }
+            // Surface a requested-but-unusable O_DIRECT backend exactly
+            // once, at open — quietly running buffered when the operator
+            // asked for device-true I/O would invalidate every latency
+            // figure they read off the dashboard.
+            let info = disk.backend_info();
+            if let Some(reason) = &info.fallback {
+                t.event(EventKind::IoBackendFallback {
+                    reason: reason.clone(),
+                });
             }
         }
         let series = telemetry.as_ref().map(|_| {
@@ -885,8 +905,8 @@ struct Shard {
 }
 
 impl Shard {
-    fn open(opts: DbOptions) -> Result<Shard> {
-        Ok(Self::with_worker(Core::open_core(opts)?))
+    fn open(opts: DbOptions, sync_coord: Option<Arc<WalSyncCoordinator>>) -> Result<Shard> {
+        Ok(Self::with_worker(Core::open_core(opts, sync_coord)?))
     }
 
     fn open_with_disk(opts: DbOptions, disk: Arc<Disk>) -> Result<Shard> {
@@ -1221,6 +1241,7 @@ impl Core {
             background_errors: p.background_errors.load(Relaxed),
             wal_group_commits: wal.group_commits,
             wal_batched_appends: wal.batched_appends,
+            wal_syncs: wal.syncs,
         }
     }
 
@@ -1542,6 +1563,7 @@ impl Core {
                 background_errors: p.background_errors.load(Relaxed),
                 wal_group_commits: wal.group_commits,
                 wal_batched_appends: wal.batched_appends,
+                wal_syncs: wal.syncs,
             },
             pipeline_gauges: PipelineGauges {
                 immutable_queue_depth: queue_depth,
@@ -1633,7 +1655,18 @@ impl Core {
             spans_started: self.tracer.as_ref().map_or(0, |tr| tr.spans_started()),
             spans_dropped: self.tracer.as_ref().map_or(0, |tr| tr.spans_dropped()),
             recorder_bytes: self.tracer.as_ref().map_or(0, |tr| tr.recorder_bytes()),
+            io_backend: Some(io_backend_report(self.disk.backend_info())),
         })
+    }
+}
+
+/// Renders the storage layer's backend identity for telemetry reports.
+fn io_backend_report(info: &BackendInfo) -> IoBackendReport {
+    IoBackendReport {
+        requested: info.requested.name().to_string(),
+        kind: info.kind.to_string(),
+        align: info.align as u64,
+        fallback: info.fallback.clone(),
     }
 }
 
@@ -1661,14 +1694,26 @@ impl Db {
     /// [`migrate_to`](Self::migrate_to) to re-shard.
     pub fn open(opts: DbOptions) -> Result<Arc<Self>> {
         let n = Self::resolve_shards(&opts)?;
+        // One fsync coordinator spans every shard's WAL, so concurrent
+        // group commits collapse into shared sync epochs (the batching is
+        // an optimization over *when* fsyncs run, never whether — each
+        // commit still returns only after its bytes are synced).
+        let sync_coord = (opts.wal_fsync_batching
+            && opts.wal_sync_each_append
+            && matches!(opts.storage, StorageConfig::Directory(_)))
+        .then(WalSyncCoordinator::new);
         let mut shards = Vec::with_capacity(n);
         for index in 0..n {
-            shards.push(Shard::open(Self::shard_options(&opts, index, n))?);
+            shards.push(Shard::open(
+                Self::shard_options(&opts, index, n),
+                sync_coord.clone(),
+            )?);
         }
         let db = Arc::new(Db {
             opts,
             obs_server: OnceLock::new(),
             advice_provider: OnceLock::new(),
+            sync_coord,
             shards,
         });
         db.bind_obs_server()?;
@@ -1688,6 +1733,7 @@ impl Db {
             opts,
             obs_server: OnceLock::new(),
             advice_provider: OnceLock::new(),
+            sync_coord: None,
             shards: vec![shard],
         });
         db.bind_obs_server()?;
@@ -1951,8 +1997,24 @@ impl Db {
             total.background_errors += s.background_errors;
             total.wal_group_commits += s.wal_group_commits;
             total.wal_batched_appends += s.wal_batched_appends;
+            total.wal_syncs += s.wal_syncs;
         }
         total
+    }
+
+    /// Global WAL fsync-coalescing counters (tickets issued vs. physical
+    /// syncs performed), when fsync batching is active on this store.
+    /// `syncs / tickets` is the store-wide syncs-per-commit ratio; under
+    /// concurrent writers it drops below 1.
+    pub fn wal_sync_stats(&self) -> Option<SyncStats> {
+        self.sync_coord.as_ref().map(|c| c.stats())
+    }
+
+    /// Which disk backend this store is running on: the requested kind,
+    /// the active kind after the runtime fallback ladder, and the
+    /// discovered alignment.
+    pub fn io_backend_info(&self) -> BackendInfo {
+        self.shards[0].core.disk.backend_info().clone()
     }
 
     /// Instantaneous levels of the write pipeline, summed across shards.
@@ -2053,6 +2115,7 @@ impl Db {
             total.pipeline.background_errors += s.pipeline.background_errors;
             total.pipeline.wal_group_commits += s.pipeline.wal_group_commits;
             total.pipeline.wal_batched_appends += s.pipeline.wal_batched_appends;
+            total.pipeline.wal_syncs += s.pipeline.wal_syncs;
             total.pipeline_gauges.immutable_queue_depth += s.pipeline_gauges.immutable_queue_depth;
             total.pipeline_gauges.stalled_writers += s.pipeline_gauges.stalled_writers;
         }
@@ -2247,6 +2310,12 @@ impl Db {
             spans_started: tracers.iter().map(|tr| tr.spans_started()).sum(),
             spans_dropped: tracers.iter().map(|tr| tr.spans_dropped()).sum(),
             recorder_bytes: tracers.iter().map(|tr| tr.recorder_bytes()).sum(),
+            // Every shard opens with the same backend options against the
+            // same filesystem, so shard 0 speaks for the store.
+            io_backend: self
+                .cores()
+                .next()
+                .map(|c| io_backend_report(c.disk.backend_info())),
         })
     }
 

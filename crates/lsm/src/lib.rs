@@ -76,16 +76,16 @@ pub use merge::MergeReport;
 pub use monkey_bloom::FilterVariant;
 pub use monkey_obs::{
     decode_segment, http_get, mode_split, DecodedFlight, DriftFlag, Event, EventKind,
-    FlightRecorder, HotKey, IoLatency, IoLatencyReport, IoLevelLatencyReport, IoOp, LevelIoRates,
-    LevelIoSnapshot, LevelLookupSnapshot, LevelReport, MeasuredWorkload, ModeSplit, OpKind,
-    OpLatencyReport, RecorderRecord, ShardBreakdown, SmoothedRates, Span, SpanKind, Telemetry,
-    TelemetryReport, TelemetrySnapshot, Tracer, WindowRates, WindowedSeries, WorkloadCharacterizer,
-    IO_OPS,
+    FlightRecorder, HotKey, IoBackendReport, IoLatency, IoLatencyReport, IoLevelLatencyReport,
+    IoOp, LevelIoRates, LevelIoSnapshot, LevelLookupSnapshot, LevelReport, MeasuredWorkload,
+    ModeSplit, OpKind, OpLatencyReport, RecorderRecord, ShardBreakdown, SmoothedRates, Span,
+    SpanKind, Telemetry, TelemetryReport, TelemetrySnapshot, Tracer, WindowRates, WindowedSeries,
+    WorkloadCharacterizer, IO_OPS,
 };
-pub use monkey_storage::{CachePolicy, CacheStats};
+pub use monkey_storage::{BackendInfo, CachePolicy, CacheStats, IoBackend};
 pub use options::DbOptions;
 pub use policy::{FilterContext, FilterPolicy, MergePolicy, UniformFilterPolicy};
 pub use run::{FilterParams, Run, RunLookup};
 pub use stats::{DbStats, LevelStats, LookupStats, PipelineGauges, PipelineStats};
 pub use vlog::{ValueLog, ValuePointer};
-pub use wal::WalStats;
+pub use wal::{SyncStats, WalStats, WalSyncCoordinator};

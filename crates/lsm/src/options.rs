@@ -2,7 +2,7 @@
 
 use crate::policy::{FilterPolicy, MergePolicy, UniformFilterPolicy};
 use monkey_bloom::FilterVariant;
-use monkey_storage::CachePolicy;
+use monkey_storage::{CachePolicy, IoBackend};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -42,6 +42,23 @@ pub struct DbOptions {
     /// fsync the WAL on every append (durable but slow) instead of on
     /// flush boundaries.
     pub wal_sync_each_append: bool,
+    /// Coalesce WAL `fsync`s across group-commit batches (and across
+    /// shards, which share one sync coordinator): a commit whose records
+    /// are already written piggybacks on the one in-flight fsync instead
+    /// of issuing its own, cutting syncs-per-commit below 1 under load.
+    /// Only meaningful with [`DbOptions::wal_sync_each_append`]; on by
+    /// default — durability semantics are identical, commits still do not
+    /// return before their records are fsynced.
+    pub wal_fsync_batching: bool,
+    /// Physical I/O path for run pages on durable stores
+    /// ([`StorageConfig::Directory`]): buffered `pread`/`pwrite` (the
+    /// historical default), `O_DIRECT` (device-true latencies, page cache
+    /// bypassed), or `Auto` (direct where the filesystem supports it,
+    /// silently buffered elsewhere). A `Direct` request that cannot be
+    /// honored (tmpfs, misaligned page size) falls back to buffered and
+    /// surfaces a one-time `IoBackendFallback` event plus the
+    /// `monkey_io_backend_info` gauge.
+    pub io_backend: IoBackend,
     /// Key-value separation (WiscKey, §6 of the paper): values of at least
     /// this many bytes live in an append-only value log and the tree
     /// stores a 14-byte pointer instead. `None` keeps every value inline.
@@ -163,6 +180,13 @@ impl DbOptions {
             filter_policy: Arc::new(UniformFilterPolicy::new(10.0)),
             filter_variant: FilterVariant::Standard,
             wal_sync_each_append: false,
+            wal_fsync_batching: true,
+            // Same motivation as the thread/shard overrides below: CI runs
+            // the whole suite device-true with MONKEY_IO_BACKEND=direct.
+            io_backend: std::env::var("MONKEY_IO_BACKEND")
+                .ok()
+                .and_then(|v| IoBackend::parse(&v))
+                .unwrap_or(IoBackend::Buffered),
             value_separation: None,
             background_compaction: false,
             max_immutable_memtables: 2,
@@ -247,6 +271,20 @@ impl DbOptions {
     /// Enables fsync-per-append WAL durability.
     pub fn wal_sync_each_append(mut self, on: bool) -> Self {
         self.wal_sync_each_append = on;
+        self
+    }
+
+    /// Enables or disables cross-batch WAL fsync coalescing (see
+    /// [`DbOptions::wal_fsync_batching`]).
+    pub fn wal_fsync_batching(mut self, on: bool) -> Self {
+        self.wal_fsync_batching = on;
+        self
+    }
+
+    /// Selects the physical I/O backend for run pages (see
+    /// [`DbOptions::io_backend`]).
+    pub fn io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
         self
     }
 
@@ -375,6 +413,8 @@ impl std::fmt::Debug for DbOptions {
             .field("filter_policy", &self.filter_policy.name())
             .field("filter_variant", &self.filter_variant)
             .field("wal_sync_each_append", &self.wal_sync_each_append)
+            .field("wal_fsync_batching", &self.wal_fsync_batching)
+            .field("io_backend", &self.io_backend.name())
             .field("value_separation", &self.value_separation)
             .field("background_compaction", &self.background_compaction)
             .field("max_immutable_memtables", &self.max_immutable_memtables)
@@ -563,6 +603,23 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_obs_listen_rejected() {
         DbOptions::in_memory().obs_listen("");
+    }
+
+    #[test]
+    fn io_backend_knob() {
+        // Not asserting the default here: CI runs the suite with
+        // MONKEY_IO_BACKEND set, which base() honors by design.
+        let o = DbOptions::in_memory();
+        assert!(o.wal_fsync_batching, "fsync batching is the default");
+        let o = o.io_backend(IoBackend::Direct).wal_fsync_batching(false);
+        assert_eq!(o.io_backend, IoBackend::Direct);
+        assert!(!o.wal_fsync_batching);
+        assert_eq!(
+            DbOptions::in_memory()
+                .io_backend(IoBackend::Auto)
+                .io_backend,
+            IoBackend::Auto
+        );
     }
 
     #[test]

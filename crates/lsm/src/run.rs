@@ -254,6 +254,17 @@ impl Run {
         RunScanIter::new(Arc::clone(self), 0, None)
     }
 
+    /// Iterates the whole run for a merge: identical entries and identical
+    /// `IoStats` to [`iter`](Self::iter), but readahead is issued in
+    /// multi-page batched submissions. Merges always consume every page,
+    /// so the wider window never over-reads; user-facing scans keep
+    /// [`iter`](Self::iter)'s at-most-one-prefetched-page promise.
+    pub fn iter_for_merge(self: &Arc<Self>) -> RunScanIter {
+        let mut it = RunScanIter::new(Arc::clone(self), 0, None);
+        it.batch = MERGE_SCAN_READAHEAD_PAGES;
+        it
+    }
+
     /// Iterates entries with key `>= lo`, positioned via the fence pointers.
     pub fn iter_from(self: &Arc<Self>, lo: &[u8]) -> RunScanIter {
         if lo > self.max_key.as_ref() {
@@ -421,6 +432,11 @@ impl RunBuilder {
     }
 }
 
+/// Pages per batched readahead submission when a merge drains a whole
+/// run via [`Run::iter_for_merge`]; user scans always run with a window
+/// of 1 (classic double buffering).
+const MERGE_SCAN_READAHEAD_PAGES: u32 = 8;
+
 /// Sequential scan over a run's entries with double-buffered readahead.
 ///
 /// The first page read costs a seek + read; each subsequent page costs a
@@ -431,19 +447,24 @@ impl RunBuilder {
 /// I/O. Total I/O counts are unchanged on any scan that consumes its page
 /// range (every page is still read exactly once, with exactly one seek);
 /// a scan dropped early may have prefetched at most one page it never
-/// decoded. The iterator holds an `Arc` to its run, so a run superseded
-/// mid-scan stays readable until the cursor drops.
+/// decoded. (Merge scans opt into a wider batched window via
+/// [`Run::iter_for_merge`]; they always consume the whole run.) The
+/// iterator holds an `Arc` to its run, so a run superseded mid-scan stays
+/// readable until the cursor drops.
 pub struct RunScanIter {
     run: Arc<Run>,
     /// Streaming cursor over the current page.
     cursor: Option<PageCursor>,
-    /// The next page's bytes, fetched while the current page drains.
-    readahead: Option<Bytes>,
+    /// Prefetched page bytes, fetched while the current page drains.
+    window: std::collections::VecDeque<Bytes>,
     /// Next page number to fetch from disk.
     next_page: u32,
     started: bool,
     lo: Option<Bytes>,
     exhausted: bool,
+    /// Pages per readahead submission: 1 keeps the at-most-one-prefetched
+    /// page promise; merges widen it (every page gets consumed anyway).
+    batch: u32,
 }
 
 impl RunScanIter {
@@ -451,11 +472,12 @@ impl RunScanIter {
         Self {
             run,
             cursor: None,
-            readahead: None,
+            window: std::collections::VecDeque::new(),
             next_page: start_page,
             started: false,
             lo,
             exhausted: false,
+            batch: 1,
         }
     }
 
@@ -484,6 +506,34 @@ impl RunScanIter {
         Ok(page)
     }
 
+    /// Issues the next readahead submission into the window: one page for
+    /// user scans, up to `batch` pages in one batched backend call for
+    /// merges. Ledger-identical either way — the scan's first page pays
+    /// the seek, the rest are sequential, all streaming-admitted.
+    fn fill_window(&mut self) -> Result<()> {
+        let count = self
+            .batch
+            .min(self.run.pages().saturating_sub(self.next_page));
+        if count == 0 {
+            return Ok(());
+        }
+        if count == 1 {
+            let page = self.fetch_page()?;
+            self.window.push_back(page);
+            return Ok(());
+        }
+        let first = self.next_page;
+        let seek = !self.started;
+        let reqs: Vec<(RunId, u32, bool)> = (first..first + count)
+            .map(|p| (self.run.id(), p, seek && p == first))
+            .collect();
+        let pages = self.run.disk.read_scattered(&reqs)?;
+        self.started = true;
+        self.next_page += count;
+        self.window.extend(pages);
+        Ok(())
+    }
+
     fn advance(&mut self) -> Result<Option<Entry>> {
         loop {
             if let Some(cursor) = &mut self.cursor {
@@ -505,21 +555,22 @@ impl RunScanIter {
                 }
                 self.cursor = None;
             }
-            let page = match self.readahead.take() {
-                Some(page) => page,
-                None => {
-                    if self.exhausted || self.next_page >= self.run.pages() {
-                        self.exhausted = true;
-                        return Ok(None);
-                    }
-                    self.fetch_page()?
+            if self.window.is_empty() {
+                if self.exhausted || self.next_page >= self.run.pages() {
+                    self.exhausted = true;
+                    return Ok(None);
                 }
+                self.fill_window()?;
+            }
+            let Some(page) = self.window.pop_front() else {
+                self.exhausted = true;
+                return Ok(None);
             };
             self.cursor = Some(PageCursor::new(page)?);
-            if self.next_page < self.run.pages() {
+            if self.batch == 1 && self.window.is_empty() && self.next_page < self.run.pages() {
                 // Double buffer: the next page's read overlaps this page's
                 // decode (still one sequential read per page).
-                self.readahead = Some(self.fetch_page()?);
+                self.fill_window()?;
             }
         }
     }
@@ -533,7 +584,7 @@ impl Iterator for RunScanIter {
             Err(e) => {
                 self.exhausted = true;
                 self.cursor = None;
-                self.readahead = None;
+                self.window.clear();
                 Some(Err(e))
             }
             Ok(next) => next.map(Ok),

@@ -38,12 +38,13 @@ use crate::entry::{Entry, EntryKind};
 use crate::error::{LsmError, Result};
 use bytes::Bytes;
 use monkey_bloom::hash::xxh64;
-use monkey_obs::{EventKind, SpanKind, Telemetry, Tracer};
+use monkey_obs::{ActiveSpan, EventKind, SpanKind, Telemetry, Tracer};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Condvar;
 use std::sync::{Arc, OnceLock};
 
 const WAL_SEED: u64 = 0x57414C5F4D4F4E4B; // "WAL_MONK"
@@ -59,6 +60,148 @@ pub struct WalStats {
     /// is the mean batch size — above 1.0 means concurrent writers shared
     /// commits.
     pub batched_appends: u64,
+    /// Physical `sync_data` calls this log issued (or triggered through a
+    /// shared [`WalSyncCoordinator`]). In fsync-per-append mode,
+    /// `syncs / batched_appends` is the syncs-per-commit ratio — group
+    /// commit alone pushes it below 1 under load, and cross-shard fsync
+    /// batching pushes it further.
+    pub syncs: u64,
+}
+
+/// Counters of a [`WalSyncCoordinator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncStats {
+    /// Physical `sync_data` calls the coordinator performed.
+    pub syncs: u64,
+    /// Sync tickets handed out — one per batch that asked for durability.
+    /// `syncs / tickets < 1` means batches shared in-flight fsyncs.
+    pub tickets: u64,
+}
+
+struct SyncState {
+    /// Next ticket to hand out (the first is 1).
+    next_ticket: u64,
+    /// Every ticket at or below this mark is durable.
+    completed: u64,
+    /// Files carrying writes not yet covered by a completed sync, each
+    /// with the newest ticket that dirtied it.
+    dirty: Vec<(u64, Arc<File>)>,
+    /// A sync leader is currently fsyncing outside the lock.
+    syncing: bool,
+    /// Tickets at or below `.0` rode an epoch whose fsync failed.
+    failed: Option<(u64, String)>,
+    syncs: u64,
+    tickets: u64,
+}
+
+/// Cross-segment, cross-shard fsync coalescing — the sync-ticket
+/// protocol.
+///
+/// A committer that has already written its bytes takes a **ticket** and
+/// registers its file as dirty, in one critical section. The first waiter
+/// to find no sync in flight becomes the **sync leader**: it notes the
+/// highest ticket handed out (`upto`), drains the dirty set, and fsyncs
+/// each distinct file once, outside the lock. Every ticket ≤ `upto` had
+/// registered its file before the drain, so one epoch covers them all;
+/// when the leader publishes `completed = upto`, those waiters return
+/// without ever touching the device. Tickets taken while the leader was
+/// syncing stay dirty and wake the next leader.
+///
+/// One coordinator is shared by every shard's WAL, so under load `N`
+/// shards' group commits collapse into one fsync wave instead of `N`
+/// serial `sync_data` calls — this is what cuts syncs-per-commit below 1.
+pub struct WalSyncCoordinator {
+    state: Mutex<SyncState>,
+    cv: Condvar,
+}
+
+impl WalSyncCoordinator {
+    /// A fresh coordinator (shared across WALs via the returned `Arc`).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SyncState {
+                next_ticket: 1,
+                completed: 0,
+                dirty: Vec::new(),
+                syncing: false,
+                failed: None,
+                syncs: 0,
+                tickets: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Makes every byte already written to `file` durable, coalescing
+    /// with concurrent callers. Returns the number of physical fsyncs
+    /// this call performed itself — 0 means it piggybacked on another
+    /// batch's in-flight sync.
+    pub fn sync_after_write(&self, file: &Arc<File>) -> std::io::Result<u64> {
+        let mut state = self.state.lock();
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.tickets += 1;
+        match state.dirty.iter_mut().find(|(_, f)| Arc::ptr_eq(f, file)) {
+            Some(entry) => entry.0 = ticket,
+            None => state.dirty.push((ticket, Arc::clone(file))),
+        }
+        loop {
+            if state.completed >= ticket {
+                if let Some((upto, msg)) = &state.failed {
+                    if *upto >= ticket {
+                        return Err(std::io::Error::other(msg.clone()));
+                    }
+                }
+                return Ok(0);
+            }
+            if !state.syncing {
+                // Become the sync leader: every ticket handed out so far
+                // has its file in the dirty set, so this epoch covers
+                // them all.
+                state.syncing = true;
+                let upto = state.next_ticket - 1;
+                let batch = std::mem::take(&mut state.dirty);
+                drop(state);
+                let mut err = None;
+                let mut syncs = 0u64;
+                for (_, f) in &batch {
+                    match f.sync_data() {
+                        Ok(()) => syncs += 1,
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let mut state = self.state.lock();
+                state.syncs += syncs;
+                state.completed = state.completed.max(upto);
+                if let Some(e) = &err {
+                    state.failed = Some((upto, e.to_string()));
+                }
+                state.syncing = false;
+                drop(state);
+                self.cv.notify_all();
+                return match err {
+                    Some(e) => Err(e),
+                    None => Ok(syncs),
+                };
+            }
+            // The parking_lot shim hands out genuine `std` guards, so the
+            // std Condvar composes with it; poisoning cannot occur (no
+            // panics while the coordinator lock is held).
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Coalescing counters since creation.
+    pub fn stats(&self) -> SyncStats {
+        let state = self.state.lock();
+        SyncStats {
+            syncs: state.syncs,
+            tickets: state.tickets,
+        }
+    }
 }
 
 /// One encoded record waiting for a leader to write it.
@@ -67,9 +210,24 @@ struct PendingRecord {
     body: Vec<u8>,
 }
 
+/// A batch written to the active segment but (in fsync-per-append mode)
+/// not yet durable: the hand-off from the under-lock write phase
+/// ([`Wal::stage_pending_locked`]) to the lock-free sync phase
+/// ([`Wal::finish_batch`]). Holding the segment `File` by `Arc` keeps the
+/// sync valid even if the segment seals and rotates in between.
+struct StagedBatch {
+    commit_no: u64,
+    last_seq: u64,
+    records: u64,
+    file: Arc<File>,
+    span: Option<ActiveSpan>,
+}
+
 struct ActiveSegment {
     id: u64,
-    file: File,
+    /// Shared so the sync coordinator can fsync the file after the
+    /// segment lock moved on to a newer batch.
+    file: Arc<File>,
 }
 
 struct WalInner {
@@ -89,6 +247,7 @@ struct WalInner {
     last_commit_no: AtomicU64,
     group_commits: AtomicU64,
     batched_appends: AtomicU64,
+    syncs: AtomicU64,
 }
 
 /// The write-ahead log. A disabled WAL (for in-memory experiment
@@ -96,6 +255,9 @@ struct WalInner {
 pub struct Wal {
     inner: Option<WalInner>,
     sync_each_append: bool,
+    /// When set, fsyncs route through the shared coordinator so
+    /// concurrent batches (including other shards') ride one fsync.
+    sync_coord: Option<Arc<WalSyncCoordinator>>,
     /// Optional telemetry sink: group commits emit an
     /// [`EventKind::WalGroupCommit`] event carrying the batch size —
     /// always for multi-record batches, 1-in-64 for single-record ones.
@@ -128,6 +290,7 @@ impl Wal {
         Self {
             inner: None,
             sync_each_append: false,
+            sync_coord: None,
             events: OnceLock::new(),
             tracer: OnceLock::new(),
         }
@@ -149,6 +312,18 @@ impl Wal {
     /// record from every segment in segment order. Returns the WAL (with a
     /// fresh active segment) and the replayed entries in append order.
     pub fn open(dir: impl AsRef<Path>, sync_each_append: bool) -> Result<(Self, Vec<Entry>)> {
+        Self::open_with(dir, sync_each_append, None)
+    }
+
+    /// [`open`](Self::open), with fsyncs routed through a shared
+    /// [`WalSyncCoordinator`] — the multi-shard configuration, where every
+    /// shard's WAL hands its durability barriers to one coalescing
+    /// coordinator.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        sync_each_append: bool,
+        sync_coord: Option<Arc<WalSyncCoordinator>>,
+    ) -> Result<(Self, Vec<Entry>)> {
         let dir = dir.as_ref().to_path_buf();
         let mut ids: Vec<u64> = std::fs::read_dir(&dir)?
             .filter_map(|e| e.ok())
@@ -183,13 +358,18 @@ impl Wal {
                 inner: Some(WalInner {
                     dir,
                     pending: Mutex::new(Vec::new()),
-                    segment: Mutex::new(ActiveSegment { id: next_id, file }),
+                    segment: Mutex::new(ActiveSegment {
+                        id: next_id,
+                        file: Arc::new(file),
+                    }),
                     durable_mark: AtomicU64::new(0),
                     last_commit_no: AtomicU64::new(0),
                     group_commits: AtomicU64::new(0),
                     batched_appends: AtomicU64::new(0),
+                    syncs: AtomicU64::new(0),
                 }),
                 sync_each_append,
+                sync_coord,
                 events: OnceLock::new(),
                 tracer: OnceLock::new(),
             },
@@ -243,7 +423,30 @@ impl Wal {
         if inner.durable_mark.load(Ordering::Acquire) > seq {
             return Ok(inner.last_commit_no.load(Ordering::Relaxed)); // committed while we waited
         }
-        self.write_pending_locked(inner, &mut segment)
+        match self.stage_pending_locked(inner, &mut segment)? {
+            Some(staged) => {
+                // Sync (and publish durability) off the segment lock: the
+                // next leader can stage its batch onto the same file while
+                // this one waits at the coordinator, which is what lets
+                // consecutive same-WAL group commits share one fsync.
+                drop(segment);
+                self.finish_batch(inner, staged)
+            }
+            None => {
+                // A leader drained our record while we waited for the
+                // segment lock but has not finished its sync yet (the
+                // durable mark still trails `seq`). Sync the segment
+                // ourselves rather than return a not-yet-durable commit;
+                // the coordinator dedups this with the in-flight epoch.
+                let file = Arc::clone(&segment.file);
+                drop(segment);
+                if self.sync_each_append {
+                    self.sync_file(inner, &file)?;
+                    inner.durable_mark.fetch_max(seq + 1, Ordering::AcqRel);
+                }
+                Ok(inner.last_commit_no.load(Ordering::Relaxed))
+            }
+        }
     }
 
     /// Convenience single-record append: enqueue + commit.
@@ -253,13 +456,31 @@ impl Wal {
         Ok(())
     }
 
-    /// Drains the pending queue into the active segment as one batch.
-    /// Caller holds the segment lock. Returns the batch's commit number
-    /// (the latest one when the queue was already empty).
+    /// Drains the pending queue into the active segment as one batch and
+    /// finishes it (sync + durable-mark publication) with the lock still
+    /// held. Returns the batch's commit number (the latest one when the
+    /// queue was already empty). The seal/sync/shutdown paths use this
+    /// single-phase form; the commit hot path splits the phases so the
+    /// sync runs off the segment lock.
     fn write_pending_locked(&self, inner: &WalInner, segment: &mut ActiveSegment) -> Result<u64> {
+        match self.stage_pending_locked(inner, segment)? {
+            Some(staged) => self.finish_batch(inner, staged),
+            None => Ok(inner.last_commit_no.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Phase 1, under the segment lock: drains the pending queue into the
+    /// active segment as one `write`, assigns the batch its commit number
+    /// (lock order = file order = commit order), and returns the staged
+    /// batch for [`Wal::finish_batch`]. `None` when nothing was pending.
+    fn stage_pending_locked(
+        &self,
+        inner: &WalInner,
+        segment: &mut ActiveSegment,
+    ) -> Result<Option<StagedBatch>> {
         let batch = std::mem::take(&mut *inner.pending.lock());
         if batch.is_empty() {
-            return Ok(inner.last_commit_no.load(Ordering::Relaxed));
+            return Ok(None);
         }
         // Multi-record batches are always traced (they are the interesting
         // group commits); single-record ones ride the tracer's sampler so
@@ -267,7 +488,7 @@ impl Wal {
         // keeps the put path clock-free.
         let span = self.tracer.get().and_then(|t| {
             if batch.len() > 1 || t.sample() {
-                Some((t, t.start(SpanKind::WalCommit)))
+                Some(t.start(SpanKind::WalCommit))
             } else {
                 None
             }
@@ -279,32 +500,69 @@ impl Wal {
             buf.extend_from_slice(&checksum.to_le_bytes());
             buf.extend_from_slice(&record.body);
         }
-        segment.file.write_all(&buf)?;
-        if self.sync_each_append {
-            segment.file.sync_data()?;
-        }
+        (&*segment.file).write_all(&buf)?;
         let last_seq = batch.last().expect("non-empty batch").seq;
         let commit_no = inner.group_commits.fetch_add(1, Ordering::Relaxed) + 1;
         inner.last_commit_no.store(commit_no, Ordering::Relaxed);
-        inner.durable_mark.store(last_seq + 1, Ordering::Release);
         inner
             .batched_appends
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        if let Some((tracer, active)) = span {
-            tracer.finish(active, 0, vec![commit_no, batch.len() as u64]);
+        Ok(Some(StagedBatch {
+            commit_no,
+            last_seq,
+            records: batch.len() as u64,
+            file: Arc::clone(&segment.file),
+            span,
+        }))
+    }
+
+    /// Phase 2, lock-free: makes a staged batch durable (in
+    /// fsync-per-append mode), publishes the durable mark, and emits the
+    /// batch's telemetry. Batches may finish out of order — the mark is a
+    /// `fetch_max`, and a later batch's sync covers an earlier one's bytes
+    /// because both were written to the file in lock order.
+    fn finish_batch(&self, inner: &WalInner, staged: StagedBatch) -> Result<u64> {
+        if self.sync_each_append {
+            self.sync_file(inner, &staged.file)?;
+        }
+        inner
+            .durable_mark
+            .fetch_max(staged.last_seq + 1, Ordering::AcqRel);
+        if let Some(active) = staged.span {
+            if let Some(tracer) = self.tracer.get() {
+                tracer.finish(active, 0, vec![staged.commit_no, staged.records]);
+            }
         }
         // Real groups (>1 record) always make the timeline; single-record
         // commits — every sync-mode put — are sampled 1-in-64 so the event
         // ring shows WAL cadence without a clock read and ring push on the
         // put hot path. The stats counters above stay exact regardless.
-        if batch.len() > 1 || (commit_no - 1).is_multiple_of(64) {
+        if staged.records > 1 || (staged.commit_no - 1).is_multiple_of(64) {
             if let Some(t) = self.events.get() {
                 t.event(EventKind::WalGroupCommit {
-                    records: batch.len() as u64,
+                    records: staged.records,
                 });
             }
         }
-        Ok(commit_no)
+        Ok(staged.commit_no)
+    }
+
+    /// One durability barrier for `file`: through the coordinator when
+    /// attached (so it coalesces with concurrent batches, possibly from
+    /// other shards' WALs) or a direct `sync_data` otherwise. Physical
+    /// syncs this call performed are attributed to this WAL's counter.
+    fn sync_file(&self, inner: &WalInner, file: &Arc<File>) -> Result<()> {
+        match &self.sync_coord {
+            Some(coord) => {
+                let syncs = coord.sync_after_write(file)?;
+                inner.syncs.fetch_add(syncs, Ordering::Relaxed);
+            }
+            None => {
+                file.sync_data()?;
+                inner.syncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
     }
 
     /// Seals the active segment — flushing any pending records into it —
@@ -318,12 +576,15 @@ impl Wal {
         let mut segment = inner.segment.lock();
         self.write_pending_locked(inner, &mut segment)?;
         segment.file.sync_data()?;
+        inner.syncs.fetch_add(1, Ordering::Relaxed);
         let sealed = segment.id;
         let next = sealed + 1;
-        segment.file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(segment_path(&inner.dir, next))?;
+        segment.file = Arc::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(segment_path(&inner.dir, next))?,
+        );
         segment.id = next;
         Ok(Some(sealed))
     }
@@ -355,6 +616,7 @@ impl Wal {
             let mut segment = inner.segment.lock();
             self.write_pending_locked(inner, &mut segment)?;
             segment.file.sync_data()?;
+            inner.syncs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -375,6 +637,7 @@ impl Wal {
             Some(inner) => WalStats {
                 group_commits: inner.group_commits.load(Ordering::Relaxed),
                 batched_appends: inner.batched_appends.load(Ordering::Relaxed),
+                syncs: inner.syncs.load(Ordering::Relaxed),
             },
             None => WalStats::default(),
         }
@@ -612,6 +875,72 @@ mod tests {
         }
         let (_w, replayed) = Wal::open(&dir, true).unwrap();
         assert_eq!(replayed.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_coordinator_coalesces_across_wals() {
+        // Two WALs (two "shards") share one coordinator; concurrent
+        // committers on both must all end durable, with each fsync epoch
+        // covering every ticket issued before its leader drained.
+        let dir_a = tmp("coord-a");
+        let dir_b = tmp("coord-b");
+        let coord = WalSyncCoordinator::new();
+        let (wal_a, _) = Wal::open_with(&dir_a, true, Some(Arc::clone(&coord))).unwrap();
+        let (wal_b, _) = Wal::open_with(&dir_b, true, Some(Arc::clone(&coord))).unwrap();
+        let wals = [Arc::new(wal_a), Arc::new(wal_b)];
+        let per_thread = 50u64;
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let wal = Arc::clone(&wals[(t % 2) as usize]);
+                scope.spawn(move |_| {
+                    for i in 0..per_thread {
+                        let seq = t * per_thread + i;
+                        wal.append(&Entry::put(
+                            format!("k{seq:05}").into_bytes(),
+                            b"v".to_vec(),
+                            seq,
+                        ))
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = coord.stats();
+        assert_eq!(
+            stats.tickets,
+            wals[0].stats().group_commits + wals[1].stats().group_commits,
+            "one ticket per physical batch"
+        );
+        assert!(stats.syncs <= stats.tickets, "coalescing never adds syncs");
+        assert!(stats.syncs > 0);
+        // Per-WAL sync attribution sums to the coordinator's total.
+        assert_eq!(wals[0].stats().syncs + wals[1].stats().syncs, stats.syncs);
+        drop(wals);
+        for dir in [&dir_a, &dir_b] {
+            let (_w, replayed) = Wal::open(dir, false).unwrap();
+            assert_eq!(replayed.len(), 100, "every committed record durable");
+            std::fs::remove_dir_all(dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn sync_coordinator_piggybacks_followers() {
+        // Deterministic follower case: while a leader epoch is marked
+        // in-flight, a second registration must wait, then return having
+        // done 0 syncs of its own once the epoch that covers it completes.
+        let dir = tmp("coord-piggyback");
+        let coord = WalSyncCoordinator::new();
+        let (wal, _) = Wal::open_with(&dir, true, Some(Arc::clone(&coord))).unwrap();
+        // Sequential commits each lead their own epoch: syncs == tickets.
+        for seq in 0..3 {
+            wal.append(&Entry::put(vec![seq as u8], b"v".to_vec(), seq))
+                .unwrap();
+        }
+        let stats = coord.stats();
+        assert_eq!(stats.tickets, 3);
+        assert_eq!(stats.syncs, 3, "uncontended commits sync themselves");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

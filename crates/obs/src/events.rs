@@ -33,6 +33,10 @@ pub enum EventKind {
     WalGroupCommit { records: u64 },
     /// A background worker failed; the error is deferred to foreground.
     BackgroundError { message: String },
+    /// A requested `O_DIRECT` backend could not run on this filesystem
+    /// and the store fell back to buffered I/O. Emitted once at open;
+    /// `reason` is the probe failure (e.g. tmpfs rejecting the flag).
+    IoBackendFallback { reason: String },
 }
 
 impl EventKind {
@@ -46,6 +50,7 @@ impl EventKind {
             EventKind::StallEnd { .. } => "stall_end",
             EventKind::WalGroupCommit { .. } => "wal_group_commit",
             EventKind::BackgroundError { .. } => "background_error",
+            EventKind::IoBackendFallback { .. } => "io_backend_fallback",
         }
     }
 
@@ -74,6 +79,7 @@ impl EventKind {
             }
             EventKind::WalGroupCommit { records } => vec![("records", records.to_string())],
             EventKind::BackgroundError { message } => vec![("message", message.clone())],
+            EventKind::IoBackendFallback { reason } => vec![("reason", reason.clone())],
         }
     }
 }

@@ -61,8 +61,8 @@ pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use iolat::{mode_split, IoLatency, IoOp, ModeSplit, IO_OPS, IO_SAMPLE_PERIOD};
 pub use json::{json_array, json_f64, json_string, JsonObject};
 pub use report::{
-    drift_flag, DriftFlag, IoLatencyReport, IoLevelLatencyReport, LevelReport, OpLatencyReport,
-    ShardBreakdown, TelemetryReport, DRIFT_EPSILON, DRIFT_MIN_PROBES, DRIFT_Z,
+    drift_flag, DriftFlag, IoBackendReport, IoLatencyReport, IoLevelLatencyReport, LevelReport,
+    OpLatencyReport, ShardBreakdown, TelemetryReport, DRIFT_EPSILON, DRIFT_MIN_PROBES, DRIFT_Z,
 };
 pub use series::{
     counter_delta, Ewma, LevelIoRates, SmoothedRates, TelemetrySnapshot, WindowRates,

@@ -225,6 +225,27 @@ pub struct ShardBreakdown {
     pub cache_hits: u64,
 }
 
+/// Which disk backend is serving a store's pages — the requested kind,
+/// the kind actually active after the runtime fallback ladder, and the
+/// device alignment the active backend discovered. Rendered as the
+/// `monkey_io_backend_info` gauge and as a `backend` label on every
+/// `monkey_io_*` latency row, so dashboards can tell page-cache-speed
+/// buffered numbers from device-true `O_DIRECT` numbers at a glance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoBackendReport {
+    /// What the options asked for (`"buffered"`, `"direct"`, `"auto"`).
+    pub requested: String,
+    /// What is actually running (`"buffered"`, `"direct"`,
+    /// `"direct+uring"`, `"mem"`, `"custom"`).
+    pub kind: String,
+    /// Logical-block alignment the backend discovered for the data
+    /// directory, in bytes; 0 when alignment is not a concept (buffered,
+    /// in-memory).
+    pub align: u64,
+    /// Why a requested direct backend fell back to buffered, when it did.
+    pub fallback: Option<String>,
+}
+
 /// The full report returned by `Db::telemetry_report()`.
 #[derive(Debug, Clone)]
 pub struct TelemetryReport {
@@ -272,6 +293,11 @@ pub struct TelemetryReport {
     /// Bytes appended to the flight recorder by this process
     /// (`monkey_recorder_bytes`); 0 without a recorder.
     pub recorder_bytes: u64,
+    /// The disk backend serving this store, when the engine knows it.
+    /// `None` keeps every rendering byte-identical to reports produced
+    /// before backend selection existed (and by callers that build
+    /// reports without a disk).
+    pub io_backend: Option<IoBackendReport>,
 }
 
 impl TelemetryReport {
@@ -359,6 +385,15 @@ impl TelemetryReport {
             );
         }
 
+        // When the active backend is known, every io row carries it as a
+        // label — buffered and O_DIRECT latencies must never be mistaken
+        // for each other in a dashboard. Unknown backend → no label, and
+        // the rendering is byte-identical to pre-backend-selection output.
+        let be = self
+            .io_backend
+            .as_ref()
+            .map(|b| format!(",backend=\"{}\"", b.kind))
+            .unwrap_or_default();
         if !self.io.is_empty() {
             push(
                 &mut out,
@@ -368,7 +403,7 @@ impl TelemetryReport {
             for io in &self.io {
                 push(
                     &mut out,
-                    &format!("monkey_io_ops_total{{op=\"{}\"}} {}", io.op, io.ops),
+                    &format!("monkey_io_ops_total{{op=\"{}\"{be}}} {}", io.op, io.ops),
                 );
             }
             push(
@@ -387,7 +422,7 @@ impl TelemetryReport {
                         push(
                             &mut out,
                             &format!(
-                                "monkey_io_latency_micros{{op=\"{}\",level=\"{}\",quantile=\"{}\"}} {}",
+                                "monkey_io_latency_micros{{op=\"{}\",level=\"{}\",quantile=\"{}\"{be}}} {}",
                                 io.op,
                                 l.level,
                                 q,
@@ -398,7 +433,7 @@ impl TelemetryReport {
                     push(
                         &mut out,
                         &format!(
-                            "monkey_io_latency_micros_max{{op=\"{}\",level=\"{}\"}} {}",
+                            "monkey_io_latency_micros_max{{op=\"{}\",level=\"{}\"{be}}} {}",
                             io.op,
                             l.level,
                             json_f64(l.max_micros)
@@ -407,7 +442,7 @@ impl TelemetryReport {
                     push(
                         &mut out,
                         &format!(
-                            "monkey_io_latency_samples{{op=\"{}\",level=\"{}\"}} {}",
+                            "monkey_io_latency_samples{{op=\"{}\",level=\"{}\"{be}}} {}",
                             io.op, l.level, l.sampled
                         ),
                     );
@@ -423,7 +458,7 @@ impl TelemetryReport {
                 push(
                     &mut out,
                     &format!(
-                        "monkey_io_cache_mode_ratio{{op=\"{}\"}} {}",
+                        "monkey_io_cache_mode_ratio{{op=\"{}\"{be}}} {}",
                         io.op,
                         json_f64(io.cache_mode_ratio)
                     ),
@@ -439,12 +474,38 @@ impl TelemetryReport {
                 push(
                     &mut out,
                     &format!(
-                        "monkey_io_mode_threshold_micros{{op=\"{}\"}} {}",
+                        "monkey_io_mode_threshold_micros{{op=\"{}\"{be}}} {}",
                         io.op,
                         json_f64(io.mode_threshold_micros)
                     ),
                 );
             }
+        }
+
+        if let Some(b) = &self.io_backend {
+            push(
+                &mut out,
+                "# HELP monkey_io_backend_info Active disk backend (requested vs. running \
+                 kind, discovered alignment); value is always 1.",
+            );
+            push(&mut out, "# TYPE monkey_io_backend_info gauge");
+            let fallback = b
+                .fallback
+                .as_ref()
+                .map(|r| {
+                    format!(
+                        ",fallback=\"{}\"",
+                        r.replace('\\', "\\\\").replace('"', "\\\"")
+                    )
+                })
+                .unwrap_or_default();
+            push(
+                &mut out,
+                &format!(
+                    "monkey_io_backend_info{{requested=\"{}\",kind=\"{}\",align=\"{}\"{fallback}}} 1",
+                    b.requested, b.kind, b.align
+                ),
+            );
         }
 
         let level_counter =
@@ -1024,6 +1085,16 @@ impl TelemetryReport {
             .u64("spans_started", self.spans_started)
             .u64("spans_dropped", self.spans_dropped)
             .u64("recorder_bytes", self.recorder_bytes);
+        if let Some(b) = &self.io_backend {
+            let mut be = JsonObject::new()
+                .str("requested", &b.requested)
+                .str("kind", &b.kind)
+                .u64("align", b.align);
+            if let Some(r) = &b.fallback {
+                be = be.str("fallback", r);
+            }
+            obj = obj.raw("io_backend", &be.finish());
+        }
         obj.finish()
     }
 
@@ -1368,6 +1439,7 @@ mod tests {
             spans_started: 0,
             spans_dropped: 0,
             recorder_bytes: 0,
+            io_backend: None,
         }
     }
 
@@ -1422,6 +1494,49 @@ mod tests {
         let mut r = sample_report();
         r.io.clear();
         assert!(!r.to_prometheus().contains("monkey_io_"));
+    }
+
+    #[test]
+    fn backend_identity_labels_io_rows_and_renders_info_gauge() {
+        // Without backend info every rendering is byte-identical to the
+        // pre-backend-selection output: no label, no gauge.
+        let plain = sample_report().to_prometheus();
+        assert!(plain.contains("monkey_io_ops_total{op=\"read_page\"}"));
+        assert!(!plain.contains("monkey_io_backend_info"));
+        assert!(!plain.contains("backend="));
+
+        let mut r = sample_report();
+        r.io_backend = Some(IoBackendReport {
+            requested: "direct".to_string(),
+            kind: "buffered".to_string(),
+            align: 512,
+            fallback: Some("tmpfs rejects O_DIRECT".to_string()),
+        });
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE monkey_io_backend_info gauge"));
+        assert!(text.contains(
+            "monkey_io_backend_info{requested=\"direct\",kind=\"buffered\",align=\"512\",\
+             fallback=\"tmpfs rejects O_DIRECT\"} 1"
+        ));
+        assert!(text.contains("monkey_io_ops_total{op=\"read_page\",backend=\"buffered\"}"));
+        assert!(text.contains("monkey_io_cache_mode_ratio{op=\"read_page\",backend=\"buffered\"}"));
+        let json = r.to_json();
+        assert!(json.contains(
+            "\"io_backend\":{\"requested\":\"direct\",\"kind\":\"buffered\",\"align\":512,\
+             \"fallback\":\"tmpfs rejects O_DIRECT\"}"
+        ));
+        // No fallback → no fallback label or key.
+        r.io_backend = Some(IoBackendReport {
+            requested: "auto".to_string(),
+            kind: "direct+uring".to_string(),
+            align: 4096,
+            fallback: None,
+        });
+        let text = r.to_prometheus();
+        assert!(text.contains(
+            "monkey_io_backend_info{requested=\"auto\",kind=\"direct+uring\",align=\"4096\"} 1"
+        ));
+        assert!(!r.to_json().contains("\"fallback\""));
     }
 
     #[test]

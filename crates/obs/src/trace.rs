@@ -322,6 +322,7 @@ const EV_STALL_BEGIN: u8 = 4;
 const EV_STALL_END: u8 = 5;
 const EV_WAL_GROUP_COMMIT: u8 = 6;
 const EV_BACKGROUND_ERROR: u8 = 7;
+const EV_IO_BACKEND_FALLBACK: u8 = 8;
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -395,6 +396,7 @@ fn encode_event(event: &Event) -> Vec<u8> {
         EventKind::StallEnd { .. } => EV_STALL_END,
         EventKind::WalGroupCommit { .. } => EV_WAL_GROUP_COMMIT,
         EventKind::BackgroundError { .. } => EV_BACKGROUND_ERROR,
+        EventKind::IoBackendFallback { .. } => EV_IO_BACKEND_FALLBACK,
     };
     p.push(tag);
     put_u32(&mut p, event.shard);
@@ -419,6 +421,10 @@ fn encode_event(event: &Event) -> Vec<u8> {
         EventKind::BackgroundError { message } => {
             put_u32(&mut p, message.len() as u32);
             p.extend_from_slice(message.as_bytes());
+        }
+        EventKind::IoBackendFallback { reason } => {
+            put_u32(&mut p, reason.len() as u32);
+            p.extend_from_slice(reason.as_bytes());
         }
     }
     p
@@ -480,6 +486,12 @@ fn decode_payload(payload: &[u8]) -> Option<RecorderRecord> {
                     let len = r.u32()? as usize;
                     EventKind::BackgroundError {
                         message: String::from_utf8_lossy(r.bytes(len)?).into_owned(),
+                    }
+                }
+                EV_IO_BACKEND_FALLBACK => {
+                    let len = r.u32()? as usize;
+                    EventKind::IoBackendFallback {
+                        reason: String::from_utf8_lossy(r.bytes(len)?).into_owned(),
                     }
                 }
                 _ => return None,
@@ -767,12 +779,20 @@ mod tests {
                 message: "injected fault".into(),
             },
         });
+        r.append_event(&Event {
+            seq: 11,
+            ts_micros: 1400,
+            shard: 0,
+            kind: EventKind::IoBackendFallback {
+                reason: "tmpfs rejects O_DIRECT".into(),
+            },
+        });
         assert!(r.bytes_written() > 0);
         assert_eq!(r.write_errors(), 0);
         let decoded = FlightRecorder::decode_dir(&d);
         assert_eq!(decoded.segments, 1);
         assert!(!decoded.truncated);
-        assert_eq!(decoded.records.len(), 4);
+        assert_eq!(decoded.records.len(), 5);
         assert_eq!(
             decoded.records[0],
             RecorderRecord::Span(span(1, SpanKind::Put, vec![42, 5]))
@@ -781,6 +801,16 @@ mod tests {
             RecorderRecord::Event(e) => {
                 assert_eq!(e.shard, 3);
                 assert_eq!(e.kind.name(), "background_error");
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        match &decoded.records[4] {
+            RecorderRecord::Event(e) => {
+                assert_eq!(e.kind.name(), "io_backend_fallback");
+                assert_eq!(
+                    e.kind.fields(),
+                    vec![("reason", "tmpfs rejects O_DIRECT".to_string())]
+                );
             }
             other => panic!("expected event, got {other:?}"),
         }

@@ -31,6 +31,30 @@ pub trait Backend: Send + Sync + 'static {
     /// Reads one page of a sealed (or in-construction) run.
     fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes>;
 
+    /// Reads `count` consecutive pages of one run starting at `start`.
+    ///
+    /// Semantically identical to `count` calls of [`read_page`]
+    /// (including which page a `NotFound` names); backends override it to
+    /// batch the physical transfers (io_uring multi-SQE submission).
+    ///
+    /// [`read_page`]: Backend::read_page
+    fn read_batch(&self, run: RunId, start: u32, count: u32) -> Result<Vec<Bytes>> {
+        (start..start + count)
+            .map(|page_no| self.read_page(run, page_no))
+            .collect()
+    }
+
+    /// Reads an arbitrary set of `(run, page)` addresses, returned in
+    /// request order. Semantically identical to a [`read_page`] loop;
+    /// backends override it to batch the physical transfers.
+    ///
+    /// [`read_page`]: Backend::read_page
+    fn read_scattered(&self, reqs: &[(RunId, u32)]) -> Result<Vec<Bytes>> {
+        reqs.iter()
+            .map(|&(run, page_no)| self.read_page(run, page_no))
+            .collect()
+    }
+
     /// Number of pages currently in the run.
     fn pages(&self, run: RunId) -> Result<u32>;
 

@@ -102,6 +102,24 @@ impl<B: Backend> Backend for FlakyBackend<B> {
         self.inner.read_page(run, page_no)
     }
 
+    // The batched entry points consume one unit of budget *per page*, so a
+    // fault plan bites at the same page count whether the engine read the
+    // pages one at a time or as a batch.
+
+    fn read_batch(&self, run: RunId, start: u32, count: u32) -> Result<Vec<Bytes>> {
+        for _ in 0..count {
+            self.maybe_fail(FaultKind::Reads, "read_batch")?;
+        }
+        self.inner.read_batch(run, start, count)
+    }
+
+    fn read_scattered(&self, reqs: &[(RunId, u32)]) -> Result<Vec<Bytes>> {
+        for _ in reqs {
+            self.maybe_fail(FaultKind::Reads, "read_scattered")?;
+        }
+        self.inner.read_scattered(reqs)
+    }
+
     fn pages(&self, run: RunId) -> Result<u32> {
         self.inner.pages(run)
     }
@@ -123,6 +141,7 @@ pub struct SlowBackend<B> {
     inner: B,
     read_delay_us: AtomicU64,
     write_delay_us: AtomicU64,
+    sync_delay_us: AtomicU64,
 }
 
 impl<B: Backend> SlowBackend<B> {
@@ -133,6 +152,7 @@ impl<B: Backend> SlowBackend<B> {
             inner,
             read_delay_us: AtomicU64::new(0),
             write_delay_us: AtomicU64::new(0),
+            sync_delay_us: AtomicU64::new(0),
         })
     }
 
@@ -144,6 +164,13 @@ impl<B: Backend> SlowBackend<B> {
     /// Sleeps `micros` before every page append.
     pub fn set_write_delay_micros(&self, micros: u64) {
         self.write_delay_us.store(micros, Ordering::SeqCst);
+    }
+
+    /// Sleeps `micros` before every seal (the durability barrier) — models
+    /// a device with expensive flushes, so tests can observe that batching
+    /// coalesces rather than multiplies them.
+    pub fn set_sync_delay_micros(&self, micros: u64) {
+        self.sync_delay_us.store(micros, Ordering::SeqCst);
     }
 
     fn nap(&self, micros: &AtomicU64) {
@@ -161,12 +188,31 @@ impl<B: Backend> Backend for SlowBackend<B> {
     }
 
     fn seal(&self, run: RunId) -> Result<()> {
+        self.nap(&self.sync_delay_us);
         self.inner.seal(run)
     }
 
     fn read_page(&self, run: RunId, page_no: u32) -> Result<Bytes> {
         self.nap(&self.read_delay_us);
         self.inner.read_page(run, page_no)
+    }
+
+    // Batched reads pay the delay per page: a slow device does not get
+    // faster because the submission was batched, and tests that bound
+    // wall-clock by page count stay valid on every read path.
+
+    fn read_batch(&self, run: RunId, start: u32, count: u32) -> Result<Vec<Bytes>> {
+        for _ in 0..count {
+            self.nap(&self.read_delay_us);
+        }
+        self.inner.read_batch(run, start, count)
+    }
+
+    fn read_scattered(&self, reqs: &[(RunId, u32)]) -> Result<Vec<Bytes>> {
+        for _ in reqs {
+            self.nap(&self.read_delay_us);
+        }
+        self.inner.read_scattered(reqs)
     }
 
     fn pages(&self, run: RunId) -> Result<u32> {
@@ -216,6 +262,49 @@ mod tests {
         assert!(b.append_page(1, 1, &[0u8; 8]).is_ok());
         b.disarm();
         assert!(b.read_page(1, 0).is_ok());
+    }
+
+    #[test]
+    fn batched_reads_consume_budget_per_page() {
+        // Fault parity: a plan that allows N single-page reads allows
+        // exactly N pages' worth of batched reads, no more.
+        let b = FlakyBackend::new(MemBackend::new(), FaultKind::Reads);
+        for p in 0..6 {
+            b.append_page(1, p, &[p as u8; 8]).unwrap();
+        }
+        b.arm(4);
+        assert_eq!(b.read_batch(1, 0, 4).unwrap().len(), 4);
+        assert!(b.read_batch(1, 4, 2).is_err(), "budget exhausted mid-batch");
+        assert_eq!(b.injected(), 1);
+
+        let b = FlakyBackend::new(MemBackend::new(), FaultKind::Reads);
+        b.append_page(2, 0, &[0u8; 8]).unwrap();
+        b.append_page(2, 1, &[1u8; 8]).unwrap();
+        b.arm(1);
+        assert!(b.read_scattered(&[(2, 0), (2, 1)]).is_err());
+        // Writes-only plans leave batched reads alone.
+        let b = FlakyBackend::new(MemBackend::new(), FaultKind::Writes);
+        b.append_page(3, 0, &[0u8; 8]).unwrap();
+        b.arm(0);
+        assert_eq!(b.read_batch(3, 0, 1).unwrap().len(), 1);
+        assert_eq!(b.read_scattered(&[(3, 0)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn slow_backend_delays_batches_per_page_and_syncs() {
+        let b = SlowBackend::new(MemBackend::new());
+        for p in 0..4 {
+            b.append_page(1, p, &[p as u8; 8]).unwrap();
+        }
+        b.set_read_delay_micros(1_000);
+        let t0 = std::time::Instant::now();
+        assert_eq!(b.read_batch(1, 0, 4).unwrap().len(), 4);
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(4_000));
+        b.set_read_delay_micros(0);
+        b.set_sync_delay_micros(2_000);
+        let t0 = std::time::Instant::now();
+        b.seal(1).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(2_000));
     }
 
     #[test]

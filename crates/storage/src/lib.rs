@@ -23,18 +23,24 @@
 
 #![warn(missing_docs)]
 
+pub mod aligned;
 pub mod cache;
 pub mod device;
 pub mod error;
 pub mod faults;
 pub mod iostats;
+#[cfg(all(feature = "uring", target_os = "linux"))]
+pub mod uring;
 
 mod backend;
+mod direct;
 mod disk;
 
+pub use aligned::{AlignedBuf, AlignedPool, PoolStats};
 pub use backend::{Backend, FileBackend, MemBackend, RunId};
 pub use cache::{BlockCache, CacheConfig, CachePolicy, CachePriority, CacheStats};
 pub use device::DeviceModel;
+pub use direct::{BackendInfo, DirectFileBackend, IoBackend};
 pub use disk::{Disk, RunWriter};
 pub use error::{Result, StorageError};
 pub use faults::{FaultKind, FlakyBackend, SlowBackend};

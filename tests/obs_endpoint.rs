@@ -55,7 +55,8 @@ fn endpoint_serves_every_route() {
     assert_eq!(status, 200);
     assert!(body.starts_with("# HELP monkey_build_info"));
     assert!(body.contains("monkey_ops_total{op=\"put\"} 512"));
-    assert!(body.contains("monkey_io_ops_total{op=\"write_page\"}"));
+    // io rows carry a `backend` label naming the active storage backend.
+    assert!(body.contains("monkey_io_ops_total{op=\"write_page\",backend=\""));
 
     let (status, body) = http_get(&addr, "/report.json").unwrap();
     assert_eq!(status, 200);

@@ -10,12 +10,33 @@ use std::borrow::Borrow;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage: either a plain shared byte buffer or an arbitrary
+/// owner whose `AsRef<[u8]>` view the `Bytes` borrows zero-copy (the
+/// real crate's `Bytes::from_owner`). The owner is dropped — returning
+/// its buffer to wherever it came from, e.g. an aligned page pool —
+/// when the last clone goes away.
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Owner(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
 /// A cheaply cloneable, immutable contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     len: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self {
+            data: Repr::Shared(Arc::from(&[][..])),
+            start: 0,
+            len: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -32,9 +53,25 @@ impl Bytes {
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Self {
-            data: Arc::from(data),
-            start: 0,
             len: data.len(),
+            data: Repr::Shared(Arc::from(data)),
+            start: 0,
+        }
+    }
+
+    /// Wraps an owner, borrowing its `AsRef<[u8]>` view without copying.
+    ///
+    /// The owner must return the same slice from every `as_ref` call; it
+    /// is dropped when the last clone of the returned `Bytes` is.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
+        Self {
+            data: Repr::Owner(Arc::new(owner)),
+            start: 0,
+            len,
         }
     }
 
@@ -74,7 +111,7 @@ impl Bytes {
             self.len
         );
         Self {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + start,
             len: end - start,
         }
@@ -82,7 +119,11 @@ impl Bytes {
 
     #[inline]
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.start + self.len]
+        let full: &[u8] = match &self.data {
+            Repr::Shared(data) => data,
+            Repr::Owner(owner) => (**owner).as_ref(),
+        };
+        &full[self.start..self.start + self.len]
     }
 }
 
@@ -112,7 +153,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         Self {
             len: v.len(),
-            data: Arc::from(v),
+            data: Repr::Shared(Arc::from(v)),
             start: 0,
         }
     }
@@ -238,6 +279,30 @@ mod tests {
         assert!(a < b);
         assert_eq!(a, Bytes::copy_from_slice(b"abc"));
         assert_eq!(a, b"abc"[..]);
+    }
+
+    #[test]
+    fn from_owner_is_zero_copy_and_drops_owner() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static DROPPED: AtomicBool = AtomicBool::new(false);
+        struct Owner(Vec<u8>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                DROPPED.store(true, Ordering::SeqCst);
+            }
+        }
+        let b = Bytes::from_owner(Owner(b"hello world".to_vec()));
+        let w = b.slice(6..);
+        assert_eq!(w.as_ref(), b"world");
+        drop(b);
+        assert!(!DROPPED.load(Ordering::SeqCst), "slice keeps owner alive");
+        drop(w);
+        assert!(DROPPED.load(Ordering::SeqCst));
     }
 
     #[test]
